@@ -1,0 +1,9 @@
+"""E10 (F6). End-to-end recommendation latency vs knowledge-base size (Section I).
+
+Regenerates the E10 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e10_scalability(run_bench):
+    run_bench("e10")

@@ -1,0 +1,9 @@
+"""E11 (T5). High-level deltas compress low-level change descriptions across op mixes (Section I).
+
+Regenerates the E11 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e11_delta_compression(run_bench):
+    run_bench("e11")

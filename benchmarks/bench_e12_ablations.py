@@ -1,0 +1,10 @@
+"""E12 (T6). Design-knob ablations: graph-decay interest spreading under
+sparse profile elicitation, and the fairness-aware beta frontier.
+
+Regenerates the E12 tables; see DESIGN.md sections 3 and 6 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e12_ablations(run_bench):
+    run_bench("e12")

@@ -1,0 +1,10 @@
+"""E13 (T7). Seed robustness: the headline relatedness / fairness / hotspot
+effects re-measured on five fresh worlds each, with sign-consistency checks.
+
+Regenerates the E13 tables; see DESIGN.md section 3 and EXPERIMENTS.md for
+the claim-vs-measured record.
+"""
+
+
+def test_e13_robustness(run_bench):
+    run_bench("e13")

@@ -1,0 +1,9 @@
+"""E1 (T1). Pairwise disagreement of the measure catalogue's rankings: the catalogue spans genuinely different views of evolution (Section II.d).
+
+Regenerates the E1 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e1_measure_views(run_bench):
+    run_bench("e1")

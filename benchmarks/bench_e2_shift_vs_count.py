@@ -1,0 +1,9 @@
+"""E2 (T2). Importance-shift measures recover semantically affected classes that raw change counting misranks (Section II.d).
+
+Regenerates the E2 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e2_shift_vs_count(run_bench):
+    run_bench("e2")

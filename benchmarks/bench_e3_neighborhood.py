@@ -1,0 +1,9 @@
+"""E3 (F1). Neighbourhood change counts localise the changed area as evolution concentrates (Section II.b).
+
+Regenerates the E3 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e3_neighborhood(run_bench):
+    run_bench("e3")

@@ -1,0 +1,9 @@
+"""E4 (F2). Relatedness ranking vs random/popularity baselines with the semantic/collaborative alpha ablation (Section III.a).
+
+Regenerates the E4 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e4_relatedness(run_bench):
+    run_bench("e4")

@@ -1,0 +1,9 @@
+"""E5 (F3). The relevance-diversity trade-off of MMR/Max-Min/coverage package selection (Section III.c).
+
+Regenerates the E5 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e5_diversity(run_bench):
+    run_bench("e5")

@@ -1,0 +1,9 @@
+"""E6 (T3). Merging per-user diversified lists is not group-level diversification (Section III.c).
+
+Regenerates the E6 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e6_group_diversity(run_bench):
+    run_bench("e6")

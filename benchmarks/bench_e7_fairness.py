@@ -1,0 +1,9 @@
+"""E7 (F4). Fairness-aware group selection vs naive aggregation across group sizes (Section III.d).
+
+Regenerates the E7 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e7_fairness(run_bench):
+    run_bench("e7")

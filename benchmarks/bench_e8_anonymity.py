@@ -1,0 +1,9 @@
+"""E8 (F5). The privacy-utility trade-off of k-anonymous evolution reports (Section III.e).
+
+Regenerates the E8 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e8_anonymity(run_bench):
+    run_bench("e8")

@@ -1,0 +1,9 @@
+"""E9 (T4). Provenance answerability and capture overhead of the tracked pipeline (Section III.b).
+
+Regenerates the E9 table/series; see DESIGN.md section 3 and
+EXPERIMENTS.md for the claim-vs-measured record.
+"""
+
+
+def test_e9_transparency(run_bench):
+    run_bench("e9")

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Unlike the ``bench_e*`` experiment benchmarks (one timed round each), these
+use pytest-benchmark's statistical timing across many rounds: they are the
+regression tripwire for the operations every experiment is built on --
+pattern matching, delta computation, schema indexing, Brandes betweenness
+and the full measure catalogue.
+"""
+
+import pytest
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.graphtools.betweenness import betweenness_centrality
+from repro.kb.ntriples import parse_graph, serialize
+from repro.kb.schema import SchemaView
+from repro.measures.base import EvolutionContext
+from repro.measures.catalog import default_catalog
+from repro.measures.structural import class_graph
+from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
+from repro.synthetic.world import generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(
+        schema=SchemaConfig(n_classes=120, n_properties=80),
+        evolution=EvolutionConfig(n_versions=3, changes_per_version=150),
+    )
+    return generate_world(seed=4242, config=config)
+
+
+def test_graph_pattern_match(benchmark, world):
+    """Index-backed pattern matching over the latest snapshot."""
+    graph = world.kb.latest().graph
+    predicates = list({t.predicate for t in graph})[:10]
+
+    def scan():
+        total = 0
+        for predicate in predicates:
+            total += sum(1 for _ in graph.match(None, predicate, None))
+        return total
+
+    assert benchmark(scan) > 0
+
+
+def test_lowlevel_delta_compute(benchmark, world):
+    """Diffing two adjacent versions."""
+    versions = list(world.kb)
+    old, new = versions[-2].graph, versions[-1].graph
+    delta = benchmark(LowLevelDelta.compute, old, new)
+    assert delta.size > 0
+
+
+def test_schema_view_construction(benchmark, world):
+    """Building the full schema view (classes, hierarchy, link index)."""
+    graph = world.kb.latest().graph
+
+    def build():
+        view = SchemaView(graph)
+        view.classes()
+        view.property_edges()
+        view.instance_link_count(list(view.classes())[:10])
+        return view
+
+    benchmark(build)
+
+
+def test_betweenness_on_class_graph(benchmark, world):
+    """Brandes on the latest version's class graph."""
+    graph = class_graph(world.kb.latest().schema)
+    scores = benchmark(betweenness_centrality, graph)
+    assert len(scores) == len(graph)
+
+
+def test_full_measure_catalog(benchmark, world):
+    """All eight Section II measures on a fresh context."""
+    versions = list(world.kb)
+
+    def run():
+        context = EvolutionContext(versions[-2], versions[-1])
+        return default_catalog().compute_all(context)
+
+    results = benchmark(run)
+    assert len(results) == 8
+
+
+def test_ntriples_roundtrip(benchmark, world):
+    """Serialise + parse the latest snapshot."""
+    graph = world.kb.latest().graph
+
+    def roundtrip():
+        return parse_graph(serialize(graph))
+
+    assert len(benchmark(roundtrip)) == len(graph)

@@ -1,0 +1,71 @@
+"""Group curation: fair recommendations for a curators' team (Section III.d).
+
+The paper's scenario: "assume that we would like to recommend evolution
+measures to a group of humans, e.g., the curators' team of a knowledge
+base ... it is possible to have a human u that is the least satisfied human
+in the group for all measures in the recommendations list."
+
+This example builds a team with a deliberate minority member (one curator
+cares about a different region than everyone else) and compares the three
+group strategies, printing each member's satisfaction.
+
+Run:  python examples/group_curation.py
+"""
+
+from repro.profiles import Group, InterestProfile, User
+from repro.recommender import (
+    RecommenderEngine,
+    min_satisfaction,
+    satisfaction_gini,
+    satisfaction_vector,
+)
+from repro.recommender.ranking import utility_scores
+from repro.synthetic import generate_world
+
+
+def main() -> None:
+    world = generate_world(seed=33, n_classes=80, n_versions=3)
+    engine = RecommenderEngine(world.kb)
+    schema = world.kb.latest().schema
+    classes = sorted(schema.classes(), key=lambda c: c.value)
+
+    # Three majority curators share a region; the fourth works elsewhere.
+    hotspots = sorted(world.trace.hotspots, key=lambda c: c.value)
+    majority_focus = {hotspots[0]: 1.0, hotspots[1]: 0.8}
+    minority_focus = {classes[-1]: 1.0, classes[-2]: 0.8}
+    team = Group(
+        "curators",
+        (
+            User("alice", InterestProfile(class_weights=dict(majority_focus))),
+            User("bob", InterestProfile(class_weights=dict(majority_focus))),
+            User("carol", InterestProfile(class_weights=dict(majority_focus))),
+            User("dave", InterestProfile(class_weights=dict(minority_focus))),
+        ),
+    )
+
+    candidates = engine.candidates()
+    utilities = {
+        member.user_id: utility_scores(member, candidates, engine.scorer())
+        for member in team
+    }
+
+    print(f"team of {len(team)}: dave is the minority member\n")
+    for strategy in ("average", "least_misery", "fairness_aware"):
+        package = engine.recommend_group(team, k=6, strategy=strategy)
+        satisfaction = satisfaction_vector(team, list(package), utilities)
+        print(f"--- strategy: {strategy} ---")
+        for scored in package:
+            print(f"  {scored.item.describe():45s} group score {scored.utility:.3f}")
+        sat = ", ".join(f"{uid}={value:.3f}" for uid, value in satisfaction.items())
+        print(f"  satisfaction: {sat}")
+        print(
+            f"  min = {min_satisfaction(team, list(package), utilities):.3f}, "
+            f"gini = {satisfaction_gini(team, list(package), utilities):.3f}\n"
+        )
+
+    print("note how 'average' can zero out dave while 'fairness_aware'")
+    print("keeps the package strongly related AND fair -- the paper's target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Transparency: auditing a recommendation with provenance (Section III.b).
+
+The paper: transparency means a human can ask "who created this data item
+and when, by whom was the data item modified and when, and what was the
+processes used to create the data item".
+
+This example runs the recommendation pipeline with provenance capture
+enabled and then answers those three questions for the artefacts the
+pipeline derived, plus prints a full lineage.
+
+Run:  python examples/provenance_audit.py
+"""
+
+from repro.provenance import ProvenanceStore, RelationKind
+from repro.recommender import EngineConfig, RecommenderEngine
+from repro.synthetic import generate_world
+
+
+def main() -> None:
+    world = generate_world(seed=55, n_classes=60, n_versions=3, n_users=4)
+    store = ProvenanceStore()
+    engine = RecommenderEngine(
+        world.kb, config=EngineConfig(k=4), provenance_store=store
+    )
+
+    user = world.users[0]
+    package = engine.recommend(user)
+    print(f"recommended {len(package)} items to {user.display_name()}\n")
+
+    print(f"provenance store: {store.statement_count()} statements\n")
+
+    # Every derived entity can answer the paper's three questions.
+    generated = sorted(
+        {rel.source for rel in store.relations(RelationKind.WAS_GENERATED_BY)}
+    )
+    for entity_id in generated:
+        entity = store.entity(entity_id)
+        print(f"entity {entity.label!r}:")
+        for line in engine.explain(entity_id):
+            print(f"   - {line}")
+        lineage = store.lineage(entity_id)
+        if lineage:
+            labels = sorted(store.entity(a).label or a for a in lineage)
+            print(f"   - derived (transitively) from: {', '.join(labels)}")
+        print()
+
+    # The final package's full audit trail.
+    package_entity = generated[-1]
+    print("audit conclusion: the package above is fully accounted for --")
+    print(f"  {len(store.lineage(package_entity))} ancestor artefact(s), "
+          f"{len(store.relations())} provenance edges recorded.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+# Editable-install shim: some sandboxes lack the wheel package that
+# PEP 660 editable installs require; `python setup.py develop` is the
+# equivalent fallback (see README).
+from setuptools import setup
+
+setup()

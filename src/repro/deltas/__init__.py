@@ -1,0 +1,26 @@
+"""Delta substrate: low-level and high-level change detection (S5-S6).
+
+Implements Section II.a of the paper verbatim (``delta+``, ``delta-``,
+``|delta|``, ``delta(n)``) plus the high-level change-pattern vocabulary the
+introduction refers to, and change logs over whole version chains.
+"""
+
+from repro.deltas.changelog import ChangeLog
+from repro.deltas.highlevel import (
+    Change,
+    ChangeKind,
+    HighLevelDelta,
+    SCHEMA_KINDS,
+    detect_highlevel,
+)
+from repro.deltas.lowlevel import LowLevelDelta
+
+__all__ = [
+    "ChangeLog",
+    "Change",
+    "ChangeKind",
+    "HighLevelDelta",
+    "SCHEMA_KINDS",
+    "detect_highlevel",
+    "LowLevelDelta",
+]

@@ -1,0 +1,79 @@
+"""Change logs: deltas across an entire version chain.
+
+A :class:`ChangeLog` wraps a :class:`~repro.kb.version.VersionedKnowledgeBase`
+and lazily computes (and caches) the low-level and high-level delta of every
+consecutive version pair, plus aggregates the measures layer consumes:
+cumulative per-term change counts and per-step sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.deltas.highlevel import HighLevelDelta, detect_highlevel
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.errors import VersionError
+from repro.kb.terms import Term
+from repro.kb.version import VersionedKnowledgeBase
+
+
+class ChangeLog:
+    """Cached deltas over the version chain of a knowledge base."""
+
+    def __init__(self, kb: VersionedKnowledgeBase) -> None:
+        self._kb = kb
+        self._low: Dict[Tuple[str, str], LowLevelDelta] = {}
+        self._high: Dict[Tuple[str, str], HighLevelDelta] = {}
+
+    @property
+    def kb(self) -> VersionedKnowledgeBase:
+        """The underlying versioned knowledge base."""
+        return self._kb
+
+    def lowlevel(self, old_id: str, new_id: str) -> LowLevelDelta:
+        """The low-level delta between two (not necessarily adjacent) versions."""
+        key = (old_id, new_id)
+        if key not in self._low:
+            old = self._kb.version(old_id)
+            new = self._kb.version(new_id)
+            self._low[key] = LowLevelDelta.compute(old.graph, new.graph)
+        return self._low[key]
+
+    def highlevel(self, old_id: str, new_id: str) -> HighLevelDelta:
+        """The high-level delta between two versions."""
+        key = (old_id, new_id)
+        if key not in self._high:
+            old = self._kb.version(old_id)
+            new = self._kb.version(new_id)
+            self._high[key] = detect_highlevel(
+                self.lowlevel(old_id, new_id), old.schema, new.schema
+            )
+        return self._high[key]
+
+    def step_deltas(self) -> List[LowLevelDelta]:
+        """Low-level deltas of every consecutive pair, in chain order."""
+        return [
+            self.lowlevel(old.version_id, new.version_id) for old, new in self._kb.pairs()
+        ]
+
+    def step_sizes(self) -> List[int]:
+        """``|delta|`` per consecutive pair, in chain order."""
+        return [d.size for d in self.step_deltas()]
+
+    def total_change_counts(self) -> Dict[Term, int]:
+        """Per-term change counts summed over every consecutive step."""
+        totals: Dict[Term, int] = {}
+        for delta in self.step_deltas():
+            for term, count in delta.change_counts().items():
+                totals[term] = totals.get(term, 0) + count
+        return totals
+
+    def end_to_end(self) -> LowLevelDelta:
+        """The delta between the first and latest version.
+
+        Raises :class:`~repro.kb.errors.VersionError` when the chain has
+        fewer than two versions (there is no evolution to describe).
+        """
+        if len(self._kb) < 2:
+            raise VersionError("need at least two versions for an end-to-end delta")
+        return self.lowlevel(self._kb.first().version_id, self._kb.latest().version_id)

@@ -1,0 +1,370 @@
+"""High-level deltas: complex change patterns over low-level triples.
+
+The paper's introduction distinguishes "low-level deltas (describing simple
+additions and deletions)" from "high-level deltas (describing complex
+updates, such as different change patterns in the subsumption hierarchy)".
+This module detects such patterns, in the spirit of Roussakis et al. [11]:
+a :class:`HighLevelDelta` is a list of :class:`Change` records, each of which
+*consumes* one or more low-level triples.  Low-level triples not claimed by
+any pattern are reported as generic ``ADD_TRIPLE`` / ``DELETE_TRIPLE``
+changes, so the high-level delta always explains the low-level delta exactly
+(tested as an invariant).
+
+Detected patterns
+-----------------
+
+================== ==========================================================
+``ADD_CLASS``      a new class appears (its type triple was added)
+``DELETE_CLASS``   a class disappears
+``MOVE_CLASS``     a class's superclass changed (paired delete+add of
+                   ``rdfs:subClassOf`` for the same subject)
+``ADD_SUBCLASS``   a subsumption link was added (no matching delete)
+``DELETE_SUBCLASS``a subsumption link was removed (no matching add)
+``ADD_PROPERTY``   a new property appears
+``DELETE_PROPERTY``a property disappears
+``CHANGE_DOMAIN``  a property's domain changed (paired delete+add)
+``CHANGE_RANGE``   a property's range changed (paired delete+add)
+``RETYPE_INSTANCE``an instance's class changed (paired delete+add of type)
+``ADD_INSTANCE``   an instance was typed into a class (no matching delete)
+``DELETE_INSTANCE``an instance typing was removed
+``ADD_LINK``       an instance-level object link was added
+``DELETE_LINK``    an instance-level object link was removed
+``CHANGE_ATTRIBUTE`` a literal attribute value changed (paired delete+add)
+``ADD_ATTRIBUTE``  a literal attribute was added
+``DELETE_ATTRIBUTE`` a literal attribute was removed
+``ADD_TRIPLE`` / ``DELETE_TRIPLE`` anything not matched above
+================== ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+)
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI, Literal, Term
+from repro.kb.triples import Triple
+
+
+class ChangeKind(enum.Enum):
+    """The vocabulary of high-level change patterns."""
+
+    ADD_CLASS = "add_class"
+    DELETE_CLASS = "delete_class"
+    MOVE_CLASS = "move_class"
+    ADD_SUBCLASS = "add_subclass"
+    DELETE_SUBCLASS = "delete_subclass"
+    ADD_PROPERTY = "add_property"
+    DELETE_PROPERTY = "delete_property"
+    CHANGE_DOMAIN = "change_domain"
+    CHANGE_RANGE = "change_range"
+    RETYPE_INSTANCE = "retype_instance"
+    ADD_INSTANCE = "add_instance"
+    DELETE_INSTANCE = "delete_instance"
+    ADD_LINK = "add_link"
+    DELETE_LINK = "delete_link"
+    CHANGE_ATTRIBUTE = "change_attribute"
+    ADD_ATTRIBUTE = "add_attribute"
+    DELETE_ATTRIBUTE = "delete_attribute"
+    ADD_TRIPLE = "add_triple"
+    DELETE_TRIPLE = "delete_triple"
+
+
+#: Kinds that describe schema (class/property) evolution rather than data.
+SCHEMA_KINDS: FrozenSet[ChangeKind] = frozenset(
+    {
+        ChangeKind.ADD_CLASS,
+        ChangeKind.DELETE_CLASS,
+        ChangeKind.MOVE_CLASS,
+        ChangeKind.ADD_SUBCLASS,
+        ChangeKind.DELETE_SUBCLASS,
+        ChangeKind.ADD_PROPERTY,
+        ChangeKind.DELETE_PROPERTY,
+        ChangeKind.CHANGE_DOMAIN,
+        ChangeKind.CHANGE_RANGE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Change:
+    """One high-level change.
+
+    ``subject`` is the primary resource the change is about (the class, the
+    property, or the instance); ``detail`` holds secondary terms (old/new
+    superclass, the class an instance joined, ...); ``consumed`` is the set
+    of low-level triples this pattern explains.
+    """
+
+    kind: ChangeKind
+    subject: Term
+    detail: Tuple[Term, ...] = ()
+    consumed: FrozenSet[Triple] = field(default_factory=frozenset)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        names = ", ".join(_short(t) for t in self.detail)
+        base = f"{self.kind.value}({_short(self.subject)}"
+        return f"{base}; {names})" if names else f"{base})"
+
+
+def _short(term: Term) -> str:
+    if isinstance(term, IRI):
+        return term.local_name
+    return str(term)
+
+
+@dataclass(frozen=True)
+class HighLevelDelta:
+    """A list of high-level changes explaining a low-level delta."""
+
+    changes: Tuple[Change, ...]
+    source: LowLevelDelta
+
+    @property
+    def size(self) -> int:
+        """Number of high-level change records."""
+        return len(self.changes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Low-level changes explained per high-level record.
+
+        Greater than 1 whenever patterns aggregate several triples; it can
+        dip below 1 only in corner cases where one triple witnesses several
+        schema facts at once (e.g. a lone subClassOf link between two
+        brand-new classes).  An empty delta has ratio 1.0 by convention.
+        """
+        if not self.changes:
+            return 1.0
+        return self.source.size / len(self.changes)
+
+    def by_kind(self) -> Dict[ChangeKind, List[Change]]:
+        """Group changes by kind."""
+        grouped: Dict[ChangeKind, List[Change]] = {}
+        for change in self.changes:
+            grouped.setdefault(change.kind, []).append(change)
+        return grouped
+
+    def count(self, kind: ChangeKind) -> int:
+        """Number of changes of ``kind``."""
+        return sum(1 for c in self.changes if c.kind is kind)
+
+    def schema_changes(self) -> Tuple[Change, ...]:
+        """Changes affecting schema elements (classes/properties)."""
+        return tuple(c for c in self.changes if c.kind in SCHEMA_KINDS)
+
+    def data_changes(self) -> Tuple[Change, ...]:
+        """Changes affecting instance data."""
+        return tuple(c for c in self.changes if c.kind not in SCHEMA_KINDS)
+
+    def changes_about(self, term: Term) -> Tuple[Change, ...]:
+        """Changes whose subject or detail mentions ``term``."""
+        return tuple(
+            c for c in self.changes if c.subject == term or term in c.detail
+        )
+
+
+def detect_highlevel(
+    delta: LowLevelDelta, old_schema: SchemaView, new_schema: SchemaView
+) -> HighLevelDelta:
+    """Detect high-level change patterns in ``delta``.
+
+    ``old_schema`` / ``new_schema`` are the schema views of the two versions
+    the delta connects; they decide whether a type assertion concerns a class
+    or an instance, and whether a predicate is an attribute or a link.
+    """
+    changes: List[Change] = []
+    consumed: Set[Triple] = set()
+
+    old_classes = old_schema.classes()
+    new_classes = new_schema.classes()
+    old_props = old_schema.properties()
+    new_props = new_schema.properties()
+    all_classes = old_classes | new_classes
+    all_props = old_props | new_props
+
+    added = delta.added
+    deleted = delta.deleted
+
+    def claim(kind: ChangeKind, subject: Term, detail: Sequence[Term], triples: Sequence[Triple]) -> None:
+        triple_set = frozenset(triples)
+        changes.append(Change(kind, subject, tuple(detail), triple_set))
+        consumed.update(triple_set)
+
+    # --- class appearance / disappearance --------------------------------------
+    # Evidence is restricted to *declarations* of the class (triples with the
+    # class as subject, or as the object of a schema predicate): instance
+    # typings into a new class stay visible as ADD_INSTANCE records.
+    schema_object_preds = {RDFS_SUBCLASSOF, RDFS_DOMAIN, RDFS_RANGE}
+
+    def _class_declarations(bucket: FrozenSet[Triple], cls: Term) -> List[Triple]:
+        return [
+            t
+            for t in bucket
+            if t.subject == cls
+            or (t.object == cls and t.predicate in schema_object_preds)
+        ]
+
+    # Classes that exist only implicitly (as the object of typings, with no
+    # declaration triples) yield no ADD/DELETE_CLASS record of their own --
+    # their appearance is fully described by the ADD/DELETE_INSTANCE records.
+    appeared_classes = new_classes - old_classes
+    vanished_classes = old_classes - new_classes
+    for cls in sorted(appeared_classes, key=lambda c: c.value):
+        evidence = _class_declarations(added, cls)
+        if evidence:
+            claim(ChangeKind.ADD_CLASS, cls, (), evidence)
+    for cls in sorted(vanished_classes, key=lambda c: c.value):
+        evidence = _class_declarations(deleted, cls)
+        if evidence:
+            claim(ChangeKind.DELETE_CLASS, cls, (), evidence)
+
+    # --- property appearance / disappearance ------------------------------------
+    # Evidence is the property's own declarations; data triples *using* the
+    # property stay visible as ADD_LINK / ADD_ATTRIBUTE records.
+    # As with classes, properties that exist only through usage (no
+    # declaration triples) produce no ADD/DELETE_PROPERTY record: the
+    # link/attribute records already explain those low-level triples.
+    appeared_props = new_props - old_props
+    vanished_props = old_props - new_props
+    for prop in sorted(appeared_props, key=lambda p: p.value):
+        evidence = [t for t in added if t.subject == prop]
+        if evidence:
+            claim(ChangeKind.ADD_PROPERTY, prop, (), evidence)
+    for prop in sorted(vanished_props, key=lambda p: p.value):
+        evidence = [t for t in deleted if t.subject == prop]
+        if evidence:
+            claim(ChangeKind.DELETE_PROPERTY, prop, (), evidence)
+
+    # --- subsumption patterns (only for surviving classes) -----------------------
+    sub_added = {
+        t for t in added if t.predicate == RDFS_SUBCLASSOF and t not in consumed
+    }
+    sub_deleted = {
+        t for t in deleted if t.predicate == RDFS_SUBCLASSOF and t not in consumed
+    }
+    by_subject_added: Dict[Term, List[Triple]] = {}
+    for t in sub_added:
+        by_subject_added.setdefault(t.subject, []).append(t)
+    for t in sorted(sub_deleted, key=lambda x: x._sort_key()):
+        partners = by_subject_added.get(t.subject, [])
+        if partners:
+            partner = partners.pop(0)
+            claim(
+                ChangeKind.MOVE_CLASS,
+                t.subject,
+                (t.object, partner.object),  # (old superclass, new superclass)
+                (t, partner),
+            )
+            sub_added.discard(partner)
+        else:
+            claim(ChangeKind.DELETE_SUBCLASS, t.subject, (t.object,), (t,))
+    for t in sorted(sub_added, key=lambda x: x._sort_key()):
+        claim(ChangeKind.ADD_SUBCLASS, t.subject, (t.object,), (t,))
+
+    # --- domain / range changes ---------------------------------------------------
+    for predicate, kind in ((RDFS_DOMAIN, ChangeKind.CHANGE_DOMAIN), (RDFS_RANGE, ChangeKind.CHANGE_RANGE)):
+        decl_added = {t for t in added if t.predicate == predicate and t not in consumed}
+        decl_deleted = {t for t in deleted if t.predicate == predicate and t not in consumed}
+        added_by_prop: Dict[Term, List[Triple]] = {}
+        for t in decl_added:
+            added_by_prop.setdefault(t.subject, []).append(t)
+        for t in sorted(decl_deleted, key=lambda x: x._sort_key()):
+            partners = added_by_prop.get(t.subject, [])
+            if partners:
+                partner = partners.pop(0)
+                claim(kind, t.subject, (t.object, partner.object), (t, partner))
+
+    # --- instance typing patterns ---------------------------------------------------
+    type_added = {
+        t
+        for t in added
+        if t.predicate == RDF_TYPE
+        and t not in consumed
+        and t.object in all_classes
+        and t.subject not in all_classes
+        and t.subject not in all_props
+    }
+    type_deleted = {
+        t
+        for t in deleted
+        if t.predicate == RDF_TYPE
+        and t not in consumed
+        and t.object in all_classes
+        and t.subject not in all_classes
+        and t.subject not in all_props
+    }
+    retype_added_by_subject: Dict[Term, List[Triple]] = {}
+    for t in type_added:
+        retype_added_by_subject.setdefault(t.subject, []).append(t)
+    for t in sorted(type_deleted, key=lambda x: x._sort_key()):
+        partners = retype_added_by_subject.get(t.subject, [])
+        if partners:
+            partner = partners.pop(0)
+            claim(
+                ChangeKind.RETYPE_INSTANCE,
+                t.subject,
+                (t.object, partner.object),
+                (t, partner),
+            )
+            type_added.discard(partner)
+        else:
+            claim(ChangeKind.DELETE_INSTANCE, t.subject, (t.object,), (t,))
+    for t in sorted(type_added, key=lambda x: x._sort_key()):
+        claim(ChangeKind.ADD_INSTANCE, t.subject, (t.object,), (t,))
+
+    # --- attribute changes (literal objects), link changes (resource objects) -------
+    attr_added = {
+        t for t in added if isinstance(t.object, Literal) and t not in consumed
+    }
+    attr_deleted = {
+        t for t in deleted if isinstance(t.object, Literal) and t not in consumed
+    }
+    attr_added_by_key: Dict[Tuple[Term, Term], List[Triple]] = {}
+    for t in attr_added:
+        attr_added_by_key.setdefault((t.subject, t.predicate), []).append(t)
+    for t in sorted(attr_deleted, key=lambda x: x._sort_key()):
+        partners = attr_added_by_key.get((t.subject, t.predicate), [])
+        if partners:
+            partner = partners.pop(0)
+            claim(
+                ChangeKind.CHANGE_ATTRIBUTE,
+                t.subject,
+                (t.predicate, t.object, partner.object),
+                (t, partner),
+            )
+            attr_added.discard(partner)
+        else:
+            claim(ChangeKind.DELETE_ATTRIBUTE, t.subject, (t.predicate, t.object), (t,))
+    for t in sorted(attr_added, key=lambda x: x._sort_key()):
+        claim(ChangeKind.ADD_ATTRIBUTE, t.subject, (t.predicate, t.object), (t,))
+
+    for t in sorted(added, key=lambda x: x._sort_key()):
+        if t in consumed:
+            continue
+        if t.predicate in all_props and not isinstance(t.object, Literal):
+            claim(ChangeKind.ADD_LINK, t.subject, (t.predicate, t.object), (t,))
+    for t in sorted(deleted, key=lambda x: x._sort_key()):
+        if t in consumed:
+            continue
+        if t.predicate in all_props and not isinstance(t.object, Literal):
+            claim(ChangeKind.DELETE_LINK, t.subject, (t.predicate, t.object), (t,))
+
+    # --- anything left over ------------------------------------------------------------
+    for t in sorted(added, key=lambda x: x._sort_key()):
+        if t not in consumed:
+            claim(ChangeKind.ADD_TRIPLE, t.subject, (t.predicate, t.object), (t,))
+    for t in sorted(deleted, key=lambda x: x._sort_key()):
+        if t not in consumed:
+            claim(ChangeKind.DELETE_TRIPLE, t.subject, (t.predicate, t.object), (t,))
+
+    return HighLevelDelta(changes=tuple(changes), source=delta)

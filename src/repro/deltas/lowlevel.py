@@ -1,0 +1,125 @@
+"""Low-level deltas: added and deleted triples between two versions.
+
+Section II.a of the paper, implemented verbatim:
+
+* ``delta_plus`` is the set of triples added from V1 to V2,
+* ``delta_minus`` the set deleted,
+* ``|delta| = |delta_plus| + |delta_minus|``,
+* ``delta(n)`` ("the number of changes in which a class n appears") is the
+  number of added/deleted triples mentioning the term ``n`` in any position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable
+
+from repro.kb.graph import Graph
+from repro.kb.terms import Term
+from repro.kb.triples import Triple
+
+
+@dataclass(frozen=True)
+class LowLevelDelta:
+    """The low-level delta ``(delta_plus, delta_minus)`` of an evolution step.
+
+    Instances are immutable value objects; :meth:`compute` builds them from
+    two graphs, :meth:`apply` replays them onto a graph and :meth:`invert`
+    reverses the direction of evolution.
+    """
+
+    added: FrozenSet[Triple] = field(default_factory=frozenset)
+    deleted: FrozenSet[Triple] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        overlap = self.added & self.deleted
+        if overlap:
+            sample = next(iter(overlap))
+            raise ValueError(
+                f"delta adds and deletes the same triple ({len(overlap)} overlapping, "
+                f"e.g. {sample.n3()})"
+            )
+
+    @classmethod
+    def compute(cls, old: Graph, new: Graph) -> "LowLevelDelta":
+        """The delta turning ``old`` into ``new``."""
+        return cls(
+            added=frozenset(new.difference(old)),
+            deleted=frozenset(old.difference(new)),
+        )
+
+    @classmethod
+    def from_changes(
+        cls, added: Iterable[Triple] = (), deleted: Iterable[Triple] = ()
+    ) -> "LowLevelDelta":
+        """Build a delta from explicit change sets."""
+        return cls(added=frozenset(added), deleted=frozenset(deleted))
+
+    # -- Section II.a quantities -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``|delta| = |delta+| + |delta-|`` (total number of changes)."""
+        return len(self.added) + len(self.deleted)
+
+    def change_count(self, term: Term) -> int:
+        """``delta(n)``: number of changed triples mentioning ``term``."""
+        return sum(1 for t in self.added if t.mentions(term)) + sum(
+            1 for t in self.deleted if t.mentions(term)
+        )
+
+    def changes_for(self, term: Term) -> "LowLevelDelta":
+        """The sub-delta restricted to triples mentioning ``term``."""
+        return LowLevelDelta(
+            added=frozenset(t for t in self.added if t.mentions(term)),
+            deleted=frozenset(t for t in self.deleted if t.mentions(term)),
+        )
+
+    def change_counts(self) -> Dict[Term, int]:
+        """``delta(n)`` for every term mentioned by any changed triple.
+
+        One pass over the delta instead of one scan per term; the keys are
+        exactly the terms with a non-zero count.
+        """
+        counts: Dict[Term, int] = {}
+        for bucket in (self.added, self.deleted):
+            for triple in bucket:
+                # A term mentioned in several positions of one triple still
+                # counts that triple once.
+                for term in {triple.subject, triple.predicate, triple.object}:
+                    counts[term] = counts.get(term, 0) + 1
+        return counts
+
+    # -- replay --------------------------------------------------------------------
+
+    def apply(self, graph: Graph) -> Graph:
+        """A new graph: ``graph`` with this delta applied (graph is not mutated)."""
+        result = graph.copy()
+        result.remove_all(self.deleted)
+        result.add_all(self.added)
+        return result
+
+    def invert(self) -> "LowLevelDelta":
+        """The delta of the reverse evolution (swap added and deleted)."""
+        return LowLevelDelta(added=self.deleted, deleted=self.added)
+
+    def compose(self, later: "LowLevelDelta") -> "LowLevelDelta":
+        """The delta equivalent to applying ``self`` then ``later``.
+
+        Composition cancels changes that the later delta undoes, so the
+        result applied to V1 equals ``later.apply(self.apply(V1))`` whenever
+        both deltas were computed from actual version pairs.
+        """
+        added = (self.added - later.deleted) | later.added
+        deleted = (self.deleted - later.added) | later.deleted
+        return LowLevelDelta(added=added, deleted=deleted)
+
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return not self.added and not self.deleted
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"LowLevelDelta(+{len(self.added)}, -{len(self.deleted)})"

@@ -1,0 +1,40 @@
+"""Evaluation framework (system S18): metrics, tables, experiment harness."""
+
+from repro.eval.harness import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.eval.metrics import (
+    average_precision,
+    dcg_at_k,
+    gini_coefficient,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    recall_at_k,
+    reciprocal_rank,
+    top_k_overlap,
+)
+from repro.eval.tables import TextTable, format_cell
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "run_all",
+    "run_experiment",
+    "average_precision",
+    "dcg_at_k",
+    "gini_coefficient",
+    "kendall_tau",
+    "ndcg_at_k",
+    "precision_at_k",
+    "rank_biased_overlap",
+    "recall_at_k",
+    "reciprocal_rank",
+    "top_k_overlap",
+    "TextTable",
+    "format_cell",
+]

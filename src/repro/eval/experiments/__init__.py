@@ -1,0 +1,1 @@
+"""The derived experiment suite (one module per table/figure in DESIGN.md)."""

@@ -1,0 +1,95 @@
+"""Shared workload helpers for the experiment suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.measures.base import TargetKind
+from repro.profiles.user import User
+from repro.recommender.items import RecommendationItem
+from repro.synthetic.config import (
+    EvolutionConfig,
+    InstanceConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.world import SyntheticWorld, generate_world
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer workload parameter, keeping a sane floor."""
+    return max(minimum, int(round(value * scale)))
+
+
+def make_world(
+    scale: float = 1.0,
+    seed: int = 0,
+    n_classes: int = 120,
+    n_properties: int = 80,
+    n_versions: int = 3,
+    changes_per_version: int = 150,
+    hotspot_concentration: float = 0.8,
+    n_hotspots: int = 4,
+    n_users: int = 12,
+    events_per_user: int = 30,
+    feedback_noise: float = 0.15,
+    hotspot_affinity: float = 0.5,
+    group_size: int = 4,
+) -> SyntheticWorld:
+    """The standard experiment world, scaled by ``scale``."""
+    config = WorldConfig(
+        schema=SchemaConfig(
+            n_classes=scaled(n_classes, scale, minimum=10),
+            n_properties=scaled(n_properties, scale, minimum=5),
+        ),
+        instances=InstanceConfig(base_instances_per_class=12),
+        evolution=EvolutionConfig(
+            n_versions=n_versions,
+            changes_per_version=scaled(changes_per_version, scale, minimum=20),
+            n_hotspots=n_hotspots,
+            hotspot_concentration=hotspot_concentration,
+        ),
+        # Users are not scaled: they are cheap to generate, and statistical
+        # components (collaborative filtering, group studies) need a stable
+        # population size regardless of how much the KB is shrunk.
+        users=UserConfig(
+            n_users=n_users,
+            events_per_user=events_per_user,
+            feedback_noise=feedback_noise,
+            hotspot_affinity=hotspot_affinity,
+        ),
+    )
+    return generate_world(seed=seed, config=config, group_size=group_size)
+
+
+def ground_truth_relevance(user: User, item: RecommendationItem) -> float:
+    """The planted relevance of an item to a synthetic user, in [0, 1].
+
+    Synthetic profiles *are* the ground truth (they were generated, not
+    learned): relevance is interest in the target class times the user's
+    (unit-capped) preference for the measure's family.
+    """
+    interest = min(1.0, user.profile.interest_in(item.target))
+    family = min(1.0, user.profile.family_preference(item.family))
+    return interest * family
+
+
+def class_items(items: Sequence[RecommendationItem]) -> List[RecommendationItem]:
+    """Only the class-target items (ground truth is class-based)."""
+    return [item for item in items if item.target_kind is TargetKind.CLASS]
+
+
+def relevance_by_key(
+    user: User, items: Sequence[RecommendationItem]
+) -> Dict[str, float]:
+    """Ground-truth relevance per item key."""
+    return {item.key: ground_truth_relevance(user, item) for item in items}
+
+
+def random_ranking(items: Sequence[RecommendationItem], seed: int) -> List[str]:
+    """The random baseline: a seeded shuffle of the item keys."""
+    keys = [item.key for item in items]
+    random.Random(seed).shuffle(keys)
+    return keys

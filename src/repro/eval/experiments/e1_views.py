@@ -1,0 +1,84 @@
+"""E1 (Table 1): different measures expose different views of evolution.
+
+Claim (Section II.d): "there are many different views of evolution that we
+could consider according to the user's interest."  If the views were
+redundant, recommending *measures* would be pointless; the experiment
+quantifies their disagreement: Kendall tau and top-10 overlap between the
+class rankings of every pair of class-target measures in the catalogue.
+
+Expected shape: measures within one family agree more than measures across
+families; at least one cross-family pair has low agreement (tau well below
+1), confirming that the catalogue spans genuinely different views.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List
+
+from repro.eval.experiments.common import make_world
+from repro.eval.harness import ExperimentResult
+from repro.eval.metrics import kendall_tau, top_k_overlap
+from repro.eval.tables import TextTable
+from repro.measures.base import TargetKind
+from repro.measures.catalog import default_catalog
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run E1 (see module docstring)."""
+    world = make_world(scale=scale, seed=101)
+    context = world.latest_context()
+    catalog = default_catalog()
+    results = catalog.compute_all(context)
+
+    rankings: Dict[str, List] = {}
+    families: Dict[str, str] = {}
+    for name, result in results.items():
+        if result.target_kind is not TargetKind.CLASS:
+            continue
+        rankings[name] = result.ranking()
+        families[name] = catalog.get(name).family.value
+
+    table = TextTable(
+        title="E1: pairwise agreement between measure rankings (classes)",
+        columns=["measure a", "measure b", "same family", "kendall tau", "top-10 overlap"],
+    )
+    taus_within: List[float] = []
+    taus_across: List[float] = []
+    for a, b in combinations(sorted(rankings), 2):
+        tau = kendall_tau(rankings[a], rankings[b])
+        overlap = top_k_overlap(rankings[a], rankings[b], k=10)
+        same_family = families[a] == families[b]
+        (taus_within if same_family else taus_across).append(tau)
+        table.add_row(a, b, same_family, tau, overlap)
+
+    mean_within = sum(taus_within) / len(taus_within) if taus_within else 1.0
+    mean_across = sum(taus_across) / len(taus_across) if taus_across else 1.0
+
+    summary = TextTable(
+        title="E1 summary: mean tau by family relation",
+        columns=["relation", "mean kendall tau", "pairs"],
+    )
+    summary.add_row("same family", mean_within, len(taus_within))
+    summary.add_row("cross family", mean_across, len(taus_across))
+
+    return ExperimentResult(
+        experiment_id="e1",
+        title="Measures expose different views of evolution",
+        claim=(
+            "'there are many different views of evolution that we could "
+            "consider according to the user's interest' (Section II.d)"
+        ),
+        tables=[table, summary],
+        shape_checks={
+            "some cross-family pair disagrees substantially (tau < 0.6)": any(
+                t < 0.6 for t in taus_across
+            ),
+            "no pair of distinct measures is identical (tau < 1 for all)": all(
+                t < 1.0 for t in taus_across + taus_within
+            ),
+            "within-family agreement exceeds cross-family agreement": mean_within
+            > mean_across,
+        },
+        notes=f"world: {len(context.union_classes())} classes, seed 101",
+    )

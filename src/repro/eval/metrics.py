@@ -1,0 +1,152 @@
+"""Information-retrieval and ranking metrics, implemented from scratch.
+
+All ranking metrics take a *ranked list* of item identifiers (best first)
+and a ground-truth structure (a relevance mapping or a relevant-set), and
+return values in [0, 1] unless stated otherwise.  Identifiers can be any
+hashable type (item keys, IRIs, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Hashable, Mapping, Sequence, Set
+
+Item = Hashable
+
+
+def precision_at_k(ranking: Sequence[Item], relevant: Set[Item], k: int) -> float:
+    """Fraction of the top-``k`` that is relevant (0.0 for k = 0)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k == 0:
+        return 0.0
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / k
+
+
+def recall_at_k(ranking: Sequence[Item], relevant: Set[Item], k: int) -> float:
+    """Fraction of the relevant set found in the top-``k`` (1.0 if none exist)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if not relevant:
+        return 1.0
+    return sum(1 for item in ranking[:k] if item in relevant) / len(relevant)
+
+
+def reciprocal_rank(ranking: Sequence[Item], relevant: Set[Item]) -> float:
+    """1 / rank of the first relevant item (0.0 when none is ranked)."""
+    for index, item in enumerate(ranking, start=1):
+        if item in relevant:
+            return 1.0 / index
+    return 0.0
+
+
+def average_precision(ranking: Sequence[Item], relevant: Set[Item]) -> float:
+    """Mean of precision@hit over relevant positions (0.0 when none ranked)."""
+    if not relevant:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for index, item in enumerate(ranking, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / index
+    if hits == 0:
+        return 0.0
+    return total / len(relevant)
+
+
+def dcg_at_k(ranking: Sequence[Item], relevance: Mapping[Item, float], k: int) -> float:
+    """Discounted cumulative gain with log2 discounts (unbounded)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return sum(
+        relevance.get(item, 0.0) / math.log2(position + 1)
+        for position, item in enumerate(ranking[:k], start=1)
+    )
+
+
+def ndcg_at_k(ranking: Sequence[Item], relevance: Mapping[Item, float], k: int) -> float:
+    """Normalised DCG: DCG over the ideal DCG (1.0 for an empty truth)."""
+    ideal_order = sorted(relevance, key=lambda item: -relevance[item])
+    ideal = dcg_at_k(ideal_order, relevance, k)
+    if ideal <= 0.0:
+        return 1.0
+    return dcg_at_k(ranking, relevance, k) / ideal
+
+
+def kendall_tau(ranking_a: Sequence[Item], ranking_b: Sequence[Item]) -> float:
+    """Kendall's tau-a between two rankings of the same item set, in [-1, 1].
+
+    Both rankings must contain exactly the same items; rankings of fewer
+    than two items have tau 1.0 by convention.
+    """
+    if set(ranking_a) != set(ranking_b):
+        raise ValueError("rankings must contain the same items")
+    if len(ranking_a) != len(set(ranking_a)):
+        raise ValueError("rankings must not contain duplicates")
+    n = len(ranking_a)
+    if n < 2:
+        return 1.0
+    position_b = {item: index for index, item in enumerate(ranking_b)}
+    concordant = 0
+    discordant = 0
+    for (i, a), (j, b) in combinations(enumerate(ranking_a), 2):
+        if (position_b[a] < position_b[b]) == (i < j):
+            concordant += 1
+        else:
+            discordant += 1
+    return (concordant - discordant) / (concordant + discordant)
+
+
+def rank_biased_overlap(
+    ranking_a: Sequence[Item], ranking_b: Sequence[Item], p: float = 0.9
+) -> float:
+    """Rank-biased overlap (Webber et al.) of two possibly different lists.
+
+    Top-weighted similarity in [0, 1]; tolerant of non-identical item sets.
+    Truncated to the length of the longer list (no extrapolation).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    depth = max(len(ranking_a), len(ranking_b))
+    if depth == 0:
+        return 1.0
+    seen_a: Set[Item] = set()
+    seen_b: Set[Item] = set()
+    score = 0.0
+    for d in range(1, depth + 1):
+        if d <= len(ranking_a):
+            seen_a.add(ranking_a[d - 1])
+        if d <= len(ranking_b):
+            seen_b.add(ranking_b[d - 1])
+        overlap = len(seen_a & seen_b) / d
+        score += (p ** (d - 1)) * overlap
+    return (1.0 - p) * score
+
+
+def top_k_overlap(ranking_a: Sequence[Item], ranking_b: Sequence[Item], k: int) -> float:
+    """Jaccard overlap of the two top-``k`` sets (1.0 when both empty)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    top_a = set(ranking_a[:k])
+    top_b = set(ranking_b[:k])
+    if not top_a and not top_b:
+        return 1.0
+    return len(top_a & top_b) / len(top_a | top_b)
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini inequality of non-negative values (0 = even; 0.0 for empty/all-zero)."""
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    ordered = sorted(values)
+    total = sum(ordered)
+    n = len(ordered)
+    if n == 0 or total <= 0.0:
+        return 0.0
+    cumulative = sum((index + 1) * value for index, value in enumerate(ordered))
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,29 @@
+"""Graph algorithms implemented from scratch (system S7 in DESIGN.md).
+
+The structural evolution measures of Section II.c need betweenness and
+bridging centrality over the class-level graph of a knowledge-base version.
+These are implemented here on a plain adjacency representation
+(:class:`UndirectedGraph`) with no third-party dependencies; the test suite
+cross-checks them against networkx on random graphs.
+"""
+
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.graphtools.betweenness import betweenness_centrality
+from repro.graphtools.bridging import bridging_centrality, bridging_coefficient
+from repro.graphtools.spread import spread_interest
+from repro.graphtools.traversal import (
+    bfs_distances,
+    connected_components,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "betweenness_centrality",
+    "bridging_centrality",
+    "bridging_coefficient",
+    "spread_interest",
+    "bfs_distances",
+    "connected_components",
+    "shortest_path_lengths",
+]

@@ -1,0 +1,92 @@
+"""A minimal undirected graph over hashable nodes.
+
+This is the substrate for the structural centrality algorithms.  Nodes can be
+any hashable value; the measure layer uses :class:`~repro.kb.terms.IRI`
+class terms.  Parallel edges collapse and self-loops are ignored (they do not
+affect shortest-path centralities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+Node = Hashable
+
+
+class UndirectedGraph:
+    """An undirected simple graph: adjacency sets over hashable nodes.
+
+    >>> g = UndirectedGraph()
+    >>> g.add_edge("a", "b")
+    >>> sorted(g.neighbors("a"))
+    ['b']
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[Node, Node]] = (),
+        nodes: Iterable[Node] = (),
+    ) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists (no-op if already present)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, a: Node, b: Node) -> None:
+        """Add the undirected edge ``{a, b}``; self-loops are ignored."""
+        self.add_node(a)
+        self.add_node(b)
+        if a == b:
+            return
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    def remove_edge(self, a: Node, b: Node) -> None:
+        """Remove edge ``{a, b}`` if present."""
+        if a in self._adj:
+            self._adj[a].discard(b)
+        if b in self._adj:
+            self._adj[b].discard(a)
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """The neighbour set of ``node`` (raises ``KeyError`` if unknown)."""
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self._adj[node])
+
+    def has_edge(self, a: Node, b: Node) -> bool:
+        """True if the undirected edge ``{a, b}`` is present."""
+        return a in self._adj and b in self._adj[a]
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate all nodes."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate each undirected edge exactly once."""
+        seen: Set[Node] = set()
+        for node, neighbours in self._adj.items():
+            for other in neighbours:
+                if other not in seen:
+                    yield (node, other)
+            seen.add(node)
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(n) for n in self._adj.values()) // 2
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph(<{len(self)} nodes, {self.edge_count()} edges>)"

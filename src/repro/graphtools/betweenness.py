@@ -1,0 +1,82 @@
+"""Betweenness centrality via Brandes' algorithm.
+
+Section II.c: "the Betweenness of a class/node counts the number of the
+shortest paths from all nodes to all others that pass through that node."
+Brandes (2001) computes exact betweenness for all nodes in
+``O(|V| * |E|)`` on unweighted graphs by accumulating pair dependencies
+during one BFS per source.
+
+Implementation note: nodes are relabelled to dense integers and adjacency
+is flattened to index lists before the per-source loops -- on the class
+graphs this library produces (IRI nodes), avoiding per-visit hashing makes
+the full-catalogue evaluation several times faster (experiment E10).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List
+
+from repro.graphtools.adjacency import UndirectedGraph
+
+Node = Hashable
+
+
+def betweenness_centrality(
+    graph: UndirectedGraph, normalized: bool = True
+) -> Dict[Node, float]:
+    """Exact betweenness centrality of every node.
+
+    With ``normalized=True`` scores are divided by ``(n-1)(n-2)/2`` (the
+    number of node pairs excluding the node itself), matching networkx's
+    convention for undirected graphs; graphs with fewer than three nodes get
+    all-zero scores.
+    """
+    nodes: List[Node] = list(graph.nodes())
+    n = len(nodes)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    adjacency: List[List[int]] = [
+        [index_of[neighbour] for neighbour in graph.neighbors(node)] for node in nodes
+    ]
+
+    centrality = [0.0] * n
+    for source in range(n):
+        # Single-source shortest paths (BFS, unweighted).
+        stack: List[int] = []
+        predecessors: List[List[int]] = [[] for _ in range(n)]
+        sigma = [0.0] * n
+        sigma[source] = 1.0
+        distance = [-1] * n
+        distance[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            stack.append(node)
+            node_distance = distance[node]
+            node_sigma = sigma[node]
+            for neighbour in adjacency[node]:
+                if distance[neighbour] < 0:
+                    distance[neighbour] = node_distance + 1
+                    queue.append(neighbour)
+                if distance[neighbour] == node_distance + 1:
+                    sigma[neighbour] += node_sigma
+                    predecessors[neighbour].append(node)
+
+        # Dependency accumulation, farthest-first.
+        delta = [0.0] * n
+        while stack:
+            node = stack.pop()
+            coefficient = (1.0 + delta[node]) / sigma[node]
+            for pred in predecessors[node]:
+                delta[pred] += sigma[pred] * coefficient
+            if node != source:
+                centrality[node] += delta[node]
+
+    # Each undirected pair was counted twice (once per endpoint as source).
+    scale = 0.5
+    if normalized:
+        if n > 2:
+            scale /= (n - 1) * (n - 2) / 2.0
+        else:
+            return {node: 0.0 for node in nodes}
+    return {node: centrality[index] * scale for index, node in enumerate(nodes)}

@@ -1,0 +1,27 @@
+"""Persistence: knowledge bases, users, feedback and packages on disk."""
+
+from repro.io.storage import (
+    load_feedback,
+    load_graph,
+    load_kb,
+    load_users,
+    package_to_dict,
+    save_feedback,
+    save_graph,
+    save_kb,
+    save_package,
+    save_users,
+)
+
+__all__ = [
+    "load_feedback",
+    "load_graph",
+    "load_kb",
+    "load_users",
+    "package_to_dict",
+    "save_feedback",
+    "save_graph",
+    "save_kb",
+    "save_package",
+    "save_users",
+]

@@ -1,0 +1,204 @@
+"""File formats for the library's artefacts.
+
+Everything uses open formats so external tools can interoperate:
+
+* graphs -- N-Triples (``.nt``),
+* knowledge bases -- a directory of per-version ``.nt`` files plus a
+  ``manifest.json`` (name, version order, metadata),
+* users -- JSON (ids, names, class weights by IRI, family weights),
+* feedback -- JSON Lines, one event per line,
+* recommendation packages -- JSON (audience, ranked items, explanations).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.kb.graph import Graph
+from repro.kb.ntriples import parse_graph, serialize
+from repro.kb.terms import IRI
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import MeasureFamily
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.items import RecommendationPackage
+
+# -- graphs -----------------------------------------------------------------------
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` as canonical N-Triples."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(serialize(graph), encoding="utf-8")
+    return path
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read an N-Triples file into a fresh graph."""
+    return parse_graph(Path(path).read_text(encoding="utf-8"))
+
+
+# -- knowledge bases ----------------------------------------------------------------
+
+_MANIFEST = "manifest.json"
+
+
+def save_kb(kb: VersionedKnowledgeBase, directory: str | Path) -> Path:
+    """Write a versioned KB as per-version ``.nt`` files plus a manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"name": kb.name, "versions": []}
+    for index, version in enumerate(kb):
+        filename = f"{index:04d}_{version.version_id}.nt"
+        save_graph(version.graph, directory / filename)
+        manifest["versions"].append(
+            {
+                "version_id": version.version_id,
+                "file": filename,
+                "metadata": dict(version.metadata),
+            }
+        )
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return directory
+
+
+def load_kb(directory: str | Path) -> VersionedKnowledgeBase:
+    """Load a versioned KB saved by :func:`save_kb`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} in {directory}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    kb = VersionedKnowledgeBase(manifest.get("name", "kb"))
+    for entry in manifest["versions"]:
+        graph = load_graph(directory / entry["file"])
+        kb.commit(
+            graph,
+            version_id=entry["version_id"],
+            metadata=entry.get("metadata", {}),
+            copy=False,
+        )
+    return kb
+
+
+# -- users -----------------------------------------------------------------------
+
+
+def save_users(users: Sequence[User], path: str | Path) -> Path:
+    """Write users (with their ground-truth profiles) to a JSON file."""
+    payload = [
+        {
+            "user_id": user.user_id,
+            "name": user.name,
+            "class_weights": {
+                cls.value: weight for cls, weight in user.profile.class_weights.items()
+            },
+            "family_weights": {
+                family.value: weight
+                for family, weight in user.profile.family_weights.items()
+            },
+        }
+        for user in users
+    ]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_users(path: str | Path) -> List[User]:
+    """Load users saved by :func:`save_users`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    users: List[User] = []
+    for entry in payload:
+        profile = InterestProfile(
+            class_weights={
+                IRI(value): weight
+                for value, weight in entry.get("class_weights", {}).items()
+            },
+            family_weights={
+                MeasureFamily(value): weight
+                for value, weight in entry.get("family_weights", {}).items()
+            },
+        )
+        users.append(
+            User(user_id=entry["user_id"], profile=profile, name=entry.get("name", ""))
+        )
+    return users
+
+
+# -- feedback -----------------------------------------------------------------------
+
+
+def save_feedback(store: FeedbackStore, path: str | Path) -> Path:
+    """Write feedback events as JSON Lines (one event per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in store:
+            handle.write(
+                json.dumps(
+                    {
+                        "user_id": event.user_id,
+                        "item_key": event.item_key,
+                        "rating": event.rating,
+                    }
+                )
+            )
+            handle.write("\n")
+    return path
+
+
+def load_feedback(path: str | Path) -> FeedbackStore:
+    """Load feedback saved by :func:`save_feedback`."""
+    store = FeedbackStore()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            store.add(
+                FeedbackEvent(
+                    user_id=entry["user_id"],
+                    item_key=entry["item_key"],
+                    rating=entry["rating"],
+                )
+            )
+    return store
+
+
+# -- packages -----------------------------------------------------------------------
+
+
+def package_to_dict(package: RecommendationPackage) -> Dict:
+    """A JSON-serialisable view of a recommendation package."""
+    return {
+        "audience": package.audience,
+        "metadata": dict(package.metadata),
+        "items": [
+            {
+                "rank": rank,
+                "measure": scored.item.measure_name,
+                "family": scored.item.family.value,
+                "target": scored.item.target.value,
+                "evolution_score": scored.item.evolution_score,
+                "utility": scored.utility,
+                "explanation": package.explanation_for(scored.item.key),
+            }
+            for rank, scored in enumerate(package, start=1)
+        ],
+    }
+
+
+def save_package(package: RecommendationPackage, path: str | Path) -> Path:
+    """Write a package to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(package_to_dict(package), indent=2), encoding="utf-8")
+    return path

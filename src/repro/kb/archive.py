@@ -1,0 +1,144 @@
+"""Archiving policies for version chains.
+
+The paper motivates deltas with, among others, "the need for accessing
+previous versions of a dataset to support historical or cross-snapshot
+queries" and cites the archiving-policy line of work (Stefanidis et al.,
+ER 2014).  Keeping every snapshot of a busy knowledge base is wasteful;
+an :class:`ArchivingPolicy` decides which versions an archive retains.
+
+Provided policies:
+
+``KeepAll``
+    The identity policy (baseline).
+``KeepLastN(n)``
+    A sliding window of the ``n`` most recent versions.
+``ChangeThreshold(min_changes)``
+    Walk the chain oldest-to-newest, keeping a version only when its
+    low-level delta from the *previously kept* version reaches
+    ``min_changes`` -- quiet periods collapse, bursts are preserved.
+``ExponentialThinning(base)``
+    Recent history at full resolution, older history exponentially
+    sparser: keeps versions at offsets 0, 1, base, base^2, ... from the
+    latest.
+
+Every policy always retains the first and the latest version, so the
+end-to-end delta of the archive equals that of the original chain (tested
+as an invariant).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Set
+
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.version import VersionedKnowledgeBase
+
+
+def _delta_size(old: Graph, new: Graph) -> int:
+    """``|delta+| + |delta-|`` without depending on the deltas layer.
+
+    (The kb package sits below :mod:`repro.deltas`; importing it here would
+    be circular.)
+    """
+    return len(new.difference(old)) + len(old.difference(new))
+
+
+class ArchivingPolicy(abc.ABC):
+    """Decides which version ids of a chain an archive keeps."""
+
+    @abc.abstractmethod
+    def select(self, kb: VersionedKnowledgeBase) -> List[str]:
+        """The version ids to keep, in chain order.
+
+        Implementations may assume a non-empty chain and must always
+        include the first and the latest version id.
+        """
+
+    def apply(self, kb: VersionedKnowledgeBase) -> VersionedKnowledgeBase:
+        """A new, thinner knowledge base containing only the kept versions."""
+        if len(kb) == 0:
+            raise VersionError("cannot archive an empty version chain")
+        keep = self.select(kb)
+        keep_set = set(keep)
+        required = {kb.first().version_id, kb.latest().version_id}
+        if not required <= keep_set:
+            raise VersionError(
+                f"{type(self).__name__} dropped a mandatory endpoint "
+                f"(kept {sorted(keep_set)}, required {sorted(required)})"
+            )
+        archive = VersionedKnowledgeBase(f"{kb.name}-archive")
+        for version in kb:
+            if version.version_id in keep_set:
+                archive.commit(
+                    version.graph,
+                    version_id=version.version_id,
+                    metadata=dict(version.metadata),
+                )
+        return archive
+
+
+class KeepAll(ArchivingPolicy):
+    """Keep every version (the baseline)."""
+
+    def select(self, kb: VersionedKnowledgeBase) -> List[str]:
+        return kb.version_ids()
+
+
+class KeepLastN(ArchivingPolicy):
+    """Keep the first version plus the ``n`` most recent ones."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self._n = n
+
+    def select(self, kb: VersionedKnowledgeBase) -> List[str]:
+        ids = kb.version_ids()
+        kept = ids[-self._n :]
+        if ids[0] not in kept:
+            kept = [ids[0], *kept]
+        return kept
+
+
+class ChangeThreshold(ArchivingPolicy):
+    """Keep a version only when enough changed since the last kept one."""
+
+    def __init__(self, min_changes: int) -> None:
+        if min_changes < 0:
+            raise ValueError(f"min_changes must be >= 0, got {min_changes}")
+        self._min_changes = min_changes
+
+    def select(self, kb: VersionedKnowledgeBase) -> List[str]:
+        versions = list(kb)
+        kept = [versions[0].version_id]
+        last_kept_graph = versions[0].graph
+        for version in versions[1:-1]:
+            if _delta_size(last_kept_graph, version.graph) >= self._min_changes:
+                kept.append(version.version_id)
+                last_kept_graph = version.graph
+        if len(versions) > 1:
+            kept.append(versions[-1].version_id)
+        return kept
+
+
+class ExponentialThinning(ArchivingPolicy):
+    """Full resolution recently, exponentially sparser into the past."""
+
+    def __init__(self, base: int = 2) -> None:
+        if base < 2:
+            raise ValueError(f"base must be >= 2, got {base}")
+        self._base = base
+
+    def select(self, kb: VersionedKnowledgeBase) -> List[str]:
+        ids = kb.version_ids()
+        n = len(ids)
+        offsets: Set[int] = {0, n - 1}  # latest and first
+        offset = 1
+        while offset < n:
+            offsets.add(offset)
+            offset *= self._base
+        # Offsets are measured backwards from the latest version.
+        kept_indices = sorted(n - 1 - off for off in offsets if 0 <= off < n)
+        return [ids[i] for i in kept_indices]

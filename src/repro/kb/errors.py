@@ -1,0 +1,36 @@
+"""Exception hierarchy for the knowledge-base substrate.
+
+All substrate errors derive from :class:`KnowledgeBaseError` so callers can
+catch one type at the API boundary while tests assert on the precise subtype.
+"""
+
+from __future__ import annotations
+
+
+class KnowledgeBaseError(Exception):
+    """Base class for every error raised by :mod:`repro.kb`."""
+
+
+class TermError(KnowledgeBaseError):
+    """An RDF term was malformed (empty IRI, bad literal, ...)."""
+
+
+class ParseError(KnowledgeBaseError):
+    """An N-Triples document could not be parsed.
+
+    Carries the 1-based line number of the offending line when known.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class VersionError(KnowledgeBaseError):
+    """A version chain was used inconsistently (unknown id, empty chain, ...)."""
+
+
+class SchemaError(KnowledgeBaseError):
+    """A schema-level lookup failed (unknown class or property)."""

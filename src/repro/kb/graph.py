@@ -1,0 +1,249 @@
+"""An in-memory indexed triple store.
+
+:class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that every
+triple-pattern shape resolves through at most two dictionary lookups before
+iteration.  The store is the substrate everything else in the library is
+built on: schema views, deltas, evolution measures and the synthetic
+generators all consume this interface.
+
+Pattern matching follows the usual convention: ``None`` is a wildcard.
+
+>>> from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+>>> g = Graph()
+>>> _ = g.add(Triple(EX.Person, RDF_TYPE, RDFS_CLASS))
+>>> sum(1 for _ in g.match(None, RDF_TYPE, None))
+1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set
+
+from repro.kb.terms import IRI, Term
+from repro.kb.triples import Triple
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+class Graph:
+    """A set of triples with SPO/POS/OSP indexes.
+
+    The container API (``len``, ``in``, iteration) treats the graph as a set
+    of :class:`~repro.kb.triples.Triple`.  Iteration order is unspecified;
+    use :meth:`sorted_triples` for canonical order.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        for triple in triples:
+            self.add(triple)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add ``triple``; return True if it was not already present."""
+        if not isinstance(triple, Triple):
+            raise TypeError(f"expected Triple, got {type(triple).__name__}")
+        s, p, o = triple.subject, triple.predicate, triple.object
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add every triple in ``triples``; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove ``triple``; return True if it was present."""
+        s, p, o = triple.subject, triple.predicate, triple.object
+        by_pred = self._spo.get(s)
+        if by_pred is None or p not in by_pred or o not in by_pred[p]:
+            return False
+        self._drop(self._spo, s, p, o)
+        self._drop(self._pos, p, o, s)
+        self._drop(self._osp, o, s, p)
+        self._size -= 1
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove every triple in ``triples``; return how many were present."""
+        return sum(1 for t in triples if self.remove(t))
+
+    @staticmethod
+    def _drop(index: _Index, a: Term, b: Term, c: Term) -> None:
+        leaf = index[a][b]
+        leaf.discard(c)
+        if not leaf:
+            del index[a][b]
+            if not index[a]:
+                del index[a]
+
+    # -- queries ----------------------------------------------------------
+
+    def match(
+        self,
+        subject: Term | None = None,
+        predicate: IRI | None = None,
+        object: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Yield every triple matching the pattern (``None`` = wildcard).
+
+        Each pattern shape uses the index that binds the most terms, so no
+        shape degrades to a full scan unless all three positions are
+        wildcards.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None:
+            by_pred = self._spo.get(s, {})
+            if p is not None:
+                objects = by_pred.get(p, ())
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                else:
+                    for obj in objects:
+                        yield Triple(s, p, obj)
+            elif o is not None:
+                for pred in self._osp.get(o, {}).get(s, ()):
+                    yield Triple(s, pred, o)
+            else:
+                for pred, objects in by_pred.items():
+                    for obj in objects:
+                        yield Triple(s, pred, obj)
+        elif p is not None:
+            by_obj = self._pos.get(p, {})
+            if o is not None:
+                for subj in by_obj.get(o, ()):
+                    yield Triple(subj, p, o)
+            else:
+                for obj, subjects in by_obj.items():
+                    for subj in subjects:
+                        yield Triple(subj, p, obj)
+        elif o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+        else:
+            yield from iter(self)
+
+    def count(
+        self,
+        subject: Term | None = None,
+        predicate: IRI | None = None,
+        object: Term | None = None,
+    ) -> int:
+        """Number of triples matching the pattern, without materialising them."""
+        if subject is None and predicate is None and object is None:
+            return self._size
+        if subject is not None and predicate is not None and object is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if predicate is not None and object is not None and subject is None:
+            return len(self._pos.get(predicate, {}).get(object, ()))
+        return sum(1 for _ in self.match(subject, predicate, object))
+
+    def subjects(self, predicate: IRI | None = None, object: Term | None = None) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, predicate, object)``."""
+        if predicate is not None and object is not None:
+            yield from self._pos.get(predicate, {}).get(object, ())
+        else:
+            seen: Set[Term] = set()
+            for triple in self.match(None, predicate, object):
+                if triple.subject not in seen:
+                    seen.add(triple.subject)
+                    yield triple.subject
+
+    def objects(self, subject: Term | None = None, predicate: IRI | None = None) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+        else:
+            seen: Set[Term] = set()
+            for triple in self.match(subject, predicate, None):
+                if triple.object not in seen:
+                    seen.add(triple.object)
+                    yield triple.object
+
+    def predicates(self, subject: Term | None = None, object: Term | None = None) -> Iterator[IRI]:
+        """Distinct predicates of triples matching ``(subject, ?, object)``."""
+        if subject is not None and object is not None:
+            yield from self._osp.get(object, {}).get(subject, ())  # type: ignore[misc]
+        else:
+            seen: Set[Term] = set()
+            for triple in self.match(subject, None, object):
+                if triple.predicate not in seen:
+                    seen.add(triple.predicate)
+                    yield triple.predicate
+
+    def value(self, subject: Term, predicate: IRI) -> Term | None:
+        """The single object of ``(subject, predicate, ?)`` or None.
+
+        Convenience for functional properties; if several objects exist an
+        arbitrary one is returned.
+        """
+        for obj in self.objects(subject, predicate):
+            return obj
+        return None
+
+    def triples_mentioning(self, term: Term) -> Iterator[Triple]:
+        """Every triple with ``term`` in any position (deduplicated)."""
+        seen: Set[Triple] = set()
+        for pattern in ((term, None, None), (None, term, None), (None, None, term)):
+            subj, pred, obj = pattern
+            if pred is not None and not isinstance(pred, IRI):
+                continue
+            for triple in self.match(subj, pred, obj):  # type: ignore[arg-type]
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    # -- set semantics ------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """An independent copy of this graph."""
+        return Graph(iter(self))
+
+    def union(self, other: "Graph") -> "Graph":
+        """A new graph holding the triples of both graphs."""
+        result = self.copy()
+        result.add_all(iter(other))
+        return result
+
+    def difference(self, other: "Graph") -> Set[Triple]:
+        """The set of triples in ``self`` but not in ``other``."""
+        return {t for t in self if t not in other}
+
+    def sorted_triples(self) -> list[Triple]:
+        """All triples in canonical (term-order) sort."""
+        return sorted(self, key=lambda t: t._sort_key())
+
+    # -- container protocol -------------------------------------------------
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, Triple):
+            return False
+        return triple.object in self._spo.get(triple.subject, {}).get(triple.predicate, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        for s, by_pred in self._spo.items():
+            for p, objects in by_pred.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._size == other._size and all(t in other for t in self)
+
+    def __repr__(self) -> str:
+        return f"Graph(<{self._size} triples>)"

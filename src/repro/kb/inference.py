@@ -1,0 +1,128 @@
+"""RDFS-lite materialisation (forward-chaining closure).
+
+Knowledge bases like the paper's motivating examples (DBpedia, YAGO) are
+usually consumed with some RDFS entailment applied: an instance of
+``Student`` *is* a ``Person``, a triple using a property with a declared
+domain types its subject, and so on.  The measures in this library work on
+whatever graph they are given; materialising the closure first makes the
+instance-sensitive measures (Section II.d) see inherited membership.
+
+Supported rules (the RDFS subset that affects this library's semantics):
+
+====== =====================================================================
+rdfs5  (p subPropertyOf q), (q subPropertyOf r)  ->  (p subPropertyOf r)
+rdfs7  (x p y), (p subPropertyOf q)              ->  (x q y)
+rdfs11 (C subClassOf D), (D subClassOf E)        ->  (C subClassOf E)
+rdfs9  (x type C), (C subClassOf D)              ->  (x type D)
+rdfs2  (x p y), (p domain C)                     ->  (x type C)
+rdfs3  (x p y), (p range C), y is a resource     ->  (y type C)
+====== =====================================================================
+
+:func:`rdfs_closure` returns a *new* graph containing the input plus every
+entailed triple; the computation is a fixpoint loop and terminates because
+each round only adds triples over the finite vocabulary of the input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.kb.terms import IRI, Literal, Term
+from repro.kb.triples import Triple
+
+
+def _transitive_closure(pairs: Set[Tuple[Term, Term]]) -> Set[Tuple[Term, Term]]:
+    """Transitive closure of a binary relation (simple semi-naive loop)."""
+    closure = set(pairs)
+    by_source: Dict[Term, Set[Term]] = {}
+    for a, b in closure:
+        by_source.setdefault(a, set()).add(b)
+    changed = True
+    while changed:
+        changed = False
+        new_pairs: List[Tuple[Term, Term]] = []
+        for a, bs in list(by_source.items()):
+            for b in list(bs):
+                for c in by_source.get(b, ()):
+                    if (a, c) not in closure and a != c:
+                        new_pairs.append((a, c))
+        for a, c in new_pairs:
+            closure.add((a, c))
+            by_source.setdefault(a, set()).add(c)
+            changed = True
+    return closure
+
+
+def rdfs_closure(graph: Graph) -> Graph:
+    """The RDFS-lite closure of ``graph`` (input graph is not mutated)."""
+    result = graph.copy()
+
+    # rdfs11 / rdfs5: transitive subclass and subproperty hierarchies.
+    subclass_pairs = {
+        (t.subject, t.object) for t in graph.match(None, RDFS_SUBCLASSOF, None)
+    }
+    for a, b in _transitive_closure(subclass_pairs):
+        if isinstance(b, (IRI,)) or not isinstance(b, Literal):
+            result.add(Triple(a, RDFS_SUBCLASSOF, b))
+    subproperty_pairs = {
+        (t.subject, t.object) for t in graph.match(None, RDFS_SUBPROPERTYOF, None)
+    }
+    subproperty_closure = _transitive_closure(subproperty_pairs)
+    for a, b in subproperty_closure:
+        result.add(Triple(a, RDFS_SUBPROPERTYOF, b))
+
+    # Fixpoint over the instance-level rules (each can feed the others).
+    changed = True
+    while changed:
+        changed = False
+
+        # rdfs7: property inheritance.
+        for p, q in subproperty_closure:
+            if not isinstance(q, IRI) or not isinstance(p, IRI):
+                continue
+            for triple in list(result.match(None, p, None)):
+                if result.add(Triple(triple.subject, q, triple.object)):
+                    changed = True
+
+        # rdfs2 / rdfs3: domain and range typing.
+        for decl, position in ((RDFS_DOMAIN, "subject"), (RDFS_RANGE, "object")):
+            for declaration in list(result.match(None, decl, None)):
+                prop, cls = declaration.subject, declaration.object
+                if not isinstance(prop, IRI) or not isinstance(cls, IRI):
+                    continue
+                if prop in (RDF_TYPE, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF):
+                    continue
+                for triple in list(result.match(None, prop, None)):
+                    node = triple.subject if position == "subject" else triple.object
+                    if isinstance(node, Literal):
+                        continue
+                    if result.add(Triple(node, RDF_TYPE, cls)):
+                        changed = True
+
+        # rdfs9: type inheritance along (closed) subclass links.
+        subclass_of: Dict[Term, Set[Term]] = {}
+        for triple in result.match(None, RDFS_SUBCLASSOF, None):
+            subclass_of.setdefault(triple.subject, set()).add(triple.object)
+        for typing in list(result.match(None, RDF_TYPE, None)):
+            for super_cls in subclass_of.get(typing.object, ()):
+                if isinstance(super_cls, Literal):
+                    continue
+                if result.add(Triple(typing.subject, RDF_TYPE, super_cls)):
+                    changed = True
+
+    return result
+
+
+def entails(graph: Graph, triple: Triple) -> bool:
+    """True when ``triple`` is in the RDFS-lite closure of ``graph``."""
+    if triple in graph:
+        return True
+    return triple in rdfs_closure(graph)

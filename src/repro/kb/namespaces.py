@@ -1,0 +1,71 @@
+"""Namespace helpers and the standard vocabularies the substrate understands.
+
+``Namespace`` builds :class:`~repro.kb.terms.IRI` terms by attribute or item
+access:
+
+>>> EX = Namespace("http://example.org/")
+>>> EX.Person
+IRI('http://example.org/Person')
+>>> EX["has-part"]
+IRI('http://example.org/has-part')
+"""
+
+from __future__ import annotations
+
+from repro.kb.terms import IRI
+
+
+class Namespace:
+    """A base IRI from which term IRIs are minted."""
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The base IRI string."""
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        """Mint the IRI ``base + name``."""
+        return IRI(self._base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+EX = Namespace("http://example.org/")
+
+# Frequently used vocabulary terms, named once so call sites read naturally.
+RDF_TYPE = RDF.type
+RDFS_SUBCLASSOF = RDFS.subClassOf
+RDFS_SUBPROPERTYOF = RDFS.subPropertyOf
+RDFS_DOMAIN = RDFS.domain
+RDFS_RANGE = RDFS.range
+RDFS_LABEL = RDFS.label
+RDFS_COMMENT = RDFS.comment
+RDFS_CLASS = RDFS.Class
+RDF_PROPERTY = RDF.Property
+OWL_CLASS = OWL.Class
+OWL_OBJECT_PROPERTY = OWL.ObjectProperty
+XSD_STRING = XSD.string
+XSD_INTEGER = XSD.integer
+XSD_DOUBLE = XSD.double
+XSD_BOOLEAN = XSD.boolean

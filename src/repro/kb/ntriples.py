@@ -1,0 +1,181 @@
+"""N-Triples parsing and serialisation.
+
+A hand-written, line-oriented parser for the N-Triples subset the substrate
+emits: IRIs, blank nodes, plain / typed / language-tagged literals, ``#``
+comments and blank lines.  Round-trips with :func:`serialize`:
+
+>>> from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+>>> doc = serialize([Triple(EX.Person, RDF_TYPE, RDFS_CLASS)])
+>>> list(parse(doc))[0].subject
+IRI('http://example.org/Person')
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.kb.errors import ParseError
+from repro.kb.graph import Graph
+from repro.kb.terms import BNode, IRI, Literal, Term
+from repro.kb.triples import Triple
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def serialize(triples: Iterable[Triple], sort: bool = True) -> str:
+    """Serialise ``triples`` as an N-Triples document (canonical order by default)."""
+    lines = [t.n3() for t in triples]
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse(document: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples.
+
+    Raises :class:`~repro.kb.errors.ParseError` with the offending line
+    number on malformed input.
+    """
+    # Split on LF/CRLF only: unicode line separators (NEL, LS, PS) are legal
+    # *inside* literals, so str.splitlines() would corrupt them.
+    for line_no, raw_line in enumerate(document.split("\n"), start=1):
+        line = raw_line.strip(" \t\r")
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, line_no)
+
+
+def parse_graph(document: str) -> Graph:
+    """Parse an N-Triples document into a fresh :class:`Graph`."""
+    return Graph(parse(document))
+
+
+def _parse_line(line: str, line_no: int) -> Triple:
+    cursor = _Cursor(line, line_no)
+    subject = cursor.read_term()
+    if isinstance(subject, Literal):
+        raise ParseError("subject must not be a literal", line_no)
+    cursor.skip_ws()
+    predicate = cursor.read_term()
+    if not isinstance(predicate, IRI):
+        raise ParseError("predicate must be an IRI", line_no)
+    cursor.skip_ws()
+    obj = cursor.read_term()
+    cursor.skip_ws()
+    cursor.expect(".")
+    cursor.skip_ws()
+    if not cursor.at_end():
+        raise ParseError(f"trailing content after '.': {cursor.rest()!r}", line_no)
+    return Triple(subject, predicate, obj)
+
+
+class _Cursor:
+    """Character cursor over one N-Triples line."""
+
+    def __init__(self, line: str, line_no: int) -> None:
+        self._line = line
+        self._pos = 0
+        self._line_no = line_no
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._line)
+
+    def rest(self) -> str:
+        return self._line[self._pos :]
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise ParseError("unexpected end of line", self._line_no)
+        return self._line[self._pos]
+
+    def advance(self) -> str:
+        ch = self.peek()
+        self._pos += 1
+        return ch
+
+    def skip_ws(self) -> None:
+        while not self.at_end() and self._line[self._pos] in " \t":
+            self._pos += 1
+
+    def expect(self, ch: str) -> None:
+        if self.at_end() or self._line[self._pos] != ch:
+            found = "end of line" if self.at_end() else repr(self._line[self._pos])
+            raise ParseError(f"expected {ch!r}, found {found}", self._line_no)
+        self._pos += 1
+
+    def read_term(self) -> Term:
+        ch = self.peek()
+        if ch == "<":
+            return self._read_iri()
+        if ch == "_":
+            return self._read_bnode()
+        if ch == '"':
+            return self._read_literal()
+        raise ParseError(f"cannot start a term with {ch!r}", self._line_no)
+
+    def _read_iri(self) -> IRI:
+        self.expect("<")
+        chars: List[str] = []
+        while True:
+            ch = self.advance()
+            if ch == ">":
+                break
+            chars.append(ch)
+        value = "".join(chars)
+        if not value:
+            raise ParseError("empty IRI", self._line_no)
+        return IRI(value)
+
+    def _read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        chars: List[str] = []
+        while not self.at_end() and (self.peek().isalnum() or self.peek() in "_-"):
+            chars.append(self.advance())
+        if not chars:
+            raise ParseError("empty blank node label", self._line_no)
+        return BNode("".join(chars))
+
+    def _read_literal(self) -> Literal:
+        self.expect('"')
+        chars: List[str] = []
+        while True:
+            ch = self.advance()
+            if ch == "\\":
+                esc = self.advance()
+                if esc == "u":
+                    chars.append(self._read_unicode(4))
+                elif esc == "U":
+                    chars.append(self._read_unicode(8))
+                elif esc in _ESCAPES:
+                    chars.append(_ESCAPES[esc])
+                else:
+                    raise ParseError(f"unknown escape \\{esc}", self._line_no)
+            elif ch == '"':
+                break
+            else:
+                chars.append(ch)
+        lexical = "".join(chars)
+        if not self.at_end() and self.peek() == "@":
+            self.advance()
+            tag: List[str] = []
+            while not self.at_end() and (self.peek().isalnum() or self.peek() == "-"):
+                tag.append(self.advance())
+            if not tag:
+                raise ParseError("empty language tag", self._line_no)
+            return Literal(lexical, language="".join(tag))
+        if not self.at_end() and self.peek() == "^":
+            self.expect("^")
+            self.expect("^")
+            datatype = self._read_iri()
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def _read_unicode(self, width: int) -> str:
+        digits: List[str] = []
+        for _ in range(width):
+            digits.append(self.advance())
+        try:
+            return chr(int("".join(digits), 16))
+        except ValueError:
+            raise ParseError(f"bad unicode escape {''.join(digits)!r}", self._line_no) from None

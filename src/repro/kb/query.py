@@ -1,0 +1,192 @@
+"""A basic-graph-pattern (BGP) query engine over graphs and version chains.
+
+The paper motivates delta management with "the need for accessing previous
+versions of a dataset to support historical or cross-snapshot queries".
+This module provides the minimal query capability those use cases need:
+
+* :class:`Var` -- a named query variable,
+* :class:`Pattern` -- a triple pattern mixing terms and variables,
+* :func:`select` -- evaluate a conjunctive BGP against one graph, with
+  optional post-filters, yielding variable bindings,
+* :class:`SnapshotQuery` -- the same query run across a whole version
+  chain: per-version answers, answers holding in *every* version, answers
+  *gained*/*lost* between two versions (the cross-snapshot queries).
+
+Evaluation is the classic left-deep join with greedy pattern reordering
+(most selective first), which is plenty for the library's graph sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.kb.graph import Graph
+from repro.kb.terms import IRI, Term
+from repro.kb.version import VersionedKnowledgeBase
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, e.g. ``Var("cls")``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Term, Var]
+Binding = Dict[str, Term]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One triple pattern; any position may be a term or a variable."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> List[str]:
+        """Names of the variables this pattern mentions."""
+        return [p.name for p in (self.subject, self.predicate, self.object) if isinstance(p, Var)]
+
+    def _resolve(self, position: PatternTerm, binding: Binding) -> Term | None:
+        if isinstance(position, Var):
+            return binding.get(position.name)
+        return position
+
+    def match(self, graph: Graph, binding: Binding) -> Iterator[Binding]:
+        """Bindings extending ``binding`` that satisfy this pattern."""
+        subject = self._resolve(self.subject, binding)
+        predicate = self._resolve(self.predicate, binding)
+        obj = self._resolve(self.object, binding)
+        if predicate is not None and not isinstance(predicate, IRI):
+            return  # a non-IRI bound in predicate position can never match
+        for triple in graph.match(subject, predicate, obj):
+            extended = dict(binding)
+            consistent = True
+            for position, value in (
+                (self.subject, triple.subject),
+                (self.predicate, triple.predicate),
+                (self.object, triple.object),
+            ):
+                if isinstance(position, Var):
+                    bound = extended.get(position.name)
+                    if bound is None:
+                        extended[position.name] = value
+                    elif bound != value:
+                        consistent = False
+                        break
+            if consistent:
+                yield extended
+
+    def selectivity(self, graph: Graph, binding: Binding) -> int:
+        """Estimated number of matches given the current binding (lower = better)."""
+        subject = self._resolve(self.subject, binding)
+        predicate = self._resolve(self.predicate, binding)
+        obj = self._resolve(self.object, binding)
+        if predicate is not None and not isinstance(predicate, IRI):
+            return 0
+        return graph.count(subject, predicate, obj)
+
+
+Filter = Callable[[Binding], bool]
+
+
+def select(
+    graph: Graph,
+    patterns: Sequence[Pattern],
+    filters: Sequence[Filter] = (),
+) -> List[Binding]:
+    """All variable bindings satisfying every pattern and filter.
+
+    Patterns are greedily reordered by selectivity at each join step.
+    Duplicate bindings (possible when patterns repeat) are removed; the
+    result order is deterministic (sorted by the bindings' term order).
+    """
+    if not patterns:
+        return []
+    solutions: List[Binding] = [{}]
+    remaining = list(patterns)
+    while remaining:
+        # Pick the pattern with the fewest estimated matches under the
+        # first current solution (a cheap but effective heuristic).
+        probe = solutions[0] if solutions else {}
+        remaining.sort(key=lambda p: p.selectivity(graph, probe))
+        pattern = remaining.pop(0)
+        next_solutions: List[Binding] = []
+        for binding in solutions:
+            next_solutions.extend(pattern.match(graph, binding))
+        solutions = next_solutions
+        if not solutions:
+            return []
+    for check in filters:
+        solutions = [binding for binding in solutions if check(binding)]
+    unique = {tuple(sorted((k, v) for k, v in b.items())): b for b in solutions}
+    return [unique[key] for key in sorted(unique, key=str)]
+
+
+def ask(graph: Graph, patterns: Sequence[Pattern], filters: Sequence[Filter] = ()) -> bool:
+    """True when at least one binding satisfies the query."""
+    return bool(select(graph, patterns, filters))
+
+
+class SnapshotQuery:
+    """One BGP query evaluated across a whole version chain."""
+
+    def __init__(
+        self,
+        patterns: Sequence[Pattern],
+        filters: Sequence[Filter] = (),
+    ) -> None:
+        if not patterns:
+            raise ValueError("a query needs at least one pattern")
+        self._patterns = list(patterns)
+        self._filters = list(filters)
+
+    def on_version(self, kb: VersionedKnowledgeBase, version_id: str) -> List[Binding]:
+        """Answers in one historical version."""
+        return select(kb.version(version_id).graph, self._patterns, self._filters)
+
+    def per_version(self, kb: VersionedKnowledgeBase) -> Dict[str, List[Binding]]:
+        """Answers per version id, in chain order."""
+        return {
+            version.version_id: select(version.graph, self._patterns, self._filters)
+            for version in kb
+        }
+
+    def holds_throughout(self, kb: VersionedKnowledgeBase) -> List[Binding]:
+        """Answers present in *every* version of the chain."""
+        per_version = self.per_version(kb)
+        if not per_version:
+            return []
+        keysets = [
+            {self._key(b) for b in bindings} for bindings in per_version.values()
+        ]
+        stable = set.intersection(*keysets)
+        first = next(iter(per_version.values()))
+        return [b for b in first if self._key(b) in stable]
+
+    def gained(self, kb: VersionedKnowledgeBase, old_id: str, new_id: str) -> List[Binding]:
+        """Answers in ``new_id`` that were absent in ``old_id``."""
+        old_keys = {self._key(b) for b in self.on_version(kb, old_id)}
+        return [
+            b for b in self.on_version(kb, new_id) if self._key(b) not in old_keys
+        ]
+
+    def lost(self, kb: VersionedKnowledgeBase, old_id: str, new_id: str) -> List[Binding]:
+        """Answers in ``old_id`` that disappeared by ``new_id``."""
+        new_keys = {self._key(b) for b in self.on_version(kb, new_id)}
+        return [
+            b for b in self.on_version(kb, old_id) if self._key(b) not in new_keys
+        ]
+
+    @staticmethod
+    def _key(binding: Binding) -> Tuple:
+        return tuple(sorted((name, value) for name, value in binding.items()))

@@ -1,0 +1,180 @@
+"""RDF term model: IRIs, literals and blank nodes.
+
+Terms are immutable, hashable and totally ordered (IRIs < blank nodes <
+literals, then lexicographic), which gives graphs, deltas and test output a
+stable canonical order.  The model is deliberately minimal -- exactly what the
+evolution-measure pipeline needs -- but faithful: literals carry an optional
+datatype or language tag, and the N-Triples serialisation round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.kb.errors import TermError
+
+# Sort keys for the total order over term kinds.
+_KIND_IRI = 0
+_KIND_BNODE = 1
+_KIND_LITERAL = 2
+
+
+@dataclass(frozen=True, order=False)
+class IRI:
+    """An IRI reference, e.g. ``IRI("http://example.org/Person")``.
+
+    >>> IRI("http://example.org/a").n3()
+    '<http://example.org/a>'
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise TermError("IRI value must be a non-empty string")
+        if any(c in self.value for c in "<>\"{}|^`\\") or any(
+            ord(c) <= 0x20 for c in self.value
+        ):
+            raise TermError(f"IRI contains characters illegal in N-Triples: {self.value!r}")
+        # IRIs are hashed billions of times by the graph indexes and the
+        # centrality algorithms; caching beats the generated dataclass hash.
+        object.__setattr__(self, "_cached_hash", hash(self.value))
+
+    def __hash__(self) -> int:
+        return self._cached_hash  # type: ignore[attr-defined]
+
+    @property
+    def local_name(self) -> str:
+        """Best-effort local name: the segment after the last ``#`` or ``/``."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                tail = self.value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return self.value
+
+    def n3(self) -> str:
+        """N-Triples serialisation."""
+        return f"<{self.value}>"
+
+    def _sort_key(self) -> tuple:
+        return (_KIND_IRI, self.value)
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_lt(self, other)
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=False)
+class BNode:
+    """A blank node with an explicit label, e.g. ``BNode("b0")``."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise TermError("blank node label must be non-empty")
+        if not all(c.isalnum() or c in "_-" for c in self.label):
+            raise TermError(f"blank node label has illegal characters: {self.label!r}")
+
+    def n3(self) -> str:
+        """N-Triples serialisation."""
+        return f"_:{self.label}"
+
+    def _sort_key(self) -> tuple:
+        return (_KIND_BNODE, self.label)
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_lt(self, other)
+
+    def __repr__(self) -> str:
+        return f"BNode({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, order=False)
+class Literal:
+    """An RDF literal with optional datatype IRI or language tag.
+
+    A literal may carry a datatype *or* a language tag, never both
+    (per RDF 1.1, language-tagged strings have the fixed datatype
+    ``rdf:langString``, which we leave implicit).
+
+    >>> Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")).n3()
+    '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+    >>> Literal("chat", language="fr").n3()
+    '"chat"@fr'
+    """
+
+    lexical: str
+    datatype: IRI | None = field(default=None)
+    language: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lexical, str):
+            raise TermError(f"literal lexical form must be str, got {type(self.lexical).__name__}")
+        if self.datatype is not None and self.language is not None:
+            raise TermError("a literal cannot have both a datatype and a language tag")
+        if self.language is not None and not self.language:
+            raise TermError("language tag must be non-empty when given")
+
+    def n3(self) -> str:
+        """N-Triples serialisation with escaping."""
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype is not None:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        return f'"{escaped}"'
+
+    def _sort_key(self) -> tuple:
+        return (
+            _KIND_LITERAL,
+            self.lexical,
+            self.datatype.value if self.datatype else "",
+            self.language or "",
+        )
+
+    def __lt__(self, other: "Term") -> bool:
+        return _term_lt(self, other)
+
+    def __repr__(self) -> str:
+        extras = []
+        if self.datatype:
+            extras.append(f"datatype={self.datatype!r}")
+        if self.language:
+            extras.append(f"language={self.language!r}")
+        suffix = (", " + ", ".join(extras)) if extras else ""
+        return f"Literal({self.lexical!r}{suffix})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+Term = Union[IRI, BNode, Literal]
+"""Union of the three RDF term kinds."""
+
+
+def _term_lt(left: Term, right: object) -> bool:
+    if not isinstance(right, (IRI, BNode, Literal)):
+        return NotImplemented  # type: ignore[return-value]
+    return left._sort_key() < right._sort_key()
+
+
+def is_resource(term: Term) -> bool:
+    """True for terms that may appear in subject position (IRI or BNode)."""
+    return isinstance(term, (IRI, BNode))

@@ -1,0 +1,77 @@
+"""The triple: the atomic statement of the knowledge base."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.kb.errors import TermError
+from repro.kb.terms import BNode, IRI, Literal, Term, is_resource
+
+
+@dataclass(frozen=True, order=False)
+class Triple:
+    """An RDF triple ``(subject, predicate, object)``.
+
+    Subjects must be IRIs or blank nodes, predicates must be IRIs, objects may
+    be any term.  Triples are immutable, hashable and ordered by the term
+    order, so sets of triples have a canonical sorted serialisation.
+
+    >>> from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+    >>> Triple(EX.Person, RDF_TYPE, RDFS_CLASS).n3()
+    '<http://example.org/Person> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Class> .'
+    """
+
+    subject: Term
+    predicate: IRI
+    object: Term
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_cached_hash", None)
+        if cached is None:
+            cached = hash((self.subject, self.predicate, self.object))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __post_init__(self) -> None:
+        if not is_resource(self.subject):
+            raise TermError(
+                f"triple subject must be an IRI or blank node, got {type(self.subject).__name__}"
+            )
+        if not isinstance(self.predicate, IRI):
+            raise TermError(
+                f"triple predicate must be an IRI, got {type(self.predicate).__name__}"
+            )
+        if not isinstance(self.object, (IRI, BNode, Literal)):
+            raise TermError(
+                f"triple object must be an RDF term, got {type(self.object).__name__}"
+            )
+
+    def n3(self) -> str:
+        """One N-Triples line (with trailing ``.``)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def terms(self) -> Iterator[Term]:
+        """Iterate subject, predicate, object."""
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def mentions(self, term: Term) -> bool:
+        """True if ``term`` appears in any position of this triple."""
+        return term == self.subject or term == self.predicate or term == self.object
+
+    def _sort_key(self) -> tuple:
+        return (
+            self.subject._sort_key(),
+            self.predicate._sort_key(),
+            self.object._sort_key(),
+        )
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -1,0 +1,142 @@
+"""Versioned knowledge bases.
+
+The paper studies the evolution of a knowledge base "from a version V1 to a
+version V2" (Section II.a).  :class:`VersionedKnowledgeBase` models a linear
+chain of named versions.  Each version stores a full snapshot
+:class:`~repro.kb.graph.Graph` plus a lazily constructed
+:class:`~repro.kb.schema.SchemaView`; the delta layer
+(:mod:`repro.deltas`) computes changes between any two versions of the chain.
+
+Snapshots (rather than delta-chains) keep the substrate simple and make every
+version directly queryable, which the measures need; memory is bounded by the
+synthetic workloads this library targets (10^4..10^6 triples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
+
+
+@dataclass
+class Version:
+    """One version of a knowledge base: an id, a snapshot and metadata."""
+
+    version_id: str
+    graph: Graph
+    metadata: Dict[str, str] = field(default_factory=dict)
+    _schema: SchemaView | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def schema(self) -> SchemaView:
+        """Schema view of this version's snapshot (cached)."""
+        if self._schema is None:
+            self._schema = SchemaView(self.graph)
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+class VersionedKnowledgeBase:
+    """A linear chain of knowledge-base versions.
+
+    >>> kb = VersionedKnowledgeBase("demo")
+    >>> v1 = kb.commit(Graph(), version_id="v1")
+    >>> kb.latest().version_id
+    'v1'
+    """
+
+    def __init__(self, name: str = "kb") -> None:
+        if not name:
+            raise ValueError("knowledge base name must be non-empty")
+        self.name = name
+        self._versions: List[Version] = []
+        self._by_id: Dict[str, Version] = {}
+
+    # -- committing -----------------------------------------------------------
+
+    def commit(
+        self,
+        graph: Graph,
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+        copy: bool = True,
+    ) -> Version:
+        """Append ``graph`` as the next version and return it.
+
+        ``graph`` is copied by default so later caller-side mutation cannot
+        corrupt the chain; pass ``copy=False`` to adopt the graph when the
+        caller hands over ownership (the synthetic generators do this).
+        """
+        if version_id is None:
+            version_id = f"v{len(self._versions) + 1}"
+        if version_id in self._by_id:
+            raise VersionError(f"duplicate version id: {version_id!r}")
+        snapshot = graph.copy() if copy else graph
+        version = Version(version_id, snapshot, dict(metadata or {}))
+        self._versions.append(version)
+        self._by_id[version_id] = version
+        return version
+
+    def commit_changes(
+        self,
+        added: Iterable[Triple] = (),
+        deleted: Iterable[Triple] = (),
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> Version:
+        """Derive the next version from the latest one by applying changes."""
+        base = self.latest().graph.copy() if self._versions else Graph()
+        base.remove_all(deleted)
+        base.add_all(added)
+        return self.commit(base, version_id=version_id, metadata=metadata, copy=False)
+
+    # -- access ---------------------------------------------------------------
+
+    def version(self, version_id: str) -> Version:
+        """The version named ``version_id`` (raises :class:`VersionError`)."""
+        try:
+            return self._by_id[version_id]
+        except KeyError:
+            raise VersionError(
+                f"unknown version {version_id!r} (have: {', '.join(self.version_ids()) or 'none'})"
+            ) from None
+
+    def latest(self) -> Version:
+        """The most recent version (raises on an empty chain)."""
+        if not self._versions:
+            raise VersionError("knowledge base has no versions yet")
+        return self._versions[-1]
+
+    def first(self) -> Version:
+        """The oldest version (raises on an empty chain)."""
+        if not self._versions:
+            raise VersionError("knowledge base has no versions yet")
+        return self._versions[0]
+
+    def version_ids(self) -> List[str]:
+        """Version ids in chain order."""
+        return [v.version_id for v in self._versions]
+
+    def pairs(self) -> Iterator[Tuple[Version, Version]]:
+        """Consecutive ``(V_i, V_{i+1})`` version pairs in chain order."""
+        for older, newer in zip(self._versions, self._versions[1:]):
+            yield older, newer
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    def __contains__(self, version_id: object) -> bool:
+        return version_id in self._by_id
+
+    def __repr__(self) -> str:
+        return f"VersionedKnowledgeBase({self.name!r}, versions={self.version_ids()})"

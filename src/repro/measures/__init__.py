@@ -1,0 +1,82 @@
+"""Evolution measures (system S8): the Section II catalogue.
+
+Count measures (II.a), neighbourhood measures (II.b), structural importance
+shifts (II.c) and semantic importance shifts (II.d), all sharing the
+:class:`~repro.measures.base.EvolutionContext` /
+:class:`~repro.measures.base.MeasureResult` framework.
+"""
+
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureCatalog,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+from repro.measures.catalog import default_catalog
+from repro.measures.counts import ClassChangeCount, PropertyChangeCount
+from repro.measures.mix import WeightedMixMeasure, persona_mix
+from repro.measures.trends import (
+    Trend,
+    TrendAnalysis,
+    TrendKind,
+    measure_series,
+)
+from repro.measures.neighborhood import NeighborhoodChangeCount, two_version_neighborhood
+from repro.measures.semantic import (
+    InOutCentralityShift,
+    PropertyCardinalityShift,
+    RelevanceShift,
+    centrality,
+    in_centrality,
+    out_centrality,
+    relative_cardinality,
+    relevance,
+)
+from repro.measures.structural import (
+    BetweennessShift,
+    BridgingCentralityShift,
+    class_graph,
+)
+from repro.measures.summary import (
+    SchemaSummary,
+    evolution_summary,
+    schema_summary,
+    summary_from_result,
+)
+
+__all__ = [
+    "EvolutionContext",
+    "EvolutionMeasure",
+    "MeasureCatalog",
+    "MeasureFamily",
+    "MeasureResult",
+    "TargetKind",
+    "default_catalog",
+    "ClassChangeCount",
+    "PropertyChangeCount",
+    "WeightedMixMeasure",
+    "persona_mix",
+    "Trend",
+    "TrendAnalysis",
+    "TrendKind",
+    "measure_series",
+    "NeighborhoodChangeCount",
+    "two_version_neighborhood",
+    "InOutCentralityShift",
+    "PropertyCardinalityShift",
+    "RelevanceShift",
+    "centrality",
+    "in_centrality",
+    "out_centrality",
+    "relative_cardinality",
+    "relevance",
+    "BetweennessShift",
+    "BridgingCentralityShift",
+    "class_graph",
+    "SchemaSummary",
+    "evolution_summary",
+    "schema_summary",
+    "summary_from_result",
+]

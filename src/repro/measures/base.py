@@ -1,0 +1,236 @@
+"""The evolution-measure framework: contexts, results, the measure ABC.
+
+Section II of the paper catalogues "evolution measures that allow
+quantifying the changes that particular parts of a knowledge base underwent".
+Every concrete measure in this package:
+
+* consumes an :class:`EvolutionContext` -- a pair of versions plus the cached
+  low-level delta and schema views between them,
+* produces a :class:`MeasureResult` -- a score per *target* (class IRI or
+  property IRI), where larger means "more affected by the evolution".
+
+Measures are registered in a :class:`MeasureCatalog` so the recommender can
+enumerate, describe and evaluate them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Tuple
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI
+from repro.kb.version import Version
+
+
+class MeasureFamily(enum.Enum):
+    """The paper's grouping of measures (Section II paragraphs a-d)."""
+
+    COUNT = "count"  # II.a: number of changes
+    NEIGHBORHOOD = "neighborhood"  # II.b: changes in neighbourhoods
+    STRUCTURAL = "structural"  # II.c: topology-based importance shifts
+    SEMANTIC = "semantic"  # II.d: semantics-based importance shifts
+
+
+class TargetKind(enum.Enum):
+    """What a measure scores: classes or properties."""
+
+    CLASS = "class"
+    PROPERTY = "property"
+
+
+class EvolutionContext:
+    """A (V1, V2) version pair with lazily cached derived artefacts.
+
+    Building deltas, schema views and per-term change counts once and
+    sharing them across all measures keeps evaluating the whole catalogue
+    linear in the size of the delta instead of quadratic.
+    """
+
+    def __init__(self, old: Version, new: Version) -> None:
+        self.old = old
+        self.new = new
+        self._delta: LowLevelDelta | None = None
+        self._change_counts: Dict | None = None
+        #: Scratch cache for expensive per-version artefacts that several
+        #: measures share (e.g. class graphs and betweenness scores).  Keys
+        #: are namespaced strings; values are measure-defined.
+        self.memo: Dict[str, object] = {}
+
+    @property
+    def delta(self) -> LowLevelDelta:
+        """The low-level delta from the old to the new version."""
+        if self._delta is None:
+            self._delta = LowLevelDelta.compute(self.old.graph, self.new.graph)
+        return self._delta
+
+    @property
+    def old_schema(self) -> SchemaView:
+        """Schema view of the old version."""
+        return self.old.schema
+
+    @property
+    def new_schema(self) -> SchemaView:
+        """Schema view of the new version."""
+        return self.new.schema
+
+    def change_counts(self) -> Mapping:
+        """Per-term ``delta(n)`` counts, computed once."""
+        if self._change_counts is None:
+            self._change_counts = self.delta.change_counts()
+        return self._change_counts
+
+    def union_classes(self) -> FrozenSet[IRI]:
+        """Classes existing in either version."""
+        return self.old_schema.classes() | self.new_schema.classes()
+
+    def union_properties(self) -> FrozenSet[IRI]:
+        """Properties existing in either version."""
+        return self.old_schema.properties() | self.new_schema.properties()
+
+    def __repr__(self) -> str:
+        return f"EvolutionContext({self.old.version_id!r} -> {self.new.version_id!r})"
+
+
+@dataclass(frozen=True)
+class MeasureResult:
+    """Scores assigned by one measure to each of its targets.
+
+    Scores are non-negative; larger means more affected.  ``scores`` always
+    covers every target the measure considered, including zero scores, so
+    rankings and set operations are well defined.
+    """
+
+    measure_name: str
+    target_kind: TargetKind
+    scores: Mapping[IRI, float]
+
+    def top(self, k: int) -> List[Tuple[IRI, float]]:
+        """The ``k`` highest-scoring targets, score-descending.
+
+        Ties break by IRI value so results are deterministic.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        ranked = sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0].value))
+        return ranked[:k]
+
+    def ranking(self) -> List[IRI]:
+        """All targets, most affected first (deterministic tie-break)."""
+        return [t for t, _ in self.top(len(self.scores))]
+
+    def rank_of(self, target: IRI) -> int:
+        """0-based rank of ``target`` (raises ``KeyError`` if unscored)."""
+        if target not in self.scores:
+            raise KeyError(f"{target} was not scored by {self.measure_name}")
+        return self.ranking().index(target)
+
+    def score(self, target: IRI) -> float:
+        """Score of ``target`` (0.0 for targets the measure did not score)."""
+        return self.scores.get(target, 0.0)
+
+    def normalized(self) -> "MeasureResult":
+        """Scores rescaled to [0, 1] by the maximum (all-zero stays all-zero)."""
+        peak = max(self.scores.values(), default=0.0)
+        if peak <= 0.0:
+            return self
+        return MeasureResult(
+            measure_name=self.measure_name,
+            target_kind=self.target_kind,
+            scores={t: s / peak for t, s in self.scores.items()},
+        )
+
+    def nonzero(self) -> Dict[IRI, float]:
+        """Only the targets with a strictly positive score."""
+        return {t: s for t, s in self.scores.items() if s > 0.0}
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __iter__(self) -> Iterator[IRI]:
+        return iter(self.scores)
+
+
+class EvolutionMeasure(abc.ABC):
+    """Base class of every evolution measure.
+
+    Subclasses define :attr:`name`, :attr:`family`, :attr:`target_kind`, a
+    human-oriented :attr:`description` (used by the transparency perspective
+    to explain recommendations) and :meth:`compute`.
+    """
+
+    #: Unique, stable identifier (used by catalogues and provenance records).
+    name: str = "abstract"
+    #: Which Section II family the measure belongs to.
+    family: MeasureFamily = MeasureFamily.COUNT
+    #: Whether the measure scores classes or properties.
+    target_kind: TargetKind = TargetKind.CLASS
+    #: One-sentence human-readable description.
+    description: str = ""
+
+    @abc.abstractmethod
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        """Score every target of ``context`` (non-negative, larger = more changed)."""
+
+    def _result(self, scores: Mapping[IRI, float]) -> MeasureResult:
+        bad = {t: s for t, s in scores.items() if s < 0.0}
+        if bad:
+            sample = next(iter(bad.items()))
+            raise ValueError(
+                f"measure {self.name} produced a negative score: {sample[0]} -> {sample[1]}"
+            )
+        return MeasureResult(self.name, self.target_kind, dict(scores))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class MeasureCatalog:
+    """A named collection of evolution measures.
+
+    The catalogue is what gets *recommended from*: the engine treats each
+    (measure, target) combination as a candidate item.
+    """
+
+    measures: Dict[str, EvolutionMeasure] = field(default_factory=dict)
+
+    def register(self, measure: EvolutionMeasure) -> EvolutionMeasure:
+        """Add ``measure``; duplicate names are rejected."""
+        if measure.name in self.measures:
+            raise ValueError(f"duplicate measure name: {measure.name!r}")
+        self.measures[measure.name] = measure
+        return measure
+
+    def get(self, name: str) -> EvolutionMeasure:
+        """Look up a measure by name (raises ``KeyError`` with candidates)."""
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown measure {name!r}; available: {', '.join(sorted(self.measures))}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered measure names, sorted."""
+        return sorted(self.measures)
+
+    def by_family(self, family: MeasureFamily) -> List[EvolutionMeasure]:
+        """Measures of one Section II family."""
+        return [m for m in self.measures.values() if m.family is family]
+
+    def compute_all(self, context: EvolutionContext) -> Dict[str, MeasureResult]:
+        """Evaluate every measure on ``context``."""
+        return {name: m.compute(context) for name, m in sorted(self.measures.items())}
+
+    def __len__(self) -> int:
+        return len(self.measures)
+
+    def __iter__(self) -> Iterator[EvolutionMeasure]:
+        return iter(self.measures.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.measures

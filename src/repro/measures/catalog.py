@@ -1,0 +1,41 @@
+"""The default measure catalogue: every Section II exemplar measure."""
+
+from __future__ import annotations
+
+from repro.measures.base import MeasureCatalog
+from repro.measures.counts import ClassChangeCount, PropertyChangeCount
+from repro.measures.neighborhood import NeighborhoodChangeCount
+from repro.measures.semantic import (
+    InOutCentralityShift,
+    PropertyCardinalityShift,
+    RelevanceShift,
+)
+from repro.measures.structural import BetweennessShift, BridgingCentralityShift
+
+
+def default_catalog() -> MeasureCatalog:
+    """The eight-measure catalogue covering Section II paragraphs a-d.
+
+    ============================== =====================================
+    measure                        paper paragraph
+    ============================== =====================================
+    class_change_count             II.a (classes)
+    property_change_count          II.a (properties)
+    neighborhood_change_count      II.b
+    betweenness_shift              II.c (betweenness)
+    bridging_centrality_shift      II.c (bridging centrality)
+    centrality_shift               II.d (in/out-centrality)
+    relevance_shift                II.d (relevance)
+    property_cardinality_shift     II.d (property extension)
+    ============================== =====================================
+    """
+    catalog = MeasureCatalog()
+    catalog.register(ClassChangeCount())
+    catalog.register(PropertyChangeCount())
+    catalog.register(NeighborhoodChangeCount())
+    catalog.register(BetweennessShift())
+    catalog.register(BridgingCentralityShift())
+    catalog.register(InOutCentralityShift())
+    catalog.register(RelevanceShift())
+    catalog.register(PropertyCardinalityShift())
+    return catalog

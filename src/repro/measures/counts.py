@@ -1,0 +1,52 @@
+"""Section II.a -- number of class or property changes.
+
+``delta(n)`` is the number of added/deleted triples in which the class (or
+property) ``n`` appears.  These are the paper's baseline measures: purely
+syntactic change counting.
+"""
+
+from __future__ import annotations
+
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+
+
+class ClassChangeCount(EvolutionMeasure):
+    """``delta(n)`` for every class ``n`` existing in either version."""
+
+    name = "class_change_count"
+    family = MeasureFamily.COUNT
+    target_kind = TargetKind.CLASS
+    description = (
+        "Number of added or deleted triples mentioning the class "
+        "(Section II.a, low-level delta restricted to the class)."
+    )
+
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        counts = context.change_counts()
+        return self._result(
+            {cls: float(counts.get(cls, 0)) for cls in context.union_classes()}
+        )
+
+
+class PropertyChangeCount(EvolutionMeasure):
+    """``delta(p)`` for every property ``p`` existing in either version."""
+
+    name = "property_change_count"
+    family = MeasureFamily.COUNT
+    target_kind = TargetKind.PROPERTY
+    description = (
+        "Number of added or deleted triples mentioning the property "
+        "(Section II.a extended to properties)."
+    )
+
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        counts = context.change_counts()
+        return self._result(
+            {prop: float(counts.get(prop, 0)) for prop in context.union_properties()}
+        )

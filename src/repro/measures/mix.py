@@ -1,0 +1,109 @@
+"""Measure mixes: weighted combinations of evolution measures.
+
+Section III: the goal is "to recommend to the humans evolution measures *or
+their mix* that are qualified to cover different vertical and complementary
+viewpoints".  A :class:`WeightedMixMeasure` is itself an
+:class:`~repro.measures.base.EvolutionMeasure`: it normalises each member's
+result and combines the per-target scores with convex weights, so mixes can
+be registered in a catalogue, recommended, explained and trended exactly
+like primitive measures.
+
+:func:`persona_mix` builds the natural mix for a user: member weights taken
+from the profile's measure-family preferences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.kb.terms import IRI
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureCatalog,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+from repro.profiles.user import InterestProfile
+
+
+class WeightedMixMeasure(EvolutionMeasure):
+    """A convex combination of same-target-kind measures.
+
+    Member results are normalised to [0, 1] before mixing, so a member with
+    large raw magnitudes (e.g. change counts) cannot drown out a bounded one
+    (e.g. normalised betweenness shifts).  Weights are normalised to sum
+    to 1.
+    """
+
+    family = MeasureFamily.COUNT  # overridden per instance below
+
+    def __init__(
+        self,
+        name: str,
+        members: Mapping[EvolutionMeasure, float] | Sequence[Tuple[EvolutionMeasure, float]],
+    ) -> None:
+        pairs = list(members.items()) if isinstance(members, Mapping) else list(members)
+        if not pairs:
+            raise ValueError("a mix needs at least one member measure")
+        if not name:
+            raise ValueError("mix name must be non-empty")
+        total = sum(weight for _, weight in pairs)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        if any(weight < 0 for _, weight in pairs):
+            raise ValueError("mix weights must be non-negative")
+        kinds = {measure.target_kind for measure, _ in pairs}
+        if len(kinds) != 1:
+            raise ValueError(
+                f"mix members must share a target kind, got {sorted(k.value for k in kinds)}"
+            )
+        self.name = name
+        self.target_kind = kinds.pop()
+        self._members: Tuple[Tuple[EvolutionMeasure, float], ...] = tuple(
+            (measure, weight / total) for measure, weight in pairs
+        )
+        # The mix's family is its dominant member's family.
+        dominant = max(self._members, key=lambda mw: mw[1])[0]
+        self.family = dominant.family
+        self.description = "Weighted mix: " + ", ".join(
+            f"{measure.name} ({weight:.2f})" for measure, weight in self._members
+        )
+
+    @property
+    def members(self) -> Tuple[Tuple[EvolutionMeasure, float], ...]:
+        """The (measure, normalised weight) pairs."""
+        return self._members
+
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        combined: Dict[IRI, float] = {}
+        for measure, weight in self._members:
+            result = measure.compute(context).normalized()
+            for target, score in result.scores.items():
+                combined[target] = combined.get(target, 0.0) + weight * score
+        return self._result(combined)
+
+
+def persona_mix(
+    name: str,
+    catalog: MeasureCatalog,
+    profile: InterestProfile,
+    target_kind: TargetKind = TargetKind.CLASS,
+) -> WeightedMixMeasure:
+    """The mix a profile's family preferences imply.
+
+    Each catalogue measure of ``target_kind`` is weighted by the profile's
+    preference for its family; a profile with all-zero preferences gets a
+    uniform mix.
+    """
+    members: Dict[EvolutionMeasure, float] = {}
+    for measure in catalog:
+        if measure.target_kind is not target_kind:
+            continue
+        members[measure] = profile.family_preference(measure.family)
+    if not members:
+        raise ValueError(f"catalogue has no measures of kind {target_kind.value}")
+    if all(weight == 0 for weight in members.values()):
+        members = {measure: 1.0 for measure in members}
+    return WeightedMixMeasure(name, members)

@@ -1,0 +1,70 @@
+"""Section II.b -- number of changes in class neighbourhoods.
+
+For a class ``n`` the paper defines the two-version neighbourhood
+``N_{V1,V2}(n)`` as the classes related to ``n`` -- via subsumption or via a
+property's domain/range -- *in either version*, and the measure::
+
+    |delta N_{V1,V2}(n)| = sum_{c in N_{V1,V2}(n)} delta_{V1,V2}(c)
+
+i.e. the total change count over the neighbourhood.  It captures whether
+"the topology of the knowledge base changed in a particular area".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.kb.terms import IRI
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+
+
+def two_version_neighborhood(context: EvolutionContext, cls: IRI) -> FrozenSet[IRI]:
+    """``N_{V1,V2}(n)``: union of the class's neighbourhoods in both versions."""
+    neighbourhood: Set[IRI] = set()
+    for schema in (context.old_schema, context.new_schema):
+        if cls in schema.classes():
+            neighbourhood |= schema.neighborhood(cls)
+    neighbourhood.discard(cls)
+    return frozenset(neighbourhood)
+
+
+class NeighborhoodChangeCount(EvolutionMeasure):
+    """Total ``delta(c)`` over the two-version neighbourhood of each class.
+
+    ``include_self=True`` additionally counts the class's own changes, which
+    turns the measure into "changes in the area around and including n";
+    the paper's definition sums over neighbours only (the default).
+    """
+
+    name = "neighborhood_change_count"
+    family = MeasureFamily.NEIGHBORHOOD
+    target_kind = TargetKind.CLASS
+    description = (
+        "Sum of change counts over the classes related to this class via "
+        "subsumption or properties in either version (Section II.b)."
+    )
+
+    def __init__(self, include_self: bool = False) -> None:
+        self._include_self = include_self
+        if include_self:
+            # Distinct configuration -> distinct catalogue identity.
+            self.name = "neighborhood_change_count_with_self"
+
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        counts = context.change_counts()
+        scores: Dict[IRI, float] = {}
+        for cls in context.union_classes():
+            total = sum(
+                counts.get(neighbour, 0)
+                for neighbour in two_version_neighborhood(context, cls)
+            )
+            if self._include_self:
+                total += counts.get(cls, 0)
+            scores[cls] = float(total)
+        return self._result(scores)

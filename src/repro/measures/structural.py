@@ -1,0 +1,102 @@
+"""Section II.c -- structural importance shifts.
+
+"A shift in one node's Bridging Centrality or Betweenness among V1 and V2
+could capture how the different changes on a dataset affected the topology
+around this specific node."
+
+Both measures build the class-level graph of each version (subsumption +
+property domain/range edges), compute the centrality in each, and score each
+class by the absolute difference.  Classes absent from a version have
+centrality 0 there, so newly appearing or vanishing hub classes score high.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping
+
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.graphtools.betweenness import betweenness_centrality
+from repro.graphtools.bridging import bridging_centrality
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+
+CentralityFn = Callable[[UndirectedGraph], Mapping[Hashable, float]]
+
+
+def class_graph(schema: SchemaView) -> UndirectedGraph:
+    """The class-level graph of one version (every class is a node)."""
+    graph = UndirectedGraph(nodes=schema.classes())
+    for a, b in schema.class_edges():
+        graph.add_edge(a, b)
+    return graph
+
+
+def _graph_and_betweenness(context: EvolutionContext, which: str):
+    """The class graph and betweenness map of one side, memoised on the context.
+
+    Both structural measures need the same betweenness scores; computing
+    them once per (context, version) halves the cost of the catalogue's
+    most expensive family.
+    """
+    key = f"structural:betweenness:{which}"
+    if key not in context.memo:
+        schema = context.old_schema if which == "old" else context.new_schema
+        graph = class_graph(schema)
+        context.memo[key] = (graph, betweenness_centrality(graph))
+    return context.memo[key]
+
+
+class _CentralityShift(EvolutionMeasure):
+    """Shared implementation: |centrality_V2(n) - centrality_V1(n)|."""
+
+    family = MeasureFamily.STRUCTURAL
+    target_kind = TargetKind.CLASS
+
+    @staticmethod
+    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
+        raise NotImplementedError
+
+    def compute(self, context: EvolutionContext) -> MeasureResult:
+        old_graph, old_betweenness = _graph_and_betweenness(context, "old")
+        new_graph, new_betweenness = _graph_and_betweenness(context, "new")
+        old_scores = self._scores(old_graph, old_betweenness)
+        new_scores = self._scores(new_graph, new_betweenness)
+        shifts: Dict[IRI, float] = {}
+        for cls in context.union_classes():
+            shifts[cls] = abs(new_scores.get(cls, 0.0) - old_scores.get(cls, 0.0))
+        return self._result(shifts)
+
+
+class BetweennessShift(_CentralityShift):
+    """Absolute change of betweenness centrality between the two versions."""
+
+    name = "betweenness_shift"
+    description = (
+        "Absolute difference of the class's betweenness centrality in the "
+        "class graphs of the two versions (Section II.c)."
+    )
+
+    @staticmethod
+    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
+        return betweenness
+
+
+class BridgingCentralityShift(_CentralityShift):
+    """Absolute change of bridging centrality between the two versions."""
+
+    name = "bridging_centrality_shift"
+    description = (
+        "Absolute difference of the class's bridging centrality (betweenness "
+        "times bridging coefficient) between the two versions (Section II.c)."
+    )
+
+    @staticmethod
+    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
+        return bridging_centrality(graph, betweenness=dict(betweenness))

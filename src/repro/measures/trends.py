@@ -1,0 +1,164 @@
+"""Trend analysis over version chains.
+
+The paper's introduction promises to help humans "observe changes trends and
+identify the most changed parts of a knowledge base".  A single delta shows
+one step; a *trend* shows how a measure's score for a class develops across
+the whole chain -- is an area heating up, cooling down, or spiking?
+
+:func:`measure_series` evaluates one measure on every consecutive version
+pair; :class:`TrendAnalysis` fits a least-squares slope per target and
+classifies each as ``rising`` / ``falling`` / ``spiking`` / ``steady``.
+The classification thresholds are relative to each target's own mean score,
+so populous and sparse classes are treated comparably.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kb.errors import VersionError
+from repro.kb.terms import IRI
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext, EvolutionMeasure
+
+
+class TrendKind(enum.Enum):
+    """How a target's evolution intensity develops over the chain."""
+
+    RISING = "rising"  # consistent upward slope
+    FALLING = "falling"  # consistent downward slope
+    SPIKING = "spiking"  # one step dominates the whole series
+    STEADY = "steady"  # no significant movement
+
+
+@dataclass(frozen=True)
+class Trend:
+    """One target's trend: the series, its slope, and its classification."""
+
+    target: IRI
+    series: Tuple[float, ...]
+    slope: float
+    kind: TrendKind
+
+    @property
+    def total(self) -> float:
+        """Sum of the series (total evolution intensity over the chain)."""
+        return sum(self.series)
+
+    @property
+    def peak_step(self) -> int:
+        """0-based index of the step with the highest score."""
+        return max(range(len(self.series)), key=lambda i: self.series[i])
+
+
+def measure_series(
+    kb: VersionedKnowledgeBase, measure: EvolutionMeasure
+) -> Dict[IRI, List[float]]:
+    """Evaluate ``measure`` on every consecutive version pair.
+
+    Returns, per target, the per-step score series (length ``len(kb) - 1``).
+    Targets missing from a step's result score 0.0 there.  Raises
+    :class:`~repro.kb.errors.VersionError` for chains shorter than two
+    versions.
+    """
+    if len(kb) < 2:
+        raise VersionError("trend analysis needs at least two versions")
+    step_results = [
+        measure.compute(EvolutionContext(old, new)) for old, new in kb.pairs()
+    ]
+    targets = set()
+    for result in step_results:
+        targets.update(result.scores)
+    return {
+        target: [result.score(target) for result in step_results]
+        for target in targets
+    }
+
+
+def _least_squares_slope(series: Sequence[float]) -> float:
+    """Slope of the ordinary-least-squares line through (step, score)."""
+    n = len(series)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(series) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in enumerate(series))
+    denominator = sum((x - mean_x) ** 2 for x in range(n))
+    return numerator / denominator if denominator else 0.0
+
+
+class TrendAnalysis:
+    """Classified trends of one measure over a version chain.
+
+    ``slope_threshold`` is the relative slope (per step, as a fraction of
+    the target's mean score) above which a series counts as rising/falling;
+    ``spike_ratio`` is how much of the series' total a single step must
+    carry to count as a spike.
+    """
+
+    def __init__(
+        self,
+        kb: VersionedKnowledgeBase,
+        measure: EvolutionMeasure,
+        slope_threshold: float = 0.25,
+        spike_ratio: float = 0.75,
+    ) -> None:
+        if not 0.0 < spike_ratio <= 1.0:
+            raise ValueError(f"spike_ratio must be in (0, 1], got {spike_ratio}")
+        if slope_threshold < 0.0:
+            raise ValueError(f"slope_threshold must be >= 0, got {slope_threshold}")
+        self._measure = measure
+        self._slope_threshold = slope_threshold
+        self._spike_ratio = spike_ratio
+        self._trends: Dict[IRI, Trend] = {}
+        for target, series in measure_series(kb, measure).items():
+            self._trends[target] = self._classify(target, series)
+
+    def _classify(self, target: IRI, series: List[float]) -> Trend:
+        slope = _least_squares_slope(series)
+        total = sum(series)
+        mean = total / len(series) if series else 0.0
+        kind = TrendKind.STEADY
+        if total > 0.0:
+            peak = max(series)
+            if len(series) >= 3 and peak / total >= self._spike_ratio:
+                kind = TrendKind.SPIKING
+            elif mean > 0.0 and slope / mean >= self._slope_threshold:
+                kind = TrendKind.RISING
+            elif mean > 0.0 and slope / mean <= -self._slope_threshold:
+                kind = TrendKind.FALLING
+        return Trend(target=target, series=tuple(series), slope=slope, kind=kind)
+
+    @property
+    def measure_name(self) -> str:
+        """The analysed measure's name."""
+        return self._measure.name
+
+    def trend(self, target: IRI) -> Trend:
+        """The trend of one target (raises ``KeyError`` if never scored)."""
+        if target not in self._trends:
+            raise KeyError(f"{target} was never scored by {self._measure.name}")
+        return self._trends[target]
+
+    def by_kind(self, kind: TrendKind) -> List[Trend]:
+        """All trends of one kind, strongest (|slope|, total) first."""
+        matching = [t for t in self._trends.values() if t.kind is kind]
+        matching.sort(key=lambda t: (-abs(t.slope), -t.total, t.target.value))
+        return matching
+
+    def hottest(self, k: int) -> List[Trend]:
+        """The ``k`` targets with the highest total intensity over the chain."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        ranked = sorted(
+            self._trends.values(), key=lambda t: (-t.total, t.target.value)
+        )
+        return ranked[:k]
+
+    def __len__(self) -> int:
+        return len(self._trends)
+
+    def __iter__(self):
+        return iter(self._trends.values())

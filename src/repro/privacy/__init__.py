@@ -1,0 +1,32 @@
+"""Privacy substrate (system S16): anonymity, Section III.e.
+
+Per-contributor evolution reports, subsumption-based generalisation
+hierarchies, k-anonymisation (generalise or suppress) with a guaranteed
+post-condition, and the information-loss/utility metrics of experiment E8.
+"""
+
+from repro.privacy.build import build_change_report
+from repro.privacy.generalization import GeneralizationHierarchy, TOP
+from repro.privacy.kanonymity import AnonymizedReport, anonymize_report
+from repro.privacy.loss import (
+    precision_loss,
+    ranking_utility,
+    reidentification_rate,
+    suppression_rate,
+)
+from repro.privacy.report import ChangeRecord, EvolutionReport, ReportRow
+
+__all__ = [
+    "build_change_report",
+    "GeneralizationHierarchy",
+    "TOP",
+    "AnonymizedReport",
+    "anonymize_report",
+    "precision_loss",
+    "ranking_utility",
+    "reidentification_rate",
+    "suppression_rate",
+    "ChangeRecord",
+    "EvolutionReport",
+    "ReportRow",
+]

@@ -1,0 +1,40 @@
+"""Build per-contributor evolution reports from real deltas.
+
+Bridges the delta layer and the privacy layer: every instance-level change
+in an evolution context is attributed to the *instance* whose data changed
+(the stand-in for the paper's data subject, e.g. the patient behind a health
+record), bucketed under the classes the instance belongs to.
+
+Schema-level changes (class/property declarations) carry no individual's
+data and are excluded -- anonymity constrains personal data only.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.kb.terms import IRI
+from repro.measures.base import EvolutionContext
+from repro.privacy.report import ChangeRecord, EvolutionReport
+
+
+def build_change_report(context: EvolutionContext) -> EvolutionReport:
+    """Attribute every instance-level change to its data subject.
+
+    For each added/deleted triple whose subject is an instance (typed into
+    at least one class in either version), one
+    :class:`~repro.privacy.report.ChangeRecord` of amount 1 is emitted per
+    class the instance belongs to, with the instance itself as contributor.
+    """
+    old_schema, new_schema = context.old_schema, context.new_schema
+    report = EvolutionReport()
+    for triple in list(context.delta.added) + list(context.delta.deleted):
+        subject = triple.subject
+        classes: Set[IRI] = set()
+        classes |= old_schema.classes_of(subject)
+        classes |= new_schema.classes_of(subject)
+        for cls in sorted(classes, key=lambda c: c.value):
+            report.add(
+                ChangeRecord(cls=cls, contributor_id=str(subject), amount=1.0)
+            )
+    return report

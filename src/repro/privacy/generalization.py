@@ -1,0 +1,75 @@
+"""Generalisation hierarchies over the class subsumption forest.
+
+k-anonymisation by generalisation climbs a value-generalisation hierarchy;
+for knowledge-base evolution reports the natural hierarchy is the
+subsumption forest itself: a too-specific row ("RareDisease, 1 patient")
+merges upward into its superclass ("Disease, 140 patients").
+
+The subsumption relation may give a class several superclasses; the
+hierarchy picks the lexicographically smallest for determinism.  All roots
+generalise to the synthetic top class :data:`TOP`, so every chain ends in a
+single bucket that can always absorb leftovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kb.namespaces import Namespace
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI
+
+#: Synthetic top of every generalisation chain.
+TOP = Namespace("http://repro.org/privacy#").Thing
+
+
+class GeneralizationHierarchy:
+    """Parent-per-class view of a schema's subsumption forest."""
+
+    def __init__(self, schema: SchemaView) -> None:
+        self._parents: Dict[IRI, IRI] = {}
+        for cls in schema.classes():
+            supers = sorted(schema.superclasses(cls), key=lambda c: c.value)
+            # Ignore self-loops; pick the smallest superclass for determinism.
+            supers = [s for s in supers if s != cls]
+            if supers:
+                self._parents[cls] = supers[0]
+
+    def parent(self, cls: IRI) -> IRI:
+        """The generalisation of ``cls`` (:data:`TOP` for roots and unknowns)."""
+        if cls == TOP:
+            return TOP
+        parent = self._parents.get(cls, TOP)
+        # Guard against subsumption cycles: a would-be ancestor equal to the
+        # class itself generalises straight to TOP.
+        return parent if parent != cls else TOP
+
+    def chain(self, cls: IRI) -> List[IRI]:
+        """The full generalisation chain ``cls -> ... -> TOP`` (inclusive)."""
+        chain = [cls]
+        seen = {cls}
+        current = cls
+        while current != TOP:
+            current = self.parent(current)
+            if current in seen:  # cycle guard
+                current = TOP
+            chain.append(current)
+            seen.add(current)
+        return chain
+
+    def height(self, cls: IRI) -> int:
+        """Number of generalisation steps from ``cls`` to :data:`TOP`."""
+        return len(self.chain(cls)) - 1
+
+    def max_height(self) -> int:
+        """The tallest chain over all known classes (>= 1 when non-empty)."""
+        known = set(self._parents) | set(self._parents.values())
+        known.discard(TOP)
+        return max((self.height(cls) for cls in known), default=0)
+
+    def steps_between(self, specific: IRI, general: IRI) -> Optional[int]:
+        """Steps from ``specific`` up to ``general`` (None if not an ancestor)."""
+        chain = self.chain(specific)
+        if general not in chain:
+            return None
+        return chain.index(general)

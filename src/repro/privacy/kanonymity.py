@@ -1,0 +1,182 @@
+"""k-anonymisation of evolution reports.
+
+Guarantee: every row of the released report aggregates at least ``k``
+distinct contributors (or is suppressed).  Two strategies:
+
+``generalize`` (default)
+    Bottom-up hierarchy climb, deepest classes first: a vulnerable row merges
+    into its parent's row (creating it if needed).  A vulnerable *ancestor*
+    bucket instead absorbs its smallest released descendant bucket, so
+    siblings pool at their common ancestor and the released rows stay
+    disjoint -- a reader can never subtract one released row from another to
+    recover a suppressed individual's data.  Rows that cannot reach ``k``
+    even at :data:`~repro.privacy.generalization.TOP` (fewer than ``k``
+    contributors exist overall) are suppressed.
+
+``suppress``
+    Vulnerable rows are simply dropped.  Cheaper but loses whole regions;
+    experiment E8 contrasts the two.
+
+The released report maps each original class to the row that now covers it
+(``covering``), which the utility metrics use to compare rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.kb.terms import IRI
+from repro.privacy.generalization import GeneralizationHierarchy, TOP
+from repro.privacy.report import EvolutionReport, ReportRow
+
+
+@dataclass(frozen=True)
+class AnonymizedReport:
+    """The released, k-anonymous report."""
+
+    k: int
+    rows: Tuple[ReportRow, ...]
+    covering: Mapping[IRI, IRI]  # original class -> released class (or absent if suppressed)
+    suppressed: FrozenSet[IRI]  # original classes whose data was dropped
+    generalization_steps: Mapping[IRI, int]  # original class -> levels climbed
+
+    def row_for(self, released_cls: IRI) -> ReportRow | None:
+        """The released row for ``released_cls`` (None if absent)."""
+        for row in self.rows:
+            if row.cls == released_cls:
+                return row
+        return None
+
+    def ranking(self) -> List[IRI]:
+        """Released classes by decreasing total."""
+        return [
+            row.cls
+            for row in sorted(self.rows, key=lambda r: (-r.total, r.cls.value))
+        ]
+
+    def is_k_anonymous(self) -> bool:
+        """Post-condition check: every released row has >= k contributors."""
+        return all(row.contributor_count >= self.k for row in self.rows)
+
+
+@dataclass
+class _Bucket:
+    total: float = 0.0
+    contributors: Set[str] = field(default_factory=set)
+    members: Set[IRI] = field(default_factory=set)  # original classes absorbed
+
+
+def anonymize_report(
+    report: EvolutionReport,
+    hierarchy: GeneralizationHierarchy,
+    k: int,
+    strategy: str = "generalize",
+) -> AnonymizedReport:
+    """Anonymise ``report`` so every released row has >= ``k`` contributors."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if strategy not in ("generalize", "suppress"):
+        raise ValueError(f"strategy must be 'generalize' or 'suppress', got {strategy!r}")
+
+    if strategy == "suppress":
+        return _suppress(report, k)
+    return _generalize(report, hierarchy, k)
+
+
+def _suppress(report: EvolutionReport, k: int) -> AnonymizedReport:
+    kept: List[ReportRow] = []
+    covering: Dict[IRI, IRI] = {}
+    suppressed: Set[IRI] = set()
+    for row in report.rows():
+        if row.contributor_count >= k:
+            kept.append(row)
+            covering[row.cls] = row.cls
+        else:
+            suppressed.add(row.cls)
+    return AnonymizedReport(
+        k=k,
+        rows=tuple(kept),
+        covering=covering,
+        suppressed=frozenset(suppressed),
+        generalization_steps={cls: 0 for cls in covering},
+    )
+
+
+def _generalize(
+    report: EvolutionReport, hierarchy: GeneralizationHierarchy, k: int
+) -> AnonymizedReport:
+    # Buckets start as the original rows, keyed by their current class.
+    buckets: Dict[IRI, _Bucket] = {}
+    for row in report.rows():
+        bucket = buckets.setdefault(row.cls, _Bucket())
+        bucket.total += row.total
+        bucket.contributors |= set(row.contributors)
+        bucket.members.add(row.cls)
+
+    # Deepest-first: merging children before parents lets siblings pool at
+    # the parent instead of racing past it to TOP.
+    def depth_key(cls: IRI) -> Tuple[int, str]:
+        return (-hierarchy.height(cls), cls.value)
+
+    def merge(source_cls: IRI, target_cls: IRI) -> None:
+        source = buckets.pop(source_cls)
+        target = buckets.setdefault(target_cls, _Bucket())
+        target.total += source.total
+        target.contributors |= source.contributors
+        target.members |= source.members
+
+    changed = True
+    while changed:
+        changed = False
+        for cls in sorted(buckets, key=depth_key):
+            bucket = buckets[cls]
+            if len(bucket.contributors) >= k:
+                continue
+            # A vulnerable bucket first tries to absorb its smallest released
+            # descendant: the released rows stay disjoint (no subtraction
+            # attack recovers the vulnerable data) and the label stays as
+            # specific as possible.  TOP never absorbs -- data stranded
+            # there is suppressed rather than dragging safe rows to TOP.
+            if cls != TOP:
+                descendants = [
+                    other
+                    for other in buckets
+                    if other != cls
+                    and hierarchy.steps_between(other, cls) not in (None, 0)
+                ]
+                if descendants:
+                    victim = min(
+                        descendants,
+                        key=lambda c: (len(buckets[c].contributors), c.value),
+                    )
+                    merge(victim, cls)
+                    changed = True
+                    break  # restart: bucket set changed
+                merge(cls, hierarchy.parent(cls))
+                changed = True
+                break  # restart: depths changed
+
+    rows: List[ReportRow] = []
+    covering: Dict[IRI, IRI] = {}
+    steps: Dict[IRI, int] = {}
+    suppressed: Set[IRI] = set()
+    for cls in sorted(buckets, key=lambda c: c.value):
+        bucket = buckets[cls]
+        if len(bucket.contributors) >= k:
+            rows.append(ReportRow(cls, bucket.total, frozenset(bucket.contributors)))
+            for member in bucket.members:
+                covering[member] = cls
+                climbed = hierarchy.steps_between(member, cls)
+                steps[member] = climbed if climbed is not None else hierarchy.height(member)
+        else:
+            # Even TOP could not reach k: fewer than k contributors exist.
+            suppressed |= bucket.members
+
+    return AnonymizedReport(
+        k=k,
+        rows=tuple(rows),
+        covering=covering,
+        suppressed=frozenset(suppressed),
+        generalization_steps=steps,
+    )

@@ -1,0 +1,96 @@
+"""Information-loss and utility metrics for anonymised evolution reports.
+
+Experiment E8 sweeps ``k`` and reports, per the paper's anonymity
+discussion, how much analytical value the aggregation costs:
+
+* :func:`reidentification_rate` -- the privacy risk before release,
+* :func:`suppression_rate` and :func:`precision_loss` -- information loss,
+* :func:`ranking_utility` -- how well the released report still answers the
+  question the whole system exists for: *which parts changed most?*
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict
+
+from repro.privacy.generalization import GeneralizationHierarchy
+from repro.privacy.kanonymity import AnonymizedReport
+from repro.privacy.report import EvolutionReport
+
+
+def reidentification_rate(report: EvolutionReport, k: int) -> float:
+    """Fraction of rows with fewer than ``k`` contributors (risk surface)."""
+    rows = report.rows()
+    if not rows:
+        return 0.0
+    return len(report.vulnerable_rows(k)) / len(rows)
+
+
+def suppression_rate(report: EvolutionReport, anonymized: AnonymizedReport) -> float:
+    """Fraction of original classes whose data was dropped entirely."""
+    classes = report.classes()
+    if not classes:
+        return 0.0
+    return len(anonymized.suppressed) / len(classes)
+
+
+def precision_loss(
+    anonymized: AnonymizedReport, hierarchy: GeneralizationHierarchy
+) -> float:
+    """Sweeney-style precision loss: mean generalisation height, normalised.
+
+    0.0 = every class released at its own level; 1.0 = everything climbed
+    its full chain (or was suppressed, which counts as a full climb).
+    """
+    max_height = hierarchy.max_height()
+    if max_height == 0:
+        return 0.0
+    losses = []
+    for cls, steps in anonymized.generalization_steps.items():
+        height = hierarchy.height(cls)
+        losses.append(steps / height if height else 0.0)
+    for cls in anonymized.suppressed:
+        losses.append(1.0)
+    if not losses:
+        return 0.0
+    return sum(losses) / len(losses)
+
+
+def ranking_utility(report: EvolutionReport, anonymized: AnonymizedReport) -> float:
+    """Pairwise order agreement between true and released change rankings.
+
+    For every pair of original classes that both survived release, compare
+    their true change totals with the totals of their covering released
+    rows.  Concordant pairs score 1, ties in the released view score 0.5
+    (the released report can no longer distinguish them), discordant pairs
+    score 0.  Returns 1.0 for degenerate reports (fewer than two survivors).
+    """
+    truth: Dict = {}
+    released: Dict = {}
+    for row in report.rows():
+        covering = anonymized.covering.get(row.cls)
+        if covering is None:
+            continue
+        truth[row.cls] = row.total
+        covering_row = anonymized.row_for(covering)
+        released[row.cls] = covering_row.total if covering_row else 0.0
+
+    classes = sorted(truth, key=lambda c: c.value)
+    if len(classes) < 2:
+        return 1.0
+
+    score = 0.0
+    pairs = 0
+    for a, b in combinations(classes, 2):
+        true_diff = truth[a] - truth[b]
+        released_diff = released[a] - released[b]
+        if true_diff == 0:
+            # The truth cannot order them; any released order is acceptable.
+            score += 1.0
+        elif released_diff == 0:
+            score += 0.5
+        elif (true_diff > 0) == (released_diff > 0):
+            score += 1.0
+        pairs += 1
+    return score / pairs

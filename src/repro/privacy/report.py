@@ -1,0 +1,113 @@
+"""Evolution reports with per-contributor accounting.
+
+Section III.e motivates anonymity with health data: "the patient health
+records cannot be processed individually because of their sensitiveness.
+Interestingly, data evolution can be studied from analyzing aggregations on
+them ... But often, even if data is aggregated, it is possible to
+re-identify sensitive patient's data."
+
+The privacy unit here is the *contributor*: the data subject whose records
+caused a change.  A :class:`ChangeRecord` attributes an amount of change on
+a class to one contributor; an :class:`EvolutionReport` aggregates records
+per class while remembering the distinct contributor set -- the quantity
+k-anonymity constrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List
+
+from repro.kb.terms import IRI
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One contributor's share of the change on one class."""
+
+    cls: IRI
+    contributor_id: str
+    amount: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.contributor_id:
+            raise ValueError("contributor_id must be non-empty")
+        if self.amount < 0:
+            raise ValueError(f"amount must be >= 0, got {self.amount}")
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One released row: a class, its change total, its contributor set."""
+
+    cls: IRI
+    total: float
+    contributors: FrozenSet[str]
+
+    @property
+    def contributor_count(self) -> int:
+        """Number of distinct contributors behind this row."""
+        return len(self.contributors)
+
+
+class EvolutionReport:
+    """Per-class aggregation of change records.
+
+    Rows are exposed in deterministic (IRI) order.  ``row_for`` returns the
+    row of one class; ``vulnerable_rows(k)`` lists the rows whose contributor
+    count is below ``k`` -- the re-identification surface the anonymiser
+    must eliminate.
+    """
+
+    def __init__(self, records: Iterable[ChangeRecord] = ()) -> None:
+        self._totals: Dict[IRI, float] = {}
+        self._contributors: Dict[IRI, set] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: ChangeRecord) -> None:
+        """Fold one record into the report."""
+        self._totals[record.cls] = self._totals.get(record.cls, 0.0) + record.amount
+        self._contributors.setdefault(record.cls, set()).add(record.contributor_id)
+
+    def rows(self) -> List[ReportRow]:
+        """All rows, IRI-ordered."""
+        return [
+            ReportRow(cls, self._totals[cls], frozenset(self._contributors[cls]))
+            for cls in sorted(self._totals, key=lambda c: c.value)
+        ]
+
+    def row_for(self, cls: IRI) -> ReportRow | None:
+        """The row of ``cls``, or None if the class has no records."""
+        if cls not in self._totals:
+            return None
+        return ReportRow(cls, self._totals[cls], frozenset(self._contributors[cls]))
+
+    def classes(self) -> List[IRI]:
+        """Classes with at least one record, IRI-ordered."""
+        return sorted(self._totals, key=lambda c: c.value)
+
+    def vulnerable_rows(self, k: int) -> List[ReportRow]:
+        """Rows re-identifiable at threshold ``k`` (contributors < k)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return [row for row in self.rows() if row.contributor_count < k]
+
+    def ranking(self) -> List[IRI]:
+        """Classes by decreasing change total (deterministic tie-break)."""
+        return [
+            cls
+            for cls, _ in sorted(
+                self._totals.items(), key=lambda kv: (-kv[1], kv[0].value)
+            )
+        ]
+
+    def total_amount(self) -> float:
+        """Sum of change amounts over all rows."""
+        return sum(self._totals.values())
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def __iter__(self) -> Iterator[ReportRow]:
+        return iter(self.rows())

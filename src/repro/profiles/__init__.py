@@ -1,0 +1,13 @@
+"""The human model (system S11): users, interest profiles, groups, feedback."""
+
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
+from repro.profiles.group import Group
+from repro.profiles.user import InterestProfile, User
+
+__all__ = [
+    "FeedbackEvent",
+    "FeedbackStore",
+    "Group",
+    "InterestProfile",
+    "User",
+]

@@ -1,0 +1,57 @@
+"""Groups of users, for the group-recommendation perspectives.
+
+Section III.d: "assume that we would like to recommend evolution measures to
+a group of humans, e.g., the curators' team of a knowledge base."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.profiles.user import InterestProfile, User
+
+
+@dataclass(frozen=True)
+class Group:
+    """A non-empty, duplicate-free collection of users."""
+
+    group_id: str
+    members: Tuple[User, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_id:
+            raise ValueError("group_id must be non-empty")
+        if not self.members:
+            raise ValueError("a group needs at least one member")
+        ids = [u.user_id for u in self.members]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate members in group {self.group_id!r}")
+
+    def member_ids(self) -> Tuple[str, ...]:
+        """The member user ids, in group order."""
+        return tuple(u.user_id for u in self.members)
+
+    def merged_profile(self) -> InterestProfile:
+        """The uniform average of all member profiles.
+
+        This is the naive group profile; the fairness-aware selectors in
+        :mod:`repro.recommender.fairness` deliberately avoid relying on it
+        alone (averaging can bury a minority member's interests).
+        """
+        merged = self.members[0].profile
+        for i, user in enumerate(self.members[1:], start=2):
+            # Running average: after i members each contributes 1/i.
+            merged = merged.blend(user.profile, alpha=(i - 1) / i)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self.members)
+
+    def __contains__(self, user: object) -> bool:
+        if isinstance(user, User):
+            return user in self.members
+        return any(u.user_id == user for u in self.members)

@@ -1,0 +1,103 @@
+"""Users and their interest profiles.
+
+Section III puts "humans in the loop": curators, editors, or anyone
+producing and consuming data.  A :class:`User` couples an identifier with an
+:class:`InterestProfile` -- a non-negative weighting over knowledge-base
+classes plus a preference over measure families -- which the relatedness
+perspective scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.kb.terms import IRI
+from repro.measures.base import MeasureFamily
+
+
+@dataclass(frozen=True)
+class InterestProfile:
+    """What a human cares about.
+
+    ``class_weights``
+        Non-negative interest per class IRI.  Missing classes have weight 0.
+    ``family_weights``
+        Non-negative preference per measure family (how much the user values
+        count-style vs. semantic-style views of evolution).  Missing families
+        default to a neutral 1.0 so a profile that says nothing about
+        families is family-agnostic.
+    """
+
+    class_weights: Mapping[IRI, float] = field(default_factory=dict)
+    family_weights: Mapping[MeasureFamily, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cls, weight in self.class_weights.items():
+            if weight < 0:
+                raise ValueError(f"negative interest weight for {cls}: {weight}")
+        for family, weight in self.family_weights.items():
+            if weight < 0:
+                raise ValueError(f"negative family weight for {family}: {weight}")
+
+    def interest_in(self, cls: IRI) -> float:
+        """Interest weight for ``cls`` (0.0 when unknown)."""
+        return self.class_weights.get(cls, 0.0)
+
+    def family_preference(self, family: MeasureFamily) -> float:
+        """Preference weight for a measure family (neutral 1.0 when unset)."""
+        return self.family_weights.get(family, 1.0)
+
+    def top_classes(self, k: int) -> list[IRI]:
+        """The ``k`` classes of highest interest (deterministic tie-break)."""
+        ranked = sorted(self.class_weights.items(), key=lambda kv: (-kv[1], kv[0].value))
+        return [cls for cls, w in ranked[:k] if w > 0]
+
+    def normalized(self) -> "InterestProfile":
+        """Class weights rescaled to peak 1.0 (family weights untouched)."""
+        peak = max(self.class_weights.values(), default=0.0)
+        if peak <= 0:
+            return self
+        return InterestProfile(
+            class_weights={c: w / peak for c, w in self.class_weights.items()},
+            family_weights=dict(self.family_weights),
+        )
+
+    def blend(self, other: "InterestProfile", alpha: float = 0.5) -> "InterestProfile":
+        """Convex combination: ``alpha * self + (1 - alpha) * other``."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        classes = set(self.class_weights) | set(other.class_weights)
+        families = set(self.family_weights) | set(other.family_weights)
+        return InterestProfile(
+            class_weights={
+                c: alpha * self.interest_in(c) + (1 - alpha) * other.interest_in(c)
+                for c in classes
+            },
+            family_weights={
+                f: alpha * self.family_preference(f)
+                + (1 - alpha) * other.family_preference(f)
+                for f in families
+            },
+        )
+
+    def is_empty(self) -> bool:
+        """True when the profile expresses no class interest at all."""
+        return not any(w > 0 for w in self.class_weights.values())
+
+
+@dataclass(frozen=True)
+class User:
+    """A human in the loop: an id, a display name and an interest profile."""
+
+    user_id: str
+    profile: InterestProfile = field(default_factory=InterestProfile)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+
+    def display_name(self) -> str:
+        """The name when set, else the id."""
+        return self.name or self.user_id

@@ -1,0 +1,30 @@
+"""Provenance substrate (system S13): transparency, Section III.b.
+
+A PROV-DM-style model, an in-memory store answering the paper's three
+provenance question templates, and a workflow engine that captures
+provenance automatically while running tasks.
+"""
+
+from repro.provenance.model import (
+    Activity,
+    Agent,
+    Entity,
+    Relation,
+    RelationKind,
+    fresh_id,
+)
+from repro.provenance.store import ProvenanceError, ProvenanceStore
+from repro.provenance.workflow import TaskRun, Workflow
+
+__all__ = [
+    "Activity",
+    "Agent",
+    "Entity",
+    "Relation",
+    "RelationKind",
+    "fresh_id",
+    "ProvenanceError",
+    "ProvenanceStore",
+    "TaskRun",
+    "Workflow",
+]

@@ -1,0 +1,238 @@
+"""The diversity perspective (Section III.c).
+
+"The produced set of measures should cover all the different needs of the
+human in question and not focus on a particular aspect of evolution."
+
+The paper classifies diversification into content-based, novelty-based and
+semantic-based; all three are implemented over one item-distance model:
+
+* :class:`ItemDistance` -- distance of two items combines measure identity,
+  measure family, and target distance in the class graph.
+* :func:`mmr_select` -- content-based: greedy Maximal Marginal Relevance.
+* :func:`max_min_select` -- content-based: greedy Max-Min dispersion
+  (ablation alternative to MMR).
+* :func:`novelty_select` -- novelty-based: MMR where the penalty also counts
+  similarity to *previously seen* items.
+* :func:`coverage_select` -- semantic-based: greedy coverage of "categories"
+  (measure families and target regions).
+* :func:`intra_list_distance` / :func:`family_coverage` -- the set-level
+  metrics experiments E5/E6 report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.graphtools.traversal import bfs_distances
+from repro.kb.terms import IRI
+from repro.measures.base import MeasureFamily
+from repro.recommender.items import RecommendationItem, ScoredItem
+from repro.util.validation import require_probability
+
+
+class ItemDistance:
+    """Distance in [0, 1] between recommendation items.
+
+    ``d = w_m * [different measure] + w_f * [different family] + w_t * target_distance``
+    with weights summing to 1.  Target distance is the class-graph hop
+    distance capped at ``horizon`` and normalised (identical targets 0,
+    beyond-horizon or disconnected 1); without a class graph it is the
+    0/1 indicator of different targets.
+    """
+
+    def __init__(
+        self,
+        class_graph: UndirectedGraph | None = None,
+        measure_weight: float = 0.3,
+        family_weight: float = 0.3,
+        target_weight: float = 0.4,
+        horizon: int = 3,
+    ) -> None:
+        total = measure_weight + family_weight + target_weight
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"distance weights must sum to 1, got {total}")
+        for name, value in (
+            ("measure_weight", measure_weight),
+            ("family_weight", family_weight),
+            ("target_weight", target_weight),
+        ):
+            require_probability(value, name)
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self._graph = class_graph
+        self._wm = measure_weight
+        self._wf = family_weight
+        self._wt = target_weight
+        self._horizon = horizon
+        self._distance_cache: Dict[IRI, Dict[IRI, int]] = {}
+
+    def _target_distance(self, a: IRI, b: IRI) -> float:
+        if a == b:
+            return 0.0
+        if self._graph is None or a not in self._graph or b not in self._graph:
+            return 1.0
+        if a not in self._distance_cache:
+            self._distance_cache[a] = bfs_distances(self._graph, a)
+        hops = self._distance_cache[a].get(b)
+        if hops is None or hops >= self._horizon:
+            return 1.0
+        return hops / self._horizon
+
+    def __call__(self, a: RecommendationItem, b: RecommendationItem) -> float:
+        """The distance ``d(a, b)`` in [0, 1]."""
+        measure_term = 0.0 if a.measure_name == b.measure_name else 1.0
+        family_term = 0.0 if a.family is b.family else 1.0
+        target_term = self._target_distance(a.target, b.target)
+        return self._wm * measure_term + self._wf * family_term + self._wt * target_term
+
+
+def mmr_select(
+    candidates: Sequence[ScoredItem],
+    k: int,
+    distance: ItemDistance,
+    lam: float = 0.7,
+) -> List[ScoredItem]:
+    """Greedy Maximal Marginal Relevance.
+
+    Iteratively picks ``argmax lam * utility - (1 - lam) * max_similarity``
+    to the already-selected set (similarity = 1 - distance).  ``lam = 1``
+    reduces to pure relevance ranking; ``lam = 0`` to pure diversification.
+    """
+    require_probability(lam, "lam")
+    return _greedy_mmr(candidates, k, distance, lam, seen=())
+
+
+def novelty_select(
+    candidates: Sequence[ScoredItem],
+    k: int,
+    distance: ItemDistance,
+    seen: Sequence[RecommendationItem],
+    lam: float = 0.7,
+) -> List[ScoredItem]:
+    """Novelty-based diversification: also avoid *previously seen* items.
+
+    The MMR penalty takes the maximum similarity over both the selected set
+    and the ``seen`` history, so the package prefers items that tell the
+    human something new relative to past recommendations (the paper's
+    "novelty-based" category).
+    """
+    require_probability(lam, "lam")
+    return _greedy_mmr(candidates, k, distance, lam, seen=tuple(seen))
+
+
+def _greedy_mmr(
+    candidates: Sequence[ScoredItem],
+    k: int,
+    distance: ItemDistance,
+    lam: float,
+    seen: Tuple[RecommendationItem, ...],
+) -> List[ScoredItem]:
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    pool = sorted(candidates, key=lambda s: (-s.utility, s.item.key))
+    selected: List[ScoredItem] = []
+    while pool and len(selected) < k:
+        best_index = 0
+        best_value = float("-inf")
+        for index, scored in enumerate(pool):
+            reference = [s.item for s in selected] + list(seen)
+            if reference:
+                max_similarity = max(1.0 - distance(scored.item, other) for other in reference)
+            else:
+                max_similarity = 0.0
+            value = lam * scored.utility - (1.0 - lam) * max_similarity
+            if value > best_value + 1e-12:
+                best_value = value
+                best_index = index
+        selected.append(pool.pop(best_index))
+    return selected
+
+
+def max_min_select(
+    candidates: Sequence[ScoredItem],
+    k: int,
+    distance: ItemDistance,
+    lam: float = 0.7,
+) -> List[ScoredItem]:
+    """Greedy Max-Min dispersion (the E5 ablation alternative to MMR).
+
+    Starts from the highest-utility item, then repeatedly adds
+    ``argmax lam * utility + (1 - lam) * min_distance`` to the selected set.
+    """
+    require_probability(lam, "lam")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    pool = sorted(candidates, key=lambda s: (-s.utility, s.item.key))
+    if not pool or k == 0:
+        return []
+    selected = [pool.pop(0)]
+    while pool and len(selected) < k:
+        best_index = 0
+        best_value = float("-inf")
+        for index, scored in enumerate(pool):
+            min_distance = min(distance(scored.item, s.item) for s in selected)
+            value = lam * scored.utility + (1.0 - lam) * min_distance
+            if value > best_value + 1e-12:
+                best_value = value
+                best_index = index
+        selected.append(pool.pop(best_index))
+    return selected
+
+
+def coverage_select(
+    candidates: Sequence[ScoredItem],
+    k: int,
+    distance: ItemDistance | None = None,
+) -> List[ScoredItem]:
+    """Semantic-based diversification: cover categories first.
+
+    Categories are the measure families; within one round the selector picks
+    the best unused item of each not-yet-covered family (by utility), then
+    starts a new round.  This directly implements the paper's "semantic-
+    based, selecting items that belong to different categories and topics".
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    pool = sorted(candidates, key=lambda s: (-s.utility, s.item.key))
+    selected: List[ScoredItem] = []
+    while pool and len(selected) < k:
+        covered: Set[MeasureFamily] = set()
+        progressed = False
+        for scored in list(pool):
+            if len(selected) >= k:
+                break
+            if scored.item.family in covered:
+                continue
+            covered.add(scored.item.family)
+            selected.append(scored)
+            pool.remove(scored)
+            progressed = True
+        if not progressed:
+            break
+    return selected
+
+
+# -- set-level metrics -----------------------------------------------------------
+
+
+def intra_list_distance(
+    items: Sequence[RecommendationItem], distance: ItemDistance
+) -> float:
+    """Mean pairwise distance of the set (0.0 for fewer than two items)."""
+    if len(items) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            total += distance(a, b)
+            pairs += 1
+    return total / pairs
+
+
+def family_coverage(items: Sequence[RecommendationItem]) -> float:
+    """Fraction of the four Section II families present in the set."""
+    if not items:
+        return 0.0
+    return len({item.family for item in items}) / len(MeasureFamily)

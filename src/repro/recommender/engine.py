@@ -1,0 +1,341 @@
+"""The recommendation engine: the paper's processing model, end to end.
+
+``RecommenderEngine`` ties every perspective together:
+
+1. *Measures* (Section II): the catalogue scores every class/property on the
+   evolution context.
+2. *Relatedness* (III.a): candidates are scored against the human's profile
+   (and collaborative feedback when available).
+3. *Diversity* (III.c): the package is diversified (MMR / Max-Min /
+   coverage / novelty), not just truncated.
+4. *Fairness* (III.d): group recommendations use group-aware selection.
+5. *Transparency* (III.b): the pipeline runs through a provenance-capturing
+   workflow and every item carries an explanation.
+6. *Anonymity* (III.e): change reports derived from the same context can be
+   released k-anonymously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext, MeasureCatalog, MeasureResult
+from repro.measures.catalog import default_catalog
+from repro.measures.structural import class_graph
+from repro.privacy.build import build_change_report
+from repro.privacy.generalization import GeneralizationHierarchy
+from repro.privacy.kanonymity import AnonymizedReport, anonymize_report
+from repro.privacy.report import EvolutionReport
+from repro.profiles.feedback import FeedbackStore
+from repro.profiles.group import Group
+from repro.profiles.user import User
+from repro.provenance.store import ProvenanceStore
+from repro.provenance.workflow import Workflow
+from repro.recommender.diversity import (
+    ItemDistance,
+    coverage_select,
+    max_min_select,
+    mmr_select,
+    novelty_select,
+)
+from repro.recommender.fairness import STRATEGIES, select_package
+from repro.recommender.items import (
+    RecommendationItem,
+    RecommendationPackage,
+    ScoredItem,
+)
+from repro.recommender.ranking import generate_candidates, rank_items, utility_scores
+from repro.recommender.relatedness import RelatednessScorer
+from repro.recommender.transparency import explain_item
+from repro.util.validation import require_probability
+
+DIVERSIFIERS = ("none", "mmr", "max_min", "coverage", "novelty")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All engine knobs in one place (the ablation surface of E4/E5/E7)."""
+
+    k: int = 10
+    per_measure_candidates: int | None = 25
+    alpha: float = 0.6  # semantic vs collaborative relatedness blend
+    diversifier: str = "mmr"
+    mmr_lambda: float = 0.7
+    group_strategy: str = "fairness_aware"
+    fairness_beta: float = 0.5
+    spread_depth: int = 0  # interest spreading hops (0 = profile as-is)
+    spread_decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        require_probability(self.alpha, "alpha")
+        require_probability(self.mmr_lambda, "mmr_lambda")
+        require_probability(self.fairness_beta, "fairness_beta")
+        require_probability(self.spread_decay, "spread_decay")
+        if self.diversifier not in DIVERSIFIERS:
+            raise ValueError(
+                f"diversifier must be one of {DIVERSIFIERS}, got {self.diversifier!r}"
+            )
+        if self.group_strategy not in STRATEGIES:
+            raise ValueError(
+                f"group_strategy must be one of {STRATEGIES}, got {self.group_strategy!r}"
+            )
+
+
+class RecommenderEngine:
+    """Facade over the full human-aware recommendation pipeline."""
+
+    def __init__(
+        self,
+        kb: VersionedKnowledgeBase,
+        catalog: MeasureCatalog | None = None,
+        config: EngineConfig | None = None,
+        feedback: FeedbackStore | None = None,
+        provenance_store: ProvenanceStore | None = None,
+    ) -> None:
+        self._kb = kb
+        self._catalog = catalog or default_catalog()
+        self._config = config or EngineConfig()
+        self._feedback = feedback
+        self._workflow = Workflow("recommender", provenance_store)
+        self._context_cache: EvolutionContext | None = None
+        self._results_cache: Dict[int, Mapping[str, MeasureResult]] = {}
+        self._candidates_cache: Dict[int, List[RecommendationItem]] = {}
+        self._scorer: RelatednessScorer | None = None
+
+    # -- shared pipeline pieces ---------------------------------------------------
+
+    @property
+    def catalog(self) -> MeasureCatalog:
+        """The measure catalogue being recommended from."""
+        return self._catalog
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def workflow(self) -> Workflow:
+        """The provenance-capturing workflow (capture may be disabled)."""
+        return self._workflow
+
+    def context(self) -> EvolutionContext:
+        """The default evolution context: the latest version pair."""
+        if self._context_cache is None:
+            versions = list(self._kb)
+            if len(versions) < 2:
+                raise ValueError(
+                    "knowledge base needs at least two versions to recommend on"
+                )
+            self._context_cache = EvolutionContext(versions[-2], versions[-1])
+        return self._context_cache
+
+    def measure_results(
+        self, context: EvolutionContext | None = None
+    ) -> Mapping[str, MeasureResult]:
+        """All measure results on the context (cached per context)."""
+        context = context or self.context()
+        key = id(context)
+        if key not in self._results_cache:
+            run = self._workflow.run_task(
+                "compute_measures",
+                self._catalog.compute_all,
+                args=(context,),
+                output_label=f"measure results {context.old.version_id}->{context.new.version_id}",
+            )
+            self._results_cache[key] = run.value
+        return self._results_cache[key]
+
+    def candidates(
+        self, context: EvolutionContext | None = None
+    ) -> List[RecommendationItem]:
+        """The candidate item pool (cached per context)."""
+        context = context or self.context()
+        key = id(context)
+        if key not in self._candidates_cache:
+            results = self.measure_results(context)
+            run = self._workflow.run_task(
+                "generate_candidates",
+                generate_candidates,
+                args=(self._catalog, context),
+                kwargs={
+                    "per_measure": self._config.per_measure_candidates,
+                    "results": results,
+                },
+                output_label="candidate items",
+            )
+            self._candidates_cache[key] = run.value
+        return self._candidates_cache[key]
+
+    def scorer(self, context: EvolutionContext | None = None) -> RelatednessScorer:
+        """The relatedness scorer (built once; uses the new version's schema)."""
+        if self._scorer is None:
+            context = context or self.context()
+            self._scorer = RelatednessScorer(
+                alpha=self._config.alpha,
+                feedback=self._feedback,
+                schema=context.new_schema,
+                spread_decay=self._config.spread_decay,
+                spread_depth=self._config.spread_depth,
+            )
+        return self._scorer
+
+    def _distance(self, context: EvolutionContext) -> ItemDistance:
+        return ItemDistance(class_graph=class_graph(context.new_schema))
+
+    def _diversify(
+        self,
+        ranked: Sequence[ScoredItem],
+        k: int,
+        context: EvolutionContext,
+        seen: Sequence[RecommendationItem] = (),
+    ) -> List[ScoredItem]:
+        name = self._config.diversifier
+        if name == "none":
+            return list(ranked[:k])
+        distance = self._distance(context)
+        if name == "mmr":
+            return mmr_select(ranked, k, distance, self._config.mmr_lambda)
+        if name == "max_min":
+            return max_min_select(ranked, k, distance, self._config.mmr_lambda)
+        if name == "coverage":
+            return coverage_select(ranked, k, distance)
+        return novelty_select(ranked, k, distance, seen, self._config.mmr_lambda)
+
+    def _seen_items(self, user: User) -> List[RecommendationItem]:
+        """Items the user has already interacted with (novelty history)."""
+        if self._feedback is None:
+            return []
+        seen: List[RecommendationItem] = []
+        by_key = {item.key: item for item in self.candidates()}
+        for key in self._feedback.ratings_by_user(user.user_id):
+            if key in by_key:
+                seen.append(by_key[key])
+        return seen
+
+    # -- single-user recommendation -------------------------------------------------
+
+    def recommend(
+        self,
+        user: User,
+        k: int | None = None,
+        context: EvolutionContext | None = None,
+    ) -> RecommendationPackage:
+        """Recommend a diversified, explained package for one human."""
+        context = context or self.context()
+        k = self._config.k if k is None else k
+        candidates = self.candidates(context)
+        scorer = self.scorer(context)
+
+        utilities_run = self._workflow.run_task(
+            "score_utilities",
+            utility_scores,
+            args=(user, candidates, scorer),
+            output_label=f"utilities for {user.user_id}",
+        )
+        ranked = rank_items(candidates, utilities_run.value)
+        selected = self._diversify(ranked, k, context, seen=self._seen_items(user))
+
+        relatedness = {
+            scored.item.key: scorer.score(user, scored.item) for scored in selected
+        }
+        explanations = {
+            scored.item.key: explain_item(
+                scored, user, self._catalog, relatedness[scored.item.key]
+            )
+            for scored in selected
+        }
+        package = RecommendationPackage(
+            items=tuple(selected),
+            audience=user.user_id,
+            explanations=explanations,
+            metadata={
+                "context": f"{context.old.version_id}->{context.new.version_id}",
+                "diversifier": self._config.diversifier,
+            },
+        )
+        self._workflow.run_task(
+            "assemble_package",
+            lambda: package,
+            inputs=[utilities_run.output],
+            output_label=f"package for {user.user_id}",
+        )
+        return package
+
+    # -- group recommendation ----------------------------------------------------------
+
+    def recommend_group(
+        self,
+        group: Group,
+        k: int | None = None,
+        strategy: str | None = None,
+        context: EvolutionContext | None = None,
+    ) -> RecommendationPackage:
+        """Recommend one package for a whole group (Section III.d)."""
+        context = context or self.context()
+        k = self._config.k if k is None else k
+        strategy = strategy or self._config.group_strategy
+        candidates = self.candidates(context)
+        scorer = self.scorer(context)
+
+        utilities = {
+            member.user_id: utility_scores(member, candidates, scorer)
+            for member in group
+        }
+        selected = select_package(
+            group,
+            candidates,
+            utilities,
+            k,
+            strategy=strategy,
+            beta=self._config.fairness_beta,
+        )
+        explanations = {
+            scored.item.key: (
+                f"Group pick ({strategy}): "
+                + "; ".join(
+                    f"{member.user_id} utility "
+                    f"{utilities[member.user_id].get(scored.item.key, 0.0):.2f}"
+                    for member in group
+                )
+            )
+            for scored in selected
+        }
+        return RecommendationPackage(
+            items=tuple(selected),
+            audience=group.group_id,
+            explanations=explanations,
+            metadata={
+                "context": f"{context.old.version_id}->{context.new.version_id}",
+                "strategy": strategy,
+            },
+        )
+
+    # -- anonymised reporting --------------------------------------------------------
+
+    def change_report(self, context: EvolutionContext | None = None) -> EvolutionReport:
+        """The per-contributor change report of the context (Section III.e)."""
+        context = context or self.context()
+        return build_change_report(context)
+
+    def anonymized_report(
+        self,
+        k: int,
+        strategy: str = "generalize",
+        context: EvolutionContext | None = None,
+    ) -> AnonymizedReport:
+        """A k-anonymous release of the change report."""
+        context = context or self.context()
+        report = self.change_report(context)
+        hierarchy = GeneralizationHierarchy(context.new_schema)
+        return anonymize_report(report, hierarchy, k, strategy=strategy)
+
+    # -- transparency ------------------------------------------------------------------
+
+    def explain(self, entity_id: str) -> List[str]:
+        """Provenance answers for an entity produced by this engine."""
+        return self._workflow.explain(entity_id)

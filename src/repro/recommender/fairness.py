@@ -1,0 +1,236 @@
+"""The fairness perspective (Section III.d) -- group recommendation.
+
+"Given a particular set of measures, it is possible to have a human u that
+is the least satisfied human in the group for all measures in the
+recommendations list ... we should be able to recommend measures that are
+both strongly related and fair to the majority of the group members."
+
+Three package-selection strategies over per-user utilities:
+
+``average``
+    Top-k by mean utility across members -- the classic aggregation that
+    the paper criticises (it can starve a minority member).
+``least_misery``
+    Top-k by the minimum member utility -- protects the least satisfied
+    member item-by-item.
+``fairness_aware``
+    Greedy package construction maximising
+    ``beta * mean_utility(package) + (1 - beta) * min_member_satisfaction(package)``
+    where a member's *package satisfaction* is their mean utility over the
+    package so far.  This is set-level fairness: it looks at the whole
+    package, not individual items, exactly the paper's point.
+
+Post-hoc diagnostics (:func:`satisfaction_vector`, :func:`min_satisfaction`,
+:func:`satisfaction_gini`) provide the "insights into the properties of the
+produced recommendations" the paper asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.profiles.group import Group
+from repro.recommender.items import RecommendationItem, ScoredItem
+from repro.util.validation import require_probability
+
+#: Per-user utilities: user_id -> item key -> utility in [0, 1].
+GroupUtilities = Mapping[str, Mapping[str, float]]
+
+STRATEGIES = ("average", "least_misery", "fairness_aware")
+
+
+def _check_utilities(group: Group, utilities: GroupUtilities) -> None:
+    missing = [u.user_id for u in group if u.user_id not in utilities]
+    if missing:
+        raise ValueError(f"utilities missing for group members: {missing}")
+
+
+def aggregate_average(group: Group, utilities: GroupUtilities, item_key: str) -> float:
+    """Mean member utility of one item."""
+    _check_utilities(group, utilities)
+    return sum(utilities[u.user_id].get(item_key, 0.0) for u in group) / len(group)
+
+
+def aggregate_least_misery(group: Group, utilities: GroupUtilities, item_key: str) -> float:
+    """Minimum member utility of one item."""
+    _check_utilities(group, utilities)
+    return min(utilities[u.user_id].get(item_key, 0.0) for u in group)
+
+
+def select_package(
+    group: Group,
+    candidates: Sequence[RecommendationItem],
+    utilities: GroupUtilities,
+    k: int,
+    strategy: str = "fairness_aware",
+    beta: float = 0.5,
+) -> List[ScoredItem]:
+    """Select a k-item package for the group under the given strategy.
+
+    The returned :class:`ScoredItem` utilities are the *group* scores the
+    strategy optimised (mean utility for ``average`` and ``fairness_aware``,
+    minimum for ``least_misery``), so downstream ordering is meaningful.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    _check_utilities(group, utilities)
+
+    if strategy == "average":
+        return _top_by(group, candidates, utilities, k, aggregate_average)
+    if strategy == "least_misery":
+        return _top_by(group, candidates, utilities, k, aggregate_least_misery)
+    return _greedy_fair(group, candidates, utilities, k, beta)
+
+
+def _top_by(
+    group: Group,
+    candidates: Sequence[RecommendationItem],
+    utilities: GroupUtilities,
+    k: int,
+    aggregate: Callable[[Group, GroupUtilities, str], float],
+) -> List[ScoredItem]:
+    scored = [
+        ScoredItem(item=item, utility=aggregate(group, utilities, item.key))
+        for item in candidates
+    ]
+    scored.sort(key=lambda s: (-s.utility, s.item.key))
+    return scored[:k]
+
+
+def _greedy_fair(
+    group: Group,
+    candidates: Sequence[RecommendationItem],
+    utilities: GroupUtilities,
+    k: int,
+    beta: float,
+) -> List[ScoredItem]:
+    require_probability(beta, "beta")
+    pool = sorted(candidates, key=lambda item: item.key)
+    selected: List[RecommendationItem] = []
+    member_totals: Dict[str, float] = {u.user_id: 0.0 for u in group}
+
+    while pool and len(selected) < k:
+        best_item = None
+        best_value = float("-inf")
+        for item in pool:
+            size = len(selected) + 1
+            totals = {
+                uid: member_totals[uid] + utilities[uid].get(item.key, 0.0)
+                for uid in member_totals
+            }
+            mean_utility = sum(totals.values()) / (len(totals) * size)
+            min_member = min(totals.values()) / size
+            value = beta * mean_utility + (1.0 - beta) * min_member
+            if value > best_value + 1e-12:
+                best_value = value
+                best_item = item
+        assert best_item is not None
+        pool.remove(best_item)
+        selected.append(best_item)
+        for uid in member_totals:
+            member_totals[uid] += utilities[uid].get(best_item.key, 0.0)
+
+    group_scores = [
+        ScoredItem(
+            item=item,
+            utility=aggregate_average(group, utilities, item.key),
+        )
+        for item in selected
+    ]
+    return group_scores
+
+
+# -- diagnostics -------------------------------------------------------------------
+
+
+def satisfaction_vector(
+    group: Group,
+    package: Sequence[ScoredItem],
+    utilities: GroupUtilities,
+) -> Dict[str, float]:
+    """Each member's package satisfaction: mean utility over package items."""
+    _check_utilities(group, utilities)
+    if not package:
+        return {u.user_id: 0.0 for u in group}
+    return {
+        u.user_id: sum(utilities[u.user_id].get(s.item.key, 0.0) for s in package)
+        / len(package)
+        for u in group
+    }
+
+
+def min_satisfaction(
+    group: Group, package: Sequence[ScoredItem], utilities: GroupUtilities
+) -> float:
+    """The least satisfied member's package satisfaction."""
+    return min(satisfaction_vector(group, package, utilities).values())
+
+
+def mean_satisfaction(
+    group: Group, package: Sequence[ScoredItem], utilities: GroupUtilities
+) -> float:
+    """The average member's package satisfaction."""
+    vector = satisfaction_vector(group, package, utilities)
+    return sum(vector.values()) / len(vector)
+
+
+def catalog_coverage(
+    packages: Sequence[Sequence[ScoredItem]],
+    candidates: Sequence[RecommendationItem],
+) -> float:
+    """Fraction of the candidate catalogue recommended to *someone*.
+
+    Section III.d (individual fairness): "the intuitive searching and
+    ranking based on relevance is not enough, since, in that cases, we
+    mostly care about common needs.  Clearly, supporting uncommon
+    information needs is important as well."  A system that funnels every
+    user to the same few popular items has low catalogue coverage.
+    """
+    if not candidates:
+        return 1.0
+    recommended = {
+        scored.item.key for package in packages for scored in package
+    }
+    return len(recommended & {item.key for item in candidates}) / len(candidates)
+
+
+def long_tail_exposure(
+    packages: Sequence[Sequence[ScoredItem]],
+    popularity: Mapping[str, float],
+    tail_fraction: float = 0.5,
+) -> float:
+    """Share of recommendation slots given to long-tail items.
+
+    The *tail* is the ``tail_fraction`` least-popular half (by the supplied
+    popularity scores; items missing from ``popularity`` count as
+    popularity 0, i.e. maximally tail).  Returns the fraction of all
+    recommended slots occupied by tail items -- higher means uncommon needs
+    get exposure.
+    """
+    if not 0.0 < tail_fraction < 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1), got {tail_fraction}")
+    slots = [scored.item.key for package in packages for scored in package]
+    if not slots:
+        return 0.0
+    universe = sorted(set(slots) | set(popularity), key=lambda k: (popularity.get(k, 0.0), k))
+    cutoff = max(1, int(len(universe) * tail_fraction))
+    tail = set(universe[:cutoff])
+    return sum(1 for key in slots if key in tail) / len(slots)
+
+
+def satisfaction_gini(
+    group: Group, package: Sequence[ScoredItem], utilities: GroupUtilities
+) -> float:
+    """Gini coefficient of member satisfactions (0 = perfectly even).
+
+    All-zero satisfaction counts as perfectly even (0.0).
+    """
+    values = sorted(satisfaction_vector(group, package, utilities).values())
+    total = sum(values)
+    if total <= 0.0:
+        return 0.0
+    n = len(values)
+    cumulative = sum((index + 1) * value for index, value in enumerate(values))
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n

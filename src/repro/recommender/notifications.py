@@ -1,0 +1,131 @@
+"""Notifications: telling humans when data they care about evolves.
+
+Section III: "given that nowadays big data is produced from the human daily
+activities ... anyone at personal or group (e.g., family) level, may want
+to be *notified* about the evolution of data."
+
+A :class:`Watch` subscribes a user to a class (or a class region via the
+profile) under one measure with a threshold; the
+:class:`NotificationService` evaluates all watches against an evolution
+context and emits :class:`Notification` objects -- each carrying the same
+transparency-style explanation the recommender produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kb.terms import IRI
+from repro.measures.base import EvolutionContext, MeasureCatalog, MeasureResult
+from repro.profiles.user import User
+
+
+@dataclass(frozen=True)
+class Watch:
+    """A standing subscription: notify ``user_id`` when ``measure_name``
+    scores ``target`` at or above ``threshold`` (on normalised scores)."""
+
+    user_id: str
+    measure_name: str
+    target: IRI
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+        if not self.measure_name:
+            raise ValueError("measure_name must be non-empty")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One fired watch: who, what, how strongly, and why."""
+
+    user_id: str
+    measure_name: str
+    target: IRI
+    score: float
+    threshold: float
+    context_label: str
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class NotificationService:
+    """Evaluates watches against evolution contexts."""
+
+    def __init__(self, catalog: MeasureCatalog) -> None:
+        self._catalog = catalog
+        self._watches: List[Watch] = []
+
+    def subscribe(self, watch: Watch) -> Watch:
+        """Register a watch; validates the measure exists in the catalogue."""
+        self._catalog.get(watch.measure_name)  # raises KeyError if unknown
+        self._watches.append(watch)
+        return watch
+
+    def subscribe_profile(
+        self, user: User, measure_name: str, threshold: float = 0.5, top: int = 3
+    ) -> List[Watch]:
+        """Subscribe a user to their ``top`` highest-interest classes."""
+        watches = [
+            self.subscribe(Watch(user.user_id, measure_name, cls, threshold))
+            for cls in user.profile.top_classes(top)
+        ]
+        return watches
+
+    def unsubscribe(self, user_id: str) -> int:
+        """Remove every watch of ``user_id``; returns how many were removed."""
+        before = len(self._watches)
+        self._watches = [w for w in self._watches if w.user_id != user_id]
+        return before - len(self._watches)
+
+    def watches(self, user_id: str | None = None) -> List[Watch]:
+        """All watches, or those of one user."""
+        if user_id is None:
+            return list(self._watches)
+        return [w for w in self._watches if w.user_id == user_id]
+
+    def check(self, context: EvolutionContext) -> List[Notification]:
+        """Evaluate every watch on ``context``; returns fired notifications.
+
+        Measure results are computed once per measure and normalised, so a
+        threshold of 0.8 means "within 20% of the most affected target".
+        """
+        needed = {watch.measure_name for watch in self._watches}
+        results: Dict[str, MeasureResult] = {
+            name: self._catalog.get(name).compute(context).normalized()
+            for name in sorted(needed)
+        }
+        label = f"{context.old.version_id}->{context.new.version_id}"
+        fired: List[Notification] = []
+        for watch in self._watches:
+            score = results[watch.measure_name].score(watch.target)
+            if score >= watch.threshold and score > 0.0:
+                measure = self._catalog.get(watch.measure_name)
+                message = (
+                    f"[{label}] {watch.user_id}: '{watch.target.local_name}' "
+                    f"scored {score:.2f} (>= {watch.threshold:.2f}) under "
+                    f"{watch.measure_name}. {measure.description}"
+                )
+                fired.append(
+                    Notification(
+                        user_id=watch.user_id,
+                        measure_name=watch.measure_name,
+                        target=watch.target,
+                        score=score,
+                        threshold=watch.threshold,
+                        context_label=label,
+                        message=message,
+                    )
+                )
+        fired.sort(key=lambda n: (n.user_id, -n.score, n.target.value))
+        return fired
+
+    def __len__(self) -> int:
+        return len(self._watches)

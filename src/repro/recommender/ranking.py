@@ -1,0 +1,86 @@
+"""Candidate generation and relevance ranking.
+
+The engine's pipeline starts here: every measure in the catalogue scores its
+targets on the evolution context; each (measure, target) pair with a
+non-zero normalised score becomes a candidate
+:class:`~repro.recommender.items.RecommendationItem`.  A candidate's
+*utility* for a user is::
+
+    utility(u, item) = evolution_score(item) * relatedness(u, item)
+
+-- an item is only worth recommending when its part of the KB both changed
+(the measure says so) and matters to the human (relatedness says so).  Both
+factors are in [0, 1], so utilities are too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.measures.base import EvolutionContext, MeasureCatalog, MeasureResult
+from repro.profiles.user import User
+from repro.recommender.items import RecommendationItem, ScoredItem
+from repro.recommender.relatedness import RelatednessScorer
+
+
+def generate_candidates(
+    catalog: MeasureCatalog,
+    context: EvolutionContext,
+    per_measure: int | None = None,
+    results: Mapping[str, MeasureResult] | None = None,
+) -> List[RecommendationItem]:
+    """Build the candidate item pool from a measure catalogue.
+
+    ``per_measure`` caps how many top targets each measure contributes
+    (None = every non-zero target).  ``results`` lets callers reuse
+    already-computed measure results (the engine caches them per context).
+    """
+    if per_measure is not None and per_measure < 1:
+        raise ValueError(f"per_measure must be >= 1 or None, got {per_measure}")
+    if results is None:
+        results = catalog.compute_all(context)
+
+    candidates: List[RecommendationItem] = []
+    for name in sorted(results):
+        measure = catalog.get(name)
+        normalised = results[name].normalized()
+        pairs = normalised.top(per_measure if per_measure is not None else len(normalised))
+        for target, score in pairs:
+            if score <= 0.0:
+                continue
+            candidates.append(
+                RecommendationItem(
+                    measure_name=name,
+                    family=measure.family,
+                    target_kind=measure.target_kind,
+                    target=target,
+                    evolution_score=score,
+                )
+            )
+    return candidates
+
+
+def utility_scores(
+    user: User,
+    candidates: Sequence[RecommendationItem],
+    scorer: RelatednessScorer,
+) -> Dict[str, float]:
+    """``utility(u, item)`` per item key (see module docstring)."""
+    return {
+        item.key: item.evolution_score * scorer.score(user, item)
+        for item in candidates
+    }
+
+
+def rank_items(
+    candidates: Sequence[RecommendationItem],
+    utilities: Mapping[str, float],
+    k: int | None = None,
+) -> List[ScoredItem]:
+    """Candidates by decreasing utility (deterministic tie-break by key)."""
+    scored = [
+        ScoredItem(item=item, utility=utilities.get(item.key, 0.0))
+        for item in candidates
+    ]
+    scored.sort(key=lambda s: (-s.utility, s.item.key))
+    return scored if k is None else scored[:k]

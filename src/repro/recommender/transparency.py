@@ -1,0 +1,64 @@
+"""The transparency perspective (Section III.b) inside the recommender.
+
+Two mechanisms make recommendations transparent:
+
+* :func:`explain_item` -- a per-item natural-language explanation naming the
+  measure, what it captures, how strongly the target changed and why it is
+  related to this human;
+* the engine runs its pipeline stages through a provenance-capturing
+  :class:`~repro.provenance.workflow.Workflow`, so for every package the
+  store can answer *who created it, from what, by which process* (the
+  paper's three questions; overhead measured by E9).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.measures.base import MeasureCatalog
+from repro.profiles.user import User
+from repro.recommender.items import ScoredItem
+
+
+def explain_item(
+    scored: ScoredItem,
+    user: User,
+    catalog: MeasureCatalog,
+    relatedness: float | None = None,
+) -> str:
+    """A one-paragraph explanation of why this item was recommended."""
+    item = scored.item
+    measure = catalog.get(item.measure_name)
+    parts = [
+        f"'{item.target.local_name}' ranked high under {item.measure_name} "
+        f"(evolution score {item.evolution_score:.2f}).",
+        measure.description,
+    ]
+    interest = user.profile.interest_in(item.target)
+    if interest > 0:
+        parts.append(
+            f"Your profile weights this class at {interest:.2f}."
+        )
+    family_pref = user.profile.family_preference(item.family)
+    if family_pref != 1.0:
+        parts.append(
+            f"You weight {item.family.value} measures at {family_pref:.2f}."
+        )
+    if relatedness is not None:
+        parts.append(f"Overall relatedness: {relatedness:.2f}.")
+    parts.append(f"Final utility: {scored.utility:.2f}.")
+    return " ".join(part for part in parts if part)
+
+
+def explain_package(
+    package_items: Mapping[str, ScoredItem],
+    user: User,
+    catalog: MeasureCatalog,
+    relatedness_scores: Mapping[str, float] | None = None,
+) -> dict:
+    """Explanations per item key for a whole package."""
+    relatedness_scores = relatedness_scores or {}
+    return {
+        key: explain_item(scored, user, catalog, relatedness_scores.get(key))
+        for key, scored in package_items.items()
+    }

@@ -1,0 +1,124 @@
+"""Configuration dataclasses for the synthetic-world generators.
+
+Every knob the experiments sweep lives here, with defaults tuned so that
+``generate_world()`` produces a small but structurally interesting world in
+well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class SchemaConfig:
+    """Shape of the generated ontology."""
+
+    n_classes: int = 60
+    n_properties: int = 40
+    new_root_probability: float = 0.08  # chance a class starts a new tree
+    reuse_domain_bias: float = 0.5  # chance a property reuses a previous domain
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_classes, "n_classes")
+        require_non_negative(self.n_properties, "n_properties")
+        require_probability(self.new_root_probability, "new_root_probability")
+        require_probability(self.reuse_domain_bias, "reuse_domain_bias")
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """Shape of the generated instance data."""
+
+    base_instances_per_class: int = 12  # population of the most popular class
+    zipf_skew: float = 1.0  # instance counts follow rank^-skew
+    link_density: float = 0.8  # links per property edge, relative to population
+    attribute_probability: float = 0.4  # chance an instance gets an attribute
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.base_instances_per_class, "base_instances_per_class")
+        require_non_negative(self.zipf_skew, "zipf_skew")
+        require_non_negative(self.link_density, "link_density")
+        require_probability(self.attribute_probability, "attribute_probability")
+
+
+def default_op_mix() -> Dict[str, float]:
+    """The default evolution-operation mix (weights, not probabilities)."""
+    return {
+        "add_instance": 4.0,
+        "remove_instance": 2.0,
+        "add_link": 4.0,
+        "remove_link": 2.0,
+        "change_attribute": 2.0,
+        "add_subclass": 1.0,
+        "move_class": 0.5,
+        "add_property": 0.5,
+    }
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Shape of the evolution process between versions.
+
+    ``hotspot_concentration`` is the probability that any given change
+    targets the hotspot region rather than a uniformly random class; 0.0
+    yields uniform evolution, 1.0 fully localised evolution.  This is the
+    planted ground truth the measures are evaluated against.
+    """
+
+    n_versions: int = 4  # total versions (>= 2 for any delta to exist)
+    changes_per_version: int = 80
+    n_hotspots: int = 3
+    hotspot_concentration: float = 0.8
+    op_mix: Dict[str, float] = field(default_factory=default_op_mix)
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_versions, "n_versions")
+        require_non_negative(self.changes_per_version, "changes_per_version")
+        require_non_negative(self.n_hotspots, "n_hotspots")
+        require_probability(self.hotspot_concentration, "hotspot_concentration")
+        if not self.op_mix:
+            raise ValueError("op_mix must not be empty")
+        for name, weight in self.op_mix.items():
+            require_non_negative(weight, f"op_mix[{name!r}]")
+        if sum(self.op_mix.values()) <= 0:
+            raise ValueError("op_mix weights must not all be zero")
+
+
+@dataclass(frozen=True)
+class UserConfig:
+    """Shape of the synthetic user population and its feedback."""
+
+    n_users: int = 12
+    n_focus_classes: int = 3  # classes each user genuinely cares about
+    interest_decay: float = 0.5  # per-hop decay of interest around a focus
+    interest_depth: int = 2  # how many hops interest spreads
+    hotspot_affinity: float = 0.5  # fraction of users whose foci sit in hotspots
+    events_per_user: int = 30  # feedback events sampled per user
+    feedback_noise: float = 0.15  # stddev of rating noise
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_users, "n_users")
+        require_positive(self.n_focus_classes, "n_focus_classes")
+        require_probability(self.interest_decay, "interest_decay")
+        require_non_negative(self.interest_depth, "interest_depth")
+        require_probability(self.hotspot_affinity, "hotspot_affinity")
+        require_non_negative(self.events_per_user, "events_per_user")
+        require_non_negative(self.feedback_noise, "feedback_noise")
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Bundle of all generator configurations."""
+
+    schema: SchemaConfig = field(default_factory=SchemaConfig)
+    instances: InstanceConfig = field(default_factory=InstanceConfig)
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    users: UserConfig = field(default_factory=UserConfig)

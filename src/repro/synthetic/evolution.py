@@ -1,0 +1,308 @@
+"""The evolution simulator: hotspot-localised change injection.
+
+The paper's goal is to "identify the most changed parts of a knowledge
+base".  Real version dumps provide no ground truth about *which* parts those
+are, so the simulator plants it: a small set of *hotspot* classes is chosen,
+and each change op targets the hotspot region with probability
+``hotspot_concentration`` (otherwise a uniformly random class).  The
+resulting :class:`EvolutionTrace` records every op and per-class effect
+counts -- the labels that experiments E1-E3 evaluate measures against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    RDF_PROPERTY,
+    RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+)
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI, Literal
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.synthetic.config import EvolutionConfig
+from repro.synthetic.instance_gen import HAS_VALUE
+from repro.synthetic.schema_gen import SYN
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class EvolutionOp:
+    """One applied change: which op kind hit which class at which step."""
+
+    step: int  # 1-based: the step producing version step+1
+    kind: str
+    target_class: IRI
+    in_hotspot: bool
+
+
+@dataclass
+class EvolutionTrace:
+    """Planted ground truth of a simulated evolution."""
+
+    hotspots: FrozenSet[IRI] = frozenset()
+    ops: List[EvolutionOp] = field(default_factory=list)
+
+    def effect_counts(self, step: int | None = None) -> Dict[IRI, int]:
+        """Number of ops per target class (for one step, or overall)."""
+        counts: Dict[IRI, int] = {}
+        for op in self.ops:
+            if step is None or op.step == step:
+                counts[op.target_class] = counts.get(op.target_class, 0) + 1
+        return counts
+
+    def hotspot_region(self, schema: SchemaView) -> FrozenSet[IRI]:
+        """Hotspots plus their schema neighbourhood."""
+        region: Set[IRI] = set(self.hotspots)
+        for cls in self.hotspots:
+            if cls in schema.classes():
+                region |= schema.neighborhood(cls)
+        return frozenset(region)
+
+    def most_affected(self, k: int) -> List[IRI]:
+        """The ``k`` classes with the most ops (ground-truth 'most changed')."""
+        counts = self.effect_counts()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].value))
+        return [cls for cls, _ in ranked[:k]]
+
+
+class EvolutionSimulator:
+    """Applies randomised, hotspot-concentrated change ops between versions.
+
+    The simulator owns naming counters so generated entities never collide
+    with the initial population or with each other, keeping every version
+    graph internally consistent.
+    """
+
+    def __init__(
+        self,
+        initial: Graph,
+        config: EvolutionConfig | None = None,
+        seed: int | random.Random | None = 0,
+    ) -> None:
+        self._initial = initial
+        self._config = config or EvolutionConfig()
+        self._rng = make_rng(seed)
+        self._fresh_instances = 0
+        self._fresh_classes = 0
+        self._fresh_properties = 0
+
+    def run(self, kb_name: str = "synthetic") -> Tuple[VersionedKnowledgeBase, EvolutionTrace]:
+        """Simulate the configured number of versions.
+
+        Returns the versioned KB (version ids ``v1..vN``) and the trace.
+        """
+        config = self._config
+        kb = VersionedKnowledgeBase(kb_name)
+        kb.commit(self._initial, version_id="v1")
+
+        initial_schema = SchemaView(self._initial)
+        classes = sorted(initial_schema.classes(), key=lambda c: c.value)
+        if not classes:
+            raise ValueError("initial graph has no classes to evolve")
+        n_hotspots = min(config.n_hotspots, len(classes))
+        hotspots = frozenset(self._rng.sample(classes, n_hotspots))
+        trace = EvolutionTrace(hotspots=hotspots)
+
+        current = self._initial
+        for step in range(1, config.n_versions):
+            current = self._evolve_once(current, step, hotspots, trace)
+            kb.commit(current, version_id=f"v{step + 1}", copy=False)
+        return kb, trace
+
+    # -- one evolution step ------------------------------------------------------
+
+    def _evolve_once(
+        self,
+        graph: Graph,
+        step: int,
+        hotspots: FrozenSet[IRI],
+        trace: EvolutionTrace,
+    ) -> Graph:
+        config = self._config
+        next_graph = graph.copy()
+        schema = SchemaView(graph)  # snapshot of the step's *starting* schema
+        state = _MutableState.from_schema(schema, next_graph)
+
+        region = sorted(
+            trace.hotspot_region(schema) & schema.classes(), key=lambda c: c.value
+        )
+        all_classes = sorted(schema.classes(), key=lambda c: c.value)
+        op_names = sorted(config.op_mix)
+        op_weights = [config.op_mix[name] for name in op_names]
+
+        for _ in range(config.changes_per_version):
+            in_hotspot = bool(region) and self._rng.random() < config.hotspot_concentration
+            pool = region if in_hotspot else all_classes
+            target = self._rng.choice(pool)
+            kind = self._rng.choices(op_names, weights=op_weights, k=1)[0]
+            applied = self._apply_op(kind, target, next_graph, state, schema)
+            if applied:
+                trace.ops.append(EvolutionOp(step, applied, target, in_hotspot))
+        return next_graph
+
+    def _apply_op(
+        self,
+        kind: str,
+        target: IRI,
+        graph: Graph,
+        state: "_MutableState",
+        schema: SchemaView,
+    ) -> str | None:
+        """Apply one op; returns the kind actually applied or None.
+
+        Ops that are impossible on the current state (e.g. removing an
+        instance of an empty class) degrade to ``add_instance``, so a step
+        always applies the configured number of changes.
+        """
+        handler = {
+            "add_instance": self._op_add_instance,
+            "remove_instance": self._op_remove_instance,
+            "add_link": self._op_add_link,
+            "remove_link": self._op_remove_link,
+            "change_attribute": self._op_change_attribute,
+            "add_subclass": self._op_add_subclass,
+            "move_class": self._op_move_class,
+            "add_property": self._op_add_property,
+        }.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown evolution op kind: {kind!r}")
+        if handler(target, graph, state, schema):
+            return kind
+        # Degrade to the always-possible op.
+        self._op_add_instance(target, graph, state, schema)
+        return "add_instance"
+
+    # -- individual ops ----------------------------------------------------------
+
+    def _fresh_instance(self, cls: IRI) -> IRI:
+        self._fresh_instances += 1
+        return SYN[f"{cls.local_name}_n{self._fresh_instances}"]
+
+    def _op_add_instance(self, target, graph, state, schema) -> bool:
+        instance = self._fresh_instance(target)
+        graph.add(Triple(instance, RDF_TYPE, target))
+        state.instances.setdefault(target, []).append(instance)
+        # Often the new instance immediately links along an incident edge.
+        if self._rng.random() < 0.5:
+            edges = schema.outgoing_properties(target)
+            if edges:
+                edge = self._rng.choice(edges)
+                targets = state.instances.get(edge.target, [])
+                if targets:
+                    graph.add(Triple(instance, edge.prop, self._rng.choice(targets)))
+        return True
+
+    def _op_remove_instance(self, target, graph, state, schema) -> bool:
+        members = state.instances.get(target, [])
+        if not members:
+            return False
+        instance = members.pop(self._rng.randrange(len(members)))
+        graph.remove_all(list(graph.triples_mentioning(instance)))
+        return True
+
+    def _op_add_link(self, target, graph, state, schema) -> bool:
+        edges = schema.outgoing_properties(target) + schema.incoming_properties(target)
+        self._rng.shuffle(edges := list(edges))
+        for edge in edges:
+            sources = state.instances.get(edge.source, [])
+            targets = state.instances.get(edge.target, [])
+            if sources and targets:
+                graph.add(
+                    Triple(self._rng.choice(sources), edge.prop, self._rng.choice(targets))
+                )
+                return True
+        return False
+
+    def _op_remove_link(self, target, graph, state, schema) -> bool:
+        members = set(state.instances.get(target, []))
+        if not members:
+            return False
+        candidates = [
+            t
+            for member in sorted(members, key=lambda m: m.value)
+            for t in graph.match(member, None, None)
+            if t.predicate not in (RDF_TYPE, RDFS_SUBCLASSOF)
+            and not isinstance(t.object, Literal)
+        ]
+        if not candidates:
+            return False
+        graph.remove(self._rng.choice(candidates))
+        return True
+
+    def _op_change_attribute(self, target, graph, state, schema) -> bool:
+        members = state.instances.get(target, [])
+        if not members:
+            return False
+        instance = self._rng.choice(members)
+        existing = list(graph.match(instance, HAS_VALUE, None))
+        for triple in existing:
+            graph.remove(triple)
+        graph.add(Triple(instance, HAS_VALUE, Literal(str(self._rng.randrange(1000)))))
+        return True
+
+    def _op_add_subclass(self, target, graph, state, schema) -> bool:
+        self._fresh_classes += 1
+        new_cls = SYN[f"C_new{self._fresh_classes}"]
+        graph.add(Triple(new_cls, RDF_TYPE, RDFS_CLASS))
+        graph.add(Triple(new_cls, RDFS_SUBCLASSOF, target))
+        state.instances.setdefault(new_cls, [])
+        return True
+
+    def _op_move_class(self, target, graph, state, schema) -> bool:
+        # Move a direct subclass of the target under a different class.
+        children = sorted(schema.subclasses(target), key=lambda c: c.value)
+        if not children:
+            return False
+        child = self._rng.choice(children)
+        others = sorted(schema.classes() - {child, target}, key=lambda c: c.value)
+        if not others:
+            return False
+        new_parent = self._rng.choice(others)
+        graph.remove(Triple(child, RDFS_SUBCLASSOF, target))
+        graph.add(Triple(child, RDFS_SUBCLASSOF, new_parent))
+        return True
+
+    def _op_add_property(self, target, graph, state, schema) -> bool:
+        classes = sorted(schema.classes(), key=lambda c: c.value)
+        if not classes:
+            return False
+        self._fresh_properties += 1
+        prop = SYN[f"p_new{self._fresh_properties}"]
+        graph.add(Triple(prop, RDF_TYPE, RDF_PROPERTY))
+        graph.add(Triple(prop, RDFS_DOMAIN, target))
+        graph.add(Triple(prop, RDFS_RANGE, self._rng.choice(classes)))
+        return True
+
+
+@dataclass
+class _MutableState:
+    """Instance bookkeeping that stays valid while a step mutates the graph."""
+
+    instances: Dict[IRI, List[IRI]]
+
+    @classmethod
+    def from_schema(cls, schema: SchemaView, graph: Graph) -> "_MutableState":
+        instances = {
+            c: sorted(schema.instances_of(c), key=lambda m: str(m))
+            for c in schema.classes()
+        }
+        return cls(instances=instances)
+
+
+def simulate_evolution(
+    initial: Graph,
+    config: EvolutionConfig | None = None,
+    seed: int | random.Random | None = 0,
+    kb_name: str = "synthetic",
+) -> Tuple[VersionedKnowledgeBase, EvolutionTrace]:
+    """Convenience wrapper around :class:`EvolutionSimulator`."""
+    return EvolutionSimulator(initial, config, seed).run(kb_name)

@@ -1,0 +1,136 @@
+"""The synthetic world: one call that builds everything the paper needs.
+
+A :class:`SyntheticWorld` bundles the evolving knowledge base, its planted
+evolution trace (ground truth), the synthetic user population and groups.
+``generate_world`` derives independent child seeds per component, so e.g.
+changing the number of users never perturbs the evolution stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.deltas.changelog import ChangeLog
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.profiles.group import Group
+from repro.profiles.user import User
+from repro.synthetic.config import (
+    EvolutionConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.evolution import EvolutionTrace, simulate_evolution
+from repro.synthetic.instance_gen import populate_instances
+from repro.synthetic.schema_gen import generate_schema
+from repro.synthetic.users import generate_users, make_groups
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class SyntheticWorld:
+    """Everything generated for one seed: KB, trace, users, groups."""
+
+    seed: int
+    config: WorldConfig
+    kb: VersionedKnowledgeBase
+    trace: EvolutionTrace
+    users: List[User]
+    groups: List[Group]
+    _changelog: ChangeLog | None = field(default=None, repr=False)
+
+    @property
+    def changelog(self) -> ChangeLog:
+        """Cached change log over the world's version chain."""
+        if self._changelog is None:
+            self._changelog = ChangeLog(self.kb)
+        return self._changelog
+
+    def latest_context(self) -> EvolutionContext:
+        """The evolution context of the last version pair (most recent step)."""
+        versions = list(self.kb)
+        if len(versions) < 2:
+            raise ValueError("world has fewer than two versions")
+        return EvolutionContext(versions[-2], versions[-1])
+
+    def full_context(self) -> EvolutionContext:
+        """The evolution context from the first to the latest version."""
+        return EvolutionContext(self.kb.first(), self.kb.latest())
+
+
+def generate_world(
+    seed: int = 0,
+    n_classes: int | None = None,
+    n_versions: int | None = None,
+    n_users: int | None = None,
+    config: WorldConfig | None = None,
+    group_size: int = 4,
+) -> SyntheticWorld:
+    """Generate a complete synthetic world.
+
+    ``config`` gives full control; the keyword shortcuts override the most
+    commonly swept parameters on top of it.
+    """
+    config = config or WorldConfig()
+    if n_classes is not None:
+        config = WorldConfig(
+            schema=SchemaConfig(
+                n_classes=n_classes,
+                n_properties=config.schema.n_properties,
+                new_root_probability=config.schema.new_root_probability,
+                reuse_domain_bias=config.schema.reuse_domain_bias,
+            ),
+            instances=config.instances,
+            evolution=config.evolution,
+            users=config.users,
+        )
+    if n_versions is not None:
+        ev = config.evolution
+        config = WorldConfig(
+            schema=config.schema,
+            instances=config.instances,
+            evolution=EvolutionConfig(
+                n_versions=n_versions,
+                changes_per_version=ev.changes_per_version,
+                n_hotspots=ev.n_hotspots,
+                hotspot_concentration=ev.hotspot_concentration,
+                op_mix=dict(ev.op_mix),
+            ),
+            users=config.users,
+        )
+    if n_users is not None:
+        uc = config.users
+        config = WorldConfig(
+            schema=config.schema,
+            instances=config.instances,
+            evolution=config.evolution,
+            users=UserConfig(
+                n_users=n_users,
+                n_focus_classes=uc.n_focus_classes,
+                interest_decay=uc.interest_decay,
+                interest_depth=uc.interest_depth,
+                hotspot_affinity=uc.hotspot_affinity,
+                events_per_user=uc.events_per_user,
+                feedback_noise=uc.feedback_noise,
+            ),
+        )
+
+    schema_graph = generate_schema(config.schema, derive_seed(seed, "schema"))
+    initial = populate_instances(
+        schema_graph, config.instances, derive_seed(seed, "instances")
+    )
+    kb, trace = simulate_evolution(
+        initial, config.evolution, derive_seed(seed, "evolution")
+    )
+    users = generate_users(
+        kb.latest().schema,
+        config.users,
+        hotspots=sorted(trace.hotspots, key=lambda c: c.value),
+        seed=derive_seed(seed, "users"),
+    )
+    groups = make_groups(users, group_size, derive_seed(seed, "groups"))
+    return SyntheticWorld(
+        seed=seed, config=config, kb=kb, trace=trace, users=users, groups=groups
+    )

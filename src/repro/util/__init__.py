@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG handling, timing, validation."""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.timing import Timer
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "Timer",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

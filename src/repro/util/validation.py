@@ -1,0 +1,41 @@
+"""Argument-validation helpers shared across the library.
+
+All helpers raise ``ValueError`` with a message naming the offending
+parameter, so call sites stay one-liners and error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is a number strictly greater than zero."""
+    _require_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise unless ``value`` is a number greater than or equal to zero."""
+    _require_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    _require_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _require_number(value: Any, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")

@@ -1,0 +1,75 @@
+"""Unit tests for the change log over version chains."""
+
+import pytest
+
+from repro.deltas.changelog import ChangeLog
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+
+def _t(i: int) -> Triple:
+    return Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"])
+
+
+@pytest.fixture
+def chain() -> VersionedKnowledgeBase:
+    kb = VersionedKnowledgeBase("test")
+    kb.commit(Graph([_t(1), _t(2)]), version_id="v1")
+    kb.commit(Graph([_t(2), _t(3)]), version_id="v2")
+    kb.commit(Graph([_t(3), _t(4), _t(5)]), version_id="v3")
+    return kb
+
+
+class TestChangeLog:
+    def test_lowlevel_between_adjacent(self, chain):
+        log = ChangeLog(chain)
+        delta = log.lowlevel("v1", "v2")
+        assert delta.added == {_t(3)} and delta.deleted == {_t(1)}
+
+    def test_lowlevel_between_distant(self, chain):
+        log = ChangeLog(chain)
+        delta = log.lowlevel("v1", "v3")
+        assert delta.added == {_t(3), _t(4), _t(5)}
+        assert delta.deleted == {_t(1), _t(2)}
+
+    def test_caching_returns_same_object(self, chain):
+        log = ChangeLog(chain)
+        assert log.lowlevel("v1", "v2") is log.lowlevel("v1", "v2")
+        assert log.highlevel("v1", "v2") is log.highlevel("v1", "v2")
+
+    def test_step_sizes(self, chain):
+        log = ChangeLog(chain)
+        assert log.step_sizes() == [2, 3]
+
+    def test_total_change_counts_sums_steps(self, chain):
+        log = ChangeLog(chain)
+        totals = log.total_change_counts()
+        # s3/o3 appear in both steps (added then kept -> only step 1; t3 added in
+        # step v1->v2 and t3 kept in v3, so one change), s1 deleted once.
+        assert totals[EX.s1] == 1
+        assert totals[EX.s4] == 1
+        assert totals[EX.p] == 5  # every changed triple uses predicate p
+
+    def test_end_to_end(self, chain):
+        log = ChangeLog(chain)
+        assert log.end_to_end() == log.lowlevel("v1", "v3")
+
+    def test_end_to_end_requires_two_versions(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        with pytest.raises(VersionError):
+            ChangeLog(kb).end_to_end()
+
+    def test_unknown_version_raises(self, chain):
+        log = ChangeLog(chain)
+        with pytest.raises(VersionError):
+            log.lowlevel("v1", "nope")
+
+    def test_highlevel_on_chain(self, chain):
+        log = ChangeLog(chain)
+        hl = log.highlevel("v1", "v2")
+        assert hl.source is log.lowlevel("v1", "v2")
+        assert hl.size >= 1

@@ -1,0 +1,265 @@
+"""Unit and property tests for high-level change detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deltas.highlevel import ChangeKind, detect_highlevel
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    EX,
+    RDF_PROPERTY,
+    RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+)
+from repro.kb.schema import SchemaView
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+def _detect(old: Graph, new: Graph):
+    delta = LowLevelDelta.compute(old, new)
+    return detect_highlevel(delta, SchemaView(old), SchemaView(new))
+
+
+def _base_graph() -> Graph:
+    g = Graph()
+    for cls in (EX.Person, EX.Student, EX.Course):
+        g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person))
+    g.add(Triple(EX.enrolledIn, RDF_TYPE, RDF_PROPERTY))
+    g.add(Triple(EX.enrolledIn, RDFS_DOMAIN, EX.Student))
+    g.add(Triple(EX.enrolledIn, RDFS_RANGE, EX.Course))
+    g.add(Triple(EX.ada, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.cs1, RDF_TYPE, EX.Course))
+    g.add(Triple(EX.ada, EX.enrolledIn, EX.cs1))
+    g.add(Triple(EX.ada, EX.gpa, Literal("3.9")))
+    return g
+
+
+class TestClassPatterns:
+    def test_add_class(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.Professor, RDF_TYPE, RDFS_CLASS))
+        new.add(Triple(EX.Professor, RDFS_SUBCLASSOF, EX.Person))
+        hl = _detect(old, new)
+        adds = [c for c in hl.changes if c.kind is ChangeKind.ADD_CLASS]
+        assert len(adds) == 1 and adds[0].subject == EX.Professor
+        # The subclass link is part of the class addition, not a separate change.
+        assert hl.count(ChangeKind.ADD_SUBCLASS) == 0
+
+    def test_delete_class(self):
+        old = _base_graph()
+        new = old.copy()
+        new.remove(Triple(EX.Course, RDF_TYPE, RDFS_CLASS))
+        new.remove(Triple(EX.enrolledIn, RDFS_RANGE, EX.Course))
+        new.remove(Triple(EX.cs1, RDF_TYPE, EX.Course))
+        new.remove(Triple(EX.ada, EX.enrolledIn, EX.cs1))
+        hl = _detect(old, new)
+        assert hl.count(ChangeKind.DELETE_CLASS) == 1
+        # The instance typing into the vanished class is its own record.
+        assert hl.count(ChangeKind.DELETE_INSTANCE) == 1
+
+    def test_move_class(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.Agent, RDF_TYPE, RDFS_CLASS))
+        old.add(Triple(EX.Agent, RDF_TYPE, RDFS_CLASS))
+        new.remove(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person))
+        new.add(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Agent))
+        hl = _detect(old, new)
+        moves = [c for c in hl.changes if c.kind is ChangeKind.MOVE_CLASS]
+        assert len(moves) == 1
+        assert moves[0].subject == EX.Student
+        assert moves[0].detail == (EX.Person, EX.Agent)  # old -> new superclass
+
+    def test_add_and_delete_subclass_links(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.Course, RDFS_SUBCLASSOF, EX.Person))  # nonsense but legal
+        hl = _detect(old, new)
+        assert hl.count(ChangeKind.ADD_SUBCLASS) == 1
+
+        hl_back = _detect(new, old)
+        assert hl_back.count(ChangeKind.DELETE_SUBCLASS) == 1
+
+
+class TestPropertyPatterns:
+    def test_add_property(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.teaches, RDF_TYPE, RDF_PROPERTY))
+        new.add(Triple(EX.teaches, RDFS_DOMAIN, EX.Person))
+        hl = _detect(old, new)
+        adds = [c for c in hl.changes if c.kind is ChangeKind.ADD_PROPERTY]
+        assert [c.subject for c in adds] == [EX.teaches]
+
+    def test_change_domain(self):
+        old = _base_graph()
+        new = old.copy()
+        new.remove(Triple(EX.enrolledIn, RDFS_DOMAIN, EX.Student))
+        new.add(Triple(EX.enrolledIn, RDFS_DOMAIN, EX.Person))
+        hl = _detect(old, new)
+        changes = [c for c in hl.changes if c.kind is ChangeKind.CHANGE_DOMAIN]
+        assert len(changes) == 1
+        assert changes[0].detail == (EX.Student, EX.Person)
+
+    def test_change_range(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.Seminar, RDF_TYPE, RDFS_CLASS))
+        old.add(Triple(EX.Seminar, RDF_TYPE, RDFS_CLASS))
+        new.remove(Triple(EX.enrolledIn, RDFS_RANGE, EX.Course))
+        new.add(Triple(EX.enrolledIn, RDFS_RANGE, EX.Seminar))
+        hl = _detect(old, new)
+        assert hl.count(ChangeKind.CHANGE_RANGE) == 1
+
+
+class TestInstancePatterns:
+    def test_add_instance(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        hl = _detect(old, new)
+        adds = [c for c in hl.changes if c.kind is ChangeKind.ADD_INSTANCE]
+        assert len(adds) == 1 and adds[0].subject == EX.bob
+        assert adds[0].detail == (EX.Student,)
+
+    def test_retype_instance(self):
+        old = _base_graph()
+        new = old.copy()
+        new.remove(Triple(EX.ada, RDF_TYPE, EX.Student))
+        new.add(Triple(EX.ada, RDF_TYPE, EX.Person))
+        hl = _detect(old, new)
+        retypes = [c for c in hl.changes if c.kind is ChangeKind.RETYPE_INSTANCE]
+        assert len(retypes) == 1
+        assert retypes[0].detail == (EX.Student, EX.Person)
+
+    def test_add_and_delete_link(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        new.add(Triple(EX.bob, EX.enrolledIn, EX.cs1))
+        hl = _detect(old, new)
+        links = [c for c in hl.changes if c.kind is ChangeKind.ADD_LINK]
+        assert len(links) == 1 and links[0].subject == EX.bob
+
+    def test_change_attribute(self):
+        old = _base_graph()
+        new = old.copy()
+        new.remove(Triple(EX.ada, EX.gpa, Literal("3.9")))
+        new.add(Triple(EX.ada, EX.gpa, Literal("4.0")))
+        hl = _detect(old, new)
+        changes = [c for c in hl.changes if c.kind is ChangeKind.CHANGE_ATTRIBUTE]
+        assert len(changes) == 1
+        assert changes[0].detail == (EX.gpa, Literal("3.9"), Literal("4.0"))
+
+    def test_add_attribute(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.ada, EX.email, Literal("ada@x.org")))
+        hl = _detect(old, new)
+        assert hl.count(ChangeKind.ADD_ATTRIBUTE) == 1
+
+
+class TestDeltaProperties:
+    def test_empty_delta(self):
+        g = _base_graph()
+        hl = _detect(g, g.copy())
+        assert hl.size == 0
+        assert hl.compression_ratio == 1.0
+
+    def test_describe_is_readable(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        hl = _detect(old, new)
+        descriptions = [c.describe() for c in hl.changes]
+        assert any("add_instance(bob" in d for d in descriptions)
+
+    def test_schema_vs_data_split(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.Professor, RDF_TYPE, RDFS_CLASS))
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        hl = _detect(old, new)
+        assert {c.kind for c in hl.schema_changes()} == {ChangeKind.ADD_CLASS}
+        assert {c.kind for c in hl.data_changes()} == {ChangeKind.ADD_INSTANCE}
+
+    def test_changes_about(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        hl = _detect(old, new)
+        assert len(hl.changes_about(EX.bob)) == 1
+        assert len(hl.changes_about(EX.Student)) == 1  # via detail
+
+    def test_by_kind_partitions_changes(self):
+        old = _base_graph()
+        new = old.copy()
+        new.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+        new.add(Triple(EX.ada, EX.email, Literal("a@x")))
+        hl = _detect(old, new)
+        grouped = hl.by_kind()
+        assert sum(len(v) for v in grouped.values()) == hl.size
+
+
+# -- property test: high-level explains low-level exactly -------------------------
+
+_class_ids = st.integers(0, 3)
+_inst_ids = st.integers(0, 5)
+
+
+@st.composite
+def _evolution(draw):
+    """A random (old, new) graph pair over a small schema vocabulary."""
+    old = Graph()
+    new = Graph()
+    for graph in (old, new):
+        for c in range(4):
+            if draw(st.booleans()):
+                graph.add(Triple(EX[f"C{c}"], RDF_TYPE, RDFS_CLASS))
+        for c in range(3):
+            if draw(st.booleans()):
+                graph.add(Triple(EX[f"C{c}"], RDFS_SUBCLASSOF, EX[f"C{c + 1}"]))
+        for i in range(4):
+            if draw(st.booleans()):
+                graph.add(Triple(EX[f"i{i}"], RDF_TYPE, EX[f"C{draw(_class_ids)}"]))
+            if draw(st.booleans()):
+                graph.add(Triple(EX[f"i{i}"], EX.links, EX[f"i{draw(_inst_ids)}"]))
+            if draw(st.booleans()):
+                graph.add(Triple(EX[f"i{i}"], EX.score, Literal(str(draw(st.integers(0, 3))))))
+    return old, new
+
+
+@settings(max_examples=80, deadline=None)
+@given(pair=_evolution())
+def test_highlevel_consumes_lowlevel_exactly(pair):
+    """Every low-level triple is explained by at least one high-level change,
+    and no high-level change invents triples outside the delta."""
+    old, new = pair
+    delta = LowLevelDelta.compute(old, new)
+    hl = detect_highlevel(delta, SchemaView(old), SchemaView(new))
+
+    all_low = delta.added | delta.deleted
+    consumed = set()
+    for change in hl.changes:
+        consumed |= change.consumed
+        assert change.consumed <= all_low
+    assert consumed == all_low
+
+
+@settings(max_examples=50, deadline=None)
+@given(pair=_evolution())
+def test_compression_ratio_positive_and_finite(pair):
+    """The ratio is positive; it can dip below 1 only in corner cases where a
+    single triple witnesses several schema facts (e.g. one subClassOf link
+    between two brand-new classes)."""
+    old, new = pair
+    hl = _detect(old, new)
+    assert hl.compression_ratio > 0.0

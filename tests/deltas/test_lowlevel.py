@@ -1,0 +1,136 @@
+"""Unit and property tests for low-level deltas (Section II.a)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX
+from repro.kb.triples import Triple
+
+
+def _t(i: int, j: int = 0, k: int = 0) -> Triple:
+    return Triple(EX[f"s{i}"], EX[f"p{j}"], EX[f"o{k}"])
+
+
+class TestCompute:
+    def test_added_and_deleted(self):
+        old = Graph([_t(1), _t(2)])
+        new = Graph([_t(2), _t(3)])
+        delta = LowLevelDelta.compute(old, new)
+        assert delta.added == {_t(3)}
+        assert delta.deleted == {_t(1)}
+
+    def test_identical_graphs_empty_delta(self):
+        g = Graph([_t(1)])
+        delta = LowLevelDelta.compute(g, g.copy())
+        assert delta.is_empty()
+        assert delta.size == 0
+
+    def test_size_is_sum(self):
+        delta = LowLevelDelta.from_changes(added=[_t(1), _t(2)], deleted=[_t(3)])
+        assert delta.size == 3
+        assert len(delta) == 3
+
+    def test_overlapping_add_delete_rejected(self):
+        with pytest.raises(ValueError):
+            LowLevelDelta.from_changes(added=[_t(1)], deleted=[_t(1)])
+
+
+class TestSectionIIQuantities:
+    def test_change_count_for_term(self):
+        # delta(n): number of changed triples mentioning n.
+        delta = LowLevelDelta.from_changes(
+            added=[Triple(EX.a, EX.p, EX.n), Triple(EX.n, EX.p, EX.b)],
+            deleted=[Triple(EX.c, EX.p, EX.d)],
+        )
+        assert delta.change_count(EX.n) == 2
+        assert delta.change_count(EX.c) == 1
+        assert delta.change_count(EX.unrelated) == 0
+
+    def test_change_count_triple_with_repeated_term_counts_once(self):
+        delta = LowLevelDelta.from_changes(added=[Triple(EX.n, EX.n, EX.n)])
+        assert delta.change_count(EX.n) == 1
+
+    def test_changes_for_restriction(self):
+        keep = Triple(EX.n, EX.p, EX.a)
+        drop = Triple(EX.x, EX.p, EX.y)
+        delta = LowLevelDelta.from_changes(added=[keep, drop])
+        sub = delta.changes_for(EX.n)
+        assert sub.added == {keep}
+        assert sub.deleted == frozenset()
+
+    def test_change_counts_bulk_matches_per_term(self):
+        delta = LowLevelDelta.from_changes(
+            added=[Triple(EX.a, EX.p, EX.b)],
+            deleted=[Triple(EX.b, EX.p, EX.c), Triple(EX.a, EX.q, EX.c)],
+        )
+        counts = delta.change_counts()
+        for term in (EX.a, EX.b, EX.c, EX.p, EX.q):
+            assert counts.get(term, 0) == delta.change_count(term)
+
+
+class TestReplay:
+    def test_apply_produces_new_graph(self):
+        old = Graph([_t(1)])
+        delta = LowLevelDelta.from_changes(added=[_t(2)], deleted=[_t(1)])
+        new = delta.apply(old)
+        assert set(new) == {_t(2)}
+        assert set(old) == {_t(1)}  # original untouched
+
+    def test_invert_roundtrip(self):
+        delta = LowLevelDelta.from_changes(added=[_t(1)], deleted=[_t(2)])
+        assert delta.invert().invert() == delta
+
+    def test_invert_swaps(self):
+        delta = LowLevelDelta.from_changes(added=[_t(1)], deleted=[_t(2)])
+        inv = delta.invert()
+        assert inv.added == {_t(2)} and inv.deleted == {_t(1)}
+
+
+# -- property tests: the paper's definitional invariants --------------------------
+
+_triples = st.builds(
+    _t, st.integers(0, 4), st.integers(0, 2), st.integers(0, 3)
+)
+_graphs = st.sets(_triples, max_size=25).map(Graph)
+
+
+@settings(max_examples=100, deadline=None)
+@given(old=_graphs, new=_graphs)
+def test_apply_diff_reconstructs_target(old, new):
+    """apply(V1, diff(V1, V2)) == V2 -- deltas are exact."""
+    delta = LowLevelDelta.compute(old, new)
+    assert delta.apply(old) == new
+
+
+@settings(max_examples=100, deadline=None)
+@given(old=_graphs, new=_graphs)
+def test_size_equals_sum_of_parts(old, new):
+    """|delta| = |delta+| + |delta-| (Section II.a)."""
+    delta = LowLevelDelta.compute(old, new)
+    assert delta.size == len(delta.added) + len(delta.deleted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(old=_graphs, new=_graphs)
+def test_inverse_delta_reverses_evolution(old, new):
+    delta = LowLevelDelta.compute(old, new)
+    assert delta.invert().apply(new) == old
+
+
+@settings(max_examples=100, deadline=None)
+@given(g1=_graphs, g2=_graphs, g3=_graphs)
+def test_composition_equals_sequential_application(g1, g2, g3):
+    d12 = LowLevelDelta.compute(g1, g2)
+    d23 = LowLevelDelta.compute(g2, g3)
+    assert d12.compose(d23).apply(g1) == g3
+
+
+@settings(max_examples=60, deadline=None)
+@given(old=_graphs, new=_graphs)
+def test_change_count_consistent_with_restriction(old, new):
+    delta = LowLevelDelta.compute(old, new)
+    for term in (EX.s0, EX.p0, EX.o0):
+        assert delta.change_count(term) == delta.changes_for(term).size

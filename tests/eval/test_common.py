@@ -1,0 +1,94 @@
+"""Tests for the experiment-suite workload helpers."""
+
+import pytest
+
+from repro.eval.experiments.common import (
+    class_items,
+    ground_truth_relevance,
+    make_world,
+    random_ranking,
+    relevance_by_key,
+    scaled,
+)
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.items import RecommendationItem
+
+
+def _item(cls, family=MeasureFamily.COUNT, kind=TargetKind.CLASS):
+    return RecommendationItem(
+        measure_name="m",
+        family=family,
+        target_kind=kind,
+        target=cls,
+        evolution_score=1.0,
+    )
+
+
+class TestScaled:
+    def test_scales_and_rounds(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(3, 0.5) == 2  # banker's rounding of 1.5
+
+    def test_floor(self):
+        assert scaled(10, 0.001) == 1
+        assert scaled(10, 0.001, minimum=5) == 5
+
+    def test_identity_at_one(self):
+        assert scaled(42, 1.0) == 42
+
+
+class TestMakeWorld:
+    def test_scale_shrinks_kb_not_users(self):
+        small = make_world(scale=0.2, seed=1, n_users=9)
+        assert len(small.users) == 9
+        full_classes = len(make_world(scale=1.0, seed=1).kb.first().schema.classes())
+        small_classes = len(small.kb.first().schema.classes())
+        assert small_classes < full_classes
+
+    def test_deterministic(self):
+        a = make_world(scale=0.2, seed=5)
+        b = make_world(scale=0.2, seed=5)
+        assert a.kb.latest().graph == b.kb.latest().graph
+
+
+class TestGroundTruth:
+    def test_product_semantics(self):
+        user = User(
+            "u",
+            InterestProfile(
+                class_weights={EX.A: 0.5},
+                family_weights={MeasureFamily.COUNT: 0.5},
+            ),
+        )
+        assert ground_truth_relevance(user, _item(EX.A)) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        user = User("u", InterestProfile(class_weights={EX.A: 9.0}))
+        assert ground_truth_relevance(user, _item(EX.A)) == 1.0
+
+    def test_relevance_by_key(self):
+        user = User("u", InterestProfile(class_weights={EX.A: 1.0}))
+        items = [_item(EX.A), _item(EX.B)]
+        truth = relevance_by_key(user, items)
+        assert truth[items[0].key] == 1.0
+        assert truth[items[1].key] == 0.0
+
+
+class TestHelpers:
+    def test_class_items_filters(self):
+        items = [
+            _item(EX.A),
+            _item(EX.p, kind=TargetKind.PROPERTY),
+        ]
+        assert [i.target for i in class_items(items)] == [EX.A]
+
+    def test_random_ranking_is_permutation_and_seeded(self):
+        items = [_item(EX[f"c{i}"]) for i in range(6)]
+        a = random_ranking(items, seed=3)
+        b = random_ranking(items, seed=3)
+        c = random_ranking(items, seed=4)
+        assert a == b
+        assert sorted(a) == sorted(i.key for i in items)
+        assert a != c

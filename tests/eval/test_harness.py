@@ -1,0 +1,78 @@
+"""Tests for the experiment harness and the experiment suite itself.
+
+Experiments run at a reduced scale here; every experiment's shape checks
+must hold -- they are the reproduction's claim-level assertions.
+"""
+
+import pytest
+
+from repro.eval.harness import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.eval.tables import TextTable
+
+SCALE = 0.35
+
+
+class TestHarnessBasics:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99")
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            claim="C",
+            tables=[TextTable("tbl", ["a"])],
+            shape_checks={"ok": True, "bad": False},
+            notes="n",
+        )
+        text = result.render()
+        assert "== X: T ==" in text
+        assert "[PASS] ok" in text and "[FAIL] bad" in text
+        assert "notes: n" in text
+
+    def test_passed(self):
+        good = ExperimentResult("x", "t", "c", shape_checks={"a": True})
+        bad = ExperimentResult("x", "t", "c", shape_checks={"a": False})
+        assert good.passed() and not bad.passed()
+
+    def test_all_ids_registered(self):
+        assert len(EXPERIMENT_IDS) == 13
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_shape_checks_hold(experiment_id):
+    """Every derived experiment reproduces its claim's qualitative shape."""
+    result = run_experiment(experiment_id, scale=SCALE)
+    assert result.experiment_id == experiment_id
+    assert result.tables, "experiment must produce at least one table"
+    assert result.claim
+    failed = [name for name, ok in result.shape_checks.items() if not ok]
+    assert not failed, f"{experiment_id} failed shape checks: {failed}"
+
+
+def test_every_table_has_rows():
+    result = run_experiment("e1", scale=SCALE)
+    for table in result.tables:
+        assert len(table) > 0
+
+
+class TestCli:
+    def test_cli_runs_selected(self, capsys):
+        from repro.eval.__main__ import main
+
+        code = main(["--scale", str(SCALE), "e11"])
+        out = capsys.readouterr().out
+        assert "E11" in out
+        assert code == 0
+
+    def test_cli_rejects_unknown(self, capsys):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["e99"])

@@ -1,0 +1,177 @@
+"""Unit and property tests for the IR metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_precision,
+    dcg_at_k,
+    gini_coefficient,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    recall_at_k,
+    reciprocal_rank,
+    top_k_overlap,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_basic(self):
+        assert precision_at_k(["a", "b", "c", "d"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b", "c", "d"], {"a", "c"}, 4) == 0.5
+        assert precision_at_k(["a", "c", "b", "d"], {"a", "c"}, 2) == 1.0
+
+    def test_precision_k_zero(self):
+        assert precision_at_k(["a"], {"a"}, 0) == 0.0
+
+    def test_precision_negative_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], set(), -1)
+
+    def test_precision_k_beyond_list(self):
+        # Denominator stays k (standard definition).
+        assert precision_at_k(["a"], {"a"}, 4) == 0.25
+
+    def test_recall_basic(self):
+        assert recall_at_k(["a", "b", "c"], {"a", "c", "z"}, 3) == pytest.approx(2 / 3)
+
+    def test_recall_empty_truth(self):
+        assert recall_at_k(["a"], set(), 1) == 1.0
+
+
+class TestRankMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a", "b"], {"a"}) == 0.5
+        assert reciprocal_rank(["a"], {"a"}) == 1.0
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_average_precision_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_average_precision_partial(self):
+        # relevant at positions 1 and 3: (1/1 + 2/3) / 2.
+        assert average_precision(["a", "x", "b"], {"a", "b"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_average_precision_none_found(self):
+        assert average_precision(["x", "y"], {"a"}) == 0.0
+
+
+class TestNdcg:
+    def test_ideal_ranking_is_one(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], rel, 3) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], rel, 3) < 1.0
+
+    def test_empty_truth_is_one(self):
+        assert ndcg_at_k(["a"], {}, 5) == 1.0
+
+    def test_dcg_log_discount(self):
+        rel = {"a": 1.0, "b": 1.0}
+        assert dcg_at_k(["a", "b"], rel, 2) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_bounds(self):
+        rel = {"a": 1.0, "b": 0.5}
+        assert 0.0 <= ndcg_at_k(["b", "a"], rel, 2) <= 1.0
+
+
+class TestKendallTau:
+    def test_identical_is_one(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_is_minus_one(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_single_swap(self):
+        assert kendall_tau(["a", "b", "c"], ["b", "a", "c"]) == pytest.approx(1 / 3)
+
+    def test_mismatched_items_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a"], ["b"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a", "a"], ["a", "a"])
+
+    def test_short_rankings(self):
+        assert kendall_tau([], []) == 1.0
+        assert kendall_tau(["a"], ["a"]) == 1.0
+
+
+class TestOverlaps:
+    def test_top_k_overlap(self):
+        assert top_k_overlap(["a", "b", "c"], ["a", "b", "z"], 2) == 1.0
+        assert top_k_overlap(["a", "b"], ["c", "d"], 2) == 0.0
+        assert top_k_overlap([], [], 3) == 1.0
+
+    def test_rbo_identical(self):
+        assert rank_biased_overlap(["a", "b", "c"], ["a", "b", "c"]) == pytest.approx(
+            (1 - 0.9) * sum(0.9 ** (d - 1) for d in range(1, 4))
+        )
+
+    def test_rbo_disjoint_is_zero(self):
+        assert rank_biased_overlap(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_rbo_bad_p(self):
+        with pytest.raises(ValueError):
+            rank_biased_overlap(["a"], ["a"], p=1.0)
+
+    def test_rbo_empty(self):
+        assert rank_biased_overlap([], []) == 1.0
+
+
+class TestGini:
+    def test_perfectly_even(self):
+        assert gini_coefficient([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_maximally_uneven_approaches_bound(self):
+        assert gini_coefficient([0.0, 0.0, 0.0, 1.0]) == pytest.approx(0.75)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0])
+
+
+# -- property tests ---------------------------------------------------------------
+
+_items = st.lists(st.integers(0, 20), unique=True, min_size=0, max_size=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking=_items, k=st.integers(0, 15))
+def test_precision_recall_bounds(ranking, k):
+    relevant = set(ranking[::2])
+    assert 0.0 <= precision_at_k(ranking, relevant, k) <= 1.0
+    assert 0.0 <= recall_at_k(ranking, relevant, k) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking=st.lists(st.integers(0, 20), unique=True, min_size=2, max_size=10))
+def test_kendall_tau_symmetric_range(ranking):
+    import random
+
+    other = ranking[:]
+    random.Random(0).shuffle(other)
+    tau = kendall_tau(ranking, other)
+    assert -1.0 <= tau <= 1.0
+    assert kendall_tau(other, ranking) == pytest.approx(tau)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking=_items, k=st.integers(0, 15))
+def test_ndcg_bounds(ranking, k):
+    relevance = {item: float(item % 4) for item in ranking}
+    assert 0.0 <= ndcg_at_k(ranking, relevance, k) <= 1.0 + 1e-9

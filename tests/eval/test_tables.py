@@ -1,0 +1,62 @@
+"""Unit tests for the text-table renderer."""
+
+import pytest
+
+from repro.eval.tables import TextTable, format_cell
+
+
+class TestFormatCell:
+    def test_float_three_decimals(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_bool_words(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestTextTable:
+    def test_add_row_arity_checked(self):
+        table = TextTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = TextTable("My Table", ["name", "value"])
+        table.add_row("alpha", 0.5)
+        table.add_row("beta", 2)
+        text = table.render()
+        assert "My Table" in text
+        assert "alpha" in text and "0.500" in text
+        assert "beta" in text and "2" in text
+
+    def test_render_alignment(self):
+        table = TextTable("t", ["col", "x"])
+        table.add_row("short", 1)
+        table.add_row("muchlongervalue", 2)
+        lines = table.render().splitlines()
+        data_lines = [l for l in lines if "short" in l or "muchlonger" in l]
+        positions = {line.index(str(v)) for line, v in zip(data_lines, (1, 2))}
+        assert len(positions) == 1  # second column aligned
+
+    def test_empty_table_renders(self):
+        table = TextTable("empty", ["a"])
+        assert "empty" in table.render()
+
+    def test_column_access(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError):
+            TextTable("t", ["a"]).column("zz")
+
+    def test_len(self):
+        table = TextTable("t", ["a"])
+        table.add_row(1)
+        assert len(table) == 1

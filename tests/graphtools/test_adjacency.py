@@ -1,0 +1,69 @@
+"""Unit tests for the undirected adjacency graph."""
+
+import pytest
+
+from repro.graphtools.adjacency import UndirectedGraph
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = UndirectedGraph([("a", "b"), ("b", "c")])
+        assert len(g) == 3
+        assert g.edge_count() == 2
+
+    def test_isolated_nodes(self):
+        g = UndirectedGraph(nodes=["x", "y"])
+        assert len(g) == 2
+        assert g.edge_count() == 0
+
+    def test_parallel_edges_collapse(self):
+        g = UndirectedGraph([("a", "b"), ("a", "b"), ("b", "a")])
+        assert g.edge_count() == 1
+
+    def test_self_loop_ignored(self):
+        g = UndirectedGraph([("a", "a")])
+        assert g.edge_count() == 0
+        assert "a" in g
+
+
+class TestMutation:
+    def test_add_edge_symmetric(self):
+        g = UndirectedGraph()
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_remove_edge(self):
+        g = UndirectedGraph([(1, 2)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert 1 in g and 2 in g  # nodes survive
+
+    def test_remove_missing_edge_is_noop(self):
+        g = UndirectedGraph([(1, 2)])
+        g.remove_edge(1, 99)
+        assert g.edge_count() == 1
+
+    def test_add_node_idempotent(self):
+        g = UndirectedGraph([(1, 2)])
+        g.add_node(1)
+        assert g.degree(1) == 1
+
+
+class TestAccess:
+    def test_neighbors(self):
+        g = UndirectedGraph([(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+
+    def test_neighbors_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UndirectedGraph().neighbors("nope")
+
+    def test_degree(self):
+        g = UndirectedGraph([(1, 2), (1, 3)])
+        assert g.degree(1) == 2 and g.degree(2) == 1
+
+    def test_edges_each_once(self):
+        g = UndirectedGraph([(1, 2), (2, 3), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert len({frozenset(e) for e in edges}) == 3

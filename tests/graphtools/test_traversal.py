@@ -1,0 +1,59 @@
+"""Unit tests for BFS utilities."""
+
+import pytest
+
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.graphtools.traversal import (
+    bfs_distances,
+    connected_components,
+    shortest_path_lengths,
+)
+
+
+@pytest.fixture
+def path_graph() -> UndirectedGraph:
+    return UndirectedGraph([(i, i + 1) for i in range(4)])
+
+
+class TestBfsDistances:
+    def test_distances_on_path(self, path_graph):
+        d = bfs_distances(path_graph, 0)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_source_distance_zero(self, path_graph):
+        assert bfs_distances(path_graph, 2)[2] == 0
+
+    def test_unreachable_absent(self):
+        g = UndirectedGraph([(1, 2)], nodes=[3])
+        assert 3 not in bfs_distances(g, 1)
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(KeyError):
+            bfs_distances(path_graph, 99)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path_graph):
+        assert connected_components(path_graph) == [{0, 1, 2, 3, 4}]
+
+    def test_multiple_components_sorted_by_size(self):
+        g = UndirectedGraph([(1, 2), (2, 3), (10, 11)], nodes=[99])
+        comps = connected_components(g)
+        assert comps[0] == {1, 2, 3}
+        assert {10, 11} in comps and {99} in comps
+
+    def test_empty_graph(self):
+        assert connected_components(UndirectedGraph()) == []
+
+
+class TestAllPairs:
+    def test_matches_single_source(self, path_graph):
+        ap = shortest_path_lengths(path_graph)
+        for node in path_graph.nodes():
+            assert ap[node] == bfs_distances(path_graph, node)
+
+    def test_symmetry(self, path_graph):
+        ap = shortest_path_lengths(path_graph)
+        for a in path_graph.nodes():
+            for b, dist in ap[a].items():
+                assert ap[b][a] == dist

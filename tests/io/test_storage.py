@@ -1,0 +1,142 @@
+"""Round-trip tests for on-disk formats."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    load_feedback,
+    load_graph,
+    load_kb,
+    load_users,
+    package_to_dict,
+    save_feedback,
+    save_graph,
+    save_kb,
+    save_package,
+    save_users,
+)
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.items import (
+    RecommendationItem,
+    RecommendationPackage,
+    ScoredItem,
+)
+
+
+def _graph() -> Graph:
+    return Graph(
+        [
+            Triple(EX.Person, RDF_TYPE, RDFS_CLASS),
+            Triple(EX.ada, RDF_TYPE, EX.Person),
+            Triple(EX.ada, EX.name, Literal('Ada "the first"')),
+        ]
+    )
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        path = save_graph(_graph(), tmp_path / "g.nt")
+        assert load_graph(path) == _graph()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        save_graph(_graph(), tmp_path / "deep/nested/g.nt")
+        assert (tmp_path / "deep/nested/g.nt").exists()
+
+
+class TestKbRoundTrip:
+    def _kb(self) -> VersionedKnowledgeBase:
+        kb = VersionedKnowledgeBase("demo")
+        kb.commit(_graph(), version_id="v1", metadata={"author": "x"})
+        g2 = _graph()
+        g2.add(Triple(EX.bob, RDF_TYPE, EX.Person))
+        kb.commit(g2, version_id="v2")
+        return kb
+
+    def test_roundtrip(self, tmp_path):
+        save_kb(self._kb(), tmp_path / "kb")
+        loaded = load_kb(tmp_path / "kb")
+        original = self._kb()
+        assert loaded.name == "demo"
+        assert loaded.version_ids() == ["v1", "v2"]
+        for a, b in zip(original, loaded):
+            assert a.graph == b.graph
+        assert loaded.version("v1").metadata == {"author": "x"}
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_kb(tmp_path)
+
+
+class TestUsersRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        users = [
+            User(
+                "u1",
+                InterestProfile(
+                    class_weights={EX.Person: 0.8},
+                    family_weights={MeasureFamily.SEMANTIC: 0.5},
+                ),
+                name="Ada",
+            ),
+            User("u2"),
+        ]
+        save_users(users, tmp_path / "users.json")
+        loaded = load_users(tmp_path / "users.json")
+        assert [u.user_id for u in loaded] == ["u1", "u2"]
+        assert loaded[0].profile.interest_in(EX.Person) == 0.8
+        assert loaded[0].profile.family_preference(MeasureFamily.SEMANTIC) == 0.5
+        assert loaded[0].name == "Ada"
+        assert loaded[1].profile.is_empty()
+
+
+class TestFeedbackRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        store = FeedbackStore(
+            [FeedbackEvent("u1", "m||http://x/a", 0.7), FeedbackEvent("u2", "k", 0.0)]
+        )
+        save_feedback(store, tmp_path / "fb.jsonl")
+        loaded = load_feedback(tmp_path / "fb.jsonl")
+        assert len(loaded) == 2
+        assert loaded.rating("u1", "m||http://x/a") == 0.7
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        path.write_text('{"user_id": "u", "item_key": "k", "rating": 0.5}\n\n')
+        assert len(load_feedback(path)) == 1
+
+
+class TestPackageSerialisation:
+    def _package(self) -> RecommendationPackage:
+        item = RecommendationItem(
+            measure_name="class_change_count",
+            family=MeasureFamily.COUNT,
+            target_kind=TargetKind.CLASS,
+            target=EX.Person,
+            evolution_score=0.9,
+        )
+        return RecommendationPackage(
+            items=(ScoredItem(item, 0.45),),
+            audience="u1",
+            explanations={item.key: "because"},
+            metadata={"context": "v1->v2"},
+        )
+
+    def test_to_dict(self):
+        payload = package_to_dict(self._package())
+        assert payload["audience"] == "u1"
+        assert payload["items"][0]["rank"] == 1
+        assert payload["items"][0]["target"] == EX.Person.value
+        assert payload["items"][0]["explanation"] == "because"
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = save_package(self._package(), tmp_path / "p.json")
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["context"] == "v1->v2"

@@ -1,0 +1,145 @@
+"""Tests for archiving policies, including the end-to-end delta invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deltas.changelog import ChangeLog
+from repro.kb.archive import (
+    ChangeThreshold,
+    ExponentialThinning,
+    KeepAll,
+    KeepLastN,
+)
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+
+def _chain(step_sizes) -> VersionedKnowledgeBase:
+    """A chain where step i adds ``step_sizes[i]`` fresh triples."""
+    kb = VersionedKnowledgeBase("test")
+    g = Graph()
+    kb.commit(g, version_id="v1")
+    counter = 0
+    for index, size in enumerate(step_sizes, start=2):
+        g = kb.latest().graph.copy()
+        for _ in range(size):
+            g.add(Triple(EX[f"s{counter}"], EX.p, EX.o))
+            counter += 1
+        kb.commit(g, version_id=f"v{index}", copy=False)
+    return kb
+
+
+class TestKeepAll:
+    def test_identity(self):
+        kb = _chain([1, 2, 3])
+        archive = KeepAll().apply(kb)
+        assert archive.version_ids() == kb.version_ids()
+        for a, b in zip(kb, archive):
+            assert a.graph == b.graph
+
+    def test_name_suffixed(self):
+        archive = KeepAll().apply(_chain([1]))
+        assert archive.name == "test-archive"
+
+
+class TestKeepLastN:
+    def test_window(self):
+        kb = _chain([1, 1, 1, 1])  # v1..v5
+        archive = KeepLastN(2).apply(kb)
+        assert archive.version_ids() == ["v1", "v4", "v5"]
+
+    def test_window_larger_than_chain(self):
+        kb = _chain([1])
+        archive = KeepLastN(10).apply(kb)
+        assert archive.version_ids() == ["v1", "v2"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            KeepLastN(0)
+
+
+class TestChangeThreshold:
+    def test_quiet_versions_collapse(self):
+        kb = _chain([1, 1, 10, 1])  # v1..v5
+        archive = ChangeThreshold(5).apply(kb)
+        # v2, v3 quiet relative to v1; v4 crosses the threshold (1+1+10 >= 5
+        # by v4); v5 is the mandatory latest.
+        assert archive.version_ids()[0] == "v1"
+        assert archive.version_ids()[-1] == "v5"
+        assert "v2" not in archive.version_ids()
+
+    def test_threshold_zero_keeps_everything(self):
+        kb = _chain([1, 1, 1])
+        archive = ChangeThreshold(0).apply(kb)
+        assert archive.version_ids() == kb.version_ids()
+
+    def test_cumulative_changes_eventually_kept(self):
+        kb = _chain([2, 2, 2, 2])  # each step small, cumulative grows
+        archive = ChangeThreshold(5).apply(kb)
+        # Some middle version must be kept once cumulative delta >= 5.
+        assert len(archive.version_ids()) >= 3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ChangeThreshold(-1)
+
+
+class TestExponentialThinning:
+    def test_offsets(self):
+        kb = _chain([1] * 8)  # v1..v9
+        archive = ExponentialThinning(2).apply(kb)
+        # Offsets from latest: 0,1,2,4,8 -> v9,v8,v7,v5,v1.
+        assert archive.version_ids() == ["v1", "v5", "v7", "v8", "v9"]
+
+    def test_short_chain(self):
+        kb = _chain([1])
+        archive = ExponentialThinning(2).apply(kb)
+        assert archive.version_ids() == ["v1", "v2"]
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ExponentialThinning(1)
+
+
+class TestInvariants:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(VersionError):
+            KeepAll().apply(VersionedKnowledgeBase())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        steps=st.lists(st.integers(0, 6), min_size=1, max_size=8),
+        policy_index=st.integers(0, 3),
+        parameter=st.integers(1, 5),
+    )
+    def test_end_to_end_delta_preserved(self, steps, policy_index, parameter):
+        """Archiving never loses the overall evolution story."""
+        kb = _chain(steps)
+        policy = [
+            KeepAll(),
+            KeepLastN(parameter),
+            ChangeThreshold(parameter),
+            ExponentialThinning(parameter + 1),
+        ][policy_index]
+        archive = policy.apply(kb)
+        assert archive.first().graph == kb.first().graph
+        assert archive.latest().graph == kb.latest().graph
+        if len(kb) >= 2:
+            original = ChangeLog(kb).end_to_end()
+            archived = ChangeLog(archive).end_to_end()
+            assert original.added == archived.added
+            assert original.deleted == archived.deleted
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps=st.lists(st.integers(0, 4), min_size=1, max_size=8))
+    def test_archive_is_subsequence(self, steps):
+        kb = _chain(steps)
+        for policy in (KeepLastN(2), ChangeThreshold(3), ExponentialThinning(2)):
+            archive = policy.apply(kb)
+            original_ids = kb.version_ids()
+            positions = [original_ids.index(v) for v in archive.version_ids()]
+            assert positions == sorted(positions)

@@ -1,0 +1,210 @@
+"""Unit and property tests for the indexed triple store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.terms import IRI, Literal
+from repro.kb.triples import Triple
+
+
+def _triple(i: int, j: int, k: int) -> Triple:
+    return Triple(EX[f"s{i}"], EX[f"p{j}"], EX[f"o{k}"])
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    g = Graph()
+    g.add(Triple(EX.alice, RDF_TYPE, EX.Person))
+    g.add(Triple(EX.bob, RDF_TYPE, EX.Person))
+    g.add(Triple(EX.alice, EX.knows, EX.bob))
+    g.add(Triple(EX.alice, EX.name, Literal("Alice")))
+    g.add(Triple(EX.Person, RDF_TYPE, RDFS_CLASS))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_when_new(self):
+        g = Graph()
+        assert g.add(_triple(1, 1, 1)) is True
+
+    def test_add_duplicate_returns_false(self):
+        g = Graph()
+        g.add(_triple(1, 1, 1))
+        assert g.add(_triple(1, 1, 1)) is False
+        assert len(g) == 1
+
+    def test_add_all_counts_new_only(self):
+        g = Graph()
+        n = g.add_all([_triple(1, 1, 1), _triple(1, 1, 1), _triple(2, 2, 2)])
+        assert n == 2
+
+    def test_remove_present(self):
+        g = Graph([_triple(1, 1, 1)])
+        assert g.remove(_triple(1, 1, 1)) is True
+        assert len(g) == 0
+
+    def test_remove_absent(self):
+        g = Graph()
+        assert g.remove(_triple(1, 1, 1)) is False
+
+    def test_remove_cleans_indexes(self):
+        g = Graph([_triple(1, 1, 1)])
+        g.remove(_triple(1, 1, 1))
+        assert list(g.match(EX.s1, None, None)) == []
+        assert list(g.match(None, EX.p1, None)) == []
+        assert list(g.match(None, None, EX.o1)) == []
+
+    def test_add_non_triple_raises(self):
+        with pytest.raises(TypeError):
+            Graph().add("nope")  # type: ignore[arg-type]
+
+
+class TestMatch:
+    def test_fully_bound_hit(self, small_graph):
+        hits = list(small_graph.match(EX.alice, EX.knows, EX.bob))
+        assert hits == [Triple(EX.alice, EX.knows, EX.bob)]
+
+    def test_fully_bound_miss(self, small_graph):
+        assert list(small_graph.match(EX.bob, EX.knows, EX.alice)) == []
+
+    def test_subject_only(self, small_graph):
+        assert len(list(small_graph.match(EX.alice, None, None))) == 3
+
+    def test_predicate_only(self, small_graph):
+        assert len(list(small_graph.match(None, RDF_TYPE, None))) == 3
+
+    def test_object_only(self, small_graph):
+        assert len(list(small_graph.match(None, None, EX.Person))) == 2
+
+    def test_subject_predicate(self, small_graph):
+        assert len(list(small_graph.match(EX.alice, RDF_TYPE, None))) == 1
+
+    def test_predicate_object(self, small_graph):
+        assert {t.subject for t in small_graph.match(None, RDF_TYPE, EX.Person)} == {
+            EX.alice,
+            EX.bob,
+        }
+
+    def test_subject_object(self, small_graph):
+        assert len(list(small_graph.match(EX.alice, None, EX.bob))) == 1
+
+    def test_all_wildcards(self, small_graph):
+        assert len(list(small_graph.match())) == len(small_graph)
+
+
+class TestAccessors:
+    def test_count_total(self, small_graph):
+        assert small_graph.count() == 5
+
+    def test_count_pattern(self, small_graph):
+        assert small_graph.count(None, RDF_TYPE, EX.Person) == 2
+        assert small_graph.count(EX.alice, EX.knows, None) == 1
+
+    def test_subjects(self, small_graph):
+        assert set(small_graph.subjects(RDF_TYPE, EX.Person)) == {EX.alice, EX.bob}
+
+    def test_objects(self, small_graph):
+        assert set(small_graph.objects(EX.alice, EX.knows)) == {EX.bob}
+
+    def test_predicates(self, small_graph):
+        preds = set(small_graph.predicates(EX.alice, None))
+        assert preds == {RDF_TYPE, EX.knows, EX.name}
+
+    def test_value_present(self, small_graph):
+        assert small_graph.value(EX.alice, EX.name) == Literal("Alice")
+
+    def test_value_absent(self, small_graph):
+        assert small_graph.value(EX.bob, EX.name) is None
+
+    def test_triples_mentioning_deduplicates(self):
+        g = Graph([Triple(EX.a, EX.a, EX.a)])
+        assert len(list(g.triples_mentioning(EX.a))) == 1
+
+    def test_triples_mentioning_all_positions(self, small_graph):
+        mentioning_person = set(small_graph.triples_mentioning(EX.Person))
+        assert len(mentioning_person) == 3  # two typings + the class declaration
+
+
+class TestSetSemantics:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add(_triple(9, 9, 9))
+        assert len(clone) == len(small_graph) + 1
+
+    def test_union(self):
+        g1 = Graph([_triple(1, 1, 1)])
+        g2 = Graph([_triple(2, 2, 2), _triple(1, 1, 1)])
+        assert len(g1.union(g2)) == 2
+
+    def test_difference(self):
+        g1 = Graph([_triple(1, 1, 1), _triple(2, 2, 2)])
+        g2 = Graph([_triple(2, 2, 2)])
+        assert g1.difference(g2) == {_triple(1, 1, 1)}
+
+    def test_equality_ignores_insertion_order(self):
+        g1 = Graph([_triple(1, 1, 1), _triple(2, 2, 2)])
+        g2 = Graph([_triple(2, 2, 2), _triple(1, 1, 1)])
+        assert g1 == g2
+
+    def test_sorted_triples_canonical(self):
+        g = Graph([_triple(2, 1, 1), _triple(1, 1, 1)])
+        assert g.sorted_triples()[0].subject == EX.s1
+
+    def test_contains_non_triple_is_false(self, small_graph):
+        assert "x" not in small_graph
+
+
+# -- property-based: index coherence -------------------------------------------
+
+_term_ids = st.integers(min_value=0, max_value=4)
+_triples = st.builds(_triple, _term_ids, _term_ids, _term_ids)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), _triples), min_size=0, max_size=60
+    )
+)
+def test_every_pattern_query_matches_brute_force(ops):
+    """Any pattern query must equal a brute-force scan of a reference set."""
+    g = Graph()
+    reference: set[Triple] = set()
+    for op, t in ops:
+        if op == "add":
+            g.add(t)
+            reference.add(t)
+        else:
+            g.remove(t)
+            reference.discard(t)
+
+    assert len(g) == len(reference)
+    assert set(g) == reference
+
+    candidates_s = [None, EX.s0, EX.s1]
+    candidates_p = [None, EX.p0, EX.p1]
+    candidates_o = [None, EX.o0, EX.o1]
+    for s in candidates_s:
+        for p in candidates_p:
+            for o in candidates_o:
+                expected = {
+                    t
+                    for t in reference
+                    if (s is None or t.subject == s)
+                    and (p is None or t.predicate == p)
+                    and (o is None or t.object == o)
+                }
+                assert set(g.match(s, p, o)) == expected
+                assert g.count(s, p, o) == len(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=st.sets(_triples, max_size=40))
+def test_graph_roundtrip_through_copy_and_union(triples):
+    g = Graph(triples)
+    assert set(g.copy()) == triples
+    assert set(g.union(Graph())) == triples
+    assert g.difference(Graph()) == triples

@@ -1,0 +1,203 @@
+"""Tests for RDFS-lite materialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.graph import Graph
+from repro.kb.inference import entails, rdfs_closure
+from repro.kb.namespaces import (
+    EX,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.kb.schema import SchemaView
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+class TestRules:
+    def test_rdfs11_subclass_transitivity(self):
+        g = Graph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.A, RDFS_SUBCLASSOF, EX.C) in closed
+
+    def test_rdfs9_type_inheritance(self):
+        g = Graph(
+            [
+                Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person),
+                Triple(EX.ada, RDF_TYPE, EX.Student),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.ada, RDF_TYPE, EX.Person) in closed
+
+    def test_rdfs9_through_chain(self):
+        g = Graph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+                Triple(EX.x, RDF_TYPE, EX.A),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.x, RDF_TYPE, EX.C) in closed
+
+    def test_rdfs2_domain(self):
+        g = Graph(
+            [
+                Triple(EX.teaches, RDFS_DOMAIN, EX.Professor),
+                Triple(EX.turing, EX.teaches, EX.cs1),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.turing, RDF_TYPE, EX.Professor) in closed
+
+    def test_rdfs3_range(self):
+        g = Graph(
+            [
+                Triple(EX.teaches, RDFS_RANGE, EX.Course),
+                Triple(EX.turing, EX.teaches, EX.cs1),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.cs1, RDF_TYPE, EX.Course) in closed
+
+    def test_rdfs3_skips_literals(self):
+        g = Graph(
+            [
+                Triple(EX.name, RDFS_RANGE, EX.NameThing),
+                Triple(EX.ada, EX.name, Literal("Ada")),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert not list(closed.match(None, RDF_TYPE, EX.NameThing))
+
+    def test_rdfs7_subproperty(self):
+        g = Graph(
+            [
+                Triple(EX.advises, RDFS_SUBPROPERTYOF, EX.knows),
+                Triple(EX.turing, EX.advises, EX.ada),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.turing, EX.knows, EX.ada) in closed
+
+    def test_rdfs5_subproperty_transitivity(self):
+        g = Graph(
+            [
+                Triple(EX.p, RDFS_SUBPROPERTYOF, EX.q),
+                Triple(EX.q, RDFS_SUBPROPERTYOF, EX.r),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.p, RDFS_SUBPROPERTYOF, EX.r) in closed
+
+    def test_rule_interaction_subproperty_then_domain(self):
+        """rdfs7 output feeds rdfs2: advising implies teaching's domain type."""
+        g = Graph(
+            [
+                Triple(EX.advises, RDFS_SUBPROPERTYOF, EX.teaches),
+                Triple(EX.teaches, RDFS_DOMAIN, EX.Professor),
+                Triple(EX.turing, EX.advises, EX.ada),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.turing, RDF_TYPE, EX.Professor) in closed
+
+
+class TestClosureProperties:
+    def test_input_preserved(self):
+        g = Graph([Triple(EX.a, EX.p, EX.b)])
+        closed = rdfs_closure(g)
+        assert Triple(EX.a, EX.p, EX.b) in closed
+
+    def test_input_not_mutated(self):
+        g = Graph(
+            [
+                Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person),
+                Triple(EX.ada, RDF_TYPE, EX.Student),
+            ]
+        )
+        before = len(g)
+        rdfs_closure(g)
+        assert len(g) == before
+
+    def test_cycle_terminates(self):
+        g = Graph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.A),
+                Triple(EX.x, RDF_TYPE, EX.A),
+            ]
+        )
+        closed = rdfs_closure(g)
+        assert Triple(EX.x, RDF_TYPE, EX.B) in closed
+
+    def test_entails(self):
+        g = Graph(
+            [
+                Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person),
+                Triple(EX.ada, RDF_TYPE, EX.Student),
+            ]
+        )
+        assert entails(g, Triple(EX.ada, RDF_TYPE, EX.Person))
+        assert entails(g, Triple(EX.ada, RDF_TYPE, EX.Student))
+        assert not entails(g, Triple(EX.ada, RDF_TYPE, EX.Course))
+
+    def test_closure_affects_instance_counts(self):
+        """Materialisation makes transitive membership direct (the reason
+        the semantic measures may want closed graphs)."""
+        g = Graph(
+            [
+                Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person),
+                Triple(EX.ada, RDF_TYPE, EX.Student),
+            ]
+        )
+        raw = SchemaView(g)
+        closed = SchemaView(rdfs_closure(g))
+        assert raw.instance_count(EX.Person) == 0
+        assert closed.instance_count(EX.Person) == 1
+
+
+# -- property tests --------------------------------------------------------------
+
+_classes = st.integers(0, 3).map(lambda i: EX[f"C{i}"])
+_instances = st.integers(0, 3).map(lambda i: EX[f"x{i}"])
+_props = st.integers(0, 2).map(lambda i: EX[f"p{i}"])
+
+_triples = st.one_of(
+    st.builds(lambda a, b: Triple(a, RDFS_SUBCLASSOF, b), _classes, _classes),
+    st.builds(lambda x, c: Triple(x, RDF_TYPE, c), _instances, _classes),
+    st.builds(lambda p, c: Triple(p, RDFS_DOMAIN, c), _props, _classes),
+    st.builds(lambda p, c: Triple(p, RDFS_RANGE, c), _props, _classes),
+    st.builds(lambda x, p, y: Triple(x, p, y), _instances, _props, _instances),
+    st.builds(lambda p, q: Triple(p, RDFS_SUBPROPERTYOF, q), _props, _props),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=st.sets(_triples, max_size=14))
+def test_closure_is_idempotent(triples):
+    g = Graph(triples)
+    once = rdfs_closure(g)
+    twice = rdfs_closure(once)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=st.sets(_triples, max_size=14))
+def test_closure_is_monotone_and_contains_input(triples):
+    g = Graph(triples)
+    closed = rdfs_closure(g)
+    for t in g:
+        assert t in closed
+    assert len(closed) >= len(g)

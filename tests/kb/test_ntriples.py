@@ -1,0 +1,128 @@
+"""Unit and property tests for N-Triples parse/serialise."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.errors import ParseError
+from repro.kb.namespaces import EX, RDF_TYPE, XSD
+from repro.kb.ntriples import parse, parse_graph, serialize
+from repro.kb.terms import BNode, IRI, Literal
+from repro.kb.triples import Triple
+
+
+class TestParse:
+    def test_simple_triple(self):
+        doc = "<http://x/a> <http://x/p> <http://x/b> .\n"
+        (t,) = list(parse(doc))
+        assert t == Triple(IRI("http://x/a"), IRI("http://x/p"), IRI("http://x/b"))
+
+    def test_blank_lines_and_comments_skipped(self):
+        doc = "\n# comment\n<http://x/a> <http://x/p> <http://x/b> .\n\n"
+        assert len(list(parse(doc))) == 1
+
+    def test_bnode_subject(self):
+        doc = "_:b0 <http://x/p> <http://x/b> ."
+        (t,) = list(parse(doc))
+        assert t.subject == BNode("b0")
+
+    def test_plain_literal(self):
+        doc = '<http://x/a> <http://x/p> "hello world" .'
+        (t,) = list(parse(doc))
+        assert t.object == Literal("hello world")
+
+    def test_typed_literal(self):
+        doc = '<http://x/a> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (t,) = list(parse(doc))
+        assert t.object == Literal("42", datatype=XSD.integer)
+
+    def test_language_literal(self):
+        doc = '<http://x/a> <http://x/p> "chat"@fr .'
+        (t,) = list(parse(doc))
+        assert t.object == Literal("chat", language="fr")
+
+    def test_escapes(self):
+        doc = '<http://x/a> <http://x/p> "line1\\nline2\\t\\"q\\"\\\\" .'
+        (t,) = list(parse(doc))
+        assert t.object == Literal('line1\nline2\t"q"\\')
+
+    def test_unicode_escape(self):
+        doc = '<http://x/a> <http://x/p> "\\u00e9" .'
+        (t,) = list(parse(doc))
+        assert t.object == Literal("é")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/a> <http://x/p> <http://x/b>",  # missing dot
+            '"lit" <http://x/p> <http://x/b> .',  # literal subject
+            "<http://x/a> _:b <http://x/b> .",  # bnode predicate
+            "<http://x/a> <http://x/p> .",  # missing object
+            "<http://x/a> <http://x/p> <http://x/b> . extra",  # trailing junk
+            "<http://x/a> <http://x/p> \"open .",  # unterminated literal
+            "<> <http://x/p> <http://x/b> .",  # empty IRI
+            '<http://x/a> <http://x/p> "x"@ .',  # empty language tag
+            '<http://x/a> <http://x/p> "x"^^<http://x/t .',  # unterminated datatype...
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ParseError):
+            list(parse(bad))
+
+    def test_parse_error_reports_line_number(self):
+        doc = "<http://x/a> <http://x/p> <http://x/b> .\nbroken line\n"
+        with pytest.raises(ParseError) as err:
+            list(parse(doc))
+        assert err.value.line_no == 2
+
+    def test_parse_graph(self):
+        doc = "<http://x/a> <http://x/p> <http://x/b> .\n<http://x/a> <http://x/p> <http://x/c> ."
+        g = parse_graph(doc)
+        assert len(g) == 2
+
+
+class TestSerialize:
+    def test_empty(self):
+        assert serialize([]) == ""
+
+    def test_sorted_output(self):
+        doc = serialize([Triple(EX.b, EX.p, EX.o), Triple(EX.a, EX.p, EX.o)])
+        lines = doc.strip().splitlines()
+        assert lines[0].startswith("<http://example.org/a>")
+
+    def test_trailing_newline(self):
+        assert serialize([Triple(EX.a, EX.p, EX.o)]).endswith(".\n")
+
+
+# -- property-based round-trip ---------------------------------------------------
+
+_safe_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), min_codepoint=0x20
+    ),
+    max_size=30,
+)
+_iris = st.integers(0, 20).map(lambda i: EX[f"r{i}"])
+_literals = st.one_of(
+    _safe_text.map(Literal),
+    st.integers(-1000, 1000).map(lambda n: Literal(str(n), datatype=XSD.integer)),
+    _safe_text.map(lambda s: Literal(s, language="en")),
+)
+_subjects = st.one_of(_iris, st.integers(0, 5).map(lambda i: BNode(f"b{i}")))
+_objects = st.one_of(_iris, _literals)
+_rt_triples = st.builds(Triple, _subjects, _iris, _objects)
+
+
+@settings(max_examples=150, deadline=None)
+@given(triples=st.sets(_rt_triples, max_size=25))
+def test_serialize_parse_roundtrip(triples):
+    doc = serialize(triples)
+    assert set(parse(doc)) == triples
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples=st.sets(_rt_triples, max_size=15))
+def test_roundtrip_is_idempotent(triples):
+    once = serialize(triples)
+    twice = serialize(parse(once))
+    assert once == twice

@@ -1,0 +1,212 @@
+"""Tests for the BGP query engine and cross-snapshot queries."""
+
+import pytest
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
+from repro.kb.query import Pattern, SnapshotQuery, Var, ask, select
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+
+@pytest.fixture
+def graph() -> Graph:
+    g = Graph()
+    for cls in (EX.Person, EX.Student):
+        g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person))
+    g.add(Triple(EX.ada, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.cy, RDF_TYPE, EX.Person))
+    g.add(Triple(EX.ada, EX.knows, EX.bob))
+    g.add(Triple(EX.bob, EX.knows, EX.cy))
+    g.add(Triple(EX.ada, EX.age, Literal("36")))
+    return g
+
+
+class TestVarAndPattern:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_pattern_variables(self):
+        p = Pattern(Var("s"), RDF_TYPE, Var("c"))
+        assert p.variables() == ["s", "c"]
+
+    def test_repr(self):
+        assert repr(Var("x")) == "?x"
+
+
+class TestSelect:
+    def test_single_pattern(self, graph):
+        rows = select(graph, [Pattern(Var("who"), RDF_TYPE, EX.Student)])
+        assert {r["who"] for r in rows} == {EX.ada, EX.bob}
+
+    def test_join_two_patterns(self, graph):
+        rows = select(
+            graph,
+            [
+                Pattern(Var("a"), EX.knows, Var("b")),
+                Pattern(Var("b"), EX.knows, Var("c")),
+            ],
+        )
+        assert rows == [{"a": EX.ada, "b": EX.bob, "c": EX.cy}]
+
+    def test_join_with_type_constraint(self, graph):
+        rows = select(
+            graph,
+            [
+                Pattern(Var("a"), EX.knows, Var("b")),
+                Pattern(Var("b"), RDF_TYPE, EX.Person),
+            ],
+        )
+        # Only bob -> cy: cy is typed Person directly.
+        assert rows == [{"a": EX.bob, "b": EX.cy}]
+
+    def test_shared_variable_consistency(self, graph):
+        # ?x knows ?x -- nobody knows themselves.
+        rows = select(graph, [Pattern(Var("x"), EX.knows, Var("x"))])
+        assert rows == []
+
+    def test_variable_in_predicate_position(self, graph):
+        rows = select(graph, [Pattern(EX.ada, Var("p"), EX.bob)])
+        assert rows == [{"p": EX.knows}]
+
+    def test_filters(self, graph):
+        rows = select(
+            graph,
+            [Pattern(Var("s"), EX.age, Var("age"))],
+            filters=[lambda b: int(str(b["age"])) > 30],
+        )
+        assert rows == [{"s": EX.ada, "age": Literal("36")}]
+
+    def test_filter_rejects_all(self, graph):
+        rows = select(
+            graph,
+            [Pattern(Var("s"), EX.age, Var("age"))],
+            filters=[lambda b: False],
+        )
+        assert rows == []
+
+    def test_empty_patterns(self, graph):
+        assert select(graph, []) == []
+
+    def test_no_match(self, graph):
+        assert select(graph, [Pattern(EX.zz, RDF_TYPE, Var("c"))]) == []
+
+    def test_ground_pattern_acts_as_ask(self, graph):
+        assert select(graph, [Pattern(EX.ada, EX.knows, EX.bob)]) == [{}]
+
+    def test_duplicate_solutions_removed(self, graph):
+        rows = select(
+            graph,
+            [
+                Pattern(Var("s"), RDF_TYPE, EX.Student),
+                Pattern(Var("s"), RDF_TYPE, EX.Student),
+            ],
+        )
+        assert len(rows) == 2
+
+    def test_deterministic_order(self, graph):
+        a = select(graph, [Pattern(Var("who"), RDF_TYPE, EX.Student)])
+        b = select(graph, [Pattern(Var("who"), RDF_TYPE, EX.Student)])
+        assert a == b
+
+    def test_non_iri_bound_predicate_is_empty(self, graph):
+        rows = select(
+            graph,
+            [
+                Pattern(EX.ada, EX.age, Var("lit")),
+                Pattern(EX.ada, Var("lit"), Var("x")),  # lit is a Literal
+            ],
+        )
+        assert rows == []
+
+
+class TestAsk:
+    def test_ask_true_false(self, graph):
+        assert ask(graph, [Pattern(EX.ada, EX.knows, Var("x"))])
+        assert not ask(graph, [Pattern(EX.cy, EX.knows, Var("x"))])
+
+
+# -- property test: join correctness against brute force ---------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_nodes = st.integers(0, 3).map(lambda i: EX[f"n{i}"])
+_preds = st.integers(0, 1).map(lambda i: EX[f"p{i}"])
+_rand_triples = st.builds(Triple, _nodes, _preds, _nodes)
+
+
+def _brute_force_two_pattern(graph, p1, p2):
+    """Enumerate all pairs of triples and merge bindings by hand."""
+    solutions = set()
+    for b1 in p1.match(graph, {}):
+        for b2 in p2.match(graph, b1):
+            solutions.add(tuple(sorted(b2.items(), key=lambda kv: kv[0])))
+    return solutions
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=st.sets(_rand_triples, max_size=15))
+def test_select_matches_brute_force_join(triples):
+    g = Graph(triples)
+    p1 = Pattern(Var("a"), EX.p0, Var("b"))
+    p2 = Pattern(Var("b"), EX.p1, Var("c"))
+    expected = _brute_force_two_pattern(g, p1, p2)
+    actual = {
+        tuple(sorted(b.items(), key=lambda kv: kv[0]))
+        for b in select(g, [p1, p2])
+    }
+    assert actual == expected
+
+
+class TestSnapshotQuery:
+    def _kb(self) -> VersionedKnowledgeBase:
+        kb = VersionedKnowledgeBase()
+        g1 = Graph(
+            [
+                Triple(EX.ada, RDF_TYPE, EX.Student),
+                Triple(EX.bob, RDF_TYPE, EX.Student),
+            ]
+        )
+        kb.commit(g1, version_id="v1")
+        g2 = g1.copy()
+        g2.remove(Triple(EX.bob, RDF_TYPE, EX.Student))
+        g2.add(Triple(EX.cy, RDF_TYPE, EX.Student))
+        kb.commit(g2, version_id="v2")
+        return kb
+
+    def test_requires_patterns(self):
+        with pytest.raises(ValueError):
+            SnapshotQuery([])
+
+    def test_on_version(self):
+        query = SnapshotQuery([Pattern(Var("s"), RDF_TYPE, EX.Student)])
+        kb = self._kb()
+        assert {r["s"] for r in query.on_version(kb, "v1")} == {EX.ada, EX.bob}
+        assert {r["s"] for r in query.on_version(kb, "v2")} == {EX.ada, EX.cy}
+
+    def test_per_version_order(self):
+        query = SnapshotQuery([Pattern(Var("s"), RDF_TYPE, EX.Student)])
+        per_version = query.per_version(self._kb())
+        assert list(per_version) == ["v1", "v2"]
+
+    def test_holds_throughout(self):
+        query = SnapshotQuery([Pattern(Var("s"), RDF_TYPE, EX.Student)])
+        stable = query.holds_throughout(self._kb())
+        assert [r["s"] for r in stable] == [EX.ada]
+
+    def test_gained_and_lost(self):
+        query = SnapshotQuery([Pattern(Var("s"), RDF_TYPE, EX.Student)])
+        kb = self._kb()
+        assert [r["s"] for r in query.gained(kb, "v1", "v2")] == [EX.cy]
+        assert [r["s"] for r in query.lost(kb, "v1", "v2")] == [EX.bob]
+
+    def test_gained_nothing_on_identity(self):
+        query = SnapshotQuery([Pattern(Var("s"), RDF_TYPE, EX.Student)])
+        kb = self._kb()
+        assert query.gained(kb, "v1", "v1") == []
+        assert query.lost(kb, "v2", "v2") == []

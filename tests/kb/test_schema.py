@@ -1,0 +1,208 @@
+"""Unit tests for the schema view."""
+
+import pytest
+
+from repro.kb.errors import SchemaError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    EX,
+    RDF_PROPERTY,
+    RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+)
+from repro.kb.schema import PropertyEdge, SchemaView
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def university() -> SchemaView:
+    """A small university ontology with instances.
+
+    Agent <- Person <- (Student, Professor); Course.
+    teaches: Professor -> Course; enrolledIn: Student -> Course.
+    """
+    g = Graph()
+    for cls in (EX.Agent, EX.Person, EX.Student, EX.Professor, EX.Course):
+        g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Person, RDFS_SUBCLASSOF, EX.Agent))
+    g.add(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person))
+    g.add(Triple(EX.Professor, RDFS_SUBCLASSOF, EX.Person))
+    for prop, dom, rng in (
+        (EX.teaches, EX.Professor, EX.Course),
+        (EX.enrolledIn, EX.Student, EX.Course),
+    ):
+        g.add(Triple(prop, RDF_TYPE, RDF_PROPERTY))
+        g.add(Triple(prop, RDFS_DOMAIN, dom))
+        g.add(Triple(prop, RDFS_RANGE, rng))
+    # Instances: 2 students, 1 professor, 2 courses.
+    g.add(Triple(EX.ada, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.turing, RDF_TYPE, EX.Professor))
+    g.add(Triple(EX.cs101, RDF_TYPE, EX.Course))
+    g.add(Triple(EX.cs202, RDF_TYPE, EX.Course))
+    g.add(Triple(EX.turing, EX.teaches, EX.cs101))
+    g.add(Triple(EX.ada, EX.enrolledIn, EX.cs101))
+    g.add(Triple(EX.ada, EX.enrolledIn, EX.cs202))
+    g.add(Triple(EX.bob, EX.enrolledIn, EX.cs101))
+    g.add(Triple(EX.ada, EX.name, Literal("Ada")))
+    return SchemaView(g)
+
+
+class TestClassesAndProperties:
+    def test_classes(self, university):
+        assert university.classes() == frozenset(
+            {EX.Agent, EX.Person, EX.Student, EX.Professor, EX.Course}
+        )
+
+    def test_builtin_excluded_by_default(self, university):
+        assert RDFS_CLASS not in university.classes()
+        assert RDFS_CLASS in university.classes(include_builtin=True)
+
+    def test_properties(self, university):
+        props = university.properties()
+        assert EX.teaches in props and EX.enrolledIn in props
+        assert EX.name in props  # used as a predicate
+
+    def test_is_class(self, university):
+        assert university.is_class(EX.Person)
+        assert not university.is_class(EX.teaches)
+        assert not university.is_class(Literal("x"))
+
+    def test_is_property(self, university):
+        assert university.is_property(EX.teaches)
+        assert not university.is_property(EX.Person)
+
+    def test_class_from_type_assertion_only(self):
+        g = Graph([Triple(EX.x, RDF_TYPE, EX.Widget)])
+        assert EX.Widget in SchemaView(g).classes()
+
+
+class TestSubsumption:
+    def test_direct_superclasses(self, university):
+        assert university.superclasses(EX.Student) == frozenset({EX.Person})
+
+    def test_transitive_superclasses(self, university):
+        assert university.superclasses(EX.Student, transitive=True) == frozenset(
+            {EX.Person, EX.Agent}
+        )
+
+    def test_direct_subclasses(self, university):
+        assert university.subclasses(EX.Person) == frozenset({EX.Student, EX.Professor})
+
+    def test_transitive_subclasses(self, university):
+        assert university.subclasses(EX.Agent, transitive=True) == frozenset(
+            {EX.Person, EX.Student, EX.Professor}
+        )
+
+    def test_roots(self, university):
+        assert university.roots() == frozenset({EX.Agent, EX.Course})
+
+    def test_depth(self, university):
+        assert university.depth(EX.Agent) == 0
+        assert university.depth(EX.Person) == 1
+        assert university.depth(EX.Student) == 2
+
+    def test_depth_unknown_class_raises(self, university):
+        with pytest.raises(SchemaError):
+            university.depth(EX.Nothing)
+
+    def test_cycle_terminates(self):
+        g = Graph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.A),
+            ]
+        )
+        view = SchemaView(g)
+        assert view.superclasses(EX.A, transitive=True) == frozenset({EX.A, EX.B})
+        assert view.depth(EX.A) >= 0  # must not loop forever
+
+
+class TestPropertyStructure:
+    def test_domain_range(self, university):
+        assert university.domain(EX.teaches) == frozenset({EX.Professor})
+        assert university.range(EX.teaches) == frozenset({EX.Course})
+
+    def test_missing_domain_is_empty(self, university):
+        assert university.domain(EX.name) == frozenset()
+
+    def test_property_edges(self, university):
+        assert PropertyEdge(EX.Professor, EX.teaches, EX.Course) in university.property_edges()
+
+    def test_outgoing_incoming(self, university):
+        assert {e.prop for e in university.outgoing_properties(EX.Student)} == {EX.enrolledIn}
+        assert {e.prop for e in university.incoming_properties(EX.Course)} == {
+            EX.teaches,
+            EX.enrolledIn,
+        }
+
+
+class TestInstances:
+    def test_direct_instances(self, university):
+        assert university.instances_of(EX.Student) == frozenset({EX.ada, EX.bob})
+
+    def test_transitive_instances(self, university):
+        assert university.instances_of(EX.Person, transitive=True) == frozenset(
+            {EX.ada, EX.bob, EX.turing}
+        )
+
+    def test_instance_count(self, university):
+        assert university.instance_count(EX.Course) == 2
+        assert university.instance_count(EX.Person) == 0
+        assert university.instance_count(EX.Person, transitive=True) == 3
+
+    def test_total_instances(self, university):
+        assert university.total_instances() == 5
+
+    def test_classes_of(self, university):
+        assert university.classes_of(EX.ada) == frozenset({EX.Student})
+
+    def test_classes_are_not_instances(self, university):
+        # Student is typed rdfs:Class; it must not appear as an instance.
+        for cls in university.classes():
+            assert EX.Student not in university.instances_of(cls)
+
+
+class TestNeighborhood:
+    def test_neighborhood_subsumption_and_properties(self, university):
+        assert university.neighborhood(EX.Student) == frozenset({EX.Person, EX.Course})
+
+    def test_neighborhood_excludes_self(self, university):
+        assert EX.Course not in university.neighborhood(EX.Course)
+
+    def test_neighborhood_incoming_properties_count(self, university):
+        assert university.neighborhood(EX.Course) == frozenset({EX.Professor, EX.Student})
+
+
+class TestClassEdges:
+    def test_edges_are_undirected_and_deduplicated(self, university):
+        edges = university.class_edges()
+        for a, b in edges:
+            assert a.value <= b.value
+        assert (
+            (EX.Person, EX.Student) in edges
+            or (EX.Student, EX.Person) in edges
+        )
+
+    def test_without_subsumption(self, university):
+        edges = university.class_edges(include_subsumption=False)
+        assert all(
+            {a, b} in ({EX.Professor, EX.Course}, {EX.Student, EX.Course}) for a, b in edges
+        )
+
+
+class TestInstanceConnections:
+    def test_connection_count(self, university):
+        assert university.instance_connections(EX.enrolledIn, EX.Student, EX.Course) == 3
+        assert university.instance_connections(EX.teaches, EX.Professor, EX.Course) == 1
+
+    def test_no_instances_gives_zero(self, university):
+        assert university.instance_connections(EX.teaches, EX.Agent, EX.Course) == 0
+
+    def test_instance_link_count(self, university):
+        # 3 enrolledIn + 1 teaches links touch Student/Course instances.
+        assert university.instance_link_count([EX.Student, EX.Course]) == 4

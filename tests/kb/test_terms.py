@@ -1,0 +1,114 @@
+"""Unit tests for RDF terms."""
+
+import pytest
+
+from repro.kb.errors import TermError
+from repro.kb.namespaces import XSD
+from repro.kb.terms import BNode, IRI, Literal, is_resource
+
+
+class TestIRI:
+    def test_value_roundtrip(self):
+        assert IRI("http://example.org/a").value == "http://example.org/a"
+
+    def test_n3(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert hash(IRI("http://x/a")) == hash(IRI("http://x/a"))
+        assert IRI("http://x/a") != IRI("http://x/b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["http://x/ a", "http://x/<a>", 'http://x/"a"', "a\nb"])
+    def test_illegal_characters_rejected(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    def test_local_name_hash(self):
+        assert IRI("http://x/onto#Person").local_name == "Person"
+
+    def test_local_name_slash(self):
+        assert IRI("http://x/onto/Person").local_name == "Person"
+
+    def test_local_name_no_separator(self):
+        assert IRI("urn:isbn:12").local_name == "urn:isbn:12"
+
+    def test_str(self):
+        assert str(IRI("http://x/a")) == "http://x/a"
+
+
+class TestBNode:
+    def test_n3(self):
+        assert BNode("b0").n3() == "_:b0"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(TermError):
+            BNode("")
+
+    def test_illegal_label_rejected(self):
+        with pytest.raises(TermError):
+            BNode("a b")
+
+    def test_equality(self):
+        assert BNode("x") == BNode("x")
+        assert BNode("x") != BNode("y")
+
+
+class TestLiteral:
+    def test_plain_n3(self):
+        assert Literal("hello").n3() == '"hello"'
+
+    def test_typed_n3(self):
+        lit = Literal("42", datatype=XSD.integer)
+        assert lit.n3() == '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_language_n3(self):
+        assert Literal("chat", language="fr").n3() == '"chat"@fr'
+
+    def test_escaping(self):
+        lit = Literal('say "hi"\n\tdone\\')
+        assert lit.n3() == '"say \\"hi\\"\\n\\tdone\\\\"'
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=XSD.string, language="en")
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(TermError):
+            Literal("x", language="")
+
+    def test_non_string_lexical_rejected(self):
+        with pytest.raises(TermError):
+            Literal(42)  # type: ignore[arg-type]
+
+    def test_equality_considers_datatype(self):
+        assert Literal("1") != Literal("1", datatype=XSD.integer)
+
+
+class TestOrdering:
+    def test_kind_order(self):
+        # IRIs < blank nodes < literals.
+        iri, bnode, lit = IRI("http://x/a"), BNode("a"), Literal("a")
+        assert iri < bnode < lit
+
+    def test_lexicographic_within_kind(self):
+        assert IRI("http://x/a") < IRI("http://x/b")
+        assert Literal("a") < Literal("b")
+
+    def test_sorted_is_stable_and_total(self):
+        terms = [Literal("z"), IRI("http://x/z"), BNode("z"), IRI("http://x/a")]
+        ordered = sorted(terms)
+        assert ordered == [IRI("http://x/a"), IRI("http://x/z"), BNode("z"), Literal("z")]
+
+
+class TestIsResource:
+    def test_iri_and_bnode_are_resources(self):
+        assert is_resource(IRI("http://x/a"))
+        assert is_resource(BNode("b"))
+
+    def test_literal_is_not_resource(self):
+        assert not is_resource(Literal("x"))

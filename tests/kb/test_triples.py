@@ -1,0 +1,57 @@
+"""Unit tests for the Triple statement type."""
+
+import pytest
+
+from repro.kb.errors import TermError
+from repro.kb.namespaces import EX, RDF_TYPE
+from repro.kb.terms import BNode, IRI, Literal
+from repro.kb.triples import Triple
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Triple(EX.a, EX.p, EX.b)
+        assert t.subject == EX.a and t.predicate == EX.p and t.object == EX.b
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("x"), EX.p, EX.b)
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(EX.a, BNode("p"), EX.b)  # type: ignore[arg-type]
+
+    def test_non_term_object_rejected(self):
+        with pytest.raises(TermError):
+            Triple(EX.a, EX.p, "not-a-term")  # type: ignore[arg-type]
+
+    def test_bnode_subject_allowed(self):
+        t = Triple(BNode("b"), EX.p, Literal("v"))
+        assert isinstance(t.subject, BNode)
+
+
+class TestBehaviour:
+    def test_n3_line(self):
+        t = Triple(EX.a, RDF_TYPE, EX.B)
+        assert t.n3().endswith(" .")
+        assert "<http://example.org/a>" in t.n3()
+
+    def test_terms_iteration(self):
+        t = Triple(EX.a, EX.p, Literal("v"))
+        assert list(t.terms()) == [EX.a, EX.p, Literal("v")]
+
+    def test_mentions(self):
+        t = Triple(EX.a, EX.p, EX.b)
+        assert t.mentions(EX.a) and t.mentions(EX.p) and t.mentions(EX.b)
+        assert not t.mentions(EX.c)
+
+    def test_hash_and_equality(self):
+        assert Triple(EX.a, EX.p, EX.b) == Triple(EX.a, EX.p, EX.b)
+        assert len({Triple(EX.a, EX.p, EX.b), Triple(EX.a, EX.p, EX.b)}) == 1
+
+    def test_ordering_subject_major(self):
+        assert Triple(EX.a, EX.z, EX.z) < Triple(EX.b, EX.a, EX.a)
+
+    def test_ordering_not_with_other_types(self):
+        with pytest.raises(TypeError):
+            _ = Triple(EX.a, EX.p, EX.b) < 3  # type: ignore[operator]

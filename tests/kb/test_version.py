@@ -1,0 +1,118 @@
+"""Unit tests for the versioned knowledge base."""
+
+import pytest
+
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+
+def _t(i: int) -> Triple:
+    return Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"])
+
+
+class TestCommit:
+    def test_auto_version_ids(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        kb.commit(Graph())
+        assert kb.version_ids() == ["v1", "v2"]
+
+    def test_explicit_version_id(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph(), version_id="release-1")
+        assert "release-1" in kb
+
+    def test_duplicate_id_rejected(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph(), version_id="v1")
+        with pytest.raises(VersionError):
+            kb.commit(Graph(), version_id="v1")
+
+    def test_commit_copies_by_default(self):
+        kb = VersionedKnowledgeBase()
+        g = Graph()
+        kb.commit(g)
+        g.add(_t(1))
+        assert len(kb.latest().graph) == 0
+
+    def test_commit_no_copy_adopts(self):
+        kb = VersionedKnowledgeBase()
+        g = Graph()
+        kb.commit(g, copy=False)
+        g.add(_t(1))
+        assert len(kb.latest().graph) == 1
+
+    def test_metadata_stored(self):
+        kb = VersionedKnowledgeBase()
+        v = kb.commit(Graph(), metadata={"author": "curator-1"})
+        assert v.metadata["author"] == "curator-1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedKnowledgeBase("")
+
+
+class TestCommitChanges:
+    def test_applies_additions_and_deletions(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph([_t(1), _t(2)]))
+        kb.commit_changes(added=[_t(3)], deleted=[_t(1)])
+        latest = kb.latest().graph
+        assert _t(3) in latest and _t(2) in latest and _t(1) not in latest
+
+    def test_on_empty_chain_starts_from_nothing(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit_changes(added=[_t(1)])
+        assert len(kb.latest().graph) == 1
+
+
+class TestAccess:
+    def test_version_lookup(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph(), version_id="a")
+        assert kb.version("a").version_id == "a"
+
+    def test_unknown_version_raises_with_available_ids(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph(), version_id="a")
+        with pytest.raises(VersionError, match="a"):
+            kb.version("missing")
+
+    def test_latest_first(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph(), version_id="a")
+        kb.commit(Graph(), version_id="b")
+        assert kb.first().version_id == "a"
+        assert kb.latest().version_id == "b"
+
+    def test_latest_on_empty_raises(self):
+        with pytest.raises(VersionError):
+            VersionedKnowledgeBase().latest()
+
+    def test_pairs(self):
+        kb = VersionedKnowledgeBase()
+        for vid in ("a", "b", "c"):
+            kb.commit(Graph(), version_id=vid)
+        assert [(x.version_id, y.version_id) for x, y in kb.pairs()] == [
+            ("a", "b"),
+            ("b", "c"),
+        ]
+
+    def test_len_and_iter(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        assert len(kb) == 1
+        assert [v.version_id for v in kb] == ["v1"]
+
+    def test_schema_view_cached(self):
+        kb = VersionedKnowledgeBase()
+        v = kb.commit(Graph([_t(1)]))
+        assert v.schema is v.schema
+
+    def test_version_len(self):
+        kb = VersionedKnowledgeBase()
+        v = kb.commit(Graph([_t(1), _t(2)]))
+        assert len(v) == 2

@@ -1,0 +1,62 @@
+"""Shared fixtures: a small evolving university knowledge base."""
+
+import pytest
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    EX,
+    RDF_PROPERTY,
+    RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+)
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+
+
+def university_v1() -> Graph:
+    """V1: Agent <- Person <- (Student, Professor); Course; teaches, enrolledIn."""
+    g = Graph()
+    for cls in (EX.Agent, EX.Person, EX.Student, EX.Professor, EX.Course):
+        g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Person, RDFS_SUBCLASSOF, EX.Agent))
+    g.add(Triple(EX.Student, RDFS_SUBCLASSOF, EX.Person))
+    g.add(Triple(EX.Professor, RDFS_SUBCLASSOF, EX.Person))
+    for prop, dom, rng in (
+        (EX.teaches, EX.Professor, EX.Course),
+        (EX.enrolledIn, EX.Student, EX.Course),
+    ):
+        g.add(Triple(prop, RDF_TYPE, RDF_PROPERTY))
+        g.add(Triple(prop, RDFS_DOMAIN, dom))
+        g.add(Triple(prop, RDFS_RANGE, rng))
+    g.add(Triple(EX.ada, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.bob, RDF_TYPE, EX.Student))
+    g.add(Triple(EX.turing, RDF_TYPE, EX.Professor))
+    g.add(Triple(EX.cs1, RDF_TYPE, EX.Course))
+    g.add(Triple(EX.ada, EX.enrolledIn, EX.cs1))
+    g.add(Triple(EX.bob, EX.enrolledIn, EX.cs1))
+    g.add(Triple(EX.turing, EX.teaches, EX.cs1))
+    return g
+
+
+def university_v2() -> Graph:
+    """V2: Course gains a Seminar subclass + instances; Student loses bob."""
+    g = university_v1()
+    g.add(Triple(EX.Seminar, RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Seminar, RDFS_SUBCLASSOF, EX.Course))
+    g.add(Triple(EX.sem1, RDF_TYPE, EX.Seminar))
+    g.add(Triple(EX.ada, EX.enrolledIn, EX.sem1))
+    g.remove(Triple(EX.bob, RDF_TYPE, EX.Student))
+    g.remove(Triple(EX.bob, EX.enrolledIn, EX.cs1))
+    return g
+
+
+@pytest.fixture
+def university_context() -> EvolutionContext:
+    kb = VersionedKnowledgeBase("university")
+    v1 = kb.commit(university_v1(), version_id="v1", copy=False)
+    v2 = kb.commit(university_v2(), version_id="v2", copy=False)
+    return EvolutionContext(v1, v2)

@@ -1,0 +1,153 @@
+"""Unit tests for the measure framework (context, results, catalogue)."""
+
+import pytest
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import (
+    EvolutionContext,
+    EvolutionMeasure,
+    MeasureCatalog,
+    MeasureFamily,
+    MeasureResult,
+    TargetKind,
+)
+
+
+class _Constant(EvolutionMeasure):
+    name = "constant"
+    description = "test measure"
+
+    def __init__(self, scores):
+        self._scores = scores
+
+    def compute(self, context):
+        return self._result(self._scores)
+
+
+def _context() -> EvolutionContext:
+    kb = VersionedKnowledgeBase()
+    v1 = kb.commit(Graph([Triple(EX.A, RDF_TYPE, RDFS_CLASS)]))
+    v2 = kb.commit(
+        Graph([Triple(EX.A, RDF_TYPE, RDFS_CLASS), Triple(EX.B, RDF_TYPE, RDFS_CLASS)])
+    )
+    return EvolutionContext(v1, v2)
+
+
+class TestEvolutionContext:
+    def test_delta_cached(self):
+        ctx = _context()
+        assert ctx.delta is ctx.delta
+
+    def test_delta_content(self):
+        ctx = _context()
+        assert ctx.delta.added == {Triple(EX.B, RDF_TYPE, RDFS_CLASS)}
+
+    def test_union_classes(self):
+        ctx = _context()
+        assert ctx.union_classes() == frozenset({EX.A, EX.B})
+
+    def test_change_counts_cached(self):
+        ctx = _context()
+        assert ctx.change_counts() is ctx.change_counts()
+
+
+class TestMeasureResult:
+    def _result(self) -> MeasureResult:
+        return MeasureResult(
+            "m", TargetKind.CLASS, {EX.a: 3.0, EX.b: 1.0, EX.c: 3.0, EX.d: 0.0}
+        )
+
+    def test_top_orders_by_score_then_iri(self):
+        top = self._result().top(3)
+        assert [t for t, _ in top] == [EX.a, EX.c, EX.b]
+
+    def test_top_zero(self):
+        assert self._result().top(0) == []
+
+    def test_top_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self._result().top(-1)
+
+    def test_ranking_is_full(self):
+        assert len(self._result().ranking()) == 4
+
+    def test_rank_of(self):
+        r = self._result()
+        assert r.rank_of(EX.a) == 0
+        assert r.rank_of(EX.d) == 3
+
+    def test_rank_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self._result().rank_of(EX.zz)
+
+    def test_score_default_zero(self):
+        assert self._result().score(EX.zz) == 0.0
+
+    def test_normalized_bounds(self):
+        norm = self._result().normalized()
+        assert max(norm.scores.values()) == 1.0
+        assert min(norm.scores.values()) == 0.0
+
+    def test_normalized_all_zero_is_identity(self):
+        r = MeasureResult("m", TargetKind.CLASS, {EX.a: 0.0})
+        assert r.normalized() is r
+
+    def test_nonzero(self):
+        assert set(self._result().nonzero()) == {EX.a, EX.b, EX.c}
+
+    def test_len_and_iter(self):
+        r = self._result()
+        assert len(r) == 4
+        assert set(iter(r)) == {EX.a, EX.b, EX.c, EX.d}
+
+
+class TestNegativeScoreGuard:
+    def test_negative_score_rejected(self):
+        measure = _Constant({EX.a: -1.0})
+        with pytest.raises(ValueError, match="negative"):
+            measure.compute(_context())
+
+
+class TestMeasureCatalog:
+    def test_register_and_get(self):
+        cat = MeasureCatalog()
+        m = _Constant({})
+        cat.register(m)
+        assert cat.get("constant") is m
+
+    def test_duplicate_rejected(self):
+        cat = MeasureCatalog()
+        cat.register(_Constant({}))
+        with pytest.raises(ValueError):
+            cat.register(_Constant({}))
+
+    def test_unknown_name_lists_available(self):
+        cat = MeasureCatalog()
+        cat.register(_Constant({}))
+        with pytest.raises(KeyError, match="constant"):
+            cat.get("nope")
+
+    def test_by_family(self):
+        cat = MeasureCatalog()
+        m = _Constant({})
+        cat.register(m)
+        assert cat.by_family(MeasureFamily.COUNT) == [m]
+        assert cat.by_family(MeasureFamily.SEMANTIC) == []
+
+    def test_compute_all(self):
+        cat = MeasureCatalog()
+        cat.register(_Constant({EX.a: 1.0}))
+        results = cat.compute_all(_context())
+        assert set(results) == {"constant"}
+
+    def test_container_protocol(self):
+        cat = MeasureCatalog()
+        m = _Constant({})
+        cat.register(m)
+        assert "constant" in cat
+        assert len(cat) == 1
+        assert list(cat) == [m]
+        assert cat.names() == ["constant"]

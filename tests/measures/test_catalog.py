@@ -1,0 +1,44 @@
+"""Tests for the default measure catalogue."""
+
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.measures.catalog import default_catalog
+
+
+class TestDefaultCatalog:
+    def test_eight_measures(self):
+        assert len(default_catalog()) == 8
+
+    def test_expected_names(self):
+        assert default_catalog().names() == [
+            "betweenness_shift",
+            "bridging_centrality_shift",
+            "centrality_shift",
+            "class_change_count",
+            "neighborhood_change_count",
+            "property_cardinality_shift",
+            "property_change_count",
+            "relevance_shift",
+        ]
+
+    def test_every_family_covered(self):
+        cat = default_catalog()
+        for family in MeasureFamily:
+            assert cat.by_family(family), f"no measure for family {family}"
+
+    def test_class_and_property_targets_covered(self):
+        kinds = {m.target_kind for m in default_catalog()}
+        assert kinds == {TargetKind.CLASS, TargetKind.PROPERTY}
+
+    def test_descriptions_nonempty(self):
+        for measure in default_catalog():
+            assert measure.description.strip(), measure.name
+
+    def test_compute_all_on_real_context(self, university_context):
+        results = default_catalog().compute_all(university_context)
+        assert len(results) == 8
+        for name, result in results.items():
+            assert result.measure_name == name
+            assert all(s >= 0.0 for s in result.scores.values())
+
+    def test_fresh_catalog_each_call(self):
+        assert default_catalog() is not default_catalog()

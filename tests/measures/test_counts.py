@@ -1,0 +1,42 @@
+"""Tests for Section II.a change-count measures."""
+
+from repro.kb.namespaces import EX
+from repro.measures.counts import ClassChangeCount, PropertyChangeCount
+
+
+class TestClassChangeCount:
+    def test_changed_class_scores_positive(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        # Seminar: 3 changed triples mention it (class decl, subclass, typing).
+        assert result.score(EX.Seminar) == 3.0
+
+    def test_untouched_class_scores_zero(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        assert result.score(EX.Agent) == 0.0
+        assert result.score(EX.Professor) == 0.0
+
+    def test_class_touched_by_deletion(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        # Student is mentioned by bob's deleted typing.
+        assert result.score(EX.Student) == 1.0
+
+    def test_all_union_classes_scored(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        assert EX.Seminar in result.scores  # v2-only class
+        assert EX.Agent in result.scores  # unchanged class
+
+    def test_ranking_puts_most_changed_first(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        assert result.ranking()[0] == EX.Seminar
+
+
+class TestPropertyChangeCount:
+    def test_property_change_counts(self, university_context):
+        result = PropertyChangeCount().compute(university_context)
+        # enrolledIn: ada->sem1 added, bob->cs1 deleted.
+        assert result.score(EX.enrolledIn) == 2.0
+        assert result.score(EX.teaches) == 0.0
+
+    def test_scores_nonnegative(self, university_context):
+        result = PropertyChangeCount().compute(university_context)
+        assert all(s >= 0 for s in result.scores.values())

@@ -1,0 +1,125 @@
+"""Tests for weighted measure mixes."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.measures.catalog import default_catalog
+from repro.measures.counts import ClassChangeCount, PropertyChangeCount
+from repro.measures.mix import WeightedMixMeasure, persona_mix
+from repro.measures.neighborhood import NeighborhoodChangeCount
+from repro.measures.semantic import InOutCentralityShift
+from repro.profiles.user import InterestProfile
+
+
+class TestWeightedMixMeasure:
+    def test_weights_normalised(self):
+        mix = WeightedMixMeasure(
+            "m", {ClassChangeCount(): 2.0, NeighborhoodChangeCount(): 2.0}
+        )
+        assert [w for _, w in mix.members] == [0.5, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMixMeasure("m", {})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMixMeasure("m", {ClassChangeCount(): 0.0})
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMixMeasure(
+                "m", {ClassChangeCount(): 2.0, NeighborhoodChangeCount(): -1.0}
+            )
+
+    def test_mixed_target_kinds_rejected(self):
+        with pytest.raises(ValueError, match="target kind"):
+            WeightedMixMeasure(
+                "m", {ClassChangeCount(): 1.0, PropertyChangeCount(): 1.0}
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMixMeasure("", {ClassChangeCount(): 1.0})
+
+    def test_family_is_dominant_member(self):
+        mix = WeightedMixMeasure(
+            "m", {ClassChangeCount(): 1.0, InOutCentralityShift(): 3.0}
+        )
+        assert mix.family is MeasureFamily.SEMANTIC
+
+    def test_description_names_members(self):
+        mix = WeightedMixMeasure("m", {ClassChangeCount(): 1.0})
+        assert "class_change_count" in mix.description
+
+    def test_compute_is_convex_combination(self, university_context):
+        count = ClassChangeCount()
+        hood = NeighborhoodChangeCount()
+        mix = WeightedMixMeasure("m", {count: 1.0, hood: 3.0})
+        result = mix.compute(university_context)
+        count_norm = count.compute(university_context).normalized()
+        hood_norm = hood.compute(university_context).normalized()
+        for target, score in result.scores.items():
+            expected = 0.25 * count_norm.score(target) + 0.75 * hood_norm.score(target)
+            assert score == pytest.approx(expected)
+
+    def test_scores_bounded(self, university_context):
+        mix = WeightedMixMeasure(
+            "m", {ClassChangeCount(): 1.0, NeighborhoodChangeCount(): 1.0}
+        )
+        result = mix.compute(university_context)
+        assert all(0.0 <= s <= 1.0 + 1e-12 for s in result.scores.values())
+
+    def test_single_member_mix_equals_normalised_member(self, university_context):
+        count = ClassChangeCount()
+        mix = WeightedMixMeasure("m", {count: 5.0})
+        assert mix.compute(university_context).scores == pytest.approx(
+            dict(count.compute(university_context).normalized().scores)
+        )
+
+    def test_registrable_in_catalog(self, university_context):
+        catalog = default_catalog()
+        mix = WeightedMixMeasure("my_mix", {ClassChangeCount(): 1.0})
+        catalog.register(mix)
+        results = catalog.compute_all(university_context)
+        assert "my_mix" in results
+
+
+class TestPersonaMix:
+    def test_weights_follow_family_preferences(self):
+        profile = InterestProfile(
+            family_weights={
+                MeasureFamily.COUNT: 1.0,
+                MeasureFamily.NEIGHBORHOOD: 0.0,
+                MeasureFamily.STRUCTURAL: 0.0,
+                MeasureFamily.SEMANTIC: 0.0,
+            }
+        )
+        mix = persona_mix("p", default_catalog(), profile)
+        by_name = {m.name: w for m, w in mix.members}
+        assert by_name["class_change_count"] == pytest.approx(1.0)
+
+    def test_neutral_profile_uniform(self):
+        # All-zero preferences degrade to a uniform mix, not a zero mix.
+        profile = InterestProfile(
+            family_weights={f: 0.0 for f in MeasureFamily}
+        )
+        mix = persona_mix("p", default_catalog(), profile)
+        weights = [w for _, w in mix.members]
+        assert all(w == pytest.approx(weights[0]) for w in weights)
+
+    def test_only_requested_kind(self):
+        mix = persona_mix("p", default_catalog(), InterestProfile())
+        assert all(m.target_kind is TargetKind.CLASS for m, _ in mix.members)
+
+    def test_property_kind(self):
+        mix = persona_mix(
+            "p", default_catalog(), InterestProfile(), target_kind=TargetKind.PROPERTY
+        )
+        assert all(m.target_kind is TargetKind.PROPERTY for m, _ in mix.members)
+
+    def test_computes_on_context(self, university_context):
+        mix = persona_mix("p", default_catalog(), InterestProfile())
+        result = mix.compute(university_context)
+        assert len(result) > 0

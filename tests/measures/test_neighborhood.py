@@ -1,0 +1,60 @@
+"""Tests for the Section II.b neighbourhood change measure."""
+
+from repro.kb.namespaces import EX
+from repro.measures.counts import ClassChangeCount
+from repro.measures.neighborhood import (
+    NeighborhoodChangeCount,
+    two_version_neighborhood,
+)
+
+
+class TestTwoVersionNeighborhood:
+    def test_union_of_versions(self, university_context):
+        # Course's neighbourhood gains Seminar in v2.
+        hood = two_version_neighborhood(university_context, EX.Course)
+        assert EX.Seminar in hood
+        assert EX.Student in hood and EX.Professor in hood
+
+    def test_excludes_self(self, university_context):
+        assert EX.Course not in two_version_neighborhood(university_context, EX.Course)
+
+    def test_v2_only_class(self, university_context):
+        hood = two_version_neighborhood(university_context, EX.Seminar)
+        assert hood == frozenset({EX.Course})
+
+
+class TestNeighborhoodChangeCount:
+    def test_definition_matches_manual_sum(self, university_context):
+        counts = university_context.change_counts()
+        measure = NeighborhoodChangeCount().compute(university_context)
+        for cls in university_context.union_classes():
+            expected = sum(
+                counts.get(c, 0)
+                for c in two_version_neighborhood(university_context, cls)
+            )
+            assert measure.score(cls) == float(expected)
+
+    def test_class_with_changed_neighbourhood_scores_positive(self, university_context):
+        measure = NeighborhoodChangeCount().compute(university_context)
+        # Course neighbours Seminar (3 changes) and Student (1 change).
+        assert measure.score(EX.Course) >= 4.0
+
+    def test_include_self_adds_own_changes(self, university_context):
+        base = NeighborhoodChangeCount().compute(university_context)
+        with_self = NeighborhoodChangeCount(include_self=True).compute(university_context)
+        own = ClassChangeCount().compute(university_context)
+        for cls in university_context.union_classes():
+            assert with_self.score(cls) == base.score(cls) + own.score(cls)
+
+    def test_include_self_changes_name(self):
+        assert (
+            NeighborhoodChangeCount(include_self=True).name
+            == "neighborhood_change_count_with_self"
+        )
+
+    def test_detects_topology_change_around_quiet_class(self, university_context):
+        """A class with no own changes can still have a changed area (II.b)."""
+        own = ClassChangeCount().compute(university_context)
+        hood = NeighborhoodChangeCount().compute(university_context)
+        assert own.score(EX.Professor) == 0.0
+        assert hood.score(EX.Professor) > 0.0  # via Person/Course neighbours

@@ -1,0 +1,210 @@
+"""Tests for Section II.d semantic measures and their shifts."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import (
+    EX,
+    RDF_PROPERTY,
+    RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+)
+from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.measures.semantic import (
+    InOutCentralityShift,
+    PropertyCardinalityShift,
+    RelevanceShift,
+    centrality,
+    in_centrality,
+    out_centrality,
+    relative_cardinality,
+    relevance,
+)
+from tests.measures.conftest import university_v1, university_v2
+
+
+@pytest.fixture
+def schema() -> SchemaView:
+    return SchemaView(university_v1())
+
+
+class TestRelativeCardinality:
+    def test_in_unit_interval(self, schema):
+        rc = relative_cardinality(schema, EX.enrolledIn, EX.Student, EX.Course)
+        assert 0.0 <= rc <= 1.0
+
+    def test_value(self, schema):
+        # enrolledIn links: 2 (ada, bob). Links touching Student/Course
+        # instances: 2 enrolledIn + 1 teaches = 3.
+        rc = relative_cardinality(schema, EX.enrolledIn, EX.Student, EX.Course)
+        assert rc == pytest.approx(2 / 3)
+
+    def test_no_connections_zero(self, schema):
+        assert relative_cardinality(schema, EX.teaches, EX.Student, EX.Course) == 0.0
+
+    def test_empty_classes_zero(self, schema):
+        assert relative_cardinality(schema, EX.enrolledIn, EX.Agent, EX.Course) == 0.0
+
+
+class TestCentrality:
+    def test_out_centrality_of_student(self, schema):
+        assert out_centrality(schema, EX.Student) == pytest.approx(2 / 3)
+
+    def test_in_centrality_of_course(self, schema):
+        # teaches RC: 1 link / 3 links touching Professor/Course instances.
+        expected = 2 / 3 + 1 / 3
+        assert in_centrality(schema, EX.Course) == pytest.approx(expected)
+
+    def test_centrality_is_sum(self, schema):
+        for cls in schema.classes():
+            assert centrality(schema, cls) == pytest.approx(
+                in_centrality(schema, cls) + out_centrality(schema, cls)
+            )
+
+    def test_class_without_properties_zero(self, schema):
+        assert centrality(schema, EX.Agent) == 0.0
+
+
+class TestRelevance:
+    def test_relevance_nonnegative(self, schema):
+        for cls in schema.classes():
+            assert relevance(schema, cls) >= 0.0
+
+    def test_no_instances_no_relevance(self, schema):
+        # Agent has central neighbours but (transitively) 3 instances;
+        # a class with zero transitive instances has relevance 0.
+        g = university_v1()
+        g.add(Triple(EX.Ghost, RDF_TYPE, RDFS_CLASS))
+        view = SchemaView(g)
+        assert relevance(view, EX.Ghost) == 0.0
+
+    def test_instance_population_scales_relevance(self, schema):
+        """More instances (with links) => higher relevance, ceteris paribus."""
+        base = relevance(schema, EX.Course)
+        g = university_v1()
+        for i in range(10):
+            g.add(Triple(EX[f"extra{i}"], RDF_TYPE, EX.Course))
+        bigger = relevance(SchemaView(g), EX.Course)
+        assert bigger > base
+
+    def test_neighbour_centrality_contributes(self, schema):
+        """Relevance > centrality * population term when neighbours are central."""
+        own = centrality(schema, EX.Course)
+        population = schema.instance_count(EX.Course, transitive=True)
+        floor = own * math.log2(1 + population)
+        assert relevance(schema, EX.Course) > floor
+
+
+class TestShiftMeasures:
+    def test_no_change_all_zero(self):
+        kb = VersionedKnowledgeBase()
+        g = university_v1()
+        v1 = kb.commit(g, version_id="a")
+        v2 = kb.commit(g, version_id="b")
+        ctx = EvolutionContext(v1, v2)
+        for measure in (InOutCentralityShift(), RelevanceShift(), PropertyCardinalityShift()):
+            result = measure.compute(ctx)
+            assert all(s == 0.0 for s in result.scores.values()), measure.name
+
+    def test_centrality_shift_detects_data_change(self, university_context):
+        result = InOutCentralityShift().compute(university_context)
+        # Student and Course both lost/gained enrolment links.
+        assert result.score(EX.Student) > 0.0
+        assert result.score(EX.Course) > 0.0
+
+    def test_relevance_shift_scores_populated_changes(self, university_context):
+        result = RelevanceShift().compute(university_context)
+        assert result.score(EX.Course) > 0.0
+
+    def test_property_cardinality_shift(self, university_context):
+        result = PropertyCardinalityShift().compute(university_context)
+        # enrolledIn's data distribution changed; teaches' RC denominator
+        # changed too (shared instance links), so it may shift slightly.
+        assert result.score(EX.enrolledIn) > 0.0
+
+    def test_shift_measures_score_union_targets(self, university_context):
+        result = InOutCentralityShift().compute(university_context)
+        assert EX.Seminar in result.scores
+
+
+class TestCumulativeEffectSuperiority:
+    """Section II.d: shift measures see *effect*, counts see *volume*.
+
+    Build two classes with the same number of changed triples, where one
+    class's changes cancel out semantically (a link removed and re-added
+    elsewhere keeps its centrality identical) and the other's changes all
+    pile onto it.  The count measure ties them; the shift measure separates
+    them.  This is the seed of experiment E2.
+    """
+
+    def test_same_count_different_shift(self):
+        old = Graph()
+        for cls in (EX.A, EX.B, EX.T):
+            old.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+        for prop, dom in ((EX.pa, EX.A), (EX.pb, EX.B)):
+            old.add(Triple(prop, RDF_TYPE, RDF_PROPERTY))
+            old.add(Triple(prop, RDFS_DOMAIN, dom))
+            old.add(Triple(prop, RDFS_RANGE, EX.T))
+        for i in range(4):
+            old.add(Triple(EX[f"a{i}"], RDF_TYPE, EX.A))
+            old.add(Triple(EX[f"b{i}"], RDF_TYPE, EX.B))
+            old.add(Triple(EX[f"t{i}"], RDF_TYPE, EX.T))
+        # A's instances all link; B's instances all link.
+        for i in range(4):
+            old.add(Triple(EX[f"a{i}"], EX.pa, EX[f"t{i}"]))
+            old.add(Triple(EX[f"b{i}"], EX.pb, EX[f"t{i}"]))
+
+        new = old.copy()
+        # B: churn -- 2 links move to different targets (count 4: 2 del + 2 add),
+        # total link count unchanged -> RC (and centrality) unchanged.
+        new.remove(Triple(EX.b0, EX.pb, EX.t0))
+        new.add(Triple(EX.b0, EX.pb, EX.t1))
+        new.remove(Triple(EX.b1, EX.pb, EX.t1))
+        new.add(Triple(EX.b1, EX.pb, EX.t2))
+        # A: real erosion -- 2 links deleted outright and 2 unrelated
+        # attribute triples added (count 4 as well), centrality drops.
+        new.remove(Triple(EX.a0, EX.pa, EX.t0))
+        new.remove(Triple(EX.a1, EX.pa, EX.t1))
+        from repro.kb.terms import Literal
+
+        new.add(Triple(EX.a0, EX.note, Literal("x")))
+        new.add(Triple(EX.a1, EX.note, Literal("y")))
+
+        kb = VersionedKnowledgeBase()
+        v1 = kb.commit(old, copy=False)
+        v2 = kb.commit(new, copy=False)
+        ctx = EvolutionContext(v1, v2)
+
+        from repro.measures.counts import ClassChangeCount
+
+        counts = ClassChangeCount().compute(ctx)
+        shift = InOutCentralityShift().compute(ctx)
+
+        # Counts cannot separate A's region from B's churn...
+        assert counts.score(EX.A) <= counts.score(EX.B)
+        # ...the centrality shift can.
+        assert shift.score(EX.A) > shift.score(EX.B)
+
+
+# -- property tests ------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(extra_links=st.integers(0, 10))
+def test_relative_cardinality_stays_in_unit_interval(extra_links):
+    g = university_v1()
+    for i in range(extra_links):
+        g.add(Triple(EX[f"x{i}"], RDF_TYPE, EX.Student))
+        g.add(Triple(EX[f"x{i}"], EX.enrolledIn, EX.cs1))
+    schema = SchemaView(g)
+    for edge in schema.property_edges():
+        rc = relative_cardinality(schema, edge.prop, edge.source, edge.target)
+        assert 0.0 <= rc <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for Section II.c structural shift measures."""
+
+import networkx as nx
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
+from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.measures.structural import (
+    BetweennessShift,
+    BridgingCentralityShift,
+    class_graph,
+)
+
+
+def _chain_graph(n: int) -> Graph:
+    """Classes C0 - C1 - ... - C(n-1) linked by subsumption."""
+    g = Graph()
+    for i in range(n):
+        g.add(Triple(EX[f"C{i}"], RDF_TYPE, RDFS_CLASS))
+    for i in range(n - 1):
+        g.add(Triple(EX[f"C{i}"], RDFS_SUBCLASSOF, EX[f"C{i + 1}"]))
+    return g
+
+
+def _context(old: Graph, new: Graph) -> EvolutionContext:
+    kb = VersionedKnowledgeBase()
+    v1 = kb.commit(old, copy=False)
+    v2 = kb.commit(new, copy=False)
+    return EvolutionContext(v1, v2)
+
+
+class TestClassGraph:
+    def test_nodes_are_classes(self, university_context):
+        g = class_graph(university_context.old_schema)
+        assert set(g.nodes()) == set(university_context.old_schema.classes())
+
+    def test_edges_from_subsumption_and_properties(self, university_context):
+        g = class_graph(university_context.old_schema)
+        assert g.has_edge(EX.Student, EX.Person)  # subsumption
+        assert g.has_edge(EX.Professor, EX.Course)  # property edge
+
+    def test_matches_networkx_structure(self, university_context):
+        ours = class_graph(university_context.new_schema)
+        theirs = nx.Graph()
+        theirs.add_nodes_from(ours.nodes())
+        theirs.add_edges_from(ours.edges())
+        assert theirs.number_of_nodes() == len(ours)
+        assert theirs.number_of_edges() == ours.edge_count()
+
+
+class TestBetweennessShift:
+    def test_no_change_no_shift(self):
+        g = _chain_graph(5)
+        ctx = _context(g, g.copy())
+        result = BetweennessShift().compute(ctx)
+        assert all(s == 0.0 for s in result.scores.values())
+
+    def test_topology_change_shifts_affected_region(self):
+        # V2 splits the chain by removing the middle link: the middle
+        # classes lose all their betweenness.
+        old = _chain_graph(7)
+        new = _chain_graph(7)
+        new.remove(Triple(EX.C3, RDFS_SUBCLASSOF, EX.C4))
+        ctx = _context(old, new)
+        result = BetweennessShift().compute(ctx)
+        assert result.score(EX.C3) > 0.0
+        assert result.score(EX.C0) < result.score(EX.C3)
+
+    def test_new_hub_redistributes_centrality(self):
+        old = _chain_graph(4)
+        new = _chain_graph(4)
+        # Hub subsumes everything: shortcuts collapse the chain's centrality.
+        new.add(Triple(EX.Hub, RDF_TYPE, RDFS_CLASS))
+        for i in range(4):
+            new.add(Triple(EX[f"C{i}"], RDFS_SUBCLASSOF, EX.Hub))
+        ctx = _context(old, new)
+        result = BetweennessShift().compute(ctx)
+        # The new hub shifts (it had centrality 0 before), and the former
+        # chain middles shift even more (they lose their monopoly on paths).
+        assert result.score(EX.Hub) > 0.0
+        assert result.ranking()[0] in {EX.C1, EX.C2}
+        assert result.score(EX.C1) > result.score(EX.C0)
+
+    def test_absent_class_has_zero_centrality_side(self):
+        old = _chain_graph(3)
+        new = _chain_graph(5)  # C3, C4 appear
+        ctx = _context(old, new)
+        result = BetweennessShift().compute(ctx)
+        assert EX.C4 in result.scores
+
+
+class TestBridgingCentralityShift:
+    def test_no_change_no_shift(self):
+        g = _chain_graph(5)
+        ctx = _context(g, g.copy())
+        result = BridgingCentralityShift().compute(ctx)
+        assert all(s == 0.0 for s in result.scores.values())
+
+    def test_bridge_appearing_scores(self, university_context):
+        result = BridgingCentralityShift().compute(university_context)
+        assert all(s >= 0.0 for s in result.scores.values())
+        # Course's topology changed (Seminar attached below it).
+        assert result.score(EX.Course) > 0.0
+
+    def test_differs_from_betweenness(self):
+        """Bridging centrality and betweenness rank differently in general."""
+        old = _chain_graph(2)
+        new = Graph()
+        # Two triangles joined by a bridge node.
+        names = ["A", "B", "C", "D", "E", "F", "Bridge"]
+        for n in names:
+            new.add(Triple(EX[n], RDF_TYPE, RDFS_CLASS))
+        edges = [
+            ("A", "B"), ("B", "C"), ("A", "C"),
+            ("D", "E"), ("E", "F"), ("D", "F"),
+            ("C", "Bridge"), ("Bridge", "D"),
+        ]
+        for a, b in edges:
+            new.add(Triple(EX[a], RDFS_SUBCLASSOF, EX[b]))
+        ctx = _context(old, new)
+        betweenness = BetweennessShift().compute(ctx)
+        bridging = BridgingCentralityShift().compute(ctx)
+        assert bridging.ranking()[0] == EX.Bridge
+        # The bridging coefficient makes the bridge *relatively* more
+        # dominant over a triangle corner than raw betweenness does.
+        corner = EX.C
+        assert (
+            bridging.score(EX.Bridge) / bridging.score(corner)
+            > betweenness.score(EX.Bridge) / betweenness.score(corner)
+        )

@@ -1,0 +1,75 @@
+"""Tests for schema and evolution summaries."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.kb.schema import SchemaView
+from repro.measures.base import EvolutionContext
+from repro.measures.counts import ClassChangeCount
+from repro.measures.summary import (
+    evolution_summary,
+    schema_summary,
+    summary_from_result,
+)
+from tests.measures.conftest import university_v1
+
+
+@pytest.fixture
+def schema() -> SchemaView:
+    return SchemaView(university_v1())
+
+
+class TestSchemaSummary:
+    def test_selects_top_relevant(self, schema):
+        summary = schema_summary(schema, k=3)
+        assert 0 < len(summary) <= 3
+        # Course participates in all instance links; it must be in the summary.
+        assert EX.Course in summary.classes
+
+    def test_scores_descending(self, schema):
+        summary = schema_summary(schema, k=5)
+        scores = [summary.scores[c] for c in summary.classes]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_zero_relevance_excluded(self, schema):
+        summary = schema_summary(schema, k=100)
+        assert all(summary.scores[c] > 0 for c in summary.classes)
+
+    def test_edges_connect_selected_or_connectors(self, schema):
+        summary = schema_summary(schema, k=4)
+        allowed = set(summary.classes) | set(summary.connectors)
+        for a, b in summary.edges:
+            assert a in allowed and b in allowed
+
+    def test_k_zero(self, schema):
+        assert len(schema_summary(schema, k=0)) == 0
+
+    def test_negative_k_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema_summary(schema, k=-1)
+
+    def test_describe_readable(self, schema):
+        lines = schema_summary(schema, k=3).describe()
+        assert lines and all("score" in line for line in lines[: len(lines) - 1] or lines)
+
+
+class TestEvolutionSummary:
+    def test_summarises_changed_classes(self, university_context):
+        summary = evolution_summary(university_context, ClassChangeCount(), k=3)
+        # Seminar is the most changed class in the fixture evolution.
+        assert summary.classes[0] == EX.Seminar
+
+    def test_connects_through_new_schema(self, university_context):
+        summary = evolution_summary(university_context, ClassChangeCount(), k=4)
+        # Seminar-Course edge exists only in the new version's schema.
+        assert any(EX.Seminar in edge for edge in summary.edges)
+
+    def test_summary_from_result_respects_k(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        summary = summary_from_result(result, university_context.new_schema, k=2)
+        assert len(summary) <= 2
+
+    def test_summary_from_result_negative_k(self, university_context):
+        result = ClassChangeCount().compute(university_context)
+        with pytest.raises(ValueError):
+            summary_from_result(result, university_context.new_schema, k=-2)

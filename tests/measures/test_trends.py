@@ -1,0 +1,134 @@
+"""Tests for trend analysis over version chains."""
+
+import pytest
+
+from repro.kb.errors import VersionError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.counts import ClassChangeCount
+from repro.measures.trends import (
+    TrendAnalysis,
+    TrendKind,
+    _least_squares_slope,
+    measure_series,
+)
+
+
+def _chain_with_changes(per_step_changes):
+    """A chain where class Hot gains `n` instances per step (n from the list)."""
+    kb = VersionedKnowledgeBase()
+    g = Graph()
+    for cls in (EX.Hot, EX.Cold):
+        g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+    kb.commit(g)
+    counter = 0
+    for n in per_step_changes:
+        g = kb.latest().graph.copy()
+        for _ in range(n):
+            g.add(Triple(EX[f"inst{counter}"], RDF_TYPE, EX.Hot))
+            counter += 1
+        kb.commit(g, copy=False)
+    return kb
+
+
+class TestMeasureSeries:
+    def test_series_length(self):
+        kb = _chain_with_changes([2, 3, 1])
+        series = measure_series(kb, ClassChangeCount())
+        assert all(len(s) == 3 for s in series.values())
+
+    def test_series_values_track_changes(self):
+        kb = _chain_with_changes([2, 3, 1])
+        series = measure_series(kb, ClassChangeCount())
+        assert series[EX.Hot] == [2.0, 3.0, 1.0]
+        assert series[EX.Cold] == [0.0, 0.0, 0.0]
+
+    def test_short_chain_rejected(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        with pytest.raises(VersionError):
+            measure_series(kb, ClassChangeCount())
+
+
+class TestSlope:
+    def test_flat(self):
+        assert _least_squares_slope([1.0, 1.0, 1.0]) == 0.0
+
+    def test_linear(self):
+        assert _least_squares_slope([0.0, 1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        assert _least_squares_slope([3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_short_series(self):
+        assert _least_squares_slope([5.0]) == 0.0
+
+
+class TestTrendAnalysis:
+    def test_rising(self):
+        kb = _chain_with_changes([1, 3, 6, 9])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert analysis.trend(EX.Hot).kind is TrendKind.RISING
+
+    def test_falling(self):
+        kb = _chain_with_changes([9, 6, 3, 1])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert analysis.trend(EX.Hot).kind is TrendKind.FALLING
+
+    def test_steady(self):
+        kb = _chain_with_changes([4, 4, 4, 4])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert analysis.trend(EX.Hot).kind is TrendKind.STEADY
+
+    def test_spiking(self):
+        kb = _chain_with_changes([1, 30, 1, 1])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert analysis.trend(EX.Hot).kind is TrendKind.SPIKING
+
+    def test_quiet_class_steady(self):
+        kb = _chain_with_changes([1, 2, 3])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert analysis.trend(EX.Cold).kind is TrendKind.STEADY
+
+    def test_by_kind_sorted(self):
+        kb = _chain_with_changes([1, 3, 6, 9])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        rising = analysis.by_kind(TrendKind.RISING)
+        assert [t.target for t in rising] == [EX.Hot]
+
+    def test_hottest(self):
+        kb = _chain_with_changes([2, 2])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        hottest = analysis.hottest(1)
+        assert hottest[0].target == EX.Hot
+        assert analysis.hottest(0) == []
+        with pytest.raises(ValueError):
+            analysis.hottest(-1)
+
+    def test_trend_properties(self):
+        kb = _chain_with_changes([1, 5, 2])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        trend = analysis.trend(EX.Hot)
+        assert trend.total == 8.0
+        assert trend.peak_step == 1
+
+    def test_unknown_target(self):
+        kb = _chain_with_changes([1, 1])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        with pytest.raises(KeyError):
+            analysis.trend(EX.Nothing)
+
+    def test_invalid_thresholds(self):
+        kb = _chain_with_changes([1, 1])
+        with pytest.raises(ValueError):
+            TrendAnalysis(kb, ClassChangeCount(), spike_ratio=0.0)
+        with pytest.raises(ValueError):
+            TrendAnalysis(kb, ClassChangeCount(), slope_threshold=-1.0)
+
+    def test_len_and_iter(self):
+        kb = _chain_with_changes([1, 1])
+        analysis = TrendAnalysis(kb, ClassChangeCount())
+        assert len(analysis) == len(list(analysis))
+        assert analysis.measure_name == "class_change_count"

@@ -1,0 +1,75 @@
+"""Unit tests for generalisation hierarchies."""
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
+from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
+from repro.privacy.generalization import GeneralizationHierarchy, TOP
+
+
+def _hierarchy(*edges, extra_classes=()) -> GeneralizationHierarchy:
+    g = Graph()
+    classes = set(extra_classes)
+    for child, parent in edges:
+        classes |= {child, parent}
+    for cls in classes:
+        g.add(Triple(EX[cls], RDF_TYPE, RDFS_CLASS))
+    for child, parent in edges:
+        g.add(Triple(EX[child], RDFS_SUBCLASSOF, EX[parent]))
+    return GeneralizationHierarchy(SchemaView(g))
+
+
+class TestParent:
+    def test_child_to_parent(self):
+        h = _hierarchy(("Flu", "Disease"))
+        assert h.parent(EX.Flu) == EX.Disease
+
+    def test_root_to_top(self):
+        h = _hierarchy(("Flu", "Disease"))
+        assert h.parent(EX.Disease) == TOP
+
+    def test_unknown_to_top(self):
+        h = _hierarchy(("Flu", "Disease"))
+        assert h.parent(EX.Mystery) == TOP
+
+    def test_top_is_fixpoint(self):
+        h = _hierarchy(("Flu", "Disease"))
+        assert h.parent(TOP) == TOP
+
+    def test_multiple_parents_deterministic(self):
+        h = _hierarchy(("Flu", "Zoonosis"), ("Flu", "Airborne"))
+        assert h.parent(EX.Flu) == EX.Airborne  # lexicographically smallest
+
+
+class TestChain:
+    def test_chain_to_top(self):
+        h = _hierarchy(("Flu", "Disease"), ("Disease", "Condition"))
+        assert h.chain(EX.Flu) == [EX.Flu, EX.Disease, EX.Condition, TOP]
+
+    def test_height(self):
+        h = _hierarchy(("Flu", "Disease"), ("Disease", "Condition"))
+        assert h.height(EX.Flu) == 3
+        assert h.height(EX.Condition) == 1
+        assert h.height(TOP) == 0
+
+    def test_max_height(self):
+        h = _hierarchy(("Flu", "Disease"), ("Disease", "Condition"), ("Burn", "Injury"))
+        assert h.max_height() == 3
+
+    def test_cycle_guard(self):
+        h = _hierarchy(("A", "B"), ("B", "A"))
+        chain = h.chain(EX.A)
+        assert chain[-1] == TOP
+        assert len(chain) <= 4
+
+
+class TestStepsBetween:
+    def test_ancestor_steps(self):
+        h = _hierarchy(("Flu", "Disease"), ("Disease", "Condition"))
+        assert h.steps_between(EX.Flu, EX.Flu) == 0
+        assert h.steps_between(EX.Flu, EX.Disease) == 1
+        assert h.steps_between(EX.Flu, TOP) == 3
+
+    def test_non_ancestor_none(self):
+        h = _hierarchy(("Flu", "Disease"), ("Burn", "Injury"))
+        assert h.steps_between(EX.Flu, EX.Injury) is None

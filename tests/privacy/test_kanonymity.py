@@ -1,0 +1,209 @@
+"""Unit and property tests for k-anonymisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
+from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
+from repro.privacy.generalization import GeneralizationHierarchy, TOP
+from repro.privacy.kanonymity import anonymize_report
+from repro.privacy.loss import (
+    precision_loss,
+    ranking_utility,
+    reidentification_rate,
+    suppression_rate,
+)
+from repro.privacy.report import ChangeRecord, EvolutionReport
+
+
+def _medical_hierarchy() -> GeneralizationHierarchy:
+    """Condition <- Disease <- (Flu, Rare); Condition <- Injury <- Burn."""
+    g = Graph()
+    for cls in ("Condition", "Disease", "Injury", "Flu", "Rare", "Burn"):
+        g.add(Triple(EX[cls], RDF_TYPE, RDFS_CLASS))
+    g.add(Triple(EX.Disease, RDFS_SUBCLASSOF, EX.Condition))
+    g.add(Triple(EX.Injury, RDFS_SUBCLASSOF, EX.Condition))
+    g.add(Triple(EX.Flu, RDFS_SUBCLASSOF, EX.Disease))
+    g.add(Triple(EX.Rare, RDFS_SUBCLASSOF, EX.Disease))
+    g.add(Triple(EX.Burn, RDFS_SUBCLASSOF, EX.Injury))
+    return GeneralizationHierarchy(SchemaView(g))
+
+
+def _report() -> EvolutionReport:
+    return EvolutionReport(
+        [
+            ChangeRecord(EX.Flu, "p1", 2.0),
+            ChangeRecord(EX.Flu, "p2", 2.0),
+            ChangeRecord(EX.Flu, "p3", 1.0),
+            ChangeRecord(EX.Rare, "p4", 4.0),  # single contributor: vulnerable
+            ChangeRecord(EX.Burn, "p5", 1.0),
+            ChangeRecord(EX.Burn, "p6", 1.0),
+        ]
+    )
+
+
+class TestGeneralizeStrategy:
+    def test_postcondition_holds(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2)
+        assert anon.is_k_anonymous()
+
+    def test_untouched_subtree_released_unchanged(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2)
+        burn = anon.row_for(EX.Burn)
+        assert burn is not None and burn.total == 2.0
+        assert anon.covering[EX.Burn] == EX.Burn
+
+    def test_vulnerable_row_climbs_and_pools_with_sibling(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2)
+        # Rare (1 contributor) must not be released at Rare; it pools with
+        # its sibling Flu at Disease so no subtraction attack can recover it.
+        assert anon.row_for(EX.Rare) is None
+        assert anon.covering[EX.Rare] == EX.Disease
+        disease = anon.row_for(EX.Disease)
+        assert disease is not None
+        assert disease.contributors == frozenset({"p1", "p2", "p3", "p4"})
+        assert disease.total == 9.0
+        # Flu's own row is gone: releasing it separately would let a reader
+        # subtract it from the Disease row and re-identify Rare.
+        assert anon.row_for(EX.Flu) is None
+
+    def test_merged_totals_preserved(self):
+        """Generalisation never loses change mass (only suppression does)."""
+        report = _report()
+        anon = anonymize_report(report, _medical_hierarchy(), k=2)
+        released_total = sum(row.total for row in anon.rows)
+        suppressed_total = sum(
+            report.row_for(cls).total for cls in anon.suppressed
+        )
+        assert released_total + suppressed_total == pytest.approx(report.total_amount())
+
+    def test_generalization_steps_recorded(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2)
+        assert anon.generalization_steps[EX.Burn] == 0
+        assert anon.generalization_steps[EX.Rare] >= 1
+        assert anon.generalization_steps[EX.Flu] == 1  # absorbed into Disease
+
+    def test_k_larger_than_population_suppresses(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=100)
+        assert anon.rows == ()
+        assert anon.suppressed == frozenset({EX.Flu, EX.Rare, EX.Burn})
+
+    def test_k_one_is_identity(self):
+        report = _report()
+        anon = anonymize_report(report, _medical_hierarchy(), k=1)
+        assert {r.cls for r in anon.rows} == set(report.classes())
+        assert all(s == 0 for s in anon.generalization_steps.values())
+
+    def test_siblings_pool_at_parent(self):
+        report = EvolutionReport(
+            [
+                ChangeRecord(EX.Flu, "p1", 1.0),
+                ChangeRecord(EX.Rare, "p2", 1.0),
+            ]
+        )
+        anon = anonymize_report(report, _medical_hierarchy(), k=2)
+        merged = anon.row_for(EX.Disease)
+        assert merged is not None
+        assert merged.contributors == frozenset({"p1", "p2"})
+        assert anon.covering[EX.Flu] == EX.Disease
+        assert anon.covering[EX.Rare] == EX.Disease
+
+
+class TestSuppressStrategy:
+    def test_vulnerable_dropped(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2, strategy="suppress")
+        assert anon.is_k_anonymous()
+        assert EX.Rare in anon.suppressed
+        assert anon.row_for(EX.Flu) is not None
+
+    def test_no_generalization_steps(self):
+        anon = anonymize_report(_report(), _medical_hierarchy(), k=2, strategy="suppress")
+        assert all(s == 0 for s in anon.generalization_steps.values())
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            anonymize_report(_report(), _medical_hierarchy(), k=0)
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            anonymize_report(_report(), _medical_hierarchy(), k=2, strategy="magic")
+
+
+class TestLossMetrics:
+    def test_reidentification_rate(self):
+        report = _report()
+        assert reidentification_rate(report, 2) == pytest.approx(1 / 3)
+        assert reidentification_rate(report, 1) == 0.0
+        assert reidentification_rate(EvolutionReport(), 5) == 0.0
+
+    def test_suppression_rate(self):
+        report = _report()
+        anon = anonymize_report(report, _medical_hierarchy(), k=100)
+        assert suppression_rate(report, anon) == 1.0
+        anon1 = anonymize_report(report, _medical_hierarchy(), k=1)
+        assert suppression_rate(report, anon1) == 0.0
+
+    def test_precision_loss_zero_at_k1(self):
+        report = _report()
+        h = _medical_hierarchy()
+        assert precision_loss(anonymize_report(report, h, k=1), h) == 0.0
+
+    def test_precision_loss_monotone_in_k(self):
+        report = _report()
+        h = _medical_hierarchy()
+        losses = [
+            precision_loss(anonymize_report(report, h, k=k), h) for k in (1, 2, 4, 100)
+        ]
+        assert losses == sorted(losses)
+        assert losses[-1] == 1.0  # everything suppressed counts as full climb
+
+    def test_ranking_utility_perfect_at_k1(self):
+        report = _report()
+        h = _medical_hierarchy()
+        assert ranking_utility(report, anonymize_report(report, h, k=1)) == 1.0
+
+    def test_ranking_utility_degrades_with_merging(self):
+        report = _report()
+        h = _medical_hierarchy()
+        u1 = ranking_utility(report, anonymize_report(report, h, k=1))
+        u3 = ranking_utility(report, anonymize_report(report, h, k=3))
+        assert u3 <= u1
+
+    def test_ranking_utility_degenerate(self):
+        report = EvolutionReport([ChangeRecord(EX.Flu, "p1")])
+        h = _medical_hierarchy()
+        assert ranking_utility(report, anonymize_report(report, h, k=1)) == 1.0
+
+
+# -- property test: the k-anonymity guarantee -------------------------------------
+
+_class_names = ["Flu", "Rare", "Burn", "Disease", "Injury", "Condition"]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    records=st.lists(
+        st.builds(
+            ChangeRecord,
+            st.sampled_from([EX[c] for c in _class_names]),
+            st.sampled_from([f"p{i}" for i in range(8)]),
+            st.floats(0.0, 10.0, allow_nan=False),
+        ),
+        max_size=40,
+    ),
+    k=st.integers(1, 6),
+    strategy=st.sampled_from(["generalize", "suppress"]),
+)
+def test_every_released_row_has_k_contributors(records, k, strategy):
+    report = EvolutionReport(records)
+    anon = anonymize_report(report, _medical_hierarchy(), k=k, strategy=strategy)
+    assert anon.is_k_anonymous()
+    # Covered classes and suppressed classes partition the original classes.
+    covered = set(anon.covering)
+    assert covered | set(anon.suppressed) == set(report.classes())
+    assert not (covered & set(anon.suppressed))

@@ -1,0 +1,68 @@
+"""Unit tests for per-contributor evolution reports."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.privacy.report import ChangeRecord, EvolutionReport
+
+
+class TestChangeRecord:
+    def test_valid(self):
+        r = ChangeRecord(EX.Disease, "patient-1", 2.0)
+        assert r.amount == 2.0
+
+    def test_empty_contributor_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeRecord(EX.Disease, "")
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeRecord(EX.Disease, "p", -1.0)
+
+
+class TestEvolutionReport:
+    def _report(self) -> EvolutionReport:
+        return EvolutionReport(
+            [
+                ChangeRecord(EX.Flu, "p1", 3.0),
+                ChangeRecord(EX.Flu, "p2", 1.0),
+                ChangeRecord(EX.Flu, "p1", 1.0),  # repeat contributor
+                ChangeRecord(EX.Rare, "p9", 5.0),
+            ]
+        )
+
+    def test_totals_aggregate(self):
+        row = self._report().row_for(EX.Flu)
+        assert row.total == 5.0
+
+    def test_contributors_deduplicate(self):
+        row = self._report().row_for(EX.Flu)
+        assert row.contributors == frozenset({"p1", "p2"})
+        assert row.contributor_count == 2
+
+    def test_row_for_missing(self):
+        assert self._report().row_for(EX.Nothing) is None
+
+    def test_rows_sorted_by_iri(self):
+        rows = self._report().rows()
+        assert [r.cls for r in rows] == [EX.Flu, EX.Rare]
+
+    def test_vulnerable_rows(self):
+        report = self._report()
+        assert [r.cls for r in report.vulnerable_rows(2)] == [EX.Rare]
+        assert report.vulnerable_rows(1) == []
+
+    def test_vulnerable_rows_bad_k(self):
+        with pytest.raises(ValueError):
+            self._report().vulnerable_rows(0)
+
+    def test_ranking_by_total(self):
+        assert self._report().ranking() == [EX.Flu, EX.Rare]
+
+    def test_total_amount(self):
+        assert self._report().total_amount() == 10.0
+
+    def test_len_and_iter(self):
+        report = self._report()
+        assert len(report) == 2
+        assert len(list(report)) == 2

@@ -1,0 +1,51 @@
+"""Unit tests for groups."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.profiles.group import Group
+from repro.profiles.user import InterestProfile, User
+
+
+def _user(uid: str, **weights) -> User:
+    return User(
+        user_id=uid,
+        profile=InterestProfile(class_weights={EX[k]: v for k, v in weights.items()}),
+    )
+
+
+class TestGroup:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            Group(group_id="g", members=())
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Group(group_id="", members=(_user("u1"),))
+
+    def test_duplicate_members_rejected(self):
+        u = _user("u1")
+        with pytest.raises(ValueError):
+            Group(group_id="g", members=(u, _user("u1")))
+
+    def test_member_ids(self):
+        g = Group("g", (_user("a"), _user("b")))
+        assert g.member_ids() == ("a", "b")
+
+    def test_len_iter_contains(self):
+        u1, u2 = _user("a"), _user("b")
+        g = Group("g", (u1, u2))
+        assert len(g) == 2
+        assert list(g) == [u1, u2]
+        assert u1 in g and "b" in g and "zz" not in g
+
+    def test_merged_profile_is_uniform_average(self):
+        g = Group("g", (_user("a", A=1.0), _user("b", B=1.0), _user("c", C=1.0)))
+        merged = g.merged_profile()
+        assert merged.interest_in(EX.A) == pytest.approx(1 / 3)
+        assert merged.interest_in(EX.B) == pytest.approx(1 / 3)
+        assert merged.interest_in(EX.C) == pytest.approx(1 / 3)
+
+    def test_merged_profile_single_member(self):
+        g = Group("g", (_user("a", A=0.7),))
+        assert g.merged_profile().interest_in(EX.A) == 0.7

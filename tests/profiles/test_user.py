@@ -1,0 +1,79 @@
+"""Unit tests for users and interest profiles."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily
+from repro.profiles.user import InterestProfile, User
+
+
+class TestInterestProfile:
+    def test_interest_in_known_and_unknown(self):
+        p = InterestProfile(class_weights={EX.A: 0.8})
+        assert p.interest_in(EX.A) == 0.8
+        assert p.interest_in(EX.B) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            InterestProfile(class_weights={EX.A: -0.1})
+
+    def test_negative_family_weight_rejected(self):
+        with pytest.raises(ValueError):
+            InterestProfile(family_weights={MeasureFamily.COUNT: -1.0})
+
+    def test_family_preference_defaults_neutral(self):
+        p = InterestProfile(family_weights={MeasureFamily.COUNT: 0.2})
+        assert p.family_preference(MeasureFamily.COUNT) == 0.2
+        assert p.family_preference(MeasureFamily.SEMANTIC) == 1.0
+
+    def test_top_classes_ordered(self):
+        p = InterestProfile(class_weights={EX.A: 0.5, EX.B: 0.9, EX.C: 0.9})
+        assert p.top_classes(2) == [EX.B, EX.C]  # tie broken by IRI
+
+    def test_top_classes_excludes_zero(self):
+        p = InterestProfile(class_weights={EX.A: 0.0, EX.B: 0.3})
+        assert p.top_classes(5) == [EX.B]
+
+    def test_normalized_peak_one(self):
+        p = InterestProfile(class_weights={EX.A: 0.5, EX.B: 0.25}).normalized()
+        assert p.interest_in(EX.A) == 1.0
+        assert p.interest_in(EX.B) == 0.5
+
+    def test_normalized_empty_identity(self):
+        p = InterestProfile()
+        assert p.normalized() is p
+
+    def test_blend_midpoint(self):
+        a = InterestProfile(class_weights={EX.A: 1.0})
+        b = InterestProfile(class_weights={EX.B: 1.0})
+        mix = a.blend(b, alpha=0.5)
+        assert mix.interest_in(EX.A) == 0.5
+        assert mix.interest_in(EX.B) == 0.5
+
+    def test_blend_alpha_bounds(self):
+        a = InterestProfile()
+        with pytest.raises(ValueError):
+            a.blend(a, alpha=1.5)
+
+    def test_blend_families(self):
+        a = InterestProfile(family_weights={MeasureFamily.COUNT: 0.0})
+        b = InterestProfile(family_weights={MeasureFamily.COUNT: 1.0})
+        assert a.blend(b, 0.25).family_preference(MeasureFamily.COUNT) == 0.75
+
+    def test_is_empty(self):
+        assert InterestProfile().is_empty()
+        assert InterestProfile(class_weights={EX.A: 0.0}).is_empty()
+        assert not InterestProfile(class_weights={EX.A: 0.1}).is_empty()
+
+
+class TestUser:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            User(user_id="")
+
+    def test_display_name_falls_back_to_id(self):
+        assert User(user_id="u1").display_name() == "u1"
+        assert User(user_id="u1", name="Ada").display_name() == "Ada"
+
+    def test_default_profile_empty(self):
+        assert User(user_id="u1").profile.is_empty()

@@ -1,0 +1,62 @@
+"""Unit tests for the PROV-lite model types."""
+
+import pytest
+
+from repro.provenance.model import Activity, Agent, Entity, Relation, RelationKind, fresh_id
+
+
+class TestEntity:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Entity("")
+
+    def test_attributes(self):
+        e = Entity("e1", label="result", attributes={"measure": "relevance_shift"})
+        assert e.attributes["measure"] == "relevance_shift"
+
+
+class TestActivity:
+    def test_duration(self):
+        a = Activity("a1", started_at=1.0, ended_at=3.5)
+        assert a.duration == 2.5
+
+    def test_duration_unknown(self):
+        assert Activity("a1").duration is None
+        assert Activity("a1", started_at=1.0).duration is None
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Activity("a1", started_at=2.0, ended_at=1.0)
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Activity("")
+
+
+class TestAgent:
+    def test_kinds(self):
+        assert Agent("x", kind="person").kind == "person"
+        assert Agent("y").kind == "software"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Agent("x", kind="robot")
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Agent("")
+
+
+class TestRelation:
+    def test_endpoints_required(self):
+        with pytest.raises(ValueError):
+            Relation(RelationKind.USED, "", "e1")
+        with pytest.raises(ValueError):
+            Relation(RelationKind.USED, "a1", "")
+
+
+class TestFreshId:
+    def test_unique_and_prefixed(self):
+        a, b = fresh_id("x"), fresh_id("x")
+        assert a != b
+        assert a.startswith("x-") and b.startswith("x-")

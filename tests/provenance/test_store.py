@@ -1,0 +1,119 @@
+"""Unit tests for the provenance store and the paper's three questions."""
+
+import pytest
+
+from repro.provenance.model import Activity, Agent, Entity, RelationKind
+from repro.provenance.store import ProvenanceError, ProvenanceStore
+
+
+@pytest.fixture
+def store() -> ProvenanceStore:
+    """curator-1 creates raw-data via ingest; software derives report from it."""
+    s = ProvenanceStore()
+    s.add_agent(Agent("curator-1", label="Curator One", kind="person"))
+    s.add_agent(Agent("engine", label="Recommender Engine"))
+    s.add_entity(Entity("raw-data", label="raw delta"))
+    s.add_entity(Entity("report", label="evolution report"))
+    s.add_activity(Activity("ingest", started_at=10.0, ended_at=11.0))
+    s.add_activity(Activity("summarise", started_at=12.0, ended_at=13.0))
+    s.was_associated_with("ingest", "curator-1")
+    s.was_generated_by("raw-data", "ingest", at_time=11.0)
+    s.was_associated_with("summarise", "engine")
+    s.used("summarise", "raw-data")
+    s.was_generated_by("report", "summarise", at_time=13.0)
+    s.was_derived_from("report", "raw-data")
+    return s
+
+
+class TestRegistration:
+    def test_idempotent_reregistration(self, store):
+        store.add_agent(Agent("curator-1", label="Curator One", kind="person"))
+
+    def test_conflicting_reregistration_rejected(self, store):
+        with pytest.raises(ProvenanceError):
+            store.add_agent(Agent("curator-1", label="Someone Else", kind="person"))
+        with pytest.raises(ProvenanceError):
+            store.add_entity(Entity("raw-data", label="different"))
+        with pytest.raises(ProvenanceError):
+            store.add_activity(Activity("ingest", started_at=0.0, ended_at=5.0))
+
+    def test_relations_require_known_nodes(self, store):
+        with pytest.raises(ProvenanceError):
+            store.used("ingest", "nope")
+        with pytest.raises(ProvenanceError):
+            store.was_generated_by("nope", "ingest")
+        with pytest.raises(ProvenanceError):
+            store.was_associated_with("nope", "engine")
+        with pytest.raises(ProvenanceError):
+            store.was_attributed_to("raw-data", "nope")
+
+    def test_lookups(self, store):
+        assert store.entity("report").label == "evolution report"
+        assert store.activity("ingest").duration == 1.0
+        assert store.agent("engine").kind == "software"
+        with pytest.raises(ProvenanceError):
+            store.entity("missing")
+
+
+class TestPaperQuestions:
+    def test_who_created(self, store):
+        agent, when = store.who_created("raw-data")
+        assert agent.agent_id == "curator-1"
+        assert when == 11.0
+
+    def test_who_created_via_attribution_fallback(self):
+        s = ProvenanceStore()
+        s.add_agent(Agent("a", kind="person"))
+        s.add_entity(Entity("e"))
+        s.was_attributed_to("e", "a")
+        agent, when = s.who_created("e")
+        assert agent.agent_id == "a" and when is None
+
+    def test_who_created_unknown_none(self):
+        s = ProvenanceStore()
+        s.add_entity(Entity("orphan"))
+        assert s.who_created("orphan") is None
+
+    def test_who_modified(self, store):
+        modifiers = store.who_modified("raw-data")
+        assert [(a.agent_id, t) for a, t in modifiers] == [("engine", 13.0)]
+
+    def test_who_modified_empty_for_leaf(self, store):
+        assert store.who_modified("report") == []
+
+    def test_derivation_process(self, store):
+        processes = store.derivation_process("report")
+        assert [a.activity_id for a in processes] == ["summarise"]
+
+
+class TestLineage:
+    def test_direct_and_via_activity(self, store):
+        assert store.lineage("report") == {"raw-data"}
+
+    def test_transitive(self, store):
+        store.add_entity(Entity("digest"))
+        store.add_activity(Activity("condense"))
+        store.used("condense", "report")
+        store.was_generated_by("digest", "condense")
+        assert store.lineage("digest") == {"report", "raw-data"}
+
+    def test_no_ancestors(self, store):
+        assert store.lineage("raw-data") == set()
+
+    def test_cyclic_derivation_terminates(self):
+        s = ProvenanceStore()
+        s.add_entity(Entity("a"))
+        s.add_entity(Entity("b"))
+        s.was_derived_from("a", "b")
+        s.was_derived_from("b", "a")
+        assert s.lineage("a") == {"b"}
+
+
+class TestAccounting:
+    def test_statement_count(self, store):
+        # 2 agents + 2 entities + 2 activities + 6 relations.
+        assert store.statement_count() == 12
+
+    def test_relations_filter(self, store):
+        assert len(store.relations(RelationKind.WAS_GENERATED_BY)) == 2
+        assert len(store.relations()) == 6

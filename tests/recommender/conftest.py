@@ -1,0 +1,24 @@
+"""Shared fixtures for recommender tests: a small synthetic world."""
+
+import pytest
+
+from repro.synthetic.config import (
+    EvolutionConfig,
+    InstanceConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.world import SyntheticWorld, generate_world
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    """A compact world shared by the recommender test modules (read-only)."""
+    config = WorldConfig(
+        schema=SchemaConfig(n_classes=30, n_properties=20),
+        instances=InstanceConfig(base_instances_per_class=10),
+        evolution=EvolutionConfig(n_versions=3, changes_per_version=60, n_hotspots=3),
+        users=UserConfig(n_users=8, events_per_user=20),
+    )
+    return generate_world(seed=42, config=config)

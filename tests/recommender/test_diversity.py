@@ -1,0 +1,182 @@
+"""Tests for the diversification algorithms and set metrics."""
+
+import pytest
+
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.recommender.diversity import (
+    ItemDistance,
+    coverage_select,
+    family_coverage,
+    intra_list_distance,
+    max_min_select,
+    mmr_select,
+    novelty_select,
+)
+from repro.recommender.items import RecommendationItem, ScoredItem
+
+
+def _item(measure, family, cls, score=1.0) -> RecommendationItem:
+    return RecommendationItem(
+        measure_name=measure,
+        family=family,
+        target_kind=TargetKind.CLASS,
+        target=cls,
+        evolution_score=score,
+    )
+
+
+def _scored(measure, family, cls, utility) -> ScoredItem:
+    return ScoredItem(item=_item(measure, family, cls), utility=utility)
+
+
+@pytest.fixture
+def candidates():
+    """Six candidates: three near-duplicates on A, three distinct."""
+    return [
+        _scored("count", MeasureFamily.COUNT, EX.A, 1.0),
+        _scored("count", MeasureFamily.COUNT, EX.A, 0.95),  # dup measure+target
+        _scored("neigh", MeasureFamily.NEIGHBORHOOD, EX.A, 0.9),
+        _scored("betw", MeasureFamily.STRUCTURAL, EX.B, 0.6),
+        _scored("relev", MeasureFamily.SEMANTIC, EX.C, 0.5),
+        _scored("bridge", MeasureFamily.STRUCTURAL, EX.D, 0.4),
+    ]
+
+
+@pytest.fixture
+def distance():
+    return ItemDistance()
+
+
+class TestItemDistance:
+    def test_identical_items_zero(self, distance):
+        a = _item("m", MeasureFamily.COUNT, EX.A)
+        assert distance(a, a) == 0.0
+
+    def test_completely_different_is_one(self, distance):
+        a = _item("m1", MeasureFamily.COUNT, EX.A)
+        b = _item("m2", MeasureFamily.SEMANTIC, EX.B)
+        assert distance(a, b) == 1.0
+
+    def test_same_measure_different_target(self, distance):
+        a = _item("m", MeasureFamily.COUNT, EX.A)
+        b = _item("m", MeasureFamily.COUNT, EX.B)
+        assert distance(a, b) == pytest.approx(0.4)  # only target term
+
+    def test_graph_distance_graded(self):
+        graph = UndirectedGraph([(EX.A, EX.B), (EX.B, EX.C)])
+        d = ItemDistance(class_graph=graph, horizon=3)
+        near = d(_item("m", MeasureFamily.COUNT, EX.A), _item("m", MeasureFamily.COUNT, EX.B))
+        far = d(_item("m", MeasureFamily.COUNT, EX.A), _item("m", MeasureFamily.COUNT, EX.C))
+        assert 0.0 < near < far
+
+    def test_disconnected_targets_max(self):
+        graph = UndirectedGraph([(EX.A, EX.B)], nodes=[EX.Z])
+        d = ItemDistance(class_graph=graph)
+        far = d(_item("m", MeasureFamily.COUNT, EX.A), _item("m", MeasureFamily.COUNT, EX.Z))
+        assert far == pytest.approx(0.4)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ItemDistance(measure_weight=0.5, family_weight=0.5, target_weight=0.5)
+
+    def test_symmetry(self, distance, candidates):
+        for a in candidates:
+            for b in candidates:
+                assert distance(a.item, b.item) == pytest.approx(distance(b.item, a.item))
+
+
+class TestMmrSelect:
+    def test_lambda_one_is_pure_relevance(self, candidates, distance):
+        selected = mmr_select(candidates, 3, distance, lam=1.0)
+        assert [s.utility for s in selected] == [1.0, 0.95, 0.9]
+
+    def test_diversification_skips_duplicates(self, candidates, distance):
+        selected = mmr_select(candidates, 3, distance, lam=0.5)
+        keys = [(s.item.measure_name, s.item.target) for s in selected]
+        assert ("count", EX.A) in keys
+        assert ("count", EX.A) != keys[1]  # the duplicate is not picked second
+
+    def test_selected_subset_of_candidates(self, candidates, distance):
+        selected = mmr_select(candidates, 4, distance, lam=0.3)
+        assert {s.item.key for s in selected} <= {s.item.key for s in candidates}
+        assert len(selected) == 4
+
+    def test_k_larger_than_pool(self, candidates, distance):
+        assert len(mmr_select(candidates, 99, distance)) == len(candidates)
+
+    def test_k_zero(self, candidates, distance):
+        assert mmr_select(candidates, 0, distance) == []
+
+    def test_negative_k_rejected(self, candidates, distance):
+        with pytest.raises(ValueError):
+            mmr_select(candidates, -1, distance)
+
+    def test_ild_improves_with_diversification(self, candidates, distance):
+        relevant = mmr_select(candidates, 4, distance, lam=1.0)
+        diverse = mmr_select(candidates, 4, distance, lam=0.3)
+        ild_rel = intra_list_distance([s.item for s in relevant], distance)
+        ild_div = intra_list_distance([s.item for s in diverse], distance)
+        assert ild_div >= ild_rel
+
+
+class TestMaxMinSelect:
+    def test_starts_with_best(self, candidates, distance):
+        selected = max_min_select(candidates, 3, distance, lam=0.5)
+        assert selected[0].utility == 1.0
+
+    def test_disperses(self, candidates, distance):
+        selected = max_min_select(candidates, 3, distance, lam=0.2)
+        items = [s.item for s in selected]
+        assert intra_list_distance(items, distance) > 0.3
+
+    def test_k_zero_and_empty(self, distance):
+        assert max_min_select([], 3, distance) == []
+        assert max_min_select([], 0, distance) == []
+
+
+class TestNoveltySelect:
+    def test_avoids_seen(self, candidates, distance):
+        seen = [candidates[0].item]  # user already saw count@A
+        selected = novelty_select(candidates, 2, distance, seen, lam=0.4)
+        keys = [s.item.key for s in selected]
+        assert candidates[0].item.key not in keys
+
+    def test_without_seen_equals_mmr(self, candidates, distance):
+        a = novelty_select(candidates, 3, distance, seen=[], lam=0.6)
+        b = mmr_select(candidates, 3, distance, lam=0.6)
+        assert [s.item.key for s in a] == [s.item.key for s in b]
+
+
+class TestCoverageSelect:
+    def test_covers_families_first(self, candidates):
+        selected = coverage_select(candidates, 4)
+        families = [s.item.family for s in selected]
+        assert len(set(families)) == 4  # all four families covered
+
+    def test_second_round_after_coverage(self, candidates):
+        selected = coverage_select(candidates, 6)
+        assert len(selected) == 6
+
+    def test_k_zero(self, candidates):
+        assert coverage_select(candidates, 0) == []
+
+
+class TestSetMetrics:
+    def test_ild_empty_and_singleton(self, distance):
+        assert intra_list_distance([], distance) == 0.0
+        assert intra_list_distance([_item("m", MeasureFamily.COUNT, EX.A)], distance) == 0.0
+
+    def test_ild_bounds(self, candidates, distance):
+        items = [s.item for s in candidates]
+        assert 0.0 <= intra_list_distance(items, distance) <= 1.0
+
+    def test_family_coverage(self):
+        items = [
+            _item("a", MeasureFamily.COUNT, EX.A),
+            _item("b", MeasureFamily.COUNT, EX.B),
+            _item("c", MeasureFamily.SEMANTIC, EX.C),
+        ]
+        assert family_coverage(items) == 0.5
+        assert family_coverage([]) == 0.0

@@ -1,0 +1,214 @@
+"""Integration tests for the full recommendation engine."""
+
+import pytest
+
+from repro.kb.graph import Graph
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import MeasureFamily
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
+from repro.profiles.user import InterestProfile, User
+from repro.provenance.store import ProvenanceStore
+from repro.recommender.engine import EngineConfig, RecommenderEngine
+from repro.recommender.fairness import min_satisfaction
+from repro.synthetic.users import simulate_feedback
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        EngineConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": -1},
+            {"alpha": 2.0},
+            {"mmr_lambda": -0.5},
+            {"diversifier": "nope"},
+            {"group_strategy": "nope"},
+            {"fairness_beta": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+
+class TestRecommend:
+    def test_package_size(self, world):
+        engine = RecommenderEngine(world.kb)
+        package = engine.recommend(world.users[0], k=5)
+        assert len(package) == 5
+
+    def test_needs_two_versions(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        with pytest.raises(ValueError, match="two versions"):
+            RecommenderEngine(kb).recommend(User("u"))
+
+    def test_items_have_explanations(self, world):
+        engine = RecommenderEngine(world.kb)
+        package = engine.recommend(world.users[0], k=4)
+        for key in package.keys():
+            text = package.explanation_for(key)
+            assert text and "utility" in text.lower()
+
+    def test_audience_and_metadata(self, world):
+        engine = RecommenderEngine(world.kb)
+        user = world.users[1]
+        package = engine.recommend(user, k=3)
+        assert package.audience == user.user_id
+        assert package.metadata["context"] == "v2->v3"
+
+    def test_default_k_from_config(self, world):
+        engine = RecommenderEngine(world.kb, config=EngineConfig(k=4))
+        assert len(engine.recommend(world.users[0])) == 4
+
+    def test_interested_user_gets_related_targets(self, world):
+        hot = sorted(world.trace.hotspots, key=lambda c: c.value)[0]
+        user = User("focused", InterestProfile(class_weights={hot: 1.0}))
+        engine = RecommenderEngine(
+            world.kb, config=EngineConfig(diversifier="none", spread_depth=1)
+        )
+        package = engine.recommend(user, k=5)
+        positive = [s for s in package if s.utility > 0]
+        assert positive, "user focused on a hotspot must receive recommendations"
+
+    def test_diversifiers_all_run(self, world):
+        for diversifier in ("none", "mmr", "max_min", "coverage", "novelty"):
+            engine = RecommenderEngine(
+                world.kb, config=EngineConfig(diversifier=diversifier)
+            )
+            package = engine.recommend(world.users[0], k=5)
+            assert len(package) == 5, diversifier
+
+    def test_mmr_package_more_diverse_than_none(self, world):
+        from repro.measures.structural import class_graph
+        from repro.recommender.diversity import ItemDistance, intra_list_distance
+
+        plain = RecommenderEngine(world.kb, config=EngineConfig(diversifier="none"))
+        diverse = RecommenderEngine(
+            world.kb, config=EngineConfig(diversifier="mmr", mmr_lambda=0.4)
+        )
+        user = world.users[0]
+        distance = ItemDistance(
+            class_graph=class_graph(world.kb.latest().schema)
+        )
+        ild_plain = intra_list_distance(
+            [s.item for s in plain.recommend(user, k=6)], distance
+        )
+        ild_diverse = intra_list_distance(
+            [s.item for s in diverse.recommend(user, k=6)], distance
+        )
+        assert ild_diverse >= ild_plain
+
+    def test_feedback_changes_ranking(self, world):
+        engine_plain = RecommenderEngine(world.kb, config=EngineConfig(diversifier="none"))
+        candidates = engine_plain.candidates()
+        user = world.users[0]
+        # Strong positive feedback on the user's lowest-ranked candidate.
+        plain_package = engine_plain.recommend(user, k=len(candidates))
+        last_key = plain_package.keys()[-1]
+        store = FeedbackStore(
+            [FeedbackEvent(user.user_id, last_key, 1.0) for _ in range(3)]
+        )
+        engine_fb = RecommenderEngine(
+            world.kb,
+            config=EngineConfig(diversifier="none", alpha=0.2),
+            feedback=store,
+        )
+        fb_package = engine_fb.recommend(user, k=len(candidates))
+        assert fb_package.keys().index(last_key) < plain_package.keys().index(last_key)
+
+
+class TestRecommendGroup:
+    def test_group_package(self, world):
+        engine = RecommenderEngine(world.kb)
+        group = world.groups[0]
+        package = engine.recommend_group(group, k=5)
+        assert len(package) == 5
+        assert package.audience == group.group_id
+
+    def test_strategies_differ_in_min_satisfaction(self, world):
+        engine = RecommenderEngine(world.kb)
+        group = world.groups[0]
+        candidates = engine.candidates()
+        from repro.recommender.ranking import utility_scores
+
+        utilities = {
+            m.user_id: utility_scores(m, candidates, engine.scorer()) for m in group
+        }
+        fair = engine.recommend_group(group, k=5, strategy="fairness_aware")
+        avg = engine.recommend_group(group, k=5, strategy="average")
+        assert min_satisfaction(group, list(fair), utilities) >= min_satisfaction(
+            group, list(avg), utilities
+        ) - 1e-9
+
+    def test_group_explanations_mention_members(self, world):
+        engine = RecommenderEngine(world.kb)
+        group = world.groups[0]
+        package = engine.recommend_group(group, k=3)
+        text = package.explanation_for(package.keys()[0])
+        assert group.members[0].user_id in text
+
+
+class TestProvenanceIntegration:
+    def test_pipeline_captured(self, world):
+        store = ProvenanceStore()
+        engine = RecommenderEngine(world.kb, provenance_store=store)
+        engine.recommend(world.users[0], k=3)
+        # At least the three pipeline stages were recorded as activities.
+        activity_labels = {
+            store.activity(rel.source).label
+            for rel in store.relations()
+            if rel.source.startswith("activity")
+        }
+        assert any("compute_measures" in label for label in activity_labels)
+        assert any("score_utilities" in label for label in activity_labels)
+        assert any("assemble_package" in label for label in activity_labels)
+
+    def test_capture_disabled_by_default(self, world):
+        engine = RecommenderEngine(world.kb)
+        assert not engine.workflow.capturing
+        engine.recommend(world.users[0], k=2)  # must not raise
+
+    def test_overhead_only_when_enabled(self, world):
+        store = ProvenanceStore()
+        tracked = RecommenderEngine(world.kb, provenance_store=store)
+        tracked.recommend(world.users[0], k=3)
+        assert store.statement_count() > 0
+
+
+class TestReports:
+    def test_change_report_nonempty(self, world):
+        engine = RecommenderEngine(world.kb)
+        report = engine.change_report()
+        assert len(report) > 0
+
+    def test_anonymized_report_guarantee(self, world):
+        engine = RecommenderEngine(world.kb)
+        for k in (2, 5):
+            released = engine.anonymized_report(k=k)
+            assert released.is_k_anonymous()
+
+    def test_anonymized_strategies(self, world):
+        engine = RecommenderEngine(world.kb)
+        generalized = engine.anonymized_report(k=3, strategy="generalize")
+        suppressed = engine.anonymized_report(k=3, strategy="suppress")
+        # Generalisation retains at least as much change mass as suppression.
+        mass_g = sum(r.total for r in generalized.rows)
+        mass_s = sum(r.total for r in suppressed.rows)
+        assert mass_g >= mass_s
+
+
+class TestCaching:
+    def test_context_cached(self, world):
+        engine = RecommenderEngine(world.kb)
+        assert engine.context() is engine.context()
+
+    def test_candidates_cached(self, world):
+        engine = RecommenderEngine(world.kb)
+        assert engine.candidates() is engine.candidates()
+
+    def test_results_cached(self, world):
+        engine = RecommenderEngine(world.kb)
+        assert engine.measure_results() is engine.measure_results()

@@ -1,0 +1,83 @@
+"""Property-based tests over the engine's configuration space."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.recommender.diversity import mmr_select
+from repro.recommender.engine import DIVERSIFIERS, EngineConfig, RecommenderEngine
+from repro.recommender.items import ScoredItem
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    k=st.integers(0, 12),
+    diversifier=st.sampled_from(DIVERSIFIERS),
+    lam=st.floats(0.0, 1.0),
+    alpha=st.floats(0.0, 1.0),
+)
+def test_recommend_respects_config_for_any_knob_setting(world, k, diversifier, lam, alpha):
+    """For every config: |package| <= k, utilities in [0,1], keys unique,
+    every item drawn from the candidate pool."""
+    engine = RecommenderEngine(
+        world.kb,
+        config=EngineConfig(
+            k=k, diversifier=diversifier, mmr_lambda=lam, alpha=alpha
+        ),
+    )
+    user = world.users[0]
+    package = engine.recommend(user)
+    assert len(package) <= k
+    keys = package.keys()
+    assert len(keys) == len(set(keys))
+    candidate_keys = {item.key for item in engine.candidates()}
+    for scored in package:
+        assert scored.item.key in candidate_keys
+        assert 0.0 <= scored.utility <= 1.0 + 1e-9
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    strategy=st.sampled_from(("average", "least_misery", "fairness_aware")),
+    k=st.integers(1, 8),
+    beta=st.floats(0.0, 1.0),
+)
+def test_group_recommendation_always_well_formed(world, strategy, k, beta):
+    engine = RecommenderEngine(
+        world.kb, config=EngineConfig(group_strategy=strategy, fairness_beta=beta)
+    )
+    group = world.groups[0]
+    package = engine.recommend_group(group, k=k, strategy=strategy)
+    assert len(package) <= k
+    assert package.audience == group.group_id
+    for key in package.keys():
+        assert package.explanation_for(key)
+
+
+def test_mmr_lambda_one_equals_plain_ranking(world):
+    """MMR at lambda=1 must reproduce the pure-utility order exactly."""
+    engine = RecommenderEngine(world.kb, config=EngineConfig(diversifier="none"))
+    user = world.users[0]
+    plain = engine.recommend(user, k=10)
+
+    engine_mmr = RecommenderEngine(
+        world.kb, config=EngineConfig(diversifier="mmr", mmr_lambda=1.0)
+    )
+    via_mmr = engine_mmr.recommend(user, k=10)
+    assert plain.keys() == via_mmr.keys()
+
+
+def test_recommendation_is_deterministic(world):
+    """Two engines over the same world produce identical packages."""
+    a = RecommenderEngine(world.kb).recommend(world.users[1], k=8)
+    b = RecommenderEngine(world.kb).recommend(world.users[1], k=8)
+    assert a.keys() == b.keys()
+    assert [s.utility for s in a] == [s.utility for s in b]

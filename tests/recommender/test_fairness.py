@@ -1,0 +1,198 @@
+"""Tests for group fairness strategies (Section III.d)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.profiles.group import Group
+from repro.profiles.user import User
+from repro.recommender.fairness import (
+    aggregate_average,
+    aggregate_least_misery,
+    mean_satisfaction,
+    min_satisfaction,
+    satisfaction_gini,
+    satisfaction_vector,
+    select_package,
+)
+from repro.recommender.items import RecommendationItem
+
+
+def _item(name: str) -> RecommendationItem:
+    return RecommendationItem(
+        measure_name=name,
+        family=MeasureFamily.COUNT,
+        target_kind=TargetKind.CLASS,
+        target=EX[name],
+        evolution_score=1.0,
+    )
+
+
+@pytest.fixture
+def group():
+    return Group("g", (User("a"), User("b"), User("c")))
+
+
+@pytest.fixture
+def scenario(group):
+    """Items where majority (a, b) love i1/i2 and only c likes i3.
+
+    The paper's scenario: with naive aggregation, c is the least satisfied
+    member for every selected item.
+    """
+    items = [_item("i1"), _item("i2"), _item("i3"), _item("i4")]
+    utilities = {
+        "a": {items[0].key: 1.0, items[1].key: 0.9, items[2].key: 0.0, items[3].key: 0.5},
+        "b": {items[0].key: 0.9, items[1].key: 1.0, items[2].key: 0.0, items[3].key: 0.5},
+        "c": {items[0].key: 0.0, items[1].key: 0.0, items[2].key: 0.9, items[3].key: 0.5},
+    }
+    return items, utilities
+
+
+class TestAggregations:
+    def test_average(self, group, scenario):
+        items, utilities = scenario
+        assert aggregate_average(group, utilities, items[0].key) == pytest.approx(
+            (1.0 + 0.9 + 0.0) / 3
+        )
+
+    def test_least_misery(self, group, scenario):
+        items, utilities = scenario
+        assert aggregate_least_misery(group, utilities, items[0].key) == 0.0
+        assert aggregate_least_misery(group, utilities, items[3].key) == 0.5
+
+    def test_missing_member_utilities_rejected(self, group):
+        with pytest.raises(ValueError, match="missing"):
+            aggregate_average(group, {"a": {}}, "x")
+
+
+class TestSelectPackage:
+    def test_average_starves_minority(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=2, strategy="average")
+        keys = [s.item.key for s in package]
+        # Average picks the majority favourites; c gets nothing.
+        assert set(keys) == {items[0].key, items[1].key}
+        assert min_satisfaction(group, package, utilities) == 0.0
+
+    def test_least_misery_protects_minority(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=2, strategy="least_misery")
+        assert min_satisfaction(group, package, utilities) > 0.0
+
+    def test_fairness_aware_beats_average_on_min_satisfaction(self, group, scenario):
+        items, utilities = scenario
+        average = select_package(group, items, utilities, k=2, strategy="average")
+        fair = select_package(
+            group, items, utilities, k=2, strategy="fairness_aware", beta=0.3
+        )
+        assert min_satisfaction(group, fair, utilities) >= min_satisfaction(
+            group, average, utilities
+        )
+
+    def test_fairness_aware_includes_minority_item(self, group, scenario):
+        items, utilities = scenario
+        fair = select_package(
+            group, items, utilities, k=2, strategy="fairness_aware", beta=0.2
+        )
+        keys = {s.item.key for s in fair}
+        assert items[2].key in keys or items[3].key in keys
+
+    def test_unknown_strategy(self, group, scenario):
+        items, utilities = scenario
+        with pytest.raises(ValueError):
+            select_package(group, items, utilities, k=2, strategy="magic")
+
+    def test_k_zero(self, group, scenario):
+        items, utilities = scenario
+        assert select_package(group, items, utilities, k=0) == []
+
+    def test_k_exceeds_pool(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=10)
+        assert len(package) == len(items)
+
+    def test_single_member_group_all_strategies_agree(self, scenario):
+        items, utilities = scenario
+        solo = Group("solo", (User("a"),))
+        picks = {
+            strategy: [
+                s.item.key
+                for s in select_package(solo, items, utilities, 2, strategy=strategy)
+            ]
+            for strategy in ("average", "least_misery", "fairness_aware")
+        }
+        assert picks["average"] == picks["least_misery"]
+        assert set(picks["fairness_aware"]) == set(picks["average"])
+
+
+class TestDiagnostics:
+    def test_satisfaction_vector(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=2, strategy="average")
+        vector = satisfaction_vector(group, package, utilities)
+        assert set(vector) == {"a", "b", "c"}
+        assert vector["a"] > vector["c"]
+
+    def test_empty_package_all_zero(self, group, scenario):
+        _, utilities = scenario
+        assert satisfaction_vector(group, [], utilities) == {"a": 0.0, "b": 0.0, "c": 0.0}
+
+    def test_mean_and_min(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=2, strategy="average")
+        assert mean_satisfaction(group, package, utilities) >= min_satisfaction(
+            group, package, utilities
+        )
+
+    def test_gini_zero_for_equal(self, group, scenario):
+        items, utilities = scenario
+        # i4 gives everyone 0.5 -> perfectly even.
+        package = select_package(
+            group, [items[3]], utilities, k=1, strategy="average"
+        )
+        assert satisfaction_gini(group, package, utilities) == pytest.approx(0.0)
+
+    def test_gini_positive_for_unequal(self, group, scenario):
+        items, utilities = scenario
+        package = select_package(group, items, utilities, k=2, strategy="average")
+        assert satisfaction_gini(group, package, utilities) > 0.0
+
+    def test_gini_zero_when_all_zero(self, group, scenario):
+        _, utilities = scenario
+        assert satisfaction_gini(group, [], utilities) == 0.0
+
+
+# -- property test: the least-misery guarantee ------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_least_misery_package_maximises_worst_item_floor(data):
+    """Every item selected by least-misery has a group minimum at least as
+    high as any unselected item's."""
+    n_items = data.draw(st.integers(2, 6))
+    n_users = data.draw(st.integers(1, 4))
+    items = [_item(f"i{i}") for i in range(n_items)]
+    users = tuple(User(f"u{j}") for j in range(n_users))
+    group = Group("g", users)
+    utilities = {
+        u.user_id: {
+            item.key: data.draw(
+                st.floats(0.0, 1.0, allow_nan=False), label=f"{u.user_id}:{item.key}"
+            )
+            for item in items
+        }
+        for u in users
+    }
+    k = data.draw(st.integers(1, n_items))
+    package = select_package(group, items, utilities, k, strategy="least_misery")
+    selected_keys = {s.item.key for s in package}
+    floor = min(
+        min(utilities[u.user_id][key] for u in users) for key in selected_keys
+    )
+    for item in items:
+        if item.key not in selected_keys:
+            unselected_min = min(utilities[u.user_id][item.key] for u in users)
+            assert unselected_min <= floor + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for the individual-fairness diagnostics (uncommon information needs)."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.recommender.fairness import catalog_coverage, long_tail_exposure
+from repro.recommender.items import RecommendationItem, ScoredItem
+
+
+def _item(name: str) -> RecommendationItem:
+    return RecommendationItem(
+        measure_name=name,
+        family=MeasureFamily.COUNT,
+        target_kind=TargetKind.CLASS,
+        target=EX[name],
+        evolution_score=1.0,
+    )
+
+
+def _package(*names: str):
+    return [ScoredItem(_item(n), 0.5) for n in names]
+
+
+class TestCatalogCoverage:
+    def test_full_coverage(self):
+        candidates = [_item("a"), _item("b")]
+        packages = [_package("a"), _package("b")]
+        assert catalog_coverage(packages, candidates) == 1.0
+
+    def test_funnel_has_low_coverage(self):
+        candidates = [_item(f"i{n}") for n in range(10)]
+        packages = [_package("i0", "i1") for _ in range(5)]  # everyone sees the same
+        assert catalog_coverage(packages, candidates) == 0.2
+
+    def test_empty_candidates(self):
+        assert catalog_coverage([], []) == 1.0
+
+    def test_items_outside_catalogue_ignored(self):
+        candidates = [_item("a")]
+        packages = [_package("zz")]
+        assert catalog_coverage(packages, candidates) == 0.0
+
+
+def _popularity(**by_name: float):
+    """Popularity keyed by the actual item keys (as the engine would)."""
+    return {_item(name).key: value for name, value in by_name.items()}
+
+
+class TestLongTailExposure:
+    def test_all_head_is_zero(self):
+        popularity = _popularity(head1=10.0, head2=9.0, tail1=1.0, tail2=0.5)
+        packages = [_package("head1", "head2")]
+        # Universe sorted ascending: tail2, tail1, head2, head1; tail = first 2.
+        assert long_tail_exposure(packages, popularity) == 0.0
+
+    def test_all_tail_is_one(self):
+        popularity = _popularity(head1=10.0, head2=9.0, tail1=1.0, tail2=0.5)
+        packages = [_package("tail1", "tail2")]
+        assert long_tail_exposure(packages, popularity) == 1.0
+
+    def test_mixed(self):
+        popularity = _popularity(head1=10.0, head2=9.0, tail1=1.0, tail2=0.5)
+        packages = [_package("head1", "tail1")]
+        assert long_tail_exposure(packages, popularity) == 0.5
+
+    def test_unknown_items_count_as_tail(self):
+        popularity = _popularity(a=10.0, b=9.0, c=8.0)
+        packages = [_package("never_seen")]
+        assert long_tail_exposure(packages, popularity) == 1.0
+
+    def test_empty_packages(self):
+        assert long_tail_exposure([], {"a": 1.0}) == 0.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            long_tail_exposure([], {}, tail_fraction=1.0)

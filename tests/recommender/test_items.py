@@ -1,0 +1,94 @@
+"""Unit tests for recommendation items and packages."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.recommender.items import (
+    RecommendationItem,
+    RecommendationPackage,
+    ScoredItem,
+)
+
+
+def _item(measure="class_change_count", cls=None, score=0.5) -> RecommendationItem:
+    return RecommendationItem(
+        measure_name=measure,
+        family=MeasureFamily.COUNT,
+        target_kind=TargetKind.CLASS,
+        target=cls or EX.Person,
+        evolution_score=score,
+    )
+
+
+class TestRecommendationItem:
+    def test_key_roundtrip(self):
+        item = _item()
+        measure, target = RecommendationItem.parse_key(item.key)
+        assert measure == item.measure_name
+        assert target == item.target
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError):
+            RecommendationItem.parse_key("no-separator")
+        with pytest.raises(ValueError):
+            RecommendationItem.parse_key("||http://x/a")
+
+    def test_score_bounds(self):
+        with pytest.raises(ValueError):
+            _item(score=1.5)
+        with pytest.raises(ValueError):
+            _item(score=-0.1)
+
+    def test_empty_measure_rejected(self):
+        with pytest.raises(ValueError):
+            _item(measure="")
+
+    def test_describe(self):
+        assert _item().describe() == "class_change_count @ Person"
+
+    def test_hashable_and_equal(self):
+        assert _item() == _item()
+        assert len({_item(), _item()}) == 1
+
+
+class TestScoredItem:
+    def test_negative_utility_rejected(self):
+        with pytest.raises(ValueError):
+            ScoredItem(item=_item(), utility=-0.1)
+
+
+class TestRecommendationPackage:
+    def _package(self) -> RecommendationPackage:
+        items = (
+            ScoredItem(_item(cls=EX.A), 0.9),
+            ScoredItem(_item(measure="relevance_shift", cls=EX.B), 0.5),
+        )
+        return RecommendationPackage(
+            items=items,
+            audience="u1",
+            explanations={items[0].item.key: "because A changed"},
+        )
+
+    def test_keys_in_rank_order(self):
+        package = self._package()
+        assert len(package.keys()) == 2
+        assert package.keys()[0].startswith("class_change_count")
+
+    def test_targets_and_measures(self):
+        package = self._package()
+        assert package.targets() == [EX.A, EX.B]
+        assert package.measures() == ["class_change_count", "relevance_shift"]
+
+    def test_families(self):
+        assert len(self._package().families()) == 2
+
+    def test_explanation_lookup(self):
+        package = self._package()
+        assert package.explanation_for(package.keys()[0]) == "because A changed"
+        assert package.explanation_for("missing") == ""
+
+    def test_len_and_iter(self):
+        package = self._package()
+        assert len(package) == 2
+        assert [s.utility for s in package] == [0.9, 0.5]

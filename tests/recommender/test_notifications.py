@@ -1,0 +1,126 @@
+"""Tests for the notification service."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.measures.catalog import default_catalog
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.notifications import Notification, NotificationService, Watch
+
+
+@pytest.fixture
+def service() -> NotificationService:
+    return NotificationService(default_catalog())
+
+
+@pytest.fixture
+def university_context():
+    from repro.kb.version import VersionedKnowledgeBase
+    from repro.measures.base import EvolutionContext
+    from tests.measures.conftest import university_v1, university_v2
+
+    kb = VersionedKnowledgeBase("university")
+    v1 = kb.commit(university_v1(), version_id="v1", copy=False)
+    v2 = kb.commit(university_v2(), version_id="v2", copy=False)
+    return EvolutionContext(v1, v2)
+
+
+class TestWatchValidation:
+    def test_valid(self):
+        Watch("u1", "class_change_count", EX.A, 0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"user_id": ""},
+            {"measure_name": ""},
+            {"threshold": 1.5},
+            {"threshold": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = {
+            "user_id": "u1",
+            "measure_name": "class_change_count",
+            "target": EX.A,
+            "threshold": 0.5,
+        }
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Watch(**base)
+
+
+class TestSubscriptions:
+    def test_subscribe_unknown_measure_rejected(self, service):
+        with pytest.raises(KeyError):
+            service.subscribe(Watch("u1", "not_a_measure", EX.A))
+
+    def test_subscribe_profile_uses_top_classes(self, service):
+        user = User(
+            "u1",
+            InterestProfile(class_weights={EX.A: 1.0, EX.B: 0.9, EX.C: 0.1}),
+        )
+        watches = service.subscribe_profile(user, "class_change_count", top=2)
+        assert [w.target for w in watches] == [EX.A, EX.B]
+        assert len(service) == 2
+
+    def test_unsubscribe(self, service):
+        service.subscribe(Watch("u1", "class_change_count", EX.A))
+        service.subscribe(Watch("u2", "class_change_count", EX.B))
+        assert service.unsubscribe("u1") == 1
+        assert [w.user_id for w in service.watches()] == ["u2"]
+
+    def test_watches_filter(self, service):
+        service.subscribe(Watch("u1", "class_change_count", EX.A))
+        assert service.watches("u1")
+        assert service.watches("ghost") == []
+
+
+class TestCheck:
+    def test_fires_on_changed_watched_class(self, service, university_context):
+        # Seminar is the most-changed class: normalised score 1.0.
+        service.subscribe(Watch("u1", "class_change_count", EX.Seminar, 0.9))
+        notifications = service.check(university_context)
+        assert len(notifications) == 1
+        note = notifications[0]
+        assert note.user_id == "u1"
+        assert note.score == 1.0
+        assert "Seminar" in note.message
+        assert note.context_label == "v1->v2"
+
+    def test_does_not_fire_below_threshold(self, service, university_context):
+        service.subscribe(Watch("u1", "class_change_count", EX.Student, 0.9))
+        assert service.check(university_context) == []
+
+    def test_does_not_fire_on_quiet_class(self, service, university_context):
+        # Agent did not change at all; even threshold 0 must not fire.
+        service.subscribe(Watch("u1", "class_change_count", EX.Agent, 0.0))
+        assert service.check(university_context) == []
+
+    def test_multiple_users_sorted(self, service, university_context):
+        service.subscribe(Watch("zed", "class_change_count", EX.Seminar, 0.5))
+        service.subscribe(Watch("amy", "class_change_count", EX.Seminar, 0.5))
+        fired = service.check(university_context)
+        assert [n.user_id for n in fired] == ["amy", "zed"]
+
+    def test_str_is_message(self, service, university_context):
+        service.subscribe(Watch("u1", "class_change_count", EX.Seminar, 0.5))
+        (note,) = service.check(university_context)
+        assert str(note) == note.message
+
+    def test_measures_computed_once_per_check(self, university_context):
+        """Two watches on the same measure share one computation."""
+        calls = []
+        catalog = default_catalog()
+        original = catalog.get("class_change_count").compute
+
+        def counting_compute(context):
+            calls.append(1)
+            return original(context)
+
+        catalog.get("class_change_count").compute = counting_compute  # type: ignore[method-assign]
+        service = NotificationService(catalog)
+        service.subscribe(Watch("u1", "class_change_count", EX.Seminar, 0.1))
+        service.subscribe(Watch("u2", "class_change_count", EX.Student, 0.1))
+        service.check(university_context)
+        assert len(calls) == 1

@@ -1,0 +1,91 @@
+"""Tests for candidate generation and utility ranking."""
+
+import pytest
+
+from repro.measures.catalog import default_catalog
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.ranking import generate_candidates, rank_items, utility_scores
+from repro.recommender.relatedness import RelatednessScorer
+
+
+class TestGenerateCandidates:
+    def test_candidates_nonempty_on_changed_world(self, world):
+        candidates = generate_candidates(default_catalog(), world.latest_context())
+        assert candidates
+
+    def test_scores_normalised(self, world):
+        candidates = generate_candidates(default_catalog(), world.latest_context())
+        assert all(0.0 < c.evolution_score <= 1.0 for c in candidates)
+
+    def test_per_measure_cap(self, world):
+        catalog = default_catalog()
+        context = world.latest_context()
+        capped = generate_candidates(catalog, context, per_measure=3)
+        by_measure = {}
+        for item in capped:
+            by_measure.setdefault(item.measure_name, []).append(item)
+        assert all(len(v) <= 3 for v in by_measure.values())
+
+    def test_per_measure_invalid(self, world):
+        with pytest.raises(ValueError):
+            generate_candidates(default_catalog(), world.latest_context(), per_measure=0)
+
+    def test_reuses_precomputed_results(self, world):
+        catalog = default_catalog()
+        context = world.latest_context()
+        results = catalog.compute_all(context)
+        a = generate_candidates(catalog, context, results=results)
+        b = generate_candidates(catalog, context)
+        assert {i.key for i in a} == {i.key for i in b}
+
+    def test_every_measure_contributes_when_changed(self, world):
+        candidates = generate_candidates(default_catalog(), world.latest_context())
+        measures = {c.measure_name for c in candidates}
+        assert "class_change_count" in measures
+        assert "neighborhood_change_count" in measures
+
+
+class TestUtilityAndRanking:
+    def test_utility_is_product(self, world):
+        context = world.latest_context()
+        candidates = generate_candidates(default_catalog(), context, per_measure=5)
+        user = world.users[0]
+        scorer = RelatednessScorer()
+        utilities = utility_scores(user, candidates, scorer)
+        for item in candidates:
+            expected = item.evolution_score * scorer.score(user, item)
+            assert utilities[item.key] == pytest.approx(expected)
+
+    def test_rank_descending(self, world):
+        context = world.latest_context()
+        candidates = generate_candidates(default_catalog(), context, per_measure=5)
+        utilities = {c.key: c.evolution_score for c in candidates}
+        ranked = rank_items(candidates, utilities)
+        values = [s.utility for s in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_rank_k_truncates(self, world):
+        context = world.latest_context()
+        candidates = generate_candidates(default_catalog(), context, per_measure=5)
+        ranked = rank_items(candidates, {c.key: 0.5 for c in candidates}, k=3)
+        assert len(ranked) == 3
+
+    def test_rank_deterministic_tiebreak(self, world):
+        context = world.latest_context()
+        candidates = generate_candidates(default_catalog(), context, per_measure=5)
+        utilities = {c.key: 0.5 for c in candidates}
+        first = rank_items(candidates, utilities)
+        second = rank_items(list(reversed(candidates)), utilities)
+        assert [s.item.key for s in first] == [s.item.key for s in second]
+
+    def test_interested_user_ranks_their_classes_higher(self, world):
+        """A user caring only about one hotspot class sees it on top."""
+        context = world.latest_context()
+        candidates = generate_candidates(default_catalog(), context)
+        hot = sorted(world.trace.hotspots, key=lambda c: c.value)[0]
+        user = User(user_id="focused", profile=InterestProfile(class_weights={hot: 1.0}))
+        scorer = RelatednessScorer()
+        ranked = rank_items(candidates, utility_scores(user, candidates, scorer))
+        positive = [s for s in ranked if s.utility > 0]
+        if positive:  # the hotspot must appear among the positives, on top
+            assert positive[0].item.target == hot

@@ -1,0 +1,178 @@
+"""Tests for relatedness scoring (semantic + collaborative)."""
+
+import pytest
+
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
+from repro.kb.schema import SchemaView
+from repro.kb.terms import IRI
+from repro.kb.triples import Triple
+from repro.measures.base import MeasureFamily, TargetKind
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.items import RecommendationItem
+from repro.recommender.relatedness import (
+    CollaborativeModel,
+    RelatednessScorer,
+    semantic_relatedness,
+    spread_profile,
+)
+
+
+def _item(cls: IRI, measure="m", family=MeasureFamily.COUNT, score=1.0):
+    return RecommendationItem(
+        measure_name=measure,
+        family=family,
+        target_kind=TargetKind.CLASS,
+        target=cls,
+        evolution_score=score,
+    )
+
+
+def _user(weights=None, families=None) -> User:
+    return User(
+        user_id="u1",
+        profile=InterestProfile(
+            class_weights=weights or {}, family_weights=families or {}
+        ),
+    )
+
+
+class TestSemanticRelatedness:
+    def test_interest_times_family(self):
+        user = _user({EX.A: 0.8}, {MeasureFamily.COUNT: 0.5})
+        assert semantic_relatedness(user, _item(EX.A)) == pytest.approx(0.4)
+
+    def test_no_interest_zero(self):
+        user = _user({EX.A: 0.8})
+        assert semantic_relatedness(user, _item(EX.B)) == 0.0
+
+    def test_neutral_family_default(self):
+        user = _user({EX.A: 0.8})
+        assert semantic_relatedness(user, _item(EX.A)) == pytest.approx(0.8)
+
+    def test_clipped_to_unit(self):
+        user = _user({EX.A: 5.0}, {MeasureFamily.COUNT: 7.0})
+        assert semantic_relatedness(user, _item(EX.A)) == 1.0
+
+
+class TestSpreadProfile:
+    def _schema(self) -> SchemaView:
+        g = Graph()
+        for cls in (EX.A, EX.B, EX.C):
+            g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+        g.add(Triple(EX.B, RDFS_SUBCLASSOF, EX.A))
+        g.add(Triple(EX.C, RDFS_SUBCLASSOF, EX.B))
+        return SchemaView(g)
+
+    def test_spreads_with_decay(self):
+        profile = InterestProfile(class_weights={EX.A: 1.0})
+        spread = spread_profile(profile, self._schema(), decay=0.5, depth=2)
+        assert spread.interest_in(EX.A) == 1.0
+        assert spread.interest_in(EX.B) == 0.5
+        assert spread.interest_in(EX.C) == 0.25
+
+    def test_scales_by_source_weight(self):
+        profile = InterestProfile(class_weights={EX.A: 0.4})
+        spread = spread_profile(profile, self._schema(), decay=0.5, depth=1)
+        assert spread.interest_in(EX.B) == pytest.approx(0.2)
+
+    def test_keeps_existing_higher_weight(self):
+        profile = InterestProfile(class_weights={EX.A: 1.0, EX.B: 0.9})
+        spread = spread_profile(profile, self._schema(), decay=0.5, depth=2)
+        assert spread.interest_in(EX.B) == 0.9  # own weight beats spread 0.5
+
+    def test_zero_weight_focus_ignored(self):
+        profile = InterestProfile(class_weights={EX.A: 0.0})
+        spread = spread_profile(profile, self._schema(), decay=0.5, depth=2)
+        assert spread.interest_in(EX.B) == 0.0
+
+
+class TestCollaborativeModel:
+    def _store(self) -> FeedbackStore:
+        # u1 and u2 agree on items x,y; u1 hasn't seen z, u2 loves z.
+        return FeedbackStore(
+            [
+                FeedbackEvent("u1", "x", 1.0),
+                FeedbackEvent("u2", "x", 0.9),
+                FeedbackEvent("u1", "y", 0.8),
+                FeedbackEvent("u2", "y", 0.9),
+                FeedbackEvent("u2", "z", 1.0),
+                FeedbackEvent("u3", "w", 0.1),
+            ]
+        )
+
+    def test_predicts_for_similar_item(self):
+        model = CollaborativeModel(self._store())
+        prediction = model.predict("u1", "z")
+        assert prediction is not None
+        assert prediction > 0.5  # z co-rated with items u1 liked
+
+    def test_unknown_user_none(self):
+        assert CollaborativeModel(self._store()).predict("ghost", "x") is None
+
+    def test_unknown_item_none(self):
+        assert CollaborativeModel(self._store()).predict("u1", "ghost") is None
+
+    def test_empty_store(self):
+        model = CollaborativeModel(FeedbackStore())
+        assert model.predict("u1", "x") is None
+        assert model.known_items() == []
+
+    def test_prediction_in_unit_interval(self):
+        model = CollaborativeModel(self._store())
+        for user in ("u1", "u2", "u3"):
+            for item in ("x", "y", "z", "w"):
+                p = model.predict(user, item)
+                if p is not None:
+                    assert 0.0 <= p <= 1.0
+
+
+class TestRelatednessScorer:
+    def test_semantic_only_without_feedback(self):
+        scorer = RelatednessScorer(alpha=0.6)
+        user = _user({EX.A: 0.8})
+        assert scorer.score(user, _item(EX.A)) == pytest.approx(0.8)
+
+    def test_blend_with_feedback(self):
+        item = _item(EX.A)
+        store = FeedbackStore(
+            [
+                FeedbackEvent("u1", item.key, 1.0),
+                FeedbackEvent("u2", item.key, 1.0),
+            ]
+        )
+        scorer = RelatednessScorer(alpha=0.5, feedback=store)
+        user = _user({EX.A: 0.0})
+        # semantic 0, collaborative 1 -> 0.5.
+        assert scorer.score(user, item) == pytest.approx(0.5)
+
+    def test_cold_item_falls_back_to_semantic(self):
+        store = FeedbackStore([FeedbackEvent("u1", "other", 1.0)])
+        scorer = RelatednessScorer(alpha=0.5, feedback=store)
+        user = _user({EX.A: 0.6})
+        # Item never rated by anyone: semantic score survives un-blended.
+        assert scorer.score(user, _item(EX.A)) == pytest.approx(0.6)
+
+    def test_spreading_enabled(self):
+        g = Graph()
+        for cls in (EX.A, EX.B):
+            g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+        g.add(Triple(EX.B, RDFS_SUBCLASSOF, EX.A))
+        scorer = RelatednessScorer(
+            alpha=1.0, schema=SchemaView(g), spread_depth=1, spread_decay=0.5
+        )
+        user = _user({EX.A: 1.0})
+        assert scorer.score(user, _item(EX.B)) == pytest.approx(0.5)
+
+    def test_score_all(self):
+        scorer = RelatednessScorer()
+        user = _user({EX.A: 1.0})
+        items = [_item(EX.A), _item(EX.B)]
+        scores = scorer.score_all(user, items)
+        assert scores[items[0].key] == 1.0
+        assert scores[items[1].key] == 0.0
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            RelatednessScorer(alpha=1.2)

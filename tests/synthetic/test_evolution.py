@@ -1,0 +1,137 @@
+"""Tests for the evolution simulator and its planted ground truth."""
+
+import pytest
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.graph import Graph
+from repro.kb.schema import SchemaView
+from repro.synthetic.config import EvolutionConfig, InstanceConfig, SchemaConfig
+from repro.synthetic.evolution import EvolutionSimulator, simulate_evolution
+from repro.synthetic.instance_gen import populate_instances
+from repro.synthetic.schema_gen import generate_schema
+
+
+def _initial(n_classes: int = 25, n_properties: int = 15) -> Graph:
+    schema_graph = generate_schema(SchemaConfig(n_classes=n_classes, n_properties=n_properties))
+    return populate_instances(schema_graph, InstanceConfig())
+
+
+class TestSimulatorBasics:
+    def test_version_count(self):
+        kb, _ = simulate_evolution(_initial(), EvolutionConfig(n_versions=5))
+        assert len(kb) == 5
+        assert kb.version_ids() == ["v1", "v2", "v3", "v4", "v5"]
+
+    def test_single_version_allowed(self):
+        kb, trace = simulate_evolution(_initial(), EvolutionConfig(n_versions=1))
+        assert len(kb) == 1
+        assert trace.ops == []
+
+    def test_each_step_changes_graph(self):
+        kb, _ = simulate_evolution(
+            _initial(), EvolutionConfig(n_versions=4, changes_per_version=50)
+        )
+        for old, new in kb.pairs():
+            delta = LowLevelDelta.compute(old.graph, new.graph)
+            assert delta.size > 0
+
+    def test_deterministic_for_seed(self):
+        kb1, trace1 = simulate_evolution(_initial(), seed=9)
+        kb2, trace2 = simulate_evolution(_initial(), seed=9)
+        assert kb1.latest().graph == kb2.latest().graph
+        assert trace1.hotspots == trace2.hotspots
+        assert [o.kind for o in trace1.ops] == [o.kind for o in trace2.ops]
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_evolution(Graph())
+
+    def test_unknown_op_kind_rejected(self):
+        config = EvolutionConfig(op_mix={"not_an_op": 1.0})
+        with pytest.raises(ValueError, match="unknown evolution op"):
+            simulate_evolution(_initial(), config)
+
+
+class TestTrace:
+    def test_op_count_matches_config(self):
+        config = EvolutionConfig(n_versions=3, changes_per_version=40)
+        _, trace = simulate_evolution(_initial(), config)
+        assert len(trace.ops) == 2 * 40
+
+    def test_hotspot_count(self):
+        config = EvolutionConfig(n_hotspots=4)
+        _, trace = simulate_evolution(_initial(), config)
+        assert len(trace.hotspots) == 4
+
+    def test_effect_counts_per_step(self):
+        config = EvolutionConfig(n_versions=3, changes_per_version=30)
+        _, trace = simulate_evolution(_initial(), config)
+        total = sum(trace.effect_counts().values())
+        step1 = sum(trace.effect_counts(step=1).values())
+        step2 = sum(trace.effect_counts(step=2).values())
+        assert total == step1 + step2 == 60
+
+    def test_hotspot_concentration_localises_changes(self):
+        """With high concentration most ops target the hotspot region."""
+        initial = _initial(n_classes=40)
+        config = EvolutionConfig(
+            n_versions=3, changes_per_version=100, hotspot_concentration=0.9
+        )
+        _, trace = simulate_evolution(initial, config, seed=3)
+        in_hotspot = sum(1 for op in trace.ops if op.in_hotspot)
+        assert in_hotspot / len(trace.ops) > 0.75
+
+    def test_zero_concentration_spreads_changes(self):
+        initial = _initial(n_classes=40)
+        config = EvolutionConfig(
+            n_versions=3, changes_per_version=100, hotspot_concentration=0.0
+        )
+        _, trace = simulate_evolution(initial, config, seed=3)
+        assert all(not op.in_hotspot for op in trace.ops)
+
+    def test_most_affected_orders_by_count(self):
+        _, trace = simulate_evolution(_initial(), EvolutionConfig(changes_per_version=60))
+        top = trace.most_affected(5)
+        counts = trace.effect_counts()
+        values = [counts[c] for c in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_hotspot_region_includes_neighbourhood(self):
+        kb, trace = simulate_evolution(_initial())
+        schema = kb.first().schema
+        region = trace.hotspot_region(schema)
+        assert trace.hotspots <= region
+
+
+class TestGraphConsistency:
+    def test_versions_stay_parseable_schemas(self):
+        kb, _ = simulate_evolution(_initial(), EvolutionConfig(n_versions=4))
+        for version in kb:
+            view = SchemaView(version.graph)
+            assert len(view.classes()) > 0
+
+    def test_removed_instances_leave_no_dangling_triples(self):
+        kb, trace = simulate_evolution(
+            _initial(),
+            EvolutionConfig(
+                n_versions=3,
+                changes_per_version=60,
+                op_mix={"remove_instance": 1.0},
+            ),
+            seed=1,
+        )
+        # Any instance removed must not appear anywhere in the final graph.
+        final = kb.latest().graph
+        for old, new in kb.pairs():
+            delta = LowLevelDelta.compute(old.graph, new.graph)
+            removed_typings = [
+                t for t in delta.deleted if t.predicate.value.endswith("#type")
+            ]
+            for typing in removed_typings:
+                instance = typing.subject
+                still_typed = any(
+                    t.predicate.value.endswith("#type")
+                    for t in final.match(instance, None, None)
+                )
+                if not still_typed:
+                    assert not list(final.match(instance, None, None))

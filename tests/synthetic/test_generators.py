@@ -1,0 +1,104 @@
+"""Tests for schema and instance generation."""
+
+import pytest
+
+from repro.kb.schema import SchemaView
+from repro.synthetic.config import InstanceConfig, SchemaConfig
+from repro.synthetic.instance_gen import populate_instances
+from repro.synthetic.schema_gen import class_iri, generate_schema
+
+
+class TestGenerateSchema:
+    def test_class_count(self):
+        schema = SchemaView(generate_schema(SchemaConfig(n_classes=30, n_properties=10)))
+        assert len(schema.classes()) == 30
+
+    def test_property_count(self):
+        schema = SchemaView(generate_schema(SchemaConfig(n_classes=10, n_properties=25)))
+        assert len(schema.properties()) == 25
+
+    def test_deterministic_for_seed(self):
+        a = generate_schema(seed=42)
+        b = generate_schema(seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_schema(seed=1) != generate_schema(seed=2)
+
+    def test_forest_structure(self):
+        """Every class has at most one parent and no self-subsumption."""
+        schema = SchemaView(generate_schema(SchemaConfig(n_classes=50, n_properties=0)))
+        for cls in schema.classes():
+            supers = schema.superclasses(cls)
+            assert len(supers) <= 1
+            assert cls not in supers
+
+    def test_no_subsumption_cycles(self):
+        schema = SchemaView(generate_schema(SchemaConfig(n_classes=60, n_properties=0)))
+        for cls in schema.classes():
+            assert cls not in schema.superclasses(cls, transitive=True)
+
+    def test_properties_have_domain_and_range(self):
+        schema = SchemaView(generate_schema(SchemaConfig(n_classes=10, n_properties=15)))
+        for prop in schema.properties():
+            assert schema.domain(prop)
+            assert schema.range(prop)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaConfig(n_classes=0)
+        with pytest.raises(ValueError):
+            SchemaConfig(new_root_probability=1.5)
+
+
+class TestPopulateInstances:
+    def test_adds_instances(self):
+        schema_graph = generate_schema(SchemaConfig(n_classes=20, n_properties=10))
+        populated = populate_instances(schema_graph, InstanceConfig())
+        view = SchemaView(populated)
+        assert view.total_instances() > 0
+
+    def test_original_graph_untouched(self):
+        schema_graph = generate_schema()
+        before = len(schema_graph)
+        populate_instances(schema_graph)
+        assert len(schema_graph) == before
+
+    def test_zipf_skew_concentrates_population(self):
+        schema_graph = generate_schema(SchemaConfig(n_classes=20, n_properties=0))
+        flat = SchemaView(
+            populate_instances(
+                schema_graph, InstanceConfig(base_instances_per_class=10, zipf_skew=0.0)
+            )
+        )
+        skewed = SchemaView(
+            populate_instances(
+                schema_graph, InstanceConfig(base_instances_per_class=10, zipf_skew=2.0)
+            )
+        )
+        flat_counts = sorted(
+            (flat.instance_count(c) for c in flat.classes()), reverse=True
+        )
+        skewed_counts = sorted(
+            (skewed.instance_count(c) for c in skewed.classes()), reverse=True
+        )
+        # Flat: every class gets the base population; skewed: most get none.
+        assert flat_counts[-1] == 10
+        assert skewed_counts[0] == 10 and skewed_counts[-1] == 0
+
+    def test_links_respect_schema_edges(self):
+        schema_graph = generate_schema(SchemaConfig(n_classes=10, n_properties=8))
+        populated = populate_instances(schema_graph, InstanceConfig(link_density=1.0))
+        view = SchemaView(populated)
+        # Every link's endpoints are instances of the edge's domain/range.
+        for edge in view.property_edges():
+            for triple in populated.match(None, edge.prop, None):
+                subject_classes = view.classes_of(triple.subject)
+                assert subject_classes, triple
+        assert view.instance_link_count(list(view.classes())) > 0
+
+    def test_deterministic(self):
+        schema_graph = generate_schema()
+        a = populate_instances(schema_graph, seed=5)
+        b = populate_instances(schema_graph, seed=5)
+        assert a == b

@@ -1,0 +1,194 @@
+"""Tests for synthetic users, feedback and the world bundle."""
+
+import pytest
+
+from repro.kb.schema import SchemaView
+from repro.measures.base import MeasureFamily
+from repro.synthetic.config import SchemaConfig, UserConfig, WorldConfig
+from repro.synthetic.schema_gen import generate_schema
+from repro.synthetic.users import (
+    PERSONAS,
+    generate_users,
+    make_groups,
+    simulate_feedback,
+    spread_interest,
+)
+from repro.synthetic.world import generate_world
+from repro.graphtools.adjacency import UndirectedGraph
+from repro.kb.namespaces import EX
+
+
+class TestSpreadInterest:
+    def test_focus_gets_full_weight(self):
+        g = UndirectedGraph([(EX.A, EX.B), (EX.B, EX.C)])
+        weights = spread_interest(g, [EX.A], decay=0.5, depth=2)
+        assert weights[EX.A] == 1.0
+
+    def test_decay_per_hop(self):
+        g = UndirectedGraph([(EX.A, EX.B), (EX.B, EX.C)])
+        weights = spread_interest(g, [EX.A], decay=0.5, depth=2)
+        assert weights[EX.B] == 0.5
+        assert weights[EX.C] == 0.25
+
+    def test_depth_cutoff(self):
+        g = UndirectedGraph([(EX.A, EX.B), (EX.B, EX.C), (EX.C, EX.D)])
+        weights = spread_interest(g, [EX.A], decay=0.5, depth=1)
+        assert EX.C not in weights
+
+    def test_multiple_foci_take_max(self):
+        g = UndirectedGraph([(EX.A, EX.B), (EX.B, EX.C)])
+        weights = spread_interest(g, [EX.A, EX.C], decay=0.5, depth=2)
+        assert weights[EX.B] == 0.5
+        assert weights[EX.C] == 1.0
+
+    def test_focus_missing_from_graph_still_weighted(self):
+        g = UndirectedGraph([(EX.A, EX.B)])
+        weights = spread_interest(g, [EX.Z], decay=0.5, depth=2)
+        assert weights[EX.Z] == 1.0
+
+
+class TestGenerateUsers:
+    def _schema(self) -> SchemaView:
+        return SchemaView(generate_schema(SchemaConfig(n_classes=30, n_properties=15)))
+
+    def test_user_count(self):
+        users = generate_users(self._schema(), UserConfig(n_users=7))
+        assert len(users) == 7
+        assert len({u.user_id for u in users}) == 7
+
+    def test_profiles_nonempty(self):
+        for user in generate_users(self._schema(), UserConfig(n_users=5)):
+            assert not user.profile.is_empty()
+
+    def test_personas_cycle(self):
+        users = generate_users(self._schema(), UserConfig(n_users=6))
+        names = {u.name.split("-")[0] for u in users}
+        assert names == set(PERSONAS)
+
+    def test_family_weights_set(self):
+        users = generate_users(self._schema(), UserConfig(n_users=3))
+        for user in users:
+            prefs = [user.profile.family_preference(f) for f in MeasureFamily]
+            assert any(p != 1.0 for p in prefs)
+
+    def test_hotspot_affinity_full(self):
+        schema = self._schema()
+        hotspots = sorted(schema.classes(), key=lambda c: c.value)[:3]
+        users = generate_users(
+            schema,
+            UserConfig(n_users=8, hotspot_affinity=1.0, n_focus_classes=2),
+            hotspots=hotspots,
+        )
+        region = set(hotspots)
+        for h in hotspots:
+            region |= schema.neighborhood(h)
+        for user in users:
+            top = user.profile.top_classes(2)
+            assert any(cls in region for cls in top)
+
+    def test_deterministic(self):
+        schema = self._schema()
+        a = generate_users(schema, seed=4)
+        b = generate_users(schema, seed=4)
+        assert [u.user_id for u in a] == [u.user_id for u in b]
+        assert all(
+            ua.profile.class_weights == ub.profile.class_weights for ua, ub in zip(a, b)
+        )
+
+
+class TestMakeGroups:
+    def test_partition_sizes(self):
+        users = generate_users(
+            SchemaView(generate_schema()), UserConfig(n_users=10)
+        )
+        groups = make_groups(users, group_size=4)
+        assert [len(g) for g in groups] == [4, 4, 2]
+
+    def test_every_user_in_exactly_one_group(self):
+        users = generate_users(SchemaView(generate_schema()), UserConfig(n_users=9))
+        groups = make_groups(users, group_size=3)
+        seen = [u.user_id for g in groups for u in g]
+        assert sorted(seen) == sorted(u.user_id for u in users)
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            make_groups([], group_size=0)
+
+
+class TestSimulateFeedback:
+    def test_event_volume(self):
+        schema = SchemaView(generate_schema())
+        users = generate_users(schema, UserConfig(n_users=4, events_per_user=10))
+        store = simulate_feedback(
+            users,
+            [f"item{i}" for i in range(20)],
+            relevance=lambda u, k: 0.5,
+            config=UserConfig(n_users=4, events_per_user=10),
+        )
+        assert len(store) == 40
+
+    def test_ratings_track_ground_truth(self):
+        schema = SchemaView(generate_schema())
+        users = generate_users(schema, UserConfig(n_users=6))
+        truth = {"good": 1.0, "bad": 0.0}
+        store = simulate_feedback(
+            users,
+            list(truth),
+            relevance=lambda u, k: truth[k],
+            config=UserConfig(n_users=6, events_per_user=2, feedback_noise=0.05),
+        )
+        good = [e.rating for e in store if e.item_key == "good"]
+        bad = [e.rating for e in store if e.item_key == "bad"]
+        assert sum(good) / len(good) > 0.8
+        assert sum(bad) / len(bad) < 0.2
+
+    def test_empty_items_no_events(self):
+        store = simulate_feedback([], [], relevance=lambda u, k: 0.0)
+        assert len(store) == 0
+
+    def test_ratings_clipped(self):
+        schema = SchemaView(generate_schema())
+        users = generate_users(schema, UserConfig(n_users=3))
+        store = simulate_feedback(
+            users,
+            ["x"],
+            relevance=lambda u, k: 1.0,
+            config=UserConfig(n_users=3, events_per_user=1, feedback_noise=0.9),
+        )
+        assert all(0.0 <= e.rating <= 1.0 for e in store)
+
+
+class TestGenerateWorld:
+    def test_world_shape(self):
+        world = generate_world(seed=7, n_classes=30, n_versions=3, n_users=6)
+        assert len(world.kb) == 3
+        assert len(world.users) == 6
+        assert world.groups
+
+    def test_contexts(self):
+        world = generate_world(seed=7, n_classes=25, n_versions=4)
+        latest = world.latest_context()
+        full = world.full_context()
+        assert latest.old.version_id == "v3" and latest.new.version_id == "v4"
+        assert full.old.version_id == "v1" and full.new.version_id == "v4"
+
+    def test_changelog_cached(self):
+        world = generate_world(seed=1, n_classes=20, n_versions=2)
+        assert world.changelog is world.changelog
+
+    def test_deterministic(self):
+        a = generate_world(seed=11, n_classes=20, n_versions=3)
+        b = generate_world(seed=11, n_classes=20, n_versions=3)
+        assert a.kb.latest().graph == b.kb.latest().graph
+        assert a.trace.hotspots == b.trace.hotspots
+
+    def test_user_count_does_not_perturb_evolution(self):
+        """Child seeds isolate the component streams."""
+        few = generate_world(seed=3, n_classes=20, n_versions=3, n_users=2)
+        many = generate_world(seed=3, n_classes=20, n_versions=3, n_users=10)
+        assert few.kb.latest().graph == many.kb.latest().graph
+
+    def test_single_version_world_context_raises(self):
+        world = generate_world(seed=2, n_classes=15, n_versions=1)
+        with pytest.raises(ValueError):
+            world.latest_context()

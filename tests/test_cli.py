@@ -1,0 +1,117 @@
+"""End-to-end tests for the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("world")
+    code = main(
+        [
+            "generate",
+            "--out", str(out),
+            "--seed", "3",
+            "--classes", "30",
+            "--versions", "3",
+            "--users", "4",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_outputs_exist(self, world_dir):
+        assert (world_dir / "kb" / "manifest.json").exists()
+        assert (world_dir / "users.json").exists()
+
+    def test_manifest_lists_versions(self, world_dir):
+        manifest = json.loads((world_dir / "kb" / "manifest.json").read_text())
+        assert [v["version_id"] for v in manifest["versions"]] == ["v1", "v2", "v3"]
+
+
+class TestMeasures:
+    def test_prints_all_measures(self, world_dir, capsys):
+        assert main(["measures", "--kb", str(world_dir / "kb")]) == 0
+        out = capsys.readouterr().out
+        assert "class_change_count" in out
+        assert "relevance_shift" in out
+
+    def test_explicit_versions(self, world_dir, capsys):
+        assert main(
+            ["measures", "--kb", str(world_dir / "kb"), "--old", "v1", "--new", "v3"]
+        ) == 0
+        assert "v1 -> v3" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_recommend_prints_and_saves(self, world_dir, capsys, tmp_path):
+        out_file = tmp_path / "package.json"
+        code = main(
+            [
+                "recommend",
+                "--kb", str(world_dir / "kb"),
+                "--users", str(world_dir / "users.json"),
+                "--user", "u0",
+                "-k", "3",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "recommendations for u0" in stdout
+        payload = json.loads(out_file.read_text())
+        assert payload["audience"] == "u0"
+        assert len(payload["items"]) == 3
+
+    def test_unknown_user_exits_with_candidates(self, world_dir):
+        with pytest.raises(SystemExit, match="u0"):
+            main(
+                [
+                    "recommend",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--user", "ghost",
+                ]
+            )
+
+
+class TestReport:
+    def test_report_guarantee_line(self, world_dir, capsys):
+        assert main(
+            ["report", "--kb", str(world_dir / "kb"), "--anonymity", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "k-anonymity guarantee holds: True" in out
+
+    def test_suppress_strategy(self, world_dir, capsys):
+        assert main(
+            [
+                "report",
+                "--kb", str(world_dir / "kb"),
+                "--anonymity", "3",
+                "--strategy", "suppress",
+            ]
+        ) == 0
+        assert "suppress" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_version_kb_rejected(self, tmp_path, capsys):
+        from repro.io import save_kb
+        from repro.kb.graph import Graph
+        from repro.kb.version import VersionedKnowledgeBase
+
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        save_kb(kb, tmp_path / "kb1")
+        with pytest.raises(SystemExit, match="two versions"):
+            main(["measures", "--kb", str(tmp_path / "kb1")])

@@ -1,0 +1,27 @@
+"""Run every docstring example in the library as a test.
+
+Docstring examples are documentation; stale ones are worse than none.
+This collects all of ``src/repro`` through doctest so the examples in
+module and function docstrings stay executable.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_module_names()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failure(s)"

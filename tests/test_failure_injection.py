@@ -1,0 +1,165 @@
+"""Failure injection: corrupted files, degenerate inputs, empty worlds.
+
+A production library fails loudly and specifically; these tests pin the
+error behaviour at the system boundaries.
+"""
+
+import json
+
+import pytest
+
+from repro.io import load_feedback, load_kb, load_users
+from repro.kb.errors import ParseError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.measures.catalog import default_catalog
+from repro.privacy.generalization import GeneralizationHierarchy
+from repro.privacy.kanonymity import anonymize_report
+from repro.privacy.report import EvolutionReport
+from repro.profiles.group import Group
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.engine import EngineConfig, RecommenderEngine
+from repro.recommender.fairness import select_package
+
+
+class TestCorruptedFiles:
+    def test_corrupt_manifest_json(self, tmp_path):
+        kb_dir = tmp_path / "kb"
+        kb_dir.mkdir()
+        (kb_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_kb(kb_dir)
+
+    def test_manifest_referencing_missing_file(self, tmp_path):
+        kb_dir = tmp_path / "kb"
+        kb_dir.mkdir()
+        (kb_dir / "manifest.json").write_text(
+            json.dumps({"name": "x", "versions": [{"version_id": "v1", "file": "gone.nt"}]})
+        )
+        with pytest.raises(FileNotFoundError):
+            load_kb(kb_dir)
+
+    def test_malformed_ntriples_in_version_file(self, tmp_path):
+        kb_dir = tmp_path / "kb"
+        kb_dir.mkdir()
+        (kb_dir / "v1.nt").write_text("this is not ntriples\n")
+        (kb_dir / "manifest.json").write_text(
+            json.dumps({"name": "x", "versions": [{"version_id": "v1", "file": "v1.nt"}]})
+        )
+        with pytest.raises(ParseError, match="line 1"):
+            load_kb(kb_dir)
+
+    def test_feedback_with_out_of_range_rating(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        path.write_text('{"user_id": "u", "item_key": "k", "rating": 7.5}\n')
+        with pytest.raises(ValueError, match="rating"):
+            load_feedback(path)
+
+    def test_users_with_unknown_family(self, tmp_path):
+        path = tmp_path / "users.json"
+        path.write_text(
+            json.dumps(
+                [{"user_id": "u", "class_weights": {}, "family_weights": {"bogus": 1.0}}]
+            )
+        )
+        with pytest.raises(ValueError):
+            load_users(path)
+
+    def test_users_with_negative_weight(self, tmp_path):
+        path = tmp_path / "users.json"
+        path.write_text(
+            json.dumps([{"user_id": "u", "class_weights": {"http://x/a": -1.0}}])
+        )
+        with pytest.raises(ValueError, match="negative"):
+            load_users(path)
+
+
+def _two_version_kb(identical: bool = False) -> VersionedKnowledgeBase:
+    kb = VersionedKnowledgeBase()
+    g = Graph([Triple(EX.A, RDF_TYPE, RDFS_CLASS)])
+    kb.commit(g, version_id="v1")
+    g2 = g.copy()
+    if not identical:
+        g2.add(Triple(EX.B, RDF_TYPE, RDFS_CLASS))
+    kb.commit(g2, version_id="v2")
+    return kb
+
+
+class TestDegenerateWorlds:
+    def test_measures_on_identical_versions_all_zero(self):
+        kb = _two_version_kb(identical=True)
+        context = EvolutionContext(kb.version("v1"), kb.version("v2"))
+        for name, result in default_catalog().compute_all(context).items():
+            assert all(s == 0.0 for s in result.scores.values()), name
+
+    def test_engine_on_unchanged_kb_returns_empty_package(self):
+        kb = _two_version_kb(identical=True)
+        engine = RecommenderEngine(kb)
+        package = engine.recommend(User("u"), k=5)
+        assert len(package) == 0  # no non-zero candidates exist
+
+    def test_engine_on_empty_graphs(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        kb.commit(Graph())
+        engine = RecommenderEngine(kb)
+        assert len(engine.recommend(User("u"), k=5)) == 0
+
+    def test_user_with_empty_profile_gets_zero_utilities(self):
+        kb = _two_version_kb()
+        engine = RecommenderEngine(kb, config=EngineConfig(diversifier="none"))
+        package = engine.recommend(User("empty"), k=5)
+        assert all(s.utility == 0.0 for s in package)
+
+    def test_measures_on_empty_graph_context(self):
+        kb = VersionedKnowledgeBase()
+        kb.commit(Graph())
+        kb.commit(Graph())
+        context = EvolutionContext(kb.version("v1"), kb.version("v2"))
+        for name, result in default_catalog().compute_all(context).items():
+            assert len(result) == 0, name
+
+
+class TestDegenerateGroups:
+    def test_group_where_nobody_likes_anything(self):
+        kb = _two_version_kb()
+        engine = RecommenderEngine(kb)
+        candidates = engine.candidates()
+        group = Group("g", (User("a"), User("b")))
+        utilities = {"a": {}, "b": {}}
+        for strategy in ("average", "least_misery", "fairness_aware"):
+            package = select_package(group, candidates, utilities, 3, strategy=strategy)
+            assert all(s.utility == 0.0 for s in package), strategy
+
+    def test_anonymity_k_exceeds_contributors(self):
+        kb = _two_version_kb()
+        engine = RecommenderEngine(kb)
+        released = engine.anonymized_report(k=10_000)
+        assert released.rows == ()
+        assert released.is_k_anonymous()
+
+    def test_anonymize_empty_report(self):
+        kb = _two_version_kb()
+        hierarchy = GeneralizationHierarchy(kb.version("v2").schema)
+        released = anonymize_report(EvolutionReport(), hierarchy, k=3)
+        assert released.rows == ()
+        assert released.suppressed == frozenset()
+
+
+class TestHostileProfiles:
+    def test_huge_interest_weights_clip(self):
+        kb = _two_version_kb()
+        engine = RecommenderEngine(kb, config=EngineConfig(diversifier="none"))
+        user = User("hog", InterestProfile(class_weights={EX.B: 1e9}))
+        package = engine.recommend(user, k=5)
+        assert all(0.0 <= s.utility <= 1.0 for s in package)
+
+    def test_profile_referencing_unknown_classes_is_harmless(self):
+        kb = _two_version_kb()
+        engine = RecommenderEngine(kb)
+        user = User("lost", InterestProfile(class_weights={EX.Nothing: 1.0}))
+        package = engine.recommend(user, k=5)
+        assert isinstance(len(package), int)  # completes without error

@@ -1,0 +1,112 @@
+"""Tests for the shared utilities (rng, timing, validation)."""
+
+import random
+import time
+
+import pytest
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.timing import Timer
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestMakeRng:
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_int_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_rng_passthrough_shares_state(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    @pytest.mark.parametrize("bad", ["7", 1.5, True])
+    def test_bad_seed_types_rejected(self, bad):
+        with pytest.raises(TypeError):
+            make_rng(bad)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "users") == derive_seed(7, "users")
+
+    def test_labels_matter(self):
+        assert derive_seed(7, "users") != derive_seed(7, "schema")
+
+    def test_base_matters(self):
+        assert derive_seed(7, "users") != derive_seed(8, "users")
+
+    def test_label_paths(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "ab")
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_result_usable_as_seed(self):
+        rng = make_rng(derive_seed(0, "x"))
+        assert 0.0 <= rng.random() < 1.0
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_elapsed_ms(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed_ms == pytest.approx(t.elapsed * 1000.0)
+
+    def test_exception_still_records(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        assert t.elapsed >= 0.0
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="nope"):
+            require(False, "nope")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        require_positive(0.5, "x")
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_probability(self):
+        require_probability(0.0, "x")
+        require_probability(1.0, "x")
+        with pytest.raises(ValueError):
+            require_probability(1.01, "x")
+
+    @pytest.mark.parametrize("fn", [require_positive, require_non_negative, require_probability])
+    def test_non_numbers_rejected(self, fn):
+        with pytest.raises(TypeError):
+            fn("0.5", "x")
+        with pytest.raises(TypeError):
+            fn(True, "x")
+
+    def test_error_messages_name_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            require_probability(2.0, "my_param")
