@@ -92,3 +92,38 @@ def test_ntriples_roundtrip(benchmark, world):
         return parse_graph(serialize(graph))
 
     assert len(benchmark(roundtrip)) == len(graph)
+
+
+def test_graph_copy(benchmark, world):
+    """Snapshot duplication (the version chain's commit fast path)."""
+    graph = world.kb.latest().graph
+    assert len(benchmark(graph.copy)) == len(graph)
+
+
+def test_graph_difference(benchmark, world):
+    """Integer-set graph difference (the delta substrate)."""
+    versions = list(world.kb)
+    old, new = versions[-2].graph, versions[-1].graph
+
+    def diff():
+        return new.difference(old), old.difference(new)
+
+    added, deleted = benchmark(diff)
+    assert added or deleted
+
+
+def test_group_batch_scoring(benchmark, world):
+    """Batch utility scoring of every candidate for a whole group."""
+    from repro.recommender.engine import RecommenderEngine
+    from repro.recommender.ranking import utility_scores_batch
+
+    engine = RecommenderEngine(world.kb)
+    candidates = engine.candidates()
+    scorer = engine.scorer()
+    members = list(world.groups[0])
+
+    def score():
+        return utility_scores_batch(members, candidates, scorer)
+
+    utilities = benchmark(score)
+    assert len(utilities) == len(members)

@@ -1,0 +1,209 @@
+"""Standalone substrate benchmark harness.
+
+Runs the substrate hot-path benchmarks (the same workloads as
+``bench_substrate.py``, without the pytest-benchmark dependency) and writes
+a machine-readable ``BENCH_substrate.json`` with per-benchmark mean/stddev
+timings, so successive PRs have a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                      # write BENCH_substrate.json
+    PYTHONPATH=src python benchmarks/run_bench.py -o out.json          # custom output path
+    PYTHONPATH=src python benchmarks/run_bench.py --baseline old.json  # embed speedup factors
+    PYTHONPATH=src python benchmarks/run_bench.py --only graph_pattern_match
+
+Each benchmark is warmed up once, then timed for a fixed number of rounds
+(``--rounds``) with ``time.perf_counter``.  The JSON layout is::
+
+    {
+      "meta": {...workload + python info...},
+      "benchmarks": {
+        "<name>": {"mean_s": ..., "stddev_s": ..., "min_s": ..., "rounds": N,
+                   "baseline_mean_s": ..., "speedup": ...}   # with --baseline
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro._version import __version__
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.graphtools.betweenness import betweenness_centrality
+from repro.kb.ntriples import parse_graph, serialize
+from repro.kb.schema import SchemaView
+from repro.measures.base import EvolutionContext
+from repro.measures.catalog import default_catalog
+from repro.measures.structural import class_graph
+from repro.recommender.engine import RecommenderEngine
+from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
+from repro.synthetic.world import generate_world
+
+#: The canonical substrate workload (kept identical to bench_substrate.py).
+WORLD_SEED = 4242
+WORLD_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=120, n_properties=80),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=150),
+)
+
+Bench = Tuple[str, Callable[[], object]]
+
+
+def _build_benchmarks() -> List[Bench]:
+    world = generate_world(seed=WORLD_SEED, config=WORLD_CONFIG)
+    versions = list(world.kb)
+    old, new = versions[-2].graph, versions[-1].graph
+    graph = new
+    # Deterministic predicate sample (value-sorted, unlike the set-ordered
+    # pytest variant) so runs are comparable across processes.
+    predicates = sorted({t.predicate for t in graph}, key=lambda p: p.value)[:10]
+
+    def graph_pattern_match() -> int:
+        total = 0
+        for predicate in predicates:
+            total += sum(1 for _ in graph.match(None, predicate, None))
+        return total
+
+    def lowlevel_delta_compute() -> LowLevelDelta:
+        return LowLevelDelta.compute(old, new)
+
+    def schema_view_construction() -> SchemaView:
+        view = SchemaView(graph)
+        view.classes()
+        view.property_edges()
+        view.instance_link_count(list(view.classes())[:10])
+        return view
+
+    def betweenness_on_class_graph() -> Dict:
+        return betweenness_centrality(class_graph(SchemaView(graph)))
+
+    def full_measure_catalog() -> Dict:
+        context = EvolutionContext(versions[-2], versions[-1])
+        return default_catalog().compute_all(context)
+
+    def ntriples_roundtrip():
+        return parse_graph(serialize(graph))
+
+    def graph_copy():
+        return graph.copy()
+
+    def graph_difference():
+        return new.difference(old), old.difference(new)
+
+    def group_scoring():
+        engine = RecommenderEngine(world.kb)
+        return [engine.recommend_group(g, k=5) for g in world.groups[:3]]
+
+    return [
+        ("graph_pattern_match", graph_pattern_match),
+        ("lowlevel_delta_compute", lowlevel_delta_compute),
+        ("schema_view_construction", schema_view_construction),
+        ("betweenness_on_class_graph", betweenness_on_class_graph),
+        ("full_measure_catalog", full_measure_catalog),
+        ("ntriples_roundtrip", ntriples_roundtrip),
+        ("graph_copy", graph_copy),
+        ("graph_difference", graph_difference),
+        ("group_scoring", group_scoring),
+    ]
+
+
+def _time_one(fn: Callable[[], object], rounds: int, warmup: int) -> Dict[str, float]:
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "min_s": min(samples),
+        "max_s": max(samples),
+        "rounds": rounds,
+    }
+
+
+def run(
+    output: Path,
+    rounds: int = 30,
+    warmup: int = 2,
+    baseline: Path | None = None,
+    only: List[str] | None = None,
+) -> Dict:
+    """Run the benchmark suite and write the JSON report; returns the report."""
+    benches = _build_benchmarks()
+    if only:
+        unknown = set(only) - {name for name, _ in benches}
+        if unknown:
+            raise SystemExit(f"unknown benchmark(s): {', '.join(sorted(unknown))}")
+        benches = [(name, fn) for name, fn in benches if name in only]
+
+    baseline_data: Dict = {}
+    if baseline is not None:
+        baseline_data = json.loads(baseline.read_text()).get("benchmarks", {})
+
+    results: Dict[str, Dict] = {}
+    for name, fn in benches:
+        timing = _time_one(fn, rounds=rounds, warmup=warmup)
+        base = baseline_data.get(name)
+        if base and base.get("mean_s"):
+            timing["baseline_mean_s"] = base["mean_s"]
+            timing["speedup"] = base["mean_s"] / timing["mean_s"]
+        results[name] = timing
+        speedup = f"  ({timing['speedup']:.2f}x vs baseline)" if "speedup" in timing else ""
+        print(f"{name:32s} mean {timing['mean_s'] * 1e3:9.3f} ms  "
+              f"stddev {timing['stddev_s'] * 1e3:7.3f} ms{speedup}")
+
+    report = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "world_seed": WORLD_SEED,
+            "n_classes": WORLD_CONFIG.schema.n_classes,
+            "n_properties": WORLD_CONFIG.schema.n_properties,
+            "n_versions": WORLD_CONFIG.evolution.n_versions,
+            "changes_per_version": WORLD_CONFIG.evolution.changes_per_version,
+            "rounds": rounds,
+            "warmup": warmup,
+            "baseline": str(baseline) if baseline else None,
+        },
+        "benchmarks": results,
+    }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_substrate.json"),
+        help="where to write the JSON report (default: BENCH_substrate.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=30, help="timed rounds per benchmark")
+    parser.add_argument("--warmup", type=int, default=2, help="untimed warmup rounds")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous report to compute speedup factors against",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="run only the named benchmarks",
+    )
+    args = parser.parse_args(argv)
+    run(args.output, rounds=args.rounds, warmup=args.warmup,
+        baseline=args.baseline, only=args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

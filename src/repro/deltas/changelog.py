@@ -31,12 +31,21 @@ class ChangeLog:
         return self._kb
 
     def lowlevel(self, old_id: str, new_id: str) -> LowLevelDelta:
-        """The low-level delta between two (not necessarily adjacent) versions."""
+        """The low-level delta between two (not necessarily adjacent) versions.
+
+        Adjacent pairs reuse the delta the version chain recorded at commit
+        time; any other pair diffs the snapshots (an integer-set operation
+        when the versions share a term dictionary).
+        """
         key = (old_id, new_id)
         if key not in self._low:
             old = self._kb.version(old_id)
             new = self._kb.version(new_id)
-            self._low[key] = LowLevelDelta.compute(old.graph, new.graph)
+            recorded = new.delta_from_parent() if new.parent is old else None
+            if recorded is not None:
+                self._low[key] = recorded
+            else:
+                self._low[key] = LowLevelDelta.compute(old.graph, new.graph)
         return self._low[key]
 
     def highlevel(self, old_id: str, new_id: str) -> HighLevelDelta:

@@ -42,7 +42,12 @@ class LowLevelDelta:
 
     @classmethod
     def compute(cls, old: Graph, new: Graph) -> "LowLevelDelta":
-        """The delta turning ``old`` into ``new``."""
+        """The delta turning ``old`` into ``new``.
+
+        :meth:`Graph.difference` diffs graphs sharing a term dictionary with
+        one integer-set operation per direction (no per-triple membership
+        probes), so computing deltas along a version chain is cheap.
+        """
         return cls(
             added=frozenset(new.difference(old)),
             deleted=frozenset(old.difference(new)),

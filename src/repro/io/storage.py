@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary
 from repro.kb.ntriples import parse_graph, serialize
 from repro.kb.terms import IRI
 from repro.kb.version import VersionedKnowledgeBase
@@ -36,9 +37,14 @@ def save_graph(graph: Graph, path: str | Path) -> Path:
     return path
 
 
-def load_graph(path: str | Path) -> Graph:
-    """Read an N-Triples file into a fresh graph."""
-    return parse_graph(Path(path).read_text(encoding="utf-8"))
+def load_graph(path: str | Path, dictionary: TermDictionary | None = None) -> Graph:
+    """Read an N-Triples file into a fresh graph.
+
+    ``dictionary`` interns the parsed terms into an existing
+    :class:`~repro.kb.interning.TermDictionary` (:func:`load_kb` threads one
+    through a whole version chain).
+    """
+    return parse_graph(Path(path).read_text(encoding="utf-8"), dictionary=dictionary)
 
 
 # -- knowledge bases ----------------------------------------------------------------
@@ -75,8 +81,11 @@ def load_kb(directory: str | Path) -> VersionedKnowledgeBase:
         raise FileNotFoundError(f"no {_MANIFEST} in {directory}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     kb = VersionedKnowledgeBase(manifest.get("name", "kb"))
+    # One dictionary for the whole chain keeps every commit on the
+    # integer-set fast path (no per-version re-encode).
+    dictionary = TermDictionary()
     for entry in manifest["versions"]:
-        graph = load_graph(directory / entry["file"])
+        graph = load_graph(directory / entry["file"], dictionary=dictionary)
         kb.commit(
             graph,
             version_id=entry["version_id"],

@@ -21,6 +21,7 @@ from repro.kb.errors import (
     VersionError,
 )
 from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary
 from repro.kb.namespaces import (
     EX,
     Namespace,
@@ -56,6 +57,7 @@ __all__ = [
     "TermError",
     "VersionError",
     "Graph",
+    "TermDictionary",
     "EX",
     "Namespace",
     "OWL",

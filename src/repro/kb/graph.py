@@ -1,10 +1,23 @@
-"""An in-memory indexed triple store.
+"""An in-memory indexed triple store over interned integer ids.
 
-:class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that every
-triple-pattern shape resolves through at most two dictionary lookups before
-iteration.  The store is the substrate everything else in the library is
-built on: schema views, deltas, evolution measures and the synthetic
-generators all consume this interface.
+:class:`Graph` dictionary-encodes every term through a shared
+:class:`~repro.kb.interning.TermDictionary` and keeps its three hash indexes
+(SPO, POS, OSP) plus a flat triple set entirely in dense integer ids.  Public
+queries still speak :class:`~repro.kb.triples.Triple`: matches are
+materialised lazily at the API boundary from the dictionary's triple pool, so
+yielding a match is a dict lookup, not a dataclass construction.
+
+The columnar layout buys three fast paths that the measure/delta/recommender
+layers lean on:
+
+* **set algebra** -- :meth:`difference`, :meth:`__eq__` and bulk
+  :meth:`add_all` between graphs sharing a dictionary are C-speed integer-set
+  operations (this is what makes low-level delta computation cheap);
+* **copy** -- :meth:`copy` duplicates the id indexes without re-hashing a
+  single term, which the version chain exploits;
+* **counting** -- every pattern shape of :meth:`count`, including
+  ``(subject, None, object)``, resolves through an index without
+  materialising triples.
 
 Pattern matching follows the usual convention: ``None`` is a wildcard.
 
@@ -17,29 +30,48 @@ Pattern matching follows the usual convention: ``None`` is a wildcard.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Set
+from typing import Dict, Iterable, Iterator, Set, Tuple
 
+from repro.kb.interning import TermDictionary, TripleKey
 from repro.kb.terms import IRI, Term
 from repro.kb.triples import Triple
 
-_Index = Dict[Term, Dict[Term, Set[Term]]]
+_IntIndex = Dict[int, Dict[int, Set[int]]]
 
 
 class Graph:
-    """A set of triples with SPO/POS/OSP indexes.
+    """A set of triples with interned SPO/POS/OSP indexes.
 
     The container API (``len``, ``in``, iteration) treats the graph as a set
     of :class:`~repro.kb.triples.Triple`.  Iteration order is unspecified;
     use :meth:`sorted_triples` for canonical order.
+
+    ``dictionary`` is the term-interning dictionary to encode against; by
+    default each root graph gets its own, and every graph derived from it
+    (:meth:`copy`, :meth:`union`, the version chain) shares it, keeping term
+    ids stable across the whole family.
     """
 
-    def __init__(self, triples: Iterable[Triple] = ()) -> None:
-        self._spo: _Index = {}
-        self._pos: _Index = {}
-        self._osp: _Index = {}
-        self._size = 0
-        for triple in triples:
-            self.add(triple)
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        dictionary: TermDictionary | None = None,
+    ) -> None:
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._triples: Set[TripleKey] = set()
+        self._spo: _IntIndex = {}
+        self._pos: _IntIndex = {}
+        self._osp: _IntIndex = {}
+        # Pattern scans memoised as lists until the next mutation (see
+        # match()).
+        self._scan_cache: Dict[Tuple[int | None, int | None, int | None], list] = {}
+        if triples:
+            self.add_all(triples)
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term-interning dictionary this graph encodes against."""
+        return self._dict
 
     # -- mutation ---------------------------------------------------------
 
@@ -47,30 +79,48 @@ class Graph:
         """Add ``triple``; return True if it was not already present."""
         if not isinstance(triple, Triple):
             raise TypeError(f"expected Triple, got {type(triple).__name__}")
-        s, p, o = triple.subject, triple.predicate, triple.object
-        objects = self._spo.setdefault(s, {}).setdefault(p, set())
-        if o in objects:
+        key = self._dict.intern_triple(triple)
+        if key in self._triples:
             return False
-        objects.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
-        self._size += 1
+        self._add_key(key)
         return True
 
+    def _add_key(self, key: TripleKey) -> None:
+        """Index an id-triple known to be absent."""
+        if self._scan_cache:
+            self._scan_cache.clear()
+        self._triples.add(key)
+        s, p, o = key
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add every triple in ``triples``; return how many were new."""
+        """Add every triple in ``triples``; return how many were new.
+
+        When ``triples`` is a :class:`Graph` on the same dictionary, the new
+        keys are found with one integer-set difference and indexed directly,
+        skipping per-triple interning entirely.
+        """
+        if isinstance(triples, Graph) and triples._dict is self._dict:
+            fresh = triples._triples - self._triples
+            for key in fresh:
+                self._add_key(key)
+            return len(fresh)
         return sum(1 for t in triples if self.add(t))
 
     def remove(self, triple: Triple) -> bool:
         """Remove ``triple``; return True if it was present."""
-        s, p, o = triple.subject, triple.predicate, triple.object
-        by_pred = self._spo.get(s)
-        if by_pred is None or p not in by_pred or o not in by_pred[p]:
+        key = self._dict.key_of(triple)
+        if key is None or key not in self._triples:
             return False
+        if self._scan_cache:
+            self._scan_cache.clear()
+        self._triples.discard(key)
+        s, p, o = key
         self._drop(self._spo, s, p, o)
         self._drop(self._pos, p, o, s)
         self._drop(self._osp, o, s, p)
-        self._size -= 1
         return True
 
     def remove_all(self, triples: Iterable[Triple]) -> int:
@@ -78,7 +128,7 @@ class Graph:
         return sum(1 for t in triples if self.remove(t))
 
     @staticmethod
-    def _drop(index: _Index, a: Term, b: Term, c: Term) -> None:
+    def _drop(index: _IntIndex, a: int, b: int, c: int) -> None:
         leaf = index[a][b]
         leaf.discard(c)
         if not leaf:
@@ -98,41 +148,75 @@ class Graph:
 
         Each pattern shape uses the index that binds the most terms, so no
         shape degrades to a full scan unless all three positions are
-        wildcards.
+        wildcards.  Yielded triples come from the dictionary's pool -- the
+        same :class:`Triple` object every time a given triple matches.
+
+        Scans are memoised per id-pattern until the graph next mutates, so
+        repeated scans (schema construction, measure sweeps) iterate a
+        materialised list instead of re-walking the indexes.  Consequently a
+        match always iterates a *snapshot*: mutating the graph while
+        consuming the iterator is safe and does not affect the triples
+        already being yielded (only later scans see the mutation).
         """
-        s, p, o = subject, predicate, object
+        id_of = self._dict.id_of
+        s = p = o = None
+        if subject is not None:
+            s = id_of(subject)
+            if s is None:
+                return
+        if predicate is not None:
+            p = id_of(predicate)
+            if p is None:
+                return
+        if object is not None:
+            o = id_of(object)
+            if o is None:
+                return
+        pattern = (s, p, o)
+        cached = self._scan_cache.get(pattern)
+        if cached is None:
+            cached = list(self._scan(s, p, o))
+            # The size cap bounds memory on query-diverse workloads.
+            if len(self._scan_cache) < 512:
+                self._scan_cache[pattern] = cached
+        yield from cached
+
+    def _scan(self, s: int | None, p: int | None, o: int | None) -> Iterator[Triple]:
+        """Walk the best index for an id-pattern, yielding pooled triples."""
+        cache = self._dict.triple_cache
         if s is not None:
             by_pred = self._spo.get(s, {})
             if p is not None:
                 objects = by_pred.get(p, ())
                 if o is not None:
                     if o in objects:
-                        yield Triple(s, p, o)
+                        yield cache[(s, p, o)]
                 else:
                     for obj in objects:
-                        yield Triple(s, p, obj)
+                        yield cache[(s, p, obj)]
             elif o is not None:
                 for pred in self._osp.get(o, {}).get(s, ()):
-                    yield Triple(s, pred, o)
+                    yield cache[(s, pred, o)]
             else:
                 for pred, objects in by_pred.items():
                     for obj in objects:
-                        yield Triple(s, pred, obj)
+                        yield cache[(s, pred, obj)]
         elif p is not None:
             by_obj = self._pos.get(p, {})
             if o is not None:
                 for subj in by_obj.get(o, ()):
-                    yield Triple(subj, p, o)
+                    yield cache[(subj, p, o)]
             else:
                 for obj, subjects in by_obj.items():
                     for subj in subjects:
-                        yield Triple(subj, p, obj)
+                        yield cache[(subj, p, obj)]
         elif o is not None:
             for subj, preds in self._osp.get(o, {}).items():
                 for pred in preds:
-                    yield Triple(subj, pred, o)
+                    yield cache[(subj, pred, o)]
         else:
-            yield from iter(self)
+            for key in self._triples:
+                yield cache[key]
 
     def count(
         self,
@@ -140,19 +224,54 @@ class Graph:
         predicate: IRI | None = None,
         object: Term | None = None,
     ) -> int:
-        """Number of triples matching the pattern, without materialising them."""
-        if subject is None and predicate is None and object is None:
-            return self._size
-        if subject is not None and predicate is not None and object is None:
-            return len(self._spo.get(subject, {}).get(predicate, ()))
-        if predicate is not None and object is not None and subject is None:
-            return len(self._pos.get(predicate, {}).get(object, ()))
-        return sum(1 for _ in self.match(subject, predicate, object))
+        """Number of triples matching the pattern, without materialising them.
+
+        Every shape with at least two bound terms (and the single-bound
+        shapes below) is a pure index lookup; only single-wildcard scans over
+        one bound term fall through to iteration, and even those never
+        materialise a :class:`Triple`.
+        """
+        id_of = self._dict.id_of
+        s = p = o = None
+        if subject is not None:
+            s = id_of(subject)
+            if s is None:
+                return 0
+        if predicate is not None:
+            p = id_of(predicate)
+            if p is None:
+                return 0
+        if object is not None:
+            o = id_of(object)
+            if o is None:
+                return 0
+        if s is not None:
+            if p is not None:
+                leaf = self._spo.get(s, {}).get(p, ())
+                if o is not None:
+                    return 1 if o in leaf else 0
+                return len(leaf)
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            if o is not None:
+                return len(self._pos.get(p, {}).get(o, ()))
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return len(self._triples)
 
     def subjects(self, predicate: IRI | None = None, object: Term | None = None) -> Iterator[Term]:
         """Distinct subjects of triples matching ``(?, predicate, object)``."""
         if predicate is not None and object is not None:
-            yield from self._pos.get(predicate, {}).get(object, ())
+            p = self._dict.id_of(predicate)
+            o = self._dict.id_of(object)
+            if p is None or o is None:
+                return
+            term = self._dict.term
+            for s in self._pos.get(p, {}).get(o, ()):
+                yield term(s)
         else:
             seen: Set[Term] = set()
             for triple in self.match(None, predicate, object):
@@ -163,7 +282,13 @@ class Graph:
     def objects(self, subject: Term | None = None, predicate: IRI | None = None) -> Iterator[Term]:
         """Distinct objects of triples matching ``(subject, predicate, ?)``."""
         if subject is not None and predicate is not None:
-            yield from self._spo.get(subject, {}).get(predicate, ())
+            s = self._dict.id_of(subject)
+            p = self._dict.id_of(predicate)
+            if s is None or p is None:
+                return
+            term = self._dict.term
+            for o in self._spo.get(s, {}).get(p, ()):
+                yield term(o)
         else:
             seen: Set[Term] = set()
             for triple in self.match(subject, predicate, None):
@@ -174,7 +299,13 @@ class Graph:
     def predicates(self, subject: Term | None = None, object: Term | None = None) -> Iterator[IRI]:
         """Distinct predicates of triples matching ``(subject, ?, object)``."""
         if subject is not None and object is not None:
-            yield from self._osp.get(object, {}).get(subject, ())  # type: ignore[misc]
+            s = self._dict.id_of(subject)
+            o = self._dict.id_of(object)
+            if s is None or o is None:
+                return
+            term = self._dict.term
+            for p in self._osp.get(o, {}).get(s, ()):
+                yield term(p)  # type: ignore[misc]
         else:
             seen: Set[Term] = set()
             for triple in self.match(subject, None, object):
@@ -207,17 +338,34 @@ class Graph:
     # -- set semantics ------------------------------------------------------
 
     def copy(self) -> "Graph":
-        """An independent copy of this graph."""
-        return Graph(iter(self))
+        """An independent copy of this graph (sharing the term dictionary).
+
+        Only the id indexes are duplicated; no term is re-hashed and no
+        triple re-validated, so copying is proportional to the index size
+        alone.
+        """
+        clone = Graph(dictionary=self._dict)
+        clone._triples = set(self._triples)
+        clone._spo = {s: {p: set(o) for p, o in by_p.items()} for s, by_p in self._spo.items()}
+        clone._pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self._pos.items()}
+        clone._osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self._osp.items()}
+        return clone
 
     def union(self, other: "Graph") -> "Graph":
         """A new graph holding the triples of both graphs."""
         result = self.copy()
-        result.add_all(iter(other))
+        result.add_all(other)
         return result
 
     def difference(self, other: "Graph") -> Set[Triple]:
-        """The set of triples in ``self`` but not in ``other``."""
+        """The set of triples in ``self`` but not in ``other``.
+
+        Graphs on one shared dictionary diff by a single integer-set
+        difference; unrelated graphs fall back to per-triple membership.
+        """
+        if isinstance(other, Graph) and other._dict is self._dict:
+            cache = self._dict.triple_cache
+            return {cache[key] for key in self._triples - other._triples}
         return {t for t in self if t not in other}
 
     def sorted_triples(self) -> list[Triple]:
@@ -229,21 +377,23 @@ class Graph:
     def __contains__(self, triple: object) -> bool:
         if not isinstance(triple, Triple):
             return False
-        return triple.object in self._spo.get(triple.subject, {}).get(triple.predicate, ())
+        key = self._dict.key_of(triple)
+        return key is not None and key in self._triples
 
     def __iter__(self) -> Iterator[Triple]:
-        for s, by_pred in self._spo.items():
-            for p, objects in by_pred.items():
-                for o in objects:
-                    yield Triple(s, p, o)
+        cache = self._dict.triple_cache
+        for key in self._triples:
+            yield cache[key]
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._triples)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._size == other._size and all(t in other for t in self)
+        if other._dict is self._dict:
+            return self._triples == other._triples
+        return len(self._triples) == len(other._triples) and all(t in other for t in self)
 
     def __repr__(self) -> str:
-        return f"Graph(<{self._size} triples>)"
+        return f"Graph(<{len(self._triples)} triples>)"

@@ -1,0 +1,141 @@
+"""Term interning: the dictionary-encoding layer under :class:`~repro.kb.graph.Graph`.
+
+Columnar triple stores dictionary-encode their terms: every distinct IRI,
+blank node or literal is assigned a dense integer id once, and all indexes,
+set operations and joins run over machine integers instead of composite
+Python objects.  :class:`TermDictionary` is that layer for this library.
+
+Two further caches ride on the dictionary:
+
+* a **triple cache** mapping each interned ``(s, p, o)`` id-triple to its
+  materialised :class:`~repro.kb.triples.Triple` object, so pattern matching
+  yields pooled triples with a dictionary lookup instead of constructing
+  (and re-validating) a fresh dataclass per match;
+* the id maps themselves, which make graph-to-graph set algebra
+  (:meth:`Graph.difference`, delta computation, equality) pure C-speed
+  integer-set operations whenever both graphs share one dictionary.
+
+Sharing is the point: :meth:`Graph.copy` and the version chain of
+:class:`~repro.kb.version.VersionedKnowledgeBase` propagate one dictionary
+across all derived graphs, so ids are stable across versions -- the id of a
+term in ``v1`` is its id in ``v47``.  Dictionaries only ever grow (interning
+is append-only); memory is bounded by the distinct terms and triples ever
+seen by the chain, which the synthetic workloads keep well in hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.terms import Term
+from repro.kb.triples import Triple
+
+#: An interned triple: three dense term ids ``(subject, predicate, object)``.
+TripleKey = Tuple[int, int, int]
+
+
+class TermDictionary:
+    """Append-only bijection between RDF terms and dense integer ids.
+
+    >>> from repro.kb.namespaces import EX
+    >>> d = TermDictionary()
+    >>> d.intern(EX.Person)
+    0
+    >>> d.intern(EX.Person)  # stable: interning is idempotent
+    0
+    >>> d.term(0)
+    IRI('http://example.org/Person')
+    """
+
+    __slots__ = ("_ids", "_terms", "_triples")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+        self._triples: Dict[TripleKey, Triple] = {}
+
+    # -- term interning -----------------------------------------------------
+
+    def intern(self, term: Term) -> int:
+        """The id of ``term``, assigning the next dense id on first sight."""
+        ids = self._ids
+        tid = ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def id_of(self, term: Term) -> Optional[int]:
+        """The id of ``term``, or None if it was never interned."""
+        return self._ids.get(term)
+
+    def term(self, tid: int) -> Term:
+        """The term with id ``tid`` (raises ``IndexError`` for unknown ids)."""
+        return self._terms[tid]
+
+    # -- triple interning ----------------------------------------------------
+
+    def intern_triple(self, triple: Triple) -> TripleKey:
+        """Intern all three terms of ``triple``; returns its id-triple.
+
+        The triple object itself is pooled so later materialisations of the
+        same key return it without constructing a new :class:`Triple`.
+        """
+        key = (
+            self.intern(triple.subject),
+            self.intern(triple.predicate),
+            self.intern(triple.object),
+        )
+        if key not in self._triples:
+            self._triples[key] = triple
+        return key
+
+    def key_of(self, triple: Triple) -> Optional[TripleKey]:
+        """The id-triple of ``triple`` without interning; None if any term is unknown."""
+        ids = self._ids
+        s = ids.get(triple.subject)
+        if s is None:
+            return None
+        p = ids.get(triple.predicate)
+        if p is None:
+            return None
+        o = ids.get(triple.object)
+        if o is None:
+            return None
+        return (s, p, o)
+
+    def materialize(self, key: TripleKey) -> Triple:
+        """The pooled :class:`Triple` for ``key``, constructing it at most once.
+
+        Construction uses the unchecked fast path -- terms coming out of the
+        dictionary were validated when their triple was first interned.
+        """
+        triple = self._triples.get(key)
+        if triple is None:
+            terms = self._terms
+            triple = Triple._interned(terms[key[0]], terms[key[1]], terms[key[2]])
+            self._triples[key] = triple
+        return triple
+
+    @property
+    def triple_cache(self) -> Dict[TripleKey, Triple]:
+        """The live key -> Triple pool (read-only by convention).
+
+        Exposed so :class:`~repro.kb.graph.Graph` hot loops can yield pooled
+        triples with a plain dict index; every key held by a graph on this
+        dictionary is guaranteed present (graphs only add keys through
+        :meth:`intern_triple`).
+        """
+        return self._triples
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def __repr__(self) -> str:
+        return f"TermDictionary(<{len(self._terms)} terms, {len(self._triples)} triples>)"

@@ -16,6 +16,7 @@ from typing import Iterable, Iterator, List
 
 from repro.kb.errors import ParseError
 from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary
 from repro.kb.terms import BNode, IRI, Literal, Term
 from repro.kb.triples import Triple
 
@@ -45,9 +46,14 @@ def parse(document: str) -> Iterator[Triple]:
         yield _parse_line(line, line_no)
 
 
-def parse_graph(document: str) -> Graph:
-    """Parse an N-Triples document into a fresh :class:`Graph`."""
-    return Graph(parse(document))
+def parse_graph(document: str, dictionary: "TermDictionary | None" = None) -> Graph:
+    """Parse an N-Triples document into a fresh :class:`Graph`.
+
+    Pass ``dictionary`` to intern the parsed terms into an existing
+    :class:`~repro.kb.interning.TermDictionary` (e.g. a version chain's), so
+    the loaded graph participates in the chain's integer fast paths.
+    """
+    return Graph(parse(document), dictionary=dictionary)
 
 
 def _parse_line(line: str, line_no: int) -> Triple:

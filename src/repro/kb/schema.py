@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.kb.errors import SchemaError
@@ -49,8 +50,17 @@ from repro.kb.terms import IRI, Term
 _BUILTIN_NAMESPACES = (RDF, RDFS, OWL, XSD)
 
 
+# Builtin-ness is a pure function of the IRI string, and the schema/measure
+# layers ask it for the same handful of vocabulary terms millions of times;
+# a bounded memo turns the four-namespace prefix scan into a dict hit
+# without growing for the life of a long-running process.
+@lru_cache(maxsize=65536)
+def _is_builtin_value(value: str) -> bool:
+    return any(value.startswith(ns.base) for ns in _BUILTIN_NAMESPACES)
+
+
 def _is_builtin(iri: IRI) -> bool:
-    return any(iri in ns for ns in _BUILTIN_NAMESPACES)
+    return _is_builtin_value(iri.value)
 
 
 @dataclass(frozen=True)
@@ -93,8 +103,17 @@ class SchemaView:
         self._domains: Dict[IRI, Set[IRI]] | None = None
         self._ranges: Dict[IRI, Set[IRI]] | None = None
         self._instances: Dict[IRI, Set[Term]] | None = None
+        self._instance_classes: Dict[Term, FrozenSet[IRI]] | None = None
         self._property_edges: Tuple[PropertyEdge, ...] | None = None
+        self._edges_by_source: Dict[IRI, Tuple[PropertyEdge, ...]] | None = None
+        self._edges_by_target: Dict[IRI, Tuple[PropertyEdge, ...]] | None = None
+        self._edges_by_prop: Dict[IRI, Tuple[PropertyEdge, ...]] | None = None
         self._link_index: "_LinkIndex | None" = None
+        #: Scratch cache for derived artefacts computed by higher layers
+        #: (class graphs, betweenness maps, centrality tables...).  Keys are
+        #: namespaced strings; values are caller-defined.  Safe because a
+        #: SchemaView is an immutable snapshot of its graph.
+        self.memo: Dict[str, object] = {}
 
     @property
     def graph(self) -> Graph:
@@ -295,13 +314,43 @@ class SchemaView:
             self._property_edges = tuple(edges)
         return self._property_edges
 
+    def _edge_maps(
+        self,
+    ) -> Tuple[
+        Dict[IRI, Tuple[PropertyEdge, ...]],
+        Dict[IRI, Tuple[PropertyEdge, ...]],
+        Dict[IRI, Tuple[PropertyEdge, ...]],
+    ]:
+        """Per-class / per-property edge indexes (edge order preserved).
+
+        The semantic measures ask for the edges of every class of both
+        versions; indexing once replaces a full edge scan per query.
+        """
+        if self._edges_by_source is None:
+            by_source: Dict[IRI, List[PropertyEdge]] = {}
+            by_target: Dict[IRI, List[PropertyEdge]] = {}
+            by_prop: Dict[IRI, List[PropertyEdge]] = {}
+            for edge in self.property_edges():
+                by_source.setdefault(edge.source, []).append(edge)
+                by_target.setdefault(edge.target, []).append(edge)
+                by_prop.setdefault(edge.prop, []).append(edge)
+            self._edges_by_source = {c: tuple(e) for c, e in by_source.items()}
+            self._edges_by_target = {c: tuple(e) for c, e in by_target.items()}
+            self._edges_by_prop = {p: tuple(e) for p, e in by_prop.items()}
+        assert self._edges_by_target is not None and self._edges_by_prop is not None
+        return self._edges_by_source, self._edges_by_target, self._edges_by_prop
+
     def outgoing_properties(self, cls: IRI) -> Tuple[PropertyEdge, ...]:
         """Schema edges whose domain is ``cls``."""
-        return tuple(e for e in self.property_edges() if e.source == cls)
+        return self._edge_maps()[0].get(cls, ())
 
     def incoming_properties(self, cls: IRI) -> Tuple[PropertyEdge, ...]:
         """Schema edges whose range is ``cls``."""
-        return tuple(e for e in self.property_edges() if e.target == cls)
+        return self._edge_maps()[1].get(cls, ())
+
+    def edges_of_property(self, prop: IRI) -> Tuple[PropertyEdge, ...]:
+        """Schema edges carried by ``prop``."""
+        return self._edge_maps()[2].get(prop, ())
 
     # -- instances --------------------------------------------------------------
 
@@ -341,11 +390,13 @@ class SchemaView:
 
     def classes_of(self, instance: Term) -> FrozenSet[IRI]:
         """The classes an instance is directly typed with."""
-        found: Set[IRI] = set()
-        for cls, members in self._instance_map().items():
-            if instance in members:
-                found.add(cls)
-        return frozenset(found)
+        if self._instance_classes is None:
+            reverse: Dict[Term, Set[IRI]] = {}
+            for cls, members in self._instance_map().items():
+                for member in members:
+                    reverse.setdefault(member, set()).add(cls)
+            self._instance_classes = {m: frozenset(c) for m, c in reverse.items()}
+        return self._instance_classes.get(instance, frozenset())
 
     # -- neighbourhood (Section II.b) ------------------------------------------
 
@@ -360,10 +411,11 @@ class SchemaView:
         related: Set[IRI] = set()
         related |= self.superclasses(cls)
         related |= self.subclasses(cls)
-        for edge in self.property_edges():
-            if edge.source == cls:
-                related.add(edge.target)
-            elif edge.target == cls:
+        by_source, by_target, _ = self._edge_maps()
+        for edge in by_source.get(cls, ()):
+            related.add(edge.target)
+        for edge in by_target.get(cls, ()):
+            if edge.source != cls:
                 related.add(edge.source)
         related.discard(cls)
         return frozenset(c for c in related if not _is_builtin(c))

@@ -8,6 +8,11 @@ from typing import Iterator
 from repro.kb.errors import TermError
 from repro.kb.terms import BNode, IRI, Literal, Term, is_resource
 
+# Captured once so the unchecked constructor can bypass the frozen-dataclass
+# __setattr__ even though the class has a field literally named ``object``.
+_OBJECT_NEW = object.__new__
+_OBJECT_SETATTR = object.__setattr__
+
 
 @dataclass(frozen=True, order=False)
 class Triple:
@@ -27,11 +32,7 @@ class Triple:
     object: Term
 
     def __hash__(self) -> int:
-        cached = getattr(self, "_cached_hash", None)
-        if cached is None:
-            cached = hash((self.subject, self.predicate, self.object))
-            object.__setattr__(self, "_cached_hash", cached)
-        return cached
+        return self._cached_hash  # type: ignore[attr-defined]
 
     def __post_init__(self) -> None:
         if not is_resource(self.subject):
@@ -46,6 +47,27 @@ class Triple:
             raise TermError(
                 f"triple object must be an RDF term, got {type(self.object).__name__}"
             )
+        # Triples live in graph-difference sets and delta frozensets that are
+        # hashed wholesale; the term hashes are already cached, so the tuple
+        # hash is cheap enough to precompute eagerly (as IRI does).
+        _OBJECT_SETATTR(
+            self, "_cached_hash", hash((self.subject, self.predicate, self.object))
+        )
+
+    @classmethod
+    def _interned(cls, subject: Term, predicate: IRI, obj: Term) -> "Triple":
+        """Unchecked construction for terms already validated by interning.
+
+        :class:`~repro.kb.interning.TermDictionary` only hands back terms
+        that entered through a validated ``Triple``, so materialisation can
+        skip ``__init__``/``__post_init__`` entirely.
+        """
+        triple = _OBJECT_NEW(cls)
+        _OBJECT_SETATTR(triple, "subject", subject)
+        _OBJECT_SETATTR(triple, "predicate", predicate)
+        _OBJECT_SETATTR(triple, "object", obj)
+        _OBJECT_SETATTR(triple, "_cached_hash", hash((subject, predicate, obj)))
+        return triple
 
     def n3(self) -> str:
         """One N-Triples line (with trailing ``.``)."""

@@ -1,36 +1,124 @@
-"""Versioned knowledge bases.
+"""Versioned knowledge bases: a delta-chained linear version history.
 
 The paper studies the evolution of a knowledge base "from a version V1 to a
 version V2" (Section II.a).  :class:`VersionedKnowledgeBase` models a linear
-chain of named versions.  Each version stores a full snapshot
-:class:`~repro.kb.graph.Graph` plus a lazily constructed
-:class:`~repro.kb.schema.SchemaView`; the delta layer
-(:mod:`repro.deltas`) computes changes between any two versions of the chain.
+chain of named versions sharing one term-interning dictionary
+(:class:`~repro.kb.interning.TermDictionary`), so term ids are stable across
+the whole chain and version-to-version set algebra runs over integers.
 
-Snapshots (rather than delta-chains) keep the substrate simple and make every
-version directly queryable, which the measures need; memory is bounded by the
-synthetic workloads this library targets (10^4..10^6 triples).
+Storage is **delta-chained with a materialised-graph cache**: every non-root
+:class:`Version` records the low-level changes (added / deleted triples)
+against its parent, computed at commit time with the graph layer's
+integer-set fast path.  Each version also keeps its full snapshot
+:class:`~repro.kb.graph.Graph` so it stays directly queryable -- but that
+snapshot is a *cache*: :meth:`VersionedKnowledgeBase.compact` drops the
+cached graphs of middle versions, and a compacted version transparently
+rematerialises by replaying the delta chain from its nearest cached
+ancestor.  The delta layer (:mod:`repro.deltas`) reads
+:meth:`Version.delta_from_parent` for free adjacent-pair deltas instead of
+re-diffing snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from repro.kb.errors import VersionError
 from repro.kb.graph import Graph
 from repro.kb.schema import SchemaView
 from repro.kb.triples import Triple
 
+if TYPE_CHECKING:  # deltas sits above kb; imported lazily at runtime.
+    from repro.deltas.lowlevel import LowLevelDelta
 
-@dataclass
+_Changes = Tuple[FrozenSet[Triple], FrozenSet[Triple]]
+
+
 class Version:
-    """One version of a knowledge base: an id, a snapshot and metadata."""
+    """One version of a knowledge base: an id, a snapshot and metadata.
 
-    version_id: str
-    graph: Graph
-    metadata: Dict[str, str] = field(default_factory=dict)
-    _schema: SchemaView | None = field(default=None, repr=False, compare=False)
+    Constructed either with a concrete ``graph`` (root versions, ad-hoc
+    snapshots) or -- by the version chain -- additionally with a ``parent``
+    and the ``changes`` ``(added, deleted)`` against it, which makes the
+    snapshot droppable and rebuildable.
+    """
+
+    def __init__(
+        self,
+        version_id: str,
+        graph: Graph,
+        metadata: Dict[str, str] | None = None,
+        *,
+        parent: "Version | None" = None,
+        changes: _Changes | None = None,
+    ) -> None:
+        self.version_id = version_id
+        self.metadata: Dict[str, str] = metadata if metadata is not None else {}
+        self._graph: Graph | None = graph
+        self._size = len(graph)
+        self._schema: SchemaView | None = None
+        self._parent = parent
+        self._changes = changes
+
+    @property
+    def graph(self) -> Graph:
+        """This version's snapshot graph (rematerialised if compacted away)."""
+        if self._graph is None:
+            self._graph = self._materialize()
+        return self._graph
+
+    @property
+    def parent(self) -> "Version | None":
+        """The previous version in the chain (None for the root)."""
+        return self._parent
+
+    def delta_from_parent(self) -> "LowLevelDelta | None":
+        """The low-level delta turning the parent into this version.
+
+        None for root versions.  Recorded at commit time, so reading it never
+        re-diffs the snapshots.
+        """
+        if self._changes is None:
+            return None
+        from repro.deltas.lowlevel import LowLevelDelta
+
+        return LowLevelDelta.from_changes(added=self._changes[0], deleted=self._changes[1])
+
+    def _materialize(self) -> Graph:
+        """Rebuild the snapshot by replaying deltas from a cached ancestor."""
+        pending: List[Version] = []
+        node: Version | None = self
+        while node is not None and node._graph is None:
+            if node._changes is None or node._parent is None:
+                raise VersionError(
+                    f"version {node.version_id!r} has neither a cached graph nor a delta chain"
+                )
+            pending.append(node)
+            node = node._parent
+        assert node is not None  # the chain root always keeps its graph
+        graph = node._graph.copy()  # type: ignore[union-attr]
+        for version in reversed(pending):
+            added, deleted = version._changes  # type: ignore[misc]
+            graph.remove_all(deleted)
+            graph.add_all(added)
+        return graph
+
+    def drop_graph_cache(self) -> bool:
+        """Drop the cached snapshot (and schema view) if rebuildable.
+
+        Returns True when the cache was dropped; root versions and versions
+        committed without a recorded delta keep their graph and return False.
+        """
+        if self._parent is None or self._changes is None or self._graph is None:
+            return False
+        self._graph = None
+        self._schema = None
+        return True
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when the snapshot graph is currently cached in memory."""
+        return self._graph is not None
 
     @property
     def schema(self) -> SchemaView:
@@ -40,11 +128,17 @@ class Version:
         return self._schema
 
     def __len__(self) -> int:
-        return len(self.graph)
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"Version(version_id={self.version_id!r}, graph={self._graph!r}, "
+            f"metadata={self.metadata!r})"
+        )
 
 
 class VersionedKnowledgeBase:
-    """A linear chain of knowledge-base versions.
+    """A linear chain of knowledge-base versions with shared interning.
 
     >>> kb = VersionedKnowledgeBase("demo")
     >>> v1 = kb.commit(Graph(), version_id="v1")
@@ -73,13 +167,35 @@ class VersionedKnowledgeBase:
         ``graph`` is copied by default so later caller-side mutation cannot
         corrupt the chain; pass ``copy=False`` to adopt the graph when the
         caller hands over ownership (the synthetic generators do this).
+
+        The chain's term dictionary is the one of the first committed graph;
+        a later graph interned against a *different* dictionary is re-encoded
+        onto the chain's (a full copy), so every version always shares one
+        dictionary and delta computation stays on the integer fast path.
         """
         if version_id is None:
             version_id = f"v{len(self._versions) + 1}"
         if version_id in self._by_id:
             raise VersionError(f"duplicate version id: {version_id!r}")
-        snapshot = graph.copy() if copy else graph
-        version = Version(version_id, snapshot, dict(metadata or {}))
+        parent = self._versions[-1] if self._versions else None
+        if parent is None:
+            snapshot = graph.copy() if copy else graph
+            version = Version(version_id, snapshot, dict(metadata or {}))
+        else:
+            chain_dict = parent.graph.dictionary
+            if graph.dictionary is not chain_dict:
+                snapshot = Graph(iter(graph), dictionary=chain_dict)
+            elif copy:
+                snapshot = graph.copy()
+            else:
+                snapshot = graph
+            changes = (
+                frozenset(snapshot.difference(parent.graph)),
+                frozenset(parent.graph.difference(snapshot)),
+            )
+            version = Version(
+                version_id, snapshot, dict(metadata or {}), parent=parent, changes=changes
+            )
         self._versions.append(version)
         self._by_id[version_id] = version
         return version
@@ -96,6 +212,19 @@ class VersionedKnowledgeBase:
         base.remove_all(deleted)
         base.add_all(added)
         return self.commit(base, version_id=version_id, metadata=metadata, copy=False)
+
+    def compact(self) -> int:
+        """Drop the cached snapshots of all middle versions; returns how many.
+
+        The root and the latest version stay materialised (the root anchors
+        the delta chain, the latest is what most queries hit).  Compacted
+        versions rebuild transparently -- and cache again -- on next access.
+        """
+        dropped = 0
+        for version in self._versions[1:-1]:
+            if version.drop_graph_cache():
+                dropped += 1
+        return dropped
 
     # -- access ---------------------------------------------------------------
 

@@ -56,7 +56,23 @@ def relative_cardinality(schema: SchemaView, prop: IRI, source: IRI, target: IRI
 
     Returns 0.0 when the classes have no instance links at all (the edge
     carries no data, so it contributes no importance).
+
+    RC is a pure function of the schema snapshot, and centrality sums query
+    the same edge for both of its endpoint classes (and again per neighbour
+    in :func:`relevance`), so values are memoised on ``schema.memo``.
     """
+    cache = schema.memo.setdefault("semantic:rc", {})
+    key = (prop, source, target)
+    value = cache.get(key)  # type: ignore[union-attr]
+    if value is None:
+        value = _relative_cardinality_uncached(schema, prop, source, target)
+        cache[key] = value  # type: ignore[index]
+    return value
+
+
+def _relative_cardinality_uncached(
+    schema: SchemaView, prop: IRI, source: IRI, target: IRI
+) -> float:
     connections = schema.instance_connections(prop, source, target)
     if connections == 0:
         return 0.0
@@ -83,8 +99,13 @@ def out_centrality(schema: SchemaView, cls: IRI) -> float:
 
 
 def centrality(schema: SchemaView, cls: IRI) -> float:
-    """Total semantic centrality ``C(n) = Cin(n) + Cout(n)``."""
-    return in_centrality(schema, cls) + out_centrality(schema, cls)
+    """Total semantic centrality ``C(n) = Cin(n) + Cout(n)`` (memoised)."""
+    cache = schema.memo.setdefault("semantic:centrality", {})
+    value = cache.get(cls)  # type: ignore[union-attr]
+    if value is None:
+        value = in_centrality(schema, cls) + out_centrality(schema, cls)
+        cache[cls] = value  # type: ignore[index]
+    return value
 
 
 def relevance(schema: SchemaView, cls: IRI) -> float:
@@ -171,8 +192,7 @@ class PropertyCardinalityShift(EvolutionMeasure):
     def _importance(schema: SchemaView, prop: IRI) -> float:
         return sum(
             relative_cardinality(schema, edge.prop, edge.source, edge.target)
-            for edge in schema.property_edges()
-            if edge.prop == prop
+            for edge in schema.edges_of_property(prop)
         )
 
     def compute(self, context: EvolutionContext) -> MeasureResult:

@@ -39,18 +39,23 @@ def class_graph(schema: SchemaView) -> UndirectedGraph:
 
 
 def _graph_and_betweenness(context: EvolutionContext, which: str):
-    """The class graph and betweenness map of one side, memoised on the context.
+    """The class graph and betweenness map of one side, memoised on the schema.
 
-    Both structural measures need the same betweenness scores; computing
-    them once per (context, version) halves the cost of the catalogue's
-    most expensive family.
+    Both structural measures need the same betweenness scores, and the same
+    version typically appears in many contexts (adjacent pairs share a
+    side; benchmark loops rebuild contexts); memoising on the immutable
+    :class:`SchemaView` snapshot computes Brandes once per version, ever.
+    The context memo keeps a reference for backwards compatibility.
     """
-    key = f"structural:betweenness:{which}"
-    if key not in context.memo:
+    context_key = f"structural:betweenness:{which}"
+    if context_key not in context.memo:
         schema = context.old_schema if which == "old" else context.new_schema
-        graph = class_graph(schema)
-        context.memo[key] = (graph, betweenness_centrality(graph))
-    return context.memo[key]
+        schema_key = "structural:betweenness"
+        if schema_key not in schema.memo:
+            graph = class_graph(schema)
+            schema.memo[schema_key] = (graph, betweenness_centrality(graph))
+        context.memo[context_key] = schema.memo[schema_key]
+    return context.memo[context_key]
 
 
 class _CentralityShift(EvolutionMeasure):

@@ -37,7 +37,12 @@ from repro.recommender.notifications import (
     NotificationService,
     Watch,
 )
-from repro.recommender.ranking import generate_candidates, rank_items, utility_scores
+from repro.recommender.ranking import (
+    generate_candidates,
+    rank_items,
+    utility_scores,
+    utility_scores_batch,
+)
 from repro.recommender.relatedness import (
     CollaborativeModel,
     RelatednessScorer,
@@ -76,6 +81,7 @@ __all__ = [
     "generate_candidates",
     "rank_items",
     "utility_scores",
+    "utility_scores_batch",
     "CollaborativeModel",
     "RelatednessScorer",
     "semantic_relatedness",

@@ -46,7 +46,11 @@ from repro.recommender.items import (
     RecommendationPackage,
     ScoredItem,
 )
-from repro.recommender.ranking import generate_candidates, rank_items, utility_scores
+from repro.recommender.ranking import (
+    generate_candidates,
+    rank_items,
+    utility_scores_batch,
+)
 from repro.recommender.relatedness import RelatednessScorer
 from repro.recommender.transparency import explain_item
 from repro.util.validation import require_probability
@@ -102,8 +106,10 @@ class RecommenderEngine:
         self._feedback = feedback
         self._workflow = Workflow("recommender", provenance_store)
         self._context_cache: EvolutionContext | None = None
-        self._results_cache: Dict[int, Mapping[str, MeasureResult]] = {}
-        self._candidates_cache: Dict[int, List[RecommendationItem]] = {}
+        # Contexts hash by identity, so they key their own cache entries.
+        self._results_cache: Dict[EvolutionContext, Mapping[str, MeasureResult]] = {}
+        self._candidates_cache: Dict[EvolutionContext, List[RecommendationItem]] = {}
+        self._by_key_cache: Dict[EvolutionContext, Dict[str, RecommendationItem]] = {}
         self._scorer: RelatednessScorer | None = None
 
     # -- shared pipeline pieces ---------------------------------------------------
@@ -139,7 +145,7 @@ class RecommenderEngine:
     ) -> Mapping[str, MeasureResult]:
         """All measure results on the context (cached per context)."""
         context = context or self.context()
-        key = id(context)
+        key = context
         if key not in self._results_cache:
             run = self._workflow.run_task(
                 "compute_measures",
@@ -155,7 +161,7 @@ class RecommenderEngine:
     ) -> List[RecommendationItem]:
         """The candidate item pool (cached per context)."""
         context = context or self.context()
-        key = id(context)
+        key = context
         if key not in self._candidates_cache:
             results = self.measure_results(context)
             run = self._workflow.run_task(
@@ -206,12 +212,26 @@ class RecommenderEngine:
             return coverage_select(ranked, k, distance)
         return novelty_select(ranked, k, distance, seen, self._config.mmr_lambda)
 
-    def _seen_items(self, user: User) -> List[RecommendationItem]:
+    def _candidates_by_key(
+        self, context: EvolutionContext | None = None
+    ) -> Dict[str, RecommendationItem]:
+        """Candidate items keyed by item key (cached per context)."""
+        context = context or self.context()
+        key = context
+        if key not in self._by_key_cache:
+            self._by_key_cache[key] = {
+                item.key: item for item in self.candidates(context)
+            }
+        return self._by_key_cache[key]
+
+    def _seen_items(
+        self, user: User, context: EvolutionContext | None = None
+    ) -> List[RecommendationItem]:
         """Items the user has already interacted with (novelty history)."""
         if self._feedback is None:
             return []
         seen: List[RecommendationItem] = []
-        by_key = {item.key: item for item in self.candidates()}
+        by_key = self._candidates_by_key(context)
         for key in self._feedback.ratings_by_user(user.user_id):
             if key in by_key:
                 seen.append(by_key[key])
@@ -231,17 +251,30 @@ class RecommenderEngine:
         candidates = self.candidates(context)
         scorer = self.scorer(context)
 
+        relatedness_by_key: Dict[str, float] = {}
+
+        def _score_utilities() -> Dict[str, float]:
+            # One batch pass yields both the utilities and the relatedness
+            # values the explanations need.
+            scores = scorer.score_batch([user], candidates)[user.user_id]
+            relatedness_by_key.update(
+                (item.key, float(related)) for item, related in zip(candidates, scores)
+            )
+            return {
+                item.key: float(item.evolution_score * related)
+                for item, related in zip(candidates, scores)
+            }
+
         utilities_run = self._workflow.run_task(
             "score_utilities",
-            utility_scores,
-            args=(user, candidates, scorer),
+            _score_utilities,
             output_label=f"utilities for {user.user_id}",
         )
         ranked = rank_items(candidates, utilities_run.value)
-        selected = self._diversify(ranked, k, context, seen=self._seen_items(user))
+        selected = self._diversify(ranked, k, context, seen=self._seen_items(user, context))
 
         relatedness = {
-            scored.item.key: scorer.score(user, scored.item) for scored in selected
+            scored.item.key: relatedness_by_key[scored.item.key] for scored in selected
         }
         explanations = {
             scored.item.key: explain_item(
@@ -282,10 +315,10 @@ class RecommenderEngine:
         candidates = self.candidates(context)
         scorer = self.scorer(context)
 
-        utilities = {
-            member.user_id: utility_scores(member, candidates, scorer)
-            for member in group
-        }
+        # One batch pass scores all candidates for all members at once over
+        # the interned profile vectors (same values as per-member
+        # utility_scores, minus the per-(user, item) Python overhead).
+        utilities = utility_scores_batch(list(group), candidates, scorer)
         selected = select_package(
             group,
             candidates,

@@ -72,6 +72,29 @@ def utility_scores(
     }
 
 
+def utility_scores_batch(
+    users: Sequence[User],
+    candidates: Sequence[RecommendationItem],
+    scorer: RelatednessScorer,
+) -> Dict[str, Dict[str, float]]:
+    """``utility(u, item)`` for every user and item in one vectorised pass.
+
+    Returns ``{user_id: {item_key: utility}}`` with the same values
+    :func:`utility_scores` computes per member; the engine's group and
+    multi-user paths use this so relatedness scoring sweeps the interned
+    candidate pool once per user instead of once per (user, item) pair.
+    """
+    relatedness = scorer.score_batch(users, candidates)
+    keys = [item.key for item in candidates]
+    return {
+        user.user_id: {
+            key: float(item.evolution_score * related)
+            for key, item, related in zip(keys, candidates, relatedness[user.user_id])
+        }
+        for user in users
+    }
+
+
 def rank_items(
     candidates: Sequence[RecommendationItem],
     utilities: Mapping[str, float],

@@ -97,6 +97,59 @@ class CollaborativeModel:
         else:
             self._similarity = np.zeros((0, 0))
 
+    def predict_batch(self, user_id: str, item_keys: Sequence[str]) -> "np.ndarray":
+        """Predicted ratings for many items at once; ``nan`` marks undecidable.
+
+        Vectorised but numerically identical to :meth:`predict`: each row's
+        weighted average reduces the same values in the same order as the
+        per-item code path.
+        """
+        return self.predict_matrix([user_id], item_keys)[0]
+
+    def predict_matrix(
+        self, user_ids: Sequence[str], item_keys: Sequence[str]
+    ) -> "np.ndarray":
+        """Predicted ratings for every (user, item) pair; ``nan`` marks undecidable.
+
+        Returns an array of shape ``(len(user_ids), len(item_keys))``.  The
+        item-side work -- key interning and the similarity-row gather -- is
+        user-independent and done once for the whole matrix.
+        """
+        out = np.full((len(user_ids), len(item_keys)), np.nan)
+        if not len(item_keys) or not len(user_ids):
+            return out
+        positions = [i for i, k in enumerate(item_keys) if k in self._item_index]
+        if not positions:
+            return out
+        item_idxs = np.fromiter(
+            (self._item_index[item_keys[i]] for i in positions),
+            dtype=np.intp,
+            count=len(positions),
+        )
+        similarity_rows = self._similarity[item_idxs]
+        for row, user_id in enumerate(user_ids):
+            user_idx = self._user_index.get(user_id)
+            if user_idx is None:
+                continue
+            ratings = self._matrix[user_idx]
+            rated = ratings > 0.0
+            if not rated.any():
+                continue
+            # Boolean indexing copies, so clipping in place never touches
+            # the shared similarity rows.
+            similarities = similarity_rows[:, rated]
+            similarities[similarities < 0.0] = 0.0
+            weights = similarities.sum(axis=1)
+            decidable = weights > 0.0
+            values = np.full(len(positions), np.nan)
+            if decidable.any():
+                weighted = (similarities[decidable] * ratings[rated]).sum(axis=1)
+                values[decidable] = np.minimum(
+                    1.0, np.maximum(0.0, weighted / weights[decidable])
+                )
+            out[row, positions] = values
+        return out
+
     def predict(self, user_id: str, item_key: str) -> Optional[float]:
         """Predicted rating in [0, 1], or None when undecidable.
 
@@ -188,3 +241,59 @@ class RelatednessScorer:
     ) -> Dict[str, float]:
         """Relatedness per item key."""
         return {item.key: self.score(user, item) for item in items}
+
+    def score_batch(
+        self, users: Sequence[User], items: Sequence[RecommendationItem]
+    ) -> Dict[str, "np.ndarray"]:
+        """Relatedness of every item for every user, in one vectorised pass.
+
+        Returns ``{user_id: scores}`` with ``scores[i]`` the relatedness of
+        ``items[i]`` (same value :meth:`score` would produce).  The item pool
+        is interned once -- targets and families map to dense indices, each
+        user's profile becomes two small weight vectors gathered through
+        those indices -- so group and multi-user workloads cost one profile
+        sweep per user instead of one Python call per (user, item) pair.
+        """
+        n_items = len(items)
+        if n_items == 0:
+            return {user.user_id: np.zeros(0) for user in users}
+        # Intern the item pool: dense indices over distinct targets/families.
+        targets = list(dict.fromkeys(item.target for item in items))
+        families = list(dict.fromkeys(item.family for item in items))
+        target_index = {t: i for i, t in enumerate(targets)}
+        family_index = {f: i for i, f in enumerate(families)}
+        target_of = np.fromiter(
+            (target_index[item.target] for item in items), dtype=np.intp, count=n_items
+        )
+        family_of = np.fromiter(
+            (family_index[item.family] for item in items), dtype=np.intp, count=n_items
+        )
+        keys = [item.key for item in items]
+        if self._model is not None:
+            predictions = self._model.predict_matrix([u.user_id for u in users], keys)
+
+        results: Dict[str, np.ndarray] = {}
+        for row, user in enumerate(users):
+            profile = self._effective_user(user).profile
+            interest = np.fromiter(
+                (min(1.0, profile.interest_in(t)) for t in targets),
+                dtype=float,
+                count=len(targets),
+            )
+            preference = np.fromiter(
+                (min(1.0, profile.family_preference(f)) for f in families),
+                dtype=float,
+                count=len(families),
+            )
+            semantic = interest[target_of] * preference[family_of]
+            if self._model is None:
+                results[user.user_id] = semantic
+                continue
+            predicted = predictions[row]
+            undecidable = np.isnan(predicted)
+            blended = self._alpha * semantic + (1.0 - self._alpha) * np.where(
+                undecidable, 0.0, predicted
+            )
+            fallback = semantic if self._cold_start_fallback else self._alpha * semantic
+            results[user.user_id] = np.where(undecidable, fallback, blended)
+        return results

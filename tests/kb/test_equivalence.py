@@ -1,0 +1,241 @@
+"""Equivalence suite: the interned fast paths match the seed semantics.
+
+A brute-force reference implementation (a plain list of triples) replays
+every public query against a generated world graph; the interned
+:class:`Graph` must agree exactly -- triple sets, canonical sort order,
+counts, N-Triples round-trips -- and the measure catalogue must produce the
+same scores whether versions share one term dictionary (fast integer paths)
+or live in independently parsed graphs (fallback paths).
+"""
+
+import pytest
+
+from repro.deltas.lowlevel import LowLevelDelta
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX
+from repro.kb.ntriples import parse_graph, serialize
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.measures.catalog import default_catalog
+from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
+from repro.synthetic.world import generate_world
+
+
+class ReferenceGraph:
+    """Brute-force triple container with the seed's query semantics."""
+
+    def __init__(self, triples):
+        self.triples = []
+        for t in triples:
+            if t not in self.triples:
+                self.triples.append(t)
+
+    def match(self, s=None, p=None, o=None):
+        return [
+            t
+            for t in self.triples
+            if (s is None or t.subject == s)
+            and (p is None or t.predicate == p)
+            and (o is None or t.object == o)
+        ]
+
+    def subjects(self, p=None, o=None):
+        return list(dict.fromkeys(t.subject for t in self.match(None, p, o)))
+
+    def objects(self, s=None, p=None):
+        return list(dict.fromkeys(t.object for t in self.match(s, p, None)))
+
+    def predicates(self, s=None, o=None):
+        return list(dict.fromkeys(t.predicate for t in self.match(s, None, o)))
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(
+        schema=SchemaConfig(n_classes=30, n_properties=20),
+        evolution=EvolutionConfig(n_versions=3, changes_per_version=60),
+    )
+    return generate_world(seed=99, config=config)
+
+
+@pytest.fixture(scope="module")
+def graph(world):
+    return world.kb.latest().graph
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return ReferenceGraph(graph.sorted_triples())
+
+
+def _sample_bindings(reference):
+    """A spread of bound terms: present, absent and literal-valued."""
+    triples = reference.triples
+    probes = [triples[0], triples[len(triples) // 2], triples[-1]]
+    absent = Triple(EX.absent_subject, EX.absent_predicate, EX.absent_object)
+    return probes + [absent]
+
+
+class TestPatternEquivalence:
+    def test_all_shapes_match_reference(self, graph, reference):
+        for probe in _sample_bindings(reference):
+            s, p, o = probe.subject, probe.predicate, probe.object
+            for pattern in [
+                (None, None, None),
+                (s, None, None),
+                (None, p, None),
+                (None, None, o),
+                (s, p, None),
+                (s, None, o),
+                (None, p, o),
+                (s, p, o),
+            ]:
+                expected = reference.match(*pattern)
+                got = list(graph.match(*pattern))
+                assert sorted(got) == sorted(expected), pattern
+                assert graph.count(*pattern) == len(expected), pattern
+
+    def test_repeated_scans_are_stable(self, graph):
+        first = list(graph.match(None, None, None))
+        second = list(graph.match(None, None, None))  # memoised scan
+        assert first == second
+        assert len(first) == len(graph)
+
+    def test_match_iterates_a_snapshot_during_mutation(self, graph):
+        """Mutating mid-iteration is safe on both cold and warm scans."""
+        for warm in (False, True):
+            g = graph.copy()
+            if warm:
+                list(g.match(None, None, None))
+            removed = [t for t in g.match(None, None, None) if g.remove(t)]
+            assert len(removed) > 0
+            assert len(g) == 0
+
+    def test_scan_memo_invalidates_on_mutation(self, graph):
+        g = graph.copy()
+        before = set(g.match(None, EX.absent_predicate, None))
+        fresh = Triple(EX.fresh_s, EX.absent_predicate, EX.fresh_o)
+        g.add(fresh)
+        assert set(g.match(None, EX.absent_predicate, None)) == before | {fresh}
+        g.remove(fresh)
+        assert set(g.match(None, EX.absent_predicate, None)) == before
+
+    def test_distinct_term_iterators_match_reference(self, graph, reference):
+        for probe in _sample_bindings(reference):
+            s, p, o = probe.subject, probe.predicate, probe.object
+            assert set(graph.subjects(p, o)) == set(reference.subjects(p, o))
+            assert set(graph.subjects(p, None)) == set(reference.subjects(p, None))
+            assert set(graph.objects(s, p)) == set(reference.objects(s, p))
+            assert set(graph.objects(None, p)) == set(reference.objects(None, p))
+            assert set(graph.predicates(s, o)) == set(reference.predicates(s, o))
+            assert set(graph.predicates(s, None)) == set(reference.predicates(s, None))
+
+
+class TestSetSemanticsEquivalence:
+    def test_sorted_triples_is_canonical(self, graph, reference):
+        assert graph.sorted_triples() == sorted(reference.triples)
+
+    def test_ntriples_round_trip(self, graph, reference):
+        document = serialize(iter(graph))
+        assert document == serialize(reference.triples)
+        assert parse_graph(document) == graph
+
+    def test_difference_fast_path_equals_fallback(self, graph):
+        shared = graph.copy()
+        victims = graph.sorted_triples()[::7]
+        shared.remove_all(victims)
+        foreign = parse_graph(serialize(iter(shared)))  # fresh dictionary
+        assert foreign.dictionary is not graph.dictionary
+        fast_fwd, slow_fwd = graph.difference(shared), graph.difference(foreign)
+        assert fast_fwd == slow_fwd == set(victims)
+        assert shared.difference(graph) == foreign.difference(graph) == set()
+
+    def test_lowlevel_delta_fast_path_equals_fallback(self, world):
+        versions = list(world.kb)
+        old, new = versions[-2].graph, versions[-1].graph
+        fast = LowLevelDelta.compute(old, new)
+        slow = LowLevelDelta.compute(
+            parse_graph(serialize(iter(old))), parse_graph(serialize(iter(new)))
+        )
+        assert fast.added == slow.added
+        assert fast.deleted == slow.deleted
+
+    def test_recorded_deltas_match_recomputation(self, world):
+        for older, newer in world.kb.pairs():
+            recorded = newer.delta_from_parent()
+            recomputed = LowLevelDelta.compute(older.graph, newer.graph)
+            assert recorded.added == recomputed.added
+            assert recorded.deleted == recomputed.deleted
+
+    def test_equality_across_dictionaries(self, graph):
+        foreign = parse_graph(serialize(iter(graph)))
+        assert foreign == graph
+        assert graph == foreign
+        foreign.remove(next(iter(foreign)))
+        assert foreign != graph
+
+
+class TestMeasureCatalogEquivalence:
+    def test_catalog_scores_identical_on_foreign_graphs(self, world):
+        """Shared-dictionary versions score like independently parsed ones."""
+        versions = list(world.kb)
+        shared_context = EvolutionContext(versions[-2], versions[-1])
+        foreign_kb = VersionedKnowledgeBase("foreign")
+        # Parsing each version separately, then committing, exercises the
+        # re-interning commit path; parse order differs from chain order.
+        for version in versions[-2:]:
+            foreign_kb.commit(
+                parse_graph(serialize(iter(version.graph))),
+                version_id=version.version_id,
+            )
+        foreign_context = EvolutionContext(foreign_kb.first(), foreign_kb.latest())
+
+        shared_results = default_catalog().compute_all(shared_context)
+        foreign_results = default_catalog().compute_all(foreign_context)
+        assert set(shared_results) == set(foreign_results)
+        for name in shared_results:
+            ours, theirs = shared_results[name], foreign_results[name]
+            assert set(ours.scores) == set(theirs.scores), name
+            for target, score in ours.scores.items():
+                assert theirs.scores[target] == pytest.approx(score, abs=1e-12), (
+                    name,
+                    target,
+                )
+
+    def test_catalog_scores_survive_compaction(self, world):
+        versions = list(world.kb)
+        baseline = default_catalog().compute_all(
+            EvolutionContext(versions[-2], versions[-1])
+        )
+        compacted_kb = VersionedKnowledgeBase("compacted")
+        for version in versions:
+            compacted_kb.commit(version.graph, version_id=version.version_id)
+        compacted_kb.compact()
+        middle = compacted_kb.version(versions[-2].version_id)
+        rebuilt = default_catalog().compute_all(
+            EvolutionContext(middle, compacted_kb.latest())
+        )
+        for name, result in baseline.items():
+            for target, score in result.scores.items():
+                assert rebuilt[name].scores[target] == pytest.approx(score, abs=1e-12)
+
+
+class TestVersionChainEquivalence:
+    def test_commit_changes_equals_snapshot_commit(self):
+        def t(i):
+            return Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"])
+
+        by_changes = VersionedKnowledgeBase("changes")
+        by_changes.commit(Graph([t(0), t(1)]), version_id="v1")
+        by_changes.commit_changes(added=[t(2)], deleted=[t(0)], version_id="v2")
+
+        by_snapshot = VersionedKnowledgeBase("snapshots")
+        by_snapshot.commit(Graph([t(0), t(1)]), version_id="v1")
+        by_snapshot.commit(Graph([t(1), t(2)]), version_id="v2")
+
+        for vid in ("v1", "v2"):
+            assert (
+                by_changes.version(vid).graph.sorted_triples()
+                == by_snapshot.version(vid).graph.sorted_triples()
+            )
