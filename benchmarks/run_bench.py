@@ -11,6 +11,13 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py -o out.json          # custom output path
     PYTHONPATH=src python benchmarks/run_bench.py --baseline old.json  # embed speedup factors
     PYTHONPATH=src python benchmarks/run_bench.py --only graph_pattern_match
+    PYTHONPATH=src python benchmarks/run_bench.py --quick -o /tmp/q.json  # smoke mode
+
+``--quick`` shrinks the workload and the round count so the whole suite
+finishes in a few seconds; it exists so CI can smoke-test that every
+benchmark still runs (see ``tests/test_benchmarks.py``), not to produce
+comparable numbers (quick reports are marked ``"quick": true`` in their
+meta and should not be used as baselines).
 
 Each benchmark is warmed up once, then timed for a fixed number of rounds
 (``--rounds``) with ``time.perf_counter``.  The JSON layout is::
@@ -38,13 +45,16 @@ from typing import Callable, Dict, List, Tuple
 from repro._version import __version__
 from repro.deltas.lowlevel import LowLevelDelta
 from repro.graphtools.betweenness import betweenness_centrality
+from repro.kb.namespaces import RDF_TYPE
 from repro.kb.ntriples import parse_graph, serialize
 from repro.kb.schema import SchemaView
+from repro.kb.triples import Triple
 from repro.measures.base import EvolutionContext
 from repro.measures.catalog import default_catalog
 from repro.measures.structural import class_graph
 from repro.recommender.engine import RecommenderEngine
 from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
+from repro.synthetic.schema_gen import SYN
 from repro.synthetic.world import generate_world
 
 #: The canonical substrate workload (kept identical to bench_substrate.py).
@@ -54,11 +64,20 @@ WORLD_CONFIG = WorldConfig(
     evolution=EvolutionConfig(n_versions=3, changes_per_version=150),
 )
 
+#: Shrunk workload for ``--quick`` smoke runs (seconds, not minutes).
+QUICK_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=30, n_properties=20),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=40),
+)
+
+#: Size of the small-delta commit the cold-first-evaluation benchmark times.
+SMALL_DELTA_SIZE = 10
+
 Bench = Tuple[str, Callable[[], object]]
 
 
-def _build_benchmarks() -> List[Bench]:
-    world = generate_world(seed=WORLD_SEED, config=WORLD_CONFIG)
+def _build_benchmarks(config: WorldConfig = WORLD_CONFIG) -> List[Bench]:
+    world = generate_world(seed=WORLD_SEED, config=config)
     versions = list(world.kb)
     old, new = versions[-2].graph, versions[-1].graph
     graph = new
@@ -102,6 +121,43 @@ def _build_benchmarks() -> List[Bench]:
         engine = RecommenderEngine(world.kb)
         return [engine.recommend_group(g, k=5) for g in world.groups[:3]]
 
+    # First evaluation of a freshly committed small-delta version.  A second
+    # world keeps the extra commit out of the other benchmarks' chain; it is
+    # built lazily on the first (untimed warmup) call so runs that --only
+    # exclude this benchmark never pay for it.  The parent's derived
+    # artefacts are warmed once (the steady state of a serving deployment);
+    # each round then drops the child's schema view and evaluates the full
+    # catalogue on the (parent, child) context from scratch -- the "cold
+    # first evaluation per version" cost the ROADMAP flags.  With
+    # delta-aware artefact seeding this is O(delta); without it (e.g. the
+    # PR-1 baseline) it recomputes Brandes and the semantic cardinalities
+    # cold.
+    cold_state: Dict[str, object] = {}
+
+    def cold_first_evaluation():
+        if not cold_state:
+            cold_kb = generate_world(seed=WORLD_SEED, config=config).kb
+            cold_parent = cold_kb.latest()
+            cold_grandparent = cold_kb.version(cold_kb.version_ids()[-2])
+            target_classes = sorted(cold_parent.schema.classes(), key=lambda c: c.value)
+            small_delta = [
+                Triple(SYN[f"bench_cold_i{i}"], RDF_TYPE, target_classes[i % len(target_classes)])
+                for i in range(SMALL_DELTA_SIZE)
+            ]
+            cold_state["child"] = cold_kb.commit_changes(
+                added=small_delta, version_id="v_cold_bench"
+            )
+            cold_state["parent"] = cold_parent
+            cold_state["catalog"] = default_catalog()
+            cold_state["catalog"].compute_all(
+                EvolutionContext(cold_grandparent, cold_parent)
+            )
+        child = cold_state["child"]
+        child._schema = None
+        return cold_state["catalog"].compute_all(
+            EvolutionContext(cold_state["parent"], child)
+        )
+
     return [
         ("graph_pattern_match", graph_pattern_match),
         ("lowlevel_delta_compute", lowlevel_delta_compute),
@@ -112,6 +168,7 @@ def _build_benchmarks() -> List[Bench]:
         ("graph_copy", graph_copy),
         ("graph_difference", graph_difference),
         ("group_scoring", group_scoring),
+        ("cold_first_evaluation", cold_first_evaluation),
     ]
 
 
@@ -138,9 +195,19 @@ def run(
     warmup: int = 2,
     baseline: Path | None = None,
     only: List[str] | None = None,
+    quick: bool = False,
 ) -> Dict:
-    """Run the benchmark suite and write the JSON report; returns the report."""
-    benches = _build_benchmarks()
+    """Run the benchmark suite and write the JSON report; returns the report.
+
+    ``quick=True`` swaps in the shrunk workload and clamps rounds/warmup so
+    the whole suite smoke-runs in seconds (numbers not comparable to full
+    runs; the report's meta carries ``"quick": true``).
+    """
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    if quick:
+        rounds = min(rounds, 3)
+        warmup = min(warmup, 1)
+    benches = _build_benchmarks(config)
     if only:
         unknown = set(only) - {name for name, _ in benches}
         if unknown:
@@ -168,12 +235,13 @@ def run(
             "repro_version": __version__,
             "python": platform.python_version(),
             "world_seed": WORLD_SEED,
-            "n_classes": WORLD_CONFIG.schema.n_classes,
-            "n_properties": WORLD_CONFIG.schema.n_properties,
-            "n_versions": WORLD_CONFIG.evolution.n_versions,
-            "changes_per_version": WORLD_CONFIG.evolution.changes_per_version,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
             "rounds": rounds,
             "warmup": warmup,
+            "quick": quick,
             "baseline": str(baseline) if baseline else None,
         },
         "benchmarks": results,
@@ -199,9 +267,13 @@ def main(argv: List[str] | None = None) -> int:
         "--only", nargs="*", default=None,
         help="run only the named benchmarks",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: shrunk workload, <=3 rounds (not comparable to full runs)",
+    )
     args = parser.parse_args(argv)
     run(args.output, rounds=args.rounds, warmup=args.warmup,
-        baseline=args.baseline, only=args.only)
+        baseline=args.baseline, only=args.only, quick=args.quick)
     return 0
 
 

@@ -8,8 +8,13 @@ cross-checks them against networkx on random graphs.
 """
 
 from repro.graphtools.adjacency import UndirectedGraph
-from repro.graphtools.betweenness import betweenness_centrality
+from repro.graphtools.betweenness import (
+    betweenness_centrality,
+    normalize_betweenness,
+    raw_betweenness,
+)
 from repro.graphtools.bridging import bridging_centrality, bridging_coefficient
+from repro.graphtools.incremental import BetweennessUpdate, update_raw_betweenness
 from repro.graphtools.spread import spread_interest
 from repro.graphtools.traversal import (
     bfs_distances,
@@ -20,6 +25,10 @@ from repro.graphtools.traversal import (
 __all__ = [
     "UndirectedGraph",
     "betweenness_centrality",
+    "raw_betweenness",
+    "normalize_betweenness",
+    "BetweennessUpdate",
+    "update_raw_betweenness",
     "bridging_centrality",
     "bridging_coefficient",
     "spread_interest",

@@ -6,41 +6,64 @@ Brandes (2001) computes exact betweenness for all nodes in
 ``O(|V| * |E|)`` on unweighted graphs by accumulating pair dependencies
 during one BFS per source.
 
-Implementation note: nodes are relabelled to dense integers and adjacency
-is flattened to index lists before the per-source loops -- on the class
-graphs this library produces (IRI nodes), avoiding per-visit hashing makes
-the full-catalogue evaluation several times faster (experiment E10).
+Implementation notes:
+
+* Nodes are relabelled to dense integers and adjacency is flattened to
+  index lists before the per-source loops -- on the class graphs this
+  library produces (IRI nodes), avoiding per-visit hashing makes the full
+  catalogue evaluation several times faster (experiment E10).
+* Adjacency index lists are *sorted* and source order follows the node
+  list, so the floating-point accumulation order is a pure function of the
+  graph content (given a node insertion order).  The incremental
+  maintenance path (:mod:`repro.graphtools.incremental`) relies on this to
+  carry per-component scores across versions bit-for-bit.
+* Scores are produced in two stages -- :func:`raw_betweenness` (pair-counted
+  once, unnormalized) then :func:`normalize_betweenness` -- so cached raw
+  scores can be renormalized for a different total node count without
+  reaccumulating, again with bit-identical arithmetic.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.graphtools.adjacency import UndirectedGraph
 
 Node = Hashable
 
 
-def betweenness_centrality(
-    graph: UndirectedGraph, normalized: bool = True
-) -> Dict[Node, float]:
-    """Exact betweenness centrality of every node.
+def dense_adjacency(graph: UndirectedGraph) -> Tuple[List[Node], List[List[int]]]:
+    """The graph flattened to ``(nodes, adjacency)`` with sorted index lists.
 
-    With ``normalized=True`` scores are divided by ``(n-1)(n-2)/2`` (the
-    number of node pairs excluding the node itself), matching networkx's
-    convention for undirected graphs; graphs with fewer than three nodes get
-    all-zero scores.
+    ``nodes`` follows the graph's node insertion order; ``adjacency[i]``
+    holds the sorted dense indices of node ``i``'s neighbours.  Sorting makes
+    every downstream accumulation order-independent of the underlying
+    neighbour-set iteration order.
     """
     nodes: List[Node] = list(graph.nodes())
-    n = len(nodes)
     index_of = {node: index for index, node in enumerate(nodes)}
-    adjacency: List[List[int]] = [
-        [index_of[neighbour] for neighbour in graph.neighbors(node)] for node in nodes
+    adjacency = [
+        sorted(index_of[neighbour] for neighbour in graph.neighbors(node))
+        for node in nodes
     ]
+    return nodes, adjacency
 
-    centrality = [0.0] * n
-    for source in range(n):
+
+def accumulate_dependencies(
+    adjacency: List[List[int]],
+    sources: Iterable[int],
+    centrality: List[float],
+) -> None:
+    """Accumulate Brandes pair dependencies from ``sources`` into ``centrality``.
+
+    Runs one BFS + dependency backpropagation per source, adding each
+    source's contribution to ``centrality`` in place.  Restricting
+    ``sources`` to whole connected components yields exactly those
+    components' betweenness (shortest paths never leave a component).
+    """
+    n = len(adjacency)
+    for source in sources:
         # Single-source shortest paths (BFS, unweighted).
         stack: List[int] = []
         predecessors: List[List[int]] = [[] for _ in range(n)]
@@ -72,11 +95,45 @@ def betweenness_centrality(
             if node != source:
                 centrality[node] += delta[node]
 
-    # Each undirected pair was counted twice (once per endpoint as source).
-    scale = 0.5
-    if normalized:
-        if n > 2:
-            scale /= (n - 1) * (n - 2) / 2.0
-        else:
-            return {node: 0.0 for node in nodes}
-    return {node: centrality[index] * scale for index, node in enumerate(nodes)}
+
+def raw_betweenness(graph: UndirectedGraph) -> Dict[Node, float]:
+    """Unnormalized betweenness with each unordered pair counted once.
+
+    This is the artefact worth caching across versions: raw scores are a
+    per-component quantity (independent of the rest of the graph), and
+    normalization for any total node count is one exact division away.
+    """
+    nodes, adjacency = dense_adjacency(graph)
+    centrality = [0.0] * len(nodes)
+    accumulate_dependencies(adjacency, range(len(nodes)), centrality)
+    # Each undirected pair was counted twice (once per endpoint as source);
+    # multiplying by 0.5 is exact, keeping raw scores bit-stable.
+    return {node: centrality[index] * 0.5 for index, node in enumerate(nodes)}
+
+
+def normalize_betweenness(raw: Dict[Node, float], n: int) -> Dict[Node, float]:
+    """Raw scores divided by ``(n-1)(n-2)/2`` (networkx's undirected convention).
+
+    ``n`` is the *total* node count of the graph the scores belong to;
+    graphs with fewer than three nodes get all-zero scores.
+    """
+    if n <= 2:
+        return {node: 0.0 for node in raw}
+    denominator = (n - 1) * (n - 2) / 2.0
+    return {node: value / denominator for node, value in raw.items()}
+
+
+def betweenness_centrality(
+    graph: UndirectedGraph, normalized: bool = True
+) -> Dict[Node, float]:
+    """Exact betweenness centrality of every node.
+
+    With ``normalized=True`` scores are divided by ``(n-1)(n-2)/2`` (the
+    number of node pairs excluding the node itself), matching networkx's
+    convention for undirected graphs; graphs with fewer than three nodes get
+    all-zero scores.
+    """
+    raw = raw_betweenness(graph)
+    if not normalized:
+        return raw
+    return normalize_betweenness(raw, len(graph))

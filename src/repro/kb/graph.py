@@ -65,8 +65,17 @@ class Graph:
         # Pattern scans memoised as lists until the next mutation (see
         # match()).
         self._scan_cache: Dict[Tuple[int | None, int | None, int | None], list] = {}
+        # Bumped on every effective mutation; snapshot consumers (e.g.
+        # SchemaView) compare revisions to detect that their caches went
+        # stale because the graph changed underneath them.
+        self._revision = 0
         if triples:
             self.add_all(triples)
+
+    @property
+    def revision(self) -> int:
+        """Monotonic mutation counter (changes iff the triple set changed)."""
+        return self._revision
 
     @property
     def dictionary(self) -> TermDictionary:
@@ -89,6 +98,7 @@ class Graph:
         """Index an id-triple known to be absent."""
         if self._scan_cache:
             self._scan_cache.clear()
+        self._revision += 1
         self._triples.add(key)
         s, p, o = key
         self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
@@ -116,6 +126,7 @@ class Graph:
             return False
         if self._scan_cache:
             self._scan_cache.clear()
+        self._revision += 1
         self._triples.discard(key)
         s, p, o = key
         self._drop(self._spo, s, p, o)

@@ -16,9 +16,15 @@ the vocabulary the measures need:
 * ``class_edges()`` -- the class-level graph used by the structural measures
   of Section II.c.
 
-A :class:`SchemaView` is a *snapshot*: it caches aggressively and must be
-rebuilt if the underlying graph changes (versioned KBs hand out fresh views
-per version, so this is the natural lifecycle).
+A :class:`SchemaView` is a *snapshot*: it caches aggressively, pinned to the
+graph's mutation counter -- if the underlying graph changes after the view is
+taken, every cache (including the ``memo`` artefact store) self-invalidates
+on next access, so stale derived values are never served.  Versioned KBs
+hand out one view per version; a child view can additionally be hinted with
+its parent's view plus the commit delta (:meth:`SchemaView.seed_from_parent`),
+which lets the artefact layers above maintain expensive derived state
+(betweenness, semantic centralities, relative cardinalities) incrementally
+instead of recomputing it cold per version.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from itertools import chain
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.kb.errors import SchemaError
 from repro.kb.graph import Graph
@@ -94,6 +101,11 @@ class SchemaView:
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        """(Re)initialise every lazy cache, pinned to the graph's revision."""
+        self._revision = self._graph.revision
         self._classes: FrozenSet[IRI] | None = None
         self._classes_nonbuiltin: FrozenSet[IRI] | None = None
         self._properties: FrozenSet[IRI] | None = None
@@ -109,16 +121,149 @@ class SchemaView:
         self._edges_by_target: Dict[IRI, Tuple[PropertyEdge, ...]] | None = None
         self._edges_by_prop: Dict[IRI, Tuple[PropertyEdge, ...]] | None = None
         self._link_index: "_LinkIndex | None" = None
-        #: Scratch cache for derived artefacts computed by higher layers
-        #: (class graphs, betweenness maps, centrality tables...).  Keys are
-        #: namespaced strings; values are caller-defined.  Safe because a
-        #: SchemaView is an immutable snapshot of its graph.
-        self.memo: Dict[str, object] = {}
+        self._neighborhoods: Dict[IRI, FrozenSet[IRI]] = {}
+        self._parent_hint: Optional[Tuple["SchemaView", FrozenSet, FrozenSet]] = None
+        self._parent_revision: int | None = None
+        self._affected: FrozenSet[IRI] | None = None
+        self._affected_dilated: FrozenSet[IRI] | None = None
+        self._memo: Dict[str, object] = {}
+
+    def _revalidate(self) -> None:
+        """Drop every cache if the graph mutated since it was filled.
+
+        A SchemaView is meant to be a snapshot of an immutable graph, but
+        nothing stops a caller from mutating the graph after taking a view.
+        Comparing the graph's mutation counter on every cache access makes
+        that safe: stale derived artefacts (betweenness, centralities,
+        relative cardinalities...) are discarded instead of served.
+        """
+        if self._revision != self._graph.revision:
+            self._reset_caches()
+
+    @property
+    def memo(self) -> Dict[str, object]:
+        """Scratch cache for derived artefacts computed by higher layers
+        (class graphs, betweenness maps, centrality tables...).  Keys are
+        namespaced strings; values are caller-defined.  Reading it checks
+        the graph's revision, so a mutation after the view was taken can
+        never serve stale artefacts.
+        """
+        self._revalidate()
+        return self._memo
 
     @property
     def graph(self) -> Graph:
         """The underlying triple graph."""
         return self._graph
+
+    # -- incremental seeding (delta-aware derived artefacts) -----------------
+
+    def seed_from_parent(
+        self,
+        parent: "SchemaView",
+        added: Iterable,
+        deleted: Iterable,
+    ) -> None:
+        """Declare that this view's graph is ``parent``'s graph plus a delta.
+
+        ``added`` / ``deleted`` are the triples turning the parent graph
+        into this view's graph.  The hint lets artefact layers (structural
+        betweenness, semantic centralities) seed this view's caches from
+        the parent's instead of recomputing from scratch;
+        :meth:`delta_affected_classes` bounds which cached values may have
+        changed.  The hint is advisory: with no parent artefacts computed,
+        everything falls back to the cold path.
+        """
+        self._revalidate()
+        self._parent_hint = (parent, frozenset(added), frozenset(deleted))
+        self._parent_revision = parent.graph.revision
+        self._affected = None
+        self._affected_dilated = None
+
+    def parent_hint(self) -> Optional[Tuple["SchemaView", FrozenSet, FrozenSet]]:
+        """The ``(parent view, added, deleted)`` hint, or None.
+
+        The hint is dropped if either graph mutated since seeding: the
+        recorded delta then no longer describes the parent -> child
+        difference, and carrying parent cache entries (refilled against the
+        mutated parent graph) would smuggle stale values past the child's
+        own revision guard.
+        """
+        self._revalidate()
+        if (
+            self._parent_hint is not None
+            and self._parent_hint[0].graph.revision != self._parent_revision
+        ):
+            self._parent_hint = None
+            self._parent_revision = None
+            self._affected = None
+            self._affected_dilated = None
+        return self._parent_hint
+
+    def delta_affected_classes(self) -> FrozenSet[IRI] | None:
+        """Classes whose derived per-class artefacts may differ from the parent.
+
+        None without a parent hint.  The set is conservative (sound, not
+        minimal): it contains every class that appears or vanishes, every
+        class mentioned by a changed triple, every class of an instance
+        touched by a changed triple (in either version), and -- for changed
+        ``rdfs:domain``/``rdfs:range``/``rdfs:subPropertyOf`` declarations --
+        the domain and range classes of the declared property in both
+        versions.  A class outside this set has identical instance
+        membership, identical instance links and an identical incident
+        schema-edge set in both versions, so per-class values keyed on those
+        (relative cardinalities in particular) carry over exactly.
+        """
+        hint = self.parent_hint()
+        if hint is None:
+            return None
+        if self._affected is None:
+            parent, added, deleted = hint
+            views = (parent, self)
+            known = parent.classes(include_builtin=True) | self.classes(
+                include_builtin=True
+            )
+            affected: Set[IRI] = set(parent.classes() ^ self.classes())
+            structural = (RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBPROPERTYOF)
+            for triple in chain(added, deleted):
+                subject, predicate, obj = triple.subject, triple.predicate, triple.object
+                for term in (subject, obj):
+                    if isinstance(term, IRI) and term in known:
+                        affected.add(term)
+                    for view in views:
+                        affected |= view.classes_of(term)
+                if isinstance(predicate, IRI) and predicate in known:
+                    affected.add(predicate)
+                if predicate in structural and isinstance(subject, IRI):
+                    for view in views:
+                        affected |= view.domain(subject) | view.range(subject)
+            self._affected = frozenset(affected)
+        return self._affected
+
+    def delta_affected_classes_dilated(self) -> FrozenSet[IRI] | None:
+        """The affected set dilated one hop along schema property edges.
+
+        A class's *aggregated* artefacts (semantic in/out-centrality sums)
+        depend on the relative cardinality of every incident edge, and an
+        edge changes when either endpoint is affected -- so aggregates are
+        only safe to carry for classes with no affected edge neighbour in
+        either version.
+        """
+        hint = self.parent_hint()
+        affected = self.delta_affected_classes()
+        if hint is None or affected is None:
+            return None
+        if self._affected_dilated is None:
+            parent = hint[0]
+            dilated: Set[IRI] = set(affected)
+            for view in (parent, self):
+                for cls in affected:
+                    for edge in view.outgoing_properties(cls):
+                        dilated.add(edge.target)
+                    for edge in view.incoming_properties(cls):
+                        dilated.add(edge.source)
+            self._affected_dilated = frozenset(dilated)
+        return self._affected_dilated
 
     # -- schema elements ----------------------------------------------------
 
@@ -131,6 +276,7 @@ class SchemaView:
         assertion, or is the object of any ``rdf:type`` assertion.  Builtin
         vocabulary terms (rdf/rdfs/owl/xsd) are excluded unless requested.
         """
+        self._revalidate()
         if self._classes is None:
             found: Set[IRI] = set()
             g = self._graph
@@ -167,6 +313,7 @@ class SchemaView:
         appears as an endpoint of ``rdfs:subPropertyOf``, or is used as a
         predicate of a non-vocabulary triple.
         """
+        self._revalidate()
         if self._properties is None:
             found: Set[IRI] = set()
             g = self._graph
@@ -206,6 +353,7 @@ class SchemaView:
     # -- subsumption ----------------------------------------------------------
 
     def _subsumption_maps(self) -> Tuple[Dict[IRI, Set[IRI]], Dict[IRI, Set[IRI]]]:
+        self._revalidate()
         if self._direct_superclasses is None:
             supers: Dict[IRI, Set[IRI]] = {}
             subs: Dict[IRI, Set[IRI]] = {}
@@ -276,6 +424,7 @@ class SchemaView:
     # -- property structure ---------------------------------------------------
 
     def _domain_range_maps(self) -> Tuple[Dict[IRI, Set[IRI]], Dict[IRI, Set[IRI]]]:
+        self._revalidate()
         if self._domains is None:
             domains: Dict[IRI, Set[IRI]] = {}
             ranges: Dict[IRI, Set[IRI]] = {}
@@ -302,6 +451,7 @@ class SchemaView:
 
     def property_edges(self) -> Tuple[PropertyEdge, ...]:
         """Every (domain class, property, range class) schema edge."""
+        self._revalidate()
         if self._property_edges is None:
             edges: List[PropertyEdge] = []
             domains, ranges = self._domain_range_maps()
@@ -326,6 +476,7 @@ class SchemaView:
         The semantic measures ask for the edges of every class of both
         versions; indexing once replaces a full edge scan per query.
         """
+        self._revalidate()
         if self._edges_by_source is None:
             by_source: Dict[IRI, List[PropertyEdge]] = {}
             by_target: Dict[IRI, List[PropertyEdge]] = {}
@@ -355,6 +506,7 @@ class SchemaView:
     # -- instances --------------------------------------------------------------
 
     def _instance_map(self) -> Dict[IRI, Set[Term]]:
+        self._revalidate()
         if self._instances is None:
             classes = self.classes(include_builtin=True)
             instances: Dict[IRI, Set[Term]] = {}
@@ -390,6 +542,7 @@ class SchemaView:
 
     def classes_of(self, instance: Term) -> FrozenSet[IRI]:
         """The classes an instance is directly typed with."""
+        self._revalidate()
         if self._instance_classes is None:
             reverse: Dict[Term, Set[IRI]] = {}
             for cls, members in self._instance_map().items():
@@ -407,7 +560,15 @@ class SchemaView:
         that are either sub/superclasses of ``cls`` or connected with ``cls``
         through some property's domain/range pair.  The union across two
         versions (the paper's ``N_{V1,V2}(n)``) is taken by the measure layer.
+
+        Cached per view: the semantic relevance measure asks for the same
+        neighbourhoods once per context, and a version's view serves many
+        contexts.
         """
+        self._revalidate()
+        cached = self._neighborhoods.get(cls)
+        if cached is not None:
+            return cached
         related: Set[IRI] = set()
         related |= self.superclasses(cls)
         related |= self.subclasses(cls)
@@ -418,7 +579,9 @@ class SchemaView:
             if edge.source != cls:
                 related.add(edge.source)
         related.discard(cls)
-        return frozenset(c for c in related if not _is_builtin(c))
+        result = frozenset(c for c in related if not _is_builtin(c))
+        self._neighborhoods[cls] = result
+        return result
 
     # -- class-level graph (Section II.c substrate) ------------------------------
 
@@ -453,6 +616,7 @@ class SchemaView:
     # below, after which both queries are dictionary lookups / small unions.
 
     def _links(self) -> "_LinkIndex":
+        self._revalidate()
         if self._link_index is None:
             instance_classes: Dict[Term, Tuple[IRI, ...]] = {}
             for cls, members in self._instance_map().items():

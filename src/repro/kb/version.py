@@ -21,6 +21,7 @@ re-diffing snapshots.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from repro.kb.errors import VersionError
@@ -32,6 +33,18 @@ if TYPE_CHECKING:  # deltas sits above kb; imported lazily at runtime.
     from repro.deltas.lowlevel import LowLevelDelta
 
 _Changes = Tuple[FrozenSet[Triple], FrozenSet[Triple]]
+
+#: When True (the default), a version's schema view is hinted with its
+#: parent's view plus the recorded commit delta, letting derived artefacts
+#: (betweenness, semantic centralities, relative cardinalities) update
+#: incrementally instead of recomputing cold per version.  Settable for
+#: A/B benchmarking, or via the ``REPRO_DISABLE_INCREMENTAL`` environment
+#: variable (conventional falsy spellings -- unset, "", "0", "false", "no"
+#: -- keep seeding on); results are identical either way (the differential
+#: evolution test harness asserts bit-for-bit equality).
+INCREMENTAL_SCHEMA_SEEDING = os.environ.get(
+    "REPRO_DISABLE_INCREMENTAL", ""
+).strip().lower() in ("", "0", "false", "no")
 
 
 class Version:
@@ -122,9 +135,26 @@ class Version:
 
     @property
     def schema(self) -> SchemaView:
-        """Schema view of this version's snapshot (cached)."""
+        """Schema view of this version's snapshot (cached).
+
+        When the parent version's view has already been built (the common
+        case: evaluation sweeps walk the chain in order), the fresh view is
+        seeded with the parent view plus the recorded commit delta, so the
+        expensive derived artefacts memoised on it update in O(delta)
+        instead of O(graph).  Versions without a parent, without a recorded
+        delta, or with a not-yet-built parent view fall back to the cold
+        path -- never recursively forcing ancestor views.
+        """
         if self._schema is None:
-            self._schema = SchemaView(self.graph)
+            view = SchemaView(self.graph)
+            if (
+                INCREMENTAL_SCHEMA_SEEDING
+                and self._parent is not None
+                and self._changes is not None
+                and self._parent._schema is not None
+            ):
+                view.seed_from_parent(self._parent._schema, *self._changes)
+            self._schema = view
         return self._schema
 
     def __len__(self) -> int:

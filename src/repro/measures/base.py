@@ -62,9 +62,17 @@ class EvolutionContext:
 
     @property
     def delta(self) -> LowLevelDelta:
-        """The low-level delta from the old to the new version."""
+        """The low-level delta from the old to the new version.
+
+        For adjacent version pairs the delta recorded at commit time is
+        reused (no re-diffing of snapshots); any other pair diffs the two
+        graphs with the integer-set fast path.
+        """
         if self._delta is None:
-            self._delta = LowLevelDelta.compute(self.old.graph, self.new.graph)
+            if self.new.parent is self.old:
+                self._delta = self.new.delta_from_parent()
+            if self._delta is None:
+                self._delta = LowLevelDelta.compute(self.old.graph, self.new.graph)
         return self._delta
 
     @property

@@ -50,6 +50,11 @@ from repro.measures.base import (
     TargetKind,
 )
 
+#: Schema-memo keys of the semantic artefact caches.
+RC_KEY = "semantic:rc"
+CENTRALITY_KEY = "semantic:centrality"
+RELEVANCE_KEY = "semantic:relevance"
+
 
 def relative_cardinality(schema: SchemaView, prop: IRI, source: IRI, target: IRI) -> float:
     """``RC(e(source, target))`` for one property edge in one version.
@@ -59,9 +64,11 @@ def relative_cardinality(schema: SchemaView, prop: IRI, source: IRI, target: IRI
 
     RC is a pure function of the schema snapshot, and centrality sums query
     the same edge for both of its endpoint classes (and again per neighbour
-    in :func:`relevance`), so values are memoised on ``schema.memo``.
+    in :func:`relevance`), so values are memoised on ``schema.memo`` -- and
+    seeded from the parent version's cache when the view carries a commit
+    delta hint (see :func:`_seeded_cache`).
     """
-    cache = schema.memo.setdefault("semantic:rc", {})
+    cache = _seeded_cache(schema, RC_KEY)
     key = (prop, source, target)
     value = cache.get(key)  # type: ignore[union-attr]
     if value is None:
@@ -98,9 +105,53 @@ def out_centrality(schema: SchemaView, cls: IRI) -> float:
     )
 
 
+def _seeded_cache(schema: SchemaView, key: str) -> Dict:
+    """The per-schema memo dict for ``key``, seeded from the parent view.
+
+    On first access for a view that carries a parent hint (a versioned-KB
+    commit delta), every parent cache entry whose validity region the delta
+    provably did not touch is carried over, so only delta-affected values
+    are ever recomputed:
+
+    * relative cardinalities (keyed ``(prop, source, target)``) depend on
+      the instance links and membership of their two endpoint classes --
+      carried unless an endpoint is in :meth:`SchemaView.delta_affected_classes`;
+    * centrality sums additionally depend on the class's incident schema
+      edge set and *its neighbours'* cardinalities -- carried unless the
+      class is in the one-hop-dilated affected set.
+
+    Carried values are bit-identical to a cold recomputation: each is a
+    deterministic arithmetic function (fixed summation order over
+    value-sorted schema edges) of quantities the delta left untouched.
+    """
+    cache = schema.memo.get(key)
+    if cache is None:
+        cache = {}
+        hint = schema.parent_hint()
+        if hint is not None:
+            parent_cache = hint[0].memo.get(key)
+            if parent_cache:
+                if key == RC_KEY:
+                    affected = schema.delta_affected_classes()
+                    cache.update(
+                        (edge, value)
+                        for edge, value in parent_cache.items()
+                        if edge[1] not in affected and edge[2] not in affected
+                    )
+                else:
+                    affected = schema.delta_affected_classes_dilated()
+                    cache.update(
+                        (cls, value)
+                        for cls, value in parent_cache.items()
+                        if cls not in affected
+                    )
+        schema.memo[key] = cache
+    return cache
+
+
 def centrality(schema: SchemaView, cls: IRI) -> float:
     """Total semantic centrality ``C(n) = Cin(n) + Cout(n)`` (memoised)."""
-    cache = schema.memo.setdefault("semantic:centrality", {})
+    cache = _seeded_cache(schema, CENTRALITY_KEY)
     value = cache.get(cls)  # type: ignore[union-attr]
     if value is None:
         value = in_centrality(schema, cls) + out_centrality(schema, cls)
@@ -109,15 +160,26 @@ def centrality(schema: SchemaView, cls: IRI) -> float:
 
 
 def relevance(schema: SchemaView, cls: IRI) -> float:
-    """Semantic relevance of ``cls`` in one version (see module docstring)."""
-    own = centrality(schema, cls)
-    neighbours = schema.neighborhood(cls)
-    if neighbours:
-        neighbour_term = sum(centrality(schema, m) for m in neighbours) / len(neighbours)
-    else:
-        neighbour_term = 0.0
-    population = schema.instance_count(cls, transitive=True)
-    return (own + neighbour_term) * math.log2(1 + population)
+    """Semantic relevance of ``cls`` in one version (see module docstring).
+
+    Memoised per view (the same version's view serves every context that
+    touches it), but *not* seeded across versions: relevance folds in the
+    neighbourhood's centralities and the transitive instance population,
+    whose change region is much wider than the per-class delta footprint.
+    """
+    cache = schema.memo.setdefault(RELEVANCE_KEY, {})
+    value = cache.get(cls)
+    if value is None:
+        own = centrality(schema, cls)
+        neighbours = schema.neighborhood(cls)
+        if neighbours:
+            neighbour_term = sum(centrality(schema, m) for m in neighbours) / len(neighbours)
+        else:
+            neighbour_term = 0.0
+        population = schema.instance_count(cls, transitive=True)
+        value = (own + neighbour_term) * math.log2(1 + population)
+        cache[cls] = value
+    return value
 
 
 class _SemanticShift(EvolutionMeasure):

@@ -12,11 +12,16 @@ centrality 0 there, so newly appearing or vanishing hub classes score high.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Mapping
+from typing import Callable, Dict, Hashable, Mapping, Tuple
 
 from repro.graphtools.adjacency import UndirectedGraph
-from repro.graphtools.betweenness import betweenness_centrality
+from repro.graphtools.betweenness import normalize_betweenness, raw_betweenness
 from repro.graphtools.bridging import bridging_centrality
+from repro.graphtools.incremental import (
+    DEFAULT_FALLBACK_RATIO,
+    edge_key_set,
+    update_raw_betweenness,
+)
 from repro.kb.schema import SchemaView
 from repro.kb.terms import IRI
 from repro.measures.base import (
@@ -29,13 +34,82 @@ from repro.measures.base import (
 
 CentralityFn = Callable[[UndirectedGraph], Mapping[Hashable, float]]
 
+#: Schema-memo keys of the structural artefact: the class graph with its
+#: normalized betweenness map, and the raw (unnormalized) scores the
+#: incremental maintenance path chains on.
+BETWEENNESS_KEY = "structural:betweenness"
+RAW_BETWEENNESS_KEY = "structural:betweenness:raw"
+EDGE_KEYS_KEY = "structural:betweenness:edges"
+BRIDGING_KEY = "structural:bridging"
+
+#: Share of the class graph the delta may touch before incremental
+#: maintenance falls back to a full Brandes pass.
+FALLBACK_RATIO = DEFAULT_FALLBACK_RATIO
+
 
 def class_graph(schema: SchemaView) -> UndirectedGraph:
-    """The class-level graph of one version (every class is a node)."""
-    graph = UndirectedGraph(nodes=schema.classes())
-    for a, b in schema.class_edges():
+    """The class-level graph of one version (every class is a node).
+
+    Nodes and edges are inserted in sorted IRI order, so the graph's
+    iteration order -- and with it every float accumulation downstream
+    (betweenness, bridging coefficients) -- is a pure function of the
+    schema content.  The incremental betweenness path relies on this to
+    carry per-component scores across versions bit-for-bit.
+    """
+    graph = UndirectedGraph(nodes=sorted(schema.classes(), key=lambda c: c.value))
+    for a, b in sorted(schema.class_edges(), key=lambda e: (e[0].value, e[1].value)):
         graph.add_edge(a, b)
     return graph
+
+
+def betweenness_artefact(schema: SchemaView) -> Tuple[UndirectedGraph, Mapping]:
+    """The ``(class graph, normalized betweenness)`` artefact of one version.
+
+    Memoised on the :class:`SchemaView` snapshot, so Brandes runs at most
+    once per version -- and, when the view carries a parent hint (versioned
+    KBs seed it at commit), usually not even that: the parent's raw scores
+    are updated through :func:`~repro.graphtools.incremental.update_raw_betweenness`,
+    recomputing only the components the delta touched.
+    """
+    memo = schema.memo
+    artefact = memo.get(BETWEENNESS_KEY)
+    if artefact is None:
+        graph = class_graph(schema)
+        edge_keys = edge_key_set(graph)
+        raw = None
+        hint = schema.parent_hint()
+        if hint is not None:
+            parent = hint[0]
+            parent_graph_map = parent.memo.get(BETWEENNESS_KEY)
+            parent_raw = parent.memo.get(RAW_BETWEENNESS_KEY)
+            if parent_graph_map is not None and parent_raw is not None:
+                update = update_raw_betweenness(
+                    graph,
+                    parent_graph_map[0],
+                    parent_raw,
+                    FALLBACK_RATIO,
+                    edge_keys=edge_keys,
+                    base_edge_keys=parent.memo.get(EDGE_KEYS_KEY),
+                )
+                raw = update.raw
+        if raw is None:
+            raw = raw_betweenness(graph)
+        memo[RAW_BETWEENNESS_KEY] = raw
+        memo[EDGE_KEYS_KEY] = edge_keys
+        artefact = (graph, normalize_betweenness(raw, len(graph)))
+        memo[BETWEENNESS_KEY] = artefact
+    return artefact
+
+
+def bridging_scores(schema: SchemaView) -> Mapping:
+    """Bridging centrality of every class of one version, memoised on the view."""
+    memo = schema.memo
+    scores = memo.get(BRIDGING_KEY)
+    if scores is None:
+        graph, betweenness = betweenness_artefact(schema)
+        scores = bridging_centrality(graph, betweenness=dict(betweenness))
+        memo[BRIDGING_KEY] = scores
+    return scores
 
 
 def _graph_and_betweenness(context: EvolutionContext, which: str):
@@ -43,18 +117,14 @@ def _graph_and_betweenness(context: EvolutionContext, which: str):
 
     Both structural measures need the same betweenness scores, and the same
     version typically appears in many contexts (adjacent pairs share a
-    side; benchmark loops rebuild contexts); memoising on the immutable
-    :class:`SchemaView` snapshot computes Brandes once per version, ever.
+    side; benchmark loops rebuild contexts); memoising on the
+    :class:`SchemaView` snapshot computes betweenness once per version, ever.
     The context memo keeps a reference for backwards compatibility.
     """
     context_key = f"structural:betweenness:{which}"
     if context_key not in context.memo:
         schema = context.old_schema if which == "old" else context.new_schema
-        schema_key = "structural:betweenness"
-        if schema_key not in schema.memo:
-            graph = class_graph(schema)
-            schema.memo[schema_key] = (graph, betweenness_centrality(graph))
-        context.memo[context_key] = schema.memo[schema_key]
+        context.memo[context_key] = betweenness_artefact(schema)
     return context.memo[context_key]
 
 
@@ -65,14 +135,16 @@ class _CentralityShift(EvolutionMeasure):
     target_kind = TargetKind.CLASS
 
     @staticmethod
-    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
+    def _side_scores(schema: SchemaView) -> Mapping:
         raise NotImplementedError
 
     def compute(self, context: EvolutionContext) -> MeasureResult:
-        old_graph, old_betweenness = _graph_and_betweenness(context, "old")
-        new_graph, new_betweenness = _graph_and_betweenness(context, "new")
-        old_scores = self._scores(old_graph, old_betweenness)
-        new_scores = self._scores(new_graph, new_betweenness)
+        # Touching the artefacts through the context keeps the per-context
+        # memo references warm for callers that inspect them.
+        _graph_and_betweenness(context, "old")
+        _graph_and_betweenness(context, "new")
+        old_scores = self._side_scores(context.old_schema)
+        new_scores = self._side_scores(context.new_schema)
         shifts: Dict[IRI, float] = {}
         for cls in context.union_classes():
             shifts[cls] = abs(new_scores.get(cls, 0.0) - old_scores.get(cls, 0.0))
@@ -89,8 +161,8 @@ class BetweennessShift(_CentralityShift):
     )
 
     @staticmethod
-    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
-        return betweenness
+    def _side_scores(schema: SchemaView) -> Mapping:
+        return betweenness_artefact(schema)[1]
 
 
 class BridgingCentralityShift(_CentralityShift):
@@ -103,5 +175,5 @@ class BridgingCentralityShift(_CentralityShift):
     )
 
     @staticmethod
-    def _scores(graph: UndirectedGraph, betweenness: Mapping) -> Mapping:
-        return bridging_centrality(graph, betweenness=dict(betweenness))
+    def _side_scores(schema: SchemaView) -> Mapping:
+        return bridging_scores(schema)

@@ -18,7 +18,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.kb.version import VersionedKnowledgeBase
 from repro.measures.base import EvolutionContext, MeasureCatalog, MeasureResult
@@ -106,6 +106,7 @@ class RecommenderEngine:
         self._feedback = feedback
         self._workflow = Workflow("recommender", provenance_store)
         self._context_cache: EvolutionContext | None = None
+        self._contexts_by_pair: Dict[Tuple[str, str], EvolutionContext] = {}
         # Contexts hash by identity, so they key their own cache entries.
         self._results_cache: Dict[EvolutionContext, Mapping[str, MeasureResult]] = {}
         self._candidates_cache: Dict[EvolutionContext, List[RecommendationItem]] = {}
@@ -137,8 +138,34 @@ class RecommenderEngine:
                 raise ValueError(
                     "knowledge base needs at least two versions to recommend on"
                 )
-            self._context_cache = EvolutionContext(versions[-2], versions[-1])
+            self._context_cache = self.context_for(
+                versions[-2].version_id, versions[-1].version_id
+            )
         return self._context_cache
+
+    def context_for(self, old_id: str, new_id: str) -> EvolutionContext:
+        """The evolution context between two named versions (cached per pair).
+
+        Contexts come from the KB's own :class:`~repro.kb.version.Version`
+        objects, so adjacent pairs reuse the delta recorded at commit time
+        and every derived artefact memoised on a version's schema view
+        (betweenness, semantic centralities) is shared across all contexts
+        touching that version -- walking a chain pair-by-pair updates each
+        artefact incrementally from its parent instead of recomputing cold.
+        """
+        key = (old_id, new_id)
+        if key not in self._contexts_by_pair:
+            self._contexts_by_pair[key] = EvolutionContext(
+                self._kb.version(old_id), self._kb.version(new_id)
+            )
+        return self._contexts_by_pair[key]
+
+    def contexts(self) -> List[EvolutionContext]:
+        """One cached context per adjacent version pair, in chain order."""
+        return [
+            self.context_for(old.version_id, new.version_id)
+            for old, new in self._kb.pairs()
+        ]
 
     def measure_results(
         self, context: EvolutionContext | None = None

@@ -206,3 +206,112 @@ class TestInstanceConnections:
     def test_instance_link_count(self, university):
         # 3 enrolledIn + 1 teaches links touch Student/Course instances.
         assert university.instance_link_count([EX.Student, EX.Course]) == 4
+
+
+class TestStalenessInvalidation:
+    """Mutating a graph after a view is taken must never serve stale values.
+
+    Regression tests for the cache-invalidation audit: every SchemaView
+    cache -- including the ``memo`` store the betweenness / semantic
+    centrality artefacts live in -- is pinned to the graph's mutation
+    counter and self-invalidates on next access.
+    """
+
+    def _grown_graph(self) -> Graph:
+        g = Graph()
+        for cls in (EX.A, EX.B, EX.C):
+            g.add(Triple(cls, RDF_TYPE, RDFS_CLASS))
+        g.add(Triple(EX.B, RDFS_SUBCLASSOF, EX.A))
+        g.add(Triple(EX.p, RDF_TYPE, RDF_PROPERTY))
+        g.add(Triple(EX.p, RDFS_DOMAIN, EX.A))
+        g.add(Triple(EX.p, RDFS_RANGE, EX.C))
+        g.add(Triple(EX.x, RDF_TYPE, EX.A))
+        g.add(Triple(EX.y, RDF_TYPE, EX.C))
+        g.add(Triple(EX.x, EX.p, EX.y))
+        return g
+
+    def test_memo_is_dropped_when_graph_mutates(self):
+        view = SchemaView(self._grown_graph())
+        view.memo["structural:betweenness"] = ("sentinel-graph", {"stale": 1.0})
+        view.graph.add(Triple(EX.D, RDF_TYPE, RDFS_CLASS))
+        assert "structural:betweenness" not in view.memo
+
+    def test_stale_betweenness_artefact_is_recomputed_not_served(self):
+        from repro.measures.structural import BETWEENNESS_KEY, betweenness_artefact
+
+        view = SchemaView(self._grown_graph())
+        graph_before, betweenness_before = betweenness_artefact(view)
+        assert BETWEENNESS_KEY in view.memo
+        # New hub class wired to everything: betweenness must change.
+        view.graph.add(Triple(EX.hub, RDF_TYPE, RDFS_CLASS))
+        view.graph.add(Triple(EX.q, RDFS_DOMAIN, EX.hub))
+        view.graph.add(Triple(EX.q, RDFS_RANGE, EX.B))
+        view.graph.add(Triple(EX.r, RDFS_DOMAIN, EX.hub))
+        view.graph.add(Triple(EX.r, RDFS_RANGE, EX.C))
+        graph_after, _ = betweenness_artefact(view)
+        assert graph_after is not graph_before
+        assert EX.hub in graph_after
+        assert EX.hub not in graph_before
+
+    def test_stale_semantic_centrality_is_recomputed_not_served(self):
+        from repro.measures.semantic import centrality
+
+        view = SchemaView(self._grown_graph())
+        before = centrality(view, EX.A)
+        assert before > 0.0
+        # Removing the only instance link empties every relative
+        # cardinality; serving the memoised value would be stale.
+        view.graph.remove(Triple(EX.x, EX.p, EX.y))
+        assert centrality(view, EX.A) == 0.0
+
+    def test_classes_and_instances_refresh_after_mutation(self):
+        view = SchemaView(self._grown_graph())
+        assert EX.D not in view.classes()
+        assert view.instance_count(EX.A) == 1
+        view.graph.add(Triple(EX.D, RDF_TYPE, RDFS_CLASS))
+        view.graph.add(Triple(EX.z, RDF_TYPE, EX.A))
+        assert EX.D in view.classes()
+        assert view.instance_count(EX.A) == 2
+
+    def test_parent_hint_is_dropped_on_mutation(self):
+        parent_graph = self._grown_graph()
+        parent = SchemaView(parent_graph)
+        child_graph = parent_graph.copy()
+        added = Triple(EX.z, RDF_TYPE, EX.A)
+        child_graph.add(added)
+        child = SchemaView(child_graph)
+        child.seed_from_parent(parent, [added], [])
+        assert child.parent_hint() is not None
+        assert child.delta_affected_classes() is not None
+        # After a mutation the recorded delta no longer describes the
+        # parent->child difference, so the hint must not survive.
+        child_graph.add(Triple(EX.w, RDF_TYPE, EX.C))
+        assert child.parent_hint() is None
+        assert child.delta_affected_classes() is None
+
+    def test_neighborhood_cache_refreshes(self):
+        view = SchemaView(self._grown_graph())
+        assert EX.C in view.neighborhood(EX.A)
+        view.graph.remove(Triple(EX.p, RDFS_RANGE, EX.C))
+        assert EX.C not in view.neighborhood(EX.A)
+
+    def test_parent_hint_is_dropped_when_parent_graph_mutates(self):
+        # Regression: a re-warmed parent cache (refilled against a mutated
+        # parent graph) must not leak into the child through the frozen
+        # delta hint -- the hint is revision-pinned to *both* graphs.
+        from repro.measures.semantic import centrality
+
+        parent_graph = self._grown_graph()
+        parent = SchemaView(parent_graph)
+        child_graph = parent_graph.copy()
+        added = Triple(EX.z, RDF_TYPE, EX.A)
+        child_graph.add(added)
+        child = SchemaView(child_graph)
+        child.seed_from_parent(parent, [added], [])
+        assert centrality(parent, EX.A) > 0.0  # warm the parent cache
+        # Mutate the parent graph and re-warm: its self-invalidated cache
+        # now holds values for a graph the recorded delta does not describe.
+        parent_graph.remove(Triple(EX.x, EX.p, EX.y))
+        assert centrality(parent, EX.A) == 0.0
+        assert child.parent_hint() is None
+        assert centrality(child, EX.A) > 0.0  # cold, correct -- not carried

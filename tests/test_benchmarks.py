@@ -1,0 +1,55 @@
+"""Smoke test: the standalone benchmark harness can't silently rot.
+
+Runs ``benchmarks/run_bench.py`` in-process in ``--quick`` mode (shrunk
+world, minimal rounds) and checks the report shape, so a refactor that
+breaks any benchmark workload fails the suite instead of the next perf
+investigation.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_run_produces_complete_report(run_bench, tmp_path):
+    output = tmp_path / "bench.json"
+    report = run_bench.run(output, quick=True)
+    assert output.exists()
+    on_disk = json.loads(output.read_text())
+    assert on_disk["benchmarks"].keys() == report["benchmarks"].keys()
+
+    expected = {name for name, _ in run_bench._build_benchmarks(run_bench.QUICK_CONFIG)}
+    assert report["benchmarks"].keys() == expected
+    assert "cold_first_evaluation" in expected
+    assert report["meta"]["quick"] is True
+    assert report["meta"]["rounds"] <= 3
+    for name, timing in report["benchmarks"].items():
+        assert timing["mean_s"] > 0.0, name
+        assert timing["min_s"] <= timing["mean_s"] <= timing["max_s"]
+
+
+def test_quick_flag_parses_from_cli(run_bench, tmp_path, capsys):
+    output = tmp_path / "cli.json"
+    assert run_bench.main(["--quick", "-o", str(output), "--only", "graph_copy"]) == 0
+    report = json.loads(output.read_text())
+    assert set(report["benchmarks"]) == {"graph_copy"}
+    assert report["meta"]["quick"] is True
+
+
+def test_unknown_benchmark_name_rejected(run_bench, tmp_path):
+    with pytest.raises(SystemExit):
+        run_bench.run(tmp_path / "x.json", quick=True, only=["no_such_bench"])
