@@ -1,0 +1,242 @@
+"""Closed-loop load generator for the serving layer.
+
+Builds a synthetic tenant, stands up an in-process
+:class:`repro.service.RecommendationService` and hammers
+``recommend`` from 1 / 8 / 32 concurrent closed-loop clients (every client
+issues its next request as soon as the previous one resolves), reporting
+throughput and latency percentiles per concurrency level::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                    # merge into BENCH_substrate.json
+    PYTHONPATH=src python benchmarks/bench_service.py -o out.json        # custom report path
+    PYTHONPATH=src python benchmarks/bench_service.py --quick            # smoke mode (seconds)
+    PYTHONPATH=src python benchmarks/bench_service.py --clients 1 8      # custom levels
+
+The report *merges* a ``"service"`` section into the target JSON (the
+substrate report of ``run_bench.py``), so one ``BENCH_substrate.json``
+carries both the substrate micro-benchmarks and the serving numbers::
+
+    {
+      ...,
+      "service": {
+        "meta": {...workload, workers...},
+        "levels": {
+          "clients_1":  {"throughput_rps": ..., "p50_ms": ..., "p99_ms": ...,
+                         "mean_ms": ..., "requests": ..., "batches": ...,
+                         "largest_batch": ...},
+          "clients_8":  {...},
+          "clients_32": {...}
+        }
+      }
+    }
+
+Each level runs against a fresh service (cold per-context caches are warmed
+by a handful of untimed requests first -- the steady state of a long-lived
+deployment), over the same version pair, with deterministic per-client user
+rotation, so levels differ only in concurrency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro._version import __version__
+from repro.recommender.engine import EngineConfig
+from repro.service import RecommendationService, ServiceConfig
+from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
+from repro.synthetic.world import generate_world
+
+#: Same canonical workload family as run_bench.py.
+WORLD_SEED = 4242
+WORLD_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=120, n_properties=80),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=150),
+)
+QUICK_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=30, n_properties=20),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=40),
+)
+
+DEFAULT_CLIENT_LEVELS = (1, 8, 32)
+TENANT = "bench"
+
+
+def _percentile(sorted_samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sample list."""
+    rank = max(0, min(len(sorted_samples) - 1, round(fraction * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+def _run_level(
+    world,
+    clients: int,
+    requests_per_client: int,
+    workers: int,
+    warmup_requests: int,
+    k: int,
+) -> Dict[str, float]:
+    """One concurrency level against a fresh service; returns its metrics."""
+    service = RecommendationService(
+        ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+    )
+    service.add_tenant(TENANT, world.kb, world.users)
+    user_ids = [user.user_id for user in world.users]
+    try:
+        for i in range(warmup_requests):
+            service.recommend(TENANT, user_ids[i % len(user_ids)])
+
+        latencies: List[List[float]] = [[] for _ in range(clients)]
+        errors: List[BaseException] = []
+        start_barrier = threading.Barrier(clients + 1)
+
+        def client_loop(index: int) -> None:
+            # Deterministic per-client rotation over the user population.
+            my_latencies = latencies[index]
+            try:
+                start_barrier.wait()
+                for i in range(requests_per_client):
+                    user_id = user_ids[(index + i) % len(user_ids)]
+                    begin = time.perf_counter()
+                    service.recommend(TENANT, user_id)
+                    my_latencies.append(time.perf_counter() - begin)
+            except BaseException as exc:  # surfaced as a failed run
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        stats_before = service.admission_stats.snapshot()
+        start_barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        stats_after = service.admission_stats.snapshot()
+    finally:
+        service.close()
+
+    if errors:
+        raise errors[0]
+    samples = sorted(s for per_client in latencies for s in per_client)
+    total = len(samples)
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_s": wall,
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "mean_ms": statistics.fmean(samples) * 1e3,
+        "p50_ms": _percentile(samples, 0.50) * 1e3,
+        "p99_ms": _percentile(samples, 0.99) * 1e3,
+        "max_ms": samples[-1] * 1e3,
+        "batches": stats_after["batches"] - stats_before["batches"],
+        "largest_batch": stats_after["largest_batch"],
+    }
+
+
+def run(
+    output: Path,
+    clients: List[int] | None = None,
+    requests_per_client: int = 60,
+    workers: int = 4,
+    warmup_requests: int = 8,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    """Run every concurrency level and merge the section into ``output``."""
+    levels = list(clients or DEFAULT_CLIENT_LEVELS)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    if quick:
+        requests_per_client = min(requests_per_client, 5)
+        warmup_requests = min(warmup_requests, 2)
+    world = generate_world(seed=WORLD_SEED, config=config)
+
+    results: Dict[str, Dict] = {}
+    for level in levels:
+        metrics = _run_level(
+            world,
+            clients=level,
+            requests_per_client=requests_per_client,
+            workers=workers,
+            warmup_requests=warmup_requests,
+            k=k,
+        )
+        results[f"clients_{level}"] = metrics
+        print(
+            f"clients {level:3d}: {metrics['throughput_rps']:8.1f} req/s  "
+            f"p50 {metrics['p50_ms']:7.2f} ms  p99 {metrics['p99_ms']:7.2f} ms  "
+            f"({metrics['requests']} requests, {metrics['batches']} batches, "
+            f"largest batch {metrics['largest_batch']})"
+        )
+
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "k": k,
+            "quick": quick,
+        },
+        "levels": results,
+    }
+
+    report: Dict = {}
+    if output.exists():
+        report = json.loads(output.read_text())
+    report["service"] = section
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"merged service section into {output}")
+    return section
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_substrate.json"),
+        help="report to merge the 'service' section into (default: BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--clients", nargs="*", type=int, default=None,
+        help=f"concurrency levels (default: {' '.join(map(str, DEFAULT_CLIENT_LEVELS))})",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=60, help="requests per client per level"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="service worker threads")
+    parser.add_argument("--warmup", type=int, default=8, help="untimed warmup requests")
+    parser.add_argument("-k", type=int, default=5, help="package size")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: shrunk workload, few requests (not comparable to full runs)",
+    )
+    args = parser.parse_args(argv)
+    run(
+        args.output,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        workers=args.workers,
+        warmup_requests=args.warmup,
+        k=args.k,
+        quick=args.quick,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

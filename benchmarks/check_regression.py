@@ -1,0 +1,193 @@
+"""Benchmark regression gate: fail CI when a hot path gets drastically slower.
+
+Compares a *fresh* benchmark report against the committed
+``BENCH_substrate.json`` baseline, benchmark by benchmark, and exits
+non-zero when any fresh mean exceeds ``tolerance x`` its baseline mean::
+
+    PYTHONPATH=src python benchmarks/check_regression.py                  # runs --quick itself
+    PYTHONPATH=src python benchmarks/check_regression.py --fresh q.json   # reuse a report
+    PYTHONPATH=src python benchmarks/check_regression.py --tolerance 3.0
+
+Design notes, so the gate stays honest:
+
+* The fresh report is a ``--quick`` run (shrunk world, CI-speed); the
+  committed baseline is a full run on a larger world.  Quick means are
+  therefore *far below* baseline means on a healthy checkout, and the gate
+  only trips on order-of-magnitude breakage -- an accidentally quadratic
+  scan, a dropped index, a cache that stopped caching.  It is a smoke
+  gate, deliberately noise-tolerant (default tolerance 2.0x on top of the
+  workload headroom), not a microbenchmark diff; refresh the committed
+  numbers with ``run_bench.py`` when chasing real percentages.
+* A benchmark present in the baseline but missing from the fresh report
+  fails the gate: silently losing a benchmark is how harnesses rot.
+  Fresh-only benchmarks are reported but pass (they have no baseline yet).
+* Benchmarks whose baseline *and* fresh means are both under the noise
+  floor (default 0.5 ms) always pass: at that scale the timer and the
+  interpreter dominate and ratios are meaningless.  A real regression (an
+  index lost, a scan gone quadratic) pushes the fresh mean above the floor
+  and the ratio check takes over.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+DEFAULT_TOLERANCE = 2.0
+#: Means below this (baseline and fresh alike) are timer noise, not signal.
+DEFAULT_NOISE_FLOOR_S = 5e-4
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_substrate.json"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One benchmark's comparison outcome."""
+
+    name: str
+    baseline_mean_s: float | None
+    fresh_mean_s: float | None
+    ratio: float | None
+    ok: bool
+    note: str = ""
+
+
+def compare_reports(
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+) -> List[Verdict]:
+    """Per-benchmark verdicts of ``fresh`` vs ``baseline`` (see module doc).
+
+    ``baseline`` / ``fresh`` are report dicts in the ``run_bench.py`` layout
+    (only their ``"benchmarks"`` sections are read).  ``tolerance`` is the
+    allowed ``fresh_mean / baseline_mean`` ratio; pairs entirely below
+    ``noise_floor_s`` pass regardless of ratio.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if noise_floor_s < 0:
+        raise ValueError(f"noise_floor_s must be >= 0, got {noise_floor_s}")
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    fresh_benchmarks = fresh.get("benchmarks", {})
+    verdicts: List[Verdict] = []
+    for name in sorted(set(baseline_benchmarks) | set(fresh_benchmarks)):
+        base_mean = baseline_benchmarks.get(name, {}).get("mean_s")
+        fresh_mean = fresh_benchmarks.get(name, {}).get("mean_s")
+        if fresh_mean is None:
+            verdicts.append(
+                Verdict(name, base_mean, None, None, ok=False, note="missing from fresh run")
+            )
+        elif base_mean is None or base_mean <= 0:
+            verdicts.append(
+                Verdict(name, None, fresh_mean, None, ok=True, note="no baseline (new)")
+            )
+        else:
+            ratio = fresh_mean / base_mean
+            if base_mean < noise_floor_s and fresh_mean < noise_floor_s:
+                verdicts.append(
+                    Verdict(
+                        name, base_mean, fresh_mean, ratio,
+                        ok=True, note="below noise floor",
+                    )
+                )
+            else:
+                verdicts.append(
+                    Verdict(
+                        name,
+                        base_mean,
+                        fresh_mean,
+                        ratio,
+                        ok=ratio <= tolerance,
+                        note="" if ratio <= tolerance else f"exceeds {tolerance:.2f}x",
+                    )
+                )
+    return verdicts
+
+
+def render(verdicts: List[Verdict], tolerance: float) -> str:
+    """A fixed-width comparison table."""
+    lines = [
+        f"{'benchmark':32s} {'baseline':>12s} {'fresh':>12s} {'ratio':>8s}  verdict",
+    ]
+    for verdict in verdicts:
+        base = f"{verdict.baseline_mean_s * 1e3:9.3f} ms" if verdict.baseline_mean_s else "-"
+        fresh = f"{verdict.fresh_mean_s * 1e3:9.3f} ms" if verdict.fresh_mean_s else "-"
+        ratio = f"{verdict.ratio:7.2f}x" if verdict.ratio is not None else "-"
+        status = "ok" if verdict.ok else "REGRESSION"
+        note = f" ({verdict.note})" if verdict.note else ""
+        lines.append(
+            f"{verdict.name:32s} {base:>12s} {fresh:>12s} {ratio:>8s}  {status}{note}"
+        )
+    lines.append(f"tolerance: {tolerance:.2f}x on per-benchmark mean")
+    return "\n".join(lines)
+
+
+def _run_quick(output: Path) -> Dict:
+    """Produce a fresh ``--quick`` report by importing run_bench in-process."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", Path(__file__).resolve().parent / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module.run(output, quick=True)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed report to compare against (default: BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=None,
+        help="fresh report to check; omitted = run run_bench --quick now",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"allowed fresh/baseline mean ratio (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--noise-floor-ms", type=float, default=DEFAULT_NOISE_FLOOR_S * 1e3,
+        help="means below this (both sides) always pass "
+             f"(default: {DEFAULT_NOISE_FLOOR_S * 1e3} ms)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = _run_quick(Path(tmp) / "fresh_quick.json")
+
+    verdicts = compare_reports(
+        baseline,
+        fresh,
+        tolerance=args.tolerance,
+        noise_floor_s=args.noise_floor_ms / 1e3,
+    )
+    print(render(verdicts, args.tolerance))
+    failures = [v for v in verdicts if not v.ok]
+    if failures:
+        print(
+            f"FAIL: {len(failures)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.2f}x: {', '.join(v.name for v in failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

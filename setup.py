@@ -1,6 +1,7 @@
-# Editable-install shim: some sandboxes lack the wheel package that
+# Fallback shim only: all metadata lives in pyproject.toml (setuptools
+# reads it since 61).  Some sandboxes lack the `wheel` package that
 # PEP 660 editable installs require; `python setup.py develop` is the
-# equivalent fallback (see README).
+# equivalent fallback there.
 from setuptools import setup
 
 setup()

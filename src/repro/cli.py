@@ -14,6 +14,16 @@ Subcommands::
     python -m repro report    --kb DIR --anonymity K [--strategy generalize|suppress]
         print the k-anonymous change report of the latest evolution step
 
+    python -m repro serve --kb DIR --users FILE [--port N] [--host H]
+                          [--tenant NAME] [--workers W] [-k K]
+        serve concurrent JSON recommendation requests over HTTP.  The KB
+        becomes one tenant of a :mod:`repro.service`
+        ``RecommendationService`` (thread worker pool + admission batching
+        + snapshot-consistent reads); endpoints are ``GET /health``,
+        ``GET /tenants``, ``GET /stats``, ``POST /recommend`` and
+        ``POST /commit`` (see :mod:`repro.service.http`).  ``--port 0``
+        picks an ephemeral port and prints it.
+
 All KB directories use the ``save_kb`` layout (per-version ``.nt`` files +
 ``manifest.json``), so the CLI also works on hand-built N-Triples data.
 """
@@ -75,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--strategy", choices=("generalize", "suppress"), default="generalize"
     )
+
+    serve = commands.add_parser(
+        "serve", help="serve JSON recommendation requests over HTTP"
+    )
+    serve.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
+    serve.add_argument("--users", required=True, help="users JSON file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351, help="0 = ephemeral")
+    serve.add_argument("--tenant", help="tenant name (default: the KB's name)")
+    serve.add_argument("--workers", type=int, default=4, help="scoring worker threads")
+    serve.add_argument("-k", type=int, default=5, help="default package size")
     return parser
 
 
@@ -165,6 +186,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.recommender.engine import EngineConfig
+    from repro.service import RecommendationService, ServiceConfig
+    from repro.service.http import make_server
+
+    kb = load_kb(Path(args.kb))
+    users = load_users(Path(args.users))
+    service = RecommendationService(
+        ServiceConfig(
+            k=args.k,
+            workers=args.workers,
+            engine=EngineConfig(k=args.k, spread_depth=1),
+        )
+    )
+    tenant = service.add_tenant(args.tenant or kb.name, kb, users)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving tenant {tenant.name!r} ({len(kb)} versions, "
+        f"{len(users)} users) on http://{host}:{port}"
+    )
+    print("endpoints: GET /health /tenants /stats; POST /recommend /commit")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -173,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "measures": _cmd_measures,
         "recommend": _cmd_recommend,
         "report": _cmd_report,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

@@ -25,15 +25,24 @@ its parent's view plus the commit delta (:meth:`SchemaView.seed_from_parent`),
 which lets the artefact layers above maintain expensive derived state
 (betweenness, semantic centralities, relative cardinalities) incrementally
 instead of recomputing it cold per version.
+
+Views are safe to share across threads (the serving layer scores many
+concurrent requests against the same immutable version snapshots): every
+lazy fill that publishes more than one attribute runs under a per-view
+reentrant lock, and :meth:`SchemaView.memoize` gives the artefact layers a
+first-fill-once primitive for the ``memo`` store.  Single-attribute fills
+stay lock-free double-checked -- under the GIL a racing thread can at worst
+recompute the same deterministic value, never observe a torn cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from functools import lru_cache
 from itertools import chain
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.kb.errors import SchemaError
 from repro.kb.graph import Graph
@@ -101,6 +110,10 @@ class SchemaView:
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
+        # Reentrant: artefact factories running under memoize() call back
+        # into locked fills (e.g. betweenness -> class_edges), and the
+        # revalidation path can trigger while the lock is already held.
+        self._lock = threading.RLock()
         self._reset_caches()
 
     def _reset_caches(self) -> None:
@@ -138,7 +151,9 @@ class SchemaView:
         relative cardinalities...) are discarded instead of served.
         """
         if self._revision != self._graph.revision:
-            self._reset_caches()
+            with self._lock:
+                if self._revision != self._graph.revision:
+                    self._reset_caches()
 
     @property
     def memo(self) -> Dict[str, object]:
@@ -150,6 +165,26 @@ class SchemaView:
         """
         self._revalidate()
         return self._memo
+
+    def memoize(self, key: str, factory: Callable[[], object]) -> object:
+        """``memo[key]``, filling it with ``factory()`` exactly once.
+
+        The concurrent-first-fill primitive of the artefact layers: when
+        many serving threads hit a cold version simultaneously, one thread
+        computes the artefact under the view lock and the rest wait and
+        reuse it, instead of all recomputing.  ``factory`` may itself write
+        additional memo keys (the lock is reentrant).
+        """
+        memo = self.memo
+        value = memo.get(key)
+        if value is None:
+            with self._lock:
+                memo = self.memo  # a revision bump may have swapped the dict
+                value = memo.get(key)
+                if value is None:
+                    value = factory()
+                    memo[key] = value
+        return value
 
     @property
     def graph(self) -> Graph:
@@ -174,11 +209,12 @@ class SchemaView:
         changed.  The hint is advisory: with no parent artefacts computed,
         everything falls back to the cold path.
         """
-        self._revalidate()
-        self._parent_hint = (parent, frozenset(added), frozenset(deleted))
-        self._parent_revision = parent.graph.revision
-        self._affected = None
-        self._affected_dilated = None
+        with self._lock:
+            self._revalidate()
+            self._parent_hint = (parent, frozenset(added), frozenset(deleted))
+            self._parent_revision = parent.graph.revision
+            self._affected = None
+            self._affected_dilated = None
 
     def parent_hint(self) -> Optional[Tuple["SchemaView", FrozenSet, FrozenSet]]:
         """The ``(parent view, added, deleted)`` hint, or None.
@@ -190,15 +226,17 @@ class SchemaView:
         own revision guard.
         """
         self._revalidate()
-        if (
-            self._parent_hint is not None
-            and self._parent_hint[0].graph.revision != self._parent_revision
-        ):
-            self._parent_hint = None
-            self._parent_revision = None
-            self._affected = None
-            self._affected_dilated = None
-        return self._parent_hint
+        # Read once into a local: a concurrent thread may clear the hint
+        # between a None-check and a re-read of the attribute.
+        hint = self._parent_hint
+        if hint is not None and hint[0].graph.revision != self._parent_revision:
+            with self._lock:
+                self._parent_hint = None
+                self._parent_revision = None
+                self._affected = None
+                self._affected_dilated = None
+            hint = None
+        return hint
 
     def delta_affected_classes(self) -> FrozenSet[IRI] | None:
         """Classes whose derived per-class artefacts may differ from the parent.
@@ -353,16 +391,22 @@ class SchemaView:
     # -- subsumption ----------------------------------------------------------
 
     def _subsumption_maps(self) -> Tuple[Dict[IRI, Set[IRI]], Dict[IRI, Set[IRI]]]:
+        # The two maps publish together under the lock: a lock-free reader
+        # racing the fill could otherwise observe supers set but subs None.
         self._revalidate()
         if self._direct_superclasses is None:
-            supers: Dict[IRI, Set[IRI]] = {}
-            subs: Dict[IRI, Set[IRI]] = {}
-            for triple in self._graph.match(None, RDFS_SUBCLASSOF, None):
-                if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
-                    supers.setdefault(triple.subject, set()).add(triple.object)
-                    subs.setdefault(triple.object, set()).add(triple.subject)
-            self._direct_superclasses = supers
-            self._direct_subclasses = subs
+            with self._lock:
+                if self._direct_superclasses is None:
+                    supers: Dict[IRI, Set[IRI]] = {}
+                    subs: Dict[IRI, Set[IRI]] = {}
+                    for triple in self._graph.match(None, RDFS_SUBCLASSOF, None):
+                        if isinstance(triple.subject, IRI) and isinstance(
+                            triple.object, IRI
+                        ):
+                            supers.setdefault(triple.subject, set()).add(triple.object)
+                            subs.setdefault(triple.object, set()).add(triple.subject)
+                    self._direct_subclasses = subs
+                    self._direct_superclasses = supers
         assert self._direct_subclasses is not None
         return self._direct_superclasses, self._direct_subclasses
 
@@ -426,16 +470,23 @@ class SchemaView:
     def _domain_range_maps(self) -> Tuple[Dict[IRI, Set[IRI]], Dict[IRI, Set[IRI]]]:
         self._revalidate()
         if self._domains is None:
-            domains: Dict[IRI, Set[IRI]] = {}
-            ranges: Dict[IRI, Set[IRI]] = {}
-            for triple in self._graph.match(None, RDFS_DOMAIN, None):
-                if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
-                    domains.setdefault(triple.subject, set()).add(triple.object)
-            for triple in self._graph.match(None, RDFS_RANGE, None):
-                if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
-                    ranges.setdefault(triple.subject, set()).add(triple.object)
-            self._domains = domains
-            self._ranges = ranges
+            with self._lock:
+                if self._domains is None:
+                    domains: Dict[IRI, Set[IRI]] = {}
+                    ranges: Dict[IRI, Set[IRI]] = {}
+                    for triple in self._graph.match(None, RDFS_DOMAIN, None):
+                        if isinstance(triple.subject, IRI) and isinstance(
+                            triple.object, IRI
+                        ):
+                            domains.setdefault(triple.subject, set()).add(triple.object)
+                    for triple in self._graph.match(None, RDFS_RANGE, None):
+                        if isinstance(triple.subject, IRI) and isinstance(
+                            triple.object, IRI
+                        ):
+                            ranges.setdefault(triple.subject, set()).add(triple.object)
+                    # Ranges publish first: the fast path checks _domains.
+                    self._ranges = ranges
+                    self._domains = domains
         assert self._ranges is not None
         return self._domains, self._ranges
 
@@ -478,16 +529,19 @@ class SchemaView:
         """
         self._revalidate()
         if self._edges_by_source is None:
-            by_source: Dict[IRI, List[PropertyEdge]] = {}
-            by_target: Dict[IRI, List[PropertyEdge]] = {}
-            by_prop: Dict[IRI, List[PropertyEdge]] = {}
-            for edge in self.property_edges():
-                by_source.setdefault(edge.source, []).append(edge)
-                by_target.setdefault(edge.target, []).append(edge)
-                by_prop.setdefault(edge.prop, []).append(edge)
-            self._edges_by_source = {c: tuple(e) for c, e in by_source.items()}
-            self._edges_by_target = {c: tuple(e) for c, e in by_target.items()}
-            self._edges_by_prop = {p: tuple(e) for p, e in by_prop.items()}
+            with self._lock:
+                if self._edges_by_source is None:
+                    by_source: Dict[IRI, List[PropertyEdge]] = {}
+                    by_target: Dict[IRI, List[PropertyEdge]] = {}
+                    by_prop: Dict[IRI, List[PropertyEdge]] = {}
+                    for edge in self.property_edges():
+                        by_source.setdefault(edge.source, []).append(edge)
+                        by_target.setdefault(edge.target, []).append(edge)
+                        by_prop.setdefault(edge.prop, []).append(edge)
+                    # by_source publishes last: it is the fast-path check.
+                    self._edges_by_target = {c: tuple(e) for c, e in by_target.items()}
+                    self._edges_by_prop = {p: tuple(e) for p, e in by_prop.items()}
+                    self._edges_by_source = {c: tuple(e) for c, e in by_source.items()}
         assert self._edges_by_target is not None and self._edges_by_prop is not None
         return self._edges_by_source, self._edges_by_target, self._edges_by_prop
 
@@ -618,39 +672,42 @@ class SchemaView:
     def _links(self) -> "_LinkIndex":
         self._revalidate()
         if self._link_index is None:
-            instance_classes: Dict[Term, Tuple[IRI, ...]] = {}
-            for cls, members in self._instance_map().items():
-                for member in members:
-                    instance_classes[member] = instance_classes.get(member, ()) + (cls,)
+            with self._lock:
+                if self._link_index is not None:
+                    return self._link_index
+                instance_classes: Dict[Term, Tuple[IRI, ...]] = {}
+                for cls, members in self._instance_map().items():
+                    for member in members:
+                        instance_classes[member] = instance_classes.get(member, ()) + (cls,)
 
-            connection_counts: Dict[Tuple[IRI, IRI, IRI], int] = {}
-            subject_links: Dict[Term, List[int]] = {}
-            object_links: Dict[Term, List[int]] = {}
-            link_id = 0
-            for triple in self._graph.match(None, None, None):
-                if _is_builtin(triple.predicate):
-                    continue
-                obj = triple.object
-                is_instance_object = obj in instance_classes
-                if not isinstance(obj, IRI) and not is_instance_object:
-                    continue  # literal attributes / anonymous non-instances
-                # A link counts for a member set when its subject is a member
-                # (IRI objects only, matching the historical semantics) or
-                # its object is a member.
-                if isinstance(obj, IRI):
-                    subject_links.setdefault(triple.subject, []).append(link_id)
-                if is_instance_object:
-                    object_links.setdefault(obj, []).append(link_id)
-                for src_cls in instance_classes.get(triple.subject, ()):
-                    for tgt_cls in instance_classes.get(obj, ()):
-                        key = (triple.predicate, src_cls, tgt_cls)
-                        connection_counts[key] = connection_counts.get(key, 0) + 1
-                link_id += 1
-            self._link_index = _LinkIndex(
-                connection_counts=connection_counts,
-                subject_links={k: frozenset(v) for k, v in subject_links.items()},
-                object_links={k: frozenset(v) for k, v in object_links.items()},
-            )
+                connection_counts: Dict[Tuple[IRI, IRI, IRI], int] = {}
+                subject_links: Dict[Term, List[int]] = {}
+                object_links: Dict[Term, List[int]] = {}
+                link_id = 0
+                for triple in self._graph.match(None, None, None):
+                    if _is_builtin(triple.predicate):
+                        continue
+                    obj = triple.object
+                    is_instance_object = obj in instance_classes
+                    if not isinstance(obj, IRI) and not is_instance_object:
+                        continue  # literal attributes / anonymous non-instances
+                    # A link counts for a member set when its subject is a member
+                    # (IRI objects only, matching the historical semantics) or
+                    # its object is a member.
+                    if isinstance(obj, IRI):
+                        subject_links.setdefault(triple.subject, []).append(link_id)
+                    if is_instance_object:
+                        object_links.setdefault(obj, []).append(link_id)
+                    for src_cls in instance_classes.get(triple.subject, ()):
+                        for tgt_cls in instance_classes.get(obj, ()):
+                            key = (triple.predicate, src_cls, tgt_cls)
+                            connection_counts[key] = connection_counts.get(key, 0) + 1
+                    link_id += 1
+                self._link_index = _LinkIndex(
+                    connection_counts=connection_counts,
+                    subject_links={k: frozenset(v) for k, v in subject_links.items()},
+                    object_links={k: frozenset(v) for k, v in object_links.items()},
+                )
         return self._link_index
 
     def instance_connections(self, prop: IRI, source_cls: IRI, target_cls: IRI) -> int:

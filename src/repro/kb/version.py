@@ -22,6 +22,7 @@ re-diffing snapshots.
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from repro.kb.errors import VersionError
@@ -72,13 +73,24 @@ class Version:
         self._schema: SchemaView | None = None
         self._parent = parent
         self._changes = changes
+        # Serialises lazy rematerialisation and schema-view construction so
+        # concurrent readers of a cold version share one build instead of
+        # racing to publish near-identical copies.
+        self._build_lock = threading.RLock()
 
     @property
     def graph(self) -> Graph:
         """This version's snapshot graph (rematerialised if compacted away)."""
-        if self._graph is None:
-            self._graph = self._materialize()
-        return self._graph
+        # Single read into a local: a concurrent compact() may null the
+        # attribute between a lock-free check and the return.
+        graph = self._graph
+        if graph is None:
+            with self._build_lock:
+                graph = self._graph
+                if graph is None:
+                    graph = self._materialize()
+                    self._graph = graph
+        return graph
 
     @property
     def parent(self) -> "Version | None":
@@ -101,15 +113,19 @@ class Version:
         """Rebuild the snapshot by replaying deltas from a cached ancestor."""
         pending: List[Version] = []
         node: Version | None = self
-        while node is not None and node._graph is None:
+        base: Graph | None = None
+        while node is not None:
+            base = node._graph  # read once: a concurrent compact() may drop it
+            if base is not None:
+                break
             if node._changes is None or node._parent is None:
                 raise VersionError(
                     f"version {node.version_id!r} has neither a cached graph nor a delta chain"
                 )
             pending.append(node)
             node = node._parent
-        assert node is not None  # the chain root always keeps its graph
-        graph = node._graph.copy()  # type: ignore[union-attr]
+        assert base is not None  # the chain root always keeps its graph
+        graph = base.copy()
         for version in reversed(pending):
             added, deleted = version._changes  # type: ignore[misc]
             graph.remove_all(deleted)
@@ -122,11 +138,12 @@ class Version:
         Returns True when the cache was dropped; root versions and versions
         committed without a recorded delta keep their graph and return False.
         """
-        if self._parent is None or self._changes is None or self._graph is None:
-            return False
-        self._graph = None
-        self._schema = None
-        return True
+        with self._build_lock:
+            if self._parent is None or self._changes is None or self._graph is None:
+                return False
+            self._graph = None
+            self._schema = None
+            return True
 
     @property
     def is_materialized(self) -> bool:
@@ -145,17 +162,23 @@ class Version:
         delta, or with a not-yet-built parent view fall back to the cold
         path -- never recursively forcing ancestor views.
         """
-        if self._schema is None:
-            view = SchemaView(self.graph)
-            if (
-                INCREMENTAL_SCHEMA_SEEDING
-                and self._parent is not None
-                and self._changes is not None
-                and self._parent._schema is not None
-            ):
-                view.seed_from_parent(self._parent._schema, *self._changes)
-            self._schema = view
-        return self._schema
+        schema = self._schema
+        if schema is None:
+            with self._build_lock:
+                schema = self._schema
+                if schema is None:
+                    schema = SchemaView(self.graph)
+                    parent_schema = (
+                        self._parent._schema if self._parent is not None else None
+                    )
+                    if (
+                        INCREMENTAL_SCHEMA_SEEDING
+                        and self._changes is not None
+                        and parent_schema is not None
+                    ):
+                        schema.seed_from_parent(parent_schema, *self._changes)
+                    self._schema = schema
+        return schema
 
     def __len__(self) -> int:
         return self._size
@@ -182,6 +205,12 @@ class VersionedKnowledgeBase:
         self.name = name
         self._versions: List[Version] = []
         self._by_id: Dict[str, Version] = {}
+        # Writer lock: commits / compaction are single-writer.  Readers never
+        # take it -- committed Version objects are immutable, and the chain
+        # only ever grows (list append / dict insert are atomic under the
+        # GIL), so concurrent version() / latest() / iteration against a
+        # committing writer observe either the old or the new chain head.
+        self._write_lock = threading.RLock()
 
     # -- committing -----------------------------------------------------------
 
@@ -203,32 +232,40 @@ class VersionedKnowledgeBase:
         onto the chain's (a full copy), so every version always shares one
         dictionary and delta computation stays on the integer fast path.
         """
-        if version_id is None:
-            version_id = f"v{len(self._versions) + 1}"
-        if version_id in self._by_id:
-            raise VersionError(f"duplicate version id: {version_id!r}")
-        parent = self._versions[-1] if self._versions else None
-        if parent is None:
-            snapshot = graph.copy() if copy else graph
-            version = Version(version_id, snapshot, dict(metadata or {}))
-        else:
-            chain_dict = parent.graph.dictionary
-            if graph.dictionary is not chain_dict:
-                snapshot = Graph(iter(graph), dictionary=chain_dict)
-            elif copy:
-                snapshot = graph.copy()
+        with self._write_lock:
+            if version_id is None:
+                version_id = f"v{len(self._versions) + 1}"
+            if version_id in self._by_id:
+                raise VersionError(f"duplicate version id: {version_id!r}")
+            parent = self._versions[-1] if self._versions else None
+            if parent is None:
+                snapshot = graph.copy() if copy else graph
+                version = Version(version_id, snapshot, dict(metadata or {}))
             else:
-                snapshot = graph
-            changes = (
-                frozenset(snapshot.difference(parent.graph)),
-                frozenset(parent.graph.difference(snapshot)),
-            )
-            version = Version(
-                version_id, snapshot, dict(metadata or {}), parent=parent, changes=changes
-            )
-        self._versions.append(version)
-        self._by_id[version_id] = version
-        return version
+                chain_dict = parent.graph.dictionary
+                if graph.dictionary is not chain_dict:
+                    snapshot = Graph(iter(graph), dictionary=chain_dict)
+                elif copy:
+                    snapshot = graph.copy()
+                else:
+                    snapshot = graph
+                changes = (
+                    frozenset(snapshot.difference(parent.graph)),
+                    frozenset(parent.graph.difference(snapshot)),
+                )
+                version = Version(
+                    version_id,
+                    snapshot,
+                    dict(metadata or {}),
+                    parent=parent,
+                    changes=changes,
+                )
+            # The version publishes fully built: the _by_id insert lands
+            # before the list append, so an id visible through iteration is
+            # always resolvable.
+            self._by_id[version_id] = version
+            self._versions.append(version)
+            return version
 
     def commit_changes(
         self,
@@ -238,10 +275,11 @@ class VersionedKnowledgeBase:
         metadata: Dict[str, str] | None = None,
     ) -> Version:
         """Derive the next version from the latest one by applying changes."""
-        base = self.latest().graph.copy() if self._versions else Graph()
-        base.remove_all(deleted)
-        base.add_all(added)
-        return self.commit(base, version_id=version_id, metadata=metadata, copy=False)
+        with self._write_lock:
+            base = self.latest().graph.copy() if self._versions else Graph()
+            base.remove_all(deleted)
+            base.add_all(added)
+            return self.commit(base, version_id=version_id, metadata=metadata, copy=False)
 
     def compact(self) -> int:
         """Drop the cached snapshots of all middle versions; returns how many.
@@ -250,11 +288,22 @@ class VersionedKnowledgeBase:
         the delta chain, the latest is what most queries hit).  Compacted
         versions rebuild transparently -- and cache again -- on next access.
         """
-        dropped = 0
-        for version in self._versions[1:-1]:
-            if version.drop_graph_cache():
-                dropped += 1
-        return dropped
+        with self._write_lock:
+            dropped = 0
+            for version in self._versions[1:-1]:
+                if version.drop_graph_cache():
+                    dropped += 1
+            return dropped
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The chain's writer lock (reentrant).
+
+        Commits and compaction take it internally; the serving layer also
+        holds it as the per-tenant write lock around compound
+        read-modify-commit sequences.  Readers never need it.
+        """
+        return self._write_lock
 
     # -- access ---------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Tuple
 
@@ -55,6 +56,10 @@ class EvolutionContext:
         self.new = new
         self._delta: LowLevelDelta | None = None
         self._change_counts: Dict | None = None
+        # Contexts are shared across serving threads (the engine caches one
+        # per version pair); the lock makes the lazy delta / change-count
+        # fills first-fill-once instead of racing.
+        self._lock = threading.Lock()
         #: Scratch cache for expensive per-version artefacts that several
         #: measures share (e.g. class graphs and betweenness scores).  Keys
         #: are namespaced strings; values are measure-defined.
@@ -69,10 +74,14 @@ class EvolutionContext:
         graphs with the integer-set fast path.
         """
         if self._delta is None:
-            if self.new.parent is self.old:
-                self._delta = self.new.delta_from_parent()
-            if self._delta is None:
-                self._delta = LowLevelDelta.compute(self.old.graph, self.new.graph)
+            with self._lock:
+                if self._delta is None:
+                    delta = None
+                    if self.new.parent is self.old:
+                        delta = self.new.delta_from_parent()
+                    if delta is None:
+                        delta = LowLevelDelta.compute(self.old.graph, self.new.graph)
+                    self._delta = delta
         return self._delta
 
     @property
@@ -88,7 +97,10 @@ class EvolutionContext:
     def change_counts(self) -> Mapping:
         """Per-term ``delta(n)`` counts, computed once."""
         if self._change_counts is None:
-            self._change_counts = self.delta.change_counts()
+            counts = self.delta.change_counts()
+            with self._lock:
+                if self._change_counts is None:
+                    self._change_counts = counts
         return self._change_counts
 
     def union_classes(self) -> FrozenSet[IRI]:

@@ -14,7 +14,7 @@ from the profile's measure-family preferences.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence, Tuple
 
 from repro.kb.terms import IRI
 from repro.measures.base import (
@@ -25,7 +25,10 @@ from repro.measures.base import (
     MeasureResult,
     TargetKind,
 )
-from repro.profiles.user import InterestProfile
+if TYPE_CHECKING:  # annotation-only: profiles sits above measures, and a
+    # runtime import here closes the measures -> profiles -> measures cycle
+    # that breaks profiles-first import orders (e.g. `import repro.service`).
+    from repro.profiles.user import InterestProfile
 
 
 class WeightedMixMeasure(EvolutionMeasure):

@@ -123,10 +123,15 @@ def _seeded_cache(schema: SchemaView, key: str) -> Dict:
     Carried values are bit-identical to a cold recomputation: each is a
     deterministic arithmetic function (fixed summation order over
     value-sorted schema edges) of quantities the delta left untouched.
+
+    Cache *creation* (with its parent seeding) runs once under the view
+    lock (:meth:`SchemaView.memoize`); the per-entry fills afterwards stay
+    lock-free -- racing threads can at worst recompute the same
+    deterministic value and overwrite it with an identical one.
     """
-    cache = schema.memo.get(key)
-    if cache is None:
-        cache = {}
+
+    def _build() -> Dict:
+        cache: Dict = {}
         hint = schema.parent_hint()
         if hint is not None:
             parent_cache = hint[0].memo.get(key)
@@ -135,18 +140,19 @@ def _seeded_cache(schema: SchemaView, key: str) -> Dict:
                     affected = schema.delta_affected_classes()
                     cache.update(
                         (edge, value)
-                        for edge, value in parent_cache.items()
+                        for edge, value in dict(parent_cache).items()
                         if edge[1] not in affected and edge[2] not in affected
                     )
                 else:
                     affected = schema.delta_affected_classes_dilated()
                     cache.update(
                         (cls, value)
-                        for cls, value in parent_cache.items()
+                        for cls, value in dict(parent_cache).items()
                         if cls not in affected
                     )
-        schema.memo[key] = cache
-    return cache
+        return cache
+
+    return schema.memoize(key, _build)
 
 
 def centrality(schema: SchemaView, cls: IRI) -> float:
@@ -167,7 +173,7 @@ def relevance(schema: SchemaView, cls: IRI) -> float:
     neighbourhood's centralities and the transitive instance population,
     whose change region is much wider than the per-class delta footprint.
     """
-    cache = schema.memo.setdefault(RELEVANCE_KEY, {})
+    cache = schema.memoize(RELEVANCE_KEY, dict)
     value = cache.get(cls)
     if value is None:
         own = centrality(schema, cls)

@@ -70,10 +70,15 @@ def betweenness_artefact(schema: SchemaView) -> Tuple[UndirectedGraph, Mapping]:
     KBs seed it at commit), usually not even that: the parent's raw scores
     are updated through :func:`~repro.graphtools.incremental.update_raw_betweenness`,
     recomputing only the components the delta touched.
+
+    First fill runs under the view's lock (:meth:`SchemaView.memoize`), so
+    concurrent serving threads hitting a cold version share one Brandes /
+    incremental-update pass.  The raw-score and edge-key side artefacts
+    publish before the normalized map, so a parent cache observed by a child
+    fill is never half-written.
     """
-    memo = schema.memo
-    artefact = memo.get(BETWEENNESS_KEY)
-    if artefact is None:
+
+    def _build():
         graph = class_graph(schema)
         edge_keys = edge_key_set(graph)
         raw = None
@@ -94,22 +99,22 @@ def betweenness_artefact(schema: SchemaView) -> Tuple[UndirectedGraph, Mapping]:
                 raw = update.raw
         if raw is None:
             raw = raw_betweenness(graph)
+        memo = schema.memo
         memo[RAW_BETWEENNESS_KEY] = raw
         memo[EDGE_KEYS_KEY] = edge_keys
-        artefact = (graph, normalize_betweenness(raw, len(graph)))
-        memo[BETWEENNESS_KEY] = artefact
-    return artefact
+        return (graph, normalize_betweenness(raw, len(graph)))
+
+    return schema.memoize(BETWEENNESS_KEY, _build)
 
 
 def bridging_scores(schema: SchemaView) -> Mapping:
     """Bridging centrality of every class of one version, memoised on the view."""
-    memo = schema.memo
-    scores = memo.get(BRIDGING_KEY)
-    if scores is None:
+
+    def _build():
         graph, betweenness = betweenness_artefact(schema)
-        scores = bridging_centrality(graph, betweenness=dict(betweenness))
-        memo[BRIDGING_KEY] = scores
-    return scores
+        return bridging_centrality(graph, betweenness=dict(betweenness))
+
+    return schema.memoize(BRIDGING_KEY, _build)
 
 
 def _graph_and_betweenness(context: EvolutionContext, which: str):

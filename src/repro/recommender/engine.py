@@ -17,6 +17,8 @@
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -58,6 +60,26 @@ from repro.util.validation import require_probability
 DIVERSIFIERS = ("none", "mmr", "max_min", "coverage", "novelty")
 
 
+def _scores_from_row(
+    candidates: Sequence[RecommendationItem], row
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """``(utilities, relatedness)`` per item key from one user's score row.
+
+    The single definition both :meth:`RecommenderEngine.recommend` and
+    :meth:`RecommenderEngine.recommend_many` reduce through -- the batched
+    path's bit-identical guarantee is this shared arithmetic, not two
+    copies kept in sync by hand.
+    """
+    relatedness = {
+        item.key: float(related) for item, related in zip(candidates, row)
+    }
+    utilities = {
+        item.key: float(item.evolution_score * related)
+        for item, related in zip(candidates, row)
+    }
+    return utilities, relatedness
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """All engine knobs in one place (the ablation surface of E4/E5/E7)."""
@@ -71,10 +93,19 @@ class EngineConfig:
     fairness_beta: float = 0.5
     spread_depth: int = 0  # interest spreading hops (0 = profile as-is)
     spread_decay: float = 0.5
+    #: How many version pairs keep warm per-context artefacts (measure
+    #: results, candidate pools, scorers).  A long-lived serving engine sees
+    #: an unbounded stream of pairs as writers commit; beyond this many the
+    #: oldest pair's caches are evicted (recomputable, never wrong).
+    max_cached_contexts: int = 8
 
     def __post_init__(self) -> None:
         if self.k < 0:
             raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.max_cached_contexts < 1:
+            raise ValueError(
+                f"max_cached_contexts must be >= 1, got {self.max_cached_contexts}"
+            )
         require_probability(self.alpha, "alpha")
         require_probability(self.mmr_lambda, "mmr_lambda")
         require_probability(self.fairness_beta, "fairness_beta")
@@ -89,8 +120,54 @@ class EngineConfig:
             )
 
 
+class _ContextArtefacts:
+    """One context's cached pipeline artefacts, with their own fill lock.
+
+    Per-entry locking means a cold fill for pair A never blocks a cold
+    fill for an unrelated pair B -- only requests for the *same* context
+    wait on (and then reuse) each other's computation, which is exactly
+    the admission-batching story.  The lock is reentrant because
+    ``candidates`` fills ``results`` under the same entry lock.
+    """
+
+    __slots__ = ("lock", "results", "candidates", "by_key", "scorer")
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.results: Mapping[str, MeasureResult] | None = None
+        self.candidates: List[RecommendationItem] | None = None
+        self.by_key: Dict[str, RecommendationItem] | None = None
+        self.scorer: RelatednessScorer | None = None
+
+    def fill(self, field: str, factory):
+        """``getattr(self, field)``, computed by ``factory()`` exactly once.
+
+        The engine-side sibling of :meth:`SchemaView.memoize`: one
+        double-checked locked fill instead of a hand-copied idiom per
+        artefact.  ``factory`` may itself fill other fields of the same
+        entry (the lock is reentrant).
+        """
+        value = getattr(self, field)
+        if value is None:
+            with self.lock:
+                value = getattr(self, field)
+                if value is None:
+                    value = factory()
+                    setattr(self, field, value)
+        return value
+
+
 class RecommenderEngine:
-    """Facade over the full human-aware recommendation pipeline."""
+    """Facade over the full human-aware recommendation pipeline.
+
+    Engine instances are shareable across threads: every per-context
+    artefact (measure results, candidate pool, scorer) lives in one bundle
+    that fills under a per-context lock -- the first request for a cold
+    pair computes, concurrent requests for the same pair wait and reuse,
+    and unrelated pairs proceed in parallel.  The engine-wide lock only
+    guards the (bounded) cache maps themselves; the scoring path reads
+    immutable snapshots.
+    """
 
     def __init__(
         self,
@@ -106,12 +183,20 @@ class RecommenderEngine:
         self._feedback = feedback
         self._workflow = Workflow("recommender", provenance_store)
         self._context_cache: EvolutionContext | None = None
-        self._contexts_by_pair: Dict[Tuple[str, str], EvolutionContext] = {}
-        # Contexts hash by identity, so they key their own cache entries.
-        self._results_cache: Dict[EvolutionContext, Mapping[str, MeasureResult]] = {}
-        self._candidates_cache: Dict[EvolutionContext, List[RecommendationItem]] = {}
-        self._by_key_cache: Dict[EvolutionContext, Dict[str, RecommendationItem]] = {}
-        self._scorer: RelatednessScorer | None = None
+        # Both maps are insertion-ordered and bounded by max_cached_contexts:
+        # a serving engine sees an unbounded pair stream as writers commit,
+        # so the oldest entries are evicted.  Contexts hash by identity, and
+        # *every* context that acquires artefacts -- tracked pairs and
+        # caller-constructed contexts alike -- goes through _artefacts, so
+        # nothing can refill outside the bound.
+        self._contexts_by_pair: "OrderedDict[Tuple[str, str], EvolutionContext]" = (
+            OrderedDict()
+        )
+        self._artefacts: "OrderedDict[EvolutionContext, _ContextArtefacts]" = (
+            OrderedDict()
+        )
+        # Guards the two cache maps only -- never held during computation.
+        self._cache_lock = threading.RLock()
 
     # -- shared pipeline pieces ---------------------------------------------------
 
@@ -133,14 +218,16 @@ class RecommenderEngine:
     def context(self) -> EvolutionContext:
         """The default evolution context: the latest version pair."""
         if self._context_cache is None:
-            versions = list(self._kb)
-            if len(versions) < 2:
-                raise ValueError(
-                    "knowledge base needs at least two versions to recommend on"
-                )
-            self._context_cache = self.context_for(
-                versions[-2].version_id, versions[-1].version_id
-            )
+            with self._cache_lock:
+                if self._context_cache is None:
+                    versions = list(self._kb)
+                    if len(versions) < 2:
+                        raise ValueError(
+                            "knowledge base needs at least two versions to recommend on"
+                        )
+                    self._context_cache = self.context_for(
+                        versions[-2].version_id, versions[-1].version_id
+                    )
         return self._context_cache
 
     def context_for(self, old_id: str, new_id: str) -> EvolutionContext:
@@ -154,11 +241,67 @@ class RecommenderEngine:
         artefact incrementally from its parent instead of recomputing cold.
         """
         key = (old_id, new_id)
-        if key not in self._contexts_by_pair:
-            self._contexts_by_pair[key] = EvolutionContext(
-                self._kb.version(old_id), self._kb.version(new_id)
-            )
-        return self._contexts_by_pair[key]
+        context = self._contexts_by_pair.get(key)
+        if context is None:
+            with self._cache_lock:
+                context = self._contexts_by_pair.get(key)
+                if context is None:
+                    context = EvolutionContext(
+                        self._kb.version(old_id), self._kb.version(new_id)
+                    )
+                    self._contexts_by_pair[key] = context
+                    self._evict_stale_contexts()
+        return context
+
+    def _artefacts_for(self, context: EvolutionContext) -> _ContextArtefacts:
+        """The context's artefact bundle (created, and the caches bounded).
+
+        Also the single chokepoint for eviction: every artefact fill passes
+        through here, so re-requesting an evicted (or never-tracked)
+        context re-registers a bounded entry instead of leaking one.
+        """
+        entry = self._artefacts.get(context)
+        if entry is None:
+            with self._cache_lock:
+                entry = self._artefacts.get(context)
+                if entry is None:
+                    entry = _ContextArtefacts()
+                    self._artefacts[context] = entry
+                    self._evict_stale_contexts()
+        return entry
+
+    def _evict_stale_contexts(self) -> None:
+        """Drop the oldest contexts' caches beyond the configured bound.
+
+        Called under the cache lock.  Eviction only removes *this engine's*
+        references: requests already holding an evicted context (or its
+        artefact bundle) keep using it -- the context and its version
+        snapshots stay alive and valid -- and a re-requested pair simply
+        recomputes.  Bounded memory, never a wrong answer.  The
+        default-context pair is pinned.
+        """
+        limit = self._config.max_cached_contexts
+        while len(self._artefacts) > limit:
+            victim = None
+            for context in self._artefacts:
+                if context is not self._context_cache:
+                    victim = context
+                    break
+            if victim is None:  # only the pinned default context remains
+                break
+            del self._artefacts[victim]
+            for key, context in list(self._contexts_by_pair.items()):
+                if context is victim:
+                    del self._contexts_by_pair[key]
+        # Pair handles without artefacts yet (context_for without a fill)
+        # are bounded the same way.
+        while len(self._contexts_by_pair) > limit:
+            for key, context in self._contexts_by_pair.items():
+                if context is not self._context_cache:
+                    break
+            else:
+                break
+            del self._contexts_by_pair[key]
 
     def contexts(self) -> List[EvolutionContext]:
         """One cached context per adjacent version pair, in chain order."""
@@ -172,24 +315,28 @@ class RecommenderEngine:
     ) -> Mapping[str, MeasureResult]:
         """All measure results on the context (cached per context)."""
         context = context or self.context()
-        key = context
-        if key not in self._results_cache:
+
+        def _compute() -> Mapping[str, MeasureResult]:
             run = self._workflow.run_task(
                 "compute_measures",
                 self._catalog.compute_all,
                 args=(context,),
-                output_label=f"measure results {context.old.version_id}->{context.new.version_id}",
+                output_label=(
+                    f"measure results "
+                    f"{context.old.version_id}->{context.new.version_id}"
+                ),
             )
-            self._results_cache[key] = run.value
-        return self._results_cache[key]
+            return run.value
+
+        return self._artefacts_for(context).fill("results", _compute)
 
     def candidates(
         self, context: EvolutionContext | None = None
     ) -> List[RecommendationItem]:
         """The candidate item pool (cached per context)."""
         context = context or self.context()
-        key = context
-        if key not in self._candidates_cache:
+
+        def _generate() -> List[RecommendationItem]:
             results = self.measure_results(context)
             run = self._workflow.run_task(
                 "generate_candidates",
@@ -201,21 +348,29 @@ class RecommenderEngine:
                 },
                 output_label="candidate items",
             )
-            self._candidates_cache[key] = run.value
-        return self._candidates_cache[key]
+            return run.value
+
+        return self._artefacts_for(context).fill("candidates", _generate)
 
     def scorer(self, context: EvolutionContext | None = None) -> RelatednessScorer:
-        """The relatedness scorer (built once; uses the new version's schema)."""
-        if self._scorer is None:
-            context = context or self.context()
-            self._scorer = RelatednessScorer(
+        """The relatedness scorer of one context (cached per context).
+
+        Scorers are per-context because interest spreading runs over the
+        *new* version's schema: one engine-wide scorer would pin every pair
+        to whichever version was scored first, serving stale spread
+        profiles after a commit.
+        """
+        context = context or self.context()
+        return self._artefacts_for(context).fill(
+            "scorer",
+            lambda: RelatednessScorer(
                 alpha=self._config.alpha,
                 feedback=self._feedback,
                 schema=context.new_schema,
                 spread_decay=self._config.spread_decay,
                 spread_depth=self._config.spread_depth,
-            )
-        return self._scorer
+            ),
+        )
 
     def _distance(self, context: EvolutionContext) -> ItemDistance:
         return ItemDistance(class_graph=class_graph(context.new_schema))
@@ -244,12 +399,10 @@ class RecommenderEngine:
     ) -> Dict[str, RecommendationItem]:
         """Candidate items keyed by item key (cached per context)."""
         context = context or self.context()
-        key = context
-        if key not in self._by_key_cache:
-            self._by_key_cache[key] = {
-                item.key: item for item in self.candidates(context)
-            }
-        return self._by_key_cache[key]
+        return self._artefacts_for(context).fill(
+            "by_key",
+            lambda: {item.key: item for item in self.candidates(context)},
+        )
 
     def _seen_items(
         self, user: User, context: EvolutionContext | None = None
@@ -284,22 +437,38 @@ class RecommenderEngine:
             # One batch pass yields both the utilities and the relatedness
             # values the explanations need.
             scores = scorer.score_batch([user], candidates)[user.user_id]
-            relatedness_by_key.update(
-                (item.key, float(related)) for item, related in zip(candidates, scores)
-            )
-            return {
-                item.key: float(item.evolution_score * related)
-                for item, related in zip(candidates, scores)
-            }
+            utilities, relatedness = _scores_from_row(candidates, scores)
+            relatedness_by_key.update(relatedness)
+            return utilities
 
         utilities_run = self._workflow.run_task(
             "score_utilities",
             _score_utilities,
             output_label=f"utilities for {user.user_id}",
         )
-        ranked = rank_items(candidates, utilities_run.value)
-        selected = self._diversify(ranked, k, context, seen=self._seen_items(user, context))
+        package = self._assemble_package(
+            user, k, context, candidates, utilities_run.value, relatedness_by_key
+        )
+        self._workflow.run_task(
+            "assemble_package",
+            lambda: package,
+            inputs=[utilities_run.output],
+            output_label=f"package for {user.user_id}",
+        )
+        return package
 
+    def _assemble_package(
+        self,
+        user: User,
+        k: int,
+        context: EvolutionContext,
+        candidates: Sequence[RecommendationItem],
+        utilities: Mapping[str, float],
+        relatedness_by_key: Mapping[str, float],
+    ) -> RecommendationPackage:
+        """Rank, diversify and explain one user's package from raw scores."""
+        ranked = rank_items(candidates, utilities)
+        selected = self._diversify(ranked, k, context, seen=self._seen_items(user, context))
         relatedness = {
             scored.item.key: relatedness_by_key[scored.item.key] for scored in selected
         }
@@ -309,7 +478,7 @@ class RecommenderEngine:
             )
             for scored in selected
         }
-        package = RecommendationPackage(
+        return RecommendationPackage(
             items=tuple(selected),
             audience=user.user_id,
             explanations=explanations,
@@ -318,13 +487,44 @@ class RecommenderEngine:
                 "diversifier": self._config.diversifier,
             },
         )
-        self._workflow.run_task(
-            "assemble_package",
-            lambda: package,
-            inputs=[utilities_run.output],
-            output_label=f"package for {user.user_id}",
+
+    def recommend_many(
+        self,
+        users: Sequence[User],
+        k: int | None = None,
+        context: EvolutionContext | None = None,
+    ) -> Dict[str, RecommendationPackage]:
+        """Recommend to many humans with one batched relatedness sweep.
+
+        The serving layer's admission queue coalesces concurrent requests
+        for the same (tenant, version pair) into one call here: the
+        candidate pool is interned and scored for all users in a single
+        :meth:`RelatednessScorer.score_batch` pass, then each user's
+        package is ranked, diversified and explained individually.
+        Packages are bit-identical to calling :meth:`recommend` once per
+        user -- ``score_batch`` computes every user's row independently, so
+        batching changes cost, never values.
+        """
+        context = context or self.context()
+        k = self._config.k if k is None else k
+        users = list(users)
+        candidates = self.candidates(context)
+        scorer = self.scorer(context)
+        scores_run = self._workflow.run_task(
+            "score_utilities_batch",
+            scorer.score_batch,
+            args=(users, candidates),
+            output_label=f"batched utilities for {len(users)} users",
         )
-        return package
+        packages: Dict[str, RecommendationPackage] = {}
+        for user in users:
+            utilities, relatedness_by_key = _scores_from_row(
+                candidates, scores_run.value[user.user_id]
+            )
+            packages[user.user_id] = self._assemble_package(
+                user, k, context, candidates, utilities, relatedness_by_key
+            )
+        return packages
 
     # -- group recommendation ----------------------------------------------------------
 

@@ -207,22 +207,27 @@ class RelatednessScorer:
         self._spread_decay = spread_decay
         self._spread_depth = spread_depth
         self._cold_start_fallback = cold_start_fallback
-        self._spread_cache: Dict[str, User] = {}
+        # user_id -> (source profile, spread user).  The source profile is
+        # kept for an identity check so replacing a user (same id, new
+        # profile object) invalidates the cached spread instead of serving
+        # the old interests forever.
+        self._spread_cache: Dict[str, tuple] = {}
 
     def _effective_user(self, user: User) -> User:
         if self._schema is None or self._spread_depth <= 0:
             return user
         cached = self._spread_cache.get(user.user_id)
-        if cached is None:
-            cached = User(
+        if cached is None or cached[0] is not user.profile:
+            spread_user = User(
                 user_id=user.user_id,
                 profile=spread_profile(
                     user.profile, self._schema, self._spread_decay, self._spread_depth
                 ),
                 name=user.name,
             )
+            cached = (user.profile, spread_user)
             self._spread_cache[user.user_id] = cached
-        return cached
+        return cached[1]
 
     def score(self, user: User, item: RecommendationItem) -> float:
         """Relatedness of ``item`` to ``user`` in [0, 1]."""

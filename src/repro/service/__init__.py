@@ -1,0 +1,51 @@
+"""Concurrent multi-tenant serving layer.
+
+The paper frames the recommender as a curator-facing service reacting to
+each knowledge-base evolution step; this package is the long-lived,
+thread-safe subsystem that actually serves that workload:
+
+* :class:`~repro.service.registry.TenantRegistry` /
+  :class:`~repro.service.registry.Tenant` -- named
+  :class:`~repro.kb.version.VersionedKnowledgeBase`\\ s with their user
+  population, one shared :class:`~repro.recommender.engine.RecommenderEngine`
+  per tenant and a per-tenant write lock for commits,
+* :class:`~repro.service.admission.AdmissionQueue` -- coalesces concurrent
+  ``recommend`` requests for the same (tenant, version pair) into single
+  batched scoring calls on a worker pool,
+* :class:`~repro.service.service.RecommendationService` /
+  :class:`~repro.service.service.ServiceConfig` -- the Python API tying the
+  two together with snapshot-consistent reads: a request keeps scoring the
+  version pair it was admitted on even while a writer commits the next
+  evolution step,
+* :mod:`repro.service.http` -- a stdlib-only JSON front-end
+  (``python -m repro serve``).
+
+Results are bit-identical to serial, single-threaded execution: batching
+and concurrency change cost, never values (the service test suite asserts
+exactly that).
+"""
+
+from repro.service.admission import AdmissionQueue, AdmissionStats
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownTenantError,
+    UnknownUserError,
+)
+from repro.service.registry import Tenant, TenantRegistry
+from repro.service.service import RecommendationService, ServiceConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionStats",
+    "RecommendationService",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "Tenant",
+    "TenantRegistry",
+    "UnknownTenantError",
+    "UnknownUserError",
+]

@@ -1,0 +1,245 @@
+"""Admission batching: coalesce concurrent requests into batched scoring.
+
+Serving "heavy traffic" means many humans asking about the *same* evolution
+step at once.  Scoring each request independently repeats the expensive,
+user-independent half of the pipeline (candidate interning, the
+similarity-row gather of the collaborative model) once per request;
+:meth:`~repro.recommender.engine.RecommenderEngine.recommend_many` does it
+once per *batch*.  The :class:`AdmissionQueue` is the piece that turns
+concurrent traffic into such batches:
+
+1. ``submit`` admits a request under the queue lock, appending it to the
+   pending batch of its admission key ``(tenant, old version, new version,
+   k)`` and returning a future.
+2. A worker pops the *entire* pending batch of the oldest key (FIFO over
+   keys, bounded by ``max_batch``) and runs one
+   ``recommend_many`` call for all distinct users in it.
+3. Every admitted request resolves with its user's package; requests that
+   arrived while the batch was being scored form the next batch.
+
+Because the admission key pins the version pair, a batch is
+snapshot-consistent by construction: a writer committing version ``N+1``
+while a batch for ``(N-1, N)`` is in flight changes neither the batch's
+contexts nor its scores.  And because ``recommend_many`` is bit-identical
+to per-user ``recommend`` calls, coalescing is invisible in the results --
+only in the throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.profiles.user import User
+from repro.service.errors import ServiceClosedError, ServiceOverloadedError
+from repro.service.registry import Tenant
+
+#: An admission key: requests sharing it are scored in one batched call.
+#: The first element is the Tenant object's id(), not its name: a tenant
+#: removed and re-registered under the same name is a *different* tenant,
+#: and its requests must never share a batch with the old one's.
+BatchKey = Tuple[int, str, str, int]
+
+
+@dataclass
+class _Request:
+    tenant: Tenant
+    user: User
+    k: int
+    pair: Tuple[str, str]
+    future: "Future"
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the tests and the load generator read (not thread-exact:
+    increments happen under the queue lock, reads are unlocked snapshots).
+    Plain counters only -- nothing here grows with the key space, so a
+    long-lived service's stats stay O(1)."""
+
+    submitted: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    largest_batch: int = 0
+    #: Requests that shared their batch with at least one other request.
+    coalesced: int = 0
+    #: Requests rejected at admission because the queue was at capacity.
+    shed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-friendly counter snapshot."""
+        return {
+            "submitted": self.submitted,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
+        }
+
+
+class AdmissionQueue:
+    """A coalescing request queue over a thread worker pool.
+
+    ``max_pending`` is the backpressure valve: once that many requests are
+    queued (across all keys), further submissions are shed with
+    :class:`ServiceOverloadedError` instead of growing the backlog without
+    bound -- under sustained overload, clients get an immediate
+    retry-elsewhere signal rather than a slow timeout while abandoned work
+    piles up.
+    """
+
+    def __init__(
+        self, workers: int = 4, max_batch: int = 64, max_pending: int = 1024
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self._max_batch = max_batch
+        self._max_pending = max_pending
+        self._pending_count = 0
+        self._pending: "OrderedDict[BatchKey, List[_Request]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._closed = False
+        self.stats = AdmissionStats()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-admission-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- producer side --------------------------------------------------------
+
+    def submit(
+        self, tenant: Tenant, user: User, k: int, pair: Tuple[str, str]
+    ) -> "Future":
+        """Admit one request; returns a future resolving to its package.
+
+        ``pair`` is the version pair captured at admission -- the snapshot
+        the request will score regardless of later commits.
+        """
+        future: Future = Future()
+        request = _Request(tenant=tenant, user=user, k=k, pair=pair, future=future)
+        key: BatchKey = (id(tenant), pair[0], pair[1], k)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("admission queue is closed")
+            if self._pending_count >= self._max_pending:
+                self.stats.shed += 1
+                raise ServiceOverloadedError(
+                    f"admission queue is full ({self._max_pending} pending requests)"
+                )
+            self.stats.submitted += 1
+            self._pending_count += 1
+            self._pending.setdefault(key, []).append(request)
+            self._work_available.notify()
+        return future
+
+    # -- worker side -----------------------------------------------------------
+
+    def _pop_batch(self) -> Tuple[BatchKey, List[_Request]] | None:
+        """Dequeue the oldest key's batch (or None when closing). Lock held."""
+        while not self._pending:
+            if self._closed:
+                return None
+            self._work_available.wait()
+        key, requests = next(iter(self._pending.items()))
+        if len(requests) <= self._max_batch:
+            del self._pending[key]
+            self._pending_count -= len(requests)
+        else:
+            batch, rest = requests[: self._max_batch], requests[self._max_batch :]
+            self._pending[key] = rest
+            # Round-robin: the remainder yields its front position, so a hot
+            # key with a sustained backlog cannot starve the other keys.
+            self._pending.move_to_end(key)
+            self._pending_count -= len(batch)
+            requests = batch
+        return key, requests
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                popped = self._pop_batch()
+                if popped is None:
+                    return
+                key, requests = popped
+                self.stats.batches += 1
+                self.stats.batched_requests += len(requests)
+                self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
+                if len(requests) > 1:
+                    self.stats.coalesced += len(requests)
+            self._run_batch(key, requests)
+
+    @staticmethod
+    def _resolve(future: "Future", value=None, exception: BaseException | None = None) -> None:
+        """Resolve one future, tolerating a caller-side cancel at any point.
+
+        ``Future.cancel`` can land between a ``cancelled()`` check and the
+        set call (nothing ever marks these futures running), which would
+        raise ``InvalidStateError`` and kill the worker thread -- so the set
+        itself is the guard.
+        """
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(value)
+        except InvalidStateError:
+            pass  # cancelled by the caller; nobody is waiting
+
+    def _run_batch(self, key: BatchKey, requests: List[_Request]) -> None:
+        """Score one admitted batch and resolve its futures."""
+        tenant = requests[0].tenant
+        _, old_id, new_id, k = key
+        try:
+            engine = tenant.engine
+            context = engine.context_for(old_id, new_id)
+            # Distinct users, in admission order, first occurrence wins:
+            # duplicate requests for the same user share one scoring row
+            # (and one package object), and an earlier request is never
+            # scored against a profile registered after it was admitted.
+            users_by_id: Dict[str, User] = {}
+            for request in requests:
+                users_by_id.setdefault(request.user.user_id, request.user)
+            packages = engine.recommend_many(
+                list(users_by_id.values()), k=k, context=context
+            )
+        except BaseException as exc:  # propagate to every waiter, keep worker alive
+            for request in requests:
+                self._resolve(request.future, exception=exc)
+            return
+        for request in requests:
+            self._resolve(request.future, packages[request.user.user_id])
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop accepting work, drain pending batches and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_available.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "AdmissionQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

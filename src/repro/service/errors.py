@@ -1,0 +1,23 @@
+"""Exceptions of the serving layer."""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class UnknownTenantError(ServiceError, KeyError):
+    """The named tenant is not registered."""
+
+
+class UnknownUserError(ServiceError, KeyError):
+    """The named user does not exist in the tenant's population."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service (or its admission queue) has been shut down."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The admission queue is at capacity; the request was shed, not queued."""

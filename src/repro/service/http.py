@@ -1,0 +1,202 @@
+"""Stdlib-only JSON front-end over :class:`RecommendationService`.
+
+One :class:`ThreadingHTTPServer` (one thread per connection, no third-party
+dependencies) exposing the serving layer:
+
+``GET /health``
+    liveness + tenant count.
+``GET /tenants``
+    tenant summaries (versions, users).
+``GET /stats``
+    admission/batching counters.
+``POST /recommend``
+    ``{"tenant": ..., "user": ..., "k"?: ..., "old"?: ..., "new"?: ...}`` ->
+    the recommendation package as JSON (same layout as
+    :func:`repro.io.storage.package_to_dict`).
+``POST /commit``
+    ``{"tenant": ..., "added"?: "<N-Triples>", "deleted"?: "<N-Triples>",
+    "version_id"?: ..., "metadata"?: {...}}`` -> the committed version.
+    The curator-side write path: changes are applied to the tenant's
+    latest version under its write lock while readers keep scoring the
+    pair they were admitted on.
+
+Concurrent requests batch through the service's admission queue exactly as
+Python-API callers do; the HTTP layer adds no state of its own.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Tuple
+
+from repro.io.storage import package_to_dict
+from repro.kb.errors import KnowledgeBaseError
+from repro.kb.ntriples import parse_graph
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownTenantError,
+    UnknownUserError,
+)
+from repro.service.service import RecommendationService
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], service: RecommendationService
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the five endpoints; every response body is JSON."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+    # Quiet by default: the serving benchmark hammers the server and the
+    # default handler writes one stderr line per request.
+    verbose = False
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 (stdlib API)
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body must be a JSON object")
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _error_message(exc: BaseException) -> str:
+        # KeyError-derived service errors carry the message as args[0].
+        return str(exc.args[0]) if exc.args else str(exc)
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        service = self.server.service
+        if self.path == "/health":
+            self._send_json({"status": "ok", "tenants": len(service.registry)})
+        elif self.path == "/tenants":
+            self._send_json({"tenants": service.tenants()})
+        elif self.path == "/stats":
+            self._send_json(service.stats())
+        else:
+            self._send_error_json(404, f"unknown path: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        try:
+            payload = self._read_json_body()
+            if self.path == "/recommend":
+                self._send_json(self._handle_recommend(payload))
+            elif self.path == "/commit":
+                self._send_json(self._handle_commit(payload))
+            else:
+                self._send_error_json(404, f"unknown path: {self.path}")
+        except (UnknownTenantError, UnknownUserError) as exc:
+            self._send_error_json(404, self._error_message(exc))
+        except (ServiceClosedError, ServiceOverloadedError) as exc:
+            # Shutdown or shed under load: tell clients to retry elsewhere,
+            # not that their request was malformed.
+            self._send_error_json(503, self._error_message(exc))
+        except (TimeoutError, FuturesTimeoutError):
+            # Overload, not a bug: the batch missed request_timeout_s.
+            self._send_error_json(504, "request timed out under load")
+        except (ValueError, KeyError, ServiceError, KnowledgeBaseError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, self._error_message(exc))
+        except Exception as exc:  # pragma: no cover - defensive last resort
+            self._send_error_json(500, self._error_message(exc))
+
+    def _handle_recommend(self, payload: Dict) -> Dict:
+        service = self.server.service
+        tenant_name = payload.get("tenant")
+        user_id = payload.get("user")
+        if not tenant_name or not user_id:
+            raise ValueError("recommend requires 'tenant' and 'user'")
+        k = payload.get("k")
+        if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 0):
+            raise ValueError(f"k must be a non-negative integer, got {k!r}")
+        package = service.recommend(
+            tenant_name,
+            user_id,
+            k=k,
+            old_id=payload.get("old"),
+            new_id=payload.get("new"),
+        )
+        return package_to_dict(package)
+
+    def _handle_commit(self, payload: Dict) -> Dict:
+        service = self.server.service
+        tenant_name = payload.get("tenant")
+        if not tenant_name:
+            raise ValueError("commit requires 'tenant'")
+        tenant = service.tenant(tenant_name)
+        version_id = payload.get("version_id")
+        if version_id is not None and not isinstance(version_id, str):
+            raise ValueError(f"version_id must be a string, got {version_id!r}")
+        metadata = payload.get("metadata") or {}
+        if not isinstance(metadata, dict):
+            raise ValueError("metadata must be a JSON object")
+        added_text = payload.get("added") or ""
+        deleted_text = payload.get("deleted") or ""
+        if not isinstance(added_text, str) or not isinstance(deleted_text, str):
+            raise ValueError("'added' and 'deleted' must be N-Triples strings")
+        # Parse into private dictionaries: the chain's shared TermDictionary
+        # is append-only and interning is writer-locked, so (a) a rejected
+        # request must not grow it, and (b) concurrent handler threads must
+        # not intern into it outside the tenant write lock.
+        added = parse_graph(added_text)
+        deleted = parse_graph(deleted_text)
+        if not len(added) and not len(deleted):
+            raise ValueError("commit requires non-empty 'added' and/or 'deleted'")
+        with tenant.write_lock:
+            # Duplicate-id precheck before commit_changes interns the new
+            # terms (atomic with the commit: the lock is reentrant and held
+            # across both).
+            if version_id is not None and version_id in tenant.kb:
+                raise ValueError(f"duplicate version id: {version_id!r}")
+            version = tenant.commit_changes(
+                added=list(added),
+                deleted=list(deleted),
+                version_id=version_id,
+                metadata={str(k): str(v) for k, v in metadata.items()},
+            )
+        return {
+            "tenant": tenant_name,
+            "version_id": version.version_id,
+            "size": len(version),
+            "versions": tenant.kb.version_ids(),
+        }
+
+
+def make_server(
+    service: RecommendationService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer` (port 0 = ephemeral); caller serves."""
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,184 @@
+"""Multi-tenant knowledge-base registry.
+
+A *tenant* is one curated knowledge base with its human population: a named
+:class:`~repro.kb.version.VersionedKnowledgeBase`, the
+:class:`~repro.profiles.user.User`\\ s recommendations are produced for, an
+optional feedback store, and one shared
+:class:`~repro.recommender.engine.RecommenderEngine` whose per-context
+caches make repeated requests against the same version pair cheap.
+
+Concurrency contract:
+
+* **Writers serialise per tenant.**  :meth:`Tenant.commit` /
+  :meth:`Tenant.commit_changes` run under the chain's write lock (the KB's
+  own reentrant :attr:`~repro.kb.version.VersionedKnowledgeBase.write_lock`),
+  so there is exactly one evolution writer per tenant at a time.
+* **Readers never block.**  Committed versions are immutable snapshots;
+  :meth:`Tenant.head_pair` reads the current chain head without a lock and
+  in-flight requests keep the pair they were admitted on, so a concurrent
+  commit can never change what an admitted request scores.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kb.graph import Graph
+from repro.kb.triples import Triple
+from repro.kb.version import Version, VersionedKnowledgeBase
+from repro.profiles.feedback import FeedbackStore
+from repro.profiles.user import User
+from repro.recommender.engine import EngineConfig, RecommenderEngine
+from repro.service.errors import ServiceError, UnknownTenantError, UnknownUserError
+
+
+class Tenant:
+    """One served knowledge base: versions, users and a shared engine."""
+
+    def __init__(
+        self,
+        name: str,
+        kb: VersionedKnowledgeBase,
+        users: Iterable[User] = (),
+        feedback: FeedbackStore | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        if not name:
+            raise ServiceError("tenant name must be non-empty")
+        self.name = name
+        self.kb = kb
+        self._users: Dict[str, User] = {user.user_id: user for user in users}
+        self.engine = RecommenderEngine(
+            kb, config=engine_config or EngineConfig(), feedback=feedback
+        )
+
+    # -- users ----------------------------------------------------------------
+
+    def user(self, user_id: str) -> User:
+        """The user named ``user_id`` (raises :class:`UnknownUserError`)."""
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise UnknownUserError(
+                f"tenant {self.name!r} has no user {user_id!r} "
+                f"(have: {', '.join(sorted(self._users)) or 'none'})"
+            ) from None
+
+    def add_user(self, user: User) -> User:
+        """Register (or replace) a user."""
+        self._users[user.user_id] = user
+        return user
+
+    def user_ids(self) -> List[str]:
+        """Registered user ids, sorted."""
+        return sorted(self._users)
+
+    # -- versions -------------------------------------------------------------
+
+    @property
+    def write_lock(self):
+        """The tenant's writer lock (the KB chain's own reentrant lock)."""
+        return self.kb.write_lock
+
+    def head_pair(self) -> Tuple[str, str]:
+        """The latest adjacent version pair ``(old_id, new_id)``.
+
+        This is the *admission snapshot*: the serving layer captures it when
+        a request arrives, and the request scores exactly that pair no
+        matter how many versions a writer commits before the worker pool
+        gets to it.
+        """
+        ids = self.kb.version_ids()
+        if len(ids) < 2:
+            raise ServiceError(
+                f"tenant {self.name!r} needs at least two versions to recommend on"
+            )
+        return ids[-2], ids[-1]
+
+    def commit(
+        self,
+        graph: Graph,
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> Version:
+        """Commit ``graph`` as the tenant's next version (single writer)."""
+        with self.write_lock:
+            return self.kb.commit(graph, version_id=version_id, metadata=metadata)
+
+    def commit_changes(
+        self,
+        added: Iterable[Triple] = (),
+        deleted: Iterable[Triple] = (),
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> Version:
+        """Commit the next version as latest + changes (single writer)."""
+        with self.write_lock:
+            return self.kb.commit_changes(
+                added=added, deleted=deleted, version_id=version_id, metadata=metadata
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary (the HTTP front-end's ``/tenants`` view)."""
+        ids = self.kb.version_ids()
+        return {
+            "name": self.name,
+            "versions": ids,
+            "latest": ids[-1] if ids else None,
+            "users": self.user_ids(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Tenant({self.name!r}, versions={len(self.kb)}, users={len(self._users)})"
+
+
+class TenantRegistry:
+    """Thread-safe name -> :class:`Tenant` map."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        name: str,
+        kb: VersionedKnowledgeBase,
+        users: Iterable[User] = (),
+        feedback: FeedbackStore | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> Tenant:
+        """Register a tenant; duplicate names are rejected."""
+        tenant = Tenant(name, kb, users, feedback, engine_config)
+        with self._lock:
+            if name in self._tenants:
+                raise ServiceError(f"duplicate tenant name: {name!r}")
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        """The tenant named ``name`` (raises :class:`UnknownTenantError`)."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(
+                f"unknown tenant {name!r} (have: {', '.join(self.names()) or 'none'})"
+            )
+        return tenant
+
+    def remove(self, name: str) -> Optional[Tenant]:
+        """Deregister and return a tenant (None when absent)."""
+        with self._lock:
+            return self._tenants.pop(name, None)
+
+    def names(self) -> List[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tenants
+
+    def __iter__(self):
+        return iter([self._tenants[name] for name in self.names()])

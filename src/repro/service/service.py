@@ -1,0 +1,200 @@
+"""The serving facade: ``ServiceConfig`` + ``RecommendationService``.
+
+``RecommendationService`` is the long-lived object a deployment holds: a
+:class:`~repro.service.registry.TenantRegistry` of knowledge bases behind
+one :class:`~repro.service.admission.AdmissionQueue`.  Reads
+(:meth:`RecommendationService.recommend`) are admitted with the version
+pair captured at arrival and never block on writers; writes
+(:meth:`RecommendationService.commit` and friends) serialise per tenant on
+the chain's write lock.  Every result is bit-identical to running the same
+requests serially on a private engine -- concurrency and batching are pure
+cost optimisations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kb.graph import Graph
+from repro.kb.triples import Triple
+from repro.kb.version import Version, VersionedKnowledgeBase
+from repro.profiles.feedback import FeedbackStore
+from repro.profiles.user import User
+from repro.recommender.engine import EngineConfig
+from repro.recommender.items import RecommendationPackage
+from repro.service.admission import AdmissionQueue
+from repro.service.errors import ServiceClosedError
+from repro.service.registry import Tenant, TenantRegistry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All serving knobs in one place.
+
+    ``engine`` is the per-tenant engine configuration (every tenant's
+    shared engine is built from it); ``k`` is the default package size a
+    request gets when it does not ask for one.
+    """
+
+    k: int = 5
+    workers: int = 4
+    max_batch: int = 64
+    #: Backpressure: requests beyond this many queued are shed with
+    #: :class:`ServiceOverloadedError` (HTTP 503) instead of piling up.
+    max_pending: int = 1024
+    request_timeout_s: float = 60.0
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+
+
+class RecommendationService:
+    """Thread-safe multi-tenant recommendation serving."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        registry: TenantRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or TenantRegistry()
+        self._queue = AdmissionQueue(
+            workers=self.config.workers,
+            max_batch=self.config.max_batch,
+            max_pending=self.config.max_pending,
+        )
+
+    # -- tenants -----------------------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        kb: VersionedKnowledgeBase,
+        users: Iterable[User] = (),
+        feedback: FeedbackStore | None = None,
+    ) -> Tenant:
+        """Register a knowledge base (and its users) for serving."""
+        return self.registry.add(
+            name, kb, users, feedback, engine_config=self.config.engine
+        )
+
+    def tenant(self, name: str) -> Tenant:
+        """The named tenant (raises :class:`UnknownTenantError`)."""
+        return self.registry.get(name)
+
+    def tenants(self) -> List[Dict[str, object]]:
+        """JSON-friendly tenant summaries."""
+        return [tenant.describe() for tenant in self.registry]
+
+    # -- reads --------------------------------------------------------------------
+
+    def recommend_async(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+    ) -> "Future[RecommendationPackage]":
+        """Admit one request; returns the future of its package.
+
+        The version pair is resolved *now* (explicit ids, or the tenant's
+        current head pair) -- that is the snapshot the request scores, even
+        if a writer commits more versions before a worker picks it up.
+        """
+        if self._queue.closed:
+            raise ServiceClosedError("service is closed")
+        tenant = self.registry.get(tenant_name)
+        user = tenant.user(user_id)
+        if (old_id is None) != (new_id is None):
+            raise ValueError("old_id and new_id must be given together")
+        if old_id is not None and new_id is not None:
+            pair: Tuple[str, str] = (
+                tenant.kb.version(old_id).version_id,
+                tenant.kb.version(new_id).version_id,
+            )
+        else:
+            pair = tenant.head_pair()
+        k = self.config.k if k is None else k
+        return self._queue.submit(tenant, user, k, pair)
+
+    def recommend(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+        timeout: float | None = None,
+    ) -> RecommendationPackage:
+        """Recommend a package for one user (blocking; admission-batched)."""
+        future = self.recommend_async(tenant_name, user_id, k, old_id, new_id)
+        return future.result(
+            timeout=self.config.request_timeout_s if timeout is None else timeout
+        )
+
+    # -- writes -------------------------------------------------------------------
+
+    def commit(
+        self,
+        tenant_name: str,
+        graph: Graph,
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> Version:
+        """Commit the next version of a tenant (serialised per tenant)."""
+        return self.registry.get(tenant_name).commit(
+            graph, version_id=version_id, metadata=metadata
+        )
+
+    def commit_changes(
+        self,
+        tenant_name: str,
+        added: Iterable[Triple] = (),
+        deleted: Iterable[Triple] = (),
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> Version:
+        """Commit latest + changes as a tenant's next version."""
+        return self.registry.get(tenant_name).commit_changes(
+            added=added, deleted=deleted, version_id=version_id, metadata=metadata
+        )
+
+    # -- introspection / lifecycle ---------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Admission counters plus tenant inventory (JSON-friendly)."""
+        return {
+            "admission": self._queue.stats.snapshot(),
+            "tenants": self.registry.names(),
+            "workers": self.config.workers,
+        }
+
+    @property
+    def admission_stats(self):
+        """The raw admission counters (tests assert coalescing on these)."""
+        return self._queue.stats
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Drain the admission queue and stop the workers."""
+        self._queue.close(timeout=timeout)
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

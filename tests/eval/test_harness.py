@@ -9,7 +9,6 @@ import pytest
 from repro.eval.harness import (
     EXPERIMENT_IDS,
     ExperimentResult,
-    run_all,
     run_experiment,
 )
 from repro.eval.tables import TextTable

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.kb.graph import Graph
 from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
-from repro.kb.terms import IRI, Literal
+from repro.kb.terms import Literal
 from repro.kb.triples import Triple
 
 

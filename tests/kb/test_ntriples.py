@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kb.errors import ParseError
-from repro.kb.namespaces import EX, RDF_TYPE, XSD
+from repro.kb.namespaces import EX, XSD
 from repro.kb.ntriples import parse, parse_graph, serialize
 from repro.kb.terms import BNode, IRI, Literal
 from repro.kb.triples import Triple

@@ -4,7 +4,7 @@ import pytest
 
 from repro.kb.errors import TermError
 from repro.kb.namespaces import EX, RDF_TYPE
-from repro.kb.terms import BNode, IRI, Literal
+from repro.kb.terms import BNode, Literal
 from repro.kb.triples import Triple
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.kb.namespaces import EX
 from repro.measures.base import MeasureFamily, TargetKind
 from repro.measures.catalog import default_catalog
 from repro.measures.counts import ClassChangeCount, PropertyChangeCount

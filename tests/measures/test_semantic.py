@@ -29,7 +29,7 @@ from repro.measures.semantic import (
     relative_cardinality,
     relevance,
 )
-from tests.measures.conftest import university_v1, university_v2
+from tests.measures.conftest import university_v1
 
 
 @pytest.fixture

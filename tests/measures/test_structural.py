@@ -4,7 +4,6 @@ import networkx as nx
 
 from repro.kb.graph import Graph
 from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
-from repro.kb.schema import SchemaView
 from repro.kb.triples import Triple
 from repro.kb.version import VersionedKnowledgeBase
 from repro.measures.base import EvolutionContext

@@ -4,7 +4,6 @@ import pytest
 
 from repro.kb.namespaces import EX
 from repro.kb.schema import SchemaView
-from repro.measures.base import EvolutionContext
 from repro.measures.counts import ClassChangeCount
 from repro.measures.summary import (
     evolution_summary,

@@ -8,7 +8,7 @@ from repro.kb.graph import Graph
 from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS, RDFS_SUBCLASSOF
 from repro.kb.schema import SchemaView
 from repro.kb.triples import Triple
-from repro.privacy.generalization import GeneralizationHierarchy, TOP
+from repro.privacy.generalization import GeneralizationHierarchy
 from repro.privacy.kanonymity import anonymize_report
 from repro.privacy.loss import (
     precision_loss,

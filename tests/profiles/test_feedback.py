@@ -1,6 +1,5 @@
 """Unit tests for the feedback store."""
 
-import numpy as np
 import pytest
 
 from repro.profiles.feedback import FeedbackEvent, FeedbackStore

@@ -4,13 +4,11 @@ import pytest
 
 from repro.kb.graph import Graph
 from repro.kb.version import VersionedKnowledgeBase
-from repro.measures.base import MeasureFamily
 from repro.profiles.feedback import FeedbackEvent, FeedbackStore
 from repro.profiles.user import InterestProfile, User
 from repro.provenance.store import ProvenanceStore
 from repro.recommender.engine import EngineConfig, RecommenderEngine
 from repro.recommender.fairness import min_satisfaction
-from repro.synthetic.users import simulate_feedback
 
 
 class TestEngineConfig:

@@ -1,12 +1,9 @@
 """Property-based tests over the engine's configuration space."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.recommender.diversity import mmr_select
 from repro.recommender.engine import DIVERSIFIERS, EngineConfig, RecommenderEngine
-from repro.recommender.items import ScoredItem
 
 
 @settings(

@@ -5,7 +5,7 @@ import pytest
 from repro.kb.namespaces import EX
 from repro.measures.catalog import default_catalog
 from repro.profiles.user import InterestProfile, User
-from repro.recommender.notifications import Notification, NotificationService, Watch
+from repro.recommender.notifications import NotificationService, Watch
 
 
 @pytest.fixture

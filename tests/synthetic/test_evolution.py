@@ -6,7 +6,7 @@ from repro.deltas.lowlevel import LowLevelDelta
 from repro.kb.graph import Graph
 from repro.kb.schema import SchemaView
 from repro.synthetic.config import EvolutionConfig, InstanceConfig, SchemaConfig
-from repro.synthetic.evolution import EvolutionSimulator, simulate_evolution
+from repro.synthetic.evolution import simulate_evolution
 from repro.synthetic.instance_gen import populate_instances
 from repro.synthetic.schema_gen import generate_schema
 

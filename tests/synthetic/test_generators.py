@@ -5,7 +5,7 @@ import pytest
 from repro.kb.schema import SchemaView
 from repro.synthetic.config import InstanceConfig, SchemaConfig
 from repro.synthetic.instance_gen import populate_instances
-from repro.synthetic.schema_gen import class_iri, generate_schema
+from repro.synthetic.schema_gen import generate_schema
 
 
 class TestGenerateSchema:

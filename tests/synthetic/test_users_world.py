@@ -4,7 +4,7 @@ import pytest
 
 from repro.kb.schema import SchemaView
 from repro.measures.base import MeasureFamily
-from repro.synthetic.config import SchemaConfig, UserConfig, WorldConfig
+from repro.synthetic.config import SchemaConfig, UserConfig
 from repro.synthetic.schema_gen import generate_schema
 from repro.synthetic.users import (
     PERSONAS,

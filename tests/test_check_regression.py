@@ -1,0 +1,122 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Registered before exec: the module's dataclass resolves its string
+    # annotations through sys.modules[cls.__module__].
+    sys.modules["check_regression"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop("check_regression", None)
+
+
+def _report(**means_ms):
+    return {
+        "benchmarks": {
+            name: {"mean_s": mean_ms / 1e3} for name, mean_ms in means_ms.items()
+        }
+    }
+
+
+class TestCompareReports:
+    def test_all_within_tolerance_pass(self, gate):
+        verdicts = gate.compare_reports(
+            _report(a=10.0, b=5.0), _report(a=12.0, b=9.0), tolerance=2.0
+        )
+        assert all(v.ok for v in verdicts)
+
+    def test_regression_beyond_tolerance_fails(self, gate):
+        verdicts = gate.compare_reports(
+            _report(slow=10.0), _report(slow=25.0), tolerance=2.0
+        )
+        (verdict,) = verdicts
+        assert not verdict.ok
+        assert verdict.ratio == pytest.approx(2.5)
+
+    def test_missing_benchmark_fails(self, gate):
+        verdicts = gate.compare_reports(_report(gone=10.0), _report(), tolerance=2.0)
+        (verdict,) = verdicts
+        assert not verdict.ok
+        assert "missing" in verdict.note
+
+    def test_new_benchmark_passes(self, gate):
+        verdicts = gate.compare_reports(_report(), _report(new=10.0), tolerance=2.0)
+        (verdict,) = verdicts
+        assert verdict.ok
+        assert "no baseline" in verdict.note
+
+    def test_noise_floor_suppresses_micro_ratios(self, gate):
+        # 0.01ms -> 0.04ms is 4x but both sides are timer noise.
+        verdicts = gate.compare_reports(
+            _report(micro=0.01), _report(micro=0.04), tolerance=2.0
+        )
+        (verdict,) = verdicts
+        assert verdict.ok
+        assert "noise floor" in verdict.note
+
+    def test_noise_floor_does_not_mask_real_blowups(self, gate):
+        # A micro benchmark that climbs above the floor is judged by ratio.
+        verdicts = gate.compare_reports(
+            _report(micro=0.01), _report(micro=5.0), tolerance=2.0
+        )
+        (verdict,) = verdicts
+        assert not verdict.ok
+
+    def test_bad_tolerance_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.compare_reports(_report(), _report(), tolerance=0.0)
+
+
+class TestMain:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_exit_zero_on_pass(self, gate, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report(a=10.0))
+        fresh = self._write(tmp_path / "fresh.json", _report(a=11.0))
+        code = gate.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+        assert code == 0
+        assert "regression gate: ok" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, gate, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report(a=10.0))
+        fresh = self._write(tmp_path / "fresh.json", _report(a=100.0))
+        code = gate.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_tolerance_flag(self, gate, tmp_path):
+        baseline = self._write(tmp_path / "base.json", _report(a=10.0))
+        fresh = self._write(tmp_path / "fresh.json", _report(a=100.0))
+        code = gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh), "--tolerance", "20"]
+        )
+        assert code == 0
+
+    def test_against_committed_baseline_layout(self, gate):
+        """The committed BENCH_substrate.json parses in the expected layout."""
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        assert "benchmarks" in baseline
+        # The service section added by bench_service.py must not confuse the gate.
+        verdicts = gate.compare_reports(baseline, baseline, tolerance=2.0)
+        assert verdicts and all(v.ok for v in verdicts)
+        assert "service" in baseline  # serving numbers landed next to the means

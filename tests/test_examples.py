@@ -6,7 +6,6 @@ stdout captured.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -8,10 +8,9 @@ provenance, plus persistence round-trips of live engine artefacts.
 import pytest
 
 from repro.io import load_kb, load_users, save_kb, save_users
-from repro.measures.base import EvolutionContext
 from repro.measures.catalog import default_catalog
 from repro.measures.mix import persona_mix
-from repro.measures.trends import TrendAnalysis, TrendKind
+from repro.measures.trends import TrendAnalysis
 from repro.measures.counts import ClassChangeCount
 from repro.privacy.loss import ranking_utility
 from repro.profiles.feedback import FeedbackEvent, FeedbackStore
