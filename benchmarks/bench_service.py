@@ -1,4 +1,4 @@
-"""Closed-loop load generator for the serving layer.
+"""Closed-loop load generator for the serving layer (single-process and sharded).
 
 Builds a synthetic tenant, stands up an in-process
 :class:`repro.service.RecommendationService` and hammers
@@ -11,45 +11,63 @@ throughput and latency percentiles per concurrency level::
     PYTHONPATH=src python benchmarks/bench_service.py --quick            # smoke mode (seconds)
     PYTHONPATH=src python benchmarks/bench_service.py --clients 1 8      # custom levels
 
-The report *merges* a ``"service"`` section into the target JSON (the
-substrate report of ``run_bench.py``), so one ``BENCH_substrate.json``
-carries both the substrate micro-benchmarks and the serving numbers::
+With ``--shards N`` the harness instead benchmarks the **sharded
+topology**: a multi-tenant world (every tenant a wire-format replica of
+the same synthetic KB, so shards have real independent state) is served
+once by a single-process service and once by a
+:class:`repro.service.ShardSupervisor` with N worker processes, under the
+same client levels and the same deterministic (tenant, user) request
+schedule; the report records both sides plus the throughput speedup, and
+verifies that the two topologies returned bit-identical responses::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --shards 4
+    PYTHONPATH=src python benchmarks/bench_service.py --shards 2 --quick
+
+The report *merges* a ``"service"`` (or ``"service_sharded"``) section
+into the target JSON (the substrate report of ``run_bench.py``), so one
+``BENCH_substrate.json`` carries the substrate micro-benchmarks and the
+serving numbers::
 
     {
       ...,
-      "service": {
-        "meta": {...workload, workers...},
-        "levels": {
-          "clients_1":  {"throughput_rps": ..., "p50_ms": ..., "p99_ms": ...,
-                         "mean_ms": ..., "requests": ..., "batches": ...,
-                         "largest_batch": ...},
-          "clients_8":  {...},
-          "clients_32": {...}
-        }
+      "service": {"meta": {...}, "levels": {"clients_1": {...}, ...}},
+      "service_sharded": {
+        "meta": {...workload, shards, cpu_count...},
+        "single_process": {"clients_32": {...}},
+        "sharded":        {"clients_32": {...}},
+        "speedup":        {"clients_32": ...},
+        "responses_bit_identical": true
       }
     }
 
-Each level runs against a fresh service (cold per-context caches are warmed
-by a handful of untimed requests first -- the steady state of a long-lived
-deployment), over the same version pair, with deterministic per-client user
-rotation, so levels differ only in concurrency.
+Each level runs against a fresh service / supervisor (cold per-context
+caches are warmed by untimed requests first -- the steady state of a
+long-lived deployment), over the same version pair, with deterministic
+per-client rotation, so levels differ only in concurrency.  Note that a
+shard only helps when it owns tenants *and* the machine has spare cores:
+the meta records ``cpu_count`` so a 1-core CI box's flat speedup is not
+mistaken for a regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro._version import __version__
+from repro.io.storage import package_to_dict
+from repro.kb import wire
 from repro.recommender.engine import EngineConfig
-from repro.service import RecommendationService, ServiceConfig
+from repro.service import RecommendationService, ServiceConfig, ShardSupervisor
+from repro.service.registry import TenantRegistry
 from repro.synthetic.config import EvolutionConfig, SchemaConfig, WorldConfig
 from repro.synthetic.world import generate_world
 
@@ -67,11 +85,70 @@ QUICK_CONFIG = WorldConfig(
 DEFAULT_CLIENT_LEVELS = (1, 8, 32)
 TENANT = "bench"
 
+#: (client_index, request_index) -> request; shared by every topology so the
+#: single-process and sharded runs see byte-for-byte the same stream.
+Schedule = Callable[[int, int], Tuple[str, str]]
+
 
 def _percentile(sorted_samples: List[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending-sorted, non-empty sample list."""
     rank = max(0, min(len(sorted_samples) - 1, round(fraction * (len(sorted_samples) - 1))))
     return sorted_samples[rank]
+
+
+def _hammer(
+    recommend: Callable[[str, str], object],
+    schedule: Schedule,
+    clients: int,
+    requests_per_client: int,
+) -> Tuple[List[float], float]:
+    """Closed-loop hammer; returns (sorted latency samples, wall seconds)."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client_loop(index: int) -> None:
+        my_latencies = latencies[index]
+        try:
+            start_barrier.wait()
+            for i in range(requests_per_client):
+                tenant, user_id = schedule(index, i)
+                begin = time.perf_counter()
+                recommend(tenant, user_id)
+                my_latencies.append(time.perf_counter() - begin)
+        except BaseException as exc:  # surfaced as a failed run
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+    return sorted(s for per_client in latencies for s in per_client), wall
+
+
+def _level_metrics(samples: List[float], wall: float, clients: int) -> Dict[str, float]:
+    return {
+        "clients": clients,
+        "requests": len(samples),
+        "wall_s": wall,
+        "throughput_rps": len(samples) / wall if wall > 0 else 0.0,
+        "mean_ms": statistics.fmean(samples) * 1e3,
+        "p50_ms": _percentile(samples, 0.50) * 1e3,
+        "p99_ms": _percentile(samples, 0.99) * 1e3,
+        "max_ms": samples[-1] * 1e3,
+    }
+
+
+# -- single-process, single-tenant (the classic "service" section) -----------------
 
 
 def _run_level(
@@ -88,59 +165,26 @@ def _run_level(
     )
     service.add_tenant(TENANT, world.kb, world.users)
     user_ids = [user.user_id for user in world.users]
+
+    def schedule(client_index: int, i: int) -> Tuple[str, str]:
+        # Deterministic per-client rotation over the user population.
+        return TENANT, user_ids[(client_index + i) % len(user_ids)]
+
     try:
         for i in range(warmup_requests):
             service.recommend(TENANT, user_ids[i % len(user_ids)])
-
-        latencies: List[List[float]] = [[] for _ in range(clients)]
-        errors: List[BaseException] = []
-        start_barrier = threading.Barrier(clients + 1)
-
-        def client_loop(index: int) -> None:
-            # Deterministic per-client rotation over the user population.
-            my_latencies = latencies[index]
-            try:
-                start_barrier.wait()
-                for i in range(requests_per_client):
-                    user_id = user_ids[(index + i) % len(user_ids)]
-                    begin = time.perf_counter()
-                    service.recommend(TENANT, user_id)
-                    my_latencies.append(time.perf_counter() - begin)
-            except BaseException as exc:  # surfaced as a failed run
-                errors.append(exc)
-
-        threads = [
-            threading.Thread(target=client_loop, args=(i,), daemon=True)
-            for i in range(clients)
-        ]
-        for thread in threads:
-            thread.start()
         stats_before = service.admission_stats.snapshot()
-        start_barrier.wait()
-        wall_start = time.perf_counter()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - wall_start
+        samples, wall = _hammer(
+            service.recommend, schedule, clients, requests_per_client
+        )
         stats_after = service.admission_stats.snapshot()
     finally:
         service.close()
 
-    if errors:
-        raise errors[0]
-    samples = sorted(s for per_client in latencies for s in per_client)
-    total = len(samples)
-    return {
-        "clients": clients,
-        "requests": total,
-        "wall_s": wall,
-        "throughput_rps": total / wall if wall > 0 else 0.0,
-        "mean_ms": statistics.fmean(samples) * 1e3,
-        "p50_ms": _percentile(samples, 0.50) * 1e3,
-        "p99_ms": _percentile(samples, 0.99) * 1e3,
-        "max_ms": samples[-1] * 1e3,
-        "batches": stats_after["batches"] - stats_before["batches"],
-        "largest_batch": stats_after["largest_batch"],
-    }
+    metrics = _level_metrics(samples, wall, clients)
+    metrics["batches"] = stats_after["batches"] - stats_before["batches"]
+    metrics["largest_batch"] = stats_after["largest_batch"]
+    return metrics
 
 
 def run(
@@ -195,21 +239,217 @@ def run(
         },
         "levels": results,
     }
+    _merge_section(output, "service", section)
+    return section
 
+
+# -- sharded topology vs single-process baseline -----------------------------------
+
+
+def _tenant_names(shards: int, per_shard: int) -> List[str]:
+    """Deterministic tenant names giving every shard exactly ``per_shard``.
+
+    Candidate names are probed in order and kept only while their shard
+    (by the production routing hash) still has room, so the sharded run
+    never benches a topology with idle shards.
+    """
+    counts = {shard: 0 for shard in range(shards)}
+    names: List[str] = []
+    candidate = 0
+    while any(count < per_shard for count in counts.values()):
+        name = f"bench{candidate:03d}"
+        candidate += 1
+        shard = TenantRegistry.shard_of(name, shards)
+        if counts[shard] < per_shard:
+            counts[shard] += 1
+            names.append(name)
+    return sorted(names)
+
+
+def _multi_tenant_schedule(
+    names: Sequence[str], user_ids: Sequence[str]
+) -> Schedule:
+    def schedule(client_index: int, i: int) -> Tuple[str, str]:
+        step = client_index + i
+        return names[step % len(names)], user_ids[step % len(user_ids)]
+
+    return schedule
+
+
+def _warmup_stream(
+    names: Sequence[str], user_ids: Sequence[str], per_tenant: int
+) -> List[Tuple[str, str]]:
+    return [
+        (name, user_ids[i % len(user_ids)])
+        for name in names
+        for i in range(per_tenant)
+    ]
+
+
+def _run_sharded_level(
+    make_recommend,
+    names: Sequence[str],
+    user_ids: Sequence[str],
+    clients: int,
+    requests_per_client: int,
+    warmup_per_tenant: int,
+) -> Dict[str, float]:
+    """One level against a fresh topology built by ``make_recommend()``.
+
+    ``make_recommend`` returns ``(recommend, close)``; both topologies run
+    the identical schedule and warmup stream.
+    """
+    recommend, close = make_recommend()
+    try:
+        for tenant, user_id in _warmup_stream(names, user_ids, warmup_per_tenant):
+            recommend(tenant, user_id)
+        samples, wall = _hammer(
+            recommend,
+            _multi_tenant_schedule(names, user_ids),
+            clients,
+            requests_per_client,
+        )
+    finally:
+        close()
+    return _level_metrics(samples, wall, clients)
+
+
+def _verify_bit_identical(
+    make_single, make_sharded, names: Sequence[str], user_ids: Sequence[str]
+) -> None:
+    """Assert sharded == single-process responses over all (tenant, user)."""
+    single_recommend, single_close = make_single()
+    sharded_recommend, sharded_close = make_sharded()
+    try:
+        for name in names:
+            for user_id in user_ids:
+                single = single_recommend(name, user_id)
+                sharded = sharded_recommend(name, user_id)
+                if single != sharded:
+                    raise AssertionError(
+                        f"sharded response diverged for ({name}, {user_id})"
+                    )
+    finally:
+        sharded_close()
+        single_close()
+
+
+def run_sharded(
+    output: Path,
+    shards: int,
+    clients: List[int] | None = None,
+    requests_per_client: int = 60,
+    workers: int = 4,
+    warmup_per_tenant: int = 4,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    """Benchmark single-process vs sharded serving over one tenant fleet."""
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    levels = list(clients or DEFAULT_CLIENT_LEVELS)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    per_shard = 1 if quick else 2
+    if quick:
+        requests_per_client = min(requests_per_client, 5)
+        warmup_per_tenant = min(warmup_per_tenant, 2)
+
+    world = generate_world(seed=WORLD_SEED, config=config)
+    kb_bytes = wire.encode_kb(world.kb)  # every tenant gets a bit-identical replica
+    names = _tenant_names(shards, per_shard)
+    user_ids = [user.user_id for user in world.users]
+    service_config = ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+
+    def make_single():
+        service = RecommendationService(service_config)
+        for name in names:
+            service.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+
+        def recommend(tenant: str, user_id: str) -> Dict:
+            return package_to_dict(service.recommend(tenant, user_id))
+
+        return recommend, service.close
+
+    def make_sharded():
+        supervisor = ShardSupervisor(shards=shards, config=service_config)
+        for name in names:
+            supervisor.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        return supervisor.recommend, supervisor.close
+
+    print(
+        f"sharded bench: {shards} shards, {len(names)} tenants, "
+        f"{len(user_ids)} users/tenant, cpu_count={os.cpu_count()}"
+    )
+    _verify_bit_identical(make_single, make_sharded, names, user_ids)
+    print("verified: sharded responses bit-identical to single-process")
+
+    single_levels: Dict[str, Dict] = {}
+    sharded_levels: Dict[str, Dict] = {}
+    speedup: Dict[str, float] = {}
+    for level in levels:
+        for label, make, results in (
+            ("single ", make_single, single_levels),
+            ("sharded", make_sharded, sharded_levels),
+        ):
+            metrics = _run_sharded_level(
+                make, names, user_ids, level, requests_per_client, warmup_per_tenant
+            )
+            results[f"clients_{level}"] = metrics
+            print(
+                f"{label} clients {level:3d}: {metrics['throughput_rps']:8.1f} req/s  "
+                f"p50 {metrics['p50_ms']:7.2f} ms  p99 {metrics['p99_ms']:7.2f} ms"
+            )
+        key = f"clients_{level}"
+        speedup[key] = (
+            sharded_levels[key]["throughput_rps"]
+            / single_levels[key]["throughput_rps"]
+            if single_levels[key]["throughput_rps"]
+            else 0.0
+        )
+        print(f"speedup clients {level:3d}: {speedup[key]:.2f}x")
+
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "n_tenants": len(names),
+            "shards": shards,
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "k": k,
+            "quick": quick,
+        },
+        "single_process": single_levels,
+        "sharded": sharded_levels,
+        "speedup": speedup,
+        "responses_bit_identical": True,
+    }
+    _merge_section(output, "service_sharded", section)
+    return section
+
+
+def _merge_section(output: Path, key: str, section: Dict) -> None:
     report: Dict = {}
     if output.exists():
         report = json.loads(output.read_text())
-    report["service"] = section
+    report[key] = section
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"merged service section into {output}")
-    return section
+    print(f"merged {key} section into {output}")
 
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
         "-o", "--output", type=Path, default=Path("BENCH_substrate.json"),
-        help="report to merge the 'service' section into (default: BENCH_substrate.json)",
+        help="report to merge the section into (default: BENCH_substrate.json)",
     )
     parser.add_argument(
         "--clients", nargs="*", type=int, default=None,
@@ -218,23 +458,47 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--requests", type=int, default=60, help="requests per client per level"
     )
-    parser.add_argument("--workers", type=int, default=4, help="service worker threads")
-    parser.add_argument("--warmup", type=int, default=8, help="untimed warmup requests")
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="service worker threads (per shard with --shards)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup requests (default: 8 total, or 4 per tenant in "
+             "--shards mode)",
+    )
     parser.add_argument("-k", type=int, default=5, help="package size")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="benchmark the sharded topology with this many worker processes "
+             "against a single-process baseline (writes 'service_sharded')",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: shrunk workload, few requests (not comparable to full runs)",
     )
     args = parser.parse_args(argv)
-    run(
-        args.output,
-        clients=args.clients,
-        requests_per_client=args.requests,
-        workers=args.workers,
-        warmup_requests=args.warmup,
-        k=args.k,
-        quick=args.quick,
-    )
+    if args.shards:
+        run_sharded(
+            args.output,
+            shards=args.shards,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workers=args.workers,
+            warmup_per_tenant=4 if args.warmup is None else args.warmup,
+            k=args.k,
+            quick=args.quick,
+        )
+    else:
+        run(
+            args.output,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workers=args.workers,
+            warmup_requests=8 if args.warmup is None else args.warmup,
+            k=args.k,
+            quick=args.quick,
+        )
     return 0
 
 

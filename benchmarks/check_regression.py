@@ -2,11 +2,16 @@
 
 Compares a *fresh* benchmark report against the committed
 ``BENCH_substrate.json`` baseline, benchmark by benchmark, and exits
-non-zero when any fresh mean exceeds ``tolerance x`` its baseline mean::
+non-zero when any fresh mean exceeds ``tolerance x`` its baseline mean.
+When given a fresh *serving* report (``--fresh-service``, the output of
+``bench_service.py``), the same scheme additionally gates the committed
+``service`` section's per-level p50/p99 latencies::
 
     PYTHONPATH=src python benchmarks/check_regression.py                  # runs --quick itself
     PYTHONPATH=src python benchmarks/check_regression.py --fresh q.json   # reuse a report
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 3.0
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --fresh q.json --fresh-service service_q.json                     # + service gate
 
 Design notes, so the gate stays honest:
 
@@ -26,6 +31,15 @@ Design notes, so the gate stays honest:
   interpreter dominate and ratios are meaningless.  A real regression (an
   index lost, a scan gone quadratic) pushes the fresh mean above the floor
   and the ratio check takes over.
+* The service gate applies the identical tolerance / noise-floor scheme to
+  the p50 and p99 of every committed concurrency level (entries named
+  ``service.clients_N.p50_ms``).  The fresh serving run is a ``--quick``
+  one on a shrunk world, so -- as with the substrate means -- healthy
+  fresh latencies sit far below the committed full-run numbers and only
+  order-of-magnitude breakage (a lost cache, serialized scoring, a
+  convoyed lock) trips it.  A concurrency level present in the committed
+  baseline but missing from the fresh run fails, exactly like a missing
+  benchmark.
 """
 
 from __future__ import annotations
@@ -111,6 +125,47 @@ def compare_reports(
     return verdicts
 
 
+#: Which per-level latency metrics of the service section the gate reads.
+SERVICE_METRICS = ("p50_ms", "p99_ms")
+
+
+def compare_service_sections(
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+    section: str = "service",
+) -> List[Verdict]:
+    """Per-level p50/p99 verdicts of a fresh serving report vs the baseline.
+
+    ``baseline`` / ``fresh`` are full report dicts; only their
+    ``section`` -> ``"levels"`` trees are read (the layout
+    ``bench_service.py`` merges into the substrate report).  Reuses the
+    mean-comparison semantics of :func:`compare_reports` by mapping each
+    ``(level, metric)`` pair to a pseudo-benchmark named
+    ``service.<level>.<metric>`` with its latency as the mean.
+    """
+    def as_benchmarks(report: Dict) -> Dict:
+        levels = report.get(section, {}).get("levels", {})
+        benchmarks: Dict[str, Dict] = {}
+        for level_name, metrics in levels.items():
+            for metric in SERVICE_METRICS:
+                value_ms = metrics.get(metric)
+                if value_ms is None:
+                    continue
+                benchmarks[f"{section}.{level_name}.{metric}"] = {
+                    "mean_s": value_ms / 1e3
+                }
+        return benchmarks
+
+    return compare_reports(
+        {"benchmarks": as_benchmarks(baseline)},
+        {"benchmarks": as_benchmarks(fresh)},
+        tolerance=tolerance,
+        noise_floor_s=noise_floor_s,
+    )
+
+
 def render(verdicts: List[Verdict], tolerance: float) -> str:
     """A fixed-width comparison table."""
     lines = [
@@ -153,6 +208,11 @@ def main(argv: List[str] | None = None) -> int:
         help="fresh report to check; omitted = run run_bench --quick now",
     )
     parser.add_argument(
+        "--fresh-service", type=Path, default=None,
+        help="fresh serving report (bench_service.py output); when given, the "
+             "baseline's 'service' p50/p99 levels are gated too",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help=f"allowed fresh/baseline mean ratio (default: {DEFAULT_TOLERANCE})",
     )
@@ -176,6 +236,15 @@ def main(argv: List[str] | None = None) -> int:
         tolerance=args.tolerance,
         noise_floor_s=args.noise_floor_ms / 1e3,
     )
+    if args.fresh_service is not None:
+        verdicts.extend(
+            compare_service_sections(
+                baseline,
+                json.loads(args.fresh_service.read_text()),
+                tolerance=args.tolerance,
+                noise_floor_s=args.noise_floor_ms / 1e3,
+            )
+        )
     print(render(verdicts, args.tolerance))
     failures = [v for v in verdicts if not v.ok]
     if failures:

@@ -19,8 +19,16 @@ benchmark still runs (see ``tests/test_benchmarks.py``), not to produce
 comparable numbers (quick reports are marked ``"quick": true`` in their
 meta and should not be used as baselines).
 
-Each benchmark is warmed up once, then timed for a fixed number of rounds
-(``--rounds``) with ``time.perf_counter``.  The JSON layout is::
+Each benchmark is warmed up for ``--warmup`` untimed rounds, then timed
+for a fixed number of rounds (``--rounds``) with ``time.perf_counter``.
+Warmup matters: the first few rounds pay allocator growth, lazy imports
+and -- worst -- collector pauses triggered by garbage the *previous*
+benchmark left behind (the committed report once showed ``graph_copy``
+with ``max_s`` ~11.3 ms against a ~0.99 ms mean from exactly that).  The
+harness therefore runs a full ``gc.collect()`` after warmup and disables
+the cyclic collector for the timed rounds (re-enabled afterwards), so
+``max_s`` measures the benchmark, not its neighbours' garbage.  The JSON
+layout is::
 
     {
       "meta": {...workload + python info...},
@@ -34,6 +42,7 @@ Each benchmark is warmed up once, then timed for a fixed number of rounds
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import statistics
@@ -175,11 +184,20 @@ def _build_benchmarks(config: WorldConfig = WORLD_CONFIG) -> List[Bench]:
 def _time_one(fn: Callable[[], object], rounds: int, warmup: int) -> Dict[str, float]:
     for _ in range(warmup):
         fn()
-    samples: List[float] = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - start)
+    # Timed rounds run with the cyclic collector off: GC pauses triggered by
+    # earlier benchmarks' garbage otherwise land as outliers in max_s.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        samples: List[float] = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return {
         "mean_s": statistics.fmean(samples),
         "stddev_s": statistics.stdev(samples) if len(samples) > 1 else 0.0,
@@ -192,7 +210,7 @@ def _time_one(fn: Callable[[], object], rounds: int, warmup: int) -> Dict[str, f
 def run(
     output: Path,
     rounds: int = 30,
-    warmup: int = 2,
+    warmup: int = 5,
     baseline: Path | None = None,
     only: List[str] | None = None,
     quick: bool = False,
@@ -258,7 +276,7 @@ def main(argv: List[str] | None = None) -> int:
         help="where to write the JSON report (default: BENCH_substrate.json)",
     )
     parser.add_argument("--rounds", type=int, default=30, help="timed rounds per benchmark")
-    parser.add_argument("--warmup", type=int, default=2, help="untimed warmup rounds")
+    parser.add_argument("--warmup", type=int, default=5, help="untimed warmup rounds")
     parser.add_argument(
         "--baseline", type=Path, default=None,
         help="previous report to compute speedup factors against",

@@ -15,7 +15,7 @@ Subcommands::
         print the k-anonymous change report of the latest evolution step
 
     python -m repro serve --kb DIR --users FILE [--port N] [--host H]
-                          [--tenant NAME] [--workers W] [-k K]
+                          [--tenant NAME] [--workers W] [--shards S] [-k K]
         serve concurrent JSON recommendation requests over HTTP.  The KB
         becomes one tenant of a :mod:`repro.service`
         ``RecommendationService`` (thread worker pool + admission batching
@@ -23,6 +23,25 @@ Subcommands::
         ``GET /tenants``, ``GET /stats``, ``POST /recommend`` and
         ``POST /commit`` (see :mod:`repro.service.http`).  ``--port 0``
         picks an ephemeral port and prints it.
+
+        **Sharded topology** (``--shards S``, S >= 1): instead of scoring
+        in-process, the command spawns S worker *processes*, each running
+        a full ``RecommendationService`` over the tenants a stable hash of
+        the tenant name routes to it (``TenantRegistry.shard_of``), and
+        the HTTP server becomes a thin router: ``POST /recommend`` /
+        ``POST /commit`` bodies are forwarded over a local pipe to the
+        owning shard (requests multiplex concurrently per pipe; admission
+        batching stays local to each shard), and the GET endpoints
+        aggregate across shards.  Each tenant is bootstrapped into its
+        shard via the binary wire format (:mod:`repro.kb.wire`) -- term
+        dictionary, root snapshot and the recorded commit-delta chain --
+        and every later ``/commit`` is applied by the owning shard alone,
+        which is the whole commit-replication story: one owner per
+        tenant, no cross-shard state.  Prefer ``--shards`` over more
+        ``--workers`` when scoring is CPU-bound and multiple cores are
+        available (thread workers share one GIL; shard processes do not);
+        prefer ``--workers`` for single-core boxes or single hot tenants,
+        since one tenant never spans shards.
 
 All KB directories use the ``save_kb`` layout (per-version ``.nt`` files +
 ``manifest.json``), so the CLI also works on hand-built N-Triples data.
@@ -94,7 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8351, help="0 = ephemeral")
     serve.add_argument("--tenant", help="tenant name (default: the KB's name)")
-    serve.add_argument("--workers", type=int, default=4, help="scoring worker threads")
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="scoring worker threads (per shard when --shards is given)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="shard processes; 0 = score in-process, N >= 1 = spawn N worker "
+             "processes and serve through a thin router",
+    )
     serve.add_argument("-k", type=int, default=5, help="default package size")
     return parser
 
@@ -188,25 +215,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.recommender.engine import EngineConfig
-    from repro.service import RecommendationService, ServiceConfig
-    from repro.service.http import make_server
+    from repro.service import RecommendationService, ServiceConfig, ShardSupervisor
+    from repro.service.http import make_router_server, make_server
 
+    if args.shards < 0:
+        raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
     kb = load_kb(Path(args.kb))
     users = load_users(Path(args.users))
-    service = RecommendationService(
-        ServiceConfig(
-            k=args.k,
-            workers=args.workers,
-            engine=EngineConfig(k=args.k, spread_depth=1),
+    tenant_name = args.tenant or kb.name
+    config = ServiceConfig(
+        k=args.k,
+        workers=args.workers,
+        engine=EngineConfig(k=args.k, spread_depth=1),
+    )
+    if args.shards:
+        # Sharded topology: worker processes score, this process routes.
+        supervisor = ShardSupervisor(shards=args.shards, config=config)
+        shard = supervisor.add_tenant(tenant_name, kb, users)
+        supervisor.start()
+        server = make_router_server(supervisor, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(
+            f"routing tenant {tenant_name!r} ({len(kb)} versions, {len(users)} "
+            f"users) -> shard {shard} of {args.shards} on http://{host}:{port}"
         )
-    )
-    tenant = service.add_tenant(args.tenant or kb.name, kb, users)
-    server = make_server(service, host=args.host, port=args.port)
-    host, port = server.server_address[:2]
-    print(
-        f"serving tenant {tenant.name!r} ({len(kb)} versions, "
-        f"{len(users)} users) on http://{host}:{port}"
-    )
+        closer = supervisor.close
+    else:
+        service = RecommendationService(config)
+        tenant = service.add_tenant(tenant_name, kb, users)
+        server = make_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(
+            f"serving tenant {tenant.name!r} ({len(kb)} versions, "
+            f"{len(users)} users) on http://{host}:{port}"
+        )
+        closer = service.close
     print("endpoints: GET /health /tenants /stats; POST /recommend /commit")
     try:
         server.serve_forever()
@@ -214,7 +257,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.server_close()
-        service.close()
+        closer()
     return 0
 
 

@@ -98,9 +98,9 @@ def load_kb(directory: str | Path) -> VersionedKnowledgeBase:
 # -- users -----------------------------------------------------------------------
 
 
-def save_users(users: Sequence[User], path: str | Path) -> Path:
-    """Write users (with their ground-truth profiles) to a JSON file."""
-    payload = [
+def users_to_dicts(users: Sequence[User]) -> List[Dict]:
+    """JSON-ready dicts for users (the on-disk / on-wire layout)."""
+    return [
         {
             "user_id": user.user_id,
             "name": user.name,
@@ -114,15 +114,10 @@ def save_users(users: Sequence[User], path: str | Path) -> Path:
         }
         for user in users
     ]
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-    return path
 
 
-def load_users(path: str | Path) -> List[User]:
-    """Load users saved by :func:`save_users`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+def users_from_dicts(payload: Sequence[Dict]) -> List[User]:
+    """Inverse of :func:`users_to_dicts`."""
     users: List[User] = []
     for entry in payload:
         profile = InterestProfile(
@@ -141,7 +136,46 @@ def load_users(path: str | Path) -> List[User]:
     return users
 
 
+def save_users(users: Sequence[User], path: str | Path) -> Path:
+    """Write users (with their ground-truth profiles) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(users_to_dicts(users), indent=2), encoding="utf-8")
+    return path
+
+
+def load_users(path: str | Path) -> List[User]:
+    """Load users saved by :func:`save_users`."""
+    return users_from_dicts(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
 # -- feedback -----------------------------------------------------------------------
+
+
+def feedback_to_dicts(store: FeedbackStore) -> List[Dict]:
+    """JSON-ready dicts for feedback events (the on-disk / on-wire layout)."""
+    return [
+        {
+            "user_id": event.user_id,
+            "item_key": event.item_key,
+            "rating": event.rating,
+        }
+        for event in store
+    ]
+
+
+def feedback_from_dicts(payload: Sequence[Dict]) -> FeedbackStore:
+    """Inverse of :func:`feedback_to_dicts`."""
+    store = FeedbackStore()
+    for entry in payload:
+        store.add(
+            FeedbackEvent(
+                user_id=entry["user_id"],
+                item_key=entry["item_key"],
+                rating=entry["rating"],
+            )
+        )
+    return store
 
 
 def save_feedback(store: FeedbackStore, path: str | Path) -> Path:
@@ -149,37 +183,21 @@ def save_feedback(store: FeedbackStore, path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        for event in store:
-            handle.write(
-                json.dumps(
-                    {
-                        "user_id": event.user_id,
-                        "item_key": event.item_key,
-                        "rating": event.rating,
-                    }
-                )
-            )
+        for entry in feedback_to_dicts(store):
+            handle.write(json.dumps(entry))
             handle.write("\n")
     return path
 
 
 def load_feedback(path: str | Path) -> FeedbackStore:
     """Load feedback saved by :func:`save_feedback`."""
-    store = FeedbackStore()
+    entries = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if not line:
-                continue
-            entry = json.loads(line)
-            store.add(
-                FeedbackEvent(
-                    user_id=entry["user_id"],
-                    item_key=entry["item_key"],
-                    rating=entry["rating"],
-                )
-            )
-    return store
+            if line:
+                entries.append(json.loads(line))
+    return feedback_from_dicts(entries)
 
 
 # -- packages -----------------------------------------------------------------------

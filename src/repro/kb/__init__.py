@@ -19,6 +19,7 @@ from repro.kb.errors import (
     SchemaError,
     TermError,
     VersionError,
+    WireFormatError,
 )
 from repro.kb.graph import Graph
 from repro.kb.interning import TermDictionary
@@ -56,6 +57,7 @@ __all__ = [
     "SchemaError",
     "TermError",
     "VersionError",
+    "WireFormatError",
     "Graph",
     "TermDictionary",
     "EX",

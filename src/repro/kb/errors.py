@@ -32,5 +32,9 @@ class VersionError(KnowledgeBaseError):
     """A version chain was used inconsistently (unknown id, empty chain, ...)."""
 
 
+class WireFormatError(KnowledgeBaseError):
+    """A binary wire payload was malformed (bad magic, truncated frame, ...)."""
+
+
 class SchemaError(KnowledgeBaseError):
     """A schema-level lookup failed (unknown class or property)."""

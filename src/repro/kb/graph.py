@@ -348,6 +348,30 @@ class Graph:
 
     # -- set semantics ------------------------------------------------------
 
+    @classmethod
+    def from_interned_keys(
+        cls, dictionary: TermDictionary, keys: Iterable[TripleKey]
+    ) -> "Graph":
+        """Build a graph directly from id-triples already interned in ``dictionary``.
+
+        The bulk-load fast path of the binary wire format
+        (:mod:`repro.kb.wire`): every key's three ids must already exist in
+        ``dictionary`` (ids out of range raise ``IndexError``).  Skips
+        per-triple validation and interning entirely -- the terms were
+        validated when they first entered the dictionary on the encoding
+        side.
+        """
+        graph = cls(dictionary=dictionary)
+        materialize = dictionary.materialize
+        add_key = graph._add_key
+        for key in keys:
+            # Materialise into the shared pool so match()/iteration can yield
+            # this triple with a plain dict index later.
+            materialize(key)
+            if key not in graph._triples:
+                add_key(key)
+        return graph
+
     def copy(self) -> "Graph":
         """An independent copy of this graph (sharing the term dictionary).
 

@@ -1,0 +1,447 @@
+"""Compact binary wire format for graphs, deltas and version chains.
+
+Cross-process sharding (:mod:`repro.service.sharding`) needs to hand a full
+tenant -- its term dictionary, root snapshot and delta-chained commit log --
+to a worker process without re-parsing N-Triples and without pickling the
+object graph.  This module is that wire format: the columnar substrate's
+integer-id triples are packed as numpy arrays (``tobytes`` / ``frombuffer``)
+inside length-prefixed frames, and the term dictionary travels as one
+UTF-8 blob plus offset/kind arrays in *id order*.
+
+The defining property is **bit-identity**: decoding is not merely
+semantically equivalent, it reproduces the exact interned state --
+
+* every term keeps its dense integer id (``decode(encode(kb))`` interns
+  term ``t`` to the same id the source chain did, including terms the
+  chain interned but no longer uses),
+* every version's triple set, recorded ``(added, deleted)`` commit delta
+  and metadata round-trip exactly,
+* hence every downstream artefact (measure results, recommendations) is
+  bit-for-bit identical between the source and a decoded replica --
+  which is what lets a shard answer for its tenants as if it held the
+  original objects.
+
+Payload layouts (all integers little-endian)::
+
+    frame      := u64 length | payload
+    strings    := u64 n_strings | frame(offsets: u64[n]) | frame(utf-8 blob)
+    dictionary := u64 n_terms  | frame(kinds: u8[n_terms]) | strings
+    keys       := u8 dtype(4|8) | u64 n_triples | frame(ids: u{32,64}[n*3])
+    graph      := magic 'RPWG' u8 version | frame(dictionary) | frame(keys)
+    triples    := magic 'RPWD' u8 version | frame(dictionary) | frame(keys)
+    kb         := magic 'RPWK' u8 version | frame(header JSON)
+                  | frame(dictionary) | frame(root keys)
+                  | per non-root version: frame(added keys) frame(deleted keys)
+
+Key arrays are sorted, so equal graphs encode to equal bytes (canonical
+form).  ``encode_kb`` reads the *recorded* commit deltas -- it never diffs
+or rematerialises compacted snapshots, so encoding a compacted chain stays
+O(root + deltas).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.kb.errors import WireFormatError
+from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary, TripleKey
+from repro.kb.terms import BNode, IRI, Literal, Term
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+#: Format version; bump on any layout change.
+WIRE_VERSION = 1
+
+_MAGIC_GRAPH = b"RPWG"
+_MAGIC_KB = b"RPWK"
+_MAGIC_TRIPLES = b"RPWD"
+
+_U64 = struct.Struct("<Q")
+
+# Term kind tags (order is part of the format).
+_KIND_IRI = 0
+_KIND_BNODE = 1
+_KIND_PLAIN = 2  # literal, no datatype / language
+_KIND_TYPED = 3  # literal with datatype IRI
+_KIND_TAGGED = 4  # literal with language tag
+
+
+# -- frame plumbing ---------------------------------------------------------------
+
+
+def _pack_frame(payload: bytes) -> bytes:
+    return _U64.pack(len(payload)) + payload
+
+
+def _frombuffer(data: bytes, dtype) -> np.ndarray:
+    """``np.frombuffer`` upholding the module's WireFormatError contract."""
+    try:
+        return np.frombuffer(data, dtype=dtype)
+    except ValueError as exc:  # length not a multiple of the element size
+        raise WireFormatError(f"malformed integer frame: {exc}") from None
+
+
+class _Reader:
+    """Sequential reader over length-prefixed frames."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise WireFormatError(
+                f"truncated payload: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def frame(self) -> bytes:
+        return self.take(self.u64())
+
+    def expect_magic(self, magic: bytes) -> None:
+        found = self.take(len(magic))
+        if found != magic:
+            raise WireFormatError(f"bad magic: expected {magic!r}, found {found!r}")
+        version = self.u8()
+        if version != WIRE_VERSION:
+            raise WireFormatError(
+                f"unsupported wire version {version} (supported: {WIRE_VERSION})"
+            )
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+# -- strings / dictionary ---------------------------------------------------------
+
+
+def _pack_strings(strings: Sequence[str]) -> bytes:
+    encoded = [s.encode("utf-8") for s in strings]
+    offsets = np.cumsum([len(b) for b in encoded], dtype=np.uint64)
+    blob = b"".join(encoded)
+    return (
+        _U64.pack(len(encoded))
+        + _pack_frame(offsets.tobytes())
+        + _pack_frame(blob)
+    )
+
+
+def _unpack_strings(reader: _Reader) -> List[str]:
+    count = reader.u64()
+    offsets = _frombuffer(reader.frame(), np.uint64)
+    if len(offsets) != count:
+        raise WireFormatError(
+            f"string table: {count} strings but {len(offsets)} offsets"
+        )
+    blob = reader.frame()
+    if count and int(offsets[-1]) != len(blob):
+        raise WireFormatError(
+            f"string table: blob is {len(blob)} bytes, offsets end at {int(offsets[-1])}"
+        )
+    strings: List[str] = []
+    start = 0
+    for end in offsets.tolist():
+        if end < start or end > len(blob):
+            raise WireFormatError(
+                f"string table: offset {end} out of order (previous {start}, "
+                f"blob {len(blob)} bytes)"
+            )
+        try:
+            strings.append(blob[start:end].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"string table: invalid UTF-8 ({exc})") from None
+        start = end
+    return strings
+
+
+def _pack_dictionary(dictionary: TermDictionary) -> bytes:
+    """The term table in id order: kinds array + string table."""
+    n = len(dictionary)
+    kinds = np.empty(n, dtype=np.uint8)
+    strings: List[str] = []
+    for tid in range(n):
+        term = dictionary.term(tid)
+        if isinstance(term, IRI):
+            kinds[tid] = _KIND_IRI
+            strings.append(term.value)
+        elif isinstance(term, BNode):
+            kinds[tid] = _KIND_BNODE
+            strings.append(term.label)
+        elif isinstance(term, Literal):
+            if term.language is not None:
+                kinds[tid] = _KIND_TAGGED
+                strings.append(term.lexical)
+                strings.append(term.language)
+            elif term.datatype is not None:
+                kinds[tid] = _KIND_TYPED
+                strings.append(term.lexical)
+                strings.append(term.datatype.value)
+            else:
+                kinds[tid] = _KIND_PLAIN
+                strings.append(term.lexical)
+        else:  # pragma: no cover - the dictionary only interns Terms
+            raise WireFormatError(f"cannot encode term of type {type(term).__name__}")
+    return _U64.pack(n) + _pack_frame(kinds.tobytes()) + _pack_strings(strings)
+
+
+def _unpack_dictionary(reader: _Reader) -> TermDictionary:
+    """Rebuild a dictionary with identical term -> id assignments."""
+    n = reader.u64()
+    kinds = _frombuffer(reader.frame(), np.uint8)
+    if len(kinds) != n:
+        raise WireFormatError(f"dictionary: {n} terms but {len(kinds)} kind tags")
+    strings = iter(_unpack_strings(reader))
+    dictionary = TermDictionary()
+    intern = dictionary.intern
+    try:
+        for tid, kind in enumerate(kinds.tolist()):
+            if kind == _KIND_IRI:
+                term: Term = IRI(next(strings))
+            elif kind == _KIND_BNODE:
+                term = BNode(next(strings))
+            elif kind == _KIND_PLAIN:
+                term = Literal(next(strings))
+            elif kind == _KIND_TYPED:
+                lexical = next(strings)
+                term = Literal(lexical, datatype=IRI(next(strings)))
+            elif kind == _KIND_TAGGED:
+                lexical = next(strings)
+                term = Literal(lexical, language=next(strings))
+            else:
+                raise WireFormatError(f"unknown term kind tag {kind} at id {tid}")
+            if intern(term) != tid:
+                # Interning the table in order can only disagree if the
+                # table holds a duplicate term -- corrupt input.
+                raise WireFormatError(f"duplicate term in dictionary table at id {tid}")
+    except StopIteration:
+        raise WireFormatError("dictionary string table exhausted early") from None
+    return dictionary
+
+
+def encode_dictionary(dictionary: TermDictionary) -> bytes:
+    """Standalone term-table payload (id order, bit-identical on decode)."""
+    return _pack_dictionary(dictionary)
+
+
+def decode_dictionary(data: bytes) -> TermDictionary:
+    """Inverse of :func:`encode_dictionary`."""
+    return _unpack_dictionary(_Reader(data))
+
+
+# -- key arrays -------------------------------------------------------------------
+
+
+def _pack_keys(keys: Iterable[TripleKey], n_terms: int) -> bytes:
+    """Sorted id-triples as one packed integer array (canonical form)."""
+    rows = sorted(keys)
+    dtype = np.uint32 if n_terms <= 0xFFFFFFFF else np.uint64
+    array = np.asarray(rows, dtype=dtype).reshape(len(rows), 3) if rows else np.empty(
+        (0, 3), dtype=dtype
+    )
+    return (
+        bytes([array.dtype.itemsize])
+        + _U64.pack(len(rows))
+        + _pack_frame(array.tobytes(order="C"))
+    )
+
+
+def _unpack_keys(reader: _Reader, n_terms: int) -> List[TripleKey]:
+    itemsize = reader.u8()
+    if itemsize == 4:
+        dtype = np.uint32
+    elif itemsize == 8:
+        dtype = np.uint64
+    else:
+        raise WireFormatError(f"unsupported key itemsize {itemsize}")
+    count = reader.u64()
+    flat = _frombuffer(reader.frame(), dtype)
+    if len(flat) != count * 3:
+        raise WireFormatError(
+            f"key array: {count} triples but {len(flat)} ids"
+        )
+    if count and int(flat.max(initial=0)) >= n_terms:
+        raise WireFormatError(
+            f"key array references term id {int(flat.max())} "
+            f"beyond dictionary size {n_terms}"
+        )
+    return [tuple(row) for row in flat.reshape(count, 3).tolist()]
+
+
+def _keys_of(triples: Iterable[Triple], dictionary: TermDictionary) -> List[TripleKey]:
+    key_of = dictionary.key_of
+    keys: List[TripleKey] = []
+    for triple in triples:
+        key = key_of(triple)
+        if key is None:  # pragma: no cover - chain triples are always interned
+            raise WireFormatError(f"triple not interned in chain dictionary: {triple!r}")
+        keys.append(key)
+    return keys
+
+
+# -- graphs -----------------------------------------------------------------------
+
+
+def encode_graph(graph: Graph) -> bytes:
+    """Self-contained graph payload: its dictionary plus its sorted keys.
+
+    The *whole* dictionary travels, not just the ids the graph touches, so
+    a decoded graph's interned ids equal the source's -- the invariant the
+    sharded serving plane relies on.
+    """
+    dictionary = graph.dictionary
+    keys = (dictionary.key_of(t) for t in graph)
+    return (
+        _MAGIC_GRAPH
+        + bytes([WIRE_VERSION])
+        + _pack_frame(_pack_dictionary(dictionary))
+        + _pack_frame(_pack_keys(keys, len(dictionary)))
+    )
+
+
+def decode_graph(data: bytes) -> Graph:
+    """Inverse of :func:`encode_graph` (fresh dictionary, identical ids)."""
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_GRAPH)
+    dictionary = _unpack_dictionary(_Reader(reader.frame()))
+    keys = _unpack_keys(_Reader(reader.frame()), len(dictionary))
+    return Graph.from_interned_keys(dictionary, keys)
+
+
+# -- standalone triple payloads (commit deltas on the wire) ------------------------
+
+
+def encode_triples(triples: Sequence[Triple]) -> bytes:
+    """A self-contained payload for a batch of triples (e.g. one commit delta).
+
+    Unlike :func:`encode_graph` this builds a *minimal* private dictionary
+    holding only the batch's own terms -- the decoding side re-interns them
+    into whatever chain receives the commit, exactly as an N-Triples body
+    would, just without the text round-trip.
+    """
+    private = TermDictionary()
+    keys = [private.intern_triple(t) for t in triples]
+    return (
+        _MAGIC_TRIPLES
+        + bytes([WIRE_VERSION])
+        + _pack_frame(_pack_dictionary(private))
+        + _pack_frame(_pack_keys(keys, len(private)))
+    )
+
+
+def decode_triples(data: bytes) -> List[Triple]:
+    """Inverse of :func:`encode_triples` (order-insensitive, deduplicated)."""
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_TRIPLES)
+    dictionary = _unpack_dictionary(_Reader(reader.frame()))
+    keys = _unpack_keys(_Reader(reader.frame()), len(dictionary))
+    return [dictionary.materialize(key) for key in keys]
+
+
+# -- version chains ---------------------------------------------------------------
+
+
+def encode_kb(kb: VersionedKnowledgeBase) -> bytes:
+    """A whole version chain: header, dictionary, root keys, per-commit deltas.
+
+    Reads the deltas *recorded at commit time* -- compacted middle versions
+    are never rematerialised.  Decoding replays the chain commit by commit,
+    so the replica records the same deltas, shares one dictionary with the
+    same ids, and serves bit-identical artefacts.
+    """
+    versions = list(kb)
+    header = {
+        "name": kb.name,
+        "versions": [
+            {"version_id": v.version_id, "metadata": dict(v.metadata)}
+            for v in versions
+        ],
+    }
+    parts = [
+        _MAGIC_KB,
+        bytes([WIRE_VERSION]),
+        _pack_frame(json.dumps(header, sort_keys=True).encode("utf-8")),
+    ]
+    if not versions:
+        parts.append(_pack_frame(_pack_dictionary(TermDictionary())))
+        return b"".join(parts)
+    dictionary = kb.first().graph.dictionary
+    n_terms = len(dictionary)
+    parts.append(_pack_frame(_pack_dictionary(dictionary)))
+    root_keys = (dictionary.key_of(t) for t in kb.first().graph)
+    parts.append(_pack_frame(_pack_keys(root_keys, n_terms)))
+    for version in versions[1:]:
+        delta = version.delta_from_parent()
+        if delta is None:
+            raise WireFormatError(
+                f"version {version.version_id!r} has no recorded commit delta"
+            )
+        parts.append(_pack_frame(_pack_keys(_keys_of(delta.added, dictionary), n_terms)))
+        parts.append(
+            _pack_frame(_pack_keys(_keys_of(delta.deleted, dictionary), n_terms))
+        )
+    return b"".join(parts)
+
+
+def decode_kb(data: bytes) -> VersionedKnowledgeBase:
+    """Inverse of :func:`encode_kb`.
+
+    Every version of the replica is materialised (the replay builds each
+    snapshot); call :meth:`~repro.kb.version.VersionedKnowledgeBase.compact`
+    afterwards to drop middle snapshots again if the source was compacted.
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_KB)
+    header = json.loads(reader.frame().decode("utf-8"))
+    kb = VersionedKnowledgeBase(header.get("name", "kb"))
+    entries = header.get("versions", [])
+    dictionary = _unpack_dictionary(_Reader(reader.frame()))
+    if not entries:
+        return kb
+    n_terms = len(dictionary)
+    root_keys = _unpack_keys(_Reader(reader.frame()), n_terms)
+    root = Graph.from_interned_keys(dictionary, root_keys)
+    kb.commit(
+        root,
+        version_id=entries[0]["version_id"],
+        metadata=entries[0].get("metadata", {}),
+        copy=False,
+    )
+    materialize = dictionary.materialize
+    for entry in entries[1:]:
+        added = _unpack_keys(_Reader(reader.frame()), n_terms)
+        deleted = _unpack_keys(_Reader(reader.frame()), n_terms)
+        graph = kb.latest().graph.copy()
+        # Same application order as delta replay: deletions, then additions.
+        graph.remove_all(materialize(key) for key in deleted)
+        graph.add_all(materialize(key) for key in added)
+        kb.commit(
+            graph,
+            version_id=entry["version_id"],
+            metadata=entry.get("metadata", {}),
+            copy=False,
+        )
+    if not reader.at_end():
+        raise WireFormatError("trailing bytes after the last version delta")
+    return kb
+
+
+def dictionaries_identical(a: TermDictionary, b: TermDictionary) -> bool:
+    """True when two dictionaries assign identical ids to identical terms."""
+    if len(a) != len(b):
+        return False
+    return all(a.term(tid) == b.term(tid) for tid in range(len(a)))

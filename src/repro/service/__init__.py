@@ -17,33 +17,44 @@ thread-safe subsystem that actually serves that workload:
   two together with snapshot-consistent reads: a request keeps scoring the
   version pair it was admitted on even while a writer commits the next
   evolution step,
-* :mod:`repro.service.http` -- a stdlib-only JSON front-end
-  (``python -m repro serve``).
+* :class:`~repro.service.sharding.ShardSupervisor` -- the cross-process
+  scale-out: N worker processes each running a full service over the
+  tenant subset a stable hash of the tenant name routes to them, fed over
+  local pipes with the binary wire format of :mod:`repro.kb.wire`,
+* :mod:`repro.service.http` -- stdlib-only JSON front-ends
+  (``python -m repro serve``): the single-process server and the sharded
+  thin router (``--shards N``).
 
-Results are bit-identical to serial, single-threaded execution: batching
-and concurrency change cost, never values (the service test suite asserts
-exactly that).
+Results are bit-identical to serial, single-threaded execution: batching,
+concurrency and sharding change cost, never values (the service test
+suite asserts exactly that, in both topologies).
 """
 
 from repro.service.admission import AdmissionQueue, AdmissionStats
 from repro.service.errors import (
+    RemoteInternalError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+    ShardError,
     UnknownTenantError,
     UnknownUserError,
 )
 from repro.service.registry import Tenant, TenantRegistry
 from repro.service.service import RecommendationService, ServiceConfig
+from repro.service.sharding import ShardSupervisor
 
 __all__ = [
     "AdmissionQueue",
     "AdmissionStats",
     "RecommendationService",
+    "RemoteInternalError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloadedError",
+    "ShardError",
+    "ShardSupervisor",
     "Tenant",
     "TenantRegistry",
     "UnknownTenantError",

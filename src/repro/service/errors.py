@@ -3,6 +3,17 @@
 from __future__ import annotations
 
 
+def error_message(exc: BaseException) -> str:
+    """The human-readable message of a serving-layer exception.
+
+    KeyError-derived service errors (unknown tenant/user) carry the
+    message as ``args[0]``; ``str()`` on them would add quotes.  One rule,
+    shared by the HTTP handlers and the shard transport, so both
+    topologies word their errors identically.
+    """
+    return str(exc.args[0]) if exc.args else str(exc)
+
+
 class ServiceError(Exception):
     """Base class for serving-layer failures."""
 
@@ -21,3 +32,21 @@ class ServiceClosedError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """The admission queue is at capacity; the request was shed, not queued."""
+
+
+class ShardError(ServiceError):
+    """A shard process failed (died, never became ready, or lost its pipe).
+
+    Raised supervisor-side; the HTTP router maps it to 503 so clients see
+    a retryable infrastructure failure, not a bad request.
+    """
+
+
+class RemoteInternalError(Exception):
+    """An *unexpected* exception inside a shard process (a bug, not a request).
+
+    Deliberately outside the :class:`ServiceError` hierarchy: the HTTP
+    error mapping turns ``ServiceError`` into 400, but an internal shard
+    failure must surface as 500 exactly like an unexpected exception in
+    the single-process handler would.
+    """

@@ -1,14 +1,24 @@
-"""Stdlib-only JSON front-end over :class:`RecommendationService`.
+"""Stdlib-only JSON front-ends over the serving layer.
 
-One :class:`ThreadingHTTPServer` (one thread per connection, no third-party
-dependencies) exposing the serving layer:
+Two servers share one handler toolbox (no third-party dependencies):
+
+* :class:`ServiceHTTPServer` -- the single-process front-end: one
+  :class:`ThreadingHTTPServer` (one thread per connection) over an
+  in-process :class:`~repro.service.service.RecommendationService`.
+* :class:`ShardRouterHTTPServer` -- the sharded front-end: the same
+  endpoints, but the handler is a *thin router* that forwards each request
+  to the shard process owning its tenant (see
+  :mod:`repro.service.sharding`); the router parses just enough JSON to
+  find the tenant name and never touches graphs, N-Triples or scoring.
+
+Endpoints (identical in both topologies):
 
 ``GET /health``
-    liveness + tenant count.
+    liveness + tenant count (the sharded server adds shard liveness).
 ``GET /tenants``
     tenant summaries (versions, users).
 ``GET /stats``
-    admission/batching counters.
+    admission/batching counters (per shard in the sharded topology).
 ``POST /recommend``
     ``{"tenant": ..., "user": ..., "k"?: ..., "old"?: ..., "new"?: ...}`` ->
     the recommendation package as JSON (same layout as
@@ -18,10 +28,11 @@ dependencies) exposing the serving layer:
     "version_id"?: ..., "metadata"?: {...}}`` -> the committed version.
     The curator-side write path: changes are applied to the tenant's
     latest version under its write lock while readers keep scoring the
-    pair they were admitted on.
+    pair they were admitted on.  In the sharded topology the N-Triples
+    body is forwarded verbatim and parsed by the owning shard.
 
-Concurrent requests batch through the service's admission queue exactly as
-Python-API callers do; the HTTP layer adds no state of its own.
+Concurrent requests batch through the (per-shard) admission queue exactly
+as Python-API callers do; the HTTP layer adds no state of its own.
 """
 
 from __future__ import annotations
@@ -29,37 +40,125 @@ from __future__ import annotations
 import json
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 from repro.io.storage import package_to_dict
 from repro.kb.errors import KnowledgeBaseError
 from repro.kb.ntriples import parse_graph
+from repro.kb.triples import Triple
 from repro.service.errors import (
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+    ShardError,
     UnknownTenantError,
     UnknownUserError,
+    error_message,
 )
 from repro.service.service import RecommendationService
 
-
-class ServiceHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service for its handlers."""
-
-    daemon_threads = True
-
-    def __init__(
-        self, address: Tuple[str, int], service: RecommendationService
-    ) -> None:
-        super().__init__(address, ServiceRequestHandler)
-        self.service = service
+if TYPE_CHECKING:  # sharding imports this module; annotation only here.
+    from repro.service.sharding import ShardSupervisor
 
 
-class ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes the five endpoints; every response body is JSON."""
+# -- request semantics (shared by the in-process handler and the shards) -----------
 
-    server: ServiceHTTPServer
+
+def parse_recommend_payload(
+    payload: Dict,
+) -> Tuple[str, str, Optional[int], Optional[str], Optional[str]]:
+    """Validate a ``/recommend`` body -> ``(tenant, user, k, old, new)``."""
+    tenant_name = payload.get("tenant")
+    user_id = payload.get("user")
+    if not tenant_name or not user_id:
+        raise ValueError("recommend requires 'tenant' and 'user'")
+    k = payload.get("k")
+    if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 0):
+        raise ValueError(f"k must be a non-negative integer, got {k!r}")
+    return tenant_name, user_id, k, payload.get("old"), payload.get("new")
+
+
+def handle_recommend(service: RecommendationService, payload: Dict) -> Dict:
+    """Serve one ``/recommend`` body against an in-process service."""
+    tenant_name, user_id, k, old, new = parse_recommend_payload(payload)
+    package = service.recommend(tenant_name, user_id, k=k, old_id=old, new_id=new)
+    return package_to_dict(package)
+
+
+def apply_commit(
+    service: RecommendationService,
+    tenant_name: str,
+    added: Iterable[Triple],
+    deleted: Iterable[Triple],
+    version_id: str | None,
+    metadata: Dict,
+) -> Dict:
+    """Commit already-parsed changes to a tenant (shared write-path core).
+
+    Validation and the duplicate-id precheck run under the tenant write
+    lock, atomic with the commit itself; both the N-Triples HTTP path and
+    the binary-delta shard path funnel through here.
+    """
+    tenant = service.tenant(tenant_name)
+    if version_id is not None and not isinstance(version_id, str):
+        raise ValueError(f"version_id must be a string, got {version_id!r}")
+    if not isinstance(metadata, dict):
+        raise ValueError("metadata must be a JSON object")
+    added = list(added)
+    deleted = list(deleted)
+    if not added and not deleted:
+        raise ValueError("commit requires non-empty 'added' and/or 'deleted'")
+    with tenant.write_lock:
+        # Duplicate-id precheck before commit_changes interns the new terms
+        # (atomic with the commit: the lock is reentrant and held across
+        # both).
+        if version_id is not None and version_id in tenant.kb:
+            raise ValueError(f"duplicate version id: {version_id!r}")
+        version = tenant.commit_changes(
+            added=added,
+            deleted=deleted,
+            version_id=version_id,
+            metadata={str(k): str(v) for k, v in metadata.items()},
+        )
+    return {
+        "tenant": tenant_name,
+        "version_id": version.version_id,
+        "size": len(version),
+        "versions": tenant.kb.version_ids(),
+    }
+
+
+def handle_commit(service: RecommendationService, payload: Dict) -> Dict:
+    """Serve one ``/commit`` body (N-Triples changes) against a service."""
+    tenant_name = payload.get("tenant")
+    if not tenant_name:
+        raise ValueError("commit requires 'tenant'")
+    added_text = payload.get("added") or ""
+    deleted_text = payload.get("deleted") or ""
+    if not isinstance(added_text, str) or not isinstance(deleted_text, str):
+        raise ValueError("'added' and 'deleted' must be N-Triples strings")
+    # Parse into private dictionaries: the chain's shared TermDictionary is
+    # append-only and interning is writer-locked, so (a) a rejected request
+    # must not grow it, and (b) concurrent handler threads must not intern
+    # into it outside the tenant write lock.
+    added = parse_graph(added_text)
+    deleted = parse_graph(deleted_text)
+    return apply_commit(
+        service,
+        tenant_name,
+        list(added),
+        list(deleted),
+        payload.get("version_id"),
+        payload.get("metadata") or {},
+    )
+
+
+# -- handler plumbing --------------------------------------------------------------
+
+
+class _JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON plumbing for both front-ends."""
+
     protocol_version = "HTTP/1.1"
     # Quiet by default: the serving benchmark hammers the server and the
     # default handler writes one stderr line per request.
@@ -68,8 +167,6 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002 (stdlib API)
         if self.verbose:
             super().log_message(format, *args)
-
-    # -- plumbing ---------------------------------------------------------------
 
     def _send_json(self, payload: Dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -92,12 +189,46 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    @staticmethod
-    def _error_message(exc: BaseException) -> str:
-        # KeyError-derived service errors carry the message as args[0].
-        return str(exc.args[0]) if exc.args else str(exc)
+    _error_message = staticmethod(error_message)
 
-    # -- routes -----------------------------------------------------------------
+    def _dispatch_post(self, handler) -> None:
+        """Run ``handler(payload) -> Dict`` with the shared error mapping."""
+        try:
+            self._send_json(handler(self._read_json_body()))
+        except (UnknownTenantError, UnknownUserError) as exc:
+            self._send_error_json(404, self._error_message(exc))
+        except (ServiceClosedError, ServiceOverloadedError, ShardError) as exc:
+            # Shutdown, shed under load, or a dead/unreachable shard: tell
+            # clients to retry elsewhere, not that their request was bad.
+            self._send_error_json(503, self._error_message(exc))
+        except (TimeoutError, FuturesTimeoutError):
+            # Overload, not a bug: the batch missed request_timeout_s.
+            self._send_error_json(504, "request timed out under load")
+        except (ValueError, KeyError, ServiceError, KnowledgeBaseError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, self._error_message(exc))
+        except Exception as exc:  # pragma: no cover - defensive last resort
+            self._send_error_json(500, self._error_message(exc))
+
+
+# -- single-process front-end ------------------------------------------------------
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], service: RecommendationService
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(_JsonRequestHandler):
+    """Routes the five endpoints; every response body is JSON."""
+
+    server: ServiceHTTPServer
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
         service = self.server.service
@@ -111,88 +242,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path: {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
-        try:
-            payload = self._read_json_body()
-            if self.path == "/recommend":
-                self._send_json(self._handle_recommend(payload))
-            elif self.path == "/commit":
-                self._send_json(self._handle_commit(payload))
-            else:
-                self._send_error_json(404, f"unknown path: {self.path}")
-        except (UnknownTenantError, UnknownUserError) as exc:
-            self._send_error_json(404, self._error_message(exc))
-        except (ServiceClosedError, ServiceOverloadedError) as exc:
-            # Shutdown or shed under load: tell clients to retry elsewhere,
-            # not that their request was malformed.
-            self._send_error_json(503, self._error_message(exc))
-        except (TimeoutError, FuturesTimeoutError):
-            # Overload, not a bug: the batch missed request_timeout_s.
-            self._send_error_json(504, "request timed out under load")
-        except (ValueError, KeyError, ServiceError, KnowledgeBaseError, json.JSONDecodeError) as exc:
-            self._send_error_json(400, self._error_message(exc))
-        except Exception as exc:  # pragma: no cover - defensive last resort
-            self._send_error_json(500, self._error_message(exc))
-
-    def _handle_recommend(self, payload: Dict) -> Dict:
         service = self.server.service
-        tenant_name = payload.get("tenant")
-        user_id = payload.get("user")
-        if not tenant_name or not user_id:
-            raise ValueError("recommend requires 'tenant' and 'user'")
-        k = payload.get("k")
-        if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 0):
-            raise ValueError(f"k must be a non-negative integer, got {k!r}")
-        package = service.recommend(
-            tenant_name,
-            user_id,
-            k=k,
-            old_id=payload.get("old"),
-            new_id=payload.get("new"),
-        )
-        return package_to_dict(package)
-
-    def _handle_commit(self, payload: Dict) -> Dict:
-        service = self.server.service
-        tenant_name = payload.get("tenant")
-        if not tenant_name:
-            raise ValueError("commit requires 'tenant'")
-        tenant = service.tenant(tenant_name)
-        version_id = payload.get("version_id")
-        if version_id is not None and not isinstance(version_id, str):
-            raise ValueError(f"version_id must be a string, got {version_id!r}")
-        metadata = payload.get("metadata") or {}
-        if not isinstance(metadata, dict):
-            raise ValueError("metadata must be a JSON object")
-        added_text = payload.get("added") or ""
-        deleted_text = payload.get("deleted") or ""
-        if not isinstance(added_text, str) or not isinstance(deleted_text, str):
-            raise ValueError("'added' and 'deleted' must be N-Triples strings")
-        # Parse into private dictionaries: the chain's shared TermDictionary
-        # is append-only and interning is writer-locked, so (a) a rejected
-        # request must not grow it, and (b) concurrent handler threads must
-        # not intern into it outside the tenant write lock.
-        added = parse_graph(added_text)
-        deleted = parse_graph(deleted_text)
-        if not len(added) and not len(deleted):
-            raise ValueError("commit requires non-empty 'added' and/or 'deleted'")
-        with tenant.write_lock:
-            # Duplicate-id precheck before commit_changes interns the new
-            # terms (atomic with the commit: the lock is reentrant and held
-            # across both).
-            if version_id is not None and version_id in tenant.kb:
-                raise ValueError(f"duplicate version id: {version_id!r}")
-            version = tenant.commit_changes(
-                added=list(added),
-                deleted=list(deleted),
-                version_id=version_id,
-                metadata={str(k): str(v) for k, v in metadata.items()},
-            )
-        return {
-            "tenant": tenant_name,
-            "version_id": version.version_id,
-            "size": len(version),
-            "versions": tenant.kb.version_ids(),
-        }
+        if self.path == "/recommend":
+            self._dispatch_post(lambda payload: handle_recommend(service, payload))
+        elif self.path == "/commit":
+            self._dispatch_post(lambda payload: handle_commit(service, payload))
+        else:
+            self._send_error_json(404, f"unknown path: {self.path}")
 
 
 def make_server(
@@ -200,3 +256,66 @@ def make_server(
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer` (port 0 = ephemeral); caller serves."""
     return ServiceHTTPServer((host, port), service)
+
+
+# -- sharded front-end (thin router) ----------------------------------------------
+
+
+class ShardRouterHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shard supervisor for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], supervisor: "ShardSupervisor"
+    ) -> None:
+        super().__init__(address, ShardRouterRequestHandler)
+        self.supervisor = supervisor
+
+
+class ShardRouterRequestHandler(_JsonRequestHandler):
+    """The sharded topology's front-end: same endpoints, zero scoring.
+
+    ``POST`` bodies are decoded just far enough to read the tenant name,
+    then forwarded to the owning shard process; responses come back as
+    JSON-ready dicts.  All error mapping is shared with the single-process
+    handler, plus 503 for a dead shard (:class:`ShardError`).
+    """
+
+    server: ShardRouterHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        supervisor = self.server.supervisor
+        try:
+            if self.path == "/health":
+                self._send_json(supervisor.health())
+            elif self.path == "/tenants":
+                self._send_json({"tenants": supervisor.tenants()})
+            elif self.path == "/stats":
+                self._send_json(supervisor.stats())
+            else:
+                self._send_error_json(404, f"unknown path: {self.path}")
+        except (ServiceClosedError, ShardError) as exc:
+            self._send_error_json(503, self._error_message(exc))
+        except (TimeoutError, FuturesTimeoutError):
+            # A hung shard missed the fan-out deadline: answer like the POST
+            # paths do instead of dropping the connection with a traceback.
+            self._send_error_json(504, "shard did not answer in time")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        supervisor = self.server.supervisor
+        if self.path == "/recommend":
+            self._dispatch_post(
+                lambda payload: supervisor.forward("recommend", payload)
+            )
+        elif self.path == "/commit":
+            self._dispatch_post(lambda payload: supervisor.forward("commit", payload))
+        else:
+            self._send_error_json(404, f"unknown path: {self.path}")
+
+
+def make_router_server(
+    supervisor: "ShardSupervisor", host: str = "127.0.0.1", port: int = 0
+) -> ShardRouterHTTPServer:
+    """Bind a :class:`ShardRouterHTTPServer` (port 0 = ephemeral); caller serves."""
+    return ShardRouterHTTPServer((host, port), supervisor)

@@ -22,6 +22,7 @@ Concurrency contract:
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.kb.graph import Graph
@@ -134,11 +135,38 @@ class Tenant:
 
 
 class TenantRegistry:
-    """Thread-safe name -> :class:`Tenant` map."""
+    """Thread-safe name -> :class:`Tenant` map.
+
+    The registry is also the system's shard key space: the tenant name is
+    the unit of placement, and :meth:`shard_of` is the one routing function
+    every topology layer (the :class:`~repro.service.sharding.ShardSupervisor`,
+    the HTTP router, external load balancers) agrees on.
+    """
 
     def __init__(self) -> None:
         self._tenants: Dict[str, Tenant] = {}
         self._lock = threading.Lock()
+
+    # -- shard routing --------------------------------------------------------
+
+    @staticmethod
+    def shard_of(name: str, n_shards: int) -> int:
+        """The shard index owning tenant ``name`` out of ``n_shards``.
+
+        Stable across processes, hosts and Python versions (CRC-32 of the
+        UTF-8 name, *not* the salted builtin ``hash``), so a router and its
+        shard processes always agree on placement without coordination.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        return zlib.crc32(name.encode("utf-8")) % n_shards
+
+    def shard_map(self, n_shards: int) -> Dict[int, List[str]]:
+        """Registered tenant names grouped by owning shard (sorted names)."""
+        mapping: Dict[int, List[str]] = {shard: [] for shard in range(n_shards)}
+        for name in self.names():
+            mapping[self.shard_of(name, n_shards)].append(name)
+        return mapping
 
     def add(
         self,

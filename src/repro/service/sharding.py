@@ -1,0 +1,645 @@
+"""Shard-per-process serving: scale the scoring plane with cores, not threads.
+
+One :class:`~repro.service.service.RecommendationService` is GIL-bound --
+its thread workers interleave on one core no matter how many there are.
+This module runs **N full services in N worker processes** and routes
+every request to the process owning its tenant:
+
+* :class:`ShardSupervisor` -- the parent-side object: spawns the shard
+  processes (``multiprocessing`` *spawn* context, so workers are clean
+  interpreters on every platform), hands each its tenant subset, and
+  forwards requests/commits over one duplex pipe per shard with
+  future-based multiplexing (many requests in flight per pipe).
+* ``_shard_main`` -- the worker entry point: decodes its tenants from the
+  binary wire format (:mod:`repro.kb.wire`), stands up a full
+  ``RecommendationService`` (admission batching stays local to the
+  shard), answers ``recommend`` asynchronously and writes back under a
+  send lock.
+
+Placement is :meth:`TenantRegistry.shard_of
+<repro.service.registry.TenantRegistry.shard_of>` -- a stable CRC-32 hash
+of the tenant name -- so the supervisor, the HTTP router
+(:func:`repro.service.http.make_router_server`) and any external balancer
+agree on ownership without coordination.  Each tenant lives in exactly one
+shard: reads and writes for it serialise there, which keeps the
+single-process consistency story (snapshot-at-admission reads, per-tenant
+write lock) intact per shard, and makes sharded responses **bit-identical**
+to a single-process service holding the same tenants.
+
+Bootstrap and commit payloads travel as wire bytes, never pickled object
+graphs: a shard rebuilds each tenant's interning dictionary, root snapshot
+and recorded delta chain exactly (same integer ids), then replays live
+commits forwarded by the supervisor (binary deltas from the Python API,
+verbatim N-Triples bodies from the HTTP router).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.io.storage import (
+    feedback_from_dicts,
+    feedback_to_dicts,
+    package_to_dict,
+    users_from_dicts,
+    users_to_dicts,
+)
+from repro.kb import wire
+from repro.kb.errors import KnowledgeBaseError
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.profiles.feedback import FeedbackStore
+from repro.profiles.user import User
+from repro.service.errors import (
+    RemoteInternalError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardError,
+    UnknownTenantError,
+    UnknownUserError,
+    error_message as _error_message,
+)
+from repro.service.registry import TenantRegistry
+from repro.service.service import RecommendationService, ServiceConfig
+
+#: One tenant's spawn payload: (name, kb wire bytes, users JSON bytes,
+#: feedback JSON bytes or None).  Everything here pickles as flat bytes.
+_TenantPayload = Tuple[str, bytes, bytes, Optional[bytes]]
+
+# -- error transport ---------------------------------------------------------------
+#
+# Exceptions cross the process boundary as (kind, message) pairs; both sides
+# share this table so the supervisor re-raises the exact class the shard's
+# service raised and the HTTP router maps it to the same status code the
+# single-process handler would.
+
+_ERROR_CLASSES: Dict[str, type] = {
+    "unknown_tenant": UnknownTenantError,
+    "unknown_user": UnknownUserError,
+    "closed": ServiceClosedError,
+    "overloaded": ServiceOverloadedError,
+    "timeout": TimeoutError,
+    "bad_request": ValueError,
+    "kb": KnowledgeBaseError,
+    "service": ServiceError,
+    "internal": RemoteInternalError,
+}
+
+
+def _error_kind(exc: BaseException) -> str:
+    if isinstance(exc, UnknownTenantError):
+        return "unknown_tenant"
+    if isinstance(exc, UnknownUserError):
+        return "unknown_user"
+    if isinstance(exc, ServiceClosedError):
+        return "closed"
+    if isinstance(exc, ServiceOverloadedError):
+        return "overloaded"
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, (ValueError, KeyError, json.JSONDecodeError)):
+        return "bad_request"
+    if isinstance(exc, KnowledgeBaseError):
+        return "kb"
+    if isinstance(exc, ServiceError):
+        return "service"
+    # Anything else is a shard-side bug: keep it distinguishable so the
+    # router answers 500 (like the single-process handler's last resort),
+    # not 400.
+    return "internal"
+
+
+def _raise_wire_error(kind: str, message: str) -> None:
+    raise _ERROR_CLASSES.get(kind, ServiceError)(message)
+
+
+# -- worker process ----------------------------------------------------------------
+
+
+def _shard_main(
+    conn,
+    shard_index: int,
+    config: ServiceConfig,
+    payloads: Sequence[_TenantPayload],
+) -> None:
+    """Entry point of one shard process (module-level: spawn-picklable).
+
+    Protocol: the parent sends ``(op, request_id, payload)`` tuples; the
+    shard answers ``(request_id, "ok", result)`` or ``(request_id,
+    "error", kind, message)``.  ``recommend`` is answered asynchronously
+    from the admission queue's done-callbacks (so requests batch while
+    earlier ones score); everything else is handled inline.  The first
+    message out is ``("ready", shard_index, tenant_names)``.
+    """
+    # Imported here, not at module top: the handlers live in http.py which
+    # imports this module's ShardSupervisor for type checking only.
+    from repro.service.http import apply_commit, handle_commit, parse_recommend_payload
+
+    service = RecommendationService(config)
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (OSError, ValueError, BrokenPipeError):  # parent is gone
+                pass
+
+    try:
+        for name, kb_bytes, users_bytes, feedback_bytes in payloads:
+            kb = wire.decode_kb(kb_bytes)
+            users = users_from_dicts(json.loads(users_bytes.decode("utf-8")))
+            feedback = (
+                feedback_from_dicts(json.loads(feedback_bytes.decode("utf-8")))
+                if feedback_bytes is not None
+                else None
+            )
+            service.add_tenant(name, kb, users, feedback)
+    except BaseException as exc:
+        send(("failed", shard_index, _error_kind(exc), _error_message(exc)))
+        service.close()
+        return
+    send(("ready", shard_index, service.registry.names()))
+
+    def handle(op: str, request_id: int, payload) -> None:
+        if op == "recommend":
+            tenant, user, k, old, new = parse_recommend_payload(payload)
+            future = service.recommend_async(tenant, user, k, old, new)
+
+            def _done(f, request_id=request_id):
+                try:
+                    send((request_id, "ok", package_to_dict(f.result())))
+                except BaseException as exc:
+                    send((request_id, "error", _error_kind(exc), _error_message(exc)))
+
+            future.add_done_callback(_done)
+        elif op in ("commit", "commit_delta"):
+            # Off the recv loop: a slow commit (parse + intern + diff) for
+            # one tenant must not head-of-line-block admission of other
+            # tenants' reads on this shard -- single-process, a commit only
+            # holds its own tenant's write lock, and the sharded topology
+            # keeps that property.  Same-tenant commits still serialise on
+            # the write lock inside apply_commit.
+            def _run_commit(op=op, request_id=request_id, payload=payload):
+                try:
+                    if op == "commit":  # HTTP-shaped body, N-Triples changes
+                        result = handle_commit(service, payload)
+                    else:  # binary wire deltas from the Python API
+                        added = (
+                            wire.decode_triples(payload["added"])
+                            if payload.get("added")
+                            else []
+                        )
+                        deleted = (
+                            wire.decode_triples(payload["deleted"])
+                            if payload.get("deleted")
+                            else []
+                        )
+                        result = apply_commit(
+                            service,
+                            payload["tenant"],
+                            added,
+                            deleted,
+                            payload.get("version_id"),
+                            payload.get("metadata") or {},
+                        )
+                    send((request_id, "ok", result))
+                except BaseException as exc:
+                    send((request_id, "error", _error_kind(exc), _error_message(exc)))
+
+            threading.Thread(
+                target=_run_commit, name="repro-shard-commit", daemon=True
+            ).start()
+        elif op == "stats":
+            send((request_id, "ok", service.stats()))
+        elif op == "tenants":
+            send((request_id, "ok", service.tenants()))
+        elif op == "health":
+            send(
+                (
+                    request_id,
+                    "ok",
+                    {"status": "ok", "shard": shard_index,
+                     "tenants": len(service.registry)},
+                )
+            )
+        else:
+            raise ValueError(f"unknown shard op: {op!r}")
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, request_id, payload = message
+            if op == "shutdown":
+                send((request_id, "ok", {"shard": shard_index}))
+                break
+            try:
+                handle(op, request_id, payload)
+            except BaseException as exc:
+                send((request_id, "error", _error_kind(exc), _error_message(exc)))
+    finally:
+        service.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- supervisor side ---------------------------------------------------------------
+
+
+class _ShardClient:
+    """Parent-side handle of one shard: pipe, pending futures, reader thread."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.ready = threading.Event()
+        self.failure: Optional[str] = None
+        self.tenant_names: List[str] = []
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._ids = itertools.count()
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"repro-shard-client-{index}", daemon=True
+        )
+        self._reader.start()
+
+    # The reader thread is the only consumer of the pipe; it resolves the
+    # matching future for every response, so any number of caller threads
+    # can have requests in flight over the one connection.
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            head = message[0]
+            if head == "ready":
+                self.tenant_names = list(message[2])
+                self.ready.set()
+                continue
+            if head == "failed":
+                self.failure = f"{message[2]}: {message[3]}"
+                self.ready.set()
+                continue
+            request_id = head
+            with self._pending_lock:
+                future = self._pending.pop(request_id, None)
+            if future is None:
+                continue  # response for an abandoned (timed-out) request
+            if message[1] == "ok":
+                future.set_result(message[2])
+            else:
+                _, _, kind, text = message
+                try:
+                    _raise_wire_error(kind, text)
+                except BaseException as exc:
+                    future.set_exception(exc)
+        self._mark_dead()
+
+    @property
+    def dead(self) -> bool:
+        """True once the pipe is gone (process exit or close)."""
+        return self._dead
+
+    def _mark_dead(self) -> None:
+        self._dead = True
+        self.ready.set()
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            future.set_exception(
+                ShardError(f"shard {self.index} died with requests in flight")
+            )
+
+    def submit(self, op: str, payload) -> Future:
+        if self._dead:
+            raise ShardError(f"shard {self.index} is not running")
+        future: Future = Future()
+        request_id = next(self._ids)
+        with self._pending_lock:
+            self._pending[request_id] = future
+        try:
+            with self._send_lock:
+                self.conn.send((op, request_id, payload))
+        except (OSError, ValueError, BrokenPipeError):
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ShardError(f"shard {self.index} pipe is closed") from None
+        # Close the race with _mark_dead(): the shard may have died between
+        # the _dead check above and registering the future, in which case
+        # the dead-sweep already ran and nothing would ever resolve it (the
+        # first write into a half-closed pipe does not reliably raise).
+        if self._dead:
+            with self._pending_lock:
+                abandoned = self._pending.pop(request_id, None)
+            if abandoned is not None:
+                abandoned.set_exception(
+                    ShardError(f"shard {self.index} died with requests in flight")
+                )
+        return future
+
+    def request(self, op: str, payload, timeout: Optional[float]):
+        return self.submit(op, payload).result(timeout=timeout)
+
+    def close(self, timeout: Optional[float]) -> None:
+        if not self._dead:
+            try:
+                self.request("shutdown", None, timeout=timeout)
+            except Exception:
+                pass  # already dying; the join/terminate below reaps it
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class ShardSupervisor:
+    """N shard processes behind one tenant-hash router (the Python API).
+
+    Usage::
+
+        supervisor = ShardSupervisor(shards=4, config=ServiceConfig(...))
+        supervisor.add_tenant("acme", kb, users)   # before start()
+        supervisor.start()
+        package = supervisor.recommend("acme", "u3")     # JSON-ready dict
+        supervisor.commit_changes("acme", added=[...])   # binary delta wire
+        supervisor.close()
+
+    Tenants are registered *before* :meth:`start`: each is wire-encoded
+    once and shipped to its owning shard as part of the spawn payload.
+    ``recommend`` returns the package as a JSON-ready dict (the same
+    layout :func:`repro.io.storage.package_to_dict` produces), because the
+    package object itself lives in the shard process.
+
+    Results are bit-identical to a single-process
+    :class:`~repro.service.service.RecommendationService` over the same
+    tenants: routing only decides *where* a tenant's single-owner service
+    runs, never what it computes.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        config: ServiceConfig | None = None,
+        start_timeout_s: float = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.config = config or ServiceConfig()
+        self._start_timeout_s = start_timeout_s
+        self._payloads: List[List[_TenantPayload]] = [[] for _ in range(shards)]
+        self._tenant_shard: Dict[str, int] = {}
+        self._clients: List[_ShardClient] = []
+        self._ctx = multiprocessing.get_context("spawn")
+        self._started = False
+        self._closed = False
+
+    # -- tenants (pre-start) -------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        kb: VersionedKnowledgeBase,
+        users: Iterable[User] = (),
+        feedback: FeedbackStore | None = None,
+    ) -> int:
+        """Register a tenant; returns its shard index.
+
+        Must be called before :meth:`start` -- the tenant is serialised to
+        the binary wire format now and travels with its shard's spawn
+        payload.
+        """
+        if self._started:
+            raise ServiceError("tenants must be registered before start()")
+        if not name:
+            raise ServiceError("tenant name must be non-empty")
+        if name in self._tenant_shard:
+            raise ServiceError(f"duplicate tenant name: {name!r}")
+        shard = TenantRegistry.shard_of(name, self.shards)
+        payload: _TenantPayload = (
+            name,
+            wire.encode_kb(kb),
+            json.dumps(users_to_dicts(list(users))).encode("utf-8"),
+            (
+                json.dumps(feedback_to_dicts(feedback)).encode("utf-8")
+                if feedback is not None
+                else None
+            ),
+        )
+        self._payloads[shard].append(payload)
+        self._tenant_shard[name] = shard
+        return shard
+
+    def shard_of(self, tenant_name: str) -> int:
+        """The shard index owning ``tenant_name`` (raises when unknown)."""
+        shard = self._tenant_shard.get(tenant_name)
+        if shard is None:
+            raise UnknownTenantError(
+                f"unknown tenant {tenant_name!r} "
+                f"(have: {', '.join(sorted(self._tenant_shard)) or 'none'})"
+            )
+        return shard
+
+    def tenant_names(self) -> List[str]:
+        """All registered tenant names, sorted."""
+        return sorted(self._tenant_shard)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        """Spawn the shard processes and wait until every one is ready."""
+        if self._started:
+            raise ServiceError("supervisor already started")
+        if self._closed:
+            raise ServiceClosedError("supervisor is closed")
+        for index in range(self.shards):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_shard_main,
+                args=(child_conn, index, self.config, self._payloads[index]),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()  # the child owns its end now
+            self._clients.append(_ShardClient(index, process, parent_conn))
+        self._started = True
+        for client in self._clients:
+            if not client.ready.wait(timeout=self._start_timeout_s):
+                self.close()
+                raise ShardError(
+                    f"shard {client.index} did not become ready within "
+                    f"{self._start_timeout_s:.0f}s"
+                )
+            if client.failure is not None:
+                failure = client.failure
+                self.close()
+                raise ShardError(f"shard {client.index} failed to bootstrap: {failure}")
+            if client.dead:
+                index = client.index
+                self.close()
+                raise ShardError(f"shard {index} died before becoming ready")
+        # The payloads have been shipped; holding a serialized replica of
+        # every tenant's KB in the router process would double resident
+        # memory for nothing (tenants cannot be added after start()).
+        self._payloads = [[] for _ in range(self.shards)]
+        return self
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Shut every shard down and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            client.close(timeout)
+        self._clients = []
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self if self._started else self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request routing -----------------------------------------------------
+
+    def _client_for(self, tenant_name: str) -> _ShardClient:
+        if not self._started or self._closed:
+            raise ServiceClosedError("shard supervisor is not running")
+        return self._clients[self.shard_of(tenant_name)]
+
+    def recommend_async(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+    ) -> "Future[Dict]":
+        """Admit one request on the owning shard; future of the package dict."""
+        payload = {"tenant": tenant_name, "user": user_id}
+        if k is not None:
+            payload["k"] = k
+        if old_id is not None:
+            payload["old"] = old_id
+        if new_id is not None:
+            payload["new"] = new_id
+        return self._client_for(tenant_name).submit("recommend", payload)
+
+    def recommend(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+        timeout: float | None = None,
+    ) -> Dict:
+        """Recommend for one user (blocking); returns the package as a dict."""
+        future = self.recommend_async(tenant_name, user_id, k, old_id, new_id)
+        return future.result(
+            timeout=self.config.request_timeout_s if timeout is None else timeout
+        )
+
+    def commit_changes(
+        self,
+        tenant_name: str,
+        added: Sequence[Triple] = (),
+        deleted: Sequence[Triple] = (),
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+        timeout: float | None = None,
+    ) -> Dict:
+        """Commit a binary-delta evolution step on the owning shard.
+
+        The triples cross the process boundary in the wire format's
+        self-contained delta payload -- no N-Triples text, no pickled
+        graphs -- and the shard applies them under the tenant's write lock.
+
+        This is the *serving* write path, so it follows the HTTP
+        ``/commit`` contract rather than the raw
+        ``VersionedKnowledgeBase.commit_changes`` one: empty commits and
+        duplicate version ids are rejected with ``ValueError`` (the raw KB
+        API allows metadata-only commits and raises ``VersionError`` for
+        duplicates), and the result is the JSON-shaped dict the HTTP
+        endpoint returns, not a ``Version`` object.
+        """
+        payload = {
+            "tenant": tenant_name,
+            "added": wire.encode_triples(list(added)) if added else None,
+            "deleted": wire.encode_triples(list(deleted)) if deleted else None,
+            "version_id": version_id,
+            "metadata": metadata or {},
+        }
+        return self._client_for(tenant_name).request(
+            "commit_delta", payload, timeout=timeout
+        )
+
+    def forward(self, op: str, payload: Dict, timeout: float | None = None) -> Dict:
+        """Route an HTTP-shaped body (``recommend`` / ``commit``) to its shard.
+
+        The router front-end calls this: the body is forwarded verbatim,
+        so the shard performs exactly the validation and N-Triples parsing
+        the single-process handler would.
+        """
+        tenant_name = payload.get("tenant")
+        if not tenant_name:
+            raise ValueError(f"{op} requires 'tenant'")
+        return self._client_for(tenant_name).request(
+            op,
+            payload,
+            timeout=self.config.request_timeout_s if timeout is None else timeout,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def _fanout(self, op: str, timeout: float | None = 30.0) -> List:
+        if not self._started or self._closed:
+            raise ServiceClosedError("shard supervisor is not running")
+        futures = [client.submit(op, None) for client in self._clients]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def tenants(self) -> List[Dict[str, object]]:
+        """Tenant summaries from every shard, sorted by name."""
+        merged: List[Dict[str, object]] = []
+        for summaries in self._fanout("tenants"):
+            merged.extend(summaries)
+        return sorted(merged, key=lambda summary: str(summary.get("name", "")))
+
+    def stats(self) -> Dict[str, object]:
+        """Per-shard admission counters plus the tenant -> shard map."""
+        per_shard = self._fanout("stats")
+        return {
+            "shards": {
+                f"shard_{index}": stats for index, stats in enumerate(per_shard)
+            },
+            "tenant_shards": dict(sorted(self._tenant_shard.items())),
+            "workers_per_shard": self.config.workers,
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Aggregate liveness: every shard must answer."""
+        responses = self._fanout("health")
+        return {
+            "status": "ok",
+            "shards": len(responses),
+            "tenants": sum(int(r.get("tenants", 0)) for r in responses),
+        }

@@ -1,0 +1,314 @@
+"""Round-trip tests for the binary wire format (:mod:`repro.kb.wire`).
+
+The format's contract is *bit-identity*, not just semantic equality: a
+decoded replica must reproduce the exact interned state -- same dense term
+ids, same triple sets, same recorded commit deltas -- so that every
+derived artefact (measure results, recommendations) is bit-for-bit equal
+between a source chain and its decoded copy.  The suite checks exactly
+that, property-style over randomized graphs and evolution chains, plus
+the compaction interplay the sharded serving plane depends on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb import wire
+from repro.kb.errors import WireFormatError
+from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary
+from repro.kb.namespaces import EX, RDF_TYPE, XSD
+from repro.kb.terms import BNode, IRI, Literal
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+
+# -- strategies -------------------------------------------------------------------
+
+_safe_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters='<>"{}|^`\\', min_codepoint=0x21
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_iris = st.builds(lambda s: IRI(f"http://example.org/{s}"), _safe_text)
+_bnodes = st.builds(
+    BNode, st.text(alphabet="abcdefghij0123456789_-", min_size=1, max_size=8)
+)
+_plain_literals = st.builds(Literal, st.text(max_size=16))
+_typed_literals = st.builds(
+    lambda lex: Literal(lex, datatype=XSD.integer), st.text(max_size=8)
+)
+_tagged_literals = st.builds(
+    lambda lex, tag: Literal(lex, language=tag),
+    st.text(max_size=8),
+    st.sampled_from(["en", "fr", "de-AT"]),
+)
+_subjects = st.one_of(_iris, _bnodes)
+_objects = st.one_of(_iris, _bnodes, _plain_literals, _typed_literals, _tagged_literals)
+
+_triples = st.builds(Triple, _subjects, _iris, _objects)
+_triple_lists = st.lists(_triples, max_size=30)
+
+#: An evolution chain: root triples plus per-step (added, delete-count).
+_chains = st.tuples(
+    _triple_lists,
+    st.lists(st.tuples(_triple_lists, st.integers(0, 5)), max_size=4),
+)
+
+
+def _assert_dictionaries_identical(a: TermDictionary, b: TermDictionary) -> None:
+    assert len(a) == len(b)
+    for tid in range(len(a)):
+        assert a.term(tid) == b.term(tid), tid
+    assert wire.dictionaries_identical(a, b)
+
+
+def _assert_graphs_bit_identical(a: Graph, b: Graph) -> None:
+    _assert_dictionaries_identical(a.dictionary, b.dictionary)
+    assert len(a) == len(b)
+    assert set(a) == set(b)
+    for triple in a:
+        assert a.dictionary.key_of(triple) == b.dictionary.key_of(triple)
+
+
+def _build_chain(root, steps) -> VersionedKnowledgeBase:
+    kb = VersionedKnowledgeBase("prop")
+    kb.commit(Graph(root), version_id="v0", copy=False)
+    for index, (added, delete_count) in enumerate(steps, start=1):
+        graph = kb.latest().graph.copy()
+        victims = graph.sorted_triples()[:delete_count]
+        graph.remove_all(victims)
+        graph.add_all(added)
+        kb.commit(graph, version_id=f"v{index}", copy=False, metadata={"step": str(index)})
+    return kb
+
+
+# -- graphs -----------------------------------------------------------------------
+
+
+class TestGraphRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(_triple_lists)
+    def test_graph_round_trip_is_bit_identical(self, triples):
+        graph = Graph(triples)
+        decoded = wire.decode_graph(wire.encode_graph(graph))
+        _assert_graphs_bit_identical(graph, decoded)
+
+    def test_empty_graph(self):
+        decoded = wire.decode_graph(wire.encode_graph(Graph()))
+        assert len(decoded) == 0 and len(decoded.dictionary) == 0
+
+    def test_unused_dictionary_terms_keep_their_ids(self):
+        graph = Graph([Triple(EX.a, RDF_TYPE, EX.B)])
+        # Interned but never used by any triple -- e.g. terms left behind by
+        # deleted triples along a chain.  Their ids are still part of the
+        # chain's addressing and must survive.
+        orphan = graph.dictionary.intern(EX.orphan)
+        decoded = wire.decode_graph(wire.encode_graph(graph))
+        assert decoded.dictionary.id_of(EX.orphan) == orphan
+        _assert_graphs_bit_identical(graph, decoded)
+
+    def test_encoding_is_canonical(self):
+        triples = [Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"]) for i in range(10)]
+        a = Graph()
+        for t in triples:
+            a.add(t)
+        b = Graph()
+        for t in reversed(triples):
+            b.add(t)
+        # Same interned ids (same insertion order of terms) + sorted key
+        # packing = equal graphs encode to equal bytes.
+        b2 = Graph(dictionary=a.dictionary)
+        b2.add_all(triples)
+        assert wire.encode_graph(a) == wire.encode_graph(b2)
+
+
+class TestTriplesPayload:
+    @settings(max_examples=25, deadline=None)
+    @given(_triple_lists)
+    def test_triples_round_trip(self, triples):
+        decoded = wire.decode_triples(wire.encode_triples(triples))
+        assert set(decoded) == set(triples)
+
+    def test_empty_batch(self):
+        assert wire.decode_triples(wire.encode_triples([])) == []
+
+
+# -- version chains ---------------------------------------------------------------
+
+
+class TestKbRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(_chains)
+    def test_chain_round_trip_is_bit_identical(self, chain):
+        root, steps = chain
+        kb = _build_chain(root, steps)
+        decoded = wire.decode_kb(wire.encode_kb(kb))
+        assert decoded.name == kb.name
+        assert decoded.version_ids() == kb.version_ids()
+        _assert_dictionaries_identical(
+            kb.first().graph.dictionary, decoded.first().graph.dictionary
+        )
+        for vid in kb.version_ids():
+            original, replica = kb.version(vid), decoded.version(vid)
+            assert replica.metadata == original.metadata
+            _assert_graphs_bit_identical(original.graph, replica.graph)
+            original_delta = original.delta_from_parent()
+            replica_delta = replica.delta_from_parent()
+            if original_delta is None:
+                assert replica_delta is None
+            else:
+                assert replica_delta.added == original_delta.added
+                assert replica_delta.deleted == original_delta.deleted
+
+    @settings(max_examples=10, deadline=None)
+    @given(_chains)
+    def test_compacted_chain_encodes_identically(self, chain):
+        root, steps = chain
+        kb = _build_chain(root, steps)
+        data = wire.encode_kb(kb)
+        kb.compact()
+        # encode_kb reads the *recorded* deltas: compaction must not force
+        # rematerialisation, and the bytes must not change.
+        assert wire.encode_kb(kb) == data
+        decoded = wire.decode_kb(data)
+        for vid in kb.version_ids():
+            _assert_graphs_bit_identical(kb.version(vid).graph, decoded.version(vid).graph)
+
+    def test_decoded_replica_compacts_and_rematerialises(self):
+        kb = _build_chain(
+            [Triple(EX[f"s{i}"], RDF_TYPE, EX.C) for i in range(8)],
+            [([Triple(EX[f"a{i}_{j}"], EX.p, EX.o)], 1) for i in range(4) for j in range(2)],
+        )
+        decoded = wire.decode_kb(wire.encode_kb(kb))
+        assert decoded.compact() > 0
+        for vid in kb.version_ids():
+            assert set(decoded.version(vid).graph) == set(kb.version(vid).graph)
+
+    def test_empty_chain(self):
+        decoded = wire.decode_kb(wire.encode_kb(VersionedKnowledgeBase("empty")))
+        assert decoded.name == "empty" and len(decoded) == 0
+
+
+class TestDownstreamBitIdentity:
+    """The point of the format: decoded replicas serve identical answers."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.synthetic.config import (
+            EvolutionConfig,
+            InstanceConfig,
+            SchemaConfig,
+            UserConfig,
+            WorldConfig,
+        )
+        from repro.synthetic.world import generate_world
+
+        return generate_world(
+            seed=23,
+            config=WorldConfig(
+                schema=SchemaConfig(n_classes=20, n_properties=12),
+                instances=InstanceConfig(base_instances_per_class=6),
+                evolution=EvolutionConfig(n_versions=3, changes_per_version=30),
+                users=UserConfig(n_users=4, events_per_user=8),
+            ),
+        )
+
+    def test_measure_results_identical(self, world):
+        from repro.measures.base import EvolutionContext
+        from repro.measures.catalog import default_catalog
+
+        decoded = wire.decode_kb(wire.encode_kb(world.kb))
+        ids = world.kb.version_ids()
+        catalog = default_catalog()
+        original = catalog.compute_all(
+            EvolutionContext(world.kb.version(ids[-2]), world.kb.version(ids[-1]))
+        )
+        replica = catalog.compute_all(
+            EvolutionContext(decoded.version(ids[-2]), decoded.version(ids[-1]))
+        )
+        assert original.keys() == replica.keys()
+        for name in original:
+            assert original[name].scores == replica[name].scores, name
+
+    def test_recommendations_identical(self, world):
+        from repro.recommender.engine import EngineConfig, RecommenderEngine
+
+        decoded = wire.decode_kb(wire.encode_kb(world.kb))
+        original_engine = RecommenderEngine(world.kb, config=EngineConfig(k=5))
+        replica_engine = RecommenderEngine(decoded, config=EngineConfig(k=5))
+        for user in world.users:
+            original = original_engine.recommend(user)
+            replica = replica_engine.recommend(user)
+            assert [s.item.key for s in original] == [s.item.key for s in replica]
+            assert [s.utility for s in original] == [s.utility for s in replica]
+            assert original.explanations == replica.explanations
+
+    def test_measure_results_identical_after_compaction_round_trip(self, world):
+        from repro.measures.base import EvolutionContext
+        from repro.measures.catalog import default_catalog
+
+        data = wire.encode_kb(world.kb)
+        decoded = wire.decode_kb(data)
+        decoded.compact()  # middle snapshots rebuild through delta replay
+        ids = world.kb.version_ids()
+        catalog = default_catalog()
+        original = catalog.compute_all(
+            EvolutionContext(world.kb.version(ids[0]), world.kb.version(ids[1]))
+        )
+        replica = catalog.compute_all(
+            EvolutionContext(decoded.version(ids[0]), decoded.version(ids[1]))
+        )
+        for name in original:
+            assert original[name].scores == replica[name].scores, name
+
+
+# -- malformed input --------------------------------------------------------------
+
+
+class TestMalformedPayloads:
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_graph(b"NOPE" + b"\x01" + b"\x00" * 16)
+
+    def test_truncated(self):
+        data = wire.encode_graph(Graph([Triple(EX.a, RDF_TYPE, EX.B)]))
+        with pytest.raises(WireFormatError):
+            wire.decode_graph(data[: len(data) // 2])
+
+    def test_wrong_container(self):
+        graph_bytes = wire.encode_graph(Graph())
+        with pytest.raises(WireFormatError):
+            wire.decode_kb(graph_bytes)
+
+    def test_unsupported_version(self):
+        data = wire.encode_graph(Graph())
+        corrupted = data[:4] + bytes([99]) + data[5:]
+        with pytest.raises(WireFormatError):
+            wire.decode_graph(corrupted)
+
+    def test_invalid_utf8_in_string_blob(self):
+        data = wire.encode_graph(Graph([Triple(EX.abcdefgh, RDF_TYPE, EX.B)]))
+        # Clobber part of the string blob (the tail of the payload) with a
+        # byte sequence that is invalid UTF-8 at every alignment.
+        corrupted = data[:-6] + b"\xff\xff\xff\xff\xff\xff"
+        with pytest.raises(WireFormatError):
+            wire.decode_graph(corrupted)
+
+    def test_flipped_bits_never_escape_wire_errors(self):
+        # Whatever a corrupt payload does, it must fail inside the module's
+        # documented exception contract (or decode to a valid graph when
+        # the flip lands in padding) -- never leak numpy/unicode internals.
+        data = wire.encode_graph(
+            Graph([Triple(EX[f"s{i}"], RDF_TYPE, EX[f"C{i}"]) for i in range(5)])
+        )
+        for position in range(8, len(data), 7):
+            corrupted = data[:position] + bytes([data[position] ^ 0xFF]) + data[position + 1 :]
+            try:
+                wire.decode_graph(corrupted)
+            except Exception as exc:
+                # KnowledgeBaseError covers WireFormatError and TermError
+                # (a flip may corrupt term *content* into an invalid term).
+                assert type(exc).__module__.startswith("repro."), (position, exc)

@@ -34,6 +34,19 @@ def _report(**means_ms):
     }
 
 
+def _service_report(**levels):
+    """{"clients_8": (p50_ms, p99_ms), ...} -> a bench_service-shaped report."""
+    return {
+        "service": {
+            "meta": {},
+            "levels": {
+                name: {"p50_ms": p50, "p99_ms": p99}
+                for name, (p50, p99) in levels.items()
+            },
+        }
+    }
+
+
 class TestCompareReports:
     def test_all_within_tolerance_pass(self, gate):
         verdicts = gate.compare_reports(
@@ -83,6 +96,70 @@ class TestCompareReports:
             gate.compare_reports(_report(), _report(), tolerance=0.0)
 
 
+class TestCompareServiceSections:
+    def test_within_tolerance_pass(self, gate):
+        verdicts = gate.compare_service_sections(
+            _service_report(clients_8=(60.0, 130.0)),
+            _service_report(clients_8=(20.0, 90.0)),
+            tolerance=2.0,
+        )
+        assert len(verdicts) == 2  # p50 + p99
+        assert {v.name for v in verdicts} == {
+            "service.clients_8.p50_ms",
+            "service.clients_8.p99_ms",
+        }
+        assert all(v.ok for v in verdicts)
+
+    def test_latency_blowup_fails(self, gate):
+        verdicts = gate.compare_service_sections(
+            _service_report(clients_8=(60.0, 130.0)),
+            _service_report(clients_8=(200.0, 130.0)),
+            tolerance=2.0,
+        )
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name["service.clients_8.p50_ms"].ok
+        assert by_name["service.clients_8.p99_ms"].ok
+
+    def test_missing_level_fails(self, gate):
+        verdicts = gate.compare_service_sections(
+            _service_report(clients_8=(60.0, 130.0), clients_32=(230.0, 480.0)),
+            _service_report(clients_8=(50.0, 100.0)),
+            tolerance=2.0,
+        )
+        missing = [v for v in verdicts if not v.ok]
+        assert {v.name for v in missing} == {
+            "service.clients_32.p50_ms",
+            "service.clients_32.p99_ms",
+        }
+        assert all("missing" in v.note for v in missing)
+
+    def test_fresh_only_level_passes(self, gate):
+        verdicts = gate.compare_service_sections(
+            _service_report(),
+            _service_report(clients_8=(50.0, 100.0)),
+            tolerance=2.0,
+        )
+        assert verdicts and all(v.ok for v in verdicts)
+        assert all("no baseline" in v.note for v in verdicts)
+
+    def test_noise_floor_applies(self, gate):
+        verdicts = gate.compare_service_sections(
+            _service_report(clients_1=(0.01, 0.02)),
+            _service_report(clients_1=(0.04, 0.08)),  # 4x but timer noise
+            tolerance=2.0,
+        )
+        assert all(v.ok for v in verdicts)
+        assert all("noise floor" in v.note for v in verdicts)
+
+    def test_no_service_sections_is_empty(self, gate):
+        assert gate.compare_service_sections({}, {}, tolerance=2.0) == []
+
+    def test_committed_baseline_service_section_gates_itself(self, gate):
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        verdicts = gate.compare_service_sections(baseline, baseline, tolerance=2.0)
+        assert verdicts and all(v.ok for v in verdicts)
+
+
 class TestMain:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -111,6 +188,25 @@ class TestMain:
             ["--baseline", str(baseline), "--fresh", str(fresh), "--tolerance", "20"]
         )
         assert code == 0
+
+    def test_fresh_service_flag_gates_service_levels(self, gate, tmp_path, capsys):
+        baseline = {
+            **_report(a=10.0),
+            **_service_report(clients_8=(60.0, 130.0)),
+        }
+        fresh_service = _service_report(clients_8=(500.0, 130.0))  # p50 blowup
+        baseline_path = self._write(tmp_path / "base.json", baseline)
+        fresh_path = self._write(tmp_path / "fresh.json", _report(a=10.0))
+        service_path = self._write(tmp_path / "service.json", fresh_service)
+        code = gate.main(
+            [
+                "--baseline", str(baseline_path),
+                "--fresh", str(fresh_path),
+                "--fresh-service", str(service_path),
+            ]
+        )
+        assert code == 1
+        assert "service.clients_8.p50_ms" in capsys.readouterr().out
 
     def test_against_committed_baseline_layout(self, gate):
         """The committed BENCH_substrate.json parses in the expected layout."""
