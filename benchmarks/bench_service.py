@@ -10,6 +10,15 @@ throughput and latency percentiles per concurrency level::
     PYTHONPATH=src python benchmarks/bench_service.py -o out.json        # custom report path
     PYTHONPATH=src python benchmarks/bench_service.py --quick            # smoke mode (seconds)
     PYTHONPATH=src python benchmarks/bench_service.py --clients 1 8      # custom levels
+    PYTHONPATH=src python benchmarks/bench_service.py --http             # through the HTTP front-end
+
+With ``--http`` the same closed-loop clients hammer the stdlib HTTP
+front-end on an ephemeral port instead of the Python API; every client
+opens **one persistent keep-alive connection** and reuses it for all of
+its requests (the server speaks HTTP/1.1 with Content-Length), so the
+measured latencies are the server's, not per-request TCP setup's.  The
+results merge as a separate ``"service_http"`` section -- the gated
+``"service"`` numbers keep measuring the service itself.
 
 With ``--shards N`` the harness instead benchmarks the **sharded
 topology**: a multi-tenant world (every tenant a wire-format replica of
@@ -97,27 +106,43 @@ def _percentile(sorted_samples: List[float], fraction: float) -> float:
 
 
 def _hammer(
-    recommend: Callable[[str, str], object],
+    recommend: "Callable[[str, str], object] | Callable[[], Callable[[str, str], object]]",
     schedule: Schedule,
     clients: int,
     requests_per_client: int,
+    per_client: bool = False,
 ) -> Tuple[List[float], float]:
-    """Closed-loop hammer; returns (sorted latency samples, wall seconds)."""
+    """Closed-loop hammer; returns (sorted latency samples, wall seconds).
+
+    With ``per_client=True``, ``recommend`` is a zero-argument *factory*
+    called once inside each client thread -- the HTTP transport uses this
+    to give every client its own persistent keep-alive connection, so the
+    measured numbers are the server's, not TCP connection setup's.
+    """
     latencies: List[List[float]] = [[] for _ in range(clients)]
     errors: List[BaseException] = []
     start_barrier = threading.Barrier(clients + 1)
 
     def client_loop(index: int) -> None:
         my_latencies = latencies[index]
+        send = None
         try:
+            send = recommend() if per_client else recommend
             start_barrier.wait()
             for i in range(requests_per_client):
                 tenant, user_id = schedule(index, i)
                 begin = time.perf_counter()
-                recommend(tenant, user_id)
+                send(tenant, user_id)
                 my_latencies.append(time.perf_counter() - begin)
         except BaseException as exc:  # surfaced as a failed run
             errors.append(exc)
+            start_barrier.abort()  # never leave the main thread waiting
+        finally:
+            # Per-client transports (the HTTP mode's keep-alive
+            # connections) expose close on the callable; release them.
+            close = getattr(send, "close", None)
+            if close is not None:
+                close()
 
     threads = [
         threading.Thread(target=client_loop, args=(i,), daemon=True)
@@ -125,7 +150,10 @@ def _hammer(
     ]
     for thread in threads:
         thread.start()
-    start_barrier.wait()
+    try:
+        start_barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a client failed during setup; errors[0] is raised below
     wall_start = time.perf_counter()
     for thread in threads:
         thread.join()
@@ -151,6 +179,44 @@ def _level_metrics(samples: List[float], wall: float, clients: int) -> Dict[str,
 # -- single-process, single-tenant (the classic "service" section) -----------------
 
 
+def _http_client_factory(host: str, port: int) -> Callable[[], Callable[[str, str], Dict]]:
+    """A factory of per-client ``recommend`` callables over HTTP.
+
+    Each load-generator client calls the factory once and gets its own
+    persistent ``http.client.HTTPConnection`` (the server speaks HTTP/1.1
+    with Content-Length, so the connection stays alive across requests).
+    One connection per client, reused for every request: the benchmark
+    measures the server, not per-request TCP setup.
+    """
+    import http.client
+    import socket
+
+    def make() -> Callable[[str, str], Dict]:
+        connection = http.client.HTTPConnection(host, port)
+        connection.connect()
+        # Small request/response pairs over a reused connection: disable
+        # Nagle or every exchange risks a ~40ms delayed-ACK stall.
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+        def recommend(tenant: str, user_id: str) -> Dict:
+            body = json.dumps({"tenant": tenant, "user": user_id}).encode("utf-8")
+            connection.request(
+                "POST", "/recommend", body, {"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                raise RuntimeError(
+                    f"/recommend -> {response.status}: {payload[:200]!r}"
+                )
+            return json.loads(payload)
+
+        recommend.close = connection.close  # released by the hammer/warmup
+        return recommend
+
+    return make
+
+
 def _run_level(
     world,
     clients: int,
@@ -158,8 +224,13 @@ def _run_level(
     workers: int,
     warmup_requests: int,
     k: int,
+    http: bool = False,
 ) -> Dict[str, float]:
-    """One concurrency level against a fresh service; returns its metrics."""
+    """One concurrency level against a fresh service; returns its metrics.
+
+    ``http=True`` hammers the stdlib HTTP front-end on an ephemeral port
+    (one keep-alive connection per client) instead of the Python API.
+    """
     service = RecommendationService(
         ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
     )
@@ -170,15 +241,37 @@ def _run_level(
         # Deterministic per-client rotation over the user population.
         return TENANT, user_ids[(client_index + i) % len(user_ids)]
 
+    server = server_thread = None
     try:
+        if http:
+            from repro.service.http import make_server
+
+            server = make_server(service, host="127.0.0.1", port=0)
+            server_thread = threading.Thread(
+                target=server.serve_forever, name="bench-http-server", daemon=True
+            )
+            server_thread.start()
+            host, port = server.server_address[:2]
+            factory = _http_client_factory(host, port)
+            warm = factory()
+            recommend, per_client = factory, True
+        else:
+            warm = service.recommend
+            recommend, per_client = service.recommend, False
         for i in range(warmup_requests):
-            service.recommend(TENANT, user_ids[i % len(user_ids)])
+            warm(TENANT, user_ids[i % len(user_ids)])
+        warm_close = getattr(warm, "close", None)
+        if warm_close is not None:
+            warm_close()
         stats_before = service.admission_stats.snapshot()
         samples, wall = _hammer(
-            service.recommend, schedule, clients, requests_per_client
+            recommend, schedule, clients, requests_per_client, per_client=per_client
         )
         stats_after = service.admission_stats.snapshot()
     finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
         service.close()
 
     metrics = _level_metrics(samples, wall, clients)
@@ -195,8 +288,15 @@ def run(
     warmup_requests: int = 8,
     k: int = 5,
     quick: bool = False,
+    http: bool = False,
 ) -> Dict:
-    """Run every concurrency level and merge the section into ``output``."""
+    """Run every concurrency level and merge the section into ``output``.
+
+    ``http=True`` benches through the HTTP front-end (persistent
+    keep-alive connection per client) and merges a ``"service_http"``
+    section instead, so the gated in-process ``"service"`` numbers keep
+    their meaning.
+    """
     levels = list(clients or DEFAULT_CLIENT_LEVELS)
     config = QUICK_CONFIG if quick else WORLD_CONFIG
     if quick:
@@ -213,6 +313,7 @@ def run(
             workers=workers,
             warmup_requests=warmup_requests,
             k=k,
+            http=http,
         )
         results[f"clients_{level}"] = metrics
         print(
@@ -236,10 +337,11 @@ def run(
             "workers": workers,
             "k": k,
             "quick": quick,
+            "transport": "http" if http else "python-api",
         },
         "levels": results,
     }
-    _merge_section(output, "service", section)
+    _merge_section(output, "service_http" if http else "service", section)
     return section
 
 
@@ -474,10 +576,17 @@ def main(argv: List[str] | None = None) -> int:
              "against a single-process baseline (writes 'service_sharded')",
     )
     parser.add_argument(
+        "--http", action="store_true",
+        help="bench through the HTTP front-end (one persistent keep-alive "
+             "connection per client); merges a 'service_http' section",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: shrunk workload, few requests (not comparable to full runs)",
     )
     args = parser.parse_args(argv)
+    if args.http and args.shards:
+        raise SystemExit("--http benches the single-process front-end; drop --shards")
     if args.shards:
         run_sharded(
             args.output,
@@ -498,6 +607,7 @@ def main(argv: List[str] | None = None) -> int:
             warmup_requests=8 if args.warmup is None else args.warmup,
             k=args.k,
             quick=args.quick,
+            http=args.http,
         )
     return 0
 

@@ -31,6 +31,11 @@ Design notes, so the gate stays honest:
   interpreter dominate and ratios are meaningless.  A real regression (an
   index lost, a scan gone quadratic) pushes the fresh mean above the floor
   and the ratio check takes over.
+* The cold-boot gate is *cross-benchmark*: the fresh report's
+  ``cold_boot_binary`` mean must beat ``cold_boot_nt`` by at least
+  ``--cold-boot-min-ratio`` (a deliberately low floor for the shrunk
+  --quick world; the committed full-run report carries the real >=5x).
+  It guards the binary store's reason to exist, not a percentage.
 * The service gate applies the identical tolerance / noise-floor scheme to
   the p50 and p99 of every committed concurrency level (entries named
   ``service.clients_N.p50_ms``).  The fresh serving run is a ``--quick``
@@ -166,6 +171,54 @@ def compare_service_sections(
     )
 
 
+#: Minimum fresh cold_boot_nt / cold_boot_binary mean ratio.  A --quick CI
+#: run boots a shrunk world where fixed costs (users file, engine setup,
+#: first evaluation) dilute the store's advantage, so the floor is far
+#: below the committed full-run ratio (>=5x); it exists to catch the
+#: binary path losing its reason to exist (e.g. lazy decode silently
+#: rematerialising everything), not to re-prove the headline number.
+DEFAULT_COLD_BOOT_MIN_RATIO = 1.3
+
+
+def check_cold_boot(fresh: Dict, min_ratio: float = DEFAULT_COLD_BOOT_MIN_RATIO) -> List[Verdict]:
+    """Cross-benchmark gate: the binary-store boot must beat the ``.nt`` boot.
+
+    Reads the fresh report's ``cold_boot_nt`` / ``cold_boot_binary`` means
+    and fails unless ``nt >= min_ratio x binary``.  Both absent -> no
+    verdict (old reports); exactly one absent -> fail (a harness that
+    lost half the comparison proves nothing).
+    """
+    if min_ratio <= 0:
+        raise ValueError(f"min_ratio must be > 0, got {min_ratio}")
+    benchmarks = fresh.get("benchmarks", {})
+    nt = benchmarks.get("cold_boot_nt", {}).get("mean_s")
+    binary = benchmarks.get("cold_boot_binary", {}).get("mean_s")
+    if nt is None and binary is None:
+        return []
+    if nt is None or binary is None or binary <= 0:
+        return [
+            Verdict(
+                "cold_boot_speedup", nt, binary, None, ok=False,
+                note="one cold_boot side missing from the fresh run",
+            )
+        ]
+    ratio = nt / binary
+    return [
+        Verdict(
+            "cold_boot_speedup",
+            nt,
+            binary,
+            ratio,
+            ok=ratio >= min_ratio,
+            note=(
+                f"binary {ratio:.2f}x faster than .nt"
+                if ratio >= min_ratio
+                else f"binary only {ratio:.2f}x faster than .nt (floor {min_ratio:.2f}x)"
+            ),
+        )
+    ]
+
+
 def render(verdicts: List[Verdict], tolerance: float) -> str:
     """A fixed-width comparison table."""
     lines = [
@@ -221,6 +274,11 @@ def main(argv: List[str] | None = None) -> int:
         help="means below this (both sides) always pass "
              f"(default: {DEFAULT_NOISE_FLOOR_S * 1e3} ms)",
     )
+    parser.add_argument(
+        "--cold-boot-min-ratio", type=float, default=DEFAULT_COLD_BOOT_MIN_RATIO,
+        help="minimum fresh cold_boot_nt/cold_boot_binary ratio "
+             f"(default: {DEFAULT_COLD_BOOT_MIN_RATIO})",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -236,6 +294,7 @@ def main(argv: List[str] | None = None) -> int:
         tolerance=args.tolerance,
         noise_floor_s=args.noise_floor_ms / 1e3,
     )
+    verdicts.extend(check_cold_boot(fresh, min_ratio=args.cold_boot_min_ratio))
     if args.fresh_service is not None:
         verdicts.extend(
             compare_service_sections(

@@ -3,7 +3,16 @@
 Subcommands::
 
     python -m repro generate  --out DIR [--seed N --classes N --versions N --users N]
+                              [--format nt|binary]
         generate a synthetic world and save its KB + users under DIR
+        (``--format binary`` writes the binary store layout directly)
+
+    python -m repro convert   --src DIR --out DIR [--to binary|nt]
+        migrate a KB directory between the two on-disk layouts.  The
+        source layout is auto-detected; the conversion is lossless in
+        both directions (identical version ids, metadata, triple sets,
+        recorded deltas and term-interning order -- hence bit-identical
+        measure results and recommendations from either copy).
 
     python -m repro measures  --kb DIR [--old ID --new ID] [--top K]
         print every catalogue measure's most-affected targets
@@ -16,6 +25,7 @@ Subcommands::
 
     python -m repro serve --kb DIR --users FILE [--port N] [--host H]
                           [--tenant NAME] [--workers W] [--shards S] [-k K]
+                          [--persist]
         serve concurrent JSON recommendation requests over HTTP.  The KB
         becomes one tenant of a :mod:`repro.service`
         ``RecommendationService`` (thread worker pool + admission batching
@@ -23,6 +33,15 @@ Subcommands::
         ``GET /tenants``, ``GET /stats``, ``POST /recommend`` and
         ``POST /commit`` (see :mod:`repro.service.http`).  ``--port 0``
         picks an ephemeral port and prints it.
+
+        ``--kb`` accepts either on-disk layout (auto-detected).  A binary
+        store boots O(root + deltas) -- mmap decode, lazy snapshots, the
+        head pair pre-built -- which is the cold-start fast path; with
+        ``--persist`` (binary stores, single-process topology) every
+        ``POST /commit`` is additionally appended to the store's commit
+        log under the tenant write lock: one O(delta) fsync per commit,
+        never a full-snapshot rewrite, so a restart replays to exactly
+        the served chain.
 
         **Sharded topology** (``--shards S``, S >= 1): instead of scoring
         in-process, the command spawns S worker *processes*, each running
@@ -43,8 +62,12 @@ Subcommands::
         prefer ``--workers`` for single-core boxes or single hot tenants,
         since one tenant never spans shards.
 
-All KB directories use the ``save_kb`` layout (per-version ``.nt`` files +
-``manifest.json``), so the CLI also works on hand-built N-Triples data.
+KB directories use either ``save_kb`` layout -- the interoperable one
+(per-version ``.nt`` files + ``manifest.json``, so the CLI works on
+hand-built N-Triples data) or the binary store of :mod:`repro.io.store`
+(``kb.rpw`` wire base + ``commits.rpl`` append-only commit log).  Every
+subcommand auto-detects which layout ``--kb`` points at; ``repro
+convert`` moves between them.
 """
 
 from __future__ import annotations
@@ -84,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--classes", type=int, default=80)
     generate.add_argument("--versions", type=int, default=3)
     generate.add_argument("--users", type=int, default=8)
+    generate.add_argument(
+        "--format", choices=("nt", "binary"), default="nt",
+        help="KB layout to write: interoperable .nt directory (default) or "
+             "the binary store (fast cold boot, O(delta) commit appends)",
+    )
+
+    convert = commands.add_parser(
+        "convert", help="convert a KB directory between the .nt and binary layouts"
+    )
+    convert.add_argument("--src", required=True, help="source KB directory (auto-detected layout)")
+    convert.add_argument("--out", required=True, help="destination directory")
+    convert.add_argument(
+        "--to", choices=("binary", "nt"), default="binary",
+        help="destination layout (default: binary)",
+    )
 
     measures = commands.add_parser("measures", help="print measure results")
     measures.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
@@ -123,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
              "processes and serve through a thin router",
     )
     serve.add_argument("-k", type=int, default=5, help="default package size")
+    serve.add_argument(
+        "--persist", action="store_true",
+        help="append every /commit to the KB's binary-store commit log "
+             "(requires a binary-store --kb and the single-process topology)",
+    )
     return parser
 
 
@@ -143,12 +186,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         n_users=args.users,
     )
     out = Path(args.out)
-    save_kb(world.kb, out / "kb")
+    save_kb(world.kb, out / "kb", format=args.format)
     save_users(world.users, out / "users.json")
     print(f"world seed={args.seed}: {len(world.kb)} versions, "
           f"{len(world.kb.latest().graph)} triples in latest, "
           f"{len(world.users)} users")
-    print(f"saved to {out}/kb and {out}/users.json")
+    print(f"saved to {out}/kb ({args.format} layout) and {out}/users.json")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.io import convert_kb
+    from repro.kb.errors import KnowledgeBaseError
+
+    try:
+        destination = convert_kb(args.src, args.out, to=args.to)
+    except (ValueError, FileNotFoundError, KnowledgeBaseError) as exc:
+        # KnowledgeBaseError covers corrupt stores (WireFormatError) and
+        # malformed .nt input (ParseError) alike.
+        raise SystemExit(f"error: {exc}") from None
+    kb = load_kb(destination)
+    print(
+        f"converted {args.src} -> {destination} ({args.to} layout): "
+        f"{len(kb)} versions, {len(kb.latest().graph)} triples in latest"
+    )
     return 0
 
 
@@ -214,15 +275,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.io.store import BinaryKBStore
     from repro.recommender.engine import EngineConfig
     from repro.service import RecommendationService, ServiceConfig, ShardSupervisor
     from repro.service.http import make_router_server, make_server
 
     if args.shards < 0:
         raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
-    kb = load_kb(Path(args.kb))
+    kb_dir = Path(args.kb)
+    is_binary = BinaryKBStore.is_store(kb_dir)
+    if args.persist and not is_binary:
+        raise SystemExit(
+            "error: --persist needs a binary-store --kb "
+            "(migrate with: python -m repro convert --src DIR --out DIR)"
+        )
+    if args.persist and args.shards:
+        raise SystemExit(
+            "error: --persist is single-process only (sharded commits are "
+            "applied by the owning shard process)"
+        )
     users = load_users(Path(args.users))
-    tenant_name = args.tenant or kb.name
     config = ServiceConfig(
         k=args.k,
         workers=args.workers,
@@ -231,23 +303,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards:
         # Sharded topology: worker processes score, this process routes.
         supervisor = ShardSupervisor(shards=args.shards, config=config)
-        shard = supervisor.add_tenant(tenant_name, kb, users)
+        if is_binary:
+            # Cold-start fast path: read the on-disk store bytes once and
+            # ship them verbatim to the owning shard -- the router never
+            # decodes the KB.
+            store = BinaryKBStore.open(kb_dir)
+            payload = store.bootstrap_payload()
+            kb_name, version_ids = store.describe(payload)
+            tenant_name = args.tenant or kb_name
+            shard = supervisor.add_tenant_encoded(tenant_name, payload, users)
+            n_versions = len(version_ids)
+        else:
+            kb = load_kb(kb_dir)
+            tenant_name = args.tenant or kb.name
+            shard = supervisor.add_tenant(tenant_name, kb, users)
+            n_versions = len(kb)
         supervisor.start()
         server = make_router_server(supervisor, host=args.host, port=args.port)
         host, port = server.server_address[:2]
         print(
-            f"routing tenant {tenant_name!r} ({len(kb)} versions, {len(users)} "
+            f"routing tenant {tenant_name!r} ({n_versions} versions, {len(users)} "
             f"users) -> shard {shard} of {args.shards} on http://{host}:{port}"
         )
         closer = supervisor.close
     else:
+        on_commit = None
+        if args.persist:
+            store = BinaryKBStore.open(kb_dir)
+            kb = store.load()
+            on_commit = lambda version: store.sync(kb)  # noqa: E731
+        else:
+            kb = load_kb(kb_dir)
+        tenant_name = args.tenant or kb.name
         service = RecommendationService(config)
-        tenant = service.add_tenant(tenant_name, kb, users)
+        tenant = service.add_tenant(tenant_name, kb, users, on_commit=on_commit)
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
+        persisting = " [persisting commits]" if args.persist else ""
         print(
             f"serving tenant {tenant.name!r} ({len(kb)} versions, "
-            f"{len(users)} users) on http://{host}:{port}"
+            f"{len(users)} users) on http://{host}:{port}{persisting}"
         )
         closer = service.close
     print("endpoints: GET /health /tenants /stats; POST /recommend /commit")
@@ -266,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "generate": _cmd_generate,
+        "convert": _cmd_convert,
         "measures": _cmd_measures,
         "recommend": _cmd_recommend,
         "report": _cmd_report,

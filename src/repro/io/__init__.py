@@ -1,6 +1,7 @@
 """Persistence: knowledge bases, users, feedback and packages on disk."""
 
 from repro.io.storage import (
+    convert_kb,
     load_feedback,
     load_graph,
     load_kb,
@@ -12,8 +13,12 @@ from repro.io.storage import (
     save_package,
     save_users,
 )
+from repro.io.store import BinaryKBStore, decode_store_payload
 
 __all__ = [
+    "BinaryKBStore",
+    "convert_kb",
+    "decode_store_payload",
     "load_feedback",
     "load_graph",
     "load_kb",

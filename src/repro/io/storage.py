@@ -3,11 +3,19 @@
 Everything uses open formats so external tools can interoperate:
 
 * graphs -- N-Triples (``.nt``),
-* knowledge bases -- a directory of per-version ``.nt`` files plus a
-  ``manifest.json`` (name, version order, metadata),
+* knowledge bases -- either a directory of per-version ``.nt`` files plus
+  a ``manifest.json`` (name, version order, metadata), **or** the binary
+  store of :mod:`repro.io.store` (``format="binary"``: one wire-format
+  base file plus an append-only commit log -- the cold-start fast path);
+  :func:`load_kb` auto-detects which layout a directory holds,
 * users -- JSON (ids, names, class weights by IRI, family weights),
 * feedback -- JSON Lines, one event per line,
 * recommendation packages -- JSON (audience, ranked items, explanations).
+
+:func:`convert_kb` migrates a KB directory between the two layouts in
+either direction; the conversion is lossless (identical version ids,
+metadata, triple sets and -- via the shared interning order -- identical
+downstream measure results and recommendations).
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from repro.io.store import BASE_FILE, LOG_FILE, BinaryKBStore
 from repro.kb.graph import Graph
 from repro.kb.interning import TermDictionary
 from repro.kb.ntriples import parse_graph, serialize
@@ -52,10 +61,31 @@ def load_graph(path: str | Path, dictionary: TermDictionary | None = None) -> Gr
 _MANIFEST = "manifest.json"
 
 
-def save_kb(kb: VersionedKnowledgeBase, directory: str | Path) -> Path:
-    """Write a versioned KB as per-version ``.nt`` files plus a manifest."""
+def save_kb(
+    kb: VersionedKnowledgeBase, directory: str | Path, format: str = "nt"
+) -> Path:
+    """Write a versioned KB to ``directory``.
+
+    ``format="nt"`` (default) writes the interoperable layout: per-version
+    ``.nt`` files plus a manifest.  ``format="binary"`` writes the
+    :class:`~repro.io.store.BinaryKBStore` layout (wire-format base +
+    empty commit log) -- load it back with the same :func:`load_kb`, boot
+    it O(root + deltas), and append later commits in O(delta) via
+    :meth:`~repro.io.store.BinaryKBStore.sync`.
+    """
     directory = Path(directory)
+    if format == "binary":
+        BinaryKBStore.save(kb, directory)
+        return directory
+    if format != "nt":
+        raise ValueError(f"unknown KB format {format!r} (expected 'nt' or 'binary')")
     directory.mkdir(parents=True, exist_ok=True)
+    # A directory holds exactly one layout: a leftover binary store would
+    # win load_kb's auto-detection and silently shadow the ``.nt`` files
+    # being written now.
+    for stale in (directory / BASE_FILE, directory / LOG_FILE):
+        if stale.exists():
+            stale.unlink()
     manifest = {"name": kb.name, "versions": []}
     for index, version in enumerate(kb):
         filename = f"{index:04d}_{version.version_id}.nt"
@@ -73,12 +103,22 @@ def save_kb(kb: VersionedKnowledgeBase, directory: str | Path) -> Path:
     return directory
 
 
-def load_kb(directory: str | Path) -> VersionedKnowledgeBase:
-    """Load a versioned KB saved by :func:`save_kb`."""
+def load_kb(directory: str | Path, lazy: bool = True) -> VersionedKnowledgeBase:
+    """Load a versioned KB saved by :func:`save_kb` (either layout).
+
+    Auto-detects the directory format: a binary store (``kb.rpw``
+    present) decodes out of a memory map with lazy delta replay
+    (``lazy=False`` forces every snapshot to materialise eagerly); a
+    ``manifest.json`` directory parses the per-version ``.nt`` files
+    through the bulk codec.  Both paths intern one shared dictionary for
+    the whole chain.
+    """
     directory = Path(directory)
+    if BinaryKBStore.is_store(directory):
+        return BinaryKBStore.open(directory).load(lazy=lazy)
     manifest_path = directory / _MANIFEST
     if not manifest_path.exists():
-        raise FileNotFoundError(f"no {_MANIFEST} in {directory}")
+        raise FileNotFoundError(f"no {_MANIFEST} or {BASE_FILE} in {directory}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     kb = VersionedKnowledgeBase(manifest.get("name", "kb"))
     # One dictionary for the whole chain keeps every commit on the
@@ -93,6 +133,28 @@ def load_kb(directory: str | Path) -> VersionedKnowledgeBase:
             copy=False,
         )
     return kb
+
+
+def convert_kb(
+    source: str | Path, destination: str | Path, to: str = "binary"
+) -> Path:
+    """Migrate a KB directory between the ``.nt`` and binary layouts.
+
+    ``to`` is the *destination* format (``"binary"`` or ``"nt"``); the
+    source format is auto-detected.  Conversion is lossless and
+    direction-symmetric: version ids, metadata, triple sets, recorded
+    deltas and the chain's term-interning order all survive, so a
+    converted KB serves bit-identical measure results and
+    recommendations.  ``source`` and ``destination`` must differ (the
+    layouts would trample each other in one directory).
+    """
+    source = Path(source)
+    destination = Path(destination)
+    if source.resolve() == destination.resolve():
+        raise ValueError("convert_kb needs distinct source and destination directories")
+    if to not in ("nt", "binary"):
+        raise ValueError(f"unknown KB format {to!r} (expected 'nt' or 'binary')")
+    return save_kb(load_kb(source), destination, format=to)
 
 
 # -- users -----------------------------------------------------------------------

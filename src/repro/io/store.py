@@ -1,0 +1,353 @@
+"""The binary on-disk knowledge-base store: wire base + append-only commit log.
+
+A store is a directory holding two files in the binary wire format of
+:mod:`repro.kb.wire`:
+
+``kb.rpw``
+    one ``encode_kb`` payload -- the term dictionary in id order, the root
+    snapshot and the recorded delta chain of every version present at
+    :meth:`BinaryKBStore.save` time.  Written atomically (tmp file +
+    ``os.replace``) and never touched again by commits.
+``commits.rpl``
+    zero or more self-delimiting commit records (``encode_commit``)
+    appended by :meth:`BinaryKBStore.sync` / :meth:`append_commit` -- each
+    carries one version's dictionary *growth* plus its recorded
+    ``(added, deleted)`` delta, flushed and ``fsync``\\ ed per record.
+    Persisting a service commit is therefore **O(delta)**, never a
+    full-snapshot rewrite.  Crash damage the append/save protocol can
+    produce -- a torn final record, or a log superseded by a newer base --
+    is *recovered* on load (warn, replay the intact prefix, truncate the
+    file), never a refused boot; see :func:`_vet_commit_log`.
+
+Loading memory-maps the base file and decodes it lazily
+(:func:`repro.kb.wire.decode_kb` with ``lazy=True``): only the root
+snapshot is built eagerly; every other version is appended from its
+recorded delta and rematerialises through the version chain's existing
+delta-replay path on first access.  Replaying the log grows the same
+dictionary, so a loaded chain is **bit-identical** to the saved one --
+same dense term ids, same recorded deltas, hence bit-equal measure
+results and recommendations.
+
+The store format is also the sharded serving plane's bootstrap unit:
+:meth:`BinaryKBStore.bootstrap_payload` hands the raw ``(base, log)``
+bytes straight to a shard process (:mod:`repro.service.sharding`), which
+decodes them with :func:`decode_store_payload` -- no N-Triples re-parse,
+no re-encode in the router.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import warnings
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.kb import wire
+from repro.kb.errors import WireFormatError
+from repro.kb.graph import Graph
+from repro.kb.version import Version, VersionedKnowledgeBase
+
+#: File names inside a store directory (presence of BASE_FILE *is* the
+#: format auto-detection signal, see repro.io.storage.load_kb).
+BASE_FILE = "kb.rpw"
+LOG_FILE = "commits.rpl"
+
+
+def _vet_commit_log(kb: VersionedKnowledgeBase, dictionary, log) -> Tuple[bytes, Optional[str]]:
+    """The replayable prefix of ``log`` against the decoded base, if any.
+
+    Two kinds of damage are survivable by construction and recovered here
+    rather than failing the boot:
+
+    * a **torn tail** -- a crash between ``write`` and ``fsync`` in
+      :meth:`BinaryKBStore.append_commit` leaves a partial final record;
+      every intact record before it is a perfectly served prefix;
+    * a **stale log** -- a crash between :meth:`BinaryKBStore.save`'s
+      atomic base replace and its log truncation leaves records that
+      predate the new base (which already contains their versions); a
+      valid log's first record always chains exactly onto the base
+      (``terms_before`` equals the dictionary size and its version id is
+      new), so a first record that does not is the whole log being
+      superseded.
+
+    Anything else (a corrupt record that still frames correctly) stays a
+    hard :class:`WireFormatError` downstream.  Returns ``(usable log
+    bytes, reason-dropped-or-None)``.
+    """
+    _, intact_end = wire.scan_commit_log(log)
+    dropped = None
+    if intact_end < len(log):
+        dropped = (
+            f"torn tail at byte {intact_end} of {len(log)} "
+            f"(crash between append and fsync?)"
+        )
+        log = log[:intact_end]
+    if log:
+        first = next(wire.iter_commit_headers(log))
+        if first.get("terms_before") != len(dictionary) or first.get("version_id") in kb:
+            dropped = (
+                f"{dropped}; " if dropped else ""
+            ) + "log does not chain onto this base (superseded by a newer save?)"
+            log = b""
+    return bytes(log), dropped
+
+
+def decode_store_payload(
+    base: bytes,
+    log: bytes = b"",
+    on_recovery: "Optional[callable]" = None,
+) -> VersionedKnowledgeBase:
+    """Decode a store's raw ``(base, log)`` bytes into a lazy version chain.
+
+    The shard bootstrap path: the base decodes with lazy delta replay,
+    every usable commit record in ``log`` is appended through
+    :meth:`~repro.kb.version.VersionedKnowledgeBase.commit_recorded`, and
+    the chain's **true head pair** -- the two newest versions after the
+    replay, wherever they live -- gets bulk-built snapshots adopted from
+    a running key set, so a freshly booted chain serves its first request
+    with zero delta replay no matter how long the log tail is.  All other
+    snapshots stay lazy.
+
+    A torn log tail or a stale log (see :func:`_vet_commit_log`) is
+    dropped with a :class:`RuntimeWarning` instead of failing the boot;
+    ``on_recovery(reason, usable_log_bytes)`` is additionally invoked so
+    an owner of the underlying file can truncate it.  (In the rare
+    stale-log case the head pair boots unwarmed and materialises through
+    ordinary delta replay on first use.)
+    """
+    if not log:
+        return wire.decode_kb(base, lazy=True)
+    # Frame-level scan first: it tells the base decode how many log
+    # versions will follow (so head-pair warming lands on the *chain's*
+    # head, not the base's) and bounds the replay to the intact prefix.
+    n_records, _ = wire.scan_commit_log(log)
+    kb, running = wire.decode_kb_lazy(base, trailing_records=n_records)
+    if not len(kb):
+        raise WireFormatError("commit log without a root version in the base")
+    dictionary = kb.first().graph.dictionary
+    log, dropped = _vet_commit_log(kb, dictionary, log)
+    if dropped is not None:
+        warnings.warn(f"commit log recovery: {dropped}", RuntimeWarning, stacklevel=2)
+        if on_recovery is not None:
+            on_recovery(dropped, log)
+    records = list(wire.decode_commit_log(log, dictionary)) if log else []
+    key_of = dictionary.key_of
+    n_base = len(kb)
+    head_from = n_base + len(records) - 2
+    for offset, (version_id, metadata, added, deleted) in enumerate(records):
+        running.difference_update(key_of(t) for t in deleted)
+        running.update(key_of(t) for t in added)
+        kb.commit_recorded(
+            added=added,
+            deleted=deleted,
+            version_id=version_id,
+            metadata=metadata,
+            snapshot=(
+                Graph.from_interned_keys(dictionary, running)
+                if n_base + offset >= head_from
+                else None
+            ),
+        )
+    return kb
+
+
+class BinaryKBStore:
+    """Handle on one on-disk binary KB store directory.
+
+    Usage::
+
+        store = BinaryKBStore.save(kb, "world/kb")   # write base + empty log
+        ...
+        kb.commit_changes(added=[...])
+        store.sync(kb)                               # O(delta) append + fsync
+
+        store = BinaryKBStore.open("world/kb")
+        kb = store.load()                            # mmap decode, lazy replay
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.base_path = self.directory / BASE_FILE
+        self.log_path = self.directory / LOG_FILE
+        # Disk-state cursor: how far the on-disk files cover the chain.
+        # Filled by save()/load(); sync() refuses to run blind.
+        self._n_terms: Optional[int] = None
+        self._version_ids: Optional[List[str]] = None
+
+    # -- creation / detection ------------------------------------------------
+
+    @staticmethod
+    def is_store(directory: str | Path) -> bool:
+        """True when ``directory`` holds a binary store (base file present)."""
+        return (Path(directory) / BASE_FILE).is_file()
+
+    @classmethod
+    def save(cls, kb: VersionedKnowledgeBase, directory: str | Path) -> "BinaryKBStore":
+        """Write ``kb`` as a fresh store (atomic base write, empty log).
+
+        The base lands via tmp-file + ``os.replace``; the old commit log
+        is truncated *after* the replace, so the crash window between the
+        two leaves a new base plus a log that predates it -- which the
+        load path detects as stale (its first record no longer chains
+        onto the base) and discards.  Every version of the saved chain is
+        inside the new base, so nothing is lost in that window either.
+        """
+        store = cls(directory)
+        store.directory.mkdir(parents=True, exist_ok=True)
+        data = wire.encode_kb(kb)
+        tmp_path = store.base_path.with_suffix(".rpw.tmp")
+        with tmp_path.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, store.base_path)
+        # A fresh base supersedes any previous log tail -- and any ``.nt``
+        # layout in the same directory (manifest plus its numbered
+        # per-version files), which external tools globbing ``*.nt`` would
+        # otherwise read as a second, stale identity for this KB.
+        store.log_path.write_bytes(b"")
+        manifest = store.directory / "manifest.json"
+        if manifest.exists():
+            manifest.unlink()
+        for stale in store.directory.glob("[0-9][0-9][0-9][0-9]_*.nt"):
+            stale.unlink()
+        store._version_ids = kb.version_ids()
+        store._n_terms = (
+            len(kb.first().graph.dictionary) if len(kb) else 0
+        )
+        return store
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "BinaryKBStore":
+        """Handle on an existing store (raises ``FileNotFoundError`` if absent)."""
+        store = cls(directory)
+        if not store.base_path.is_file():
+            raise FileNotFoundError(f"no {BASE_FILE} in {store.directory}")
+        return store
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, lazy: bool = True) -> VersionedKnowledgeBase:
+        """Decode the store into a version chain (bit-identical ids/deltas).
+
+        The base file is decoded straight out of a memory map; the commit
+        log (if any) is replayed on top.  With ``lazy=True`` (default)
+        only the root snapshot is materialised -- every other version
+        rebuilds through delta replay on first access, which is what makes
+        cold boot O(root + deltas).
+        """
+        with self.base_path.open("rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size == 0:
+                raise WireFormatError(f"empty store base file: {self.base_path}")
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            view = memoryview(buffer)
+            try:
+                log = self.log_path.read_bytes() if self.log_path.is_file() else b""
+                kb = decode_store_payload(view, log, on_recovery=self._recover_log)
+            finally:
+                view.release()
+                try:
+                    buffer.close()
+                except BufferError:  # pragma: no cover - stray decode view
+                    pass  # the map closes when the last view is collected
+        if not lazy:
+            for version in kb:
+                version.graph  # force materialisation
+        self._version_ids = kb.version_ids()
+        self._n_terms = len(kb.first().graph.dictionary) if len(kb) else 0
+        return kb
+
+    def bootstrap_payload(self) -> Tuple[bytes, bytes]:
+        """The raw ``(base, log)`` bytes -- the shard bootstrap unit.
+
+        Read verbatim from disk: the router process never decodes or
+        re-encodes a tenant it only routes for.
+        """
+        log = self.log_path.read_bytes() if self.log_path.is_file() else b""
+        return self.base_path.read_bytes(), log
+
+    def describe(
+        self, payload: Tuple[bytes, bytes] | None = None
+    ) -> Tuple[str, List[str]]:
+        """``(kb name, version ids on disk)`` from the headers alone.
+
+        Decodes only the base header and the per-record log headers -- no
+        term table, no key array.  Pass an already-read
+        :meth:`bootstrap_payload` to avoid touching the files a second
+        time (the sharded serve path reads the store exactly once).
+        """
+        base, log = payload if payload is not None else self.bootstrap_payload()
+        header = wire.read_kb_header(base)
+        ids = [entry["version_id"] for entry in header.get("versions", [])]
+        # Same crash tolerance as the load path: walk only the intact log
+        # prefix, and ignore a log whose first record names a version the
+        # base already holds (stale after an interrupted save).
+        _, intact_end = wire.scan_commit_log(log)
+        log_ids = [
+            record["version_id"]
+            for record in wire.iter_commit_headers(log[:intact_end])
+        ]
+        if log_ids and log_ids[0] not in ids:
+            ids.extend(log_ids)
+        return header.get("name", "kb"), ids
+
+    def _recover_log(self, reason: str, usable: bytes) -> None:
+        """Persist a log recovery: rewrite the file to its usable prefix.
+
+        Called by :func:`decode_store_payload` during :meth:`load` when it
+        dropped a torn tail or a stale log, so a later
+        :meth:`append_commit` extends intact records instead of garbage.
+        """
+        with self.log_path.open("wb") as handle:
+            handle.write(usable)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- appending -----------------------------------------------------------
+
+    def append_commit(self, version: Version, dictionary) -> None:
+        """Append one committed version's record to the log (flush + fsync)."""
+        if self._n_terms is None or self._version_ids is None:
+            raise WireFormatError(
+                "store has no disk-state cursor: save() or load() it first"
+            )
+        record = wire.encode_commit(version, dictionary, self._n_terms)
+        with self.log_path.open("ab") as handle:
+            handle.write(record)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._n_terms = len(dictionary)
+        self._version_ids.append(version.version_id)
+
+    def sync(self, kb: VersionedKnowledgeBase) -> int:
+        """Append every version of ``kb`` not yet on disk; returns the count.
+
+        The on-disk chain must be a prefix of ``kb``'s (same ids, same
+        order) -- it is, for any chain this store saved or loaded and that
+        only grew since.  Each appended record costs O(its delta); the
+        base file is never rewritten.
+        """
+        if self._n_terms is None or self._version_ids is None:
+            raise WireFormatError(
+                "store has no disk-state cursor: save() or load() it first"
+            )
+        with kb.write_lock:
+            ids = kb.version_ids()
+            on_disk = self._version_ids
+            if ids[: len(on_disk)] != on_disk:
+                raise WireFormatError(
+                    f"store {self.directory} is not a prefix of chain "
+                    f"{kb.name!r}: have {on_disk}, chain has {ids}"
+                )
+            pending = ids[len(on_disk) :]
+            if not pending:
+                return 0
+            dictionary = kb.first().graph.dictionary
+            for version_id in pending:
+                self.append_commit(kb.version(version_id), dictionary)
+            return len(pending)
+
+    def __repr__(self) -> str:
+        return f"BinaryKBStore({str(self.directory)!r})"

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Set, Tuple
 
+import numpy as np
+
 from repro.kb.interning import TermDictionary, TripleKey
 from repro.kb.terms import IRI, Term
 from repro.kb.triples import Triple
@@ -81,6 +83,15 @@ class Graph:
     def dictionary(self) -> TermDictionary:
         """The term-interning dictionary this graph encodes against."""
         return self._dict
+
+    @property
+    def triple_keys(self) -> Set[TripleKey]:
+        """The live set of interned ``(s, p, o)`` id-triples.
+
+        Read-only by convention: the bulk serializer and the wire/store
+        layers iterate it directly instead of materialising triples.
+        """
+        return self._triples
 
     # -- mutation ---------------------------------------------------------
 
@@ -350,26 +361,44 @@ class Graph:
 
     @classmethod
     def from_interned_keys(
-        cls, dictionary: TermDictionary, keys: Iterable[TripleKey]
+        cls, dictionary: TermDictionary, keys: "Iterable[TripleKey] | np.ndarray"
     ) -> "Graph":
         """Build a graph directly from id-triples already interned in ``dictionary``.
 
         The bulk-load fast path of the binary wire format
-        (:mod:`repro.kb.wire`): every key's three ids must already exist in
-        ``dictionary`` (ids out of range raise ``IndexError``).  Skips
-        per-triple validation and interning entirely -- the terms were
-        validated when they first entered the dictionary on the encoding
-        side.
+        (:mod:`repro.kb.wire`) and the bulk N-Triples codec
+        (:func:`repro.kb.ntriples.parse_interned`, which hands over an
+        ``(n, 3)`` integer ndarray): every key's three ids must already
+        exist in ``dictionary`` (ids out of range raise ``IndexError``).
+        Skips per-triple validation and interning entirely -- the terms
+        were validated when they first entered the dictionary on the
+        encoding side.
         """
+        if isinstance(keys, np.ndarray):
+            # tolist() materialises plain Python ints: numpy scalars must
+            # never leak into the integer indexes (they hash equal but cost
+            # more and pickle bigger).
+            keys = map(tuple, keys.tolist())
         graph = cls(dictionary=dictionary)
         materialize = dictionary.materialize
-        add_key = graph._add_key
+        # Inlined _add_key: one tight loop over the three indexes, no
+        # per-key method dispatch / scan-cache check (the graph is fresh).
+        triples = graph._triples
+        spo, pos, osp = graph._spo, graph._pos, graph._osp
+        added = 0
         for key in keys:
             # Materialise into the shared pool so match()/iteration can yield
             # this triple with a plain dict index later.
             materialize(key)
-            if key not in graph._triples:
-                add_key(key)
+            if key in triples:
+                continue
+            added += 1
+            triples.add(key)
+            s, p, o = key
+            spo.setdefault(s, {}).setdefault(p, set()).add(o)
+            pos.setdefault(p, {}).setdefault(o, set()).add(s)
+            osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        graph._revision = added
         return graph
 
     def copy(self) -> "Graph":

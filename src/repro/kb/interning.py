@@ -25,7 +25,7 @@ seen by the chain, which the synthetic workloads keep well in hand.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.kb.terms import Term
 from repro.kb.triples import Triple
@@ -47,12 +47,15 @@ class TermDictionary:
     IRI('http://example.org/Person')
     """
 
-    __slots__ = ("_ids", "_terms", "_triples")
+    __slots__ = ("_ids", "_terms", "_triples", "_n3")
 
     def __init__(self) -> None:
         self._ids: Dict[Term, int] = {}
         self._terms: List[Term] = []
         self._triples: Dict[TripleKey, Triple] = {}
+        # id -> n3() string, grown lazily; the bulk serializer's per-term
+        # render-once cache (see repro.kb.ntriples.serialize_interned).
+        self._n3: List[Optional[str]] = []
 
     # -- term interning -----------------------------------------------------
 
@@ -65,6 +68,42 @@ class TermDictionary:
             ids[term] = tid
             self._terms.append(term)
         return tid
+
+    def intern_many(self, terms: Iterable[Term]) -> List[int]:
+        """Intern a whole batch of terms; returns their ids in input order.
+
+        The bulk-codec primitive (:func:`repro.kb.ntriples.parse_interned`
+        deduplicates tokens first, so every element here is typically a
+        *distinct* term): one tight loop over the id map, no per-call
+        method dispatch.
+        """
+        ids = self._ids
+        table = self._terms
+        out: List[int] = []
+        append = out.append
+        get = ids.get
+        for term in terms:
+            tid = get(term)
+            if tid is None:
+                tid = len(table)
+                ids[term] = tid
+                table.append(term)
+            append(tid)
+        return out
+
+    def n3_of(self, tid: int) -> str:
+        """The cached N-Triples rendering of term ``tid`` (rendered once).
+
+        Interning is append-only, so a rendered string can never go stale;
+        the cache list grows lazily to the dictionary's current size.
+        """
+        cache = self._n3
+        if tid >= len(cache):
+            cache.extend([None] * (len(self._terms) - len(cache)))
+        value = cache[tid]
+        if value is None:
+            value = cache[tid] = self._terms[tid].n3()
+        return value
 
     def id_of(self, term: Term) -> Optional[int]:
         """The id of ``term``, or None if it was never interned."""

@@ -1,8 +1,27 @@
-"""N-Triples parsing and serialisation.
+"""N-Triples parsing and serialisation (bulk, dictionary-encoded).
 
-A hand-written, line-oriented parser for the N-Triples subset the substrate
-emits: IRIs, blank nodes, plain / typed / language-tagged literals, ``#``
-comments and blank lines.  Round-trips with :func:`serialize`:
+The codec is a **bulk single-pass pipeline** built for the cold-start path
+(loading `.nt` snapshots, HTTP ``/commit`` bodies): one compiled-regex scan
+classifies every line of the document at C speed, term tokens are
+deduplicated *as strings*, each distinct token is decoded and unescaped
+once, and the whole batch is interned straight into dense integer ids
+(:meth:`~repro.kb.interning.TermDictionary.intern_many`).  The result of
+:func:`parse_interned` is an ``(n, 3)`` integer ndarray of id-triples that
+:meth:`~repro.kb.graph.Graph.from_interned_keys` bulk-loads without
+re-validating a single term.  :func:`serialize` has the matching bulk fast
+path for graphs: one cached ``n3()`` string per term id, composed per row
+-- no intermediate :class:`~repro.kb.triples.Triple` churn.
+
+Lines the bulk grammar does not accept (malformed input, but also a few
+legal-but-exotic forms such as non-ASCII language tags) fall back to the
+original character-cursor parser, which produces byte-for-byte identical
+terms and exact :class:`~repro.kb.errors.ParseError` line numbers.  The
+grammar is therefore *sound* (it never mis-parses a line) without having
+to be complete.
+
+The supported subset is unchanged: IRIs, blank nodes, plain / typed /
+language-tagged literals, ``#`` comments and blank lines.  Round-trips
+with :func:`serialize`:
 
 >>> from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
 >>> doc = serialize([Triple(EX.Person, RDF_TYPE, RDFS_CLASS)])
@@ -12,9 +31,12 @@ IRI('http://example.org/Person')
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+import re
+from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.kb.errors import ParseError
+import numpy as np
+
+from repro.kb.errors import ParseError, TermError
 from repro.kb.graph import Graph
 from repro.kb.interning import TermDictionary
 from repro.kb.terms import BNode, IRI, Literal, Term
@@ -22,21 +44,213 @@ from repro.kb.triples import Triple
 
 _ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
 
+# -- the bulk grammar --------------------------------------------------------------
+#
+# One MULTILINE pattern that matches every *well-formed* line in full --
+# blank, comment or triple -- anchored ``^...$`` so a malformed line simply
+# yields no match (Python's MULTILINE anchors only recognise ``\n``, so
+# unicode line separators inside literals never split a line).  Character
+# classes mirror the term model's own validation exactly: the IRI class is
+# the complement of the characters :class:`~repro.kb.terms.IRI` rejects,
+# and the literal escapes are exactly the ``_ESCAPES`` table plus
+# ``\uXXXX`` / ``\UXXXXXXXX``.  All alternations are first-character
+# disjoint, so matching is strictly linear (no backtracking blow-ups).
+
+_IRI_PAT = r'<[^\x00-\x20<>"{}|^`\\]+>'
+_BNODE_PAT = r"_:[A-Za-z0-9_\-]+"
+_LITERAL_PAT = (
+    r'"(?:[^"\\\n]|\\[tnr"\\]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8})*"'
+    r"(?:@[A-Za-z0-9\-]+|\^\^" + _IRI_PAT + r")?"
+)
+_LINE_RE = re.compile(
+    r"^[ \t\r]*(?:#[^\n]*"
+    r"|(?P<s>" + _IRI_PAT + r"|" + _BNODE_PAT + r")[ \t]+"
+    r"(?P<p>" + _IRI_PAT + r")[ \t]+"
+    r"(?P<o>" + _IRI_PAT + r"|" + _BNODE_PAT + r"|" + _LITERAL_PAT + r")"
+    r"[ \t]*\."
+    r")?[ \t\r]*$",
+    re.MULTILINE,
+)
+
+_UNESCAPE_RE = re.compile(r"\\(u[0-9A-Fa-f]{4}|U[0-9A-Fa-f]{8}|.)", re.DOTALL)
+
+
+def _unescape_group(match: "re.Match[str]") -> str:
+    group = match.group(1)
+    head = group[0]
+    if head == "u" or head == "U":
+        return chr(int(group[1:], 16))
+    return _ESCAPES[group]
+
+
+def _decode_token(token: str) -> Term:
+    """One regex-validated term token -> Term (unescaping literals)."""
+    head = token[0]
+    if head == "<":
+        return IRI(token[1:-1])
+    if head == "_":
+        return BNode(token[2:])
+    # Literal: the closing quote is the *last* quote in the token (language
+    # tags and datatype IRIs cannot contain one).
+    end = token.rfind('"')
+    body = token[1:end]
+    if "\\" in body:
+        body = _UNESCAPE_RE.sub(_unescape_group, body)
+    suffix = token[end + 1 :]
+    if not suffix:
+        return Literal(body)
+    if suffix[0] == "@":
+        return Literal(body, language=suffix[1:])
+    return Literal(body, datatype=IRI(suffix[3:-1]))
+
+
+def _scan_document(document: str) -> "List[Tuple[str, str, str]] | None":
+    """Single-pass line classification; ``None`` when any line failed.
+
+    Every well-formed line (blank, comment or triple) produces exactly one
+    anchored match, so a match count below the line count means at least
+    one line the bulk grammar cannot handle -- the caller falls back to the
+    exact cursor parser for correct errors (or for the rare legal forms
+    outside the bulk grammar).
+    """
+    matches = 0
+    rows: List[Tuple[str, str, str]] = []
+    append = rows.append
+    for match in _LINE_RE.finditer(document):
+        matches += 1
+        subject = match["s"]
+        if subject is not None:
+            append((subject, match["p"], match["o"]))
+    if matches != document.count("\n") + 1:
+        return None
+    return rows
+
+
+# -- public API --------------------------------------------------------------------
+
 
 def serialize(triples: Iterable[Triple], sort: bool = True) -> str:
-    """Serialise ``triples`` as an N-Triples document (canonical order by default)."""
+    """Serialise ``triples`` as an N-Triples document (canonical order by default).
+
+    Passing a :class:`~repro.kb.graph.Graph` takes the bulk path: each
+    term's ``n3()`` string is rendered once per dictionary id (and cached
+    on the dictionary), and rows are composed from those strings without
+    materialising per-triple objects.  Output is byte-identical to the
+    per-triple path.
+    """
+    if isinstance(triples, Graph):
+        return serialize_interned(triples.triple_keys, triples.dictionary, sort=sort)
     lines = [t.n3() for t in triples]
     if sort:
         lines.sort()
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def parse(document: str) -> Iterator[Triple]:
-    """Parse an N-Triples document, yielding triples.
+def serialize_interned(
+    keys: Iterable[Tuple[int, int, int]], dictionary: TermDictionary, sort: bool = True
+) -> str:
+    """Bulk serializer over interned id-triples (canonical order by default).
+
+    ``keys`` are ``(s, p, o)`` id-triples interned in ``dictionary``; the
+    canonical form sorts the composed lines exactly like :func:`serialize`
+    sorts per-triple ``n3()`` lines, so both paths emit identical bytes.
+    """
+    n3 = dictionary.n3_of
+    lines = [f"{n3(s)} {n3(p)} {n3(o)} ." for s, p, o in keys]
+    if not lines:
+        return ""
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + "\n"
+
+
+def parse_interned(document: str, dictionary: TermDictionary) -> np.ndarray:
+    """Parse a document straight into dense term ids: ``(n, 3)`` int64 array.
+
+    The bulk pipeline: one regex scan over the whole document, string-level
+    deduplication of term tokens, one decode + unescape per *distinct*
+    token, one :meth:`~repro.kb.interning.TermDictionary.intern_many` batch
+    for all fresh terms, and a vectorised token-index -> term-id gather for
+    the triple rows.  Rows keep document order (duplicates included).
 
     Raises :class:`~repro.kb.errors.ParseError` with the offending line
-    number on malformed input.
+    number on malformed input (via the exact fallback parser).
     """
+    rows = _scan_document(document)
+    if rows is None:
+        # At least one line is outside the bulk grammar: re-parse with the
+        # cursor parser, which raises ParseError with the exact line number
+        # -- or succeeds, for rare legal forms (e.g. unicode language tags).
+        keys = [dictionary.intern_triple(t) for t in _parse_slow(document)]
+        return np.asarray(keys, dtype=np.int64).reshape(len(keys), 3)
+    if not rows:
+        return np.empty((0, 3), dtype=np.int64)
+    index_of: Dict[str, int] = {}
+    flat: List[int] = []
+    append = flat.append
+    get = index_of.get
+    for s, p, o in rows:
+        i = get(s)
+        if i is None:
+            index_of[s] = i = len(index_of)
+        append(i)
+        i = get(p)
+        if i is None:
+            index_of[p] = i = len(index_of)
+        append(i)
+        i = get(o)
+        if i is None:
+            index_of[o] = i = len(index_of)
+        append(i)
+    try:
+        terms = [_decode_token(token) for token in index_of]
+    except (TermError, KeyError, ValueError):
+        # A token the grammar accepted but the term model rejects should be
+        # impossible; if it ever happens, the cursor parser owns the error.
+        keys = [dictionary.intern_triple(t) for t in _parse_slow(document)]
+        return np.asarray(keys, dtype=np.int64).reshape(len(keys), 3)
+    ids = np.asarray(dictionary.intern_many(terms), dtype=np.int64)
+    return ids[np.asarray(flat, dtype=np.intp)].reshape(len(rows), 3)
+
+
+def parse(document: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples in document order.
+
+    Runs the bulk pipeline eagerly (the whole document is scanned on the
+    first ``next()``), then yields pooled triples.  Raises
+    :class:`~repro.kb.errors.ParseError` with the offending line number on
+    malformed input.
+    """
+    private = TermDictionary()
+    keys = parse_interned(document, private)
+    materialize = private.materialize
+    for row in keys.tolist():
+        yield materialize((row[0], row[1], row[2]))
+
+
+def parse_graph(document: str, dictionary: "TermDictionary | None" = None) -> Graph:
+    """Parse an N-Triples document into a fresh :class:`Graph` (bulk path).
+
+    Pass ``dictionary`` to intern the parsed terms into an existing
+    :class:`~repro.kb.interning.TermDictionary` (e.g. a version chain's), so
+    the loaded graph participates in the chain's integer fast paths.
+    """
+    if dictionary is None:
+        dictionary = TermDictionary()
+    keys = parse_interned(document, dictionary)
+    return Graph.from_interned_keys(dictionary, keys)
+
+
+# -- the exact cursor parser -------------------------------------------------------
+#
+# The original character-level parser, kept as (a) the source of exact
+# ParseError line numbers, (b) the completeness fallback for legal forms
+# outside the bulk grammar, and (c) the reference implementation the bulk
+# codec is differential-tested against.
+
+
+def _parse_slow(document: str) -> Iterator[Triple]:
+    """Reference parser: per-line character cursor (exact error positions)."""
     # Split on LF/CRLF only: unicode line separators (NEL, LS, PS) are legal
     # *inside* literals, so str.splitlines() would corrupt them.
     for line_no, raw_line in enumerate(document.split("\n"), start=1):
@@ -44,16 +258,6 @@ def parse(document: str) -> Iterator[Triple]:
         if not line or line.startswith("#"):
             continue
         yield _parse_line(line, line_no)
-
-
-def parse_graph(document: str, dictionary: "TermDictionary | None" = None) -> Graph:
-    """Parse an N-Triples document into a fresh :class:`Graph`.
-
-    Pass ``dictionary`` to intern the parsed terms into an existing
-    :class:`~repro.kb.interning.TermDictionary` (e.g. a version chain's), so
-    the loaded graph participates in the chain's integer fast paths.
-    """
-    return Graph(parse(document), dictionary=dictionary)
 
 
 def _parse_line(line: str, line_no: int) -> Triple:

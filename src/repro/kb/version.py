@@ -54,22 +54,35 @@ class Version:
     Constructed either with a concrete ``graph`` (root versions, ad-hoc
     snapshots) or -- by the version chain -- additionally with a ``parent``
     and the ``changes`` ``(added, deleted)`` against it, which makes the
-    snapshot droppable and rebuildable.
+    snapshot droppable and rebuildable.  A version may even be *born*
+    without its snapshot (``graph=None`` plus an explicit ``size``): the
+    on-disk store's lazy decode appends versions from their recorded
+    deltas alone, and the snapshot rematerialises through the same
+    delta-replay path a compacted version uses.
     """
 
     def __init__(
         self,
         version_id: str,
-        graph: Graph,
+        graph: Graph | None,
         metadata: Dict[str, str] | None = None,
         *,
         parent: "Version | None" = None,
         changes: _Changes | None = None,
+        size: int | None = None,
     ) -> None:
         self.version_id = version_id
         self.metadata: Dict[str, str] = metadata if metadata is not None else {}
         self._graph: Graph | None = graph
-        self._size = len(graph)
+        if graph is None:
+            if parent is None or changes is None or size is None:
+                raise VersionError(
+                    "a version without a snapshot needs a parent, recorded "
+                    "changes and an explicit size"
+                )
+            self._size = size
+        else:
+            self._size = len(graph)
         self._schema: SchemaView | None = None
         self._parent = parent
         self._changes = changes
@@ -280,6 +293,57 @@ class VersionedKnowledgeBase:
             base.remove_all(deleted)
             base.add_all(added)
             return self.commit(base, version_id=version_id, metadata=metadata, copy=False)
+
+    def commit_recorded(
+        self,
+        added: Iterable[Triple] = (),
+        deleted: Iterable[Triple] = (),
+        version_id: str | None = None,
+        metadata: Dict[str, str] | None = None,
+        snapshot: Graph | None = None,
+    ) -> Version:
+        """Append the next version from an *exact* recorded delta, lazily.
+
+        Unlike :meth:`commit_changes` this never diffs and -- by default --
+        never materialises the child snapshot: the new version is born
+        compacted (delta-only) and rebuilds transparently through the
+        delta-replay path on first :attr:`Version.graph` access.  This is
+        the O(delta) append the binary store's commit-log replay and the
+        wire format's lazy decode ride -- the chain root must already
+        exist.  A decoder that has the child's triple set in hand anyway
+        may pass ``snapshot`` (trusted to equal parent minus ``deleted``
+        plus ``added``, on the chain's dictionary) to adopt it as the
+        cached graph -- the wire format does this for the head pair, so a
+        freshly booted chain serves its first request without any replay.
+
+        The delta must be exact -- ``deleted`` a subset of the parent,
+        ``added`` disjoint from it -- which holds for every delta this
+        library records at commit time.  Triples must already be interned
+        in the chain's dictionary (deltas decoded from the wire are).
+        """
+        with self._write_lock:
+            if not self._versions:
+                raise VersionError(
+                    "commit_recorded needs an existing root version "
+                    "(commit the root snapshot first)"
+                )
+            if version_id is None:
+                version_id = f"v{len(self._versions) + 1}"
+            if version_id in self._by_id:
+                raise VersionError(f"duplicate version id: {version_id!r}")
+            parent = self._versions[-1]
+            changes = (frozenset(added), frozenset(deleted))
+            version = Version(
+                version_id,
+                snapshot,
+                dict(metadata or {}),
+                parent=parent,
+                changes=changes,
+                size=len(parent) + len(changes[0]) - len(changes[1]),
+            )
+            self._by_id[version_id] = version
+            self._versions.append(version)
+            return version
 
     def compact(self) -> int:
         """Drop the cached snapshots of all middle versions; returns how many.

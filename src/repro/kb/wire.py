@@ -32,18 +32,32 @@ Payload layouts (all integers little-endian)::
     kb         := magic 'RPWK' u8 version | frame(header JSON)
                   | frame(dictionary) | frame(root keys)
                   | per non-root version: frame(added keys) frame(deleted keys)
+    commit     := magic 'RPWC' u8 version | frame(header JSON)
+                  | frame(dictionary growth) | frame(added keys) | frame(deleted keys)
 
 Key arrays are sorted, so equal graphs encode to equal bytes (canonical
 form).  ``encode_kb`` reads the *recorded* commit deltas -- it never diffs
 or rematerialises compacted snapshots, so encoding a compacted chain stays
 O(root + deltas).
+
+``commit`` records are the unit of the on-disk **append-only commit log**
+(:mod:`repro.io.store`): one self-delimiting record per committed version,
+carrying the *growth* of the term dictionary since the previous record
+(ids ``[terms_before, terms_after)`` in id order) plus the recorded delta
+-- so persisting a service commit is O(delta), never O(chain).  Records
+concatenate; :func:`decode_commit_log` replays a whole log against the
+dictionary the base payload decoded to, reproducing identical term ids.
+
+Every ``decode_*`` function accepts any bytes-like buffer (``bytes``,
+``memoryview``, ``mmap.mmap``), so on-disk payloads decode straight out of
+a memory map without an intermediate copy of the file.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +74,7 @@ WIRE_VERSION = 1
 _MAGIC_GRAPH = b"RPWG"
 _MAGIC_KB = b"RPWK"
 _MAGIC_TRIPLES = b"RPWD"
+_MAGIC_COMMIT = b"RPWC"
 
 _U64 = struct.Struct("<Q")
 
@@ -87,9 +102,9 @@ def _frombuffer(data: bytes, dtype) -> np.ndarray:
 
 
 class _Reader:
-    """Sequential reader over length-prefixed frames."""
+    """Sequential reader over length-prefixed frames (any bytes-like buffer)."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data) -> None:
         self._data = data
         self._pos = 0
 
@@ -114,7 +129,7 @@ class _Reader:
         return self.take(self.u64())
 
     def expect_magic(self, magic: bytes) -> None:
-        found = self.take(len(magic))
+        found = bytes(self.take(len(magic)))
         if found != magic:
             raise WireFormatError(f"bad magic: expected {magic!r}, found {found!r}")
         version = self.u8()
@@ -162,54 +177,67 @@ def _unpack_strings(reader: _Reader) -> List[str]:
                 f"blob {len(blob)} bytes)"
             )
         try:
-            strings.append(blob[start:end].decode("utf-8"))
+            strings.append(str(blob[start:end], "utf-8"))
         except UnicodeDecodeError as exc:
             raise WireFormatError(f"string table: invalid UTF-8 ({exc})") from None
         start = end
     return strings
 
 
-def _pack_dictionary(dictionary: TermDictionary) -> bytes:
-    """The term table in id order: kinds array + string table."""
-    n = len(dictionary)
+def _pack_term_range(dictionary: TermDictionary, start: int, end: int) -> bytes:
+    """The term table slice ``[start, end)`` in id order: kinds + strings.
+
+    ``start=0, end=len(dictionary)`` is the full-dictionary payload; commit
+    records pack only the *growth* since the previous record.
+    """
+    n = end - start
     kinds = np.empty(n, dtype=np.uint8)
     strings: List[str] = []
-    for tid in range(n):
+    for index, tid in enumerate(range(start, end)):
         term = dictionary.term(tid)
         if isinstance(term, IRI):
-            kinds[tid] = _KIND_IRI
+            kinds[index] = _KIND_IRI
             strings.append(term.value)
         elif isinstance(term, BNode):
-            kinds[tid] = _KIND_BNODE
+            kinds[index] = _KIND_BNODE
             strings.append(term.label)
         elif isinstance(term, Literal):
             if term.language is not None:
-                kinds[tid] = _KIND_TAGGED
+                kinds[index] = _KIND_TAGGED
                 strings.append(term.lexical)
                 strings.append(term.language)
             elif term.datatype is not None:
-                kinds[tid] = _KIND_TYPED
+                kinds[index] = _KIND_TYPED
                 strings.append(term.lexical)
                 strings.append(term.datatype.value)
             else:
-                kinds[tid] = _KIND_PLAIN
+                kinds[index] = _KIND_PLAIN
                 strings.append(term.lexical)
         else:  # pragma: no cover - the dictionary only interns Terms
             raise WireFormatError(f"cannot encode term of type {type(term).__name__}")
     return _U64.pack(n) + _pack_frame(kinds.tobytes()) + _pack_strings(strings)
 
 
-def _unpack_dictionary(reader: _Reader) -> TermDictionary:
-    """Rebuild a dictionary with identical term -> id assignments."""
+def _pack_dictionary(dictionary: TermDictionary) -> bytes:
+    """The whole term table in id order: kinds array + string table."""
+    return _pack_term_range(dictionary, 0, len(dictionary))
+
+
+def _unpack_term_range(reader: _Reader, dictionary: TermDictionary, start: int) -> int:
+    """Append a packed term-range to ``dictionary``; returns the new size.
+
+    The range must assign ids ``[start, start + n)``: interning the table
+    in order can only disagree if the table holds a duplicate term or the
+    dictionary already grew past ``start`` -- corrupt or out-of-sync input.
+    """
     n = reader.u64()
     kinds = _frombuffer(reader.frame(), np.uint8)
     if len(kinds) != n:
-        raise WireFormatError(f"dictionary: {n} terms but {len(kinds)} kind tags")
+        raise WireFormatError(f"term table: {n} terms but {len(kinds)} kind tags")
     strings = iter(_unpack_strings(reader))
-    dictionary = TermDictionary()
     intern = dictionary.intern
     try:
-        for tid, kind in enumerate(kinds.tolist()):
+        for tid, kind in enumerate(kinds.tolist(), start=start):
             if kind == _KIND_IRI:
                 term: Term = IRI(next(strings))
             elif kind == _KIND_BNODE:
@@ -225,11 +253,16 @@ def _unpack_dictionary(reader: _Reader) -> TermDictionary:
             else:
                 raise WireFormatError(f"unknown term kind tag {kind} at id {tid}")
             if intern(term) != tid:
-                # Interning the table in order can only disagree if the
-                # table holds a duplicate term -- corrupt input.
-                raise WireFormatError(f"duplicate term in dictionary table at id {tid}")
+                raise WireFormatError(f"duplicate term in term table at id {tid}")
     except StopIteration:
-        raise WireFormatError("dictionary string table exhausted early") from None
+        raise WireFormatError("term table string table exhausted early") from None
+    return len(dictionary)
+
+
+def _unpack_dictionary(reader: _Reader) -> TermDictionary:
+    """Rebuild a dictionary with identical term -> id assignments."""
+    dictionary = TermDictionary()
+    _unpack_term_range(reader, dictionary, 0)
     return dictionary
 
 
@@ -397,16 +430,31 @@ def encode_kb(kb: VersionedKnowledgeBase) -> bytes:
     return b"".join(parts)
 
 
-def decode_kb(data: bytes) -> VersionedKnowledgeBase:
+def decode_kb(data, lazy: bool = False) -> VersionedKnowledgeBase:
     """Inverse of :func:`encode_kb`.
 
-    Every version of the replica is materialised (the replay builds each
-    snapshot); call :meth:`~repro.kb.version.VersionedKnowledgeBase.compact`
-    afterwards to drop middle snapshots again if the source was compacted.
+    With ``lazy=False`` every version of the replica is materialised (the
+    replay builds each snapshot); call
+    :meth:`~repro.kb.version.VersionedKnowledgeBase.compact` afterwards to
+    drop middle snapshots again if the source was compacted.
+
+    With ``lazy=True`` only the root snapshot is built eagerly: every
+    later version is appended from its recorded delta
+    (:meth:`~repro.kb.version.VersionedKnowledgeBase.commit_recorded`) and
+    rematerialises transparently through the existing delta-replay path on
+    first access -- the cold-start mode of the on-disk store, O(root +
+    deltas) instead of O(versions x graph).  As the decoder already holds
+    the running key set, the chain's *head pair* (the two newest versions,
+    exactly what a cold-started service scores first) additionally gets
+    its snapshots bulk-built and adopted, so the first request after boot
+    replays nothing.  Either way the replica is bit-identical: same term
+    ids, same recorded deltas, same downstream artefacts.
     """
+    if lazy:
+        return decode_kb_lazy(data)[0]
     reader = _Reader(data)
     reader.expect_magic(_MAGIC_KB)
-    header = json.loads(reader.frame().decode("utf-8"))
+    header = json.loads(bytes(reader.frame()))
     kb = VersionedKnowledgeBase(header.get("name", "kb"))
     entries = header.get("versions", [])
     dictionary = _unpack_dictionary(_Reader(reader.frame()))
@@ -438,6 +486,205 @@ def decode_kb(data: bytes) -> VersionedKnowledgeBase:
     if not reader.at_end():
         raise WireFormatError("trailing bytes after the last version delta")
     return kb
+
+
+def decode_kb_lazy(
+    data, trailing_records: int = 0
+) -> "Tuple[VersionedKnowledgeBase, set]":
+    """Lazy decode returning also the head's running key set.
+
+    The on-disk store's building block (:mod:`repro.io.store` replays a
+    commit log of ``trailing_records`` further versions on top): the
+    *chain-wide* head pair -- position ``n_versions + trailing_records -
+    2`` onward -- gets its snapshots bulk-built from the running key set,
+    so warming skips base versions a log will supersede, and the returned
+    set seeds the log replay without a second delta walk.
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_KB)
+    header = json.loads(bytes(reader.frame()))
+    kb = VersionedKnowledgeBase(header.get("name", "kb"))
+    entries = header.get("versions", [])
+    dictionary = _unpack_dictionary(_Reader(reader.frame()))
+    if not entries:
+        return kb, set()
+    n_terms = len(dictionary)
+    root_keys = _unpack_keys(_Reader(reader.frame()), n_terms)
+    root = Graph.from_interned_keys(dictionary, root_keys)
+    kb.commit(
+        root,
+        version_id=entries[0]["version_id"],
+        metadata=entries[0].get("metadata", {}),
+        copy=False,
+    )
+    materialize = dictionary.materialize
+    running = set(root_keys)
+    warm_from = len(entries) + trailing_records - 2
+    for index, entry in enumerate(entries[1:], start=1):
+        added = _unpack_keys(_Reader(reader.frame()), n_terms)
+        deleted = _unpack_keys(_Reader(reader.frame()), n_terms)
+        running.difference_update(deleted)
+        running.update(added)
+        kb.commit_recorded(
+            added=[materialize(key) for key in added],
+            deleted=[materialize(key) for key in deleted],
+            version_id=entry["version_id"],
+            metadata=entry.get("metadata", {}),
+            snapshot=(
+                Graph.from_interned_keys(dictionary, running)
+                if index >= warm_from
+                else None
+            ),
+        )
+    if not reader.at_end():
+        raise WireFormatError("trailing bytes after the last version delta")
+    return kb, running
+
+
+def read_kb_header(data) -> dict:
+    """The header JSON of a kb payload (name + version entries), nothing else.
+
+    Lets the store / router answer "which versions are on disk?" without
+    decoding a single term.
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_KB)
+    header = json.loads(bytes(reader.frame()))
+    if not isinstance(header, dict):
+        raise WireFormatError("kb header is not a JSON object")
+    return header
+
+
+# -- commit records (the append-only commit log) -----------------------------------
+
+
+def encode_commit(version, dictionary: TermDictionary, terms_before: int) -> bytes:
+    """One commit-log record: dictionary growth + the recorded delta.
+
+    ``terms_before`` is the dictionary size already covered by the log's
+    prior state; the record carries the term ids ``[terms_before,
+    len(dictionary))`` so a replayer's dictionary grows to exactly the
+    encoder's.  O(delta + growth) -- the snapshot is never touched.
+    """
+    delta = version.delta_from_parent()
+    if delta is None:
+        raise WireFormatError(
+            f"version {version.version_id!r} has no recorded commit delta"
+        )
+    terms_after = len(dictionary)
+    if not 0 <= terms_before <= terms_after:
+        raise WireFormatError(
+            f"terms_before {terms_before} outside dictionary size {terms_after}"
+        )
+    header = {
+        "version_id": version.version_id,
+        "metadata": dict(version.metadata),
+        "terms_before": terms_before,
+        "terms_after": terms_after,
+    }
+    return b"".join(
+        (
+            _MAGIC_COMMIT,
+            bytes([WIRE_VERSION]),
+            _pack_frame(json.dumps(header, sort_keys=True).encode("utf-8")),
+            _pack_frame(_pack_term_range(dictionary, terms_before, terms_after)),
+            _pack_frame(
+                _pack_keys(_keys_of(delta.added, dictionary), terms_after)
+            ),
+            _pack_frame(
+                _pack_keys(_keys_of(delta.deleted, dictionary), terms_after)
+            ),
+        )
+    )
+
+
+def _decode_commit(reader: _Reader, dictionary: TermDictionary):
+    reader.expect_magic(_MAGIC_COMMIT)
+    header = json.loads(bytes(reader.frame()))
+    terms_before = header.get("terms_before")
+    terms_after = header.get("terms_after")
+    if terms_before != len(dictionary):
+        raise WireFormatError(
+            f"commit record expects {terms_before} prior terms, "
+            f"dictionary has {len(dictionary)} (log out of sync)"
+        )
+    grown = _unpack_term_range(_Reader(reader.frame()), dictionary, terms_before)
+    if grown != terms_after:
+        raise WireFormatError(
+            f"commit record term growth ends at {grown}, header says {terms_after}"
+        )
+    materialize = dictionary.materialize
+    added = [
+        materialize(key) for key in _unpack_keys(_Reader(reader.frame()), grown)
+    ]
+    deleted = [
+        materialize(key) for key in _unpack_keys(_Reader(reader.frame()), grown)
+    ]
+    return header["version_id"], header.get("metadata", {}), added, deleted
+
+
+def decode_commit(data, dictionary: TermDictionary):
+    """Inverse of :func:`encode_commit` against the replayer's dictionary.
+
+    Appends the record's dictionary growth to ``dictionary`` and returns
+    ``(version_id, metadata, added_triples, deleted_triples)``.
+    """
+    reader = _Reader(data)
+    record = _decode_commit(reader, dictionary)
+    if not reader.at_end():
+        raise WireFormatError("trailing bytes after commit record")
+    return record
+
+
+def decode_commit_log(data, dictionary: TermDictionary):
+    """Replay a concatenation of commit records (the on-disk commit log).
+
+    Yields ``(version_id, metadata, added_triples, deleted_triples)`` per
+    record, in order, growing ``dictionary`` as it goes.  A truncated or
+    corrupted record raises :class:`WireFormatError` mid-iteration, after
+    all prior intact records were yielded -- callers decide whether a torn
+    tail is fatal.
+    """
+    reader = _Reader(data)
+    while not reader.at_end():
+        yield _decode_commit(reader, dictionary)
+
+
+def iter_commit_headers(data):
+    """The header JSON of every record in a commit log, skipping payloads."""
+    reader = _Reader(data)
+    while not reader.at_end():
+        reader.expect_magic(_MAGIC_COMMIT)
+        header = json.loads(bytes(reader.frame()))
+        reader.frame()  # term growth
+        reader.frame()  # added keys
+        reader.frame()  # deleted keys
+        yield header
+
+
+def scan_commit_log(data) -> "Tuple[int, int]":
+    """``(intact record count, intact end offset)`` of a commit log buffer.
+
+    A frame-level walk (no term or key decoding): it stops at the first
+    record that is truncated or fails the magic check, which is how the
+    store's crash recovery finds the usable prefix of a log whose last
+    append was torn by a crash between ``write`` and ``fsync``.
+    """
+    reader = _Reader(data)
+    records = 0
+    intact_end = 0
+    while not reader.at_end():
+        try:
+            reader.expect_magic(_MAGIC_COMMIT)
+            reader.frame()  # header JSON
+            reader.frame()  # term growth
+            reader.frame()  # added keys
+            reader.frame()  # deleted keys
+        except WireFormatError:
+            break
+        records += 1
+        intact_end = reader._pos
+    return records, intact_end
 
 
 def dictionaries_identical(a: TermDictionary, b: TermDictionary) -> bool:

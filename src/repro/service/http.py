@@ -160,6 +160,11 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
     """Shared JSON plumbing for both front-ends."""
 
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients exchange small request/response pairs on one
+    # connection; with Nagle on, every exchange after the first stalls
+    # ~40ms on the delayed-ACK interaction.  (socketserver reads this off
+    # the *handler* class in setup().)
+    disable_nagle_algorithm = True
     # Quiet by default: the serving benchmark hammers the server and the
     # default handler writes one stderr line per request.
     verbose = False
@@ -217,6 +222,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the service for its handlers."""
 
     daemon_threads = True
+    # The stdlib default listen backlog is 5: a burst of clients opening
+    # keep-alive connections (the load generator's 32 simultaneous
+    # connects, any real fleet rollover) gets kernel RSTs before the
+    # accept loop ever sees them.
+    request_queue_size = 128
 
     def __init__(
         self, address: Tuple[str, int], service: RecommendationService
@@ -265,6 +275,7 @@ class ShardRouterHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the shard supervisor for its handlers."""
 
     daemon_threads = True
+    request_queue_size = 128  # same rationale as ServiceHTTPServer
 
     def __init__(
         self, address: Tuple[str, int], supervisor: "ShardSupervisor"

@@ -22,8 +22,9 @@ Concurrency contract:
 from __future__ import annotations
 
 import threading
+import warnings
 import zlib
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.kb.graph import Graph
 from repro.kb.triples import Triple
@@ -44,6 +45,7 @@ class Tenant:
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
         engine_config: EngineConfig | None = None,
+        on_commit: Callable[[Version], None] | None = None,
     ) -> None:
         if not name:
             raise ServiceError("tenant name must be non-empty")
@@ -53,6 +55,29 @@ class Tenant:
         self.engine = RecommenderEngine(
             kb, config=engine_config or EngineConfig(), feedback=feedback
         )
+        # Post-commit hook, invoked under the tenant write lock -- the
+        # durability seam: ``python -m repro serve --persist`` appends each
+        # committed version to the KB's binary store commit log here
+        # (O(delta) fsync, see repro.io.store.BinaryKBStore.sync).  Hook
+        # failures are warnings, not request failures: the commit is
+        # already live in memory, so failing the request would invite the
+        # client to re-commit a duplicate, and a sync-style hook catches
+        # up on every version still missing at its next success.
+        self.on_commit = on_commit
+
+    def _run_commit_hook(self, version: Version) -> None:
+        if self.on_commit is None:
+            return
+        try:
+            self.on_commit(version)
+        except Exception as exc:
+            warnings.warn(
+                f"tenant {self.name!r}: post-commit hook failed for version "
+                f"{version.version_id!r} ({exc}); the version is live in "
+                "memory and will be persisted by the next successful hook run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- users ----------------------------------------------------------------
 
@@ -105,7 +130,9 @@ class Tenant:
     ) -> Version:
         """Commit ``graph`` as the tenant's next version (single writer)."""
         with self.write_lock:
-            return self.kb.commit(graph, version_id=version_id, metadata=metadata)
+            version = self.kb.commit(graph, version_id=version_id, metadata=metadata)
+            self._run_commit_hook(version)
+            return version
 
     def commit_changes(
         self,
@@ -116,9 +143,11 @@ class Tenant:
     ) -> Version:
         """Commit the next version as latest + changes (single writer)."""
         with self.write_lock:
-            return self.kb.commit_changes(
+            version = self.kb.commit_changes(
                 added=added, deleted=deleted, version_id=version_id, metadata=metadata
             )
+            self._run_commit_hook(version)
+            return version
 
     def describe(self) -> Dict[str, object]:
         """JSON-friendly summary (the HTTP front-end's ``/tenants`` view)."""
@@ -175,9 +204,10 @@ class TenantRegistry:
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
         engine_config: EngineConfig | None = None,
+        on_commit: Callable[[Version], None] | None = None,
     ) -> Tenant:
         """Register a tenant; duplicate names are rejected."""
-        tenant = Tenant(name, kb, users, feedback, engine_config)
+        tenant = Tenant(name, kb, users, feedback, engine_config, on_commit)
         with self._lock:
             if name in self._tenants:
                 raise ServiceError(f"duplicate tenant name: {name!r}")

@@ -86,10 +86,18 @@ class RecommendationService:
         kb: VersionedKnowledgeBase,
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
+        on_commit=None,
     ) -> Tenant:
-        """Register a knowledge base (and its users) for serving."""
+        """Register a knowledge base (and its users) for serving.
+
+        ``on_commit`` (optional, one ``Version`` argument) runs after every
+        tenant commit under the tenant write lock -- the persistence seam
+        for the binary store's O(delta) commit-log appends.
+        """
         return self.registry.add(
-            name, kb, users, feedback, engine_config=self.config.engine
+            name, kb, users, feedback,
+            engine_config=self.config.engine,
+            on_commit=on_commit,
         )
 
     def tenant(self, name: str) -> Tenant:

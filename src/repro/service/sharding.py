@@ -68,9 +68,12 @@ from repro.service.errors import (
 from repro.service.registry import TenantRegistry
 from repro.service.service import RecommendationService, ServiceConfig
 
-#: One tenant's spawn payload: (name, kb wire bytes, users JSON bytes,
-#: feedback JSON bytes or None).  Everything here pickles as flat bytes.
-_TenantPayload = Tuple[str, bytes, bytes, Optional[bytes]]
+#: One tenant's spawn payload: (name, kb payload, users JSON bytes,
+#: feedback JSON bytes or None).  The kb payload is either one ``encode_kb``
+#: buffer or a raw on-disk store's ``(base, commit log)`` pair
+#: (:meth:`repro.io.store.BinaryKBStore.bootstrap_payload`) -- either way
+#: everything here pickles as flat bytes.
+_TenantPayload = Tuple[str, object, bytes, Optional[bytes]]
 
 # -- error transport ---------------------------------------------------------------
 #
@@ -153,7 +156,15 @@ def _shard_main(
 
     try:
         for name, kb_bytes, users_bytes, feedback_bytes in payloads:
-            kb = wire.decode_kb(kb_bytes)
+            # Lazy decode either payload shape: bootstrap builds the root
+            # and the head pair's snapshots; middles rematerialise through
+            # delta replay only if a request ever names them.
+            if isinstance(kb_bytes, tuple):
+                from repro.io.store import decode_store_payload
+
+                kb = decode_store_payload(*kb_bytes)
+            else:
+                kb = wire.decode_kb(kb_bytes, lazy=True)
             users = users_from_dicts(json.loads(users_bytes.decode("utf-8")))
             feedback = (
                 feedback_from_dicts(json.loads(feedback_bytes.decode("utf-8")))
@@ -428,6 +439,38 @@ class ShardSupervisor:
         the binary wire format now and travels with its shard's spawn
         payload.
         """
+        return self._register(name, wire.encode_kb(kb), users, feedback)
+
+    def add_tenant_encoded(
+        self,
+        name: str,
+        kb_payload: "bytes | Tuple[bytes, bytes]",
+        users: Iterable[User] = (),
+        feedback: FeedbackStore | None = None,
+    ) -> int:
+        """Register a tenant from already-encoded KB bytes; returns its shard.
+
+        ``kb_payload`` is either one :func:`repro.kb.wire.encode_kb` buffer
+        or a binary store's raw ``(base, commit log)`` pair
+        (:meth:`repro.io.store.BinaryKBStore.bootstrap_payload`).  This is
+        the cold-start fast path of ``python -m repro serve --shards``: the
+        router ships the on-disk bytes verbatim and never decodes or
+        re-encodes a tenant it only routes for.
+        """
+        if isinstance(kb_payload, tuple):
+            base, log = kb_payload
+            kb_payload = (bytes(base), bytes(log))
+        else:
+            kb_payload = bytes(kb_payload)
+        return self._register(name, kb_payload, users, feedback)
+
+    def _register(
+        self,
+        name: str,
+        kb_payload,
+        users: Iterable[User],
+        feedback: FeedbackStore | None,
+    ) -> int:
         if self._started:
             raise ServiceError("tenants must be registered before start()")
         if not name:
@@ -437,7 +480,7 @@ class ShardSupervisor:
         shard = TenantRegistry.shard_of(name, self.shards)
         payload: _TenantPayload = (
             name,
-            wire.encode_kb(kb),
+            kb_payload,
             json.dumps(users_to_dicts(list(users))).encode("utf-8"),
             (
                 json.dumps(feedback_to_dicts(feedback)).encode("utf-8")

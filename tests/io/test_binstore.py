@@ -1,0 +1,431 @@
+"""Store-format suite: the binary on-disk KB store round-trips bit-identically.
+
+Save/load/commit-append must reproduce the exact interned state -- term
+ids, recorded deltas, downstream measure results and recommendations --
+including after ``compact()``; corrupted or truncated files must fail
+loudly with :class:`WireFormatError`; and ``convert_kb`` must move a KB
+between the ``.nt`` and binary layouts losslessly in both directions.
+"""
+
+import pytest
+
+from repro.io import (
+    BinaryKBStore,
+    convert_kb,
+    decode_store_payload,
+    load_kb,
+    save_kb,
+)
+from repro.io.store import BASE_FILE, LOG_FILE
+from repro.io.storage import package_to_dict
+from repro.kb import wire
+from repro.kb.errors import WireFormatError
+from repro.kb.graph import Graph
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+from repro.kb.version import VersionedKnowledgeBase
+from repro.measures.base import EvolutionContext
+from repro.measures.catalog import default_catalog
+from repro.profiles.user import InterestProfile, User
+from repro.recommender.engine import EngineConfig, RecommenderEngine
+from repro.synthetic.world import generate_world
+
+
+def _kb() -> VersionedKnowledgeBase:
+    kb = VersionedKnowledgeBase("demo")
+    kb.commit(
+        Graph(
+            [
+                Triple(EX.Person, RDF_TYPE, RDFS_CLASS),
+                Triple(EX.ada, RDF_TYPE, EX.Person),
+                Triple(EX.ada, EX.name, Literal('Ada "the first"')),
+            ]
+        ),
+        version_id="v1",
+        metadata={"author": "x"},
+    )
+    kb.commit_changes(
+        added=[Triple(EX.bob, RDF_TYPE, EX.Person)],
+        deleted=[Triple(EX.ada, EX.name, Literal('Ada "the first"'))],
+        version_id="v2",
+    )
+    kb.commit_changes(
+        added=[Triple(EX.eve, RDF_TYPE, EX.Person), Triple(EX.eve, EX.name, Literal("Eve"))],
+        version_id="v3",
+        metadata={"note": "growth"},
+    )
+    return kb
+
+
+def _assert_chains_identical(a: VersionedKnowledgeBase, b: VersionedKnowledgeBase):
+    assert a.name == b.name
+    assert a.version_ids() == b.version_ids()
+    assert wire.dictionaries_identical(
+        a.first().graph.dictionary, b.first().graph.dictionary
+    )
+    for va, vb in zip(a, b):
+        assert va.metadata == vb.metadata
+        assert va.graph == vb.graph
+        da, db = va.delta_from_parent(), vb.delta_from_parent()
+        if da is None:
+            assert db is None
+        else:
+            assert set(da.added) == set(db.added)
+            assert set(da.deleted) == set(db.deleted)
+
+
+class TestSaveLoadRoundTrip:
+    def test_bit_identical(self, tmp_path):
+        kb = _kb()
+        save_kb(kb, tmp_path / "store", format="binary")
+        assert BinaryKBStore.is_store(tmp_path / "store")
+        _assert_chains_identical(kb, load_kb(tmp_path / "store"))
+
+    def test_lazy_load_materialises_root_and_head_pair_only(self, tmp_path):
+        world = generate_world(seed=5, n_classes=25, n_versions=5, n_users=3)
+        save_kb(world.kb, tmp_path / "store", format="binary")
+        loaded = load_kb(tmp_path / "store")
+        flags = [v.is_materialized for v in loaded]
+        assert flags == [True, False, False, True, True]
+        # Middle versions rematerialise transparently and identically.
+        for original, replica in zip(world.kb, loaded):
+            assert original.graph == replica.graph
+
+    def test_eager_load(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        loaded = load_kb(tmp_path / "store", lazy=False)
+        assert all(v.is_materialized for v in loaded)
+
+    def test_compacted_chain_round_trips(self, tmp_path):
+        kb = _kb()
+        kb.compact()
+        save_kb(kb, tmp_path / "store", format="binary")
+        _assert_chains_identical(_kb(), load_kb(tmp_path / "store"))
+
+    def test_downstream_results_bit_identical(self, tmp_path):
+        world = generate_world(seed=7, n_classes=30, n_versions=3, n_users=4)
+        save_kb(world.kb, tmp_path / "store", format="binary")
+        replica = load_kb(tmp_path / "store")
+        catalog = default_catalog()
+        original = catalog.compute_all(
+            EvolutionContext(list(world.kb)[-2], list(world.kb)[-1])
+        )
+        decoded = catalog.compute_all(
+            EvolutionContext(list(replica)[-2], list(replica)[-1])
+        )
+        assert {name: result.scores for name, result in original.items()} == {
+            name: result.scores for name, result in decoded.items()
+        }
+        user = world.users[0]
+        config = EngineConfig(k=5, spread_depth=1)
+        package_a = RecommenderEngine(world.kb, config=config).recommend(user)
+        package_b = RecommenderEngine(replica, config=config).recommend(user)
+        assert package_to_dict(package_a) == package_to_dict(package_b)
+
+    def test_save_kb_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown KB format"):
+            save_kb(_kb(), tmp_path / "store", format="parquet")
+
+    def test_load_kb_reports_both_layouts_in_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest.json or kb.rpw"):
+            load_kb(tmp_path)
+
+
+class TestCommitLogAppend:
+    def test_sync_appends_without_rewriting_base(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        base_bytes = (tmp_path / "store" / BASE_FILE).read_bytes()
+        kb.commit_changes(
+            added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4"
+        )
+        kb.commit_changes(
+            deleted=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v5"
+        )
+        assert store.sync(kb) == 2
+        assert store.sync(kb) == 0  # idempotent
+        assert (tmp_path / "store" / BASE_FILE).read_bytes() == base_bytes
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size > 0
+        _assert_chains_identical(kb, load_kb(tmp_path / "store"))
+
+    def test_append_preserves_new_terms(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(
+            added=[Triple(EX.fresh, EX.brand_new_prop, Literal("né", language="fr"))],
+            version_id="v4",
+        )
+        store.sync(kb)
+        _assert_chains_identical(kb, load_kb(tmp_path / "store"))
+
+    def test_open_then_load_then_sync(self, tmp_path):
+        BinaryKBStore.save(_kb(), tmp_path / "store")
+        store = BinaryKBStore.open(tmp_path / "store")
+        kb = store.load()
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        assert store.sync(kb) == 1
+        assert load_kb(tmp_path / "store").version_ids() == ["v1", "v2", "v3", "v4"]
+
+    def test_sync_requires_cursor(self, tmp_path):
+        BinaryKBStore.save(_kb(), tmp_path / "store")
+        fresh_handle = BinaryKBStore.open(tmp_path / "store")
+        with pytest.raises(WireFormatError, match="cursor"):
+            fresh_handle.sync(_kb())
+
+    def test_sync_rejects_non_prefix_chain(self, tmp_path):
+        store = BinaryKBStore.save(_kb(), tmp_path / "store")
+        other = VersionedKnowledgeBase("demo")
+        other.commit(Graph(), version_id="different_root")
+        with pytest.raises(WireFormatError, match="not a prefix"):
+            store.sync(other)
+
+    def test_describe_reads_headers_only(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        name, ids = BinaryKBStore.open(tmp_path / "store").describe()
+        assert name == "demo"
+        assert ids == ["v1", "v2", "v3", "v4"]
+
+    def test_describe_tolerates_a_torn_log_tail(self, tmp_path):
+        # The sharded serve path calls describe() on the raw bytes before
+        # any load-time vetting: it must not refuse a store the load path
+        # would recover.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        kb.commit_changes(added=[Triple(EX.max, RDF_TYPE, EX.Person)], version_id="v5")
+        store.sync(kb)
+        log = tmp_path / "store" / LOG_FILE
+        log.write_bytes(log.read_bytes()[:-7])  # tear the v5 record
+        _, ids = BinaryKBStore.open(tmp_path / "store").describe()
+        assert ids == ["v1", "v2", "v3", "v4"]
+
+    def test_describe_ignores_a_stale_log(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        stale_log = (tmp_path / "store" / LOG_FILE).read_bytes()
+        BinaryKBStore.save(kb, tmp_path / "store")
+        (tmp_path / "store" / LOG_FILE).write_bytes(stale_log)
+        _, ids = BinaryKBStore.open(tmp_path / "store").describe()
+        assert ids == ["v1", "v2", "v3", "v4"]
+
+    def test_log_replay_warms_the_true_head_pair(self, tmp_path):
+        # The head-pair snapshots must track the chain's real head after
+        # the log replay, not the base payload's head -- a restarted
+        # --persist deployment must serve its first request with zero
+        # delta replay regardless of log length.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        for i in range(4):
+            kb.commit_changes(
+                added=[Triple(EX[f"inst{i}"], RDF_TYPE, EX.Person)],
+                version_id=f"v_log{i}",
+            )
+        store.sync(kb)
+        loaded = load_kb(tmp_path / "store")
+        flags = {v.version_id: v.is_materialized for v in loaded}
+        assert flags["v_log3"] and flags["v_log2"]  # true head pair
+        assert not flags["v_log0"] and not flags["v_log1"]  # lazy tail
+        assert not flags["v2"] and not flags["v3"]  # base head is lazy too
+        assert flags["v1"]  # root anchors the delta chain
+        _assert_chains_identical(kb, loaded)
+
+    def test_bootstrap_payload_decodes_identically(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        replica = decode_store_payload(*store.bootstrap_payload())
+        _assert_chains_identical(kb, replica)
+
+    def test_resave_truncates_stale_log(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        BinaryKBStore.save(kb, tmp_path / "store")  # base now holds v1..v4
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+        assert load_kb(tmp_path / "store").version_ids() == ["v1", "v2", "v3", "v4"]
+
+
+class TestCorruption:
+    def test_truncated_base_raises(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        base = tmp_path / "store" / BASE_FILE
+        base.write_bytes(base.read_bytes()[: base.stat().st_size // 2])
+        with pytest.raises(WireFormatError):
+            load_kb(tmp_path / "store")
+
+    def test_torn_log_tail_recovers_the_intact_prefix(self, tmp_path):
+        # A crash between write and fsync tears the final record: the load
+        # must warn, replay everything before it, and truncate the file so
+        # later appends chain onto intact records.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        intact = (tmp_path / "store" / LOG_FILE).read_bytes()
+        kb.commit_changes(added=[Triple(EX.max, RDF_TYPE, EX.Person)], version_id="v5")
+        store.sync(kb)
+        log = tmp_path / "store" / LOG_FILE
+        log.write_bytes(log.read_bytes()[:-7])  # tear the v5 record
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            loaded = load_kb(tmp_path / "store")
+        assert loaded.version_ids() == ["v1", "v2", "v3", "v4"]
+        assert log.read_bytes() == intact  # file truncated to the prefix
+        # A later load is clean (no warning) and appends chain correctly.
+        reloaded = BinaryKBStore.open(tmp_path / "store")
+        kb2 = reloaded.load()
+        kb2.commit_changes(added=[Triple(EX.eve2, RDF_TYPE, EX.Person)], version_id="v5b")
+        reloaded.sync(kb2)
+        assert load_kb(tmp_path / "store").version_ids() == ["v1", "v2", "v3", "v4", "v5b"]
+
+    def test_torn_only_record_recovers_to_base(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        log = tmp_path / "store" / LOG_FILE
+        log.write_bytes(log.read_bytes()[:-7])
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            loaded = load_kb(tmp_path / "store")
+        assert loaded.version_ids() == ["v1", "v2", "v3"]
+        assert log.stat().st_size == 0
+
+    def test_stale_log_after_interrupted_save_is_discarded(self, tmp_path):
+        # Crash window in save(): new base replaced, old log not yet
+        # truncated.  The stale records' versions are already inside the
+        # new base, so the load must discard the log, not refuse to boot.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4")
+        store.sync(kb)
+        stale_log = (tmp_path / "store" / LOG_FILE).read_bytes()
+        BinaryKBStore.save(kb, tmp_path / "store")  # new base holds v1..v4
+        (tmp_path / "store" / LOG_FILE).write_bytes(stale_log)  # simulate the crash
+        with pytest.warns(RuntimeWarning, match="does not chain"):
+            loaded = load_kb(tmp_path / "store")
+        assert loaded.version_ids() == ["v1", "v2", "v3", "v4"]
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+        _assert_chains_identical(kb, loaded)
+
+    def test_garbage_magic_raises(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        base = tmp_path / "store" / BASE_FILE
+        base.write_bytes(b"XXXX" + base.read_bytes()[4:])
+        with pytest.raises(WireFormatError, match="bad magic"):
+            load_kb(tmp_path / "store")
+
+    def test_empty_base_raises(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        (tmp_path / "store" / BASE_FILE).write_bytes(b"")
+        with pytest.raises(WireFormatError, match="empty store base"):
+            load_kb(tmp_path / "store")
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            BinaryKBStore.open(tmp_path)
+
+
+class TestConvert:
+    def test_nt_to_binary_to_nt_is_lossless(self, tmp_path):
+        kb = _kb()
+        save_kb(kb, tmp_path / "nt")
+        convert_kb(tmp_path / "nt", tmp_path / "bin", to="binary")
+        convert_kb(tmp_path / "bin", tmp_path / "nt2", to="nt")
+        _assert_chains_identical(kb, load_kb(tmp_path / "bin"))
+        _assert_chains_identical(kb, load_kb(tmp_path / "nt2"))
+        # The .nt round-trip is byte-identical file by file.
+        for source in sorted((tmp_path / "nt").iterdir()):
+            assert source.read_bytes() == (tmp_path / "nt2" / source.name).read_bytes()
+
+    def test_convert_recommendations_identical(self, tmp_path):
+        world = generate_world(seed=9, n_classes=25, n_versions=3, n_users=3)
+        save_kb(world.kb, tmp_path / "nt")
+        convert_kb(tmp_path / "nt", tmp_path / "bin", to="binary")
+        config = EngineConfig(k=5, spread_depth=1)
+        user = world.users[0]
+        from_nt = RecommenderEngine(load_kb(tmp_path / "nt"), config=config).recommend(user)
+        from_bin = RecommenderEngine(load_kb(tmp_path / "bin"), config=config).recommend(user)
+        assert package_to_dict(from_nt) == package_to_dict(from_bin)
+
+    def test_same_directory_rejected(self, tmp_path):
+        save_kb(_kb(), tmp_path / "kb")
+        with pytest.raises(ValueError, match="distinct"):
+            convert_kb(tmp_path / "kb", tmp_path / "kb")
+
+    def test_saving_one_layout_evicts_the_other(self, tmp_path):
+        # A directory holds exactly one layout: writing .nt over a binary
+        # store must not leave a stale kb.rpw winning auto-detection (and
+        # vice versa for a stale manifest).
+        kb = _kb()
+        target = tmp_path / "kb"
+        save_kb(kb, target, format="binary")
+        other = VersionedKnowledgeBase("other")
+        other.commit(Graph([Triple(EX.only, RDF_TYPE, RDFS_CLASS)]), version_id="o1")
+        save_kb(other, target)  # nt layout over the binary store
+        assert not (target / BASE_FILE).exists()
+        assert load_kb(target).name == "other"
+        save_kb(kb, target, format="binary")  # and back
+        assert not (target / "manifest.json").exists()
+        assert list(target.glob("*.nt")) == []  # no orphaned version files
+        assert load_kb(target).name == "demo"
+
+    def test_unknown_target_format_rejected(self, tmp_path):
+        save_kb(_kb(), tmp_path / "kb")
+        with pytest.raises(ValueError, match="unknown KB format"):
+            convert_kb(tmp_path / "kb", tmp_path / "out", to="xml")
+
+
+class TestTenantPersistenceHook:
+    def test_on_commit_appends_to_store(self, tmp_path):
+        from repro.service.registry import Tenant
+
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        users = [User("u1", InterestProfile(class_weights={EX.Person: 1.0}))]
+        tenant = Tenant(
+            "demo", kb, users, on_commit=lambda version: store.sync(kb)
+        )
+        tenant.commit_changes(
+            added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v_live"
+        )
+        reloaded = load_kb(tmp_path / "store")
+        assert reloaded.version_ids() == ["v1", "v2", "v3", "v_live"]
+        _assert_chains_identical(kb, reloaded)
+
+    def test_failing_hook_warns_and_the_next_sync_catches_up(self, tmp_path):
+        # A persistence failure must not fail the request: the commit is
+        # already live in memory, and sync() appends every version still
+        # missing from disk once it succeeds again.
+        from repro.service.registry import Tenant
+
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        fail = {"on": True}
+
+        def hook(version):
+            if fail["on"]:
+                raise OSError("disk full")
+            store.sync(kb)
+
+        tenant = Tenant("demo", kb, on_commit=hook)
+        with pytest.warns(RuntimeWarning, match="post-commit hook failed"):
+            version = tenant.commit_changes(
+                added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v_lost"
+            )
+        assert version.version_id == "v_lost"  # commit itself succeeded
+        assert load_kb(tmp_path / "store").version_ids() == ["v1", "v2", "v3"]
+        fail["on"] = False
+        tenant.commit_changes(
+            added=[Triple(EX.max, RDF_TYPE, EX.Person)], version_id="v_next"
+        )
+        assert load_kb(tmp_path / "store").version_ids() == [
+            "v1", "v2", "v3", "v_lost", "v_next",
+        ]

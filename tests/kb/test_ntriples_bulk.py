@@ -1,0 +1,254 @@
+"""Differential tests: the bulk N-Triples codec vs the reference cursor parser.
+
+The bulk pipeline (single regex scan, token dedup, batch interning) must be
+*observationally identical* to the original character-cursor parser kept as
+``_parse_slow``: same triples in the same order, same errors with the same
+line numbers, and byte-identical canonical serialisation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.errors import ParseError
+from repro.kb.graph import Graph
+from repro.kb.interning import TermDictionary
+from repro.kb.namespaces import EX, XSD
+from repro.kb.ntriples import (
+    _parse_slow,
+    parse,
+    parse_graph,
+    parse_interned,
+    serialize,
+    serialize_interned,
+)
+from repro.kb.terms import BNode, IRI, Literal
+from repro.kb.triples import Triple
+
+
+def _assert_same_as_slow(document: str) -> None:
+    assert list(parse(document)) == list(_parse_slow(document))
+
+
+class TestBulkMatchesSlowParser:
+    def test_order_and_duplicates_preserved(self):
+        doc = (
+            "<http://x/b> <http://x/p> <http://x/a> .\n"
+            "<http://x/a> <http://x/p> <http://x/b> .\n"
+            "<http://x/b> <http://x/p> <http://x/a> .\n"
+        )
+        triples = list(parse(doc))
+        assert len(triples) == 3
+        assert triples[0] == triples[2]
+        _assert_same_as_slow(doc)
+
+    def test_comments_blank_lines_crlf(self):
+        doc = (
+            "# leading comment\r\n"
+            "\r\n"
+            "   \t\n"
+            "  # indented comment with <junk> \"inside\" .\n"
+            "<http://x/a> <http://x/p> <http://x/b> .\r\n"
+            "\t<http://x/a>\t<http://x/p>\t\"tabbed\"  .  \r\n"
+        )
+        assert len(list(parse(doc))) == 2
+        _assert_same_as_slow(doc)
+
+    def test_escapes(self):
+        doc = '<http://x/a> <http://x/p> "line1\\nline2\\t\\"q\\"\\r\\\\" .'
+        (t,) = parse(doc)
+        assert t.object == Literal('line1\nline2\t"q"\r\\')
+        _assert_same_as_slow(doc)
+
+    def test_unicode_escapes(self):
+        doc = (
+            '<http://x/a> <http://x/p> "\\u00e9" .\n'
+            '<http://x/a> <http://x/p> "\\U0001F600" .\n'
+        )
+        objects = [t.object for t in parse(doc)]
+        assert objects == [Literal("é"), Literal("😀")]
+        _assert_same_as_slow(doc)
+
+    def test_unicode_line_separators_inside_literals(self):
+        # NEL, LINE SEPARATOR, PARAGRAPH SEPARATOR are legal *inside*
+        # literals: they must not split the line in either parser.
+        for sep in ("\x85", "\u2028", "\u2029"):
+            doc = f'<http://x/a> <http://x/p> "before{sep}after" .'
+            (t,) = parse(doc)
+            assert t.object == Literal(f"before{sep}after")
+            _assert_same_as_slow(doc)
+
+    def test_language_tags(self):
+        doc = '<http://x/a> <http://x/p> "chat"@fr .\n<http://x/a> <http://x/p> "hi"@en-GB .'
+        tags = [t.object.language for t in parse(doc)]
+        assert tags == ["fr", "en-GB"]
+        _assert_same_as_slow(doc)
+
+    def test_unicode_language_tag_falls_back_to_slow_path(self):
+        # The bulk grammar is ASCII-only for tags; the cursor parser accepts
+        # unicode alphanumerics, and the fallback must preserve that.
+        doc = '<http://x/a> <http://x/p> "x"@é .'
+        (t,) = parse(doc)
+        assert t.object == Literal("x", language="é")
+        _assert_same_as_slow(doc)
+
+    def test_typed_literals(self):
+        doc = '<http://x/a> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (t,) = parse(doc)
+        assert t.object == Literal("42", datatype=XSD.integer)
+        _assert_same_as_slow(doc)
+
+    def test_bnodes(self):
+        doc = "_:b0 <http://x/p> _:b-1_x ."
+        (t,) = parse(doc)
+        assert t.subject == BNode("b0") and t.object == BNode("b-1_x")
+        _assert_same_as_slow(doc)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/a> <http://x/p> <http://x/b>",  # missing dot
+            '"lit" <http://x/p> <http://x/b> .',  # literal subject
+            "<http://x/a> _:b <http://x/b> .",  # bnode predicate
+            "<http://x/a> <http://x/p> .",  # missing object
+            "<http://x/a> <http://x/p> <http://x/b> . extra",  # trailing junk
+            "<http://x/a> <http://x/p> \"open .",  # unterminated literal
+            "<> <http://x/p> <http://x/b> .",  # empty IRI
+            '<http://x/a> <http://x/p> "x"@ .',  # empty language tag
+            '<http://x/a> <http://x/p> "x"^^<http://x/t .',  # unterminated datatype
+            '<http://x/a> <http://x/p> "bad\\escape" .',  # unknown escape
+            '<http://x/a> <http://x/p> "\\uZZZZ" .',  # bad unicode escape digits
+        ],
+    )
+    def test_malformed_lines_raise_in_both_parsers(self, bad):
+        with pytest.raises(ParseError):
+            list(parse(bad))
+        with pytest.raises(ParseError):
+            list(_parse_slow(bad))
+
+    def test_line_numbers_match_the_slow_parser(self):
+        doc = (
+            "<http://x/a> <http://x/p> <http://x/b> .\n"
+            "# fine\n"
+            "broken line\n"
+        )
+        with pytest.raises(ParseError) as bulk_err:
+            list(parse(doc))
+        with pytest.raises(ParseError) as slow_err:
+            list(_parse_slow(doc))
+        assert bulk_err.value.line_no == slow_err.value.line_no == 3
+
+    def test_error_on_last_line_without_newline(self):
+        doc = "<http://x/a> <http://x/p> <http://x/b> .\nnope"
+        with pytest.raises(ParseError) as err:
+            list(parse(doc))
+        assert err.value.line_no == 2
+
+    def test_parse_interned_raises_too(self):
+        with pytest.raises(ParseError):
+            parse_interned("garbage", TermDictionary())
+
+
+class TestSerializeByteIdentity:
+    def test_graph_fast_path_matches_per_triple_composition(self):
+        graph = Graph(
+            [
+                Triple(EX.b, EX.p, Literal('he said "hi"\n')),
+                Triple(EX.a, EX.p, EX.b),
+                Triple(BNode("n0"), EX.q, Literal("chat", language="fr")),
+                Triple(EX.a, EX.q, Literal("42", datatype=XSD.integer)),
+            ]
+        )
+        old_style = "\n".join(sorted(t.n3() for t in graph)) + "\n"
+        assert serialize(graph) == old_style
+        assert serialize(list(graph)) == old_style
+
+    def test_serialize_interned_unsorted(self):
+        d = TermDictionary()
+        keys = [d.intern_triple(Triple(EX.b, EX.p, EX.o)), d.intern_triple(Triple(EX.a, EX.p, EX.o))]
+        unsorted = serialize_interned(keys, d, sort=False)
+        assert unsorted.splitlines()[0].startswith("<http://example.org/b>")
+        assert serialize_interned(keys, d) == serialize(
+            [Triple(EX.b, EX.p, EX.o), Triple(EX.a, EX.p, EX.o)]
+        )
+
+    def test_empty(self):
+        assert serialize(Graph()) == ""
+        assert serialize_interned([], TermDictionary()) == ""
+
+
+class TestParseInterned:
+    def test_returns_id_triples(self):
+        d = TermDictionary()
+        keys = parse_interned(
+            "<http://x/a> <http://x/p> <http://x/b> .\n"
+            "<http://x/a> <http://x/p> \"lit\" .",
+            d,
+        )
+        assert isinstance(keys, np.ndarray)
+        assert keys.shape == (2, 3)
+        assert d.term(int(keys[0][0])) == IRI("http://x/a")
+        assert d.term(int(keys[1][2])) == Literal("lit")
+        # Shared subject/predicate tokens intern to the same ids.
+        assert keys[0][0] == keys[1][0] and keys[0][1] == keys[1][1]
+
+    def test_duplicates_keep_document_order(self):
+        d = TermDictionary()
+        keys = parse_interned(
+            "<http://x/a> <http://x/p> <http://x/b> .\n"
+            "<http://x/a> <http://x/p> <http://x/b> .",
+            d,
+        )
+        assert keys.shape == (2, 3)
+        assert (keys[0] == keys[1]).all()
+
+    def test_parse_graph_uses_given_dictionary(self):
+        d = TermDictionary()
+        g1 = parse_graph("<http://x/a> <http://x/p> <http://x/b> .", dictionary=d)
+        g2 = parse_graph("<http://x/a> <http://x/p> <http://x/c> .", dictionary=d)
+        assert g1.dictionary is d and g2.dictionary is d
+        # Shared dictionary keeps graph algebra on the integer fast path.
+        assert len(g2.difference(g1)) == 1
+
+
+# -- property-based differential suite ---------------------------------------------
+
+_text = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",), min_codepoint=0x20),
+    max_size=30,
+)
+# Include the unicode line separators explicitly: they are the regression
+# the bulk grammar most plausibly reintroduces.
+_sep_text = st.tuples(_text, st.sampled_from(["\x85", "\u2028", "\u2029"]), _text).map(
+    lambda parts: parts[0] + parts[1] + parts[2]
+)
+_iris = st.integers(0, 20).map(lambda i: EX[f"r{i}"])
+_literals = st.one_of(
+    _text.map(Literal),
+    _sep_text.map(Literal),
+    st.integers(-1000, 1000).map(lambda n: Literal(str(n), datatype=XSD.integer)),
+    _text.map(lambda s: Literal(s, language="en")),
+)
+_subjects = st.one_of(_iris, st.integers(0, 5).map(lambda i: BNode(f"b{i}")))
+_objects = st.one_of(_iris, _literals)
+_triples = st.builds(Triple, _subjects, _iris, _objects)
+
+
+@settings(max_examples=150, deadline=None)
+@given(triples=st.lists(_triples, max_size=25))
+def test_bulk_parse_equals_slow_parse(triples):
+    doc = serialize(triples, sort=False)
+    assert list(parse(doc)) == list(_parse_slow(doc)) == triples
+
+
+@settings(max_examples=100, deadline=None)
+@given(triples=st.sets(_triples, max_size=25))
+def test_graph_serialisation_is_canonical_and_roundtrips(triples):
+    graph = Graph(triples)
+    doc = serialize(graph)
+    assert doc == "\n".join(sorted(t.n3() for t in graph)) + ("\n" if triples else "")
+    assert set(parse(doc)) == triples
+    assert serialize(parse_graph(doc)) == doc

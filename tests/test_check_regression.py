@@ -216,3 +216,49 @@ class TestMain:
         verdicts = gate.compare_reports(baseline, baseline, tolerance=2.0)
         assert verdicts and all(v.ok for v in verdicts)
         assert "service" in baseline  # serving numbers landed next to the means
+
+
+class TestColdBootGate:
+    def test_ratio_above_floor_passes(self, gate):
+        (verdict,) = gate.check_cold_boot(
+            _report(cold_boot_nt=100.0, cold_boot_binary=20.0), min_ratio=1.3
+        )
+        assert verdict.ok
+        assert verdict.ratio == pytest.approx(5.0)
+
+    def test_ratio_below_floor_fails(self, gate):
+        (verdict,) = gate.check_cold_boot(
+            _report(cold_boot_nt=100.0, cold_boot_binary=90.0), min_ratio=1.3
+        )
+        assert not verdict.ok
+        assert "floor" in verdict.note
+
+    def test_both_missing_yields_no_verdict(self, gate):
+        assert gate.check_cold_boot(_report(other=1.0), min_ratio=1.3) == []
+
+    def test_one_side_missing_fails(self, gate):
+        (verdict,) = gate.check_cold_boot(
+            _report(cold_boot_nt=100.0), min_ratio=1.3
+        )
+        assert not verdict.ok
+        assert "missing" in verdict.note
+
+    def test_invalid_floor_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.check_cold_boot(_report(), min_ratio=0.0)
+
+    def test_main_wires_the_gate(self, gate, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        report = _report(cold_boot_nt=100.0, cold_boot_binary=90.0)
+        baseline.write_text(json.dumps(report))
+        fresh.write_text(json.dumps(report))
+        code = gate.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cold_boot_speedup" in out
+        # A higher ratio or an explicit lower floor passes.
+        assert gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh),
+             "--cold-boot-min-ratio", "1.05"]
+        ) == 0

@@ -115,3 +115,79 @@ class TestParser:
         save_kb(kb, tmp_path / "kb1")
         with pytest.raises(SystemExit, match="two versions"):
             main(["measures", "--kb", str(tmp_path / "kb1")])
+
+
+class TestConvert:
+    def test_convert_to_binary_and_back(self, world_dir, tmp_path, capsys):
+        assert main(
+            ["convert", "--src", str(world_dir / "kb"), "--out", str(tmp_path / "bin")]
+        ) == 0
+        assert "binary layout" in capsys.readouterr().out
+        assert (tmp_path / "bin" / "kb.rpw").exists()
+        assert main(
+            [
+                "convert",
+                "--src", str(tmp_path / "bin"),
+                "--out", str(tmp_path / "nt"),
+                "--to", "nt",
+            ]
+        ) == 0
+        from repro.io import load_kb
+        from repro.kb import wire
+
+        original = load_kb(world_dir / "kb")
+        binary = load_kb(tmp_path / "bin")
+        back = load_kb(tmp_path / "nt")
+        assert original.version_ids() == binary.version_ids() == back.version_ids()
+        assert wire.dictionaries_identical(
+            original.first().graph.dictionary, binary.first().graph.dictionary
+        )
+        for a, b, c in zip(original, binary, back):
+            assert a.graph == b.graph == c.graph
+
+    def test_same_directory_rejected(self, world_dir):
+        with pytest.raises(SystemExit, match="distinct"):
+            main(
+                [
+                    "convert",
+                    "--src", str(world_dir / "kb"),
+                    "--out", str(world_dir / "kb"),
+                ]
+            )
+
+    def test_corrupt_store_reports_clean_error(self, world_dir, tmp_path):
+        assert main(
+            ["convert", "--src", str(world_dir / "kb"), "--out", str(tmp_path / "bin")]
+        ) == 0
+        base = tmp_path / "bin" / "kb.rpw"
+        base.write_bytes(base.read_bytes()[: base.stat().st_size // 2])
+        with pytest.raises(SystemExit, match="error:"):
+            main(
+                ["convert", "--src", str(tmp_path / "bin"), "--out", str(tmp_path / "x")]
+            )
+
+    def test_measures_work_on_binary_store(self, world_dir, tmp_path, capsys):
+        assert main(
+            ["convert", "--src", str(world_dir / "kb"), "--out", str(tmp_path / "bin")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["measures", "--kb", str(tmp_path / "bin")]) == 0
+        assert "class_change_count" in capsys.readouterr().out
+
+
+class TestGenerateBinaryFormat:
+    def test_generate_binary_layout(self, tmp_path, capsys):
+        assert main(
+            [
+                "generate",
+                "--out", str(tmp_path / "w"),
+                "--seed", "3",
+                "--classes", "20",
+                "--versions", "2",
+                "--users", "2",
+                "--format", "binary",
+            ]
+        ) == 0
+        assert "(binary layout)" in capsys.readouterr().out
+        assert (tmp_path / "w" / "kb" / "kb.rpw").exists()
+        assert not (tmp_path / "w" / "kb" / "manifest.json").exists()
