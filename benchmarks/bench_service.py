@@ -32,10 +32,25 @@ verifies that the two topologies returned bit-identical responses::
     PYTHONPATH=src python benchmarks/bench_service.py --shards 4
     PYTHONPATH=src python benchmarks/bench_service.py --shards 2 --quick
 
-The report *merges* a ``"service"`` (or ``"service_sharded"``) section
-into the target JSON (the substrate report of ``run_bench.py``), so one
-``BENCH_substrate.json`` carries the substrate micro-benchmarks and the
-serving numbers::
+With ``--replicas R`` (on top of ``--shards``) the harness benchmarks the
+**replicated topology** under a *skewed* tenant mix: request tenants are
+drawn from a deterministic Zipf table (``--skew zipf:A``, default
+``zipf:1.1``), so one tenant is hot -- exactly the workload the sharded
+plane cannot scale (a tenant lives on one shard process) and the
+zero-copy shared-memory replicas of :mod:`repro.service.replica` exist
+for.  The same skewed schedule runs once against the owner-only topology
+(``replicas=0``) and once with R read replicas per tenant; the merged
+``"service_replicated"`` section records both sides, the per-level
+speedup, the hot tenant's request share, ``cpu_count``, and that
+replicated responses were bit-identical to a single-process service::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --shards 2 --replicas 2
+    PYTHONPATH=src python benchmarks/bench_service.py --shards 2 --replicas 1 --quick
+
+The report *merges* a ``"service"`` (or ``"service_sharded"`` /
+``"service_replicated"``) section into the target JSON (the substrate
+report of ``run_bench.py``), so one ``BENCH_substrate.json`` carries the
+substrate micro-benchmarks and the serving numbers::
 
     {
       ...,
@@ -64,6 +79,7 @@ import argparse
 import json
 import os
 import platform
+import random
 import statistics
 import sys
 import threading
@@ -538,6 +554,181 @@ def run_sharded(
     return section
 
 
+# -- replicated topology under a skewed (hot-tenant) mix ---------------------------
+
+
+def parse_skew(spec: str) -> float:
+    """``zipf:A`` -> the Zipf exponent ``A`` (> 0)."""
+    kind, _, raw = spec.partition(":")
+    if kind != "zipf" or not raw:
+        raise SystemExit(f"--skew must look like zipf:A (e.g. zipf:1.1), got {spec!r}")
+    try:
+        exponent = float(raw)
+    except ValueError:
+        raise SystemExit(f"--skew exponent must be a number, got {raw!r}") from None
+    if exponent <= 0:
+        raise SystemExit(f"--skew exponent must be > 0, got {exponent}")
+    return exponent
+
+
+def _zipf_schedule(
+    names: Sequence[str], user_ids: Sequence[str], exponent: float, table_size: int = 4096
+) -> Tuple[Schedule, str, float]:
+    """A deterministic Zipf-skewed schedule over the tenant fleet.
+
+    Tenant ranks follow sorted name order (rank r gets weight
+    ``1 / (r + 1) ** exponent``); the draw sequence is one precomputed
+    ``random.Random(WORLD_SEED).choices`` table, indexed by a per-client
+    stride -- every run, process and topology sees byte-for-byte the same
+    request stream.  Returns ``(schedule, hot_tenant, hot_share)``.
+    """
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(names))]
+    table = random.Random(WORLD_SEED).choices(range(len(names)), weights, k=table_size)
+    hot_share = table.count(0) / len(table)
+
+    def schedule(client_index: int, i: int) -> Tuple[str, str]:
+        step = client_index * 131 + i  # coprime stride: clients walk distinct slices
+        return names[table[step % len(table)]], user_ids[step % len(user_ids)]
+
+    return schedule, names[0], hot_share
+
+
+def run_replicated(
+    output: Path,
+    shards: int,
+    replicas: int,
+    skew: str = "zipf:1.1",
+    clients: List[int] | None = None,
+    requests_per_client: int = 60,
+    workers: int = 4,
+    warmup_per_tenant: int = 4,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    """Benchmark owner-only vs replicated serving under a hot-tenant mix.
+
+    Both topologies are sharded (``shards`` processes); the replicated one
+    additionally runs ``replicas`` read-only processes per tenant.  The
+    schedule is Zipf-skewed so tenant rank 0 dominates -- the single-owner
+    bottleneck replicas are built to break.  Warmup is scaled by
+    ``1 + replicas`` so round-robin routing warms every replica's
+    per-context caches, not just the owner's.
+    """
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    if replicas < 1:
+        raise SystemExit(f"--replicas must be >= 1, got {replicas}")
+    exponent = parse_skew(skew)
+    levels = list(clients or DEFAULT_CLIENT_LEVELS)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    per_shard = 1 if quick else 2
+    if quick:
+        requests_per_client = min(requests_per_client, 5)
+        warmup_per_tenant = min(warmup_per_tenant, 2)
+
+    world = generate_world(seed=WORLD_SEED, config=config)
+    kb_bytes = wire.encode_kb(world.kb)
+    names = _tenant_names(shards, per_shard)
+    user_ids = [user.user_id for user in world.users]
+    schedule, hot_tenant, hot_share = _zipf_schedule(names, user_ids, exponent)
+    service_config = ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+
+    def make_single():
+        service = RecommendationService(service_config)
+        for name in names:
+            service.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+
+        def recommend(tenant: str, user_id: str) -> Dict:
+            return package_to_dict(service.recommend(tenant, user_id))
+
+        return recommend, service.close
+
+    def make_topology(n_replicas: int):
+        def make():
+            supervisor = ShardSupervisor(
+                shards=shards, config=service_config, replicas=n_replicas
+            )
+            for name in names:
+                supervisor.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+            supervisor.start()
+            return supervisor.recommend, supervisor.close
+
+        return make
+
+    print(
+        f"replicated bench: {shards} shards + {replicas} replicas/tenant, "
+        f"{len(names)} tenants, skew {skew} (hot tenant {hot_tenant!r} gets "
+        f"{hot_share:.0%} of requests), cpu_count={os.cpu_count()}"
+    )
+    _verify_bit_identical(make_single, make_topology(replicas), names, user_ids)
+    print("verified: replicated responses bit-identical to single-process")
+
+    owner_levels: Dict[str, Dict] = {}
+    replicated_levels: Dict[str, Dict] = {}
+    speedup: Dict[str, float] = {}
+    for level in levels:
+        for label, n_replicas, results in (
+            ("owner-only", 0, owner_levels),
+            ("replicated", replicas, replicated_levels),
+        ):
+            recommend, close = make_topology(n_replicas)()
+            try:
+                # x(1 + replicas) warmup: round-robin spreads the stream
+                # over owner + replicas, so each process warms its caches.
+                warm_rounds = warmup_per_tenant * (1 + n_replicas)
+                for tenant, user_id in _warmup_stream(names, user_ids, warm_rounds):
+                    recommend(tenant, user_id)
+                samples, wall = _hammer(
+                    recommend, schedule, level, requests_per_client
+                )
+            finally:
+                close()
+            metrics = _level_metrics(samples, wall, level)
+            results[f"clients_{level}"] = metrics
+            print(
+                f"{label} clients {level:3d}: {metrics['throughput_rps']:8.1f} req/s  "
+                f"p50 {metrics['p50_ms']:7.2f} ms  p99 {metrics['p99_ms']:7.2f} ms"
+            )
+        key = f"clients_{level}"
+        speedup[key] = (
+            replicated_levels[key]["throughput_rps"]
+            / owner_levels[key]["throughput_rps"]
+            if owner_levels[key]["throughput_rps"]
+            else 0.0
+        )
+        print(f"speedup clients {level:3d}: {speedup[key]:.2f}x")
+
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "n_tenants": len(names),
+            "shards": shards,
+            "replicas": replicas,
+            "skew": skew,
+            "hot_tenant": hot_tenant,
+            "hot_share": hot_share,
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "k": k,
+            "quick": quick,
+        },
+        "owner_only": owner_levels,
+        "replicated": replicated_levels,
+        "speedup": speedup,
+        "responses_bit_identical": True,
+    }
+    _merge_section(output, "service_replicated", section)
+    return section
+
+
 def _merge_section(output: Path, key: str, section: Dict) -> None:
     report: Dict = {}
     if output.exists():
@@ -576,6 +767,17 @@ def main(argv: List[str] | None = None) -> int:
              "against a single-process baseline (writes 'service_sharded')",
     )
     parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="with --shards: benchmark this many read replicas per tenant "
+             "against the owner-only sharded topology, under the --skew "
+             "tenant mix (writes 'service_replicated')",
+    )
+    parser.add_argument(
+        "--skew", default="zipf:1.1",
+        help="tenant mix for the --replicas bench, as zipf:A "
+             "(default zipf:1.1; larger A = hotter hot tenant)",
+    )
+    parser.add_argument(
         "--http", action="store_true",
         help="bench through the HTTP front-end (one persistent keep-alive "
              "connection per client); merges a 'service_http' section",
@@ -587,7 +789,22 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.http and args.shards:
         raise SystemExit("--http benches the single-process front-end; drop --shards")
-    if args.shards:
+    if args.replicas and not args.shards:
+        raise SystemExit("--replicas runs on the sharded topology; add --shards N")
+    if args.replicas:
+        run_replicated(
+            args.output,
+            shards=args.shards,
+            replicas=args.replicas,
+            skew=args.skew,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workers=args.workers,
+            warmup_per_tenant=4 if args.warmup is None else args.warmup,
+            k=args.k,
+            quick=args.quick,
+        )
+    elif args.shards:
         run_sharded(
             args.output,
             shards=args.shards,

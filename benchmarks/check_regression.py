@@ -36,6 +36,13 @@ Design notes, so the gate stays honest:
   ``--cold-boot-min-ratio`` (a deliberately low floor for the shrunk
   --quick world; the committed full-run report carries the real >=5x).
   It guards the binary store's reason to exist, not a percentage.
+* The replicated gate (``service_replicated`` sections, committed baseline
+  and ``--fresh-replicated`` alike) always requires the recorded
+  ``responses_bit_identical`` flag -- replication must never change
+  values -- but enforces the replicated/owner-only speedup floor only
+  when the run recorded ``cpu_count > 1``: read replicas scale across
+  cores, so a 1-core box records its honest flat number and is not
+  failed for physics.
 * The service gate applies the identical tolerance / noise-floor scheme to
   the p50 and p99 of every committed concurrency level (entries named
   ``service.clients_N.p50_ms``).  The fresh serving run is a ``--quick``
@@ -219,6 +226,87 @@ def check_cold_boot(fresh: Dict, min_ratio: float = DEFAULT_COLD_BOOT_MIN_RATIO)
     ]
 
 
+#: Minimum replicated/owner-only throughput speedup at the highest recorded
+#: concurrency level -- only enforced when the run's recorded cpu_count is
+#: > 1: replicas scale reads across *cores*, so a 1-core box (this repo's
+#: committed baseline included) records its honest flat number and the
+#: gate checks only the invariants that hold everywhere.
+DEFAULT_REPLICATED_MIN_SPEEDUP = 1.5
+
+
+def check_replicated(
+    report: Dict,
+    min_speedup: float = DEFAULT_REPLICATED_MIN_SPEEDUP,
+    label: str = "service_replicated",
+) -> List[Verdict]:
+    """Gate a report's ``service_replicated`` section (absent -> no verdicts).
+
+    Two checks, mirroring what the section claims:
+
+    * ``responses_bit_identical`` must be ``True`` -- replication is a pure
+      cost optimisation, and a report that stopped asserting that (or
+      recorded a divergence) proves the topology wrong, on any hardware;
+    * on a multi-core box (recorded ``meta.cpu_count > 1``) the replicated
+      topology must beat owner-only by ``min_speedup`` at the highest
+      recorded concurrency level.  One core cannot speed anything up, so
+      those runs record honestly and skip the floor.
+    """
+    if min_speedup <= 0:
+        raise ValueError(f"min_speedup must be > 0, got {min_speedup}")
+    section = report.get("service_replicated")
+    if section is None:
+        return []
+    verdicts: List[Verdict] = []
+    if section.get("responses_bit_identical") is not True:
+        verdicts.append(
+            Verdict(
+                f"{label}.bit_identical", None, None, None, ok=False,
+                note="replicated responses not recorded as bit-identical",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.bit_identical", None, None, None, ok=True,
+                note="replicated == single-process",
+            )
+        )
+    speedup = section.get("speedup", {})
+    cpu_count = section.get("meta", {}).get("cpu_count")
+    if not speedup:
+        verdicts.append(
+            Verdict(
+                f"{label}.speedup", None, None, None, ok=False,
+                note="section carries no speedup levels",
+            )
+        )
+        return verdicts
+    top_level = max(speedup, key=lambda key: int(key.rsplit("_", 1)[1]))
+    ratio = speedup[top_level]
+    if cpu_count is None or cpu_count <= 1:
+        verdicts.append(
+            Verdict(
+                f"{label}.speedup.{top_level}", None, None, ratio, ok=True,
+                note=f"{ratio:.2f}x recorded on cpu_count={cpu_count} (floor "
+                     "needs > 1 core)",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.speedup.{top_level}", None, None, ratio,
+                ok=ratio >= min_speedup,
+                note=(
+                    f"{ratio:.2f}x on {cpu_count} cores"
+                    if ratio >= min_speedup
+                    else f"{ratio:.2f}x on {cpu_count} cores "
+                         f"(floor {min_speedup:.2f}x)"
+                ),
+            )
+        )
+    return verdicts
+
+
 def render(verdicts: List[Verdict], tolerance: float) -> str:
     """A fixed-width comparison table."""
     lines = [
@@ -279,6 +367,19 @@ def main(argv: List[str] | None = None) -> int:
         help="minimum fresh cold_boot_nt/cold_boot_binary ratio "
              f"(default: {DEFAULT_COLD_BOOT_MIN_RATIO})",
     )
+    parser.add_argument(
+        "--fresh-replicated", type=Path, default=None,
+        help="fresh replicated serving report (bench_service.py --replicas "
+             "output); its service_replicated section is gated like the "
+             "baseline's",
+    )
+    parser.add_argument(
+        "--replicated-min-speedup", type=float,
+        default=DEFAULT_REPLICATED_MIN_SPEEDUP,
+        help="minimum replicated/owner-only speedup at the top concurrency "
+             "level, enforced only when the run recorded cpu_count > 1 "
+             f"(default: {DEFAULT_REPLICATED_MIN_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -302,6 +403,17 @@ def main(argv: List[str] | None = None) -> int:
                 json.loads(args.fresh_service.read_text()),
                 tolerance=args.tolerance,
                 noise_floor_s=args.noise_floor_ms / 1e3,
+            )
+        )
+    verdicts.extend(
+        check_replicated(baseline, min_speedup=args.replicated_min_speedup)
+    )
+    if args.fresh_replicated is not None:
+        verdicts.extend(
+            check_replicated(
+                json.loads(args.fresh_replicated.read_text()),
+                min_speedup=args.replicated_min_speedup,
+                label="fresh.service_replicated",
             )
         )
     print(render(verdicts, args.tolerance))

@@ -24,8 +24,8 @@ Subcommands::
         print the k-anonymous change report of the latest evolution step
 
     python -m repro serve --kb DIR --users FILE [--port N] [--host H]
-                          [--tenant NAME] [--workers W] [--shards S] [-k K]
-                          [--persist]
+                          [--tenant NAME] [--workers W] [--shards S]
+                          [--replicas R] [-k K] [--persist]
         serve concurrent JSON recommendation requests over HTTP.  The KB
         becomes one tenant of a :mod:`repro.service`
         ``RecommendationService`` (thread worker pool + admission batching
@@ -56,11 +56,26 @@ Subcommands::
         dictionary, root snapshot and the recorded commit-delta chain --
         and every later ``/commit`` is applied by the owning shard alone,
         which is the whole commit-replication story: one owner per
-        tenant, no cross-shard state.  Prefer ``--shards`` over more
-        ``--workers`` when scoring is CPU-bound and multiple cores are
-        available (thread workers share one GIL; shard processes do not);
-        prefer ``--workers`` for single-core boxes or single hot tenants,
-        since one tenant never spans shards.
+        tenant, no cross-shard state.
+
+        **Read replicas** (``--replicas R``, implies ``--shards 1`` when
+        no shard count is given): each tenant's reads additionally
+        round-robin across R read-only replica processes, bootstrapped
+        zero-copy from one shared-memory segment holding the tenant's
+        store payload (:mod:`repro.service.replica`).  Commits still go
+        to the single owning shard, which forwards each O(delta) commit
+        record to the replicas; a dead replica degrades reads back to
+        the owner.
+
+        Scaling knobs, in one line each: ``--workers`` adds scoring
+        *threads* inside one process (helps only while a single core is
+        not saturated -- threads share the GIL); ``--shards`` adds
+        *processes* that partition tenants (scales many tenants across
+        cores, but one tenant still lives on one core); ``--replicas``
+        adds read-only *processes per tenant* (scales one hot tenant's
+        reads across cores -- the only knob that does).  Prefer
+        ``--workers`` on single-core boxes, ``--shards`` for many
+        CPU-bound tenants, ``--replicas`` for one read-heavy tenant.
 
 KB directories use either ``save_kb`` layout -- the interoperable one
 (per-version ``.nt`` files + ``manifest.json``, so the CLI works on
@@ -159,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="shard processes; 0 = score in-process, N >= 1 = spawn N worker "
              "processes and serve through a thin router",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="read-only replica processes per tenant (shared-memory "
+             "zero-copy bootstrap; reads round-robin owner+replicas, "
+             "commits stay on the owner); implies --shards 1 when "
+             "--shards is not given",
     )
     serve.add_argument("-k", type=int, default=5, help="default package size")
     serve.add_argument(
@@ -282,6 +304,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.shards < 0:
         raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
+    if args.replicas < 0:
+        raise SystemExit(f"error: --replicas must be >= 0, got {args.replicas}")
+    if args.replicas and not args.shards:
+        # Replicas live in the sharded topology; a single shard is the
+        # natural owner for the replicated single-tenant case.
+        args.shards = 1
     kb_dir = Path(args.kb)
     is_binary = BinaryKBStore.is_store(kb_dir)
     if args.persist and not is_binary:
@@ -302,7 +330,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.shards:
         # Sharded topology: worker processes score, this process routes.
-        supervisor = ShardSupervisor(shards=args.shards, config=config)
+        supervisor = ShardSupervisor(
+            shards=args.shards, config=config, replicas=args.replicas
+        )
         if is_binary:
             # Cold-start fast path: read the on-disk store bytes once and
             # ship them verbatim to the owning shard -- the router never
@@ -321,22 +351,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         supervisor.start()
         server = make_router_server(supervisor, host=args.host, port=args.port)
         host, port = server.server_address[:2]
+        replicated = f" (+{args.replicas} read replicas)" if args.replicas else ""
         print(
             f"routing tenant {tenant_name!r} ({n_versions} versions, {len(users)} "
-            f"users) -> shard {shard} of {args.shards} on http://{host}:{port}"
+            f"users) -> shard {shard} of {args.shards}{replicated} "
+            f"on http://{host}:{port}"
         )
         closer = supervisor.close
     else:
         on_commit = None
+        on_close = None
         if args.persist:
             store = BinaryKBStore.open(kb_dir)
             kb = store.load()
             on_commit = lambda version: store.sync(kb)  # noqa: E731
+            # Release the store's pinned lazy memory maps when the tenant
+            # leaves serving (shutdown), not whenever GC gets around to it.
+            on_close = store.close
         else:
             kb = load_kb(kb_dir)
         tenant_name = args.tenant or kb.name
         service = RecommendationService(config)
-        tenant = service.add_tenant(tenant_name, kb, users, on_commit=on_commit)
+        tenant = service.add_tenant(
+            tenant_name, kb, users, on_commit=on_commit, on_close=on_close
+        )
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
         persisting = " [persisting commits]" if args.persist else ""

@@ -34,10 +34,17 @@ def bridging_coefficient(graph: UndirectedGraph) -> Dict[Node, float]:
         if degree == 0:
             coefficients[node] = 0.0
             continue
+        # Accumulate in sorted term order: neighbors() is a set, whose
+        # iteration order follows the per-process string hash salt, and
+        # float addition is not associative -- an unsorted sum can differ
+        # in the last ulp between processes, breaking the serving layer's
+        # cross-process bit-identity contract.
         inverse_neighbour_degrees = sum(
-            1.0 / graph.degree(neighbour)
-            for neighbour in graph.neighbors(node)
-            if graph.degree(neighbour) > 0
+            sorted(
+                1.0 / graph.degree(neighbour)
+                for neighbour in graph.neighbors(node)
+                if graph.degree(neighbour) > 0
+            )
         )
         if inverse_neighbour_degrees == 0.0:
             coefficients[node] = 0.0

@@ -54,6 +54,27 @@ BASE_FILE = "kb.rpw"
 LOG_FILE = "commits.rpl"
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so renames/truncations of its entries are durable.
+
+    ``os.replace`` is atomic but only the *file* data was fsynced; the
+    directory entry pointing at the new inode still lives in the page
+    cache until the directory itself is synced.  Platforms without
+    directory fds (or filesystems refusing to fsync one) are a no-op --
+    they offer no stronger primitive anyway.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform without directory opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network fs rejecting dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _vet_commit_log(kb: VersionedKnowledgeBase, dictionary, log) -> Tuple[bytes, Optional[str]]:
     """The replayable prefix of ``log`` against the decoded base, if any.
 
@@ -174,6 +195,10 @@ class BinaryKBStore:
         # Filled by save()/load(); sync() refuses to run blind.
         self._n_terms: Optional[int] = None
         self._version_ids: Optional[List[str]] = None
+        # Memory maps opened by load() that a stray decode view kept
+        # pinned; close() retries them so the fd/map lifetime is bounded
+        # by the handle, not by garbage collection.
+        self._pinned_maps: List[Tuple[memoryview, mmap.mmap]] = []
 
     # -- creation / detection ------------------------------------------------
 
@@ -202,16 +227,23 @@ class BinaryKBStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, store.base_path)
+        # The rename is atomic but not yet durable: the directory entry
+        # for the new inode must itself be synced, or a crash right after
+        # save() could resurface the old base (or no base at all).
+        _fsync_dir(store.directory)
         # A fresh base supersedes any previous log tail -- and any ``.nt``
         # layout in the same directory (manifest plus its numbered
         # per-version files), which external tools globbing ``*.nt`` would
         # otherwise read as a second, stale identity for this KB.
-        store.log_path.write_bytes(b"")
+        with store.log_path.open("wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
         manifest = store.directory / "manifest.json"
         if manifest.exists():
             manifest.unlink()
         for stale in store.directory.glob("[0-9][0-9][0-9][0-9]_*.nt"):
             stale.unlink()
+        _fsync_dir(store.directory)
         store._version_ids = kb.version_ids()
         store._n_terms = (
             len(kb.first().graph.dictionary) if len(kb) else 0
@@ -251,7 +283,9 @@ class BinaryKBStore:
                 try:
                     buffer.close()
                 except BufferError:  # pragma: no cover - stray decode view
-                    pass  # the map closes when the last view is collected
+                    # Keep the handle: close() retries instead of leaving
+                    # the map (and its fd) to the garbage collector.
+                    self._pinned_maps.append((view, buffer))
         if not lazy:
             for version in kb:
                 version.graph  # force materialisation
@@ -304,6 +338,7 @@ class BinaryKBStore:
             handle.write(usable)
             handle.flush()
             os.fsync(handle.fileno())
+        _fsync_dir(self.directory)
 
     # -- appending -----------------------------------------------------------
 
@@ -348,6 +383,33 @@ class BinaryKBStore:
             for version_id in pending:
                 self.append_commit(kb.version(version_id), dictionary)
             return len(pending)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any memory map a past :meth:`load` left pinned (idempotent).
+
+        The lazy decode copies everything it returns out of the map, so
+        :meth:`load` normally closes it before returning; this is the
+        backstop for a map a stray exported view kept alive.  Called on
+        tenant eviction and at server shutdown
+        (:meth:`repro.service.registry.Tenant.close`), so the store's fd
+        lifetime is bounded by serving lifetime, not garbage collection.
+        """
+        still_pinned: List[Tuple[memoryview, mmap.mmap]] = []
+        for view, buffer in self._pinned_maps:
+            view.release()  # idempotent
+            try:
+                buffer.close()
+            except BufferError:  # pragma: no cover - view still exported
+                still_pinned.append((view, buffer))
+        self._pinned_maps = still_pinned
+
+    def __enter__(self) -> "BinaryKBStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"BinaryKBStore({str(self.directory)!r})"

@@ -75,6 +75,7 @@ _MAGIC_GRAPH = b"RPWG"
 _MAGIC_KB = b"RPWK"
 _MAGIC_TRIPLES = b"RPWD"
 _MAGIC_COMMIT = b"RPWC"
+_MAGIC_STORE = b"RPWS"
 
 _U64 = struct.Struct("<Q")
 
@@ -553,6 +554,79 @@ def read_kb_header(data) -> dict:
     if not isinstance(header, dict):
         raise WireFormatError("kb header is not a JSON object")
     return header
+
+
+# -- store payload container (shared-memory replica bootstrap) ---------------------
+#
+# A store's bootstrap unit is the ``(base, log)`` byte pair of
+# repro.io.store.BinaryKBStore.  To publish it through one
+# ``multiprocessing.shared_memory`` segment -- the replica plane's
+# zero-copy bootstrap channel -- the pair travels as a single framed
+# container::
+#
+#     store := magic 'RPWS' u8 version | frame(base) | frame(log)
+#
+# Both frames are length-prefixed, so a segment the kernel rounded up to
+# a page boundary decodes cleanly: trailing slack past the second frame
+# is simply never read.
+
+
+def store_payload_size(base_len: int, log_len: int) -> int:
+    """Exact byte size of :func:`pack_store_payload` for the given part sizes."""
+    return len(_MAGIC_STORE) + 1 + 8 + base_len + 8 + log_len
+
+
+def pack_store_payload(base, log=b"") -> bytes:
+    """One buffer carrying a store's ``(base, log)`` pair (framed)."""
+    return b"".join(
+        (
+            _MAGIC_STORE,
+            bytes([WIRE_VERSION]),
+            _pack_frame(bytes(base)),
+            _pack_frame(bytes(log)),
+        )
+    )
+
+
+def pack_store_payload_into(buffer, base, log=b"") -> int:
+    """Write the packed ``(base, log)`` container straight into ``buffer``.
+
+    ``buffer`` is any writable bytes-like (typically a shared-memory
+    segment's ``.buf``) of at least :func:`store_payload_size` bytes; the
+    parts are copied in place with no intermediate concatenation.
+    Returns the number of bytes written.
+    """
+    view = memoryview(buffer)
+    pos = len(_MAGIC_STORE) + 1
+    if store_payload_size(len(base), len(log)) > len(view):
+        raise WireFormatError(
+            f"buffer of {len(view)} bytes cannot hold a "
+            f"{store_payload_size(len(base), len(log))}-byte store payload"
+        )
+    view[: len(_MAGIC_STORE)] = _MAGIC_STORE
+    view[len(_MAGIC_STORE)] = WIRE_VERSION
+    for part in (base, log):
+        view[pos : pos + 8] = _U64.pack(len(part))
+        pos += 8
+        view[pos : pos + len(part)] = part
+        pos += len(part)
+    return pos
+
+
+def unpack_store_payload(data) -> "Tuple[bytes, bytes]":
+    """Inverse of :func:`pack_store_payload`: the ``(base, log)`` pair.
+
+    For a ``memoryview`` input (e.g. ``SharedMemory.buf``) the returned
+    parts are sub-views of it -- zero-copy; the lazy kb decode then reads
+    terms and key arrays straight out of the underlying segment.
+    Trailing bytes after the log frame are ignored (shared-memory
+    segments may be larger than what was packed into them).
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_STORE)
+    base = reader.frame()
+    log = reader.frame()
+    return base, log
 
 
 # -- commit records (the append-only commit log) -----------------------------------

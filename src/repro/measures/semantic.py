@@ -179,7 +179,14 @@ def relevance(schema: SchemaView, cls: IRI) -> float:
         own = centrality(schema, cls)
         neighbours = schema.neighborhood(cls)
         if neighbours:
-            neighbour_term = sum(centrality(schema, m) for m in neighbours) / len(neighbours)
+            # Sorted accumulation: the neighbourhood is a frozenset, whose
+            # iteration order follows the per-process hash salt, and float
+            # addition is not associative -- an unsorted sum can drift by
+            # an ulp between processes, breaking the serving layer's
+            # cross-process bit-identity contract.
+            neighbour_term = sum(
+                sorted(centrality(schema, m) for m in neighbours)
+            ) / len(neighbours)
         else:
             neighbour_term = 0.0
         population = schema.instance_count(cls, transitive=True)

@@ -21,13 +21,18 @@ thread-safe subsystem that actually serves that workload:
   scale-out: N worker processes each running a full service over the
   tenant subset a stable hash of the tenant name routes to them, fed over
   local pipes with the binary wire format of :mod:`repro.kb.wire`,
+* :mod:`repro.service.replica` -- zero-copy read replicas for hot
+  tenants: the supervisor publishes a tenant's store payload once into
+  shared memory, R extra processes decode it lazily out of the segment
+  and serve reads round-robin with the owner, while commits stay
+  single-owner and reach replicas as O(delta) commit records,
 * :mod:`repro.service.http` -- stdlib-only JSON front-ends
   (``python -m repro serve``): the single-process server and the sharded
-  thin router (``--shards N``).
+  thin router (``--shards N``, ``--replicas R``).
 
 Results are bit-identical to serial, single-threaded execution: batching,
-concurrency and sharding change cost, never values (the service test
-suite asserts exactly that, in both topologies).
+concurrency, sharding and replication change cost, never values (the
+service test suite asserts exactly that, in every topology).
 """
 
 from repro.service.admission import AdmissionQueue, AdmissionStats

@@ -10,11 +10,18 @@ Two servers share one handler toolbox (no third-party dependencies):
   to the shard process owning its tenant (see
   :mod:`repro.service.sharding`); the router parses just enough JSON to
   find the tenant name and never touches graphs, N-Triples or scoring.
+  When the supervisor runs read replicas, ``/recommend`` for a replicated
+  tenant round-robins across the owner and its live replicas
+  (:meth:`~repro.service.sharding.ShardSupervisor.forward` routes reads;
+  ``/commit`` always goes to the owner) -- bit-identical responses either
+  way.
 
 Endpoints (identical in both topologies):
 
 ``GET /health``
-    liveness + tenant count (the sharded server adds shard liveness).
+    liveness + tenant count (the sharded server adds shard liveness and,
+    when replicas are configured, a ``replicas`` summary with configured
+    vs live counts).
 ``GET /tenants``
     tenant summaries (versions, users).
 ``GET /stats``
@@ -288,9 +295,13 @@ class ShardRouterRequestHandler(_JsonRequestHandler):
     """The sharded topology's front-end: same endpoints, zero scoring.
 
     ``POST`` bodies are decoded just far enough to read the tenant name,
-    then forwarded to the owning shard process; responses come back as
-    JSON-ready dicts.  All error mapping is shared with the single-process
-    handler, plus 503 for a dead shard (:class:`ShardError`).
+    then forwarded to the owning shard process -- or, for ``/recommend``
+    on a tenant with read replicas, round-robined across the owner and
+    its live replica processes (commits always hit the owner); responses
+    come back as JSON-ready dicts.  All error mapping is shared with the
+    single-process handler, plus 503 for a dead shard
+    (:class:`ShardError`); a dead *replica* is not an error -- reads
+    degrade to the remaining processes.
     """
 
     server: ShardRouterHTTPServer

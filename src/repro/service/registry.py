@@ -46,6 +46,7 @@ class Tenant:
         feedback: FeedbackStore | None = None,
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
+        on_close: Callable[[], None] | None = None,
     ) -> None:
         if not name:
             raise ServiceError("tenant name must be non-empty")
@@ -64,6 +65,33 @@ class Tenant:
         # client to re-commit a duplicate, and a sync-style hook catches
         # up on every version still missing at its next success.
         self.on_commit = on_commit
+        # Resource-release hook, run exactly once when the tenant leaves
+        # serving (eviction via TenantRegistry.remove, or service
+        # shutdown): the seam that lets a binary store's lazy memory map
+        # close with the tenant instead of lingering until GC.
+        self.on_close = on_close
+        self._closed = False
+
+    def close(self) -> None:
+        """Run the tenant's resource-release hook (idempotent).
+
+        Hook failures are warnings, mirroring :meth:`_run_commit_hook`:
+        the tenant is leaving service either way, and eviction/shutdown
+        must not fail because a backing file was already gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.on_close is None:
+            return
+        try:
+            self.on_close()
+        except Exception as exc:
+            warnings.warn(
+                f"tenant {self.name!r}: close hook failed ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _run_commit_hook(self, version: Version) -> None:
         if self.on_commit is None:
@@ -205,9 +233,10 @@ class TenantRegistry:
         feedback: FeedbackStore | None = None,
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
+        on_close: Callable[[], None] | None = None,
     ) -> Tenant:
         """Register a tenant; duplicate names are rejected."""
-        tenant = Tenant(name, kb, users, feedback, engine_config, on_commit)
+        tenant = Tenant(name, kb, users, feedback, engine_config, on_commit, on_close)
         with self._lock:
             if name in self._tenants:
                 raise ServiceError(f"duplicate tenant name: {name!r}")
@@ -224,9 +253,24 @@ class TenantRegistry:
         return tenant
 
     def remove(self, name: str) -> Optional[Tenant]:
-        """Deregister and return a tenant (None when absent)."""
+        """Deregister a tenant, run its close hook, return it (None if absent)."""
         with self._lock:
-            return self._tenants.pop(name, None)
+            tenant = self._tenants.pop(name, None)
+        if tenant is not None:
+            tenant.close()
+        return tenant
+
+    def close_all(self) -> None:
+        """Run every registered tenant's close hook (tenants stay registered).
+
+        The service-shutdown half of the resource-lifetime contract: a
+        closed service keeps answering introspection (``tenants()``) but
+        releases what its tenants held open (lazy store maps, etc.).
+        """
+        with self._lock:
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            tenant.close()
 
     def names(self) -> List[str]:
         """Registered tenant names, sorted."""

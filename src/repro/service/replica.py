@@ -1,0 +1,268 @@
+"""Zero-copy read replicas: scale one hot tenant's reads across cores.
+
+The sharded plane (:mod:`repro.service.sharding`) pins each tenant to
+exactly one process, so a single viral tenant is capped at one core no
+matter how many shards run.  This module is the read-side escape hatch:
+
+* the supervisor publishes the tenant's store payload -- the exact
+  ``(base, log)`` bytes a :class:`~repro.io.store.BinaryKBStore` holds on
+  disk, packed by :func:`repro.kb.wire.pack_store_payload_into` -- into
+  **one** ``multiprocessing.shared_memory`` segment;
+* the owning shard *and* every replica attach to that segment and decode
+  it lazily (:func:`repro.io.store.decode_store_payload` over sub-views
+  of the segment) -- no pickling, no N-Triples re-parse, and no
+  per-process serialized copy of the snapshot travelling through spawn
+  pipes;
+* replicas are **read-only**: commits keep their single owner, and the
+  supervisor bumps each replica with the O(delta) commit record
+  (``repro.kb.wire.encode_commit``, the ``commits.rpl`` format) the owner
+  produced, applied atomically under the tenant write lock via
+  ``commit_recorded`` -- so a replica's chain stays bit-identical to the
+  owner's, term ids included.
+
+The segment is unlinked by the supervisor as soon as every process has
+attached: POSIX keeps the mapping alive for attached processes, so even a
+``SIGKILL``'d topology leaves nothing behind in ``/dev/shm``.
+
+A replica process speaks the same ``(op, request_id, payload)`` pipe
+protocol as a shard (one duplex pipe, future-multiplexed), with two
+differences: commit ops are rejected (read-only), and the extra
+``apply_record`` op applies a forwarded commit record *inline on the
+receive loop* -- pipe order is the cutover order, so any read the
+supervisor routes here after a commit returned is admitted on a
+generation >= that commit's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from multiprocessing import shared_memory
+from typing import Optional
+
+from repro.io.storage import feedback_from_dicts, package_to_dict, users_from_dicts
+from repro.io.store import decode_store_payload
+from repro.kb import wire
+from repro.service.errors import ServiceError, error_message as _error_message
+from repro.service.service import RecommendationService, ServiceConfig
+
+
+# -- shared-memory plumbing ---------------------------------------------------------
+
+
+def create_shared_payload(kb_payload) -> shared_memory.SharedMemory:
+    """Publish a tenant's kb payload into a fresh shared-memory segment.
+
+    ``kb_payload`` is either one ``encode_kb`` buffer or a store's raw
+    ``(base, log)`` pair; either way it is packed in place as one framed
+    :func:`repro.kb.wire.pack_store_payload_into` container.  The caller
+    owns the returned segment and must ``close()`` + ``unlink()`` it once
+    every consumer has attached.
+    """
+    if isinstance(kb_payload, tuple):
+        base, log = kb_payload
+    else:
+        base, log = kb_payload, b""
+    size = wire.store_payload_size(len(base), len(log))
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    wire.pack_store_payload_into(segment.buf, base, log)
+    return segment
+
+
+def attach_shared_payload(name: str) -> shared_memory.SharedMemory:
+    """Attach to a published segment without registering as its owner.
+
+    On CPython < 3.13 ``SharedMemory`` has no ``track`` parameter and the
+    attaching process registers the segment with its *own* resource
+    tracker, which would destroy (and warn about) a segment the
+    supervisor still owns when this process exits.  Suppressing the
+    registration during attach keeps the single-owner story: the
+    supervisor created it, the supervisor unlinks it.  (Unregistering
+    *after* attach is racy: several attachers feed the same shared
+    tracker process, and the second unregister KeyErrors in it.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        # shared_memory.py reads the tracker as a module attribute, so a
+        # scoped no-op swap cleanly skips the registration call.
+        real_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = real_register
+
+
+def decode_shared_payload(segment_name: str):
+    """Attach to a segment, lazily decode the chain out of it, detach.
+
+    The decode path reads term tables and key arrays through sub-views of
+    the segment (``wire._Reader`` slices any bytes-like buffer) and copies
+    what it keeps into process-local structures, so the mapping can close
+    as soon as the chain is built: zero-copy bootstrap, no lingering
+    reference into shared memory.
+    """
+    segment = attach_shared_payload(segment_name)
+    try:
+        base, log = wire.unpack_store_payload(segment.buf)
+        try:
+            kb = decode_store_payload(base, log)
+        finally:
+            if isinstance(base, memoryview):
+                base.release()
+            if isinstance(log, memoryview):
+                log.release()
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - stray decode view
+            pass
+    return kb
+
+
+def destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment the caller created (tolerates races)."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a view of .buf still exported
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# -- replica worker process ---------------------------------------------------------
+
+
+def _replica_main(
+    conn,
+    tenant_name: str,
+    replica_index: int,
+    segment_name: str,
+    config: ServiceConfig,
+    users_bytes: bytes,
+    feedback_bytes: Optional[bytes],
+) -> None:
+    """Entry point of one replica process (module-level: spawn-picklable).
+
+    Same protocol as ``_shard_main``: ``(op, request_id, payload)`` in,
+    ``(request_id, "ok", result)`` / ``(request_id, "error", kind,
+    message)`` out, first message ``("ready", replica_index, [tenant])``.
+    ``recommend`` answers asynchronously off the admission queue;
+    ``apply_record`` runs inline on the receive loop so reads admitted
+    after a record always score the post-record head.
+    """
+    # Deferred imports mirror _shard_main: http/sharding import this
+    # module's supervisor-side helpers, so top-level imports would cycle.
+    from repro.service.http import parse_recommend_payload
+    from repro.service.sharding import _error_kind
+
+    service = RecommendationService(config)
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (OSError, ValueError, BrokenPipeError):  # parent is gone
+                pass
+
+    try:
+        kb = decode_shared_payload(segment_name)
+        users = users_from_dicts(json.loads(users_bytes.decode("utf-8")))
+        feedback = (
+            feedback_from_dicts(json.loads(feedback_bytes.decode("utf-8")))
+            if feedback_bytes is not None
+            else None
+        )
+        tenant = service.add_tenant(tenant_name, kb, users, feedback)
+        dictionary = kb.first().graph.dictionary if len(kb) else None
+    except BaseException as exc:
+        send(("failed", replica_index, _error_kind(exc), _error_message(exc)))
+        service.close()
+        return
+    send(("ready", replica_index, [tenant_name]))
+
+    def handle(op: str, request_id: int, payload) -> None:
+        if op == "recommend":
+            name, user, k, old, new = parse_recommend_payload(payload)
+            future = service.recommend_async(name, user, k, old, new)
+
+            def _done(f, request_id=request_id):
+                try:
+                    send((request_id, "ok", package_to_dict(f.result())))
+                except BaseException as exc:
+                    send((request_id, "error", _error_kind(exc), _error_message(exc)))
+
+            future.add_done_callback(_done)
+        elif op == "apply_record":
+            # The generation bump.  Under the tenant write lock the
+            # decoded delta lands via commit_recorded -- O(delta), with
+            # the dictionary growing by exactly the record's term range,
+            # so replica term ids track the owner's forever.  Running
+            # inline (not on a thread) makes pipe order the commit order:
+            # a recommend the supervisor sends after this record cannot
+            # be admitted on the pre-record head.
+            with tenant.write_lock:
+                version_id, metadata, added, deleted = wire.decode_commit(
+                    payload["record"], dictionary
+                )
+                tenant.kb.commit_recorded(
+                    added=added, deleted=deleted,
+                    version_id=version_id, metadata=metadata,
+                )
+                generation = len(tenant.kb)
+            send((request_id, "ok", {"generation": generation, "version_id": version_id}))
+        elif op in ("commit", "commit_delta"):
+            raise ServiceError(
+                f"replica {replica_index} of tenant {tenant_name!r} is "
+                "read-only; commits route to the owning shard"
+            )
+        elif op == "stats":
+            send((request_id, "ok", service.stats()))
+        elif op == "tenants":
+            send((request_id, "ok", service.tenants()))
+        elif op == "health":
+            send(
+                (
+                    request_id,
+                    "ok",
+                    {"status": "ok", "replica": replica_index,
+                     "tenant": tenant_name, "generation": len(tenant.kb)},
+                )
+            )
+        else:
+            raise ValueError(f"unknown replica op: {op!r}")
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, request_id, payload = message
+            if op == "shutdown":
+                send((request_id, "ok", {"replica": replica_index}))
+                break
+            try:
+                handle(op, request_id, payload)
+            except BaseException as exc:
+                send((request_id, "error", _error_kind(exc), _error_message(exc)))
+    finally:
+        service.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+__all__ = [
+    "attach_shared_payload",
+    "create_shared_payload",
+    "decode_shared_payload",
+    "destroy_segment",
+]

@@ -87,17 +87,22 @@ class RecommendationService:
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
         on_commit=None,
+        on_close=None,
     ) -> Tenant:
         """Register a knowledge base (and its users) for serving.
 
         ``on_commit`` (optional, one ``Version`` argument) runs after every
         tenant commit under the tenant write lock -- the persistence seam
-        for the binary store's O(delta) commit-log appends.
+        for the binary store's O(delta) commit-log appends.  ``on_close``
+        (optional, no arguments) runs once when the tenant leaves serving
+        (eviction or service shutdown) -- the release seam for resources
+        backing the tenant, e.g. a binary store's lazy memory map.
         """
         return self.registry.add(
             name, kb, users, feedback,
             engine_config=self.config.engine,
             on_commit=on_commit,
+            on_close=on_close,
         )
 
     def tenant(self, name: str) -> Tenant:
@@ -198,8 +203,9 @@ class RecommendationService:
         return self._queue.stats
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Drain the admission queue and stop the workers."""
+        """Drain the admission queue, stop the workers, release tenant resources."""
         self._queue.close(timeout=timeout)
+        self.registry.close_all()
 
     def __enter__(self) -> "RecommendationService":
         return self

@@ -31,6 +31,18 @@ graphs: a shard rebuilds each tenant's interning dictionary, root snapshot
 and recorded delta chain exactly (same integer ids), then replays live
 commits forwarded by the supervisor (binary deltas from the Python API,
 verbatim N-Triples bodies from the HTTP router).
+
+**Read replicas** (:mod:`repro.service.replica`) relax the one-process
+cap for *hot* tenants without giving up the single-owner write story: a
+tenant registered with ``replicas=N`` has its bootstrap payload published
+once into a ``multiprocessing.shared_memory`` segment that the owning
+shard and N read-only replica processes all decode zero-copy, reads
+round-robin across owner + live replicas, and every commit (still applied
+only by the owner) is fanned out to the replicas as the O(delta) binary
+commit record, applied in pipe order under the tenant write lock.  A dead
+replica silently leaves the rotation (a ``RuntimeWarning`` notes the
+degradation) and in-flight reads it lost are replayed on the owner --
+replicated responses stay bit-identical to a single-process service.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ import itertools
 import json
 import multiprocessing
 import threading
+import warnings
 from concurrent.futures import Future
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -66,6 +79,12 @@ from repro.service.errors import (
     error_message as _error_message,
 )
 from repro.service.registry import TenantRegistry
+from repro.service.replica import (
+    _replica_main,
+    create_shared_payload,
+    decode_shared_payload,
+    destroy_segment,
+)
 from repro.service.service import RecommendationService, ServiceConfig
 
 #: One tenant's spawn payload: (name, kb payload, users JSON bytes,
@@ -154,12 +173,24 @@ def _shard_main(
             except (OSError, ValueError, BrokenPipeError):  # parent is gone
                 pass
 
+    # Where the on-disk dictionary cursor would be in a persisting
+    # single-process service, this tracks the *replica* cursor: how many
+    # terms of each tenant's dictionary the supervisor-side record stream
+    # already covers.  Reads never intern into a chain dictionary (only
+    # Graph.add under the commit write lock does), so the cursor only
+    # moves inside _run_commit.
+    term_cursors: Dict[str, int] = {}
+
     try:
         for name, kb_bytes, users_bytes, feedback_bytes in payloads:
-            # Lazy decode either payload shape: bootstrap builds the root
+            # Lazy decode any payload shape: bootstrap builds the root
             # and the head pair's snapshots; middles rematerialise through
             # delta replay only if a request ever names them.
-            if isinstance(kb_bytes, tuple):
+            if isinstance(kb_bytes, tuple) and kb_bytes and kb_bytes[0] == "shm":
+                # Replicated tenant: the payload lives in a shared-memory
+                # segment this shard decodes zero-copy, same as replicas.
+                kb = decode_shared_payload(kb_bytes[1])
+            elif isinstance(kb_bytes, tuple):
                 from repro.io.store import decode_store_payload
 
                 kb = decode_store_payload(*kb_bytes)
@@ -172,6 +203,9 @@ def _shard_main(
                 else None
             )
             service.add_tenant(name, kb, users, feedback)
+            term_cursors[name] = (
+                len(kb.first().graph.dictionary) if len(kb) else 0
+            )
     except BaseException as exc:
         send(("failed", shard_index, _error_kind(exc), _error_message(exc)))
         service.close()
@@ -199,9 +233,14 @@ def _shard_main(
             # the write lock inside apply_commit.
             def _run_commit(op=op, request_id=request_id, payload=payload):
                 try:
-                    if op == "commit":  # HTTP-shaped body, N-Triples changes
-                        result = handle_commit(service, payload)
-                    else:  # binary wire deltas from the Python API
+                    want_record = isinstance(payload, dict) and bool(
+                        payload.pop("_want_record", False)
+                    )
+
+                    def apply():
+                        if op == "commit":  # HTTP-shaped body, N-Triples changes
+                            return handle_commit(service, payload)
+                        # binary wire deltas from the Python API
                         added = (
                             wire.decode_triples(payload["added"])
                             if payload.get("added")
@@ -212,7 +251,7 @@ def _shard_main(
                             if payload.get("deleted")
                             else []
                         )
-                        result = apply_commit(
+                        return apply_commit(
                             service,
                             payload["tenant"],
                             added,
@@ -220,6 +259,29 @@ def _shard_main(
                             payload.get("version_id"),
                             payload.get("metadata") or {},
                         )
+
+                    tenant_name = (
+                        payload.get("tenant") if isinstance(payload, dict) else None
+                    )
+                    if want_record and tenant_name:
+                        # Replicated tenant: encode the committed version
+                        # as an O(delta) commit record under the same
+                        # write-lock hold that applied it, so the record
+                        # stream carries every commit exactly once, in
+                        # order, with the dictionary growth
+                        # [cursor, len(dictionary)) no other commit can
+                        # interleave into.
+                        tenant = service.tenant(tenant_name)
+                        with tenant.write_lock:
+                            result = apply()
+                            dictionary = tenant.kb.first().graph.dictionary
+                            cursor = term_cursors.get(tenant_name, len(dictionary))
+                            result["_record"] = wire.encode_commit(
+                                tenant.kb.latest(), dictionary, cursor
+                            )
+                            term_cursors[tenant_name] = len(dictionary)
+                    else:
+                        result = apply()
                     send((request_id, "ok", result))
                 except BaseException as exc:
                     send((request_id, "error", _error_kind(exc), _error_message(exc)))
@@ -269,15 +331,27 @@ def _shard_main(
 
 
 class _ShardClient:
-    """Parent-side handle of one shard: pipe, pending futures, reader thread."""
+    """Parent-side handle of one worker process: pipe, futures, reader thread.
 
-    def __init__(self, index: int, process, conn) -> None:
+    Used for shards and replicas alike -- both speak the same protocol;
+    ``label`` is what error messages and degradation warnings call the
+    process.
+    """
+
+    def __init__(self, index: int, process, conn, label: Optional[str] = None) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        self.label = label or f"shard {index}"
         self.ready = threading.Event()
         self.failure: Optional[str] = None
         self.tenant_names: List[str] = []
+        # A poisoned client is alive but no longer trustworthy (a replica
+        # that failed to apply a commit record would serve stale reads);
+        # the supervisor takes it out of the read rotation.
+        self.poisoned = False
+        #: Set once the supervisor has warned about this client's loss.
+        self.degradation_warned = False
         self._send_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._pending: Dict[int, Future] = {}
@@ -333,12 +407,16 @@ class _ShardClient:
             pending, self._pending = self._pending, {}
         for future in pending.values():
             future.set_exception(
-                ShardError(f"shard {self.index} died with requests in flight")
+                ShardError(f"{self.label} died with requests in flight")
             )
+
+    def poison(self) -> None:
+        """Take the client out of rotation without killing the process."""
+        self.poisoned = True
 
     def submit(self, op: str, payload) -> Future:
         if self._dead:
-            raise ShardError(f"shard {self.index} is not running")
+            raise ShardError(f"{self.label} is not running")
         future: Future = Future()
         request_id = next(self._ids)
         with self._pending_lock:
@@ -349,7 +427,7 @@ class _ShardClient:
         except (OSError, ValueError, BrokenPipeError):
             with self._pending_lock:
                 self._pending.pop(request_id, None)
-            raise ShardError(f"shard {self.index} pipe is closed") from None
+            raise ShardError(f"{self.label} pipe is closed") from None
         # Close the race with _mark_dead(): the shard may have died between
         # the _dead check above and registering the future, in which case
         # the dead-sweep already ran and nothing would ever resolve it (the
@@ -359,7 +437,7 @@ class _ShardClient:
                 abandoned = self._pending.pop(request_id, None)
             if abandoned is not None:
                 abandoned.set_exception(
-                    ShardError(f"shard {self.index} died with requests in flight")
+                    ShardError(f"{self.label} died with requests in flight")
                 )
         return future
 
@@ -404,6 +482,15 @@ class ShardSupervisor:
     :class:`~repro.service.service.RecommendationService` over the same
     tenants: routing only decides *where* a tenant's single-owner service
     runs, never what it computes.
+
+    A tenant registered with ``replicas=N`` (or every tenant, via the
+    constructor's ``replicas``) additionally gets N read-only replica
+    processes that bootstrap zero-copy from one shared-memory segment
+    (:mod:`repro.service.replica`): its reads round-robin across owner +
+    live replicas, its commits still go only to the owner and are fanned
+    out to replicas as O(delta) commit records.  Dead replicas degrade
+    the tenant to the remaining processes (eventually owner-only) with a
+    ``RuntimeWarning`` instead of failing requests.
     """
 
     def __init__(
@@ -411,10 +498,14 @@ class ShardSupervisor:
         shards: int = 2,
         config: ServiceConfig | None = None,
         start_timeout_s: float = 120.0,
+        replicas: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
         self.shards = shards
+        self.replicas = replicas  # default per-tenant replica count
         self.config = config or ServiceConfig()
         self._start_timeout_s = start_timeout_s
         self._payloads: List[List[_TenantPayload]] = [[] for _ in range(shards)]
@@ -423,6 +514,13 @@ class ShardSupervisor:
         self._ctx = multiprocessing.get_context("spawn")
         self._started = False
         self._closed = False
+        # Replica plane state, all keyed by tenant name.
+        self._replica_counts: Dict[str, int] = {}
+        self._replica_clients: Dict[str, List[_ShardClient]] = {}
+        self._segments: Dict[str, object] = {}  # SharedMemory until all attach
+        self._read_cursors: Dict[str, "itertools.count"] = {}
+        self._commit_locks: Dict[str, threading.Lock] = {}
+        self._generations: Dict[str, int] = {}
 
     # -- tenants (pre-start) -------------------------------------------------
 
@@ -432,14 +530,16 @@ class ShardSupervisor:
         kb: VersionedKnowledgeBase,
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
+        replicas: int | None = None,
     ) -> int:
         """Register a tenant; returns its shard index.
 
         Must be called before :meth:`start` -- the tenant is serialised to
         the binary wire format now and travels with its shard's spawn
-        payload.
+        payload.  ``replicas`` overrides the supervisor-wide default read
+        replica count for this tenant.
         """
-        return self._register(name, wire.encode_kb(kb), users, feedback)
+        return self._register(name, wire.encode_kb(kb), users, feedback, replicas)
 
     def add_tenant_encoded(
         self,
@@ -447,6 +547,7 @@ class ShardSupervisor:
         kb_payload: "bytes | Tuple[bytes, bytes]",
         users: Iterable[User] = (),
         feedback: FeedbackStore | None = None,
+        replicas: int | None = None,
     ) -> int:
         """Register a tenant from already-encoded KB bytes; returns its shard.
 
@@ -455,14 +556,16 @@ class ShardSupervisor:
         (:meth:`repro.io.store.BinaryKBStore.bootstrap_payload`).  This is
         the cold-start fast path of ``python -m repro serve --shards``: the
         router ships the on-disk bytes verbatim and never decodes or
-        re-encodes a tenant it only routes for.
+        re-encodes a tenant it only routes for.  With replicas the same
+        bytes are published once in shared memory and every process of the
+        tenant decodes them from there.
         """
         if isinstance(kb_payload, tuple):
             base, log = kb_payload
             kb_payload = (bytes(base), bytes(log))
         else:
             kb_payload = bytes(kb_payload)
-        return self._register(name, kb_payload, users, feedback)
+        return self._register(name, kb_payload, users, feedback, replicas)
 
     def _register(
         self,
@@ -470,6 +573,7 @@ class ShardSupervisor:
         kb_payload,
         users: Iterable[User],
         feedback: FeedbackStore | None,
+        replicas: int | None = None,
     ) -> int:
         if self._started:
             raise ServiceError("tenants must be registered before start()")
@@ -477,6 +581,9 @@ class ShardSupervisor:
             raise ServiceError("tenant name must be non-empty")
         if name in self._tenant_shard:
             raise ServiceError(f"duplicate tenant name: {name!r}")
+        n_replicas = self.replicas if replicas is None else replicas
+        if n_replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {n_replicas}")
         shard = TenantRegistry.shard_of(name, self.shards)
         payload: _TenantPayload = (
             name,
@@ -490,6 +597,10 @@ class ShardSupervisor:
         )
         self._payloads[shard].append(payload)
         self._tenant_shard[name] = shard
+        if n_replicas:
+            self._replica_counts[name] = n_replicas
+            self._read_cursors[name] = itertools.count()
+            self._commit_locks[name] = threading.Lock()
         return shard
 
     def shard_of(self, tenant_name: str) -> int:
@@ -509,11 +620,27 @@ class ShardSupervisor:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "ShardSupervisor":
-        """Spawn the shard processes and wait until every one is ready."""
+        """Spawn shard + replica processes and wait until every one is ready."""
         if self._started:
             raise ServiceError("supervisor already started")
         if self._closed:
             raise ServiceClosedError("supervisor is closed")
+        # Publish replicated tenants' payloads into shared memory first and
+        # swap the spawn payload for a segment reference, so the owner
+        # shard and all its replicas decode the very same bytes and the
+        # snapshot never crosses a pipe at all.
+        replica_specs: List[Tuple[str, str, bytes, Optional[bytes], int]] = []
+        for shard_payloads in self._payloads:
+            for i, (name, kb_payload, users_b, feedback_b) in enumerate(shard_payloads):
+                n_replicas = self._replica_counts.get(name)
+                if not n_replicas:
+                    continue
+                segment = create_shared_payload(kb_payload)
+                self._segments[name] = segment
+                shard_payloads[i] = (name, ("shm", segment.name), users_b, feedback_b)
+                replica_specs.append(
+                    (name, segment.name, users_b, feedback_b, n_replicas)
+                )
         for index in range(self.shards):
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             process = self._ctx.Process(
@@ -525,36 +652,76 @@ class ShardSupervisor:
             process.start()
             child_conn.close()  # the child owns its end now
             self._clients.append(_ShardClient(index, process, parent_conn))
+        for name, segment_name, users_b, feedback_b, n_replicas in replica_specs:
+            clients: List[_ShardClient] = []
+            for r_index in range(n_replicas):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_replica_main,
+                    args=(
+                        child_conn, name, r_index, segment_name,
+                        self.config, users_b, feedback_b,
+                    ),
+                    name=f"repro-replica-{name}-{r_index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                clients.append(
+                    _ShardClient(
+                        r_index, process, parent_conn,
+                        label=f"replica {r_index} of tenant {name!r}",
+                    )
+                )
+            self._replica_clients[name] = clients
         self._started = True
-        for client in self._clients:
+        all_clients = list(self._clients)
+        for clients in self._replica_clients.values():
+            all_clients.extend(clients)
+        for client in all_clients:
             if not client.ready.wait(timeout=self._start_timeout_s):
                 self.close()
                 raise ShardError(
-                    f"shard {client.index} did not become ready within "
+                    f"{client.label} did not become ready within "
                     f"{self._start_timeout_s:.0f}s"
                 )
             if client.failure is not None:
                 failure = client.failure
                 self.close()
-                raise ShardError(f"shard {client.index} failed to bootstrap: {failure}")
+                raise ShardError(f"{client.label} failed to bootstrap: {failure}")
             if client.dead:
-                index = client.index
+                label = client.label
                 self.close()
-                raise ShardError(f"shard {index} died before becoming ready")
+                raise ShardError(f"{label} died before becoming ready")
+        # Everyone attached: unlink the segments now.  POSIX keeps the
+        # mappings alive for attached processes, so an unlinked segment
+        # still serves every bootstrap that already happened -- and a
+        # SIGKILL'd topology leaves nothing behind in /dev/shm.
+        self._release_segments()
         # The payloads have been shipped; holding a serialized replica of
         # every tenant's KB in the router process would double resident
         # memory for nothing (tenants cannot be added after start()).
         self._payloads = [[] for _ in range(self.shards)]
         return self
 
+    def _release_segments(self) -> None:
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            destroy_segment(segment)
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Shut every shard down and reap the processes (idempotent)."""
+        """Shut every replica and shard down, reap processes (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        for clients in self._replica_clients.values():
+            for client in clients:
+                client.close(timeout)
+        self._replica_clients = {}
         for client in self._clients:
             client.close(timeout)
         self._clients = []
+        self._release_segments()
 
     def __enter__(self) -> "ShardSupervisor":
         return self if self._started else self.start()
@@ -569,6 +736,71 @@ class ShardSupervisor:
             raise ServiceClosedError("shard supervisor is not running")
         return self._clients[self.shard_of(tenant_name)]
 
+    def _live_replicas(self, tenant_name: str) -> List[_ShardClient]:
+        """The tenant's replicas still fit for reads, warning once per loss.
+
+        A replica leaves the rotation when its process died or when it
+        was poisoned (failed to apply a commit record, so its chain may
+        be stale).  Losing one degrades the tenant -- reads fall back to
+        the remaining processes, eventually owner-only -- and that is
+        logged as a ``RuntimeWarning`` exactly once per replica.
+        """
+        live: List[_ShardClient] = []
+        for client in self._replica_clients.get(tenant_name, ()):
+            if client.dead or client.poisoned:
+                if not client.degradation_warned:
+                    client.degradation_warned = True
+                    why = "died" if client.dead else "missed a commit record"
+                    warnings.warn(
+                        f"{client.label} {why}; reads for {tenant_name!r} degrade "
+                        "to the remaining processes (owner-only at worst)",
+                        RuntimeWarning,
+                    )
+            else:
+                live.append(client)
+        return live
+
+    def _submit_read(
+        self, client: _ShardClient, owner: _ShardClient, payload: Dict
+    ) -> "Future[Dict]":
+        """Submit a read on ``client``, transparently retrying on the owner.
+
+        Reads are idempotent and replicas are bit-identical to the owner,
+        so a read lost to a dying replica is simply replayed on the owner
+        -- no request is lost and the caller never sees the failure.
+        """
+        if client is owner:
+            return client.submit("recommend", payload)
+        try:
+            inner = client.submit("recommend", payload)
+        except ShardError:
+            self._live_replicas(payload["tenant"])  # emit degradation warning
+            return owner.submit("recommend", payload)
+        outer: Future = Future()
+
+        def _relay(source: Future, sink: Future) -> None:
+            exc = source.exception()
+            if exc is None:
+                sink.set_result(source.result())
+            else:
+                sink.set_exception(exc)
+
+        def _done(f: Future) -> None:
+            exc = f.exception()
+            if not isinstance(exc, ShardError):
+                _relay(f, outer)
+                return
+            self._live_replicas(payload["tenant"])  # emit degradation warning
+            try:
+                retry = owner.submit("recommend", payload)
+            except BaseException as retry_exc:
+                outer.set_exception(retry_exc)
+                return
+            retry.add_done_callback(lambda g: _relay(g, outer))
+
+        inner.add_done_callback(_done)
+        return outer
+
     def recommend_async(
         self,
         tenant_name: str,
@@ -577,7 +809,7 @@ class ShardSupervisor:
         old_id: str | None = None,
         new_id: str | None = None,
     ) -> "Future[Dict]":
-        """Admit one request on the owning shard; future of the package dict."""
+        """Admit one read on the owner or a replica; future of the package dict."""
         payload = {"tenant": tenant_name, "user": user_id}
         if k is not None:
             payload["k"] = k
@@ -585,7 +817,16 @@ class ShardSupervisor:
             payload["old"] = old_id
         if new_id is not None:
             payload["new"] = new_id
-        return self._client_for(tenant_name).submit("recommend", payload)
+        return self._route_read(tenant_name, payload)
+
+    def _route_read(self, tenant_name: str, payload: Dict) -> "Future[Dict]":
+        owner = self._client_for(tenant_name)
+        replicas = self._live_replicas(tenant_name)
+        if not replicas:
+            return owner.submit("recommend", payload)
+        pool = [owner] + replicas
+        client = pool[next(self._read_cursors[tenant_name]) % len(pool)]
+        return self._submit_read(client, owner, payload)
 
     def recommend(
         self,
@@ -632,25 +873,76 @@ class ShardSupervisor:
             "version_id": version_id,
             "metadata": metadata or {},
         }
-        return self._client_for(tenant_name).request(
-            "commit_delta", payload, timeout=timeout
-        )
+        return self._commit("commit_delta", tenant_name, payload, timeout)
+
+    def _commit(
+        self, op: str, tenant_name: str, payload: Dict, timeout: Optional[float]
+    ) -> Dict:
+        """Apply a commit on the owner and bump the tenant's replicas.
+
+        Writes stay single-owner.  For a replicated tenant the owner is
+        asked (``_want_record``) to return the committed version as an
+        O(delta) binary commit record, and the record is forwarded to
+        every live replica *inside the per-tenant commit lock* -- so
+        records hit each replica pipe in commit order, and the replica's
+        inline application makes pipe order the cutover order: once this
+        method returns generation G, any read routed anywhere scores
+        G's head pair (or newer), exactly the single-process contract.
+        A replica that fails to apply its record is poisoned out of the
+        read rotation rather than serving stale data.
+        """
+        owner = self._client_for(tenant_name)
+        if tenant_name not in self._replica_counts:
+            return owner.request(op, payload, timeout=timeout)
+        payload = dict(payload)
+        payload["_want_record"] = True
+        with self._commit_locks[tenant_name]:
+            result = owner.request(op, payload, timeout=timeout)
+            record = result.pop("_record", None)
+            generation = len(result.get("versions") or ())
+            if generation:
+                self._generations[tenant_name] = generation
+            if record is not None:
+                for client in self._live_replicas(tenant_name):
+                    try:
+                        future = client.submit(
+                            "apply_record",
+                            {"tenant": tenant_name, "record": record,
+                             "generation": generation},
+                        )
+                    except ShardError:
+                        continue  # died since the liveness check; degrades
+                    future.add_done_callback(
+                        lambda f, client=client: self._record_applied(f, client)
+                    )
+        return result
+
+    def _record_applied(self, future: Future, client: _ShardClient) -> None:
+        if future.exception() is None:
+            return
+        # The replica's chain no longer matches the owner's; serving from
+        # it would break bit-identity.  Poison it -- the next routing pass
+        # warns and degrades.
+        client.poison()
 
     def forward(self, op: str, payload: Dict, timeout: float | None = None) -> Dict:
-        """Route an HTTP-shaped body (``recommend`` / ``commit``) to its shard.
+        """Route an HTTP-shaped body (``recommend`` / ``commit``) by tenant.
 
         The router front-end calls this: the body is forwarded verbatim,
         so the shard performs exactly the validation and N-Triples parsing
-        the single-process handler would.
+        the single-process handler would.  ``recommend`` participates in
+        replica round-robin; ``commit`` always goes to the owner.
         """
         tenant_name = payload.get("tenant")
         if not tenant_name:
             raise ValueError(f"{op} requires 'tenant'")
-        return self._client_for(tenant_name).request(
-            op,
-            payload,
-            timeout=self.config.request_timeout_s if timeout is None else timeout,
-        )
+        timeout = self.config.request_timeout_s if timeout is None else timeout
+        if op == "recommend":
+            return self._route_read(tenant_name, payload).result(timeout=timeout)
+        if op == "commit":
+            payload.pop("_want_record", None)  # internal flag, never client-set
+            return self._commit(op, tenant_name, payload, timeout)
+        return self._client_for(tenant_name).request(op, payload, timeout=timeout)
 
     # -- introspection -------------------------------------------------------
 
@@ -670,19 +962,37 @@ class ShardSupervisor:
     def stats(self) -> Dict[str, object]:
         """Per-shard admission counters plus the tenant -> shard map."""
         per_shard = self._fanout("stats")
-        return {
+        stats: Dict[str, object] = {
             "shards": {
                 f"shard_{index}": stats for index, stats in enumerate(per_shard)
             },
             "tenant_shards": dict(sorted(self._tenant_shard.items())),
             "workers_per_shard": self.config.workers,
         }
+        if self._replica_counts:
+            stats["tenant_replicas"] = {
+                name: {
+                    "configured": count,
+                    "live": len(self._live_replicas(name)),
+                    "generation": self._generations.get(name),
+                }
+                for name, count in sorted(self._replica_counts.items())
+            }
+        return stats
 
     def health(self) -> Dict[str, object]:
-        """Aggregate liveness: every shard must answer."""
+        """Aggregate liveness: every shard must answer; replicas may degrade."""
         responses = self._fanout("health")
-        return {
+        health: Dict[str, object] = {
             "status": "ok",
             "shards": len(responses),
             "tenants": sum(int(r.get("tenants", 0)) for r in responses),
         }
+        if self._replica_counts:
+            health["replicas"] = {
+                "configured": sum(self._replica_counts.values()),
+                "live": sum(
+                    len(self._live_replicas(name)) for name in self._replica_counts
+                ),
+            }
+        return health

@@ -429,3 +429,66 @@ class TestTenantPersistenceHook:
         assert load_kb(tmp_path / "store").version_ids() == [
             "v1", "v2", "v3", "v_lost", "v_next",
         ]
+
+
+class TestStoreLifecycle:
+    """close() releases the lazy load's pinned memory maps (satellite of
+    the replica plane: fd/mmap lifetime is owned by the store, released on
+    tenant eviction / service shutdown, not whenever GC runs)."""
+
+    def test_close_is_idempotent(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        store = BinaryKBStore.open(tmp_path / "store")
+        kb = store.load(lazy=False)  # eager: nothing stays pinned
+        assert kb.version_ids() == ["v1", "v2", "v3"]
+        store.close()
+        store.close()  # idempotent
+
+    def test_context_manager_closes(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        with BinaryKBStore.open(tmp_path / "store") as store:
+            kb = store.load(lazy=False)
+        assert kb.version_ids() == ["v1", "v2", "v3"]
+        store.close()  # still idempotent after __exit__
+
+    def test_close_releases_lazy_load_fds(self, tmp_path):
+        import gc
+        import os
+
+        world = generate_world(seed=5, n_classes=25, n_versions=5, n_users=3)
+        save_kb(world.kb, tmp_path / "store", format="binary")
+        gc.collect()
+        before = len(os.listdir("/proc/self/fd"))
+        store = BinaryKBStore.open(tmp_path / "store")
+        kb = store.load()  # lazy: term table and key arrays view the mmap
+        assert len(kb) == 5
+        # Lazy versions must stay readable while the store is open...
+        assert all(len(v.graph) > 0 for v in kb)
+        del kb
+        gc.collect()
+        store.close()
+        gc.collect()
+        assert len(os.listdir("/proc/self/fd")) == before
+
+    def test_tenant_close_hook_runs_store_close(self, tmp_path):
+        from repro.service.registry import Tenant, TenantRegistry
+
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        store = BinaryKBStore.open(tmp_path / "store")
+        kb = store.load()
+        registry = TenantRegistry()
+        registry.add("demo", kb, on_close=store.close)
+        removed = registry.remove("demo")
+        assert removed is not None
+        store.close()  # already closed by the eviction hook; stays a no-op
+
+    def test_failing_close_hook_warns(self):
+        from repro.service.registry import Tenant
+
+        def bad_close():
+            raise OSError("already unmapped")
+
+        tenant = Tenant("demo", _kb(), on_close=bad_close)
+        with pytest.warns(RuntimeWarning, match="close hook failed"):
+            tenant.close()
+        tenant.close()  # idempotent: the hook does not run twice

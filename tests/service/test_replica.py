@@ -1,0 +1,361 @@
+"""Replicated serving tests: zero-copy replicas, cutover, degradation.
+
+The acceptance bar mirrors the sharded suite's, one notch harder:
+responses from the replicated topology (owner shard + N read-only
+replica processes bootstrapped from one shared-memory segment) must be
+**bit-identical** to a single-process :class:`RecommendationService` --
+under a steady stream, under a concurrent hammer, while commits race
+reads through the generation cutover, and while a replica is killed
+mid-hammer.  Replication changes cost, never values.
+
+Resource hygiene is asserted too: after ``close()`` (and even right
+after ``start()``, thanks to early unlink) no shared-memory segment of
+ours lingers in ``/dev/shm``, and the supervisor process's fd table
+returns to its pre-topology size.
+"""
+
+import json
+import os
+import threading
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.io.storage import package_to_dict
+from repro.kb import wire
+from repro.kb.namespaces import RDF_TYPE
+from repro.kb.triples import Triple
+from repro.recommender.engine import EngineConfig
+from repro.service import (
+    RecommendationService,
+    ServiceConfig,
+    ServiceError,
+    ShardSupervisor,
+)
+from repro.service.replica import (
+    create_shared_payload,
+    decode_shared_payload,
+    destroy_segment,
+)
+from repro.synthetic.config import (
+    EvolutionConfig,
+    InstanceConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.schema_gen import SYN
+from repro.synthetic.world import generate_world
+
+WORLD_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=20, n_properties=12),
+    instances=InstanceConfig(base_instances_per_class=6),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=30, n_hotspots=2),
+    users=UserConfig(n_users=4, events_per_user=8),
+)
+TENANT = "alpha"
+SERVICE_CONFIG = ServiceConfig(k=4, workers=2, engine=EngineConfig(k=4))
+
+
+def _shm_segments() -> set:
+    """Names of POSIX shared-memory segments currently in /dev/shm."""
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.iterdir() if p.name.startswith("psm_")}
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(seed=11, config=WORLD_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def topologies(world):
+    """The same tenant single-process and behind owner + 2 replicas."""
+    kb_bytes = wire.encode_kb(world.kb)
+    single = RecommendationService(SERVICE_CONFIG)
+    single.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+    supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=2)
+    supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+    supervisor.start()
+    try:
+        yield world, single, supervisor
+    finally:
+        supervisor.close()
+        single.close()
+
+
+class TestSharedPayload:
+    """The shared-memory plumbing in isolation."""
+
+    def test_roundtrip_preserves_chain(self, world):
+        segment = create_shared_payload(wire.encode_kb(world.kb))
+        try:
+            kb = decode_shared_payload(segment.name)
+        finally:
+            destroy_segment(segment)
+        assert kb.version_ids() == world.kb.version_ids()
+        assert len(kb.latest().graph) == len(world.kb.latest().graph)
+
+    def test_destroy_removes_the_segment(self, world):
+        segment = create_shared_payload(wire.encode_kb(world.kb))
+        name = segment.name
+        assert name in _shm_segments()
+        destroy_segment(segment)
+        assert name not in _shm_segments()
+        destroy_segment(segment)  # idempotent
+
+
+class TestReplicatedBitIdentity:
+    """Identical request streams -> identical bytes, replicas included."""
+
+    def test_stream_round_robins_and_matches(self, topologies):
+        world, single, supervisor = topologies
+        # 3 rounds over every user: with owner + 2 replicas, round-robin
+        # guarantees every process answers some of these requests.
+        for _ in range(3):
+            for user in world.users:
+                replicated = supervisor.recommend(TENANT, user.user_id)
+                expected = package_to_dict(single.recommend(TENANT, user.user_id))
+                assert replicated == expected, user.user_id
+                assert json.dumps(replicated, sort_keys=True) == json.dumps(
+                    expected, sort_keys=True
+                )
+
+    def test_concurrent_hammer_matches(self, topologies):
+        world, single, supervisor = topologies
+        results = {}
+        errors = []
+
+        def hit(slot, user_id):
+            try:
+                results[(slot, user_id)] = supervisor.recommend(TENANT, user_id)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(slot, user.user_id))
+            for slot in range(4)
+            for user in world.users
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == 4 * len(world.users)
+        for (_, user_id), replicated in results.items():
+            assert replicated == package_to_dict(single.recommend(TENANT, user_id))
+
+    def test_stats_and_health_report_replicas(self, topologies):
+        _, _, supervisor = topologies
+        stats = supervisor.stats()
+        replica_stats = stats["tenant_replicas"][TENANT]
+        assert replica_stats["configured"] == 2
+        assert replica_stats["live"] == 2
+        health = supervisor.health()
+        assert health["replicas"]["configured"] == 2
+        assert health["replicas"]["live"] == 2
+
+
+class TestGenerationCutover:
+    """Commits race reads: every response matches a serial replay."""
+
+    def test_commit_storm_while_hammering(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        single = RecommendationService(SERVICE_CONFIG)
+        single.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=2)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        classes = sorted(world.kb.latest().schema.classes(), key=lambda c: c.value)
+        observed = []
+        errors = []
+        stop = threading.Event()
+
+        def reader(user_id):
+            while not stop.is_set():
+                try:
+                    observed.append(supervisor.recommend(TENANT, user_id))
+                except BaseException as exc:  # surfaced below
+                    errors.append(exc)
+                    return
+
+        try:
+            readers = [
+                threading.Thread(target=reader, args=(user.user_id,))
+                for user in world.users[:2]
+            ]
+            for thread in readers:
+                thread.start()
+            # The storm: each commit bumps the replicas by one O(delta)
+            # record; concurrent reads land on whatever generation they
+            # were admitted at.
+            for i in range(5):
+                supervisor.commit_changes(
+                    TENANT,
+                    added=[
+                        Triple(SYN[f"storm_{i}_{j}"], RDF_TYPE, classes[j % len(classes)])
+                        for j in range(3)
+                    ],
+                    version_id=f"v_storm_{i}",
+                )
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=120)
+            assert not errors, errors
+            assert observed
+            # Post-storm: replicas converged on the owner's chain.
+            generations = supervisor.stats()["tenant_replicas"][TENANT]
+            assert generations["generation"] == len(world.kb) + 5
+
+            # Serial replay on the single-process mirror: every observed
+            # response must be bit-identical to the mirror's response for
+            # the same (user, version-pair) -- i.e. every read scored a
+            # real generation, never a half-applied one.
+            for i in range(5):
+                single.commit_changes(
+                    TENANT,
+                    added=[
+                        Triple(SYN[f"storm_{i}_{j}"], RDF_TYPE, classes[j % len(classes)])
+                        for j in range(3)
+                    ],
+                    version_id=f"v_storm_{i}",
+                )
+            for response in observed:
+                old_id, new_id = response["metadata"]["context"].split("->")
+                expected = package_to_dict(
+                    single.recommend(
+                        TENANT, response["audience"], old_id=old_id, new_id=new_id
+                    )
+                )
+                assert response == expected
+            # Fresh reads score the storm's final head pair identically.
+            for user in world.users:
+                assert supervisor.recommend(TENANT, user.user_id) == package_to_dict(
+                    single.recommend(TENANT, user.user_id)
+                )
+        finally:
+            supervisor.close()
+            single.close()
+
+
+class TestReplicaFailure:
+    """A dead replica degrades reads to the owner; no request is lost."""
+
+    def test_kill_replica_mid_hammer(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        single = RecommendationService(SERVICE_CONFIG)
+        single.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=1)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        try:
+            victim = supervisor._replica_clients[TENANT][0]
+            results = []
+            errors = []
+            killed = threading.Event()
+
+            def hammer(user_id):
+                for _ in range(6):
+                    try:
+                        results.append((user_id, supervisor.recommend(TENANT, user_id)))
+                    except BaseException as exc:  # surfaced below
+                        errors.append(exc)
+                        return
+                    if not killed.is_set():
+                        killed.set()
+                        victim.process.kill()
+                        victim.process.join(timeout=30)
+
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                threads = [
+                    threading.Thread(target=hammer, args=(user.user_id,))
+                    for user in world.users
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                # Reads after the kill keep the owner answering.
+                post_kill = [
+                    (user.user_id, supervisor.recommend(TENANT, user.user_id))
+                    for user in world.users
+                ]
+            # No request lost: the hammer never saw an error, and every
+            # response (before, during and after the kill) is bit-identical
+            # to the single-process mirror.
+            assert not errors, errors
+            assert len(results) == 6 * len(world.users)
+            for user_id, response in results + post_kill:
+                assert response == package_to_dict(single.recommend(TENANT, user_id))
+            # The degradation was logged (once per dead replica).
+            degradations = [
+                w for w in caught
+                if issubclass(w.category, RuntimeWarning)
+                and "degrade" in str(w.message)
+            ]
+            assert len(degradations) == 1
+            assert "replica 0" in str(degradations[0].message)
+            # ... and is visible in stats.
+            assert supervisor.stats()["tenant_replicas"][TENANT]["live"] == 0
+            assert supervisor.health()["replicas"]["live"] == 0
+        finally:
+            supervisor.close()
+            single.close()
+
+    def test_commits_still_work_after_replica_death(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=1)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        try:
+            victim = supervisor._replica_clients[TENANT][0]
+            victim.process.kill()
+            victim.process.join(timeout=30)
+            classes = sorted(world.kb.latest().schema.classes(), key=lambda c: c.value)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = supervisor.commit_changes(
+                    TENANT,
+                    added=[Triple(SYN["after_death"], RDF_TYPE, classes[0])],
+                    version_id="v_after_death",
+                )
+                assert result["version_id"] == "v_after_death"
+                assert supervisor.recommend(TENANT, world.users[0].user_id)["items"]
+        finally:
+            supervisor.close()
+
+
+class TestReplicaIsReadOnly:
+    def test_direct_commit_on_replica_rejected(self, topologies):
+        _, _, supervisor = topologies
+        replica = supervisor._replica_clients[TENANT][0]
+        with pytest.raises(ServiceError, match="read-only"):
+            replica.request("commit_delta", {"tenant": TENANT}, timeout=30)
+
+
+class TestResourceHygiene:
+    """No leaked shared memory, no leaked fds."""
+
+    def test_no_segments_after_start_and_close(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        before_segments = _shm_segments()
+        before_fds = _open_fds()
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=2)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        # Early unlink: the segment is gone from /dev/shm the moment every
+        # process attached -- even a SIGKILL'd topology leaves nothing.
+        assert _shm_segments() == before_segments
+        assert supervisor.recommend(TENANT, world.users[0].user_id)["items"]
+        supervisor.close()
+        assert _shm_segments() == before_segments
+        assert _open_fds() == before_fds
