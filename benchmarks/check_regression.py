@@ -43,6 +43,14 @@ Design notes, so the gate stays honest:
   when the run recorded ``cpu_count > 1``: read replicas scale across
   cores, so a 1-core box records its honest flat number and is not
   failed for physics.
+* The durability gate (``durability`` sections, committed baseline and
+  ``--fresh-durability`` alike) is all invariants, no ratios: the
+  kill-and-reboot soak must have recorded zero loss of acknowledged
+  commits, a commit log bounded by its roll-up threshold, bit-identical
+  recovered recommendations, a worst recovery under its recorded budget,
+  and (for the committed full soak) at least 20 kill/reboot cycles.
+  Hardware speed never enters it -- a crash-consistency bug is a bug on
+  any box.
 * The service gate applies the identical tolerance / noise-floor scheme to
   the p50 and p99 of every committed concurrency level (entries named
   ``service.clients_N.p50_ms``).  The fresh serving run is a ``--quick``
@@ -307,6 +315,81 @@ def check_replicated(
     return verdicts
 
 
+def check_durability(report: Dict, label: str = "durability") -> List[Verdict]:
+    """Gate a report's ``durability`` section (absent -> no verdicts).
+
+    The section is the output of ``bench_durability.py`` -- a
+    kill-and-reboot soak over the binary store's persistence plane.  The
+    gate holds it to exactly what the store promises:
+
+    * ``zero_loss`` -- no acknowledged commit was ever missing after a
+      reboot ("an append that returned is never lost");
+    * ``log_bounded`` -- ``commits.rpl`` never exceeded the roll-up
+      threshold after recovery (the threshold really bounds it);
+    * ``responses_bit_identical`` -- the recovered chain recommended
+      byte-identically to an uncrashed control;
+    * ``recovery.max_s <= recovery.budget_s`` -- the worst reboot stayed
+      inside its recorded budget (roll-up's reason to exist);
+    * at least 20 kill/reboot cycles, unless the run recorded
+      ``meta.quick`` (the CI smoke runs fewer; the committed full soak
+      must not quietly shrink).
+    """
+    section = report.get("durability")
+    if section is None:
+        return []
+    verdicts: List[Verdict] = []
+    for flag, claim in (
+        ("zero_loss", "no acknowledged commit lost"),
+        ("log_bounded", "commit log stayed under the roll-up threshold"),
+        ("responses_bit_identical", "recovered == uncrashed control"),
+    ):
+        held = section.get(flag) is True
+        verdicts.append(
+            Verdict(
+                f"{label}.{flag}", None, None, None, ok=held,
+                note=claim if held else f"soak recorded {flag}={section.get(flag)!r}",
+            )
+        )
+    recovery = section.get("recovery", {})
+    max_s, budget_s = recovery.get("max_s"), recovery.get("budget_s")
+    if max_s is None or budget_s is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.recovery", None, None, None, ok=False,
+                note="section carries no recovery max_s/budget_s",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.recovery", budget_s, max_s,
+                max_s / budget_s if budget_s else None,
+                ok=max_s <= budget_s,
+                note=(
+                    f"worst reboot {max_s * 1e3:.1f} ms within budget"
+                    if max_s <= budget_s
+                    else f"worst reboot {max_s * 1e3:.1f} ms over "
+                         f"{budget_s * 1e3:.0f} ms budget"
+                ),
+            )
+        )
+    cycles = section.get("cycles", 0)
+    quick = bool(section.get("meta", {}).get("quick"))
+    enough = quick or cycles >= 20
+    verdicts.append(
+        Verdict(
+            f"{label}.cycles", None, None, None, ok=enough,
+            note=(
+                f"{cycles} kill/reboot cycles"
+                + ("" if not quick else " (quick)")
+                if enough
+                else f"full soak shrank to {cycles} cycles (need >= 20)"
+            ),
+        )
+    )
+    return verdicts
+
+
 def render(verdicts: List[Verdict], tolerance: float) -> str:
     """A fixed-width comparison table."""
     lines = [
@@ -374,6 +457,12 @@ def main(argv: List[str] | None = None) -> int:
              "baseline's",
     )
     parser.add_argument(
+        "--fresh-durability", type=Path, default=None,
+        help="fresh durability soak report (bench_durability.py output); its "
+             "durability section is gated like the baseline's (zero-loss, "
+             "bounded log, bit-identical recovery, recovery-time budget)",
+    )
+    parser.add_argument(
         "--replicated-min-speedup", type=float,
         default=DEFAULT_REPLICATED_MIN_SPEEDUP,
         help="minimum replicated/owner-only speedup at the top concurrency "
@@ -408,6 +497,14 @@ def main(argv: List[str] | None = None) -> int:
     verdicts.extend(
         check_replicated(baseline, min_speedup=args.replicated_min_speedup)
     )
+    verdicts.extend(check_durability(baseline))
+    if args.fresh_durability is not None:
+        verdicts.extend(
+            check_durability(
+                json.loads(args.fresh_durability.read_text()),
+                label="fresh.durability",
+            )
+        )
     if args.fresh_replicated is not None:
         verdicts.extend(
             check_replicated(

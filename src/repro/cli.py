@@ -23,9 +23,23 @@ Subcommands::
     python -m repro report    --kb DIR --anonymity K [--strategy generalize|suppress]
         print the k-anonymous change report of the latest evolution step
 
+    python -m repro compact-store --kb DIR [--retain SPEC]
+                                  [--rollup-bytes B --rollup-records N]
+        roll a binary store's commit log up into its base offline:
+        rewrite ``kb.rpw`` from the live chain (atomic tmp +
+        ``os.replace`` + dir fsync) and truncate ``commits.rpl``.  With
+        ``--retain`` (``all``, ``last:N``, ``threshold:C``, ``thin[:B]``)
+        the rolled-up base is additionally thinned through the matching
+        :mod:`repro.kb.archive` policy (first and latest versions always
+        survive) under the store's original KB name.  With
+        ``--rollup-bytes``/``--rollup-records`` the roll-up only runs
+        when the log is at/over a threshold (exit status still 0 -- "not
+        due" is not an error).
+
     python -m repro serve --kb DIR --users FILE [--port N] [--host H]
                           [--tenant NAME] [--workers W] [--shards S]
                           [--replicas R] [-k K] [--persist]
+                          [--rollup-bytes B] [--rollup-records N]
         serve concurrent JSON recommendation requests over HTTP.  The KB
         becomes one tenant of a :mod:`repro.service`
         ``RecommendationService`` (thread worker pool + admission batching
@@ -41,7 +55,15 @@ Subcommands::
         ``POST /commit`` is additionally appended to the store's commit
         log under the tenant write lock: one O(delta) fsync per commit,
         never a full-snapshot rewrite, so a restart replays to exactly
-        the served chain.
+        the served chain.  The crash-consistency guarantee is strict:
+        **a commit whose HTTP response was sent is never lost** -- each
+        record is fsynced before the commit hook returns, and boot-time
+        recovery only ever drops bytes written *after* the last
+        acknowledged record.  ``--rollup-bytes`` / ``--rollup-records``
+        bound the log (and hence restart/recovery time): when a commit
+        leaves ``commits.rpl`` at/over either threshold, the store
+        rewrites its base from the live chain and truncates the log,
+        still under the same write lock.
 
         **Sharded topology** (``--shards S``, S >= 1): instead of scoring
         in-process, the command spawns S worker *processes*, each running
@@ -186,7 +208,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--persist", action="store_true",
         help="append every /commit to the KB's binary-store commit log "
-             "(requires a binary-store --kb and the single-process topology)",
+             "(requires a binary-store --kb and the single-process topology); "
+             "an acknowledged commit is never lost across a crash/restart",
+    )
+    serve.add_argument(
+        "--rollup-bytes", type=int, metavar="B",
+        help="with --persist: roll the commit log up into the base whenever "
+             "it reaches B bytes (bounds restart recovery time)",
+    )
+    serve.add_argument(
+        "--rollup-records", type=int, metavar="N",
+        help="with --persist: roll the commit log up into the base whenever "
+             "it reaches N records",
+    )
+
+    compact = commands.add_parser(
+        "compact-store",
+        help="roll a binary store's commit log up into its base (offline)",
+    )
+    compact.add_argument("--kb", required=True, help="binary store directory")
+    compact.add_argument(
+        "--retain", metavar="SPEC",
+        help="additionally thin the rolled-up chain through an archive "
+             "policy: all, last:N, threshold:C, thin or thin:B "
+             "(first and latest versions always survive)",
+    )
+    compact.add_argument(
+        "--rollup-bytes", type=int, metavar="B",
+        help="only roll up when the log is at least B bytes (default: always)",
+    )
+    compact.add_argument(
+        "--rollup-records", type=int, metavar="N",
+        help="only roll up when the log holds at least N records",
     )
     return parser
 
@@ -296,6 +349,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact_store(args: argparse.Namespace) -> int:
+    """Offline roll-up: absorb a store's commit log into its base.
+
+    The online twin of ``serve --persist --rollup-*``: rewrites ``kb.rpw``
+    from the chain on disk through the same atomic tmp + ``os.replace`` +
+    dir-fsync path and truncates ``commits.rpl``, so the next boot
+    recovers in O(base) with no log replay.  Crash-safe at every point --
+    a kill mid-compaction leaves either the old base + old log (before the
+    replace) or a new base whose superseded log records are discarded on
+    the next load (after it).  With ``--retain`` the rolled-up chain is
+    additionally thinned through a :mod:`repro.kb.archive` policy, keeping
+    the store's original KB name (and always the first + latest versions,
+    so the end-to-end delta survives).
+    """
+    from repro.io.store import BinaryKBStore
+    from repro.kb.archive import policy_from_spec
+    from repro.kb.errors import KnowledgeBaseError
+
+    try:
+        store = BinaryKBStore.open(
+            Path(args.kb),
+            rollup_bytes=args.rollup_bytes,
+            rollup_records=args.rollup_records,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    policy = None
+    if args.retain:
+        try:
+            policy = policy_from_spec(args.retain)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    records_before, bytes_before = store.log_stats()
+    try:
+        kb = store.load()
+        if (args.rollup_bytes or args.rollup_records) and not store._rollup_due():
+            print(
+                f"store {args.kb}: log at {records_before} records / "
+                f"{bytes_before} bytes, under threshold -- nothing to do"
+            )
+            return 0
+        versions_before = len(kb)
+        if policy is not None:
+            kb = policy.apply(kb, name=kb.name)
+            BinaryKBStore.save(kb, store.directory)
+        else:
+            store.rollup(kb)
+    except KnowledgeBaseError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    finally:
+        store.close()
+    records_after, bytes_after = store.log_stats()
+    thinned = (
+        f", {versions_before} -> {len(kb)} versions ({args.retain})"
+        if policy is not None
+        else ""
+    )
+    print(
+        f"compacted {args.kb}: absorbed {records_before} log records "
+        f"({bytes_before} -> {bytes_after} log bytes){thinned}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.io.store import BinaryKBStore
     from repro.recommender.engine import EngineConfig
@@ -322,12 +439,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "error: --persist is single-process only (sharded commits are "
             "applied by the owning shard process)"
         )
+    if (args.rollup_bytes or args.rollup_records) and not args.persist:
+        raise SystemExit(
+            "error: --rollup-bytes/--rollup-records only apply with --persist"
+        )
     users = load_users(Path(args.users))
-    config = ServiceConfig(
-        k=args.k,
-        workers=args.workers,
-        engine=EngineConfig(k=args.k, spread_depth=1),
-    )
+    try:
+        config = ServiceConfig(
+            k=args.k,
+            workers=args.workers,
+            rollup_bytes=args.rollup_bytes,
+            rollup_records=args.rollup_records,
+            engine=EngineConfig(k=args.k, spread_depth=1),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     if args.shards:
         # Sharded topology: worker processes score, this process routes.
         supervisor = ShardSupervisor(
@@ -359,22 +485,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         closer = supervisor.close
     else:
-        on_commit = None
-        on_close = None
+        store = None
         if args.persist:
+            # add_tenant(store=...) wires the whole durability plane: the
+            # O(delta) sync-per-commit hook, opportunistic threshold
+            # roll-up under the tenant write lock, and releasing the
+            # store's pinned lazy memory maps when the tenant leaves
+            # serving (shutdown), not whenever GC gets around to it.
             store = BinaryKBStore.open(kb_dir)
             kb = store.load()
-            on_commit = lambda version: store.sync(kb)  # noqa: E731
-            # Release the store's pinned lazy memory maps when the tenant
-            # leaves serving (shutdown), not whenever GC gets around to it.
-            on_close = store.close
         else:
             kb = load_kb(kb_dir)
         tenant_name = args.tenant or kb.name
         service = RecommendationService(config)
-        tenant = service.add_tenant(
-            tenant_name, kb, users, on_commit=on_commit, on_close=on_close
-        )
+        tenant = service.add_tenant(tenant_name, kb, users, store=store)
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
         persisting = " [persisting commits]" if args.persist else ""
@@ -404,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         "recommend": _cmd_recommend,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "compact-store": _cmd_compact_store,
     }[args.command]
     try:
         return handler(args)

@@ -21,6 +21,7 @@ downstream measure results and recommendations).
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, List, Sequence
 
@@ -115,6 +116,18 @@ def load_kb(directory: str | Path, lazy: bool = True) -> VersionedKnowledgeBase:
     """
     directory = Path(directory)
     if BinaryKBStore.is_store(directory):
+        if (directory / _MANIFEST).exists():
+            # Both layouts at once only happens when a save was interrupted
+            # before its cleanup (or two tools trampled one directory).
+            # Warn rather than guess silently: the binary store wins, the
+            # .nt manifest is the remnant.
+            warnings.warn(
+                f"{directory} holds both a binary store and a {_MANIFEST} "
+                "layout; loading the binary store and ignoring the .nt "
+                "remnants (re-save to clean up)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return BinaryKBStore.open(directory).load(lazy=lazy)
     manifest_path = directory / _MANIFEST
     if not manifest_path.exists():

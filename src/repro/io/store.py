@@ -6,18 +6,37 @@ A store is a directory holding two files in the binary wire format of
 ``kb.rpw``
     one ``encode_kb`` payload -- the term dictionary in id order, the root
     snapshot and the recorded delta chain of every version present at
-    :meth:`BinaryKBStore.save` time.  Written atomically (tmp file +
-    ``os.replace``) and never touched again by commits.
+    :meth:`BinaryKBStore.save` (or :meth:`BinaryKBStore.rollup`) time.
+    Written atomically (tmp file + ``os.replace`` + directory fsync) and
+    never touched again by commits.
 ``commits.rpl``
     zero or more self-delimiting commit records (``encode_commit``)
     appended by :meth:`BinaryKBStore.sync` / :meth:`append_commit` -- each
     carries one version's dictionary *growth* plus its recorded
     ``(added, deleted)`` delta, flushed and ``fsync``\\ ed per record.
     Persisting a service commit is therefore **O(delta)**, never a
-    full-snapshot rewrite.  Crash damage the append/save protocol can
-    produce -- a torn final record, or a log superseded by a newer base --
-    is *recovered* on load (warn, replay the intact prefix, truncate the
-    file), never a refused boot; see :func:`_vet_commit_log`.
+    full-snapshot rewrite.  Crash damage the append/save/roll-up protocol
+    can produce -- a torn final record, or log records superseded by a
+    newer base -- is *recovered* on load (warn, replay the chained
+    prefix, truncate the file), never a refused boot; see
+    :func:`_chained_prefix`.
+
+The crash-consistency contract, in one sentence: **an append that
+returned is never lost** -- each record is fsynced before
+:meth:`append_commit` returns, recovery only ever drops bytes *after*
+the last record that chains onto the base, and a failed append rewinds
+the file (or poisons the handle) so later appends can never land behind
+garbage.  Every durable mutation goes through the :data:`hooks` syscall
+seam, which is how the fault-injection tests prove the contract at every
+crash point.
+
+Unbounded log growth is handled by **roll-up**
+(:meth:`BinaryKBStore.rollup`): when the log crosses a configured
+byte/record threshold, the live chain is rewritten as a fresh base (same
+atomic tmp + replace path as :meth:`~BinaryKBStore.save`) and the log is
+truncated -- bounding a long-lived server's recovery time by the
+threshold, not by its uptime.  :meth:`sync` triggers it opportunistically
+under the tenant write lock; ``repro compact-store`` exposes it offline.
 
 Loading memory-maps the base file and decodes it lazily
 (:func:`repro.kb.wire.decode_kb` with ``lazy=True``): only the root
@@ -54,6 +73,42 @@ BASE_FILE = "kb.rpw"
 LOG_FILE = "commits.rpl"
 
 
+class _SyscallHooks:
+    """The store's durability syscalls, behind one swappable indirection.
+
+    Every mutation the crash-consistency contract depends on -- record
+    and base writes, fsyncs (file and directory), the atomic base
+    replace, log truncations -- calls through the module-level
+    :data:`hooks` instance instead of ``os``/file methods directly.
+    Production is a straight pass-through; the fault-injection tests
+    (``tests/test_failure_injection.py``) and the kill-and-reboot soak
+    (``benchmarks/bench_durability.py``) swap in implementations that
+    fail or "crash" at a chosen call, which is how the store proves that
+    every crash point of save/append/recover/roll-up reboots with zero
+    loss of acknowledged commits.
+    """
+
+    @staticmethod
+    def write(handle, data) -> int:
+        return handle.write(data)
+
+    @staticmethod
+    def fsync(fd: int) -> None:
+        os.fsync(fd)
+
+    @staticmethod
+    def replace(src, dst) -> None:
+        os.replace(src, dst)
+
+    @staticmethod
+    def truncate(handle, size: int) -> None:
+        handle.truncate(size)
+
+
+#: Live hook set; tests monkeypatch ``repro.io.store.hooks`` to inject faults.
+hooks = _SyscallHooks()
+
+
 def _fsync_dir(directory: Path) -> None:
     """fsync a directory so renames/truncations of its entries are durable.
 
@@ -68,54 +123,87 @@ def _fsync_dir(directory: Path) -> None:
     except OSError:  # pragma: no cover - platform without directory opens
         return
     try:
-        os.fsync(fd)
+        hooks.fsync(fd)
     except OSError:  # pragma: no cover - e.g. network fs rejecting dir fsync
         pass
     finally:
         os.close(fd)
 
 
-def _vet_commit_log(kb: VersionedKnowledgeBase, dictionary, log) -> Tuple[bytes, Optional[str]]:
-    """The replayable prefix of ``log`` against the decoded base, if any.
+def _chained_prefix(
+    base_ids: List[str], n_terms: Optional[int], log
+) -> Tuple[List[str], int, Optional[str]]:
+    """The longest log prefix chaining onto a base, from headers alone.
 
-    Two kinds of damage are survivable by construction and recovered here
-    rather than failing the boot:
+    Three kinds of crash damage are survivable by construction and
+    recovered here rather than failing the boot:
 
     * a **torn tail** -- a crash between ``write`` and ``fsync`` in
       :meth:`BinaryKBStore.append_commit` leaves a partial final record;
       every intact record before it is a perfectly served prefix;
     * a **stale log** -- a crash between :meth:`BinaryKBStore.save`'s
       atomic base replace and its log truncation leaves records that
-      predate the new base (which already contains their versions); a
-      valid log's first record always chains exactly onto the base
-      (``terms_before`` equals the dictionary size and its version id is
-      new), so a first record that does not is the whole log being
-      superseded.
+      predate the new base (which already contains their versions);
+    * a **partially superseded log** -- the same window in
+      :meth:`BinaryKBStore.rollup` can leave a log whose records overlap
+      the freshly rolled-up base mid-chain.
 
-    Anything else (a corrupt record that still frames correctly) stays a
-    hard :class:`WireFormatError` downstream.  Returns ``(usable log
-    bytes, reason-dropped-or-None)``.
+    All three reduce to one chain walk: starting from the base's version
+    ids and its dictionary size (``n_terms``), each record must name a
+    *new* version id and pick up the term count exactly where the running
+    head left it (``terms_before`` matches, ``terms_after`` never
+    shrinks).  The walk stops at the first record that does not chain --
+    a first-record mismatch is the classic stale log, a later one is the
+    interrupted-roll-up overlap -- so the usable prefix is exact, never a
+    guess from the first record alone.
+
+    ``n_terms`` may be ``None`` for pre-``n_terms`` base payloads; the
+    walk then anchors on the first record's own ``terms_before`` claim,
+    which :func:`decode_store_payload` re-verifies against the decoded
+    dictionary.  Anything else (a corrupt record that still frames and
+    chains) stays a hard :class:`WireFormatError` downstream.  Returns
+    ``(chained version ids, end byte offset, reason-dropped-or-None)``.
     """
     _, intact_end = wire.scan_commit_log(log)
-    dropped = None
+    reason = None
     if intact_end < len(log):
-        dropped = (
+        reason = (
             f"torn tail at byte {intact_end} of {len(log)} "
             f"(crash between append and fsync?)"
         )
-        log = log[:intact_end]
-    if log:
-        first = next(wire.iter_commit_headers(log))
-        if first.get("terms_before") != len(dictionary) or first.get("version_id") in kb:
-            dropped = (
-                f"{dropped}; " if dropped else ""
-            ) + "log does not chain onto this base (superseded by a newer save?)"
-            log = b""
-    return bytes(log), dropped
+    seen = set(base_ids)
+    ids: List[str] = []
+    end = 0
+    running = n_terms
+    for index, (header, _start, stop) in enumerate(
+        wire.iter_commit_spans(bytes(log[:intact_end]))
+    ):
+        version_id = header.get("version_id")
+        terms_before = header.get("terms_before")
+        terms_after = header.get("terms_after")
+        if running is None:
+            running = terms_before
+        if (
+            version_id is None
+            or version_id in seen
+            or terms_before != running
+            or not isinstance(terms_after, int)
+            or terms_after < running
+        ):
+            reason = (f"{reason}; " if reason else "") + (
+                f"record {index} ({version_id!r}) does not chain onto this "
+                "base (superseded by a newer save or an interrupted roll-up?)"
+            )
+            break
+        seen.add(version_id)
+        ids.append(version_id)
+        running = terms_after
+        end = stop
+    return ids, end, reason
 
 
 def decode_store_payload(
-    base: bytes,
+    base,
     log: bytes = b"",
     on_recovery: "Optional[callable]" = None,
 ) -> VersionedKnowledgeBase:
@@ -130,24 +218,41 @@ def decode_store_payload(
     with zero delta replay no matter how long the log tail is.  All other
     snapshots stay lazy.
 
-    A torn log tail or a stale log (see :func:`_vet_commit_log`) is
-    dropped with a :class:`RuntimeWarning` instead of failing the boot;
-    ``on_recovery(reason, usable_log_bytes)`` is additionally invoked so
-    an owner of the underlying file can truncate it.  (In the rare
-    stale-log case the head pair boots unwarmed and materialises through
-    ordinary delta replay on first use.)
+    A torn log tail, a stale log, or a partially superseded log (see
+    :func:`_chained_prefix`) is dropped with a :class:`RuntimeWarning`
+    instead of failing the boot; ``on_recovery(reason, usable_log_bytes)``
+    is additionally invoked so an owner of the underlying file can
+    truncate it.  (In the rare stale-log case the head pair boots
+    unwarmed and materialises through ordinary delta replay on first
+    use.)
     """
     if not log:
         return wire.decode_kb(base, lazy=True)
-    # Frame-level scan first: it tells the base decode how many log
-    # versions will follow (so head-pair warming lands on the *chain's*
-    # head, not the base's) and bounds the replay to the intact prefix.
-    n_records, _ = wire.scan_commit_log(log)
-    kb, running = wire.decode_kb_lazy(base, trailing_records=n_records)
+    # Header-only pre-vet: which log prefix chains onto this base?  The
+    # answer tells the base decode how many log versions will follow (so
+    # head-pair warming lands on the *chain's* head, not the base's) and
+    # bounds the replay to records that actually extend the base.
+    header = wire.read_kb_header(base)
+    base_ids = [entry["version_id"] for entry in header.get("versions", [])]
+    usable_ids, usable_end, dropped = _chained_prefix(
+        base_ids, header.get("n_terms"), log
+    )
+    kb, running = wire.decode_kb_lazy(base, trailing_records=len(usable_ids))
     if not len(kb):
         raise WireFormatError("commit log without a root version in the base")
     dictionary = kb.first().graph.dictionary
-    log, dropped = _vet_commit_log(kb, dictionary, log)
+    if usable_ids and header.get("n_terms") is None:
+        # Pre-``n_terms`` base payload: the chain walk anchored on the
+        # first record's own claim -- re-verify it against the decoded
+        # dictionary before trusting the whole prefix.
+        first = next(wire.iter_commit_headers(log))
+        if first.get("terms_before") != len(dictionary):
+            usable_ids, usable_end = [], 0
+            dropped = (f"{dropped}; " if dropped else "") + (
+                "record 0 does not chain onto this base "
+                "(superseded by a newer save?)"
+            )
+    log = bytes(log[:usable_end])
     if dropped is not None:
         warnings.warn(f"commit log recovery: {dropped}", RuntimeWarning, stacklevel=2)
         if on_recovery is not None:
@@ -183,18 +288,42 @@ class BinaryKBStore:
         kb.commit_changes(added=[...])
         store.sync(kb)                               # O(delta) append + fsync
 
-        store = BinaryKBStore.open("world/kb")
+        store = BinaryKBStore.open("world/kb", rollup_records=256)
         kb = store.load()                            # mmap decode, lazy replay
+
+    ``rollup_bytes`` / ``rollup_records`` arm opportunistic roll-up:
+    whenever :meth:`sync` leaves the commit log at or above either
+    threshold, the live chain is rewritten as a fresh base and the log is
+    truncated (:meth:`rollup`), bounding recovery time for a long-lived
+    server.  ``None`` (the default) disables the corresponding threshold.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        rollup_bytes: Optional[int] = None,
+        rollup_records: Optional[int] = None,
+    ) -> None:
+        for knob, value in (
+            ("rollup_bytes", rollup_bytes),
+            ("rollup_records", rollup_records),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{knob} must be a positive integer, got {value!r}")
         self.directory = Path(directory)
         self.base_path = self.directory / BASE_FILE
         self.log_path = self.directory / LOG_FILE
+        self.rollup_bytes = rollup_bytes
+        self.rollup_records = rollup_records
         # Disk-state cursor: how far the on-disk files cover the chain.
         # Filled by save()/load(); sync() refuses to run blind.
         self._n_terms: Optional[int] = None
         self._version_ids: Optional[List[str]] = None
+        self._log_records: int = 0
+        # Set when a failed append could not be rewound: the log tail may
+        # be garbage, so further appends raise until a roll-up (or a
+        # reload's recovery) rewrites/truncates the file.
+        self._poisoned: Optional[str] = None
         # Memory maps opened by load() that a stray decode view kept
         # pinned; close() retries them so the fd/map lifetime is bounded
         # by the handle, not by garbage collection.
@@ -208,55 +337,97 @@ class BinaryKBStore:
         return (Path(directory) / BASE_FILE).is_file()
 
     @classmethod
-    def save(cls, kb: VersionedKnowledgeBase, directory: str | Path) -> "BinaryKBStore":
+    def save(
+        cls,
+        kb: VersionedKnowledgeBase,
+        directory: str | Path,
+        rollup_bytes: Optional[int] = None,
+        rollup_records: Optional[int] = None,
+    ) -> "BinaryKBStore":
         """Write ``kb`` as a fresh store (atomic base write, empty log).
 
         The base lands via tmp-file + ``os.replace``; the old commit log
         is truncated *after* the replace, so the crash window between the
         two leaves a new base plus a log that predates it -- which the
-        load path detects as stale (its first record no longer chains
-        onto the base) and discards.  Every version of the saved chain is
-        inside the new base, so nothing is lost in that window either.
+        load path detects as stale (its records no longer chain onto the
+        base) and discards.  Every version of the saved chain is inside
+        the new base, so nothing is lost in that window either.
         """
-        store = cls(directory)
+        store = cls(directory, rollup_bytes=rollup_bytes, rollup_records=rollup_records)
         store.directory.mkdir(parents=True, exist_ok=True)
-        data = wire.encode_kb(kb)
-        tmp_path = store.base_path.with_suffix(".rpw.tmp")
-        with tmp_path.open("wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, store.base_path)
-        # The rename is atomic but not yet durable: the directory entry
-        # for the new inode must itself be synced, or a crash right after
-        # save() could resurface the old base (or no base at all).
-        _fsync_dir(store.directory)
-        # A fresh base supersedes any previous log tail -- and any ``.nt``
-        # layout in the same directory (manifest plus its numbered
-        # per-version files), which external tools globbing ``*.nt`` would
-        # otherwise read as a second, stale identity for this KB.
-        with store.log_path.open("wb") as handle:
-            handle.flush()
-            os.fsync(handle.fileno())
+        store._write_base(kb)
+        store._truncate_log()
+        # A fresh base supersedes any ``.nt`` layout in the same directory
+        # (manifest plus its numbered per-version files), which external
+        # tools globbing ``*.nt`` would otherwise read as a second, stale
+        # identity for this KB.
         manifest = store.directory / "manifest.json"
         if manifest.exists():
             manifest.unlink()
         for stale in store.directory.glob("[0-9][0-9][0-9][0-9]_*.nt"):
             stale.unlink()
         _fsync_dir(store.directory)
-        store._version_ids = kb.version_ids()
-        store._n_terms = (
-            len(kb.first().graph.dictionary) if len(kb) else 0
-        )
+        store._set_cursor(kb)
         return store
 
     @classmethod
-    def open(cls, directory: str | Path) -> "BinaryKBStore":
+    def open(
+        cls,
+        directory: str | Path,
+        rollup_bytes: Optional[int] = None,
+        rollup_records: Optional[int] = None,
+    ) -> "BinaryKBStore":
         """Handle on an existing store (raises ``FileNotFoundError`` if absent)."""
-        store = cls(directory)
+        store = cls(directory, rollup_bytes=rollup_bytes, rollup_records=rollup_records)
         if not store.base_path.is_file():
             raise FileNotFoundError(f"no {BASE_FILE} in {store.directory}")
+        # Tmp-file hygiene: a crash between writing the tmp base and the
+        # atomic replace strands the tmp file; it is garbage by
+        # construction (the real base is whatever the replace last
+        # published), so opening the store clears it.
+        store._clear_stale_tmp()
         return store
+
+    # -- internal write primitives -------------------------------------------
+
+    def _clear_stale_tmp(self) -> None:
+        """Remove stranded ``*.rpw.tmp`` files (crash before ``os.replace``)."""
+        for stale in self.directory.glob("*.rpw.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - raced by a concurrent writer
+                pass
+
+    def _write_base(self, kb: VersionedKnowledgeBase) -> None:
+        """Atomically publish ``kb`` as the base file (tmp + replace + fsyncs)."""
+        self._clear_stale_tmp()
+        data = wire.encode_kb(kb)
+        tmp_path = self.base_path.with_suffix(".rpw.tmp")
+        with tmp_path.open("wb") as handle:
+            hooks.write(handle, data)
+            handle.flush()
+            hooks.fsync(handle.fileno())
+        hooks.replace(tmp_path, self.base_path)
+        # The rename is atomic but not yet durable: the directory entry
+        # for the new inode must itself be synced, or a crash right after
+        # could resurface the old base (or no base at all).
+        _fsync_dir(self.directory)
+
+    def _truncate_log(self) -> None:
+        """Truncate (or create) the commit log as empty, durably."""
+        mode = "r+b" if self.log_path.is_file() else "wb"
+        with self.log_path.open(mode) as handle:
+            hooks.truncate(handle, 0)
+            handle.flush()
+            hooks.fsync(handle.fileno())
+        _fsync_dir(self.directory)
+
+    def _set_cursor(self, kb: VersionedKnowledgeBase, log_records: int = 0) -> None:
+        """Reset the disk-state cursor to ``kb`` with an empty (or known) log."""
+        self._version_ids = kb.version_ids()
+        self._n_terms = len(kb.first().graph.dictionary) if len(kb) else 0
+        self._log_records = log_records
+        self._poisoned = None
 
     # -- loading -------------------------------------------------------------
 
@@ -289,8 +460,9 @@ class BinaryKBStore:
         if not lazy:
             for version in kb:
                 version.graph  # force materialisation
-        self._version_ids = kb.version_ids()
-        self._n_terms = len(kb.first().graph.dictionary) if len(kb) else 0
+        # Any recovery above already truncated the file to its usable
+        # prefix, so the on-disk record count is a plain frame scan.
+        self._set_cursor(kb, log_records=self.log_stats()[0])
         return kb
 
     def bootstrap_payload(self) -> Tuple[bytes, bytes]:
@@ -310,51 +482,95 @@ class BinaryKBStore:
         Decodes only the base header and the per-record log headers -- no
         term table, no key array.  Pass an already-read
         :meth:`bootstrap_payload` to avoid touching the files a second
-        time (the sharded serve path reads the store exactly once).
+        time (the sharded serve path reads the store exactly once).  Uses
+        the same chain walk as the load path (:func:`_chained_prefix`),
+        so torn tails, stale logs and interrupted-roll-up overlaps are
+        invisible here too.
         """
         base, log = payload if payload is not None else self.bootstrap_payload()
         header = wire.read_kb_header(base)
         ids = [entry["version_id"] for entry in header.get("versions", [])]
-        # Same crash tolerance as the load path: walk only the intact log
-        # prefix, and ignore a log whose first record names a version the
-        # base already holds (stale after an interrupted save).
-        _, intact_end = wire.scan_commit_log(log)
-        log_ids = [
-            record["version_id"]
-            for record in wire.iter_commit_headers(log[:intact_end])
-        ]
-        if log_ids and log_ids[0] not in ids:
-            ids.extend(log_ids)
-        return header.get("name", "kb"), ids
+        log_ids, _, _ = _chained_prefix(ids, header.get("n_terms"), log)
+        return header.get("name", "kb"), ids + log_ids
+
+    def log_stats(self) -> Tuple[int, int]:
+        """``(intact record count, byte size)`` of the on-disk commit log."""
+        if not self.log_path.is_file():
+            return 0, 0
+        log = self.log_path.read_bytes()
+        records, _ = wire.scan_commit_log(log)
+        return records, len(log)
 
     def _recover_log(self, reason: str, usable: bytes) -> None:
-        """Persist a log recovery: rewrite the file to its usable prefix.
+        """Persist a log recovery: truncate the file to its usable prefix.
 
         Called by :func:`decode_store_payload` during :meth:`load` when it
-        dropped a torn tail or a stale log, so a later
+        dropped a torn tail or non-chaining records, so a later
         :meth:`append_commit` extends intact records instead of garbage.
+        The usable bytes are by construction a prefix of the file's
+        current content, so recovery is a single truncate -- there is no
+        window where fsynced records exist only in memory: crashing
+        before the truncate re-runs the same recovery next boot, crashing
+        after it is a completed recovery.
         """
-        with self.log_path.open("wb") as handle:
-            handle.write(usable)
+        with self.log_path.open("r+b") as handle:
+            hooks.truncate(handle, len(usable))
             handle.flush()
-            os.fsync(handle.fileno())
+            hooks.fsync(handle.fileno())
         _fsync_dir(self.directory)
 
     # -- appending -----------------------------------------------------------
 
     def append_commit(self, version: Version, dictionary) -> None:
-        """Append one committed version's record to the log (flush + fsync)."""
+        """Append one committed version's record to the log (flush + fsync).
+
+        Torn-append safety: the record is fsynced before the cursor
+        advances, so a record whose append *returned* is durable.  If the
+        write or fsync raises instead, the log is truncated back to the
+        pre-append offset before re-raising -- the next append lands on
+        intact records, never behind a torn one.  If even that rewind
+        fails, the handle poisons itself and every further append raises
+        :class:`WireFormatError` until a roll-up (or a reload's recovery)
+        rewrites the file.
+        """
         if self._n_terms is None or self._version_ids is None:
             raise WireFormatError(
                 "store has no disk-state cursor: save() or load() it first"
             )
+        if self._poisoned is not None:
+            raise WireFormatError(
+                f"commit log of {self.directory} is poisoned ({self._poisoned}); "
+                "rollup() or reload to repair"
+            )
         record = wire.encode_commit(version, dictionary, self._n_terms)
-        with self.log_path.open("ab") as handle:
-            handle.write(record)
-            handle.flush()
-            os.fsync(handle.fileno())
+        pre_size = self.log_path.stat().st_size if self.log_path.is_file() else 0
+        try:
+            with self.log_path.open("ab") as handle:
+                hooks.write(handle, record)
+                handle.flush()
+                hooks.fsync(handle.fileno())
+        except Exception as failure:
+            # Live failure (not a crash): rewind so the torn record can
+            # never end up *behind* a later, successful append -- which
+            # recovery's prefix truncation would then silently drop.
+            self._rewind_log(pre_size, failure)
+            raise
         self._n_terms = len(dictionary)
         self._version_ids.append(version.version_id)
+        self._log_records += 1
+
+    def _rewind_log(self, size: int, cause: BaseException) -> None:
+        """Truncate the log back to ``size`` after a failed append."""
+        try:
+            with self.log_path.open("r+b") as handle:
+                hooks.truncate(handle, size)
+                handle.flush()
+                hooks.fsync(handle.fileno())
+        except Exception as rewind_failure:
+            self._poisoned = (
+                f"torn append could not be rewound to byte {size}: "
+                f"{rewind_failure} (original failure: {cause})"
+            )
 
     def sync(self, kb: VersionedKnowledgeBase) -> int:
         """Append every version of ``kb`` not yet on disk; returns the count.
@@ -362,7 +578,10 @@ class BinaryKBStore:
         The on-disk chain must be a prefix of ``kb``'s (same ids, same
         order) -- it is, for any chain this store saved or loaded and that
         only grew since.  Each appended record costs O(its delta); the
-        base file is never rewritten.
+        base file is only rewritten when the log crosses the configured
+        ``rollup_bytes`` / ``rollup_records`` threshold, in which case
+        :meth:`rollup` runs here, under the same ``kb.write_lock`` the
+        serving plane's commit hook already holds the tenant on.
         """
         if self._n_terms is None or self._version_ids is None:
             raise WireFormatError(
@@ -377,12 +596,85 @@ class BinaryKBStore:
                     f"{kb.name!r}: have {on_disk}, chain has {ids}"
                 )
             pending = ids[len(on_disk) :]
+            if self._poisoned is not None:
+                # A torn append that could not be rewound: appending after
+                # the garbage would bury fsynced commits behind it.  A
+                # roll-up is the repair -- full atomic base rewrite, fresh
+                # empty log -- and it persists everything pending too.
+                self.rollup(kb)
+                return len(pending)
+            if self._rollup_due():
+                # The log can sit *at* the threshold on entry: a crash
+                # mid-roll-up recovers the full triggering log, so the
+                # next sync must absorb it before appending -- otherwise
+                # the bound "commits.rpl never exceeds the threshold"
+                # breaks by exactly the pending count.  The roll-up also
+                # persists everything pending (the base is rewritten from
+                # the live chain), so this sync is already done.
+                self.rollup(kb)
+                return len(pending)
             if not pending:
                 return 0
             dictionary = kb.first().graph.dictionary
             for version_id in pending:
                 self.append_commit(kb.version(version_id), dictionary)
+                if self._rollup_due():
+                    # Roll-up rewrites the base from the live chain, which
+                    # already holds every pending version -- the rest of
+                    # the batch is absorbed, not appended.
+                    self.rollup(kb)
+                    break
             return len(pending)
+
+    # -- roll-up -------------------------------------------------------------
+
+    def _rollup_due(self) -> bool:
+        """True when the log is at/over a configured roll-up threshold."""
+        if self.rollup_records is not None and self._log_records >= self.rollup_records:
+            return True
+        if self.rollup_bytes is not None:
+            try:
+                if self.log_path.stat().st_size >= self.rollup_bytes:
+                    return True
+            except OSError:  # pragma: no cover - log not created yet
+                pass
+        return False
+
+    def rollup(self, kb: VersionedKnowledgeBase) -> int:
+        """Absorb the commit log into a fresh base; returns records absorbed.
+
+        Rewrites ``kb.rpw`` from the live chain through the same atomic
+        tmp + ``os.replace`` + directory-fsync path as :meth:`save`, then
+        truncates ``commits.rpl`` -- so a long-lived server's recovery
+        time is bounded by the roll-up threshold, not by its uptime.  The
+        crash window between the replace and the truncation is safe by
+        construction: every log record's version is already inside the
+        new base, so the next boot's chain walk (:func:`_chained_prefix`)
+        discards the whole log as superseded.  Crashing *during* the base
+        write is equally safe -- the old base plus the old log are intact
+        until the atomic replace publishes the new one.
+
+        Runs under ``kb.write_lock``.  Also the repair path for a
+        poisoned log (see :meth:`append_commit`): the full rewrite
+        discards the torn tail and clears the poison.
+        """
+        if self._n_terms is None or self._version_ids is None:
+            raise WireFormatError(
+                "store has no disk-state cursor: save() or load() it first"
+            )
+        with kb.write_lock:
+            ids = kb.version_ids()
+            on_disk = self._version_ids
+            if ids[: len(on_disk)] != on_disk:
+                raise WireFormatError(
+                    f"store {self.directory} is not a prefix of chain "
+                    f"{kb.name!r}: have {on_disk}, chain has {ids}"
+                )
+            absorbed = self._log_records
+            self._write_base(kb)
+            self._truncate_log()
+            self._set_cursor(kb)
+            return absorbed
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -56,8 +56,16 @@ class ArchivingPolicy(abc.ABC):
         include the first and the latest version id.
         """
 
-    def apply(self, kb: VersionedKnowledgeBase) -> VersionedKnowledgeBase:
-        """A new, thinner knowledge base containing only the kept versions."""
+    def apply(
+        self, kb: VersionedKnowledgeBase, name: str | None = None
+    ) -> VersionedKnowledgeBase:
+        """A new, thinner knowledge base containing only the kept versions.
+
+        ``name`` defaults to ``"{kb.name}-archive"``; pass ``name=kb.name``
+        to keep the original identity -- what ``repro compact-store`` does
+        when it thins a store in place, so the rolled-up base still
+        answers to the same KB name.
+        """
         if len(kb) == 0:
             raise VersionError("cannot archive an empty version chain")
         keep = self.select(kb)
@@ -68,7 +76,7 @@ class ArchivingPolicy(abc.ABC):
                 f"{type(self).__name__} dropped a mandatory endpoint "
                 f"(kept {sorted(keep_set)}, required {sorted(required)})"
             )
-        archive = VersionedKnowledgeBase(f"{kb.name}-archive")
+        archive = VersionedKnowledgeBase(name if name is not None else f"{kb.name}-archive")
         for version in kb:
             if version.version_id in keep_set:
                 archive.commit(
@@ -142,3 +150,32 @@ class ExponentialThinning(ArchivingPolicy):
         # Offsets are measured backwards from the latest version.
         kept_indices = sorted(n - 1 - off for off in offsets if 0 <= off < n)
         return [ids[i] for i in kept_indices]
+
+
+def policy_from_spec(spec: str) -> ArchivingPolicy:
+    """Parse a CLI retention spec into a policy.
+
+    Accepted forms (the ``repro compact-store --retain`` grammar)::
+
+        all            -> KeepAll()
+        last:N         -> KeepLastN(N)
+        threshold:C    -> ChangeThreshold(C)
+        thin           -> ExponentialThinning()      (base 2)
+        thin:B         -> ExponentialThinning(B)
+    """
+    kind, _, arg = spec.partition(":")
+    try:
+        if kind == "all" and not arg:
+            return KeepAll()
+        if kind == "last":
+            return KeepLastN(int(arg))
+        if kind == "threshold":
+            return ChangeThreshold(int(arg))
+        if kind == "thin":
+            return ExponentialThinning(int(arg) if arg else 2)
+    except ValueError as exc:
+        raise ValueError(f"bad retention spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"bad retention spec {spec!r} "
+        "(expected all, last:N, threshold:C, thin or thin:B)"
+    )

@@ -400,6 +400,10 @@ def encode_kb(kb: VersionedKnowledgeBase) -> bytes:
     versions = list(kb)
     header = {
         "name": kb.name,
+        # Dictionary size, duplicated into the header so chain checks
+        # against the commit log (is its first record's ``terms_before``
+        # this base's?) stay header-only -- no term table decode.
+        "n_terms": len(kb.first().graph.dictionary) if versions else 0,
         "versions": [
             {"version_id": v.version_id, "metadata": dict(v.metadata)}
             for v in versions
@@ -726,14 +730,28 @@ def decode_commit_log(data, dictionary: TermDictionary):
 
 def iter_commit_headers(data):
     """The header JSON of every record in a commit log, skipping payloads."""
+    for header, _start, _end in iter_commit_spans(data):
+        yield header
+
+
+def iter_commit_spans(data):
+    """``(header, start, end)`` byte span of every record in a commit log.
+
+    Header-only log sizing: payload frames are skipped, not decoded, so a
+    caller can locate any record's boundaries -- which is what lets the
+    store's chain-aware recovery truncate a log at the exact record where
+    it stops chaining onto the base, and lets threshold checks know how
+    many bytes each record costs, without touching a term table.
+    """
     reader = _Reader(data)
     while not reader.at_end():
+        start = reader._pos
         reader.expect_magic(_MAGIC_COMMIT)
         header = json.loads(bytes(reader.frame()))
         reader.frame()  # term growth
         reader.frame()  # added keys
         reader.frame()  # deleted keys
-        yield header
+        yield header, start, reader._pos
 
 
 def scan_commit_log(data) -> "Tuple[int, int]":

@@ -47,11 +47,16 @@ class Tenant:
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
         on_close: Callable[[], None] | None = None,
+        store=None,
     ) -> None:
         if not name:
             raise ServiceError("tenant name must be non-empty")
         self.name = name
         self.kb = kb
+        # The tenant's backing BinaryKBStore, when served with --persist:
+        # purely informational here (describe() reports its commit-log
+        # size) -- the durability work itself runs through on_commit.
+        self.store = store
         self._users: Dict[str, User] = {user.user_id: user for user in users}
         self.engine = RecommenderEngine(
             kb, config=engine_config or EngineConfig(), feedback=feedback
@@ -180,12 +185,21 @@ class Tenant:
     def describe(self) -> Dict[str, object]:
         """JSON-friendly summary (the HTTP front-end's ``/tenants`` view)."""
         ids = self.kb.version_ids()
-        return {
+        summary: Dict[str, object] = {
             "name": self.name,
             "versions": ids,
             "latest": ids[-1] if ids else None,
             "users": self.user_ids(),
         }
+        if self.store is not None:
+            records, size = self.store.log_stats()
+            summary["persistence"] = {
+                "log_records": records,
+                "log_bytes": size,
+                "rollup_bytes": self.store.rollup_bytes,
+                "rollup_records": self.store.rollup_records,
+            }
+        return summary
 
     def __repr__(self) -> str:
         return f"Tenant({self.name!r}, versions={len(self.kb)}, users={len(self._users)})"
@@ -234,9 +248,12 @@ class TenantRegistry:
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
         on_close: Callable[[], None] | None = None,
+        store=None,
     ) -> Tenant:
         """Register a tenant; duplicate names are rejected."""
-        tenant = Tenant(name, kb, users, feedback, engine_config, on_commit, on_close)
+        tenant = Tenant(
+            name, kb, users, feedback, engine_config, on_commit, on_close, store=store
+        )
         with self._lock:
             if name in self._tenants:
                 raise ServiceError(f"duplicate tenant name: {name!r}")

@@ -45,6 +45,13 @@ class ServiceConfig:
     #: :class:`ServiceOverloadedError` (HTTP 503) instead of piling up.
     max_pending: int = 1024
     request_timeout_s: float = 60.0
+    #: Commit-log roll-up thresholds for persisted tenants
+    #: (``add_tenant(..., store=...)``): when a tenant's ``commits.rpl``
+    #: reaches either bound after a sync, the store rewrites its base and
+    #: truncates the log (:meth:`repro.io.store.BinaryKBStore.rollup`),
+    #: bounding recovery time.  ``None`` disables a threshold.
+    rollup_bytes: Optional[int] = None
+    rollup_records: Optional[int] = None
     engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
@@ -60,6 +67,10 @@ class ServiceConfig:
             raise ValueError(
                 f"request_timeout_s must be > 0, got {self.request_timeout_s}"
             )
+        for knob in ("rollup_bytes", "rollup_records"):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise ValueError(f"{knob} must be a positive integer, got {value!r}")
 
 
 class RecommendationService:
@@ -88,6 +99,7 @@ class RecommendationService:
         feedback: FeedbackStore | None = None,
         on_commit=None,
         on_close=None,
+        store=None,
     ) -> Tenant:
         """Register a knowledge base (and its users) for serving.
 
@@ -97,12 +109,31 @@ class RecommendationService:
         (optional, no arguments) runs once when the tenant leaves serving
         (eviction or service shutdown) -- the release seam for resources
         backing the tenant, e.g. a binary store's lazy memory map.
+
+        ``store`` (optional, a :class:`~repro.io.store.BinaryKBStore`
+        whose ``load()`` produced ``kb``) wires all of the above in one
+        step: the config's ``rollup_bytes`` / ``rollup_records``
+        thresholds are applied to the store, ``on_commit`` defaults to an
+        O(delta) ``store.sync(kb)`` (which also rolls the log up whenever
+        a threshold is crossed, under the tenant write lock), and
+        ``on_close`` defaults to ``store.close``.  Explicit hooks still
+        win.
         """
+        if store is not None:
+            if self.config.rollup_bytes is not None:
+                store.rollup_bytes = self.config.rollup_bytes
+            if self.config.rollup_records is not None:
+                store.rollup_records = self.config.rollup_records
+            if on_commit is None:
+                on_commit = lambda version: store.sync(kb)  # noqa: E731
+            if on_close is None:
+                on_close = store.close
         return self.registry.add(
             name, kb, users, feedback,
             engine_config=self.config.engine,
             on_commit=on_commit,
             on_close=on_close,
+            store=store,
         )
 
     def tenant(self, name: str) -> Tenant:

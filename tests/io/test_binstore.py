@@ -492,3 +492,168 @@ class TestStoreLifecycle:
         with pytest.warns(RuntimeWarning, match="close hook failed"):
             tenant.close()
         tenant.close()  # idempotent: the hook does not run twice
+
+
+class TestRollup:
+    """Threshold-driven roll-up: absorb the log into a fresh base."""
+
+    def test_sync_rolls_up_at_the_record_threshold(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store", rollup_records=3)
+        base_before = (tmp_path / "store" / BASE_FILE).read_bytes()
+        for i in range(3):
+            kb.commit_changes(
+                added=[Triple(EX[f"roll{i}"], RDF_TYPE, EX.Person)],
+                version_id=f"r{i}",
+            )
+        assert store.sync(kb) == 3
+        # The third append crossed the threshold: base rewritten from the
+        # live chain, log truncated -- and nothing lost.
+        assert (tmp_path / "store" / BASE_FILE).read_bytes() != base_before
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+        _assert_chains_identical(kb, load_kb(tmp_path / "store"))
+
+    def test_sync_rolls_up_at_the_byte_threshold(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store", rollup_bytes=1)
+        kb.commit_changes(
+            added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4"
+        )
+        assert store.sync(kb) == 1
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+        assert load_kb(tmp_path / "store").version_ids() == ["v1", "v2", "v3", "v4"]
+
+    def test_below_threshold_stays_an_append(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store", rollup_records=10)
+        base_before = (tmp_path / "store" / BASE_FILE).read_bytes()
+        kb.commit_changes(
+            added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4"
+        )
+        store.sync(kb)
+        assert (tmp_path / "store" / BASE_FILE).read_bytes() == base_before
+        assert store.log_stats() == (1, (tmp_path / "store" / LOG_FILE).stat().st_size)
+
+    def test_rollup_returns_absorbed_count(self, tmp_path):
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        for i in range(2):
+            kb.commit_changes(
+                added=[Triple(EX[f"roll{i}"], RDF_TYPE, EX.Person)],
+                version_id=f"r{i}",
+            )
+        store.sync(kb)
+        assert store.rollup(kb) == 2
+        assert store.rollup(kb) == 0  # idempotent: nothing left to absorb
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+        _assert_chains_identical(kb, load_kb(tmp_path / "store"))
+
+    def test_open_survives_a_rollup_cursorwise(self, tmp_path):
+        # A reload after roll-up must report the rolled-up chain and keep
+        # appending from the right cursor.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store", rollup_records=2)
+        for i in range(2):
+            kb.commit_changes(
+                added=[Triple(EX[f"roll{i}"], RDF_TYPE, EX.Person)],
+                version_id=f"r{i}",
+            )
+        store.sync(kb)  # rolled up
+        reopened = BinaryKBStore.open(tmp_path / "store")
+        kb2 = reopened.load()
+        assert kb2.version_ids() == ["v1", "v2", "v3", "r0", "r1"]
+        kb2.commit_changes(
+            added=[Triple(EX.after, RDF_TYPE, EX.Person)], version_id="after"
+        )
+        reopened.sync(kb2)
+        assert load_kb(tmp_path / "store").version_ids() == [
+            "v1", "v2", "v3", "r0", "r1", "after",
+        ]
+
+    def test_rollup_requires_cursor(self, tmp_path):
+        BinaryKBStore.save(_kb(), tmp_path / "store")
+        fresh_handle = BinaryKBStore.open(tmp_path / "store")
+        with pytest.raises(WireFormatError, match="cursor"):
+            fresh_handle.rollup(_kb())
+
+    @pytest.mark.parametrize("knob", ["rollup_bytes", "rollup_records"])
+    def test_thresholds_must_be_positive(self, tmp_path, knob):
+        with pytest.raises(ValueError, match=knob):
+            BinaryKBStore(tmp_path / "store", **{knob: 0})
+
+
+class TestChainAwareLogVetting:
+    """The log check walks the whole chain, not just the first record."""
+
+    def test_mid_log_chain_break_keeps_only_the_chained_prefix(self, tmp_path):
+        # A record re-listing an id already on the chain (a replayed
+        # append) starts mid-log, so the old first-record-only stale check
+        # missed it and double-listed v4.  The chain walk stops there.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        kb.commit_changes(
+            added=[Triple(EX.zoe, RDF_TYPE, EX.Person)], version_id="v4"
+        )
+        store.sync(kb)
+        log = tmp_path / "store" / LOG_FILE
+        record = log.read_bytes()
+        log.write_bytes(record + record)  # duplicate v4 record in the log
+        _, ids = BinaryKBStore.open(tmp_path / "store").describe()
+        assert ids == ["v1", "v2", "v3", "v4"]  # listed once, not twice
+        with pytest.warns(RuntimeWarning, match="does not chain"):
+            loaded = load_kb(tmp_path / "store")
+        assert loaded.version_ids() == ["v1", "v2", "v3", "v4"]
+        assert log.read_bytes() == record  # truncated to the chained prefix
+
+    def test_interrupted_rollup_discards_the_superseded_log(self, tmp_path):
+        # Roll-up's crash window: new base published, log not yet
+        # truncated.  Every log record's version is already inside the new
+        # base, so the whole log is superseded -- discard, lose nothing.
+        kb = _kb()
+        store = BinaryKBStore.save(kb, tmp_path / "store")
+        for i in range(3):
+            kb.commit_changes(
+                added=[Triple(EX[f"roll{i}"], RDF_TYPE, EX.Person)],
+                version_id=f"r{i}",
+            )
+        store.sync(kb)
+        superseded = (tmp_path / "store" / LOG_FILE).read_bytes()
+        store.rollup(kb)
+        (tmp_path / "store" / LOG_FILE).write_bytes(superseded)  # the crash
+        _, ids = BinaryKBStore.open(tmp_path / "store").describe()
+        assert ids == kb.version_ids()
+        with pytest.warns(RuntimeWarning, match="does not chain"):
+            loaded = load_kb(tmp_path / "store")
+        _assert_chains_identical(kb, loaded)
+        assert (tmp_path / "store" / LOG_FILE).stat().st_size == 0
+
+
+class TestTmpHygiene:
+    """Stranded ``*.rpw.tmp`` files (crash before the atomic replace)."""
+
+    def test_open_clears_a_stranded_tmp_base(self, tmp_path):
+        save_kb(_kb(), tmp_path / "store", format="binary")
+        stranded = tmp_path / "store" / "kb.rpw.tmp"
+        stranded.write_bytes(b"half-written base")
+        BinaryKBStore.open(tmp_path / "store")
+        assert not stranded.exists()
+
+    def test_save_clears_a_stranded_tmp_base(self, tmp_path):
+        target = tmp_path / "store"
+        save_kb(_kb(), target, format="binary")
+        stranded = target / "kb.rpw.tmp"
+        stranded.write_bytes(b"junk from a crashed writer")
+        BinaryKBStore.save(_kb(), target)
+        assert not stranded.exists()
+        assert load_kb(target).version_ids() == ["v1", "v2", "v3"]
+
+    def test_load_kb_warns_on_a_dual_layout_directory(self, tmp_path):
+        # Auto-detection must not silently *guess* when a directory holds
+        # both layouts: the binary store wins, with a warning naming the
+        # remnants.
+        target = tmp_path / "store"
+        save_kb(_kb(), target, format="binary")
+        (target / "manifest.json").write_text("{}")
+        with pytest.warns(RuntimeWarning, match="both a binary store"):
+            loaded = load_kb(target)
+        assert loaded.version_ids() == ["v1", "v2", "v3"]

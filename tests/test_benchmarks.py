@@ -53,3 +53,59 @@ def test_quick_flag_parses_from_cli(run_bench, tmp_path, capsys):
 def test_unknown_benchmark_name_rejected(run_bench, tmp_path):
     with pytest.raises(SystemExit):
         run_bench.run(tmp_path / "x.json", quick=True, only=["no_such_bench"])
+
+
+@pytest.fixture(scope="module")
+def bench_durability():
+    spec = importlib.util.spec_from_file_location(
+        "bench_durability", ROOT / "benchmarks" / "bench_durability.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchDurabilityPieces:
+    """Unit pieces of the kill-and-reboot soak (the soak itself runs in CI).
+
+    The full harness spawns subprocesses and SIGKILLs them; here we pin
+    the deterministic pieces the zero-loss verdict depends on -- the
+    commit stream shared by child and control, the torn-ack tolerance,
+    and the crash-plan coverage.
+    """
+
+    def test_delta_stream_is_deterministic(self, bench_durability):
+        assert bench_durability._delta_for(7) == bench_durability._delta_for(7)
+        added, deleted = bench_durability._delta_for(3)
+        assert added and deleted  # the deleted-keys half is exercised too
+        # Every deletion removes a triple an earlier commit added.
+        earlier_added, _ = bench_durability._delta_for(1)
+        assert deleted[0] in earlier_added
+
+    def test_vids_sort_in_commit_order(self, bench_durability):
+        vids = [bench_durability._vid(i) for i in (0, 9, 10, 99, 100)]
+        assert vids == sorted(vids)
+        assert len(set(vids)) == len(vids)
+
+    def test_read_acks_ignores_a_torn_last_line(self, bench_durability, tmp_path):
+        ack = tmp_path / "acks"
+        assert bench_durability._read_acks(ack) == []  # no file yet
+        ack.write_bytes(b"c00001\nc00002\nc000")  # killed mid-ack-write
+        assert bench_durability._read_acks(ack) == ["c00001", "c00002"]
+
+    def test_crash_plan_covers_append_and_rollup_at_every_site(
+        self, bench_durability
+    ):
+        specs = bench_durability.FULL_CRASHES
+        assert len(specs) == 12  # (2 append + 4 rollup sites) x before/after
+        assert {spec.split(":")[0] for spec in specs} == {"append", "rollup"}
+        assert {spec.rsplit(":", 1)[1] for spec in specs} == {"before", "after"}
+        assert set(bench_durability.QUICK_CRASHES) <= set(specs)
+
+    def test_recovery_budget_matches_the_committed_baseline(
+        self, bench_durability
+    ):
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        recovery = baseline["durability"]["recovery"]
+        assert recovery["budget_s"] == bench_durability.RECOVERY_BUDGET_S
+        assert recovery["max_s"] <= recovery["budget_s"]

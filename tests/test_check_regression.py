@@ -262,3 +262,115 @@ class TestColdBootGate:
             ["--baseline", str(baseline), "--fresh", str(fresh),
              "--cold-boot-min-ratio", "1.05"]
         ) == 0
+
+
+def _durability_report(**overrides):
+    """A bench_durability-shaped report, healthy unless overridden."""
+    section = {
+        "meta": {"quick": False},
+        "cycles": 24,
+        "zero_loss": True,
+        "log_bounded": True,
+        "responses_bit_identical": True,
+        "recovery": {"mean_s": 0.01, "max_s": 0.05, "budget_s": 10.0},
+    }
+    section.update(overrides)
+    return {"durability": section}
+
+
+class TestDurabilityGate:
+    def test_absent_section_yields_no_verdicts(self, gate):
+        assert gate.check_durability({}) == []
+
+    def test_healthy_full_soak_passes(self, gate):
+        verdicts = gate.check_durability(_durability_report())
+        assert {v.name for v in verdicts} == {
+            "durability.zero_loss",
+            "durability.log_bounded",
+            "durability.responses_bit_identical",
+            "durability.recovery",
+            "durability.cycles",
+        }
+        assert all(v.ok for v in verdicts)
+
+    @pytest.mark.parametrize(
+        "flag", ["zero_loss", "log_bounded", "responses_bit_identical"]
+    )
+    def test_any_false_invariant_fails(self, gate, flag):
+        verdicts = gate.check_durability(_durability_report(**{flag: False}))
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name[f"durability.{flag}"].ok
+        assert f"{flag}=False" in by_name[f"durability.{flag}"].note
+
+    def test_missing_invariant_fails_like_false(self, gate):
+        report = _durability_report()
+        del report["durability"]["zero_loss"]
+        by_name = {v.name: v for v in gate.check_durability(report)}
+        assert not by_name["durability.zero_loss"].ok
+
+    def test_recovery_over_budget_fails(self, gate):
+        verdicts = gate.check_durability(
+            _durability_report(recovery={"max_s": 11.0, "budget_s": 10.0})
+        )
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name["durability.recovery"].ok
+        assert "over" in by_name["durability.recovery"].note
+
+    def test_recovery_without_numbers_fails(self, gate):
+        verdicts = gate.check_durability(_durability_report(recovery={}))
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name["durability.recovery"].ok
+
+    def test_shrunk_soak_fails_unless_quick(self, gate):
+        by_name = {
+            v.name: v for v in gate.check_durability(_durability_report(cycles=6))
+        }
+        assert not by_name["durability.cycles"].ok
+        quick = gate.check_durability(
+            _durability_report(cycles=6, meta={"quick": True})
+        )
+        assert all(v.ok for v in quick)
+
+    def test_label_prefixes_every_verdict(self, gate):
+        verdicts = gate.check_durability(
+            _durability_report(), label="fresh.durability"
+        )
+        assert all(v.name.startswith("fresh.durability.") for v in verdicts)
+
+    def test_committed_baseline_durability_section_gates_itself(self, gate):
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        verdicts = gate.check_durability(baseline)
+        assert verdicts and all(v.ok for v in verdicts)
+
+    def test_main_always_gates_the_baseline_durability_section(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = {**_report(a=10.0), **_durability_report(zero_loss=False)}
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        code = gate.main(
+            ["--baseline", str(baseline_path), "--fresh", str(fresh_path)]
+        )
+        assert code == 1
+        assert "durability.zero_loss" in capsys.readouterr().out
+
+    def test_fresh_durability_flag(self, gate, tmp_path, capsys):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(_report(a=10.0)))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        soak_path = tmp_path / "soak.json"
+        soak_path.write_text(
+            json.dumps(_durability_report(log_bounded=False, meta={"quick": True}))
+        )
+        code = gate.main(
+            [
+                "--baseline", str(baseline_path),
+                "--fresh", str(fresh_path),
+                "--fresh-durability", str(soak_path),
+            ]
+        )
+        assert code == 1
+        assert "fresh.durability.log_bounded" in capsys.readouterr().out

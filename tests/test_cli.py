@@ -191,3 +191,96 @@ class TestGenerateBinaryFormat:
         assert "(binary layout)" in capsys.readouterr().out
         assert (tmp_path / "w" / "kb" / "kb.rpw").exists()
         assert not (tmp_path / "w" / "kb" / "manifest.json").exists()
+
+
+class TestCompactStore:
+    """``compact-store``: offline roll-up of a binary store's commit log."""
+
+    def _seeded_store(self, tmp_path, n_commits=4):
+        from repro.io import BinaryKBStore
+        from repro.kb.graph import Graph
+        from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
+        from repro.kb.triples import Triple
+        from repro.kb.version import VersionedKnowledgeBase
+
+        kb = VersionedKnowledgeBase("cli_demo")
+        kb.commit(Graph([Triple(EX.A, RDF_TYPE, RDFS_CLASS)]), version_id="v1")
+        store = BinaryKBStore.save(kb, tmp_path / "kb")
+        for i in range(n_commits):
+            kb.commit_changes(
+                added=[Triple(EX[f"c{i}"], RDF_TYPE, RDFS_CLASS)],
+                version_id=f"c{i}",
+            )
+            store.sync(kb)
+        return tmp_path / "kb"
+
+    def test_absorbs_the_log_into_the_base(self, tmp_path, capsys):
+        from repro.io import load_kb
+
+        kb_dir = self._seeded_store(tmp_path)
+        assert (kb_dir / "commits.rpl").stat().st_size > 0
+        assert main(["compact-store", "--kb", str(kb_dir)]) == 0
+        assert "absorbed 4 log records" in capsys.readouterr().out
+        assert (kb_dir / "commits.rpl").stat().st_size == 0
+        assert load_kb(kb_dir).version_ids() == ["v1", "c0", "c1", "c2", "c3"]
+
+    def test_under_threshold_is_a_no_op(self, tmp_path, capsys):
+        kb_dir = self._seeded_store(tmp_path)
+        log_bytes = (kb_dir / "commits.rpl").read_bytes()
+        assert main(
+            ["compact-store", "--kb", str(kb_dir), "--rollup-records", "100"]
+        ) == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert (kb_dir / "commits.rpl").read_bytes() == log_bytes
+
+    def test_retain_thins_the_rolled_up_chain(self, tmp_path, capsys):
+        from repro.io import load_kb
+
+        kb_dir = self._seeded_store(tmp_path)
+        assert main(
+            ["compact-store", "--kb", str(kb_dir), "--retain", "last:2"]
+        ) == 0
+        assert "versions (last:2)" in capsys.readouterr().out
+        loaded = load_kb(kb_dir)
+        assert loaded.name == "cli_demo"  # thinning keeps the store identity
+        assert loaded.version_ids()[0] == "v1"  # root always survives
+        assert loaded.version_ids()[-1] == "c3"  # so does the head
+        assert (kb_dir / "commits.rpl").stat().st_size == 0
+
+    def test_bad_retain_spec_rejected(self, tmp_path):
+        kb_dir = self._seeded_store(tmp_path)
+        with pytest.raises(SystemExit, match="retention spec"):
+            main(["compact-store", "--kb", str(kb_dir), "--retain", "bogus:x"])
+
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["compact-store", "--kb", str(tmp_path / "nope")])
+
+
+class TestServeRollupKnobs:
+    def test_knobs_require_persist(self, world_dir):
+        with pytest.raises(SystemExit, match="only apply with --persist"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--rollup-records", "4",
+                ]
+            )
+
+    def test_invalid_threshold_rejected(self, world_dir, tmp_path, capsys):
+        assert main(
+            ["convert", "--src", str(world_dir / "kb"), "--out", str(tmp_path / "bin")]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="rollup_records"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(tmp_path / "bin"),
+                    "--users", str(world_dir / "users.json"),
+                    "--persist",
+                    "--rollup-records", "0",
+                ]
+            )

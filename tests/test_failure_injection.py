@@ -1,15 +1,24 @@
-"""Failure injection: corrupted files, degenerate inputs, empty worlds.
+"""Failure injection: corrupted files, degenerate inputs, crash points.
 
 A production library fails loudly and specifically; these tests pin the
-error behaviour at the system boundaries.
+error behaviour at the system boundaries.  The crash-point matrix goes
+further: it swaps the binary store's syscall seam
+(``repro.io.store.hooks``) for implementations that die or error at a
+chosen write/fsync/replace/truncate, and proves the store's
+crash-consistency contract -- an append that returned is never lost --
+at every fault site of save/append/recover/roll-up.
 """
 
 import json
+import os
+import warnings
 
 import pytest
 
-from repro.io import load_feedback, load_kb, load_users
-from repro.kb.errors import ParseError
+import repro.io.store as store_module
+from repro.io import BinaryKBStore, load_feedback, load_kb, load_users
+from repro.io.store import LOG_FILE
+from repro.kb.errors import ParseError, WireFormatError
 from repro.kb.graph import Graph
 from repro.kb.namespaces import EX, RDF_TYPE, RDFS_CLASS
 from repro.kb.triples import Triple
@@ -163,3 +172,280 @@ class TestHostileProfiles:
         user = User("lost", InterestProfile(class_weights={EX.Nothing: 1.0}))
         package = engine.recommend(user, k=5)
         assert isinstance(len(package), int)  # completes without error
+
+# -- crash injection over the store's syscall seam ---------------------------
+
+
+class _SimulatedCrash(BaseException):
+    """Process death at a syscall boundary of the binary store.
+
+    Deliberately *not* an ``Exception``: a real crash runs no ``except``
+    blocks, so the store's live-failure rewind path must not fire for it
+    -- exactly like the SIGKILLs in ``benchmarks/bench_durability.py``.
+    """
+
+
+class _CountingHooks:
+    """Pass-through syscall hooks that record every call and can crash once.
+
+    ``crash_at`` is an index into the call sequence; ``mode`` chooses
+    whether the process "dies" before the syscall takes effect or right
+    after it did.  Together they enumerate every crash point of an
+    operation: run once without a crash to count the calls, then replay
+    the identical operation once per ``(index, mode)``.
+    """
+
+    def __init__(self, crash_at=None, mode="after"):
+        self.calls = []
+        self.crash_at = crash_at
+        self.mode = mode
+
+    def _step(self, site, action):
+        index = len(self.calls)
+        self.calls.append(site)
+        if index == self.crash_at and self.mode == "before":
+            raise _SimulatedCrash(f"{site}[{index}]:before")
+        result = action()
+        if index == self.crash_at and self.mode == "after":
+            raise _SimulatedCrash(f"{site}[{index}]:after")
+        return result
+
+    def write(self, handle, data):
+        return self._step("write", lambda: handle.write(data))
+
+    def fsync(self, fd):
+        return self._step("fsync", lambda: os.fsync(fd))
+
+    def replace(self, src, dst):
+        return self._step("replace", lambda: os.replace(src, dst))
+
+    def truncate(self, handle, size):
+        return self._step("truncate", lambda: handle.truncate(size))
+
+
+class _ShortWriteOnce(store_module._SyscallHooks):
+    """First write lands only half its bytes, then errors -- a torn append."""
+
+    def __init__(self):
+        self.fired = False
+
+    def write(self, handle, data):
+        if not self.fired:
+            self.fired = True
+            handle.write(data[: len(data) // 2])
+            raise OSError(28, "No space left on device")
+        return handle.write(data)
+
+
+class _BrokenDisk(store_module._SyscallHooks):
+    """While ``broken``: writes tear AND the rewind truncate fails too."""
+
+    def __init__(self):
+        self.broken = True
+
+    def write(self, handle, data):
+        if self.broken:
+            handle.write(data[: max(1, len(data) // 2)])
+            raise OSError(5, "I/O error")
+        return handle.write(data)
+
+    def truncate(self, handle, size):
+        if self.broken:
+            raise OSError(5, "I/O error")
+        return handle.truncate(size)
+
+
+def _store_kb(tmp_path, n_extra=0):
+    """A saved store plus its live chain, with ``n_extra`` synced commits."""
+    kb = VersionedKnowledgeBase("crashkb")
+    kb.commit(Graph([Triple(EX.A, RDF_TYPE, RDFS_CLASS)]), version_id="v1")
+    kb.commit_changes(
+        added=[Triple(EX.B, RDF_TYPE, RDFS_CLASS)], version_id="v2"
+    )
+    store = BinaryKBStore.save(kb, tmp_path / "kb")
+    for i in range(n_extra):
+        kb.commit_changes(
+            added=[Triple(EX[f"extra{i}"], RDF_TYPE, RDFS_CLASS)],
+            version_id=f"c{i}",
+        )
+        store.sync(kb)
+    return store, kb
+
+
+def _load_quiet(directory):
+    """Open + load with recovery warnings silenced (a reboot, not a test)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        store = BinaryKBStore.open(directory)
+        return store, store.load()
+
+
+def _scenario(operation, tmp_path):
+    """Build one crashable operation: ``(directory, op, reference, acked)``.
+
+    ``reference`` is the full live chain (the recovered chain must be a
+    bit-identical prefix of it); ``acked`` are the version ids whose
+    append/save had *returned* before the operation ran -- the ids the
+    contract says a crash can never lose.
+    """
+    if operation == "save":
+        # Re-save over a store that already holds synced commits.
+        store, kb = _store_kb(tmp_path, n_extra=1)
+        acked = kb.version_ids()
+        kb.commit_changes(
+            added=[Triple(EX.fresh, RDF_TYPE, RDFS_CLASS)], version_id="s_new"
+        )
+        return store.directory, lambda: BinaryKBStore.save(kb, store.directory), kb, acked
+    if operation == "append":
+        store, kb = _store_kb(tmp_path)
+        acked = kb.version_ids()
+        for i in range(2):
+            kb.commit_changes(
+                added=[Triple(EX[f"live{i}"], RDF_TYPE, RDFS_CLASS)],
+                version_id=f"a{i}",
+            )
+        return store.directory, lambda: store.sync(kb), kb, acked
+    if operation == "rollup":
+        store, kb = _store_kb(tmp_path, n_extra=3)
+        acked = kb.version_ids()  # every commit was synced (fsynced) already
+        return store.directory, lambda: store.rollup(kb), kb, acked
+    if operation == "recover":
+        # A torn tail on disk (its append never returned, so c1 is not
+        # acked); the crashable operation is the *recovery itself*.
+        store, kb = _store_kb(tmp_path, n_extra=2)
+        acked = kb.version_ids()[:-1]
+        log = store.directory / LOG_FILE
+        log.write_bytes(log.read_bytes()[:-5])
+        return store.directory, lambda: _load_quiet(store.directory), kb, acked
+    raise AssertionError(operation)
+
+
+def _count_crash_points(operation, tmp_path):
+    """Run the operation uncrashed once, counting its durable syscalls."""
+    _, op, _, _ = _scenario(operation, tmp_path / "dry_run")
+    counter = _CountingHooks()
+    original = store_module.hooks
+    store_module.hooks = counter
+    try:
+        op()
+    finally:
+        store_module.hooks = original
+    return len(counter.calls)
+
+
+class TestCrashPointMatrix:
+    """Kill the store at every syscall of save/append/recover/roll-up.
+
+    After each simulated death the store is rebooted cold (fresh
+    ``open()`` + ``load()``) and held to the durability contract: the
+    recovered chain is a bit-identical prefix of the live chain, contains
+    every acknowledged commit, keeps the commit log bounded, and still
+    serves appends.
+    """
+
+    @pytest.mark.parametrize("mode", ["before", "after"])
+    @pytest.mark.parametrize("operation", ["save", "append", "rollup", "recover"])
+    def test_reboot_after_every_crash_point(self, tmp_path, operation, mode):
+        points = _count_crash_points(operation, tmp_path)
+        assert points >= 2  # the seam is actually exercised
+        for point in range(points):
+            workdir = tmp_path / f"{mode}_{point}"
+            directory, op, reference, acked = _scenario(operation, workdir)
+            injected = _CountingHooks(crash_at=point, mode=mode)
+            original = store_module.hooks
+            store_module.hooks = injected
+            try:
+                with pytest.raises(_SimulatedCrash):
+                    op()
+            finally:
+                store_module.hooks = original
+            where = f"{operation}:{injected.calls[point]}[{point}]:{mode}"
+            store, recovered = _load_quiet(directory)
+            reference_ids = reference.version_ids()
+            recovered_ids = recovered.version_ids()
+            # Bit-identical prefix, no acked commit missing.
+            assert recovered_ids == reference_ids[: len(recovered_ids)], where
+            assert set(acked) <= set(recovered_ids), where
+            for version_id in recovered_ids:
+                assert (
+                    recovered.version(version_id).graph
+                    == reference.version(version_id).graph
+                ), where
+            if operation == "rollup":
+                # The log never outgrows what triggered the roll-up.
+                assert store.log_stats()[0] <= 3, where
+            # The rebooted store still serves appends end to end.
+            recovered.commit_changes(
+                added=[Triple(EX.post_crash, RDF_TYPE, RDFS_CLASS)],
+                version_id="post_crash",
+            )
+            store.sync(recovered)
+            _, final = _load_quiet(directory)
+            assert final.version_ids() == recovered_ids + ["post_crash"], where
+
+
+class TestTornAppendRewind:
+    """A *live* write failure (not a crash) must rewind the torn record.
+
+    Regression for the torn-append bug: a short write used to leave half
+    a record in ``commits.rpl``, and the next successful append landed
+    behind the garbage -- recovery's prefix truncation then silently
+    dropped it.
+    """
+
+    def test_short_write_rewinds_to_the_pre_append_offset(
+        self, tmp_path, monkeypatch
+    ):
+        store, kb = _store_kb(tmp_path, n_extra=1)
+        intact = (store.directory / LOG_FILE).read_bytes()
+        kb.commit_changes(
+            added=[Triple(EX.torn, RDF_TYPE, RDFS_CLASS)], version_id="torn"
+        )
+        monkeypatch.setattr(store_module, "hooks", _ShortWriteOnce())
+        with pytest.raises(OSError, match="No space"):
+            store.sync(kb)
+        # The half-written record is gone, not buried.
+        assert (store.directory / LOG_FILE).read_bytes() == intact
+        # The disk "healed" (the shim tears only once): the retry appends
+        # onto intact records and the reload sees the full chain, clean.
+        assert store.sync(kb) == 1
+        assert load_kb(store.directory).version_ids() == kb.version_ids()
+
+    def test_failed_rewind_poisons_until_rollup_repairs(
+        self, tmp_path, monkeypatch
+    ):
+        store, kb = _store_kb(tmp_path, n_extra=1)
+        kb.commit_changes(
+            added=[Triple(EX.torn, RDF_TYPE, RDFS_CLASS)], version_id="torn"
+        )
+        disk = _BrokenDisk()
+        monkeypatch.setattr(store_module, "hooks", disk)
+        with pytest.raises(OSError):
+            store.sync(kb)
+        # Rewind failed too: the log tail is garbage, appends must refuse.
+        with pytest.raises(WireFormatError, match="poisoned"):
+            store.append_commit(
+                kb.version("torn"), kb.first().graph.dictionary
+            )
+        disk.broken = False
+        # sync() repairs via roll-up: atomic base rewrite, empty log.
+        assert store.sync(kb) == 1
+        assert (store.directory / LOG_FILE).stat().st_size == 0
+        assert load_kb(store.directory).version_ids() == kb.version_ids()
+
+    def test_reload_also_recovers_a_poisoned_log(self, tmp_path, monkeypatch):
+        store, kb = _store_kb(tmp_path, n_extra=1)
+        kb.commit_changes(
+            added=[Triple(EX.torn, RDF_TYPE, RDFS_CLASS)], version_id="torn"
+        )
+        disk = _BrokenDisk()
+        monkeypatch.setattr(store_module, "hooks", disk)
+        with pytest.raises(OSError):
+            store.sync(kb)
+        disk.broken = False
+        # A reboot never sees the poison flag -- only the torn bytes,
+        # which load-time recovery truncates back to the acked prefix.
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            rebooted = BinaryKBStore.open(store.directory)
+            recovered = rebooted.load()
+        assert recovered.version_ids() == ["v1", "v2", "c0"]
