@@ -20,6 +20,22 @@ measured latencies are the server's, not per-request TCP setup's.  The
 results merge as a separate ``"service_http"`` section -- the gated
 ``"service"`` numbers keep measuring the service itself.
 
+With ``--async`` the harness benchmarks the **asyncio front-end**
+(:mod:`repro.service.aio`) against the threaded one, in three phases: a
+deterministic concurrent mixed read/commit stream captured byte-for-byte
+on both transports (single committer, reads pinned to one version pair,
+so every response is byte-deterministic -- any divergence is an error),
+the classic closed-loop levels through the async server, and an **idle
+keep-alive** phase holding both front-ends to the same thread budget and
+counting how many established-idle connections each sustains within it.
+The threaded server pays one OS thread per connection and the async one
+pays ~zero, so the sustained ratio is an implementation invariant, not a
+hardware number -- the regression gate requires >= 4x on any box.  The
+results merge as a ``"service_async"`` section::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --async
+    PYTHONPATH=src python benchmarks/bench_service.py --async --quick
+
 With ``--shards N`` the harness instead benchmarks the **sharded
 topology**: a multi-tenant world (every tenant a wire-format replica of
 the same synthetic KB, so shards have real independent state) is served
@@ -359,6 +375,363 @@ def run(
     }
     _merge_section(output, "service_http" if http else "service", section)
     return section
+
+
+# -- async front-end vs threaded front-end -----------------------------------------
+
+#: Thread budget for the idle keep-alive phase: both front-ends are held to
+#: the same budget, and the phase measures how many established, served,
+#: idle keep-alive connections each can hold within it.  The threaded
+#: front-end pays one OS thread per connection, so it sustains ~budget; the
+#: async front-end pays ~zero threads per connection, so it sustains
+#: whatever the target is.  The resulting ratio is a property of the two
+#: implementations, not of the hardware -- which is why the regression gate
+#: can require >= 4x on any box.
+IDLE_THREAD_BUDGET = 40
+IDLE_THREAD_BUDGET_QUICK = 10
+#: Idle connections the async side opens, as a multiple of the budget.
+#: Above the 4x gate floor so the invariant has headroom, low enough to
+#: stay far inside default file-descriptor limits.
+IDLE_TARGET_FACTOR = 6
+
+
+def _open_idle_connection(host: str, port: int):
+    """Open one keep-alive connection, prove it is served, leave it idle.
+
+    The /health round-trip matters: an unaccepted or unserved socket would
+    count as "sustained" without the server ever paying for it.
+    """
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    connection.request("GET", "/health")
+    response = connection.getresponse()
+    payload = response.read()
+    if response.status != 200:
+        connection.close()
+        raise RuntimeError(f"idle /health -> {response.status}: {payload[:200]!r}")
+    return connection
+
+
+def _capture_stream(
+    host: str,
+    port: int,
+    schedule: Schedule,
+    clients: int,
+    requests_per_client: int,
+    pinned_pair: Tuple[str, str],
+    commit_bodies: List[bytes],
+) -> List[List[bytes]]:
+    """Hammer a mixed read/commit stream; return raw response bytes per client.
+
+    Client 0 issues the ``commit_bodies`` sequence (single committer ->
+    deterministic version chain); every other client reads with the
+    version pair **pinned** to ``pinned_pair``, so a read racing a commit
+    scores the same snapshot no matter how the two interleave.  That makes
+    every response byte-deterministic, so two transports running this
+    stream concurrently must capture identical bytes per (client, index).
+    """
+    import http.client
+
+    captured: List[List[bytes]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+    start_barrier = threading.Barrier(clients)
+
+    def client_loop(index: int) -> None:
+        connection = http.client.HTTPConnection(host, port)
+        try:
+            start_barrier.wait()
+            if index == 0 and commit_bodies:
+                for body in commit_bodies:
+                    connection.request(
+                        "POST", "/commit", body, {"Content-Type": "application/json"}
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    if response.status != 200:
+                        raise RuntimeError(f"/commit -> {response.status}: {payload[:200]!r}")
+                    captured[index].append(payload)
+                return
+            old_id, new_id = pinned_pair
+            for i in range(requests_per_client):
+                tenant, user_id = schedule(index, i)
+                body = json.dumps(
+                    {"tenant": tenant, "user": user_id, "old": old_id, "new": new_id}
+                ).encode("utf-8")
+                connection.request(
+                    "POST", "/recommend", body, {"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200:
+                    raise RuntimeError(f"/recommend -> {response.status}: {payload[:200]!r}")
+                captured[index].append(payload)
+        except BaseException as exc:
+            errors.append(exc)
+            start_barrier.abort()
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return captured
+
+
+def run_async(
+    output: Path,
+    clients: List[int] | None = None,
+    requests_per_client: int = 60,
+    workers: int = 4,
+    warmup_requests: int = 8,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    """Benchmark the asyncio front-end against the threaded one.
+
+    Three phases, merged as one ``"service_async"`` section:
+
+    1. **Bit-identity** -- the same deterministic concurrent mixed
+       read/commit stream (single committer, reads pinned to one version
+       pair) runs against a threaded and an async front-end over two
+       identically-generated worlds; every captured response must match
+       byte for byte, commit responses included.
+    2. **Closed-loop levels** -- the classic 1/8/32-client hammer through
+       the async front-end (one persistent keep-alive connection per
+       client), comparable to the ``service_http`` section.
+    3. **Idle keep-alive** -- both front-ends are held to the same thread
+       budget and loaded with established-idle keep-alive connections;
+       the section records how many each sustained within the budget and
+       the async/threaded ratio the regression gate requires >= 4x of.
+    """
+    from repro.service.aio import AsyncServerThread
+    from repro.service.http import make_server
+
+    levels = list(clients or DEFAULT_CLIENT_LEVELS)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    if quick:
+        requests_per_client = min(requests_per_client, 5)
+        warmup_requests = min(warmup_requests, 2)
+    budget = IDLE_THREAD_BUDGET_QUICK if quick else IDLE_THREAD_BUDGET
+    idle_target = budget * IDLE_TARGET_FACTOR
+
+    world = generate_world(seed=WORLD_SEED, config=config)
+    user_ids = [user.user_id for user in world.users]
+    service_config = ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+
+    # -- phase 1: bit-identity under a concurrent mixed read/commit stream --------
+    identity_clients = 4
+    identity_requests = max(4, min(requests_per_client, 12))
+    commit_bodies = [
+        json.dumps(
+            {
+                "tenant": TENANT,
+                "added": f"<urn:bench:s{i}> <urn:bench:p> <urn:bench:o{i}> .\n",
+                "version_id": f"bench_async_c{i}",
+            }
+        ).encode("utf-8")
+        for i in range(3)
+    ]
+
+    def identity_schedule(client_index: int, i: int) -> Tuple[str, str]:
+        return TENANT, user_ids[(client_index + i) % len(user_ids)]
+
+    captures: Dict[str, List[List[bytes]]] = {}
+    for transport in ("threaded", "async"):
+        # Fresh, identically-generated world per transport: the committer
+        # client mutates the chain, so the two sides must not share a KB.
+        stream_world = generate_world(seed=WORLD_SEED, config=config)
+        pinned = (stream_world.kb.version_ids()[-2], stream_world.kb.version_ids()[-1])
+        service = RecommendationService(service_config)
+        service.add_tenant(TENANT, stream_world.kb, stream_world.users)
+        if transport == "threaded":
+            server = make_server(service, host="127.0.0.1", port=0)
+            server_thread = threading.Thread(
+                target=server.serve_forever, name="bench-identity-http", daemon=True
+            )
+            server_thread.start()
+            host, port = server.server_address[:2]
+            try:
+                captures[transport] = _capture_stream(
+                    host, port, identity_schedule, identity_clients,
+                    identity_requests, pinned, commit_bodies,
+                )
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+        else:
+            with AsyncServerThread(service) as async_server:
+                host, port = async_server.address
+                captures[transport] = _capture_stream(
+                    host, port, identity_schedule, identity_clients,
+                    identity_requests, pinned, commit_bodies,
+                )
+            service.close()
+    if captures["threaded"] != captures["async"]:
+        raise AssertionError(
+            "async front-end responses diverged from threaded under the "
+            "mixed read/commit stream"
+        )
+    total_captured = sum(len(per_client) for per_client in captures["async"])
+    print(
+        f"verified: async responses bit-identical to threaded over a mixed "
+        f"stream ({total_captured} responses, {len(commit_bodies)} commits)"
+    )
+
+    # -- phase 2: closed-loop concurrency levels ----------------------------------
+    results: Dict[str, Dict] = {}
+    for level in levels:
+        service = RecommendationService(service_config)
+        service.add_tenant(TENANT, world.kb, world.users)
+
+        def schedule(client_index: int, i: int) -> Tuple[str, str]:
+            return TENANT, user_ids[(client_index + i) % len(user_ids)]
+
+        try:
+            with AsyncServerThread(service) as async_server:
+                host, port = async_server.address
+                factory = _http_client_factory(host, port)
+                warm = factory()
+                for i in range(warmup_requests):
+                    warm(TENANT, user_ids[i % len(user_ids)])
+                warm.close()
+                stats_before = service.admission_stats.snapshot()
+                samples, wall = _hammer(
+                    factory, schedule, level, requests_per_client, per_client=True
+                )
+                stats_after = service.admission_stats.snapshot()
+        finally:
+            service.close()
+        metrics = _level_metrics(samples, wall, level)
+        metrics["batches"] = stats_after["batches"] - stats_before["batches"]
+        metrics["largest_batch"] = stats_after["largest_batch"]
+        results[f"clients_{level}"] = metrics
+        print(
+            f"async clients {level:3d}: {metrics['throughput_rps']:8.1f} req/s  "
+            f"p50 {metrics['p50_ms']:7.2f} ms  p99 {metrics['p99_ms']:7.2f} ms  "
+            f"({metrics['requests']} requests, {metrics['batches']} batches)"
+        )
+
+    # -- phase 3: idle keep-alive connections under one thread budget -------------
+    idle = _idle_keepalive_phase(
+        world, service_config, budget=budget, target=idle_target
+    )
+    print(
+        f"idle keep-alive (thread budget {budget}): threaded sustained "
+        f"{idle['sustained_threaded']}, async sustained {idle['sustained_async']} "
+        f"(+{idle['async']['thread_delta']} threads) -> {idle['ratio']:.1f}x"
+    )
+
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "k": k,
+            "quick": quick,
+            "transport": "asyncio",
+        },
+        "levels": results,
+        "idle_keepalive": idle,
+        "responses_bit_identical": True,
+    }
+    _merge_section(output, "service_async", section)
+    return section
+
+
+def _idle_keepalive_phase(
+    world, service_config: ServiceConfig, budget: int, target: int
+) -> Dict:
+    """Measure idle keep-alive capacity of both front-ends within ``budget``.
+
+    Each connection is opened, proven served (one /health round-trip) and
+    left idle.  The threaded front-end is stopped as soon as its thread
+    count grows past the budget -- that is the budget doing its job, not a
+    failure; the async front-end opens the full ``target`` and records its
+    (near-zero) thread growth.  ``sustained_*`` is the established-idle
+    connection count each side held while within budget, and ``ratio`` is
+    the gated invariant.
+    """
+    from repro.service.aio import AsyncServerThread
+    from repro.service.http import make_server
+
+    # Threaded: one thread per connection by construction.
+    service = RecommendationService(service_config)
+    service.add_tenant(TENANT, world.kb, world.users)
+    server = make_server(service, host="127.0.0.1", port=0)
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="bench-idle-http", daemon=True
+    )
+    server_thread.start()
+    host, port = server.server_address[:2]
+    connections = []
+    baseline_threads = threading.active_count()
+    threaded_delta = 0
+    try:
+        for _ in range(target):
+            connections.append(_open_idle_connection(host, port))
+            threaded_delta = threading.active_count() - baseline_threads
+            if threaded_delta >= budget:
+                break
+        sustained_threaded = len(connections)
+    finally:
+        for connection in connections:
+            connection.close()
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    # Async: the same budget, the full target of connections.
+    service = RecommendationService(service_config)
+    service.add_tenant(TENANT, world.kb, world.users)
+    connections = []
+    try:
+        with AsyncServerThread(service, max_connections=target + 8) as async_server:
+            host, port = async_server.address
+            baseline_threads = threading.active_count()
+            for _ in range(target):
+                connections.append(_open_idle_connection(host, port))
+            async_delta = threading.active_count() - baseline_threads
+            # Liveness under load: the server still answers with every
+            # idle connection open, on old connections and new ones alike.
+            connections[0].request("GET", "/health")
+            connections[0].getresponse().read()
+            probe = _open_idle_connection(host, port)
+            probe.close()
+            opened_async = len(connections)
+    finally:
+        for connection in connections:
+            connection.close()
+        service.close()
+    sustained_async = (
+        opened_async
+        if async_delta <= budget
+        else int(opened_async * budget / max(1, async_delta))
+    )
+    return {
+        "thread_budget": budget,
+        "target_connections": target,
+        "threaded": {"connections": sustained_threaded, "thread_delta": threaded_delta},
+        "async": {"connections": opened_async, "thread_delta": async_delta},
+        "sustained_threaded": sustained_threaded,
+        "sustained_async": sustained_async,
+        "ratio": sustained_async / max(1, sustained_threaded),
+    }
 
 
 # -- sharded topology vs single-process baseline -----------------------------------
@@ -783,15 +1156,37 @@ def main(argv: List[str] | None = None) -> int:
              "connection per client); merges a 'service_http' section",
     )
     parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="bench the asyncio front-end against the threaded one: "
+             "bit-identity over a mixed read/commit stream, closed-loop "
+             "levels, and the idle keep-alive thread-budget phase; merges "
+             "a 'service_async' section",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: shrunk workload, few requests (not comparable to full runs)",
     )
     args = parser.parse_args(argv)
     if args.http and args.shards:
         raise SystemExit("--http benches the single-process front-end; drop --shards")
+    if args.use_async and (args.shards or args.http):
+        raise SystemExit(
+            "--async benches the single-process asyncio front-end; "
+            "drop --shards/--http"
+        )
     if args.replicas and not args.shards:
         raise SystemExit("--replicas runs on the sharded topology; add --shards N")
-    if args.replicas:
+    if args.use_async:
+        run_async(
+            args.output,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workers=args.workers,
+            warmup_requests=8 if args.warmup is None else args.warmup,
+            k=args.k,
+            quick=args.quick,
+        )
+    elif args.replicas:
         run_replicated(
             args.output,
             shards=args.shards,

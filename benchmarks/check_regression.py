@@ -43,6 +43,14 @@ Design notes, so the gate stays honest:
   when the run recorded ``cpu_count > 1``: read replicas scale across
   cores, so a 1-core box records its honest flat number and is not
   failed for physics.
+* The async gate (``service_async`` sections, committed baseline and
+  ``--fresh-async`` alike) is all invariants: the async front-end must
+  have answered byte-identically to the threaded one over the bench's
+  deterministic mixed read/commit stream, and it must sustain at least
+  ``--async-min-idle-ratio`` (default 4x) the idle keep-alive connections
+  the threaded server does under the same thread budget.  Both servers
+  run in the same process under the same budget, so the ratio is an
+  implementation property that holds on any hardware.
 * The durability gate (``durability`` sections, committed baseline and
   ``--fresh-durability`` alike) is all invariants, no ratios: the
   kill-and-reboot soak must have recorded zero loss of acknowledged
@@ -315,6 +323,78 @@ def check_replicated(
     return verdicts
 
 
+#: Minimum async/threaded sustained idle keep-alive connection ratio.
+#: Unlike the replicated speedup this is *always* enforced: the threaded
+#: front-end pays one OS thread per idle connection and the async one pays
+#: ~none, so the ratio is a property of the implementations, not of the
+#: hardware -- the bench holds both to the same thread budget, and losing
+#: the ratio means the async server started paying per-connection threads.
+DEFAULT_ASYNC_MIN_IDLE_RATIO = 4.0
+
+
+def check_async(
+    report: Dict,
+    min_idle_ratio: float = DEFAULT_ASYNC_MIN_IDLE_RATIO,
+    label: str = "service_async",
+) -> List[Verdict]:
+    """Gate a report's ``service_async`` section (absent -> no verdicts).
+
+    Two invariants, mirroring what the async front-end promises:
+
+    * ``responses_bit_identical`` must be ``True`` -- the bench replays a
+      deterministic concurrent mixed read/commit stream against both
+      front-ends and compares raw response bytes; the async server is a
+      pure transport change and must never alter a payload;
+    * the idle keep-alive phase's sustained async/threaded ratio must be
+      at least ``min_idle_ratio``.  Both servers ran under the same
+      thread budget in the same process, so the ratio holds on any
+      hardware -- it is the C10K reason the front-end exists.
+    """
+    if min_idle_ratio <= 0:
+        raise ValueError(f"min_idle_ratio must be > 0, got {min_idle_ratio}")
+    section = report.get("service_async")
+    if section is None:
+        return []
+    verdicts: List[Verdict] = []
+    identical = section.get("responses_bit_identical") is True
+    verdicts.append(
+        Verdict(
+            f"{label}.bit_identical", None, None, None, ok=identical,
+            note=(
+                "async == threaded over a mixed read/commit stream"
+                if identical
+                else "async responses not recorded as bit-identical"
+            ),
+        )
+    )
+    idle = section.get("idle_keepalive", {})
+    ratio = idle.get("ratio")
+    if ratio is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.idle_ratio", None, None, None, ok=False,
+                note="section carries no idle_keepalive ratio",
+            )
+        )
+    else:
+        budget = idle.get("thread_budget")
+        verdicts.append(
+            Verdict(
+                f"{label}.idle_ratio", None, None, ratio,
+                ok=ratio >= min_idle_ratio,
+                note=(
+                    f"{idle.get('sustained_async')} vs "
+                    f"{idle.get('sustained_threaded')} idle connections "
+                    f"within a {budget}-thread budget"
+                    if ratio >= min_idle_ratio
+                    else f"only {ratio:.2f}x idle connections "
+                         f"(floor {min_idle_ratio:.2f}x)"
+                ),
+            )
+        )
+    return verdicts
+
+
 def check_durability(report: Dict, label: str = "durability") -> List[Verdict]:
     """Gate a report's ``durability`` section (absent -> no verdicts).
 
@@ -457,6 +537,17 @@ def main(argv: List[str] | None = None) -> int:
              "baseline's",
     )
     parser.add_argument(
+        "--fresh-async", type=Path, default=None,
+        help="fresh async serving report (bench_service.py --async output); "
+             "its service_async section is gated like the baseline's "
+             "(bit-identical responses, idle keep-alive ratio)",
+    )
+    parser.add_argument(
+        "--async-min-idle-ratio", type=float, default=DEFAULT_ASYNC_MIN_IDLE_RATIO,
+        help="minimum async/threaded sustained idle keep-alive connection "
+             f"ratio (default: {DEFAULT_ASYNC_MIN_IDLE_RATIO})",
+    )
+    parser.add_argument(
         "--fresh-durability", type=Path, default=None,
         help="fresh durability soak report (bench_durability.py output); its "
              "durability section is gated like the baseline's (zero-loss, "
@@ -497,6 +588,15 @@ def main(argv: List[str] | None = None) -> int:
     verdicts.extend(
         check_replicated(baseline, min_speedup=args.replicated_min_speedup)
     )
+    verdicts.extend(check_async(baseline, min_idle_ratio=args.async_min_idle_ratio))
+    if args.fresh_async is not None:
+        verdicts.extend(
+            check_async(
+                json.loads(args.fresh_async.read_text()),
+                min_idle_ratio=args.async_min_idle_ratio,
+                label="fresh.service_async",
+            )
+        )
     verdicts.extend(check_durability(baseline))
     if args.fresh_durability is not None:
         verdicts.extend(

@@ -40,13 +40,30 @@ Subcommands::
                           [--tenant NAME] [--workers W] [--shards S]
                           [--replicas R] [-k K] [--persist]
                           [--rollup-bytes B] [--rollup-records N]
+                          [--async] [--events-interval S]
+                          [--max-connections N] [--alert-p99-ms MS]
+                          [--alert-queue-depth N] [--alert-log-bytes B]
         serve concurrent JSON recommendation requests over HTTP.  The KB
         becomes one tenant of a :mod:`repro.service`
         ``RecommendationService`` (thread worker pool + admission batching
         + snapshot-consistent reads); endpoints are ``GET /health``,
-        ``GET /tenants``, ``GET /stats``, ``POST /recommend`` and
-        ``POST /commit`` (see :mod:`repro.service.http`).  ``--port 0``
+        ``GET /tenants``, ``GET /stats`` (the frozen, versioned ops
+        snapshot), ``GET /alerts`` (threshold evaluation over the same
+        snapshot, configured with the ``--alert-*`` flags),
+        ``POST /recommend`` and ``POST /commit`` (see
+        :mod:`repro.service.http` and ``docs/http-api.md``).  ``--port 0``
         picks an ephemeral port and prints it.
+
+        **Async front-end** (``--async``, single-process topology only):
+        the same endpoints served from one asyncio event loop
+        (:mod:`repro.service.aio`) instead of a thread per connection --
+        responses are byte-identical, scoring still runs on the admission
+        worker threads, but an idle keep-alive connection costs a
+        coroutine instead of an OS thread (``--max-connections`` caps the
+        open-connection count).  Adds the SSE ``GET /events`` ops stream:
+        one ``event: stats`` frame per ``--events-interval`` seconds
+        carrying exactly the ``/stats`` payload, plus an ``event: alerts``
+        frame on ticks where the thresholds fire.
 
         ``--kb`` accepts either on-disk layout (auto-detected).  A binary
         store boots O(root + deltas) -- mmap decode, lazy snapshots, the
@@ -140,10 +157,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     generate = commands.add_parser("generate", help="generate a synthetic world")
     generate.add_argument("--out", required=True, help="output directory")
-    generate.add_argument("--seed", type=int, default=0)
-    generate.add_argument("--classes", type=int, default=80)
-    generate.add_argument("--versions", type=int, default=3)
-    generate.add_argument("--users", type=int, default=8)
+    generate.add_argument(
+        "--seed", type=int, default=0,
+        help="world RNG seed: the same seed always produces the same KB, "
+             "evolution history and users (default: 0)",
+    )
+    generate.add_argument(
+        "--classes", type=int, default=80,
+        help="schema classes in the generated ontology (default: 80)",
+    )
+    generate.add_argument(
+        "--versions", type=int, default=3,
+        help="KB versions in the evolution chain (default: 3)",
+    )
+    generate.add_argument(
+        "--users", type=int, default=8,
+        help="synthetic users with interaction histories (default: 8)",
+    )
     generate.add_argument(
         "--format", choices=("nt", "binary"), default="nt",
         help="KB layout to write: interoperable .nt directory (default) or "
@@ -164,20 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
     measures.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
     measures.add_argument("--old", help="older version id (default: second-to-last)")
     measures.add_argument("--new", help="newer version id (default: latest)")
-    measures.add_argument("--top", type=int, default=5)
+    measures.add_argument(
+        "--top", type=int, default=5,
+        help="per-measure entries to print (default 5)",
+    )
 
     recommend = commands.add_parser("recommend", help="recommend to one user")
-    recommend.add_argument("--kb", required=True)
+    recommend.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
     recommend.add_argument("--users", required=True, help="users JSON file")
     recommend.add_argument("--user", required=True, help="user id")
-    recommend.add_argument("-k", type=int, default=5)
+    recommend.add_argument("-k", type=int, default=5, help="package size (default 5)")
     recommend.add_argument("--out", help="write the package to this JSON file")
 
     report = commands.add_parser("report", help="k-anonymous change report")
-    report.add_argument("--kb", required=True)
-    report.add_argument("--anonymity", type=int, default=2, metavar="K")
+    report.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
     report.add_argument(
-        "--strategy", choices=("generalize", "suppress"), default="generalize"
+        "--anonymity", type=int, default=2, metavar="K",
+        help="k-anonymity parameter: every reported group covers >= K changes",
+    )
+    report.add_argument(
+        "--strategy", choices=("generalize", "suppress"), default="generalize",
+        help="how under-sized groups are anonymised: generalize up the "
+             "schema, or suppress entirely",
     )
 
     serve = commands.add_parser(
@@ -185,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--kb", required=True, help="KB directory (save_kb layout)")
     serve.add_argument("--users", required=True, help="users JSON file")
-    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8351, help="0 = ephemeral")
     serve.add_argument("--tenant", help="tenant name (default: the KB's name)")
     serve.add_argument(
@@ -220,6 +258,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--rollup-records", type=int, metavar="N",
         help="with --persist: roll the commit log up into the base whenever "
              "it reaches N records",
+    )
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve from one asyncio event loop instead of a thread per "
+             "connection: same endpoints and byte-identical JSON, idle "
+             "keep-alive connections cost a coroutine instead of a thread, "
+             "and the SSE GET /events ops stream becomes available "
+             "(single-process topology only)",
+    )
+    serve.add_argument(
+        "--events-interval", type=float, default=None, metavar="SECONDS",
+        help="with --async: default publish cadence of the SSE /events "
+             "stream (default: 1.0; subscribers may override per "
+             "connection with ?interval=)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=4096, metavar="N",
+        help="with --async: simultaneous open connections the event loop "
+             "accepts before answering 503 (default: 4096)",
+    )
+    serve.add_argument(
+        "--alert-p99-ms", type=float, metavar="MS",
+        help="GET /alerts: fire when a tenant's rolling p99 latency is "
+             "at/over this many milliseconds",
+    )
+    serve.add_argument(
+        "--alert-queue-depth", type=int, metavar="N",
+        help="GET /alerts: fire when the admission backlog is at/over N "
+             "queued requests",
+    )
+    serve.add_argument(
+        "--alert-log-bytes", type=int, metavar="B",
+        help="GET /alerts: fire when a persisted tenant's commit log is "
+             "at/over B bytes (tenants with a roll-up threshold alert at "
+             "80%% of it instead)",
     )
 
     compact = commands.add_parser(
@@ -416,17 +489,40 @@ def _cmd_compact_store(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.io.store import BinaryKBStore
     from repro.recommender.engine import EngineConfig
-    from repro.service import RecommendationService, ServiceConfig, ShardSupervisor
+    from repro.service import (
+        AlertThresholds,
+        RecommendationService,
+        ServiceConfig,
+        ShardSupervisor,
+    )
     from repro.service.http import make_router_server, make_server
 
     if args.shards < 0:
         raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
     if args.replicas < 0:
         raise SystemExit(f"error: --replicas must be >= 0, got {args.replicas}")
+    if args.use_async and (args.shards or args.replicas):
+        raise SystemExit(
+            "error: --async is single-process only (the sharded router "
+            "scales with processes, not connections)"
+        )
+    if args.events_interval is not None and not args.use_async:
+        raise SystemExit(
+            "error: --events-interval only applies with --async "
+            "(the threaded front-end has no SSE /events stream)"
+        )
     if args.replicas and not args.shards:
         # Replicas live in the sharded topology; a single shard is the
         # natural owner for the replicated single-tenant case.
         args.shards = 1
+    try:
+        thresholds = AlertThresholds(
+            p99_ms=args.alert_p99_ms,
+            queue_depth=args.alert_queue_depth,
+            log_bytes=args.alert_log_bytes,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     kb_dir = Path(args.kb)
     is_binary = BinaryKBStore.is_store(kb_dir)
     if args.persist and not is_binary:
@@ -499,15 +595,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenant_name = args.tenant or kb.name
         service = RecommendationService(config)
         tenant = service.add_tenant(tenant_name, kb, users, store=store)
-        server = make_server(service, host=args.host, port=args.port)
-        host, port = server.server_address[:2]
         persisting = " [persisting commits]" if args.persist else ""
+        if args.use_async:
+            return _serve_async(args, service, tenant, kb, users, persisting, thresholds)
+        server = make_server(
+            service, host=args.host, port=args.port, thresholds=thresholds
+        )
+        host, port = server.server_address[:2]
         print(
             f"serving tenant {tenant.name!r} ({len(kb)} versions, "
             f"{len(users)} users) on http://{host}:{port}{persisting}"
         )
         closer = service.close
-    print("endpoints: GET /health /tenants /stats; POST /recommend /commit")
+    print(
+        "endpoints: GET /health /tenants /stats /alerts; POST /recommend /commit"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -515,6 +617,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         closer()
+    return 0
+
+
+def _serve_async(args, service, tenant, kb, users, persisting, thresholds) -> int:
+    """Run the asyncio front-end in the main thread's event loop.
+
+    Scoring still happens on the service's admission worker threads; the
+    loop only parses, admits (bridging the admission future with
+    ``asyncio.wrap_future``) and writes responses -- which is what lets
+    one process hold thousands of idle keep-alive connections.
+    """
+    import asyncio
+
+    from repro.service import AsyncServiceServer
+
+    try:
+        server = AsyncServiceServer(
+            service,
+            host=args.host,
+            port=args.port,
+            thresholds=thresholds,
+            events_interval=(
+                1.0 if args.events_interval is None else args.events_interval
+            ),
+            max_connections=args.max_connections,
+        )
+    except ValueError as exc:
+        service.close()
+        raise SystemExit(f"error: {exc}") from None
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(
+            f"serving tenant {tenant.name!r} ({len(kb)} versions, "
+            f"{len(users)} users) on http://{host}:{port}{persisting} [async]"
+        )
+        print(
+            "endpoints: GET /health /tenants /stats /alerts /events; "
+            "POST /recommend /commit"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
     return 0
 
 

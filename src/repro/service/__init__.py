@@ -28,14 +28,23 @@ thread-safe subsystem that actually serves that workload:
   single-owner and reach replicas as O(delta) commit records,
 * :mod:`repro.service.http` -- stdlib-only JSON front-ends
   (``python -m repro serve``): the single-process server and the sharded
-  thin router (``--shards N``, ``--replicas R``).
+  thin router (``--shards N``, ``--replicas R``),
+* :mod:`repro.service.aio` -- the asyncio front-end (``serve --async``):
+  the same JSON API from one event-loop thread, so idle keep-alive
+  connections cost a coroutine instead of a thread, plus the SSE
+  ``/events`` stream only an event loop can afford,
+* :mod:`repro.service.metrics` -- the ops plane: the lock-light
+  per-tenant counter/latency aggregator behind the frozen, versioned
+  ``GET /stats`` payload, and the threshold rules behind ``GET /alerts``.
 
 Results are bit-identical to serial, single-threaded execution: batching,
-concurrency, sharding and replication change cost, never values (the
-service test suite asserts exactly that, in every topology).
+concurrency, sharding, replication and the choice of front-end change
+cost, never values (the service test suite asserts exactly that, in every
+topology).
 """
 
 from repro.service.admission import AdmissionQueue, AdmissionStats
+from repro.service.aio import AsyncServerThread, AsyncServiceServer
 from repro.service.errors import (
     RemoteInternalError,
     ServiceClosedError,
@@ -45,18 +54,29 @@ from repro.service.errors import (
     UnknownTenantError,
     UnknownUserError,
 )
+from repro.service.metrics import (
+    STATS_VERSION,
+    AlertThresholds,
+    ServiceMetrics,
+    evaluate_alerts,
+)
 from repro.service.registry import Tenant, TenantRegistry
 from repro.service.service import RecommendationService, ServiceConfig
 from repro.service.sharding import ShardSupervisor
 
 __all__ = [
+    "STATS_VERSION",
     "AdmissionQueue",
     "AdmissionStats",
+    "AlertThresholds",
+    "AsyncServerThread",
+    "AsyncServiceServer",
     "RecommendationService",
     "RemoteInternalError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
+    "ServiceMetrics",
     "ServiceOverloadedError",
     "ShardError",
     "ShardSupervisor",
@@ -64,4 +84,5 @@ __all__ = [
     "TenantRegistry",
     "UnknownTenantError",
     "UnknownUserError",
+    "evaluate_alerts",
 ]

@@ -28,14 +28,18 @@ only in the throughput.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.profiles.user import User
 from repro.service.errors import ServiceClosedError, ServiceOverloadedError
 from repro.service.registry import Tenant
+
+if TYPE_CHECKING:  # feeding seam only; no runtime dependency cycle
+    from repro.service.metrics import ServiceMetrics
 
 #: An admission key: requests sharing it are scored in one batched call.
 #: The first element is the Tenant object's id(), not its name: a tenant
@@ -51,6 +55,9 @@ class _Request:
     k: int
     pair: Tuple[str, str]
     future: "Future"
+    #: Admission timestamp (perf_counter); the ops plane's per-request
+    #: latency is resolution-time minus this.
+    admitted_at: float = 0.0
 
 
 @dataclass
@@ -93,7 +100,11 @@ class AdmissionQueue:
     """
 
     def __init__(
-        self, workers: int = 4, max_batch: int = 64, max_pending: int = 1024
+        self,
+        workers: int = 4,
+        max_batch: int = 64,
+        max_pending: int = 1024,
+        metrics: "Optional[ServiceMetrics]" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -103,6 +114,10 @@ class AdmissionQueue:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._max_batch = max_batch
         self._max_pending = max_pending
+        # Optional ops-plane aggregator: fed per-tenant admissions/sheds
+        # under the queue lock and batch sizes/latencies from the worker
+        # threads (see repro.service.metrics for the locking story).
+        self._metrics = metrics
         self._pending_count = 0
         self._pending: "OrderedDict[BatchKey, List[_Request]]" = OrderedDict()
         self._lock = threading.Lock()
@@ -129,19 +144,26 @@ class AdmissionQueue:
         the request will score regardless of later commits.
         """
         future: Future = Future()
-        request = _Request(tenant=tenant, user=user, k=k, pair=pair, future=future)
+        request = _Request(
+            tenant=tenant, user=user, k=k, pair=pair, future=future,
+            admitted_at=time.perf_counter(),
+        )
         key: BatchKey = (id(tenant), pair[0], pair[1], k)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("admission queue is closed")
             if self._pending_count >= self._max_pending:
                 self.stats.shed += 1
+                if self._metrics is not None:
+                    self._metrics.record_shed(tenant.name)
                 raise ServiceOverloadedError(
                     f"admission queue is full ({self._max_pending} pending requests)"
                 )
             self.stats.submitted += 1
             self._pending_count += 1
             self._pending.setdefault(key, []).append(request)
+            if self._metrics is not None:
+                self._metrics.record_admitted(tenant.name)
             self._work_available.notify()
         return future
 
@@ -218,9 +240,20 @@ class AdmissionQueue:
         except BaseException as exc:  # propagate to every waiter, keep worker alive
             for request in requests:
                 self._resolve(request.future, exception=exc)
+            self._observe(tenant.name, requests, failed=True)
             return
         for request in requests:
             self._resolve(request.future, packages[request.user.user_id])
+        self._observe(tenant.name, requests, failed=False)
+
+    def _observe(self, name: str, requests: List[_Request], failed: bool) -> None:
+        """Feed one resolved batch to the ops-plane aggregator (if any)."""
+        if self._metrics is None:
+            return
+        now = time.perf_counter()
+        self._metrics.record_batch(name, len(requests), failed=failed)
+        for request in requests:
+            self._metrics.record_latency(name, now - request.admitted_at)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -237,6 +270,15 @@ class AdmissionQueue:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Requests admitted but not yet handed to a worker (unlocked read).
+
+        The ops plane's backlog gauge: sustained depth near ``max_pending``
+        means the workers cannot keep up and sheds are imminent.
+        """
+        return self._pending_count
 
     def __enter__(self) -> "AdmissionQueue":
         return self

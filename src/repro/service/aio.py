@@ -1,0 +1,469 @@
+"""The asyncio front-end: same JSON API, event-loop connection handling.
+
+The threaded front-end (:mod:`repro.service.http`) spends one OS thread
+per *connection* -- fine for a handful of busy clients, ruinous for a
+fleet of mostly-idle keep-alive connections (dashboards, health checkers,
+connection pools sized for peak): a thousand idle sockets cost a thousand
+stacks before the first request arrives.  :class:`AsyncServiceServer`
+serves the identical endpoints from a single event-loop thread, so an
+idle connection costs one socket and a parser coroutine, nothing more.
+
+The split of labour is deliberate:
+
+* **Connection handling is async.**  Accepting, parsing, keep-alive
+  waiting and response writing all run on the event loop; ten thousand
+  idle connections are ten thousand paused coroutines.
+* **Scoring stays on the admission queue's worker threads.**  The loop
+  never scores: ``/recommend`` admits through the same
+  :meth:`~repro.service.service.RecommendationService.recommend_async`
+  as every other caller and bridges the returned
+  ``concurrent.futures.Future`` onto the loop with
+  :func:`asyncio.wrap_future` -- so async and threaded traffic coalesce
+  into the *same* batches and produce byte-identical JSON (the
+  regression gate asserts exactly that).  ``/commit`` parses N-Triples
+  and commits in the default executor for the same reason: a large
+  curator upload must not stall every other connection's parser.
+
+On top of the mirrored API sits the ops plane only an event loop can
+afford:
+
+``GET /events``
+    a Server-Sent Events stream (``text/event-stream``) publishing the
+    frozen ``/stats`` payload every ``interval`` seconds as an
+    ``event: stats`` frame (the SSE ``id:`` is the tick sequence
+    number), plus an ``event: alerts`` frame on ticks where the
+    configured thresholds fire.  ``?interval=`` overrides the cadence
+    per subscriber; ``?count=`` ends the stream after that many ticks
+    (handy for curl and tests).  One subscriber costs one coroutine --
+    the threaded server refuses this endpoint precisely because there
+    it would cost a thread.
+``GET /alerts``
+    one-shot threshold evaluation
+    (:func:`repro.service.metrics.evaluate_alerts`), identical to the
+    threaded front-end's.
+
+Shutdown closes the listener, then every live connection; in-flight
+admitted requests still resolve (the admission queue drains on service
+close, not server close).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.io.storage import package_to_dict
+from repro.service.http import (
+    handle_commit,
+    map_error,
+    parse_recommend_payload,
+)
+from repro.service.metrics import AlertThresholds, evaluate_alerts
+from repro.service.service import RecommendationService
+
+#: Reason phrases for the handful of statuses this front-end emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard ceiling on one request head (request line + headers).  Matches the
+#: stdlib ``http.server`` order of magnitude; a client that sends more is
+#: answered 400 and disconnected.
+_MAX_HEADER_BYTES = 65536
+
+
+def sse_frame(event: str, seq: int, payload: Dict) -> bytes:
+    """One Server-Sent Events frame: ``event``/``id``/``data`` + blank line.
+
+    ``data`` is a single line because the payload is compact JSON (no
+    embedded newlines by construction); the trailing blank line is the
+    frame boundary the SSE grammar requires.
+    """
+    body = json.dumps(payload)
+    return f"event: {event}\nid: {seq}\ndata: {body}\n\n".encode("utf-8")
+
+
+class AsyncServiceServer:
+    """Single-event-loop HTTP front-end over a :class:`RecommendationService`.
+
+    Speaks the threaded front-end's exact JSON API (``/health``,
+    ``/tenants``, ``/stats``, ``/alerts``, ``/recommend``, ``/commit``)
+    plus the SSE ``/events`` stream.  Construct, ``await start()``, then
+    ``await serve_forever()`` -- or use :class:`AsyncServerThread` to run
+    it next to synchronous code (the CLI, the tests, the benchmark).
+
+    ``max_connections`` bounds simultaneous open connections (the async
+    analogue of the thread budget): connection ``max_connections + 1``
+    is answered 503 and closed instead of degrading everyone.
+    """
+
+    def __init__(
+        self,
+        service: RecommendationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        thresholds: Optional[AlertThresholds] = None,
+        events_interval: float = 1.0,
+        max_connections: int = 4096,
+    ) -> None:
+        if not math.isfinite(events_interval) or events_interval <= 0:
+            raise ValueError(f"events_interval must be > 0, got {events_interval}")
+        if max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.thresholds = thresholds or AlertThresholds()
+        self.events_interval = events_interval
+        self.max_connections = max_connections
+        self.address: Tuple[str, int] = (host, port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting (port 0 = ephemeral); returns the address."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled or :meth:`close`\\ d."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def close(self) -> None:
+        """Stop accepting, then close every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    @property
+    def connections(self) -> int:
+        """Currently open connections (the ops plane's C10K gauge)."""
+        return len(self._writers)
+
+    # -- connection loop ---------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if len(self._writers) >= self.max_connections:
+            writer.write(
+                self._response(503, {"error": "connection limit reached"}, close=True)
+            )
+            with _swallow_disconnect():
+                await writer.drain()
+            writer.close()
+            return
+        self._writers.add(writer)
+        try:
+            with _swallow_disconnect():
+                while await self._handle_one(reader, writer):
+                    pass
+        except asyncio.CancelledError:
+            # Loop shutdown cancels connection tasks parked on readline;
+            # completing normally here (instead of staying "cancelled")
+            # keeps the stream protocol's done-callback from re-raising
+            # into the event loop's exception handler.
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request on a keep-alive connection.
+
+        Returns True to keep the connection open for the next request.
+        An idle connection parks here on ``readline`` indefinitely -- that
+        wait *is* the cheap idle keep-alive the front-end exists for.
+        """
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            writer.write(self._response(400, {"error": "request line too long"}, close=True))
+            await writer.drain()
+            return False
+        if not request_line:
+            return False  # client closed the idle connection
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            writer.write(self._response(400, {"error": "malformed request line"}, close=True))
+            await writer.drain()
+            return False
+        method, target, _version = parts
+
+        headers: Dict[str, str] = {}
+        head_bytes = len(request_line)
+        while True:
+            line = await reader.readline()
+            head_bytes += len(line)
+            if head_bytes > _MAX_HEADER_BYTES:
+                writer.write(self._response(400, {"error": "headers too large"}, close=True))
+                await writer.drain()
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        keep_alive = headers.get("connection", "").lower() != "close"
+
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+                if n < 0:
+                    raise ValueError
+            except ValueError:
+                writer.write(self._response(400, {"error": "bad Content-Length"}, close=True))
+                await writer.drain()
+                return False
+            if n:
+                try:
+                    body = await reader.readexactly(n)
+                except asyncio.IncompleteReadError:
+                    return False  # client died mid-body
+
+        split = urlsplit(target)
+        path, query = split.path, split.query
+
+        if method == "GET" and path == "/events":
+            await self._stream_events(writer, query)
+            return False  # the stream owns the connection until it ends
+        status, payload = await self._dispatch(method, path, body)
+        writer.write(self._response(status, payload, close=not keep_alive))
+        await writer.drain()
+        return keep_alive
+
+    # -- routing ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict]:
+        """Route one plain (non-SSE) request -> ``(status, JSON payload)``."""
+        service = self.service
+        try:
+            if method == "GET":
+                if path == "/health":
+                    return 200, {"status": "ok", "tenants": len(service.registry)}
+                if path == "/tenants":
+                    return 200, {"tenants": service.tenants()}
+                if path == "/stats":
+                    return 200, service.stats()
+                if path == "/alerts":
+                    return 200, evaluate_alerts(service.stats(), self.thresholds)
+                return 404, {"error": f"unknown path: {path}"}
+            if method == "POST":
+                if path == "/recommend":
+                    return 200, await self._recommend(self._decode_body(body))
+                if path == "/commit":
+                    return 200, await self._commit(self._decode_body(body))
+                return 404, {"error": f"unknown path: {path}"}
+            return 404, {"error": f"unsupported method: {method}"}
+        except Exception as exc:  # same taxonomy as the threaded front-end
+            status, message = map_error(exc)
+            return status, {"error": message}
+
+    @staticmethod
+    def _decode_body(body: bytes) -> Dict:
+        if not body:
+            raise ValueError("request body must be a JSON object")
+        payload = json.loads(body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    async def _recommend(self, payload: Dict) -> Dict:
+        """Admit on the queue, await the future on the loop.
+
+        :func:`asyncio.wrap_future` is the whole bridge: the admission
+        workers resolve the ``concurrent.futures.Future`` from their
+        threads and the loop wakes this coroutine.  ``wait_for`` applies
+        the same ``request_timeout_s`` deadline as the blocking path;
+        on timeout it cancels the wrapped future (which the queue
+        tolerates -- see ``AdmissionQueue._resolve``) and the shared
+        error mapping turns it into the same 504.
+        """
+        tenant, user, k, old, new = parse_recommend_payload(payload)
+        future = self.service.recommend_async(tenant, user, k=k, old_id=old, new_id=new)
+        package = await asyncio.wait_for(
+            asyncio.wrap_future(future),
+            timeout=self.service.config.request_timeout_s,
+        )
+        return package_to_dict(package)
+
+    async def _commit(self, payload: Dict) -> Dict:
+        """Parse + commit off-loop: N-Triples parsing is CPU-bound and the
+        commit itself takes the tenant write lock -- neither may stall the
+        event loop, so the whole threaded-front-end handler runs in the
+        default executor and the loop just awaits it."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, handle_commit, self.service, payload)
+
+    # -- SSE ----------------------------------------------------------------------
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, query: str) -> None:
+        """Publish ``event: stats`` frames (and ``event: alerts`` when firing).
+
+        Ends when the subscriber disconnects or after ``?count=`` ticks;
+        a mid-stream disconnect is an expected outcome, not an error --
+        the connection is simply reclaimed.
+        """
+        params = parse_qs(query)
+        try:
+            interval = float(params["interval"][0]) if "interval" in params else self.events_interval
+            count = int(params["count"][0]) if "count" in params else None
+            if not math.isfinite(interval) or interval <= 0:
+                raise ValueError
+            if count is not None and count < 1:
+                raise ValueError
+        except (ValueError, TypeError):
+            writer.write(
+                self._response(
+                    400,
+                    {"error": "interval must be > 0 and count a positive integer"},
+                    close=True,
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        seq = 0
+        while count is None or seq < count:
+            stats = self.service.stats()
+            frame = sse_frame("stats", seq, stats)
+            alerts = evaluate_alerts(stats, self.thresholds)
+            if alerts["status"] == "alerting":
+                frame += sse_frame("alerts", seq, alerts)
+            writer.write(frame)
+            await writer.drain()
+            seq += 1
+            if count is not None and seq >= count:
+                break
+            await asyncio.sleep(interval)
+
+    # -- response plumbing ---------------------------------------------------------
+
+    @staticmethod
+    def _response(status: int, payload: Dict, close: bool = False) -> bytes:
+        """Serialise one JSON response (``json.dumps`` exactly as the
+        threaded front-end does, so bodies are byte-identical)."""
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{'Connection: close' + chr(13) + chr(10) if close else ''}"
+            "\r\n"
+        ).encode("latin-1")
+        return head + body
+
+
+class _swallow_disconnect:
+    """Context manager treating peer-reset/broken-pipe as a normal close."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, BrokenPipeError, TimeoutError)
+        )
+
+
+class AsyncServerThread:
+    """Run an :class:`AsyncServiceServer` on a dedicated event-loop thread.
+
+    The seam between the async front-end and synchronous callers: the
+    tests, the benchmark and anything embedding the server next to
+    blocking code use this instead of owning a loop.  (The CLI's
+    ``serve --async`` runs the loop in the *main* thread instead -- see
+    ``repro.cli``.)
+
+    One background thread runs ``asyncio.run`` around the server;
+    :meth:`start` blocks until the listener is bound and returns the
+    address; :meth:`stop` shuts the loop down and joins the thread.
+    Usable as a context manager.
+    """
+
+    def __init__(self, service: RecommendationService, **kwargs) -> None:
+        self._service = service
+        self._kwargs = kwargs
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self.server: Optional[AsyncServiceServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-aio-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("async server did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("async server failed to start") from self._startup_error
+        assert self.address is not None
+        return self.address
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.server = AsyncServiceServer(self._service, **self._kwargs)
+        try:
+            self.address = await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self.server.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "AsyncServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -25,7 +25,21 @@ Endpoints (identical in both topologies):
 ``GET /tenants``
     tenant summaries (versions, users).
 ``GET /stats``
-    admission/batching counters (per shard in the sharded topology).
+    the frozen, versioned ops snapshot (see
+    :data:`repro.service.metrics.STATS_VERSION` and ``docs/http-api.md``):
+    admission/batching counters plus per-tenant serving counters, rolling
+    latency percentiles and persistence gauges (per shard in the sharded
+    topology, which reports each shard's raw admission counters).
+``GET /alerts``
+    threshold evaluation over the same ``/stats`` payload
+    (:func:`repro.service.metrics.evaluate_alerts`): tail-latency budget,
+    admission backlog, commit-log-near-roll-up.  Single-process
+    front-ends only (threaded and async).
+``GET /events``
+    Server-Sent Events stream of periodic ``/stats`` payloads -- the
+    async front-end only (:mod:`repro.service.aio`); this threaded server
+    answers 404 with a hint, because an SSE subscriber would pin one
+    thread for its whole lifetime here.
 ``POST /recommend``
     ``{"tenant": ..., "user": ..., "k"?: ..., "old"?: ..., "new"?: ...}`` ->
     the recommendation package as JSON (same layout as
@@ -44,6 +58,7 @@ as Python-API callers do; the HTTP layer adds no state of its own.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -62,6 +77,7 @@ from repro.service.errors import (
     UnknownUserError,
     error_message,
 )
+from repro.service.metrics import AlertThresholds, evaluate_alerts
 from repro.service.service import RecommendationService
 
 if TYPE_CHECKING:  # sharding imports this module; annotation only here.
@@ -69,6 +85,40 @@ if TYPE_CHECKING:  # sharding imports this module; annotation only here.
 
 
 # -- request semantics (shared by the in-process handler and the shards) -----------
+
+
+#: Overload timeouts, whatever layer raised them: the blocking front-end's
+#: Future.result, the async front-end's asyncio.wait_for (a distinct class
+#: until Python 3.11 aliased it to the builtin), or a hung shard fan-out.
+TIMEOUT_ERRORS = (TimeoutError, FuturesTimeoutError, asyncio.TimeoutError)
+
+
+def map_error(exc: BaseException) -> Tuple[int, str]:
+    """One request-failure taxonomy -> ``(HTTP status, message)``.
+
+    Shared by every front-end (threaded, router, async), so the same
+    failure produces byte-identical error JSON on all of them:
+
+    * 404 -- the client named a tenant/user that does not exist;
+    * 503 -- shutdown, shed under load, or a dead shard: retry elsewhere,
+      the request itself was fine;
+    * 504 -- the admitted batch missed ``request_timeout_s``: overload,
+      not a bug (the fixed message leaks no per-request state);
+    * 400 -- the request was malformed (bad JSON, bad N-Triples, bad
+      field types, duplicate version id);
+    * 500 -- everything else: a server-side bug.
+    """
+    if isinstance(exc, (UnknownTenantError, UnknownUserError)):
+        return 404, error_message(exc)
+    if isinstance(exc, (ServiceClosedError, ServiceOverloadedError, ShardError)):
+        return 503, error_message(exc)
+    if isinstance(exc, TIMEOUT_ERRORS):
+        return 504, "request timed out under load"
+    if isinstance(
+        exc, (ValueError, KeyError, ServiceError, KnowledgeBaseError, json.JSONDecodeError)
+    ):
+        return 400, error_message(exc)
+    return 500, error_message(exc)
 
 
 def parse_recommend_payload(
@@ -207,19 +257,8 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
         """Run ``handler(payload) -> Dict`` with the shared error mapping."""
         try:
             self._send_json(handler(self._read_json_body()))
-        except (UnknownTenantError, UnknownUserError) as exc:
-            self._send_error_json(404, self._error_message(exc))
-        except (ServiceClosedError, ServiceOverloadedError, ShardError) as exc:
-            # Shutdown, shed under load, or a dead/unreachable shard: tell
-            # clients to retry elsewhere, not that their request was bad.
-            self._send_error_json(503, self._error_message(exc))
-        except (TimeoutError, FuturesTimeoutError):
-            # Overload, not a bug: the batch missed request_timeout_s.
-            self._send_error_json(504, "request timed out under load")
-        except (ValueError, KeyError, ServiceError, KnowledgeBaseError, json.JSONDecodeError) as exc:
-            self._send_error_json(400, self._error_message(exc))
-        except Exception as exc:  # pragma: no cover - defensive last resort
-            self._send_error_json(500, self._error_message(exc))
+        except Exception as exc:
+            self._send_error_json(*map_error(exc))
 
 
 # -- single-process front-end ------------------------------------------------------
@@ -236,25 +275,42 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     request_queue_size = 128
 
     def __init__(
-        self, address: Tuple[str, int], service: RecommendationService
+        self,
+        address: Tuple[str, int],
+        service: RecommendationService,
+        thresholds: Optional[AlertThresholds] = None,
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
+        #: The ``GET /alerts`` rules (see repro.service.metrics).
+        self.thresholds = thresholds or AlertThresholds()
 
 
 class ServiceRequestHandler(_JsonRequestHandler):
-    """Routes the five endpoints; every response body is JSON."""
+    """Routes the six endpoints; every response body is JSON."""
 
     server: ServiceHTTPServer
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
         service = self.server.service
-        if self.path == "/health":
+        path = self.path.partition("?")[0]
+        if path == "/health":
             self._send_json({"status": "ok", "tenants": len(service.registry)})
-        elif self.path == "/tenants":
+        elif path == "/tenants":
             self._send_json({"tenants": service.tenants()})
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(service.stats())
+        elif path == "/alerts":
+            self._send_json(
+                evaluate_alerts(service.stats(), self.server.thresholds)
+            )
+        elif path == "/events":
+            # SSE is async-front-end-only by design: a stream here would
+            # pin one server thread per subscriber -- exactly the
+            # thread-per-connection cost `repro serve --async` removes.
+            self._send_error_json(
+                404, "SSE /events requires the async front-end (repro serve --async)"
+            )
         else:
             self._send_error_json(404, f"unknown path: {self.path}")
 
@@ -269,10 +325,13 @@ class ServiceRequestHandler(_JsonRequestHandler):
 
 
 def make_server(
-    service: RecommendationService, host: str = "127.0.0.1", port: int = 0
+    service: RecommendationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    thresholds: Optional[AlertThresholds] = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer` (port 0 = ephemeral); caller serves."""
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer((host, port), service, thresholds=thresholds)
 
 
 # -- sharded front-end (thin router) ----------------------------------------------

@@ -1,0 +1,331 @@
+"""The ops plane's data model: per-tenant serving counters + alert rules.
+
+Operators of a long-lived multi-tenant deployment need to *watch* it
+evolve -- which tenants are committing, how well admission batching is
+coalescing, where tail latency sits, how close a persisted tenant's
+commit log is to its roll-up threshold.  :class:`ServiceMetrics` is the
+one aggregator all of that flows through:
+
+* the :class:`~repro.service.admission.AdmissionQueue` feeds admissions,
+  sheds, batch sizes and per-request latencies (admission -> resolution);
+* every :class:`~repro.service.registry.Tenant` feeds its commits;
+* persistence numbers (``commits.rpl`` records/bytes and the roll-up
+  thresholds) are *pulled* at snapshot time from the tenant's store --
+  they already live there, so the hot path never copies them.
+
+The aggregator is deliberately **lock-light**: per-tenant counters are
+plain attribute increments (made under locks the feeding code already
+holds -- the queue lock, the tenant write lock -- or benign-racy by the
+same argument as :class:`~repro.service.admission.AdmissionStats`), and
+the latency window is a bounded ``deque(maxlen=...)`` whose appends are
+atomic.  Reads (:meth:`ServiceMetrics.snapshot`) are unlocked snapshots:
+momentarily stale, never blocking a request.  Nothing here grows with
+traffic -- per-tenant state is O(window), so a service serving millions
+of requests carries kilobytes of metrics.
+
+The **frozen stats contract** lives here too: ``STATS_VERSION`` names the
+``GET /stats`` payload layout (and the SSE ``/events`` stream publishes
+byte-for-byte the same payload, so the two can never drift apart), and
+:func:`evaluate_alerts` turns one such payload plus an
+:class:`AlertThresholds` into the ``GET /alerts`` response.  See
+``docs/http-api.md`` for the field-by-field contract.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+#: Version tag of the ``GET /stats`` payload (and the SSE ``/events``
+#: ``data`` payload, which is the same object).  Bump ONLY when a field is
+#: renamed/removed or its meaning changes; adding fields is backward
+#: compatible and does not bump it.  ``docs/http-api.md`` documents v1
+#: field by field and ``tests/service/test_service_metrics.py`` pins it.
+STATS_VERSION = 1
+
+#: Default number of latency samples the per-tenant rolling window keeps.
+#: Big enough for a stable p99 under load, small enough that a snapshot's
+#: sort is microseconds.
+DEFAULT_WINDOW = 256
+
+
+class _TenantCounters:
+    """One tenant's counters (internal; snapshot via ServiceMetrics)."""
+
+    __slots__ = (
+        "commits",
+        "admitted",
+        "completed",
+        "failed",
+        "shed",
+        "batches",
+        "batched_requests",
+        "largest_batch",
+        "latencies",
+    )
+
+    def __init__(self, window: int) -> None:
+        self.commits = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self.latencies: Deque[float] = deque(maxlen=window)
+
+
+def _percentile_ms(sorted_samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ascending seconds -> milliseconds."""
+    rank = max(
+        0, min(len(sorted_samples) - 1, round(fraction * (len(sorted_samples) - 1)))
+    )
+    return sorted_samples[rank] * 1e3
+
+
+class ServiceMetrics:
+    """Per-tenant serving counters with a rolling latency window.
+
+    Thread-safety: the creation of a tenant's counter object is the only
+    locked operation; increments rely on the feeding call sites' existing
+    locks (queue lock, tenant write lock) or are benign races on plain
+    ints, and ``deque(maxlen=...)`` appends are atomic.  Snapshots are
+    unlocked reads -- momentarily stale, never wrong by more than a few
+    in-flight requests.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._tenants: Dict[str, _TenantCounters] = {}
+        self._lock = threading.Lock()
+
+    def _tenant(self, name: str) -> _TenantCounters:
+        counters = self._tenants.get(name)
+        if counters is None:
+            with self._lock:
+                counters = self._tenants.setdefault(name, _TenantCounters(self.window))
+        return counters
+
+    # -- feeding side (queue / registry hooks) --------------------------------
+
+    def record_admitted(self, name: str) -> None:
+        """One request admitted for tenant ``name``."""
+        self._tenant(name).admitted += 1
+
+    def record_shed(self, name: str) -> None:
+        """One request shed at admission (queue at ``max_pending``)."""
+        self._tenant(name).shed += 1
+
+    def record_batch(self, name: str, size: int, failed: bool = False) -> None:
+        """One scored admission batch of ``size`` requests."""
+        counters = self._tenant(name)
+        counters.batches += 1
+        counters.batched_requests += size
+        counters.largest_batch = max(counters.largest_batch, size)
+        if failed:
+            counters.failed += size
+        else:
+            counters.completed += size
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        """One request's admission -> resolution latency."""
+        self._tenant(name).latencies.append(seconds)
+
+    def record_commit(self, name: str) -> None:
+        """One committed version for tenant ``name``."""
+        self._tenant(name).commits += 1
+
+    def forget(self, name: str) -> None:
+        """Drop a tenant's counters (its registry eviction hook)."""
+        with self._lock:
+            self._tenants.pop(name, None)
+
+    # -- reading side (stats / events / alerts) -------------------------------
+
+    def tenant_names(self) -> List[str]:
+        """Tenants with recorded activity, sorted."""
+        return sorted(self._tenants)
+
+    def tenant_snapshot(self, name: str) -> Dict[str, object]:
+        """One tenant's JSON-friendly counters (zeros when never fed).
+
+        ``p50_ms`` / ``p99_ms`` are computed over the rolling window and
+        are ``None`` until at least one request resolved -- an idle or
+        empty tenant has *no* latency, not a zero one (the distinction
+        :func:`evaluate_alerts` relies on).
+        """
+        counters = self._tenants.get(name)
+        if counters is None:
+            counters = _TenantCounters(self.window)
+        samples = sorted(counters.latencies)
+        return {
+            "commits": counters.commits,
+            "admitted": counters.admitted,
+            "completed": counters.completed,
+            "failed": counters.failed,
+            "shed": counters.shed,
+            "batches": counters.batches,
+            "batched_requests": counters.batched_requests,
+            "largest_batch": counters.largest_batch,
+            "window": len(samples),
+            "mean_ms": statistics.fmean(samples) * 1e3 if samples else None,
+            "p50_ms": _percentile_ms(samples, 0.50) if samples else None,
+            "p99_ms": _percentile_ms(samples, 0.99) if samples else None,
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every fed tenant's snapshot, keyed by name."""
+        return {name: self.tenant_snapshot(name) for name in self.tenant_names()}
+
+
+# -- alerts -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlertThresholds:
+    """The ``GET /alerts`` rules; ``None`` disables a rule.
+
+    Every comparison is **>=**: a value exactly at its threshold alerts
+    (the operator asked to know *at* the budget, not one sample past it).
+
+    * ``p99_ms`` -- per-tenant tail-latency budget over the rolling
+      window; tenants with no resolved requests yet carry no p99 and
+      never fire this rule.
+    * ``queue_depth`` -- admission backlog across all tenants (requests
+      admitted but not yet scored).
+    * ``log_bytes`` -- absolute per-tenant ``commits.rpl`` size, for
+      persisted tenants without a roll-up threshold of their own.
+    * ``log_rollup_fraction`` -- "log-bytes-near-rollup": when a
+      persisted tenant has a ``rollup_bytes`` threshold, alert once the
+      log reaches this fraction of it.  Persistence is supposed to
+      absorb the log *at* the threshold; sitting near it for long means
+      roll-up is failing or misconfigured.
+    """
+
+    p99_ms: Optional[float] = None
+    queue_depth: Optional[int] = None
+    log_bytes: Optional[int] = None
+    log_rollup_fraction: Optional[float] = 0.8
+
+    def __post_init__(self) -> None:
+        for knob in ("p99_ms", "queue_depth", "log_bytes"):
+            value = getattr(self, knob)
+            if value is not None and value < 0:
+                raise ValueError(f"{knob} must be >= 0, got {value!r}")
+        fraction = self.log_rollup_fraction
+        if fraction is not None and not (0.0 < fraction <= 1.0):
+            raise ValueError(
+                f"log_rollup_fraction must be in (0, 1], got {fraction!r}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (echoed by the ``/alerts`` payload)."""
+        return {
+            "p99_ms": self.p99_ms,
+            "queue_depth": self.queue_depth,
+            "log_bytes": self.log_bytes,
+            "log_rollup_fraction": self.log_rollup_fraction,
+        }
+
+
+def evaluate_alerts(stats: Dict, thresholds: AlertThresholds) -> Dict[str, object]:
+    """Evaluate ``thresholds`` over one frozen ``/stats`` payload.
+
+    Pure function of the payload (which is what the SSE stream publishes
+    too), so anything an alert fires on is visible in the same tick's
+    stats event.  Returns the ``GET /alerts`` response body::
+
+        {"stats_version": 1, "status": "ok" | "alerting",
+         "thresholds": {...}, "alerts": [
+            {"kind": "p99_budget" | "queue_depth" | "log_bytes"
+                     | "log_rollup_near",
+             "tenant": name or None (None = service-wide),
+             "value": measured, "threshold": limit,
+             "message": human-readable one-liner}, ...]}
+
+    Alert order is deterministic: service-wide first, then per tenant in
+    sorted name order, each tenant's rules in the order p99, log.
+    """
+    alerts: List[Dict[str, object]] = []
+
+    depth = stats.get("admission", {}).get("depth", 0)
+    if thresholds.queue_depth is not None and depth >= thresholds.queue_depth:
+        alerts.append(
+            {
+                "kind": "queue_depth",
+                "tenant": None,
+                "value": depth,
+                "threshold": thresholds.queue_depth,
+                "message": (
+                    f"admission queue depth {depth} at/over "
+                    f"{thresholds.queue_depth}"
+                ),
+            }
+        )
+
+    per_tenant = stats.get("per_tenant", {})
+    for name in sorted(per_tenant):
+        tenant = per_tenant[name]
+        p99 = tenant.get("p99_ms")
+        if thresholds.p99_ms is not None and p99 is not None and p99 >= thresholds.p99_ms:
+            alerts.append(
+                {
+                    "kind": "p99_budget",
+                    "tenant": name,
+                    "value": p99,
+                    "threshold": thresholds.p99_ms,
+                    "message": (
+                        f"tenant {name!r} p99 {p99:.1f} ms at/over budget "
+                        f"{thresholds.p99_ms:.1f} ms"
+                    ),
+                }
+            )
+        persistence = tenant.get("persistence")
+        if not persistence:
+            continue
+        log_bytes = persistence.get("log_bytes", 0)
+        rollup_bytes = persistence.get("rollup_bytes")
+        if (
+            thresholds.log_rollup_fraction is not None
+            and rollup_bytes
+            and log_bytes >= thresholds.log_rollup_fraction * rollup_bytes
+        ):
+            alerts.append(
+                {
+                    "kind": "log_rollup_near",
+                    "tenant": name,
+                    "value": log_bytes,
+                    "threshold": thresholds.log_rollup_fraction * rollup_bytes,
+                    "message": (
+                        f"tenant {name!r} commit log {log_bytes} B at/over "
+                        f"{thresholds.log_rollup_fraction:.0%} of its "
+                        f"{rollup_bytes} B roll-up threshold"
+                    ),
+                }
+            )
+        elif thresholds.log_bytes is not None and log_bytes >= thresholds.log_bytes:
+            alerts.append(
+                {
+                    "kind": "log_bytes",
+                    "tenant": name,
+                    "value": log_bytes,
+                    "threshold": thresholds.log_bytes,
+                    "message": (
+                        f"tenant {name!r} commit log {log_bytes} B at/over "
+                        f"{thresholds.log_bytes} B"
+                    ),
+                }
+            )
+
+    return {
+        "stats_version": stats.get("stats_version", STATS_VERSION),
+        "status": "alerting" if alerts else "ok",
+        "thresholds": thresholds.as_dict(),
+        "alerts": alerts,
+    }

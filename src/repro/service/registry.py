@@ -24,7 +24,10 @@ from __future__ import annotations
 import threading
 import warnings
 import zlib
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # ops-plane feeding seam; annotation only
+    from repro.service.metrics import ServiceMetrics
 
 from repro.kb.graph import Graph
 from repro.kb.triples import Triple
@@ -75,6 +78,10 @@ class Tenant:
         # shutdown): the seam that lets a binary store's lazy memory map
         # close with the tenant instead of lingering until GC.
         self.on_close = on_close
+        # Ops-plane aggregator (attached by the registry): commits are
+        # recorded here, under the tenant write lock, so the /events
+        # stream sees every committed version.
+        self._metrics: "Optional[ServiceMetrics]" = None
         self._closed = False
 
     def close(self) -> None:
@@ -165,6 +172,8 @@ class Tenant:
         with self.write_lock:
             version = self.kb.commit(graph, version_id=version_id, metadata=metadata)
             self._run_commit_hook(version)
+            if self._metrics is not None:
+                self._metrics.record_commit(self.name)
             return version
 
     def commit_changes(
@@ -180,7 +189,26 @@ class Tenant:
                 added=added, deleted=deleted, version_id=version_id, metadata=metadata
             )
             self._run_commit_hook(version)
+            if self._metrics is not None:
+                self._metrics.record_commit(self.name)
             return version
+
+    def persistence_summary(self) -> Optional[Dict[str, object]]:
+        """The commit-log gauge block (None for unpersisted tenants).
+
+        Shared by :meth:`describe` and the frozen ``/stats`` payload's
+        ``per_tenant.<name>.persistence`` field -- the signal the
+        "log-bytes-near-rollup" alert rule watches.
+        """
+        if self.store is None:
+            return None
+        records, size = self.store.log_stats()
+        return {
+            "log_records": records,
+            "log_bytes": size,
+            "rollup_bytes": self.store.rollup_bytes,
+            "rollup_records": self.store.rollup_records,
+        }
 
     def describe(self) -> Dict[str, object]:
         """JSON-friendly summary (the HTTP front-end's ``/tenants`` view)."""
@@ -191,14 +219,9 @@ class Tenant:
             "latest": ids[-1] if ids else None,
             "users": self.user_ids(),
         }
-        if self.store is not None:
-            records, size = self.store.log_stats()
-            summary["persistence"] = {
-                "log_records": records,
-                "log_bytes": size,
-                "rollup_bytes": self.store.rollup_bytes,
-                "rollup_records": self.store.rollup_records,
-            }
+        persistence = self.persistence_summary()
+        if persistence is not None:
+            summary["persistence"] = persistence
         return summary
 
     def __repr__(self) -> str:
@@ -217,6 +240,21 @@ class TenantRegistry:
     def __init__(self) -> None:
         self._tenants: Dict[str, Tenant] = {}
         self._lock = threading.Lock()
+        self._metrics: "Optional[ServiceMetrics]" = None
+
+    def attach_metrics(self, metrics: "ServiceMetrics") -> None:
+        """Wire the ops-plane aggregator into this registry.
+
+        Every already-registered tenant and every tenant added later
+        records its commits into ``metrics``; eviction drops the
+        tenant's counters.  Called by ``RecommendationService`` so a
+        caller-supplied registry joins the service's ops plane too.
+        """
+        with self._lock:
+            self._metrics = metrics
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            tenant._metrics = metrics
 
     # -- shard routing --------------------------------------------------------
 
@@ -257,6 +295,7 @@ class TenantRegistry:
         with self._lock:
             if name in self._tenants:
                 raise ServiceError(f"duplicate tenant name: {name!r}")
+            tenant._metrics = self._metrics
             self._tenants[name] = tenant
         return tenant
 
@@ -273,8 +312,13 @@ class TenantRegistry:
         """Deregister a tenant, run its close hook, return it (None if absent)."""
         with self._lock:
             tenant = self._tenants.pop(name, None)
+            metrics = self._metrics
         if tenant is not None:
             tenant.close()
+            if metrics is not None:
+                # A re-registered name is a *new* tenant (the admission
+                # key already says so); its counters must start at zero.
+                metrics.forget(name)
         return tenant
 
     def close_all(self) -> None:

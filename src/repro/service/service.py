@@ -26,6 +26,7 @@ from repro.recommender.engine import EngineConfig
 from repro.recommender.items import RecommendationPackage
 from repro.service.admission import AdmissionQueue
 from repro.service.errors import ServiceClosedError
+from repro.service.metrics import STATS_VERSION, ServiceMetrics
 from repro.service.registry import Tenant, TenantRegistry
 
 
@@ -83,10 +84,16 @@ class RecommendationService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.registry = registry or TenantRegistry()
+        # The ops plane's aggregator: the admission queue feeds it
+        # per-tenant request counters/latencies, tenants feed commits,
+        # and the front-ends read it through stats() / SSE /events.
+        self.metrics = ServiceMetrics()
+        self.registry.attach_metrics(self.metrics)
         self._queue = AdmissionQueue(
             workers=self.config.workers,
             max_batch=self.config.max_batch,
             max_pending=self.config.max_pending,
+            metrics=self.metrics,
         )
 
     # -- tenants -----------------------------------------------------------------
@@ -221,10 +228,43 @@ class RecommendationService:
     # -- introspection / lifecycle ---------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Admission counters plus tenant inventory (JSON-friendly)."""
+        """The frozen ``GET /stats`` payload (contract version 1).
+
+        This exact payload is also what the async front-end's SSE
+        ``/events`` stream publishes each tick and what
+        :func:`repro.service.metrics.evaluate_alerts` reads, so the
+        three surfaces can never disagree on field names.  The v1
+        contract (documented field by field in ``docs/http-api.md``,
+        pinned by ``tests/service/test_service_metrics.py``):
+
+        * ``stats_version`` -- this layout's version (currently 1).
+        * ``workers`` -- scoring worker threads.
+        * ``tenants`` -- sorted tenant names.
+        * ``admission`` -- global queue counters
+          (:meth:`~repro.service.admission.AdmissionStats.snapshot`)
+          plus ``depth``, the current backlog.
+        * ``per_tenant`` -- per-tenant ops counters
+          (:meth:`~repro.service.metrics.ServiceMetrics.tenant_snapshot`:
+          commits, admitted/completed/failed/shed, batch counters,
+          rolling-window ``mean_ms``/``p50_ms``/``p99_ms``) plus
+          ``persistence`` (``log_records``/``log_bytes`` and the
+          roll-up thresholds for persisted tenants, else ``None``).
+
+        Adding fields is allowed without a version bump; renaming,
+        removing or changing the meaning of one bumps ``stats_version``.
+        """
+        per_tenant: Dict[str, object] = {}
+        for tenant in self.registry:
+            entry = self.metrics.tenant_snapshot(tenant.name)
+            entry["persistence"] = tenant.persistence_summary()
+            per_tenant[tenant.name] = entry
+        admission = dict(self._queue.stats.snapshot())
+        admission["depth"] = self._queue.depth
         return {
-            "admission": self._queue.stats.snapshot(),
+            "stats_version": STATS_VERSION,
+            "admission": admission,
             "tenants": self.registry.names(),
+            "per_tenant": per_tenant,
             "workers": self.config.workers,
         }
 

@@ -1,0 +1,356 @@
+"""Async front-end tests: endpoint parity with the threaded server (byte
+for byte), SSE framing and disconnect behaviour, and bit-identity under a
+hammered concurrent mixed read/commit stream."""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    AlertThresholds,
+    AsyncServerThread,
+    RecommendationService,
+    ServiceConfig,
+)
+from repro.service.http import make_server
+from repro.synthetic.config import (
+    EvolutionConfig,
+    InstanceConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.world import generate_world
+
+WORLD_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=15, n_properties=10),
+    instances=InstanceConfig(base_instances_per_class=4),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=25, n_hotspots=2),
+    users=UserConfig(n_users=4, events_per_user=6),
+)
+SEED = 31
+
+
+def _request(host, port, method, path, payload=None):
+    """One request on a fresh connection -> (status, raw body bytes)."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        connection.request(
+            method, path, body,
+            {"Content-Type": "application/json"} if body else {},
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def both_servers():
+    """One service behind BOTH front-ends at once -- the strongest parity
+    setup: any byte difference is the transport's fault, not state's."""
+    world = generate_world(seed=SEED, config=WORLD_CONFIG)
+    service = RecommendationService(ServiceConfig(k=3, workers=2))
+    service.add_tenant("uni", world.kb, world.users)
+    threaded = make_server(service, host="127.0.0.1", port=0)
+    threaded_thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+    threaded_thread.start()
+    with AsyncServerThread(service, thresholds=AlertThresholds()) as aio:
+        try:
+            yield (
+                world,
+                service,
+                threaded.server_address[:2],
+                aio.address,
+            )
+        finally:
+            threaded.shutdown()
+            threaded.server_close()
+    service.close()
+
+
+class TestEndpointParity:
+    def test_get_endpoints_byte_identical(self, both_servers):
+        _, _, threaded_addr, aio_addr = both_servers
+        for path in ("/health", "/tenants", "/stats", "/alerts"):
+            status_t, body_t = _request(*threaded_addr, "GET", path)
+            status_a, body_a = _request(*aio_addr, "GET", path)
+            assert (status_t, body_t) == (status_a, body_a), path
+
+    def test_recommend_byte_identical(self, both_servers):
+        world, _, threaded_addr, aio_addr = both_servers
+        ids = world.kb.version_ids()
+        for user in world.users:
+            payload = {
+                "tenant": "uni", "user": user.user_id,
+                "old": ids[0], "new": ids[1],
+            }
+            result_t = _request(*threaded_addr, "POST", "/recommend", payload)
+            result_a = _request(*aio_addr, "POST", "/recommend", payload)
+            assert result_t == result_a
+            assert result_t[0] == 200
+
+    def test_error_responses_byte_identical(self, both_servers):
+        world, _, threaded_addr, aio_addr = both_servers
+        cases = [
+            ("POST", "/recommend", {"tenant": "ghost", "user": "u0"}),  # 404
+            ("POST", "/recommend", {"tenant": "uni", "user": "ghost"}),  # 404
+            ("POST", "/recommend", {"tenant": "uni"}),  # 400
+            ("POST", "/recommend", {"tenant": "uni", "user": "u0", "k": -1}),  # 400
+            ("POST", "/commit", {"tenant": "uni"}),  # 400 (no changes)
+            ("GET", "/nope", None),  # 404
+            ("POST", "/nope", {}),  # 404
+        ]
+        for method, path, payload in cases:
+            result_t = _request(*threaded_addr, method, path, payload)
+            result_a = _request(*aio_addr, method, path, payload)
+            assert result_t == result_a, (method, path)
+            assert result_t[0] in (400, 404)
+
+    def test_keep_alive_reuses_one_connection(self, both_servers):
+        _, _, _, (host, port) = both_servers
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+    def test_connection_close_header_honoured(self, both_servers):
+        _, _, _, (host, port) = both_servers
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/health", headers={"Connection": "close"})
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+            assert response.will_close
+        finally:
+            connection.close()
+
+    def test_threaded_events_is_404_with_hint(self, both_servers):
+        _, _, threaded_addr, _ = both_servers
+        status, body = _request(*threaded_addr, "GET", "/events")
+        assert status == 404
+        assert b"--async" in body
+
+
+class TestSSE:
+    def _read_stream(self, host, port, query):
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", f"/events?{query}")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "text/event-stream"
+            return response.read()  # Connection: close ends the read
+        finally:
+            connection.close()
+
+    def test_framing_and_sequence(self, both_servers):
+        _, service, _, (host, port) = both_servers
+        raw = self._read_stream(host, port, "interval=0.02&count=3")
+        frames = [f for f in raw.split(b"\n\n") if f]
+        assert len(frames) == 3
+        for seq, frame in enumerate(frames):
+            lines = frame.split(b"\n")
+            assert lines[0] == b"event: stats"
+            assert lines[1] == f"id: {seq}".encode()
+            assert lines[2].startswith(b"data: ")
+            payload = json.loads(lines[2][len(b"data: "):])
+            # The SSE data payload IS the frozen /stats payload.
+            assert set(payload) == set(service.stats())
+            assert payload["stats_version"] == 1
+
+    def test_alerts_frame_when_thresholds_fire(self, both_servers):
+        world, service, _, _ = both_servers
+        # A dedicated async server whose queue-depth threshold of 0 always
+        # fires: every tick must carry stats + alerts frames.
+        with AsyncServerThread(
+            service, thresholds=AlertThresholds(queue_depth=0)
+        ) as aio:
+            host, port = aio.address
+            raw = self._read_stream(host, port, "interval=0.02&count=2")
+        frames = [f for f in raw.split(b"\n\n") if f]
+        events = [frame.split(b"\n")[0] for frame in frames]
+        assert events == [
+            b"event: stats", b"event: alerts",
+            b"event: stats", b"event: alerts",
+        ]
+        alert_payload = json.loads(frames[1].split(b"\n")[2][len(b"data: "):])
+        assert alert_payload["status"] == "alerting"
+        assert alert_payload["alerts"][0]["kind"] == "queue_depth"
+
+    def test_bad_query_is_400(self, both_servers):
+        _, _, _, (host, port) = both_servers
+        for query in ("interval=0", "interval=-1", "count=0", "interval=nan"):
+            status, body = _request(*(host, port), "GET", f"/events?{query}")
+            assert status == 400, query
+
+    def test_disconnect_mid_stream_leaves_server_healthy(self, both_servers):
+        _, _, _, (host, port) = both_servers
+        # Subscribe with no count (endless stream), read one frame's worth,
+        # then drop the socket mid-stream.
+        raw_socket = socket.create_connection((host, port), timeout=30)
+        try:
+            raw_socket.sendall(
+                b"GET /events?interval=0.02 HTTP/1.1\r\n"
+                b"Host: x\r\n\r\n"
+            )
+            received = b""
+            while b"\n\n" not in received:
+                chunk = raw_socket.recv(4096)
+                assert chunk, "stream ended before one full frame"
+                received += chunk
+        finally:
+            raw_socket.close()
+        # The server must reclaim the subscriber and keep serving.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            status, _ = _request(host, port, "GET", "/health")
+            if status == 200:
+                return
+        pytest.fail("server unhealthy after SSE disconnect")
+
+
+class TestConnectionLimit:
+    def test_overflow_connection_gets_503(self):
+        world = generate_world(seed=SEED, config=WORLD_CONFIG)
+        service = RecommendationService(ServiceConfig(k=3, workers=1))
+        service.add_tenant("uni", world.kb, world.users)
+        try:
+            with AsyncServerThread(service, max_connections=2) as aio:
+                host, port = aio.address
+                held = []
+                try:
+                    for _ in range(2):
+                        connection = http.client.HTTPConnection(host, port, timeout=30)
+                        connection.request("GET", "/health")
+                        assert connection.getresponse().status == 200
+                        held.append(connection)
+                    status, body = _request(host, port, "GET", "/health")
+                    assert status == 503
+                    assert b"connection limit" in body
+                finally:
+                    for connection in held:
+                        connection.close()
+        finally:
+            service.close()
+
+
+class TestMixedStreamBitIdentity:
+    """The hammered concurrent mixed read/commit stream: one committer
+    client, readers pinned to one version pair (so a read racing a commit
+    scores the same snapshot either way), identical worlds on both sides --
+    every captured response byte must match across transports."""
+
+    CLIENTS = 4
+    READS_PER_CLIENT = 8
+    COMMITS = 3
+
+    def _commit_bodies(self):
+        return [
+            json.dumps(
+                {
+                    "tenant": "uni",
+                    "added": f"<urn:t:s{i}> <urn:t:p> <urn:t:o{i}> .\n",
+                    "version_id": f"mix_c{i}",
+                }
+            ).encode("utf-8")
+            for i in range(self.COMMITS)
+        ]
+
+    def _capture(self, host, port, user_ids, pinned):
+        captured = [[] for _ in range(self.CLIENTS)]
+        errors = []
+        barrier = threading.Barrier(self.CLIENTS)
+
+        def client_loop(index):
+            connection = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                barrier.wait()
+                if index == 0:
+                    requests = [("/commit", body) for body in self._commit_bodies()]
+                else:
+                    requests = []
+                    for i in range(self.READS_PER_CLIENT):
+                        payload = {
+                            "tenant": "uni",
+                            "user": user_ids[(index + i) % len(user_ids)],
+                            "old": pinned[0],
+                            "new": pinned[1],
+                        }
+                        requests.append(
+                            ("/recommend", json.dumps(payload).encode("utf-8"))
+                        )
+                for path, body in requests:
+                    connection.request(
+                        "POST", path, body, {"Content-Type": "application/json"}
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    assert response.status == 200, payload[:200]
+                    captured[index].append(payload)
+            except BaseException as exc:
+                errors.append(exc)
+                barrier.abort()
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(self.CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return captured
+
+    def test_async_equals_threaded_under_mixed_load(self):
+        captures = {}
+        for transport in ("threaded", "async"):
+            world = generate_world(seed=SEED, config=WORLD_CONFIG)
+            ids = world.kb.version_ids()
+            pinned = (ids[-2], ids[-1])
+            user_ids = [user.user_id for user in world.users]
+            service = RecommendationService(ServiceConfig(k=3, workers=2))
+            service.add_tenant("uni", world.kb, world.users)
+            try:
+                if transport == "threaded":
+                    server = make_server(service, host="127.0.0.1", port=0)
+                    thread = threading.Thread(
+                        target=server.serve_forever, daemon=True
+                    )
+                    thread.start()
+                    try:
+                        captures[transport] = self._capture(
+                            *server.server_address[:2], user_ids, pinned
+                        )
+                    finally:
+                        server.shutdown()
+                        server.server_close()
+                else:
+                    with AsyncServerThread(service) as aio:
+                        captures[transport] = self._capture(
+                            *aio.address, user_ids, pinned
+                        )
+            finally:
+                service.close()
+        assert captures["threaded"] == captures["async"]
+        # Sanity: the streams really mixed commits with reads.
+        assert len(captures["async"][0]) == self.COMMITS
+        assert all(
+            len(per_client) == self.READS_PER_CLIENT
+            for per_client in captures["async"][1:]
+        )

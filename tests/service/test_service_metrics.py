@@ -1,0 +1,267 @@
+"""Ops-plane tests: the metrics aggregator, the frozen /stats contract,
+and the /alerts threshold semantics (edge cases included)."""
+
+import pytest
+
+from repro.service import (
+    STATS_VERSION,
+    AlertThresholds,
+    RecommendationService,
+    ServiceConfig,
+    ServiceMetrics,
+    evaluate_alerts,
+)
+from repro.synthetic.config import (
+    EvolutionConfig,
+    InstanceConfig,
+    SchemaConfig,
+    UserConfig,
+    WorldConfig,
+)
+from repro.synthetic.world import generate_world
+
+WORLD_CONFIG = WorldConfig(
+    schema=SchemaConfig(n_classes=15, n_properties=10),
+    instances=InstanceConfig(base_instances_per_class=4),
+    evolution=EvolutionConfig(n_versions=3, changes_per_version=25, n_hotspots=2),
+    users=UserConfig(n_users=3, events_per_user=6),
+)
+
+
+@pytest.fixture()
+def service():
+    world = generate_world(seed=21, config=WORLD_CONFIG)
+    with RecommendationService(ServiceConfig(k=3, workers=2)) as svc:
+        svc.add_tenant("uni", world.kb, world.users)
+        yield world, svc
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.record_admitted("t")
+        metrics.record_admitted("t")
+        metrics.record_shed("t")
+        metrics.record_batch("t", 2)
+        metrics.record_batch("t", 1, failed=True)
+        metrics.record_commit("t")
+        snap = metrics.tenant_snapshot("t")
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 1
+        assert snap["batches"] == 2
+        assert snap["batched_requests"] == 3
+        assert snap["largest_batch"] == 2
+        assert snap["completed"] == 2
+        assert snap["failed"] == 1
+        assert snap["commits"] == 1
+
+    def test_unknown_tenant_snapshot_is_zeros_with_no_latency(self):
+        snap = ServiceMetrics().tenant_snapshot("never-fed")
+        assert snap["admitted"] == 0
+        assert snap["window"] == 0
+        # Idle is "no latency", not "zero latency" -- the distinction the
+        # p99 alert rule relies on.
+        assert snap["mean_ms"] is None
+        assert snap["p50_ms"] is None
+        assert snap["p99_ms"] is None
+
+    def test_latency_window_is_bounded(self):
+        metrics = ServiceMetrics(window=4)
+        for i in range(10):
+            metrics.record_latency("t", 0.001 * (i + 1))
+        snap = metrics.tenant_snapshot("t")
+        assert snap["window"] == 4
+        # Only the newest 4 samples survive: 7..10 ms.
+        assert snap["p50_ms"] == pytest.approx(9.0)
+        assert snap["p99_ms"] == pytest.approx(10.0)
+
+    def test_forget_resets_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_admitted("t")
+        metrics.forget("t")
+        assert metrics.tenant_snapshot("t")["admitted"] == 0
+        assert "t" not in metrics.tenant_names()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(window=0)
+
+
+class TestFrozenStatsContract:
+    """Pin the v1 /stats payload: renaming or dropping a field must fail
+    here first, forcing the STATS_VERSION bump the contract requires."""
+
+    TOP_LEVEL_KEYS = {"stats_version", "admission", "tenants", "per_tenant", "workers"}
+    ADMISSION_KEYS = {
+        "submitted", "batches", "batched_requests", "largest_batch",
+        "coalesced", "shed", "depth",
+    }
+    PER_TENANT_KEYS = {
+        "commits", "admitted", "completed", "failed", "shed", "batches",
+        "batched_requests", "largest_batch", "window", "mean_ms", "p50_ms",
+        "p99_ms", "persistence",
+    }
+    PERSISTENCE_KEYS = {"log_records", "log_bytes", "rollup_bytes", "rollup_records"}
+
+    def test_version_is_one(self, service):
+        _, svc = service
+        assert STATS_VERSION == 1
+        assert svc.stats()["stats_version"] == 1
+
+    def test_field_sets_are_frozen(self, service):
+        world, svc = service
+        svc.recommend("uni", world.users[0].user_id)
+        stats = svc.stats()
+        assert set(stats) == self.TOP_LEVEL_KEYS
+        assert set(stats["admission"]) == self.ADMISSION_KEYS
+        assert set(stats["per_tenant"]["uni"]) == self.PER_TENANT_KEYS
+
+    def test_per_tenant_counters_reflect_traffic(self, service):
+        world, svc = service
+        for user in world.users:
+            svc.recommend("uni", user.user_id)
+        entry = svc.stats()["per_tenant"]["uni"]
+        assert entry["admitted"] == len(world.users)
+        assert entry["completed"] == len(world.users)
+        assert entry["failed"] == 0
+        assert entry["p99_ms"] is not None and entry["p99_ms"] > 0
+        assert entry["p50_ms"] <= entry["p99_ms"]
+        # Unpersisted tenant: the gauge block is explicitly None, not absent.
+        assert entry["persistence"] is None
+
+    def test_commits_recorded_under_write_lock(self, service):
+        from repro.kb.ntriples import parse_graph
+
+        _, svc = service
+        added = list(parse_graph("<urn:x:s> <urn:x:p> <urn:x:o> ."))
+        svc.commit_changes("uni", added=added, version_id="metrics_v")
+        assert svc.stats()["per_tenant"]["uni"]["commits"] == 1
+
+    def test_persistence_block_for_persisted_tenant(self, tmp_path):
+        from repro.io.store import BinaryKBStore
+
+        world = generate_world(seed=21, config=WORLD_CONFIG)
+        BinaryKBStore.save(world.kb, tmp_path / "store")
+        store = BinaryKBStore.open(tmp_path / "store")
+        with RecommendationService(ServiceConfig(k=3, workers=1)) as svc:
+            svc.add_tenant("uni", store.load(), world.users, store=store)
+            persistence = svc.stats()["per_tenant"]["uni"]["persistence"]
+            assert set(persistence) == self.PERSISTENCE_KEYS
+
+
+class TestAlertThresholds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlertThresholds(p99_ms=-1)
+        with pytest.raises(ValueError):
+            AlertThresholds(log_rollup_fraction=0.0)
+        with pytest.raises(ValueError):
+            AlertThresholds(log_rollup_fraction=1.5)
+        # 1.0 ("alert exactly at the roll-up threshold") is legal.
+        AlertThresholds(log_rollup_fraction=1.0)
+
+    def test_as_dict_round_trip(self):
+        thresholds = AlertThresholds(p99_ms=50.0, queue_depth=10)
+        assert thresholds.as_dict() == {
+            "p99_ms": 50.0,
+            "queue_depth": 10,
+            "log_bytes": None,
+            "log_rollup_fraction": 0.8,
+        }
+
+
+def _stats(depth=0, per_tenant=None):
+    """A minimal frozen-shape /stats payload for alert evaluation."""
+    return {
+        "stats_version": STATS_VERSION,
+        "admission": {"depth": depth},
+        "tenants": sorted(per_tenant or {}),
+        "per_tenant": per_tenant or {},
+        "workers": 1,
+    }
+
+
+class TestEvaluateAlerts:
+    def test_ok_when_nothing_configured(self):
+        result = evaluate_alerts(_stats(), AlertThresholds())
+        assert result["status"] == "ok"
+        assert result["alerts"] == []
+        assert result["stats_version"] == STATS_VERSION
+
+    def test_exactly_at_threshold_fires(self):
+        # Every comparison is >=: at the budget alerts, one under does not.
+        thresholds = AlertThresholds(p99_ms=50.0, queue_depth=7)
+        payload = _stats(
+            depth=7,
+            per_tenant={"t": {"p99_ms": 50.0, "persistence": None}},
+        )
+        result = evaluate_alerts(payload, thresholds)
+        assert result["status"] == "alerting"
+        kinds = [alert["kind"] for alert in result["alerts"]]
+        assert kinds == ["queue_depth", "p99_budget"]  # service-wide first
+
+        under = _stats(
+            depth=6,
+            per_tenant={"t": {"p99_ms": 49.999, "persistence": None}},
+        )
+        assert evaluate_alerts(under, thresholds)["status"] == "ok"
+
+    def test_empty_tenant_never_fires_p99(self):
+        # An idle tenant has p99 None ("no latency"), which must never
+        # compare against the budget.
+        thresholds = AlertThresholds(p99_ms=0.0)
+        payload = _stats(per_tenant={"idle": {"p99_ms": None, "persistence": None}})
+        assert evaluate_alerts(payload, thresholds)["status"] == "ok"
+
+    def test_log_rollup_near_beats_absolute_log_bytes(self):
+        # A tenant with its own rollup_bytes alerts at the fraction of it;
+        # the absolute log_bytes rule then must not double-fire.
+        thresholds = AlertThresholds(log_bytes=1, log_rollup_fraction=0.8)
+        payload = _stats(
+            per_tenant={
+                "t": {
+                    "p99_ms": None,
+                    "persistence": {"log_bytes": 800, "rollup_bytes": 1000},
+                }
+            }
+        )
+        alerts = evaluate_alerts(payload, thresholds)["alerts"]
+        assert [alert["kind"] for alert in alerts] == ["log_rollup_near"]
+        assert alerts[0]["value"] == 800
+        assert alerts[0]["threshold"] == pytest.approx(800.0)
+
+    def test_absolute_log_bytes_without_rollup_threshold(self):
+        thresholds = AlertThresholds(log_bytes=500)
+        payload = _stats(
+            per_tenant={
+                "t": {
+                    "p99_ms": None,
+                    "persistence": {"log_bytes": 500, "rollup_bytes": None},
+                }
+            }
+        )
+        alerts = evaluate_alerts(payload, thresholds)["alerts"]
+        assert [alert["kind"] for alert in alerts] == ["log_bytes"]
+
+    def test_deterministic_order_across_tenants(self):
+        thresholds = AlertThresholds(p99_ms=1.0)
+        payload = _stats(
+            per_tenant={
+                "zeta": {"p99_ms": 5.0, "persistence": None},
+                "alpha": {"p99_ms": 5.0, "persistence": None},
+            }
+        )
+        alerts = evaluate_alerts(payload, thresholds)["alerts"]
+        assert [alert["tenant"] for alert in alerts] == ["alpha", "zeta"]
+
+    def test_end_to_end_against_live_service(self, tmp_path):
+        # Thresholds over a real service's stats(): a full recommend makes
+        # p99 real, and a 0ms budget must therefore fire.
+        world = generate_world(seed=21, config=WORLD_CONFIG)
+        with RecommendationService(ServiceConfig(k=3, workers=1)) as svc:
+            svc.add_tenant("uni", world.kb, world.users)
+            svc.recommend("uni", world.users[0].user_id)
+            result = evaluate_alerts(svc.stats(), AlertThresholds(p99_ms=0.0))
+            assert result["status"] == "alerting"
+            assert result["alerts"][0]["kind"] == "p99_budget"
+            assert result["alerts"][0]["tenant"] == "uni"

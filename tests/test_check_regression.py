@@ -374,3 +374,103 @@ class TestDurabilityGate:
         )
         assert code == 1
         assert "fresh.durability.log_bounded" in capsys.readouterr().out
+
+
+def _async_report(bit_identical=True, ratio=6.0, **overrides):
+    idle = {
+        "thread_budget": 40,
+        "target_connections": 240,
+        "sustained_threaded": 40,
+        "sustained_async": 240,
+        "ratio": ratio,
+    }
+    idle.update(overrides.pop("idle", {}))
+    section = {
+        "meta": {"transport": "asyncio"},
+        "levels": {},
+        "idle_keepalive": idle,
+        "responses_bit_identical": bit_identical,
+    }
+    section.update(overrides)
+    return {"service_async": section}
+
+
+class TestAsyncGate:
+    def test_absent_section_yields_no_verdicts(self, gate):
+        assert gate.check_async(_report(a=10.0)) == []
+
+    def test_healthy_section_passes(self, gate):
+        verdicts = gate.check_async(_async_report())
+        assert [v.name for v in verdicts] == [
+            "service_async.bit_identical", "service_async.idle_ratio",
+        ]
+        assert all(v.ok for v in verdicts)
+
+    def test_bit_identity_false_fails(self, gate):
+        verdicts = gate.check_async(_async_report(bit_identical=False))
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name["service_async.bit_identical"].ok
+
+    def test_missing_bit_identity_fails_like_false(self, gate):
+        report = _async_report()
+        del report["service_async"]["responses_bit_identical"]
+        by_name = {v.name: v for v in gate.check_async(report)}
+        assert not by_name["service_async.bit_identical"].ok
+
+    def test_ratio_below_floor_fails(self, gate):
+        verdicts = gate.check_async(_async_report(ratio=3.9))
+        by_name = {v.name: v for v in verdicts}
+        assert not by_name["service_async.idle_ratio"].ok
+
+    def test_ratio_exactly_at_floor_passes(self, gate):
+        verdicts = gate.check_async(_async_report(ratio=4.0))
+        by_name = {v.name: v for v in verdicts}
+        assert by_name["service_async.idle_ratio"].ok
+
+    def test_missing_ratio_fails(self, gate):
+        report = _async_report()
+        del report["service_async"]["idle_keepalive"]["ratio"]
+        by_name = {v.name: v for v in gate.check_async(report)}
+        assert not by_name["service_async.idle_ratio"].ok
+
+    def test_invalid_floor_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.check_async(_async_report(), min_idle_ratio=0)
+
+    def test_main_always_gates_the_baseline_async_section(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = {**_report(a=10.0), **_async_report(bit_identical=False)}
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        code = gate.main(
+            ["--baseline", str(baseline_path), "--fresh", str(fresh_path)]
+        )
+        assert code == 1
+        assert "service_async.bit_identical" in capsys.readouterr().out
+
+    def test_fresh_async_flag(self, gate, tmp_path, capsys):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(_report(a=10.0)))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        async_path = tmp_path / "async.json"
+        async_path.write_text(json.dumps(_async_report(ratio=1.5)))
+        code = gate.main(
+            [
+                "--baseline", str(baseline_path),
+                "--fresh", str(fresh_path),
+                "--fresh-async", str(async_path),
+            ]
+        )
+        assert code == 1
+        assert "fresh.service_async.idle_ratio" in capsys.readouterr().out
+
+    def test_committed_baseline_async_section_gates_itself(self, gate):
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        if "service_async" not in baseline:
+            pytest.skip("baseline has no service_async section yet")
+        verdicts = gate.check_async(baseline)
+        assert verdicts and all(v.ok for v in verdicts)

@@ -1,5 +1,6 @@
 """End-to-end tests for the ``python -m repro`` CLI."""
 
+import argparse
 import json
 
 import pytest
@@ -284,3 +285,60 @@ class TestServeRollupKnobs:
                     "--rollup-records", "0",
                 ]
             )
+
+
+class TestServeAsyncFlags:
+    def test_async_rejects_sharded_topology(self, world_dir):
+        for extra in (["--shards", "2"], ["--replicas", "2"]):
+            with pytest.raises(SystemExit, match="single-process only"):
+                main(
+                    [
+                        "serve",
+                        "--kb", str(world_dir / "kb"),
+                        "--users", str(world_dir / "users.json"),
+                        "--async", *extra,
+                    ]
+                )
+
+    def test_events_interval_requires_async(self, world_dir):
+        with pytest.raises(SystemExit, match="only applies with --async"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--events-interval", "0.5",
+                ]
+            )
+
+    def test_bad_alert_threshold_rejected(self, world_dir):
+        with pytest.raises(SystemExit, match="p99_ms"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--alert-p99-ms", "-5",
+                ]
+            )
+
+
+class TestHelpTextAudit:
+    """Every argument of every subcommand must explain itself in --help."""
+
+    def test_every_argument_has_help(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        missing = []
+        for name, sub in subparsers.choices.items():
+            for action in sub._actions:
+                if isinstance(action, argparse._HelpAction):
+                    continue
+                if not action.help:
+                    missing.append(f"{name}: {'/'.join(action.option_strings) or action.dest}")
+        assert not missing, f"arguments without help text: {missing}"
