@@ -1,0 +1,560 @@
+"""Elastic-replica soak: autoscale churn under a Zipf-skewed hammer.
+
+The replicated serving bench (``bench_service.py --replicas``) proves a
+*static* replica fleet multiplies hot-tenant read throughput.  This soak
+proves the *elastic* plane: replicas join warm (seeded from the owner's
+already-computed measure artefacts), leave, die and respawn **while the
+Zipf hammer is running**, and none of it costs correctness::
+
+    PYTHONPATH=src python benchmarks/bench_autoscale.py           # full soak
+    PYTHONPATH=src python benchmarks/bench_autoscale.py --quick   # CI smoke
+
+Phases (all hammering the same deterministic Zipf schedule, with the
+autoscale controller ticking in the background from phase 2 on):
+
+1. **baseline** -- owner only, no replicas: the pre-join hot-tenant p99
+   every later phase is compared against;
+2. **scale_up** -- the controller sees the hot tenant's read share and
+   joins replicas mid-stream (warm artefact handoff, attach-then-unlink
+   shared-memory hygiene);
+3. **kill_respawn** -- a live replica is SIGKILLed mid-stream; reads
+   degrade transparently and the controller respawns the lost capacity;
+4. **cool_down** -- traffic leaves the hot tenant entirely; the
+   controller retires its replicas back toward the floor.
+
+A commit lands between phases 2 and 3, so the soak also rides the
+O(delta) record stream through an elastic fleet.  Every response in
+every phase is compared against a single-process mirror replay --
+bit-identity is asserted per request, not sampled.  The warm-start
+measurement is separate and in-process: the same chain is booted cold
+vs seeded from decoded artefact frames, and the first-request latencies
+are compared (plus bit-identity of decoded artefacts against a cold
+recompute).
+
+The results merge into the report as an ``"autoscale"`` section, gated
+by ``check_regression.py``: bit-identity flags, zero lost requests, zero
+leaked shared-memory segments, the warm/cold first-request ratio, churn
+actually happening, and (on multi-core boxes) the hot-tenant p99
+trajectory staying within budget of the pre-join baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_service import (  # noqa: E402
+    QUICK_CONFIG,
+    WORLD_CONFIG,
+    WORLD_SEED,
+    Schedule,
+    _percentile,
+    _tenant_names,
+    _zipf_schedule,
+    parse_skew,
+)
+
+from repro._version import __version__  # noqa: E402
+from repro.io.storage import package_to_dict  # noqa: E402
+from repro.kb import wire  # noqa: E402
+from repro.kb.namespaces import RDF_TYPE  # noqa: E402
+from repro.kb.triples import Triple  # noqa: E402
+from repro.kb.terms import IRI  # noqa: E402
+from repro.recommender.engine import EngineConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    AutoscaleController,
+    RecommendationService,
+    ServiceConfig,
+    ShardSupervisor,
+)
+from repro.service.replica import (  # noqa: E402
+    collect_artefacts,
+    create_shared_payload,
+    decode_shared_payload,
+    destroy_segment,
+    encode_tenant_artefacts,
+)
+from repro.synthetic.world import generate_world  # noqa: E402
+
+#: The soak's hot-tenant p99 budget: worst churn-phase p99 vs baseline.
+P99_BUDGET_RATIO = 1.5
+
+
+def _shm_segments() -> set:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.iterdir() if p.name.startswith("psm_")}
+
+
+# -- per-tenant hammer -------------------------------------------------------------
+
+
+def _tenant_hammer(
+    recommend: Callable[[str, str], Dict],
+    expected: Dict[Tuple[str, str], Dict],
+    schedule: Schedule,
+    clients: int,
+    requests_per_client: int,
+) -> Tuple[Dict[str, List[float]], int, int]:
+    """Closed-loop hammer recording latency per tenant, verifying per request.
+
+    Every response is compared against ``expected`` (the single-process
+    mirror's replay for this phase).  Returns ``(latencies_by_tenant,
+    completed, mismatches)``; any transport error is raised -- a lost
+    request fails the soak.
+    """
+    latencies: List[List[Tuple[str, float]]] = [[] for _ in range(clients)]
+    mismatches = [0] * clients
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(clients)
+
+    def client_loop(index: int) -> None:
+        mine = latencies[index]
+        try:
+            barrier.wait()
+            for i in range(requests_per_client):
+                tenant, user_id = schedule(index, i)
+                begin = time.perf_counter()
+                response = recommend(tenant, user_id)
+                mine.append((tenant, time.perf_counter() - begin))
+                if response != expected[(tenant, user_id)]:
+                    mismatches[index] += 1
+        except BaseException as exc:  # surfaced as a failed soak
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    by_tenant: Dict[str, List[float]] = {}
+    completed = 0
+    for per_client in latencies:
+        for tenant, latency in per_client:
+            by_tenant.setdefault(tenant, []).append(latency)
+            completed += 1
+    return by_tenant, completed, sum(mismatches)
+
+
+def _phase_metrics(by_tenant: Dict[str, List[float]], hot: str) -> Dict[str, float]:
+    hot_samples = sorted(by_tenant.get(hot, []))
+    all_samples = sorted(s for samples in by_tenant.values() for s in samples)
+    return {
+        "requests": len(all_samples),
+        "hot_requests": len(hot_samples),
+        "hot_p50_ms": _percentile(hot_samples, 0.50) * 1e3 if hot_samples else None,
+        "hot_p99_ms": _percentile(hot_samples, 0.99) * 1e3 if hot_samples else None,
+        "p99_ms": _percentile(all_samples, 0.99) * 1e3 if all_samples else None,
+    }
+
+
+# -- warm-start measurement --------------------------------------------------------
+
+
+def _measure_warm_start(
+    kb_bytes: bytes,
+    users,
+    service_config: ServiceConfig,
+    hot_user: str,
+    tenant: str,
+    trials: int,
+) -> Dict:
+    """Cold vs warm-seeded first-request latency on the same chain.
+
+    The "owner" serves every user once, so its memo holds exactly the
+    artefacts a warmed owner would publish.  Cold boots decode the plain
+    payload; warm boots decode the same payload plus the artefact frame
+    through the real shared-memory path.  Both time the *first* request
+    of a fresh process-equivalent (fresh chain, fresh service, fresh
+    caches) -- min over ``trials`` so scheduler noise does not decide.
+    """
+    owner = RecommendationService(service_config)
+    owner.add_tenant(tenant, wire.decode_kb(kb_bytes), users)
+    for user in users:
+        owner.recommend(tenant, user.user_id)
+    owner_kb = owner.tenant(tenant).kb
+    artefact_bytes = encode_tenant_artefacts(owner_kb)
+    owner_artefacts = collect_artefacts(owner_kb)
+    owner.close()
+
+    def first_request_s(warm: bool) -> float:
+        if warm:
+            segment = create_shared_payload(kb_bytes, artefacts=artefact_bytes)
+            try:
+                kb = decode_shared_payload(segment.name)
+            finally:
+                destroy_segment(segment)
+        else:
+            kb = wire.decode_kb(kb_bytes)
+        service = RecommendationService(service_config)
+        service.add_tenant(tenant, kb, users)
+        try:
+            begin = time.perf_counter()
+            service.recommend(tenant, hot_user)
+            return time.perf_counter() - begin
+        finally:
+            service.close()
+
+    cold_s = min(first_request_s(warm=False) for _ in range(trials))
+    warm_s = min(first_request_s(warm=True) for _ in range(trials))
+
+    # Bit-identity of the handoff itself: the decoded frames must equal a
+    # cold recompute of the same caches (exact float equality -- the
+    # codec round-trips IEEE doubles, and the measures are deterministic).
+    cold_service = RecommendationService(service_config)
+    cold_service.add_tenant(tenant, wire.decode_kb(kb_bytes), users)
+    for user in users:
+        cold_service.recommend(tenant, user.user_id)
+    cold_artefacts = collect_artefacts(cold_service.tenant(tenant).kb)
+    cold_service.close()
+    decoded = wire.decode_artefacts(
+        artefact_bytes, wire.decode_kb(kb_bytes).first().graph.dictionary
+    )
+    bit_identical = decoded == owner_artefacts == cold_artefacts
+
+    return {
+        "cold_first_request_ms": cold_s * 1e3,
+        "warm_first_request_ms": warm_s * 1e3,
+        "ratio": warm_s / cold_s if cold_s else None,
+        "artefact_bytes": len(artefact_bytes),
+        "trials": trials,
+        "artefacts_bit_identical": bit_identical,
+    }
+
+
+# -- the soak ----------------------------------------------------------------------
+
+
+def run_autoscale(
+    output: Path,
+    skew: str = "zipf:1.3",
+    clients: int = 8,
+    requests_per_client: int = 40,
+    workers: int = 4,
+    replicas_min: int = 0,
+    replicas_max: int = 2,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    exponent = parse_skew(skew)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    per_shard = 2 if quick else 4
+    warm_trials = 3
+    if quick:
+        clients = min(clients, 4)
+        requests_per_client = min(requests_per_client, 12)
+        warm_trials = 2
+
+    world = generate_world(seed=WORLD_SEED, config=config)
+    kb_bytes = wire.encode_kb(world.kb)
+    names = _tenant_names(1, per_shard)
+    user_ids = [user.user_id for user in world.users]
+    schedule, hot_tenant, hot_share = _zipf_schedule(names, user_ids, exponent)
+    cool_names = [name for name in names if name != hot_tenant]
+
+    def cool_schedule(client_index: int, i: int) -> Tuple[str, str]:
+        # Traffic leaves the hot tenant entirely: its windowed share drops
+        # to zero and the controller retires its replicas.
+        step = client_index * 131 + i
+        return cool_names[step % len(cool_names)], user_ids[step % len(user_ids)]
+
+    service_config = ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+    before_segments = _shm_segments()
+
+    print(
+        f"autoscale soak: 1 shard, replicas [{replicas_min}, {replicas_max}], "
+        f"{len(names)} tenants, skew {skew} (hot tenant {hot_tenant!r} gets "
+        f"{hot_share:.0%} of requests), {clients} clients x "
+        f"{requests_per_client} req/phase, cpu_count={os.cpu_count()}"
+    )
+
+    warm_start = _measure_warm_start(
+        kb_bytes, world.users, service_config,
+        hot_user=user_ids[0], tenant=hot_tenant, trials=warm_trials,
+    )
+    print(
+        f"warm start: cold {warm_start['cold_first_request_ms']:.1f} ms -> "
+        f"warm {warm_start['warm_first_request_ms']:.1f} ms "
+        f"({warm_start['ratio']:.2f}x, artefact frame "
+        f"{warm_start['artefact_bytes']} bytes, bit-identical="
+        f"{warm_start['artefacts_bit_identical']})"
+    )
+
+    mirror = RecommendationService(service_config)
+    supervisor = ShardSupervisor(shards=1, config=service_config, replicas=0)
+    for name in names:
+        mirror.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+        supervisor.add_tenant(name, wire.decode_kb(kb_bytes), world.users)
+    supervisor.start()
+
+    controller = AutoscaleController(
+        supervisor,
+        min_replicas=replicas_min,
+        max_replicas=replicas_max,
+        interval_s=0.25,
+    )
+    events = {"added": 0, "retired": 0, "respawned": 0, "killed": 0}
+    events_lock = threading.Lock()
+    ticking = threading.Event()
+    stop_ticker = threading.Event()
+
+    def ticker() -> None:
+        # The controller's own thread, with its actions tallied: same tick
+        # cadence, but the soak can assert churn actually happened.
+        while not stop_ticker.wait(controller.interval_s):
+            if not ticking.is_set():
+                continue
+            try:
+                actions = controller.tick()
+            except Exception:
+                controller.errors += 1
+                continue
+            with events_lock:
+                events["added"] += len(actions["added"])
+                events["retired"] += len(actions["retired"])
+                events["respawned"] += sum(actions["respawned"].values())
+
+    ticker_thread = threading.Thread(target=ticker, daemon=True)
+    ticker_thread.start()
+
+    phases: Dict[str, Dict] = {}
+    mismatches = 0
+    completed = 0
+    expected_total = 0
+
+    def expected_responses() -> Dict[Tuple[str, str], Dict]:
+        return {
+            (name, user_id): package_to_dict(mirror.recommend(name, user_id))
+            for name in names
+            for user_id in user_ids
+        }
+
+    def run_phase(label: str, phase_schedule: Schedule) -> Dict:
+        nonlocal mismatches, completed, expected_total
+        by_tenant, done, wrong = _tenant_hammer(
+            supervisor.recommend,
+            expected_responses(),
+            phase_schedule,
+            clients,
+            requests_per_client,
+        )
+        mismatches += wrong
+        completed += done
+        expected_total += clients * requests_per_client
+        metrics = _phase_metrics(by_tenant, hot_tenant)
+        metrics["replicas"] = supervisor.replica_count(hot_tenant)
+        phases[label] = metrics
+        hot_p99 = metrics["hot_p99_ms"]
+        print(
+            f"phase {label:13s}: hot p99 "
+            f"{hot_p99:7.2f} ms  ({metrics['hot_requests']} hot req, "
+            f"{metrics['replicas']} replicas configured)"
+            if hot_p99 is not None
+            else f"phase {label:13s}: no hot-tenant traffic "
+                 f"({metrics['replicas']} replicas configured)"
+        )
+        return metrics
+
+    try:
+        # Phase 1: pre-join baseline, controller quiet.
+        run_phase("baseline", schedule)
+
+        # Phase 2: controller live -- replicas join mid-stream.
+        ticking.set()
+        run_phase("scale_up", schedule)
+
+        # A commit rides the record stream through the elastic fleet; the
+        # mirror replays it so later expectations stay in lockstep.
+        delta = [
+            Triple(
+                IRI("http://bench/soak_commit"),
+                RDF_TYPE,
+                sorted(
+                    world.kb.latest().schema.classes(), key=lambda c: c.value
+                )[0],
+            )
+        ]
+        supervisor.commit_changes(hot_tenant, added=delta, version_id="v_soak")
+        mirror.commit_changes(hot_tenant, added=delta, version_id="v_soak")
+
+        # Phase 3: SIGKILL a live replica mid-stream; the ticker respawns.
+        killer_done = threading.Event()
+
+        def killer() -> None:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                clients_list = supervisor._replica_clients.get(hot_tenant, [])
+                live = [c for c in clients_list if not (c.dead or c.poisoned)]
+                if live:
+                    live[0].process.kill()
+                    with events_lock:
+                        events["killed"] += 1
+                    break
+                time.sleep(0.05)
+            killer_done.set()
+
+        killer_thread = threading.Thread(target=killer, daemon=True)
+        killer_thread.start()
+        run_phase("kill_respawn", schedule)
+        killer_thread.join(timeout=30)
+
+        # Phase 4: the hot tenant goes quiet; its replicas retire.
+        run_phase("cool_down", cool_schedule)
+        # Drain a few more ticks so retirement completes even if the
+        # cool-down hammer finished between intervals.
+        deadline = time.monotonic() + 10.0
+        while (
+            supervisor.replica_count(hot_tenant) > replicas_min
+            and time.monotonic() < deadline
+        ):
+            time.sleep(controller.interval_s)
+        phases["cool_down"]["replicas"] = supervisor.replica_count(hot_tenant)
+    finally:
+        ticking.clear()
+        stop_ticker.set()
+        ticker_thread.join(timeout=10)
+        supervisor.close()
+        mirror.close()
+
+    shm_leaked = len(_shm_segments() - before_segments)
+    lost = expected_total - completed
+    baseline_p99 = phases["baseline"]["hot_p99_ms"]
+    churn_p99s = [
+        phases[label]["hot_p99_ms"]
+        for label in ("scale_up", "kill_respawn")
+        if phases[label]["hot_p99_ms"] is not None
+    ]
+    worst_churn_p99 = max(churn_p99s) if churn_p99s else None
+    p99_ratio = (
+        worst_churn_p99 / baseline_p99 if baseline_p99 and worst_churn_p99 else None
+    )
+    with events_lock:
+        replica_events = dict(events)
+
+    print(
+        f"churn: {replica_events['added']} joins, {replica_events['killed']} kills, "
+        f"{replica_events['respawned']} respawns, {replica_events['retired']} retires; "
+        f"hot p99 {baseline_p99:.2f} ms baseline -> {worst_churn_p99:.2f} ms worst "
+        f"({p99_ratio:.2f}x); {lost} lost, {mismatches} mismatched, "
+        f"{shm_leaked} segments leaked"
+    )
+
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "n_tenants": len(names),
+            "skew": skew,
+            "hot_tenant": hot_tenant,
+            "hot_share": hot_share,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "replicas_min": replicas_min,
+            "replicas_max": replicas_max,
+            "k": k,
+            "quick": quick,
+        },
+        "phases": phases,
+        "hot_p99": {
+            "baseline_ms": baseline_p99,
+            "worst_churn_ms": worst_churn_p99,
+            "ratio": p99_ratio,
+            "budget_ratio": P99_BUDGET_RATIO,
+        },
+        "warm_start": {
+            key: value
+            for key, value in warm_start.items()
+            if key != "artefacts_bit_identical"
+        },
+        "artefacts_bit_identical": warm_start["artefacts_bit_identical"],
+        "responses_bit_identical": mismatches == 0,
+        "lost_requests": lost,
+        "replica_events": replica_events,
+        "shm_leaked": shm_leaked,
+        "controller_errors": controller.errors,
+    }
+    _merge_section(output, "autoscale", section)
+    return section
+
+
+def _merge_section(output: Path, key: str, section: Dict) -> None:
+    report: Dict = {}
+    if output.exists():
+        report = json.loads(output.read_text())
+    report[key] = section
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"merged {key} section into {output}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_substrate.json"),
+        help="report to merge the section into (default: BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--skew", default="zipf:1.3",
+        help="tenant mix, as zipf:A (default zipf:1.3; must leave the hot "
+             "tenant over the controller's hot-share trigger)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent closed-loop clients"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=40, help="requests per client per phase"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="service worker threads per process"
+    )
+    parser.add_argument(
+        "--replicas-min", type=int, default=0, help="autoscale floor"
+    )
+    parser.add_argument(
+        "--replicas-max", type=int, default=2, help="autoscale ceiling"
+    )
+    parser.add_argument("-k", type=int, default=5, help="package size")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: shrunk workload, few requests (not comparable to full runs)",
+    )
+    args = parser.parse_args(argv)
+    run_autoscale(
+        args.output,
+        skew=args.skew,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        workers=args.workers,
+        replicas_min=args.replicas_min,
+        replicas_max=args.replicas_max,
+        k=args.k,
+        quick=args.quick,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

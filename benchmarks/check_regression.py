@@ -59,6 +59,17 @@ Design notes, so the gate stays honest:
   and (for the committed full soak) at least 20 kill/reboot cycles.
   Hardware speed never enters it -- a crash-consistency bug is a bug on
   any box.
+* The autoscale gate (``autoscale`` sections, committed baseline and
+  ``--fresh-autoscale`` alike) holds the elastic-replica soak to its
+  contract: bit-identical responses through every join/kill/respawn/
+  retire, bit-identical decoded artefact frames, zero lost requests,
+  zero leaked shared-memory segments, and churn that actually happened
+  (at least one join, kill, respawn and retire recorded).  Two ratios
+  ride conditions: the warm/cold first-request ratio must stay at/under
+  0.5 on full (non-``quick``) runs -- the shrunk quick world's first
+  request is dominated by fixed costs the handoff cannot remove -- and
+  the hot-tenant churn p99 must stay within its recorded budget of the
+  pre-join baseline when the run recorded ``cpu_count > 1``.
 * The service gate applies the identical tolerance / noise-floor scheme to
   the p50 and p99 of every committed concurrency level (entries named
   ``service.clients_N.p50_ms``).  The fresh serving run is a ``--quick``
@@ -470,6 +481,138 @@ def check_durability(report: Dict, label: str = "durability") -> List[Verdict]:
     return verdicts
 
 
+#: Warm-seeded first request must cost at most this fraction of a cold one
+#: (enforced on full runs only; the quick world's first request is all
+#: fixed overhead).
+DEFAULT_AUTOSCALE_WARM_RATIO = 0.5
+
+
+def check_autoscale(
+    report: Dict,
+    warm_ratio: float = DEFAULT_AUTOSCALE_WARM_RATIO,
+    label: str = "autoscale",
+) -> List[Verdict]:
+    """Gate a report's ``autoscale`` section (absent -> no verdicts).
+
+    The section is the output of ``bench_autoscale.py`` -- the elastic
+    hot-tenant replica soak.  Invariants (any hardware): bit-identical
+    responses and artefacts, zero lost requests, zero leaked segments,
+    and real churn (>= 1 join / kill / respawn / retire).  Conditional
+    ratios: warm/cold first request at/under ``warm_ratio`` on full runs,
+    hot-tenant churn p99 within its recorded budget when ``cpu_count > 1``.
+    """
+    if not 0 < warm_ratio:
+        raise ValueError(f"warm_ratio must be > 0, got {warm_ratio}")
+    section = report.get("autoscale")
+    if section is None:
+        return []
+    verdicts: List[Verdict] = []
+    for flag, claim in (
+        ("responses_bit_identical", "churned responses == single-process replay"),
+        ("artefacts_bit_identical", "decoded artefacts == cold recompute"),
+    ):
+        held = section.get(flag) is True
+        verdicts.append(
+            Verdict(
+                f"{label}.{flag}", None, None, None, ok=held,
+                note=claim if held else f"soak recorded {flag}={section.get(flag)!r}",
+            )
+        )
+    for counter, claim in (
+        ("lost_requests", "no request lost across the churn"),
+        ("shm_leaked", "no shared-memory segment left behind"),
+    ):
+        value = section.get(counter)
+        held = value == 0
+        verdicts.append(
+            Verdict(
+                f"{label}.{counter}", None, None, None, ok=held,
+                note=claim if held else f"soak recorded {counter}={value!r}",
+            )
+        )
+    events = section.get("replica_events") or {}
+    missing = [
+        kind
+        for kind in ("added", "killed", "respawned", "retired")
+        if not events.get(kind)
+    ]
+    verdicts.append(
+        Verdict(
+            f"{label}.churn", None, None, None, ok=not missing,
+            note=(
+                "replicas joined, died, respawned and retired mid-stream"
+                if not missing
+                else f"soak never recorded: {', '.join(missing)}"
+            ),
+        )
+    )
+    quick = bool(section.get("meta", {}).get("quick"))
+    warm = section.get("warm_start") or {}
+    ratio = warm.get("ratio")
+    if ratio is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.warm_start", None, None, None, ok=False,
+                note="section carries no warm/cold first-request ratio",
+            )
+        )
+    elif quick:
+        verdicts.append(
+            Verdict(
+                f"{label}.warm_start", None, None, ratio, ok=True,
+                note=f"{ratio:.2f}x recorded on a quick world (floor needs "
+                     "the full first-request cost)",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.warm_start", None, None, ratio, ok=ratio <= warm_ratio,
+                note=(
+                    f"warm first request {ratio:.2f}x of cold "
+                    f"(<= {warm_ratio:.2f}x)"
+                    if ratio <= warm_ratio
+                    else f"warm first request {ratio:.2f}x of cold exceeds "
+                         f"{warm_ratio:.2f}x"
+                ),
+            )
+        )
+    hot = section.get("hot_p99") or {}
+    p99_ratio = hot.get("ratio")
+    budget = hot.get("budget_ratio")
+    cpu_count = section.get("meta", {}).get("cpu_count")
+    if p99_ratio is None or budget is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.hot_p99", None, None, None, ok=False,
+                note="section carries no hot-tenant p99 ratio/budget",
+            )
+        )
+    elif cpu_count is None or cpu_count <= 1:
+        verdicts.append(
+            Verdict(
+                f"{label}.hot_p99", None, None, p99_ratio, ok=True,
+                note=f"{p99_ratio:.2f}x recorded on cpu_count={cpu_count} "
+                     "(budget needs > 1 core)",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.hot_p99", None, None, p99_ratio,
+                ok=p99_ratio <= budget,
+                note=(
+                    f"worst churn p99 {p99_ratio:.2f}x of baseline "
+                    f"(<= {budget:.2f}x)"
+                    if p99_ratio <= budget
+                    else f"worst churn p99 {p99_ratio:.2f}x of baseline over "
+                         f"{budget:.2f}x budget"
+                ),
+            )
+        )
+    return verdicts
+
+
 def render(verdicts: List[Verdict], tolerance: float) -> str:
     """A fixed-width comparison table."""
     lines = [
@@ -554,6 +697,13 @@ def main(argv: List[str] | None = None) -> int:
              "bounded log, bit-identical recovery, recovery-time budget)",
     )
     parser.add_argument(
+        "--fresh-autoscale", type=Path, default=None,
+        help="fresh autoscale soak report (bench_autoscale.py output); its "
+             "autoscale section is gated like the baseline's (bit-identical "
+             "responses/artefacts through churn, zero loss, zero leaks, warm "
+             "handoff and hot-p99 budgets where the run qualifies)",
+    )
+    parser.add_argument(
         "--replicated-min-speedup", type=float,
         default=DEFAULT_REPLICATED_MIN_SPEEDUP,
         help="minimum replicated/owner-only speedup at the top concurrency "
@@ -603,6 +753,14 @@ def main(argv: List[str] | None = None) -> int:
             check_durability(
                 json.loads(args.fresh_durability.read_text()),
                 label="fresh.durability",
+            )
+        )
+    verdicts.extend(check_autoscale(baseline))
+    if args.fresh_autoscale is not None:
+        verdicts.extend(
+            check_autoscale(
+                json.loads(args.fresh_autoscale.read_text()),
+                label="fresh.autoscale",
             )
         )
     if args.fresh_replicated is not None:

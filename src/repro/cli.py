@@ -242,6 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
              "commits stay on the owner); implies --shards 1 when "
              "--shards is not given",
     )
+    serve.add_argument(
+        "--replicas-min", type=int, default=None, metavar="N",
+        help="autoscale floor: never retire a tenant below N read replicas "
+             "(enables the autoscale controller; requires --replicas-max)",
+    )
+    serve.add_argument(
+        "--replicas-max", type=int, default=None, metavar="N",
+        help="autoscale ceiling: never grow a tenant past N read replicas "
+             "(enables the autoscale controller; requires --replicas-min)",
+    )
+    serve.add_argument(
+        "--autoscale-interval", type=float, default=None, metavar="SECONDS",
+        help="with --replicas-min/--replicas-max: how often the controller "
+             "re-reads per-tenant read share and takes one scaling step "
+             "(default: 2.0)",
+    )
     serve.add_argument("-k", type=int, default=5, help="default package size")
     serve.add_argument(
         "--persist", action="store_true",
@@ -491,6 +507,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.recommender.engine import EngineConfig
     from repro.service import (
         AlertThresholds,
+        AutoscaleController,
         RecommendationService,
         ServiceConfig,
         ShardSupervisor,
@@ -501,7 +518,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: --shards must be >= 0, got {args.shards}")
     if args.replicas < 0:
         raise SystemExit(f"error: --replicas must be >= 0, got {args.replicas}")
-    if args.use_async and (args.shards or args.replicas):
+    autoscale = args.replicas_min is not None or args.replicas_max is not None
+    if autoscale and (args.replicas_min is None or args.replicas_max is None):
+        raise SystemExit(
+            "error: --replicas-min and --replicas-max must be given together"
+        )
+    if args.autoscale_interval is not None and not autoscale:
+        raise SystemExit(
+            "error: --autoscale-interval only applies with "
+            "--replicas-min/--replicas-max"
+        )
+    if args.use_async and (args.shards or args.replicas or autoscale):
         raise SystemExit(
             "error: --async is single-process only (the sharded router "
             "scales with processes, not connections)"
@@ -511,10 +538,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "error: --events-interval only applies with --async "
             "(the threaded front-end has no SSE /events stream)"
         )
-    if args.replicas and not args.shards:
+    if (args.replicas or autoscale) and not args.shards:
         # Replicas live in the sharded topology; a single shard is the
         # natural owner for the replicated single-tenant case.
         args.shards = 1
+    if autoscale and args.replicas < args.replicas_min:
+        # Start at the floor instead of making the controller climb to it
+        # one tick at a time.
+        args.replicas = args.replicas_min
     try:
         thresholds = AlertThresholds(
             p99_ms=args.alert_p99_ms,
@@ -571,7 +602,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shard = supervisor.add_tenant(tenant_name, kb, users)
             n_versions = len(kb)
         supervisor.start()
-        server = make_router_server(supervisor, host=args.host, port=args.port)
+        server = make_router_server(
+            supervisor, host=args.host, port=args.port, thresholds=thresholds
+        )
         host, port = server.server_address[:2]
         replicated = f" (+{args.replicas} read replicas)" if args.replicas else ""
         print(
@@ -579,7 +612,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"users) -> shard {shard} of {args.shards}{replicated} "
             f"on http://{host}:{port}"
         )
-        closer = supervisor.close
+        controller = None
+        if autoscale:
+            try:
+                controller = AutoscaleController(
+                    supervisor,
+                    min_replicas=args.replicas_min,
+                    max_replicas=args.replicas_max,
+                    interval_s=args.autoscale_interval
+                    if args.autoscale_interval is not None
+                    else 2.0,
+                )
+            except ValueError as exc:
+                supervisor.close()
+                raise SystemExit(f"error: {exc}") from None
+            controller.start()
+            print(
+                f"autoscaling replicas in [{args.replicas_min}, "
+                f"{args.replicas_max}] every {controller.interval_s:g}s"
+            )
+
+        def closer() -> None:
+            if controller is not None:
+                controller.stop()
+            supervisor.close()
     else:
         store = None
         if args.persist:

@@ -164,6 +164,17 @@ class Version:
         return self._graph is not None
 
     @property
+    def schema_if_built(self) -> "SchemaView | None":
+        """The cached schema view, or None -- never builds or materialises.
+
+        The warm-handoff path (:mod:`repro.service.replica`) harvests
+        derived artefacts only from views a request already paid for;
+        probing through :attr:`schema` instead would force compacted
+        versions to rematerialise just to report an empty memo.
+        """
+        return self._schema
+
+    @property
     def schema(self) -> SchemaView:
         """Schema view of this version's snapshot (cached).
 

@@ -34,6 +34,9 @@ Payload layouts (all integers little-endian)::
                   | per non-root version: frame(added keys) frame(deleted keys)
     commit     := magic 'RPWC' u8 version | frame(header JSON)
                   | frame(dictionary growth) | frame(added keys) | frame(deleted keys)
+    artefacts  := magic 'RPWA' u8 version | frame(header JSON)
+                  | per version: u8 flags | per flagged cache:
+                    frame(term ids) frame(float64 values)
 
 Key arrays are sorted, so equal graphs encode to equal bytes (canonical
 form).  ``encode_kb`` reads the *recorded* commit deltas -- it never diffs
@@ -57,7 +60,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +79,7 @@ _MAGIC_KB = b"RPWK"
 _MAGIC_TRIPLES = b"RPWD"
 _MAGIC_COMMIT = b"RPWC"
 _MAGIC_STORE = b"RPWS"
+_MAGIC_ARTEFACTS = b"RPWA"
 
 _U64 = struct.Struct("<Q")
 
@@ -569,31 +573,41 @@ def read_kb_header(data) -> dict:
 # container::
 #
 #     store := magic 'RPWS' u8 version | frame(base) | frame(log)
+#              [ | frame(artefacts) ]
 #
-# Both frames are length-prefixed, so a segment the kernel rounded up to
-# a page boundary decodes cleanly: trailing slack past the second frame
-# is simply never read.
+# Every frame is length-prefixed, so a segment the kernel rounded up to
+# a page boundary decodes cleanly: trailing slack past the last frame
+# is simply never read.  The optional third frame carries a warm
+# replica handoff's :func:`encode_artefacts` payload; it is appended
+# only when non-empty, and readers that predate it
+# (:func:`unpack_store_payload`) skip it as trailing slack -- zero-filled
+# slack after the log frame reads as a zero-length prefix, which
+# :func:`unpack_store_payload_full` treats as "no artefacts".
 
 
-def store_payload_size(base_len: int, log_len: int) -> int:
+def store_payload_size(base_len: int, log_len: int, artefacts_len: int = 0) -> int:
     """Exact byte size of :func:`pack_store_payload` for the given part sizes."""
-    return len(_MAGIC_STORE) + 1 + 8 + base_len + 8 + log_len
+    size = len(_MAGIC_STORE) + 1 + 8 + base_len + 8 + log_len
+    if artefacts_len:
+        size += 8 + artefacts_len
+    return size
 
 
-def pack_store_payload(base, log=b"") -> bytes:
-    """One buffer carrying a store's ``(base, log)`` pair (framed)."""
-    return b"".join(
-        (
-            _MAGIC_STORE,
-            bytes([WIRE_VERSION]),
-            _pack_frame(bytes(base)),
-            _pack_frame(bytes(log)),
-        )
-    )
+def pack_store_payload(base, log=b"", artefacts=b"") -> bytes:
+    """One buffer carrying a store's ``(base, log[, artefacts])`` parts (framed)."""
+    parts = [
+        _MAGIC_STORE,
+        bytes([WIRE_VERSION]),
+        _pack_frame(bytes(base)),
+        _pack_frame(bytes(log)),
+    ]
+    if artefacts:
+        parts.append(_pack_frame(bytes(artefacts)))
+    return b"".join(parts)
 
 
-def pack_store_payload_into(buffer, base, log=b"") -> int:
-    """Write the packed ``(base, log)`` container straight into ``buffer``.
+def pack_store_payload_into(buffer, base, log=b"", artefacts=b"") -> int:
+    """Write the packed store container straight into ``buffer``.
 
     ``buffer`` is any writable bytes-like (typically a shared-memory
     segment's ``.buf``) of at least :func:`store_payload_size` bytes; the
@@ -602,14 +616,16 @@ def pack_store_payload_into(buffer, base, log=b"") -> int:
     """
     view = memoryview(buffer)
     pos = len(_MAGIC_STORE) + 1
-    if store_payload_size(len(base), len(log)) > len(view):
+    if store_payload_size(len(base), len(log), len(artefacts)) > len(view):
         raise WireFormatError(
             f"buffer of {len(view)} bytes cannot hold a "
-            f"{store_payload_size(len(base), len(log))}-byte store payload"
+            f"{store_payload_size(len(base), len(log), len(artefacts))}-byte "
+            "store payload"
         )
     view[: len(_MAGIC_STORE)] = _MAGIC_STORE
     view[len(_MAGIC_STORE)] = WIRE_VERSION
-    for part in (base, log):
+    frames = (base, log, artefacts) if artefacts else (base, log)
+    for part in frames:
         view[pos : pos + 8] = _U64.pack(len(part))
         pos += 8
         view[pos : pos + len(part)] = part
@@ -624,13 +640,198 @@ def unpack_store_payload(data) -> "Tuple[bytes, bytes]":
     parts are sub-views of it -- zero-copy; the lazy kb decode then reads
     terms and key arrays straight out of the underlying segment.
     Trailing bytes after the log frame are ignored (shared-memory
-    segments may be larger than what was packed into them).
+    segments may be larger than what was packed into them, and a warm
+    handoff appends its artefacts frame there).
     """
     reader = _Reader(data)
     reader.expect_magic(_MAGIC_STORE)
     base = reader.frame()
     log = reader.frame()
     return base, log
+
+
+def unpack_store_payload_full(data) -> "Tuple[bytes, bytes, Optional[bytes]]":
+    """``(base, log, artefacts-or-None)`` of a packed store container.
+
+    Like :func:`unpack_store_payload` but artefact-aware: when a third
+    frame follows the log, its payload is returned (a sub-view for
+    ``memoryview`` input).  A container packed without artefacts -- or a
+    shared-memory segment whose zero-filled slack begins right after the
+    log frame -- returns ``None``: slack shorter than a length prefix, or
+    a zero length prefix, both mean "nothing was packed here".
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_STORE)
+    base = reader.frame()
+    log = reader.frame()
+    artefacts = None
+    if len(data) - reader._pos >= 8:
+        length = reader.u64()
+        if length:
+            artefacts = reader.take(length)
+    return base, log, artefacts
+
+
+# -- derived-artefact frames (warm replica handoff) --------------------------------
+#
+# A serving process accumulates per-version derived artefacts: the raw
+# class-graph betweenness map plus the semantic relative-cardinality and
+# centrality caches, all memoised on each version's SchemaView.  When a
+# replica joins a *running* tenant, shipping those caches next to the
+# chain payload lets the joiner skip the cold first-request price (a full
+# Brandes pass plus the semantic sweep).  The frame is canonical: entries
+# are keyed by chain term ids and sorted by id, values travel as raw
+# float64 bits, so equal caches encode to equal bytes regardless of the
+# dict order the serving process accumulated them in -- and a decoded
+# artefact is bit-identical to what a cold recompute would produce::
+#
+#     artefacts := magic 'RPWA' u8 version | frame(header JSON)
+#                  | per version entry (header order, version ids sorted):
+#                      u8 flags (1 betweenness, 2 rc, 4 centrality)
+#                      per set flag: frame(term ids u64) | frame(values f64)
+#
+# Betweenness / centrality ids are one class term id per value; relative
+# cardinality ids are (property, source, target) id triples, row-major.
+
+_ARTEFACT_BETWEENNESS = 1
+_ARTEFACT_RC = 2
+_ARTEFACT_CENTRALITY = 4
+
+
+def _artefact_id(dictionary: TermDictionary, term) -> int:
+    tid = dictionary.id_of(term)
+    if tid is None:
+        raise WireFormatError(
+            f"artefact term not interned in chain dictionary: {term!r}"
+        )
+    return tid
+
+
+def _pack_scored_ids(rows: "List[Tuple]") -> bytes:
+    """Sorted ``(id-or-id-tuple, value)`` rows as an ids frame + values frame."""
+    ids = np.asarray(
+        [row[0] for row in rows], dtype=np.uint64
+    ) if rows else np.empty(0, dtype=np.uint64)
+    values = np.asarray(
+        [row[1] for row in rows], dtype=np.float64
+    ) if rows else np.empty(0, dtype=np.float64)
+    return _pack_frame(ids.tobytes(order="C")) + _pack_frame(values.tobytes())
+
+
+def encode_artefacts(artefacts: Mapping, dictionary: TermDictionary) -> bytes:
+    """Canonical payload of per-version derived-artefact caches.
+
+    ``artefacts`` maps version id -> an entry with any of the keys
+    ``betweenness`` (class IRI -> raw betweenness score), ``rc`` ((prop,
+    source, target) IRI triple -> relative cardinality) and ``centrality``
+    (class IRI -> semantic centrality).  Terms are encoded as ids of the
+    chain ``dictionary`` and every array is sorted by id, so two processes
+    holding equal caches produce equal bytes; float64 values round-trip
+    bit-exactly.
+    """
+    entries = sorted(artefacts.items())
+    header = {"versions": [version_id for version_id, _entry in entries]}
+    parts = [
+        _MAGIC_ARTEFACTS,
+        bytes([WIRE_VERSION]),
+        _pack_frame(json.dumps(header, sort_keys=True).encode("utf-8")),
+    ]
+    for _version_id, entry in entries:
+        betweenness = entry.get("betweenness")
+        rc = entry.get("rc")
+        centrality = entry.get("centrality")
+        flags = (
+            (_ARTEFACT_BETWEENNESS if betweenness is not None else 0)
+            | (_ARTEFACT_RC if rc is not None else 0)
+            | (_ARTEFACT_CENTRALITY if centrality is not None else 0)
+        )
+        parts.append(bytes([flags]))
+        if betweenness is not None:
+            parts.append(
+                _pack_scored_ids(
+                    sorted(
+                        (_artefact_id(dictionary, term), value)
+                        for term, value in betweenness.items()
+                    )
+                )
+            )
+        if rc is not None:
+            parts.append(
+                _pack_scored_ids(
+                    sorted(
+                        (
+                            (
+                                _artefact_id(dictionary, prop),
+                                _artefact_id(dictionary, source),
+                                _artefact_id(dictionary, target),
+                            ),
+                            value,
+                        )
+                        for (prop, source, target), value in rc.items()
+                    )
+                )
+            )
+        if centrality is not None:
+            parts.append(
+                _pack_scored_ids(
+                    sorted(
+                        (_artefact_id(dictionary, term), value)
+                        for term, value in centrality.items()
+                    )
+                )
+            )
+    return b"".join(parts)
+
+
+def decode_artefacts(data, dictionary: TermDictionary) -> "Dict[str, Dict]":
+    """Inverse of :func:`encode_artefacts` against the decoded chain's dictionary.
+
+    Returns ``{version_id: {"betweenness": {...}, "rc": {...},
+    "centrality": {...}}}`` with exactly the keys each entry was encoded
+    with; term ids materialise through ``dictionary`` back to the same
+    interned terms, values back to the same doubles.
+    """
+    reader = _Reader(data)
+    reader.expect_magic(_MAGIC_ARTEFACTS)
+    header = json.loads(bytes(reader.frame()))
+    n_terms = len(dictionary)
+    term = dictionary.term
+
+    def _ids_and_values(width: int):
+        ids = _frombuffer(reader.frame(), np.uint64)
+        values = _frombuffer(reader.frame(), np.float64)
+        if len(ids) != len(values) * width:
+            raise WireFormatError(
+                f"artefact frame: {len(values)} values but {len(ids)} ids "
+                f"(want {width} per value)"
+            )
+        if len(ids) and int(ids.max(initial=0)) >= n_terms:
+            raise WireFormatError(
+                f"artefact frame references term id {int(ids.max())} "
+                f"beyond dictionary size {n_terms}"
+            )
+        return ids.tolist(), values.tolist()
+
+    artefacts: Dict[str, Dict] = {}
+    for version_id in header.get("versions", []):
+        flags = reader.u8()
+        entry: Dict[str, Dict] = {}
+        if flags & _ARTEFACT_BETWEENNESS:
+            ids, values = _ids_and_values(1)
+            entry["betweenness"] = dict(zip(map(term, ids), values))
+        if flags & _ARTEFACT_RC:
+            ids, values = _ids_and_values(3)
+            entry["rc"] = {
+                (term(ids[i * 3]), term(ids[i * 3 + 1]), term(ids[i * 3 + 2])): value
+                for i, value in enumerate(values)
+            }
+        if flags & _ARTEFACT_CENTRALITY:
+            ids, values = _ids_and_values(1)
+            entry["centrality"] = dict(zip(map(term, ids), values))
+        artefacts[version_id] = entry
+    if not reader.at_end():
+        raise WireFormatError("trailing bytes after the last artefact entry")
+    return artefacts
 
 
 # -- commit records (the append-only commit log) -----------------------------------

@@ -25,7 +25,11 @@ thread-safe subsystem that actually serves that workload:
   tenants: the supervisor publishes a tenant's store payload once into
   shared memory, R extra processes decode it lazily out of the segment
   and serve reads round-robin with the owner, while commits stay
-  single-owner and reach replicas as O(delta) commit records,
+  single-owner and reach replicas as O(delta) commit records; late
+  joiners bootstrap warm from a re-published snapshot plus the owner's
+  already-computed measure artefacts, and
+  :class:`~repro.service.autoscale.AutoscaleController` adds/retires/
+  respawns them at runtime from the per-tenant read share,
 * :mod:`repro.service.http` -- stdlib-only JSON front-ends
   (``python -m repro serve``): the single-process server and the sharded
   thin router (``--shards N``, ``--replicas R``),
@@ -45,6 +49,7 @@ topology).
 
 from repro.service.admission import AdmissionQueue, AdmissionStats
 from repro.service.aio import AsyncServerThread, AsyncServiceServer
+from repro.service.autoscale import AutoscaleController
 from repro.service.errors import (
     RemoteInternalError,
     ServiceClosedError,
@@ -71,6 +76,7 @@ __all__ = [
     "AlertThresholds",
     "AsyncServerThread",
     "AsyncServiceServer",
+    "AutoscaleController",
     "RecommendationService",
     "RemoteInternalError",
     "ServiceClosedError",

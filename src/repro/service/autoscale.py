@@ -1,0 +1,170 @@
+"""Elastic replica control: track the hot tenant's read share, not a schedule.
+
+The replica plane (:mod:`repro.service.replica`) multiplies one tenant's
+reads across cores, but a count fixed at ``start()`` is wrong in both
+directions: idle tenants burn processes, and a tenant that *becomes* hot
+mid-flight stays capped.  :class:`AutoscaleController` closes the loop:
+
+* every ``interval_s`` it polls the supervisor's ``/stats`` payload and
+  computes each tenant's share of the reads admitted since the last tick
+  (the same skew signal the Zipf benchmark calls ``hot_share``);
+* a tenant at/over ``hot_share`` of the traffic gains one replica per
+  tick up to ``max_replicas`` -- joined *warm* via the owner's artefact
+  handoff, so the new process is immediately useful;
+* a tenant at/under ``cool_share`` (or with no traffic at all) loses one
+  replica per tick down to ``min_replicas``;
+* before any scaling decision, dead or poisoned replicas are respawned
+  (:meth:`ShardSupervisor.respawn_dead_replicas`) -- capacity the
+  operator configured is healed first, then adjusted.
+
+One step per tenant per tick keeps the controller gentle: a traffic spike
+ramps replicas over a few intervals instead of forking half the machine
+at once, and a single noisy sample never mass-retires a fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.service.errors import ServiceClosedError
+
+#: Default share of recent reads at/over which a tenant is "hot".
+DEFAULT_HOT_SHARE = 0.5
+#: Default share at/under which a replicated tenant may cool down.
+DEFAULT_COOL_SHARE = 0.25
+
+
+class AutoscaleController:
+    """Poll a :class:`~repro.service.sharding.ShardSupervisor`, scale replicas.
+
+    The controller owns one daemon thread between :meth:`start` and
+    :meth:`stop`; :meth:`tick` is public so tests and benchmarks can step
+    the control loop deterministically without waiting on wall clock.
+    """
+
+    def __init__(
+        self,
+        supervisor,
+        min_replicas: int = 0,
+        max_replicas: int = 4,
+        interval_s: float = 2.0,
+        hot_share: float = DEFAULT_HOT_SHARE,
+        cool_share: float = DEFAULT_COOL_SHARE,
+    ) -> None:
+        if min_replicas < 0:
+            raise ValueError(f"min_replicas must be >= 0, got {min_replicas}")
+        if max_replicas < min_replicas:
+            raise ValueError(
+                f"max_replicas must be >= min_replicas ({min_replicas}), "
+                f"got {max_replicas}"
+            )
+        if not interval_s > 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s!r}")
+        if not 0.0 < hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in (0, 1], got {hot_share!r}")
+        if not 0.0 <= cool_share < hot_share:
+            raise ValueError(
+                f"cool_share must be in [0, hot_share), got {cool_share!r}"
+            )
+        self.supervisor = supervisor
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.interval_s = interval_s
+        self.hot_share = hot_share
+        self.cool_share = cool_share
+        #: Monotonic counters for introspection (benchmarks, tests).
+        self.ticks = 0
+        self.errors = 0
+        self._last_admitted: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "AutoscaleController":
+        """Start the polling thread (idempotent while running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-autoscale", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the polling thread and join it (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "AutoscaleController":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except ServiceClosedError:
+                break
+            except Exception:
+                # A transient bad tick (owner mid-commit, replica racing
+                # its own death) must not kill the control loop; the next
+                # interval re-reads ground truth from /stats.
+                self.errors += 1
+
+    # -- one control step ------------------------------------------------------
+
+    def tick(self) -> Dict[str, object]:
+        """One control step; returns the actions taken (for tests/benches).
+
+        Reads the supervisor's stats, computes per-tenant read share over
+        the window since the previous tick, heals dead replicas, then
+        applies at most one scaling step per tenant.
+        """
+        self.ticks += 1
+        actions: Dict[str, object] = {"respawned": {}, "added": [], "retired": []}
+        stats = self.supervisor.stats()
+        admitted = self._admitted_per_tenant(stats)
+        deltas = {
+            name: max(0, count - self._last_admitted.get(name, 0))
+            for name, count in admitted.items()
+        }
+        self._last_admitted = admitted
+        total = sum(deltas.values())
+        for name in self.supervisor.tenant_names():
+            if self.supervisor.replica_count(name):
+                respawned = self.supervisor.respawn_dead_replicas(name)
+                if respawned:
+                    actions["respawned"][name] = respawned  # type: ignore[index]
+        for name in self.supervisor.tenant_names():
+            configured = self.supervisor.replica_count(name)
+            if configured < self.min_replicas:
+                self.supervisor.add_replica(name)
+                actions["added"].append(name)  # type: ignore[union-attr]
+                continue
+            share = deltas.get(name, 0) / total if total else 0.0
+            if total and share >= self.hot_share and configured < self.max_replicas:
+                self.supervisor.add_replica(name)
+                actions["added"].append(name)  # type: ignore[union-attr]
+            elif configured > self.min_replicas and share <= self.cool_share:
+                self.supervisor.retire_replica(name)
+                actions["retired"].append(name)  # type: ignore[union-attr]
+        return actions
+
+    @staticmethod
+    def _admitted_per_tenant(stats: Dict) -> Dict[str, int]:
+        """Admitted-read counters per tenant from a router stats payload."""
+        counts: Dict[str, int] = {}
+        for shard in (stats.get("shards") or {}).values():
+            for name, tenant in shard.get("per_tenant", {}).items():
+                counts[name] = counts.get(name, 0) + int(tenant.get("admitted", 0))
+        return counts
+
+
+__all__: List[str] = ["AutoscaleController", "DEFAULT_COOL_SHARE", "DEFAULT_HOT_SHARE"]

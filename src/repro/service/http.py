@@ -33,8 +33,9 @@ Endpoints (identical in both topologies):
 ``GET /alerts``
     threshold evaluation over the same ``/stats`` payload
     (:func:`repro.service.metrics.evaluate_alerts`): tail-latency budget,
-    admission backlog, commit-log-near-roll-up.  Single-process
-    front-ends only (threaded and async).
+    admission backlog, commit-log-near-roll-up, and -- in the sharded
+    topology -- replica degradation (live < configured, no threshold
+    flag needed).
 ``GET /events``
     Server-Sent Events stream of periodic ``/stats`` payloads -- the
     async front-end only (:mod:`repro.service.aio`); this threaded server
@@ -344,10 +345,15 @@ class ShardRouterHTTPServer(ThreadingHTTPServer):
     request_queue_size = 128  # same rationale as ServiceHTTPServer
 
     def __init__(
-        self, address: Tuple[str, int], supervisor: "ShardSupervisor"
+        self,
+        address: Tuple[str, int],
+        supervisor: "ShardSupervisor",
+        thresholds: Optional[AlertThresholds] = None,
     ) -> None:
         super().__init__(address, ShardRouterRequestHandler)
         self.supervisor = supervisor
+        #: The ``GET /alerts`` rules (see repro.service.metrics).
+        self.thresholds = thresholds or AlertThresholds()
 
 
 class ShardRouterRequestHandler(_JsonRequestHandler):
@@ -374,6 +380,13 @@ class ShardRouterRequestHandler(_JsonRequestHandler):
                 self._send_json({"tenants": supervisor.tenants()})
             elif self.path == "/stats":
                 self._send_json(supervisor.stats())
+            elif self.path == "/alerts":
+                # evaluate_alerts flattens the router's per-shard stats
+                # shape itself and adds the threshold-free
+                # replica_degraded rule from the tenant_replicas block.
+                self._send_json(
+                    evaluate_alerts(supervisor.stats(), self.server.thresholds)
+                )
             else:
                 self._send_error_json(404, f"unknown path: {self.path}")
         except (ServiceClosedError, ShardError) as exc:
@@ -396,7 +409,10 @@ class ShardRouterRequestHandler(_JsonRequestHandler):
 
 
 def make_router_server(
-    supervisor: "ShardSupervisor", host: str = "127.0.0.1", port: int = 0
+    supervisor: "ShardSupervisor",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    thresholds: Optional[AlertThresholds] = None,
 ) -> ShardRouterHTTPServer:
     """Bind a :class:`ShardRouterHTTPServer` (port 0 = ephemeral); caller serves."""
-    return ShardRouterHTTPServer((host, port), supervisor)
+    return ShardRouterHTTPServer((host, port), supervisor, thresholds=thresholds)

@@ -244,15 +244,43 @@ def evaluate_alerts(stats: Dict, thresholds: AlertThresholds) -> Dict[str, objec
         {"stats_version": 1, "status": "ok" | "alerting",
          "thresholds": {...}, "alerts": [
             {"kind": "p99_budget" | "queue_depth" | "log_bytes"
-                     | "log_rollup_near",
+                     | "log_rollup_near" | "replica_degraded",
              "tenant": name or None (None = service-wide),
              "value": measured, "threshold": limit,
              "message": human-readable one-liner}, ...]}
 
     Alert order is deterministic: service-wide first, then per tenant in
-    sorted name order, each tenant's rules in the order p99, log.
+    sorted name order, each tenant's rules in the order p99, log, then
+    the replica-degraded rule per tenant in sorted name order.
+
+    The payload may also be the sharded router's ``/stats`` shape (one
+    frozen per-shard payload under ``shards``, plus the supervisor's
+    ``tenant_replicas`` block): admission depth is then summed
+    service-wide and the per-tenant rules run over the union of the
+    shards' tenants (a tenant lives in exactly one shard, so names never
+    collide).  ``replica_degraded`` is threshold-free -- a replicated
+    tenant serving fewer live replicas than configured is always worth a
+    page, so the rule fires whenever ``live < configured`` regardless of
+    which ``--alert-*`` flags are set.
     """
     alerts: List[Dict[str, object]] = []
+
+    shards = stats.get("shards")
+    if shards:
+        # Sharded router payload: per-shard frozen payloads side by side.
+        depth = sum(
+            shard.get("admission", {}).get("depth", 0) for shard in shards.values()
+        )
+        merged: Dict[str, Dict] = {}
+        for shard in shards.values():
+            merged.update(shard.get("per_tenant", {}))
+        stats = dict(stats)
+        stats["admission"] = {"depth": depth}
+        stats["per_tenant"] = merged
+        stats.setdefault(
+            "stats_version",
+            next(iter(shards.values())).get("stats_version", STATS_VERSION),
+        )
 
     depth = stats.get("admission", {}).get("depth", 0)
     if thresholds.queue_depth is not None and depth >= thresholds.queue_depth:
@@ -319,6 +347,24 @@ def evaluate_alerts(stats: Dict, thresholds: AlertThresholds) -> Dict[str, objec
                     "message": (
                         f"tenant {name!r} commit log {log_bytes} B at/over "
                         f"{thresholds.log_bytes} B"
+                    ),
+                }
+            )
+
+    for name in sorted(stats.get("tenant_replicas") or {}):
+        block = stats["tenant_replicas"][name] or {}
+        configured = block.get("configured", 0)
+        live = block.get("live", configured)
+        if live < configured:
+            alerts.append(
+                {
+                    "kind": "replica_degraded",
+                    "tenant": name,
+                    "value": live,
+                    "threshold": configured,
+                    "message": (
+                        f"tenant {name!r} serving {live} of {configured} "
+                        "configured read replicas"
                     ),
                 }
             )

@@ -40,9 +40,19 @@ import threading
 from multiprocessing import shared_memory
 from typing import Optional
 
+from repro.graphtools.betweenness import normalize_betweenness
+from repro.graphtools.incremental import edge_key_set
 from repro.io.storage import feedback_from_dicts, package_to_dict, users_from_dicts
 from repro.io.store import decode_store_payload
 from repro.kb import wire
+from repro.kb.errors import VersionError
+from repro.measures.semantic import CENTRALITY_KEY, RC_KEY
+from repro.measures.structural import (
+    BETWEENNESS_KEY,
+    EDGE_KEYS_KEY,
+    RAW_BETWEENNESS_KEY,
+    class_graph,
+)
 from repro.service.errors import ServiceError, error_message as _error_message
 from repro.service.service import RecommendationService, ServiceConfig
 
@@ -50,12 +60,14 @@ from repro.service.service import RecommendationService, ServiceConfig
 # -- shared-memory plumbing ---------------------------------------------------------
 
 
-def create_shared_payload(kb_payload) -> shared_memory.SharedMemory:
+def create_shared_payload(kb_payload, artefacts: bytes = b"") -> shared_memory.SharedMemory:
     """Publish a tenant's kb payload into a fresh shared-memory segment.
 
     ``kb_payload`` is either one ``encode_kb`` buffer or a store's raw
     ``(base, log)`` pair; either way it is packed in place as one framed
-    :func:`repro.kb.wire.pack_store_payload_into` container.  The caller
+    :func:`repro.kb.wire.pack_store_payload_into` container.  A warm
+    handoff additionally passes its :func:`repro.kb.wire.encode_artefacts`
+    bytes, appended as the container's optional third frame.  The caller
     owns the returned segment and must ``close()`` + ``unlink()`` it once
     every consumer has attached.
     """
@@ -63,9 +75,9 @@ def create_shared_payload(kb_payload) -> shared_memory.SharedMemory:
         base, log = kb_payload
     else:
         base, log = kb_payload, b""
-    size = wire.store_payload_size(len(base), len(log))
+    size = wire.store_payload_size(len(base), len(log), len(artefacts))
     segment = shared_memory.SharedMemory(create=True, size=size)
-    wire.pack_store_payload_into(segment.buf, base, log)
+    wire.pack_store_payload_into(segment.buf, base, log, artefacts)
     return segment
 
 
@@ -96,7 +108,7 @@ def attach_shared_payload(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = real_register
 
 
-def decode_shared_payload(segment_name: str):
+def decode_shared_payload(segment_name: str, on_attached=None):
     """Attach to a segment, lazily decode the chain out of it, detach.
 
     The decode path reads term tables and key arrays through sub-views of
@@ -104,17 +116,36 @@ def decode_shared_payload(segment_name: str):
     what it keeps into process-local structures, so the mapping can close
     as soon as the chain is built: zero-copy bootstrap, no lingering
     reference into shared memory.
+
+    ``on_attached``, when given, is called as soon as the mapping exists
+    (before the decode starts): the publisher may unlink the segment the
+    moment every consumer holds a mapping, and a late joiner's decode can
+    be slow enough that waiting for it would leave the segment visible in
+    ``/dev/shm`` needlessly long.
+
+    When the container carries a warm handoff's artefacts frame
+    (:func:`repro.kb.wire.encode_artefacts`), the decoded caches are
+    seeded onto the chain's schema views (:func:`seed_artefacts`) so the
+    first request served from this chain skips the cold recompute.
     """
     segment = attach_shared_payload(segment_name)
+    if on_attached is not None:
+        on_attached()
     try:
-        base, log = wire.unpack_store_payload(segment.buf)
+        base, log, artefact_bytes = wire.unpack_store_payload_full(segment.buf)
         try:
             kb = decode_store_payload(base, log)
+            if artefact_bytes is not None and len(kb):
+                seed_artefacts(
+                    kb,
+                    wire.decode_artefacts(
+                        artefact_bytes, kb.first().graph.dictionary
+                    ),
+                )
         finally:
-            if isinstance(base, memoryview):
-                base.release()
-            if isinstance(log, memoryview):
-                log.release()
+            for part in (base, log, artefact_bytes):
+                if isinstance(part, memoryview):
+                    part.release()
     finally:
         try:
             segment.close()
@@ -133,6 +164,106 @@ def destroy_segment(segment: shared_memory.SharedMemory) -> None:
         segment.unlink()
     except FileNotFoundError:  # pragma: no cover - already unlinked
         pass
+
+
+# -- warm artefact handoff ----------------------------------------------------------
+#
+# Bootstrapping a replica from the chain payload alone leaves its per-version
+# engine caches cold: the first request pays a full Brandes pass over the
+# class graph plus the semantic relative-cardinality/centrality sweep.  All
+# of those are deterministic pure functions of the version snapshot, already
+# computed and memoised on the owner's SchemaViews -- so a late joiner can
+# inherit them byte-for-byte instead of recomputing them.
+
+
+def collect_artefacts(kb) -> dict:
+    """Harvest the warm per-version artefact caches of a serving chain.
+
+    Walks the chain's versions and, for every schema view a request has
+    already built (:attr:`repro.kb.version.Version.schema_if_built` --
+    compacted or never-touched versions are skipped, never forced), pulls
+    the memoised raw betweenness map and the semantic RC / centrality
+    caches.  Returns the ``{version_id: entry}`` mapping
+    :func:`repro.kb.wire.encode_artefacts` packs.
+    """
+    artefacts: dict = {}
+    for version in kb:
+        schema = version.schema_if_built
+        if schema is None:
+            continue
+        memo = schema.memo
+        entry: dict = {}
+        raw = memo.get(RAW_BETWEENNESS_KEY)
+        if raw is not None:
+            entry["betweenness"] = dict(raw)
+        rc = memo.get(RC_KEY)
+        if rc:
+            entry["rc"] = dict(rc)
+        centrality = memo.get(CENTRALITY_KEY)
+        if centrality:
+            entry["centrality"] = dict(centrality)
+        if entry:
+            artefacts[version.version_id] = entry
+    return artefacts
+
+
+def seed_artefacts(kb, artefacts: dict) -> int:
+    """Install decoded artefact caches on a chain's schema views.
+
+    The inverse of :func:`collect_artefacts`: for every version named in
+    ``artefacts`` that is materialised (the lazy decode warms exactly the
+    head pair -- seeding a compacted middle would force the delta replay
+    the lazy path exists to avoid), the memo entries a cold build would
+    publish are installed up front:
+
+    * ``betweenness`` seeds the raw map plus the ``(class graph,
+      normalized map)`` artefact and the edge-key set -- the graph and
+      edge keys are rebuilt locally (cheap, deterministic), the Brandes
+      pass is what the handoff skips;
+    * ``rc`` / ``centrality`` seed the semantic caches as plain dicts,
+      exactly the shape ``_seeded_cache`` fills.
+
+    Every seeded value is bit-identical to what the skipped recompute
+    would produce: the caches are deterministic functions of the snapshot
+    and the wire round-trip preserves float64 bits.  Returns the number
+    of versions seeded.
+    """
+    seeded = 0
+    for version_id, entry in artefacts.items():
+        try:
+            version = kb.version(version_id)
+        except VersionError:
+            continue  # artefact for a version this chain does not hold
+        if not version.is_materialized:
+            continue
+        memo = version.schema.memo
+        raw = entry.get("betweenness")
+        if raw is not None and BETWEENNESS_KEY not in memo:
+            graph = class_graph(version.schema)
+            memo[RAW_BETWEENNESS_KEY] = dict(raw)
+            memo[EDGE_KEYS_KEY] = edge_key_set(graph)
+            memo[BETWEENNESS_KEY] = (graph, normalize_betweenness(raw, len(graph)))
+        rc = entry.get("rc")
+        if rc is not None and RC_KEY not in memo:
+            memo[RC_KEY] = dict(rc)
+        centrality = entry.get("centrality")
+        if centrality is not None and CENTRALITY_KEY not in memo:
+            memo[CENTRALITY_KEY] = dict(centrality)
+        seeded += 1
+    return seeded
+
+
+def encode_tenant_artefacts(kb) -> bytes:
+    """The wire bytes of :func:`collect_artefacts`, or ``b""`` when cold.
+
+    Convenience for publishers: harvest + encode against the chain
+    dictionary in one call, returning empty bytes when no view has warmed
+    yet (the store container simply omits its artefacts frame then).
+    """
+    artefacts = collect_artefacts(kb)
+    if not artefacts or not len(kb):
+        return b""
+    return wire.encode_artefacts(artefacts, kb.first().graph.dictionary)
 
 
 # -- replica worker process ---------------------------------------------------------
@@ -172,7 +303,14 @@ def _replica_main(
                 pass
 
     try:
-        kb = decode_shared_payload(segment_name)
+        # The "attached" signal races ahead of the (potentially slow)
+        # decode: as soon as this process holds its mapping the supervisor
+        # may unlink the segment -- POSIX keeps the mapping alive -- so a
+        # late-join segment is gone from /dev/shm within one pipe
+        # round-trip of its creation.
+        kb = decode_shared_payload(
+            segment_name, on_attached=lambda: send(("attached", replica_index))
+        )
         users = users_from_dicts(json.loads(users_bytes.decode("utf-8")))
         feedback = (
             feedback_from_dicts(json.loads(feedback_bytes.decode("utf-8")))
@@ -262,7 +400,10 @@ def _replica_main(
 
 __all__ = [
     "attach_shared_payload",
+    "collect_artefacts",
     "create_shared_payload",
     "decode_shared_payload",
     "destroy_segment",
+    "encode_tenant_artefacts",
+    "seed_artefacts",
 ]

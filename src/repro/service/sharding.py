@@ -84,6 +84,7 @@ from repro.service.replica import (
     create_shared_payload,
     decode_shared_payload,
     destroy_segment,
+    encode_tenant_artefacts,
 )
 from repro.service.service import RecommendationService, ServiceConfig
 
@@ -180,6 +181,11 @@ def _shard_main(
     # Graph.add under the commit write lock does), so the cursor only
     # moves inside _run_commit.
     term_cursors: Dict[str, int] = {}
+    # Segments this shard published for late-joining replicas, by tenant.
+    # Held only between publish_tenant and unpublish_tenant (one pipe
+    # round-trip: the supervisor unpublishes as soon as the joiner
+    # signals it attached); anything left at shutdown is destroyed.
+    published: Dict[str, object] = {}
 
     try:
         for name, kb_bytes, users_bytes, feedback_bytes in payloads:
@@ -289,6 +295,56 @@ def _shard_main(
             threading.Thread(
                 target=_run_commit, name="repro-shard-commit", daemon=True
             ).start()
+        elif op == "publish_tenant":
+            # Warm late-join handoff: re-publish this tenant's *current*
+            # chain -- base plus every commit applied so far -- together
+            # with the artefact caches its serving already paid for, into
+            # a fresh shared-memory segment a joining replica bootstraps
+            # from.  Encoding under the write lock pins one consistent
+            # chain state; the supervisor holds the tenant's commit lock
+            # across publish + spawn, so no commit record can slip between
+            # the published snapshot and the joiner's record stream.
+            tenant_name = payload["tenant"]
+            tenant = service.tenant(tenant_name)
+            with tenant.write_lock:
+                base = wire.encode_kb(tenant.kb)
+                artefacts = encode_tenant_artefacts(tenant.kb)
+                generation = len(tenant.kb)
+                # The snapshot carries the whole dictionary, so the record
+                # stream resumes from here.  Commits made while the tenant
+                # had no replicas never advanced the cursor; without this
+                # resync their interned terms would be double-counted in
+                # the next record's terms_before and poison the joiner.
+                # With replicas already live this is a no-op: every
+                # record-carrying commit left the cursor at len(dict).
+                if len(tenant.kb):
+                    term_cursors[tenant_name] = len(
+                        tenant.kb.first().graph.dictionary
+                    )
+            segment = create_shared_payload(base, artefacts)
+            stale = published.pop(tenant_name, None)
+            if stale is not None:  # pragma: no cover - supervisor lost track
+                destroy_segment(stale)
+            published[tenant_name] = segment
+            send(
+                (
+                    request_id,
+                    "ok",
+                    {
+                        "segment": segment.name,
+                        "generation": generation,
+                        "artefact_bytes": len(artefacts),
+                    },
+                )
+            )
+        elif op == "unpublish_tenant":
+            # The joiner holds its mapping (or failed): unlink now.  Same
+            # hygiene as start() -- the mapping outlives the name, and a
+            # SIGKILL'd topology leaves nothing behind in /dev/shm.
+            segment = published.pop(payload["tenant"], None)
+            if segment is not None:
+                destroy_segment(segment)
+            send((request_id, "ok", {"unpublished": segment is not None}))
         elif op == "stats":
             send((request_id, "ok", service.stats()))
         elif op == "tenants":
@@ -320,6 +376,8 @@ def _shard_main(
             except BaseException as exc:
                 send((request_id, "error", _error_kind(exc), _error_message(exc)))
     finally:
+        for segment in published.values():
+            destroy_segment(segment)
         service.close()
         try:
             conn.close()
@@ -344,6 +402,10 @@ class _ShardClient:
         self.conn = conn
         self.label = label or f"shard {index}"
         self.ready = threading.Event()
+        #: Set the moment a replica holds its shared-memory mapping (the
+        #: "attached" pipe signal) -- the publisher's cue to unlink the
+        #: segment.  Implied by ready/failed/dead so waiters never hang.
+        self.attached = threading.Event()
         self.failure: Optional[str] = None
         self.tenant_names: List[str] = []
         # A poisoned client is alive but no longer trustworthy (a replica
@@ -372,12 +434,17 @@ class _ShardClient:
             except (EOFError, OSError):
                 break
             head = message[0]
+            if head == "attached":
+                self.attached.set()
+                continue
             if head == "ready":
                 self.tenant_names = list(message[2])
+                self.attached.set()
                 self.ready.set()
                 continue
             if head == "failed":
                 self.failure = f"{message[2]}: {message[3]}"
+                self.attached.set()
                 self.ready.set()
                 continue
             request_id = head
@@ -402,6 +469,7 @@ class _ShardClient:
 
     def _mark_dead(self) -> None:
         self._dead = True
+        self.attached.set()
         self.ready.set()
         with self._pending_lock:
             pending, self._pending = self._pending, {}
@@ -521,6 +589,14 @@ class ShardSupervisor:
         self._read_cursors: Dict[str, "itertools.count"] = {}
         self._commit_locks: Dict[str, threading.Lock] = {}
         self._generations: Dict[str, int] = {}
+        # Users/feedback JSON bytes per tenant, kept past start() so a
+        # replica can join any tenant at runtime (the KB itself is
+        # re-published by the owner; these few KB of JSON are the only
+        # boot state the supervisor must retain).
+        self._tenant_boot: Dict[str, Tuple[bytes, Optional[bytes]]] = {}
+        # Monotonic replica index per tenant: a respawned replica gets a
+        # fresh index (and label), never a dead one's.
+        self._replica_indices: Dict[str, "itertools.count"] = {}
 
     # -- tenants (pre-start) -------------------------------------------------
 
@@ -597,10 +673,14 @@ class ShardSupervisor:
         )
         self._payloads[shard].append(payload)
         self._tenant_shard[name] = shard
+        self._tenant_boot[name] = (payload[2], payload[3])
+        # Every tenant gets the replica-routing scaffolding up front --
+        # add_replica() can turn any tenant replicated at runtime.
+        self._read_cursors[name] = itertools.count()
+        self._commit_locks[name] = threading.Lock()
+        self._replica_indices[name] = itertools.count(n_replicas)
         if n_replicas:
             self._replica_counts[name] = n_replicas
-            self._read_cursors[name] = itertools.count()
-            self._commit_locks[name] = threading.Lock()
         return shard
 
     def shard_of(self, tenant_name: str) -> int:
@@ -892,11 +972,18 @@ class ShardSupervisor:
         read rotation rather than serving stale data.
         """
         owner = self._client_for(tenant_name)
-        if tenant_name not in self._replica_counts:
+        lock = self._commit_locks.get(tenant_name)
+        if lock is None:  # registered before the replica plane existed
             return owner.request(op, payload, timeout=timeout)
-        payload = dict(payload)
-        payload["_want_record"] = True
-        with self._commit_locks[tenant_name]:
+        with lock:
+            # Checked *inside* the lock: add_replica() holds it across
+            # publish + spawn, so a tenant can never commit between the
+            # snapshot a joiner bootstraps from and the record stream it
+            # rides afterwards -- even on the 0 -> 1 replica transition.
+            if not self._replica_counts.get(tenant_name):
+                return owner.request(op, payload, timeout=timeout)
+            payload = dict(payload)
+            payload["_want_record"] = True
             result = owner.request(op, payload, timeout=timeout)
             record = result.pop("_record", None)
             generation = len(result.get("versions") or ())
@@ -924,6 +1011,168 @@ class ShardSupervisor:
         # it would break bit-identity.  Poison it -- the next routing pass
         # warns and degrades.
         client.poison()
+
+    # -- elastic replicas (runtime join / leave / respawn) ---------------------
+
+    def replica_count(self, tenant_name: str) -> int:
+        """The tenant's *configured* replica count (0 for never-replicated)."""
+        self.shard_of(tenant_name)  # raises UnknownTenantError
+        return self._replica_counts.get(tenant_name, 0)
+
+    def _require_running(self) -> None:
+        if not self._started or self._closed:
+            raise ServiceClosedError("shard supervisor is not running")
+
+    def add_replica(self, tenant_name: str) -> int:
+        """Spawn one warm read replica for ``tenant_name`` at runtime.
+
+        The owner re-publishes its *current* chain -- base plus every
+        commit applied so far -- together with its warmed artefact caches
+        into a fresh shared-memory segment; the joiner bootstraps from it
+        with its engine caches pre-seeded, so its first request skips the
+        cold Brandes + semantic price.  Holding the tenant's commit lock
+        across publish + spawn + registration makes the cutover exact:
+        every commit is either in the published snapshot or in the record
+        stream the new replica receives, never both, never neither.
+        Returns the new configured replica count.
+        """
+        self._require_running()
+        self.shard_of(tenant_name)
+        with self._commit_locks[tenant_name]:
+            client = self._join_replica(tenant_name)
+            self._replica_clients.setdefault(tenant_name, []).append(client)
+            count = self._replica_counts.get(tenant_name, 0) + 1
+            self._replica_counts[tenant_name] = count
+        return count
+
+    def retire_replica(self, tenant_name: str, timeout: float | None = 10.0) -> int:
+        """Shut one replica of ``tenant_name`` down; returns the new count.
+
+        The newest replica leaves the rotation under the commit lock (so
+        no commit record is ever addressed to it after removal) and is
+        then shut down gracefully outside the lock.  Reads already in
+        flight on it either complete or are transparently replayed on the
+        owner by the routing layer -- retiring loses no requests.
+        """
+        self._require_running()
+        self.shard_of(tenant_name)
+        with self._commit_locks[tenant_name]:
+            clients = self._replica_clients.get(tenant_name) or []
+            if not clients:
+                raise ServiceError(
+                    f"tenant {tenant_name!r} has no replicas to retire"
+                )
+            client = clients.pop()
+            count = max(0, self._replica_counts.get(tenant_name, 1) - 1)
+            if count:
+                self._replica_counts[tenant_name] = count
+            else:
+                # Back to the non-replicated shape: stats/health stop
+                # reporting a replica block for this tenant entirely.
+                self._replica_counts.pop(tenant_name, None)
+        client.close(timeout)
+        return count
+
+    def respawn_dead_replicas(self, tenant_name: str) -> int:
+        """Replace every dead or poisoned replica of ``tenant_name``.
+
+        Instead of degrading forever, each lost replica is swapped for a
+        freshly joined one (same warm handoff as :meth:`add_replica`) --
+        the configured count is unchanged, the live count recovers.  The
+        replacement is a new client object, so the warn-once degradation
+        flag resets with it: a second death warns again.  Returns how
+        many replicas were respawned.
+        """
+        self._require_running()
+        self.shard_of(tenant_name)
+        lost: List[_ShardClient] = []
+        respawned = 0
+        with self._commit_locks[tenant_name]:
+            clients = self._replica_clients.get(tenant_name)
+            if not clients:
+                return 0
+            # Emit any pending degradation warning before the dead client
+            # objects (which carry the warn-once flags) are dropped.
+            self._live_replicas(tenant_name)
+            lost = [c for c in clients if c.dead or c.poisoned]
+            for client in lost:
+                clients.remove(client)
+            for _client in lost:
+                try:
+                    clients.append(self._join_replica(tenant_name))
+                except (ShardError, ServiceError):
+                    # Owner unreachable or spawn failed: configured stays
+                    # above live, so /alerts keeps reporting the tenant
+                    # degraded and the next autoscale tick retries.
+                    break
+                respawned += 1
+        for client in lost:
+            client.close(5.0)
+        return respawned
+
+    def _join_replica(self, tenant_name: str) -> _ShardClient:
+        """Publish the owner's live payload and boot one replica from it.
+
+        Caller holds the tenant's commit lock.  The segment lives exactly
+        as long as the joiner needs its name: the replica signals
+        "attached" before it starts decoding, and the owner unlinks in
+        response -- the same attach-then-unlink hygiene as :meth:`start`,
+        so a SIGKILL at any point leaves nothing in ``/dev/shm``.
+        """
+        owner = self._client_for(tenant_name)
+        users_b, feedback_b = self._tenant_boot[tenant_name]
+        r_index = next(self._replica_indices[tenant_name])
+        info = owner.request(
+            "publish_tenant", {"tenant": tenant_name},
+            timeout=self._start_timeout_s,
+        )
+        client: Optional[_ShardClient] = None
+        attached = False
+        try:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_replica_main,
+                args=(
+                    child_conn, tenant_name, r_index, info["segment"],
+                    self.config, users_b, feedback_b,
+                ),
+                name=f"repro-replica-{tenant_name}-{r_index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            client = _ShardClient(
+                r_index, process, parent_conn,
+                label=f"replica {r_index} of tenant {tenant_name!r}",
+            )
+            attached = client.attached.wait(timeout=self._start_timeout_s)
+        finally:
+            try:
+                owner.request(
+                    "unpublish_tenant", {"tenant": tenant_name}, timeout=30.0
+                )
+            except Exception:
+                pass  # owner dying; its exit destroys the segment
+
+        def _fail(why: str) -> None:
+            label = client.label
+            client.close(5.0)
+            raise ShardError(f"{label} {why}")
+
+        if not attached:
+            _fail(f"did not attach within {self._start_timeout_s:.0f}s")
+        if not client.ready.wait(timeout=self._start_timeout_s):
+            _fail(f"did not become ready within {self._start_timeout_s:.0f}s")
+        if client.failure is not None:
+            _fail(f"failed to bootstrap: {client.failure}")
+        if client.dead:
+            _fail("died before becoming ready")
+        generation = info.get("generation")
+        if generation:
+            self._generations[tenant_name] = max(
+                self._generations.get(tenant_name, 0), int(generation)
+            )
+        return client
 
     def forward(self, op: str, payload: Dict, timeout: float | None = None) -> Dict:
         """Route an HTTP-shaped body (``recommend`` / ``commit``) by tenant.

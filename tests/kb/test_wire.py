@@ -312,3 +312,115 @@ class TestMalformedPayloads:
                 # KnowledgeBaseError covers WireFormatError and TermError
                 # (a flip may corrupt term *content* into an invalid term).
                 assert type(exc).__module__.startswith("repro."), (position, exc)
+
+
+# -- warm-handoff artefact frames --------------------------------------------------
+
+
+class TestArtefactFrames:
+    """The RPWA codec: measure caches round-trip bit-exactly, canonically."""
+
+    @pytest.fixture()
+    def graph(self):
+        graph = Graph([Triple(EX[f"s{i}"], RDF_TYPE, EX[f"C{i % 3}"]) for i in range(6)])
+        return graph
+
+    def _artefacts(self):
+        return {
+            "v1": {
+                "betweenness": {EX.C0: 0.125, EX.C1: 0.375, EX.C2: 0.0},
+                "rc": {(EX.p, EX.C0, EX.C1): 0.5, (EX.p, EX.C1, EX.C2): 1.0 / 3.0},
+                "centrality": {EX.C0: 2.0, EX.C1: 0.1 + 0.2},
+            },
+            "v2": {"betweenness": {EX.C2: 7.25}},
+        }
+
+    def test_round_trip_is_bit_identical(self, graph):
+        dictionary = graph.dictionary
+        for term in (EX.p,):
+            dictionary.intern(term)
+        artefacts = self._artefacts()
+        decoded = wire.decode_artefacts(
+            wire.encode_artefacts(artefacts, dictionary), dictionary
+        )
+        assert decoded == artefacts
+        # Float bit-identity, not approximate equality: struct-pack both sides.
+        import struct
+
+        for vid, entry in artefacts.items():
+            for key, cache in entry.items():
+                for k, v in cache.items():
+                    assert struct.pack("<d", v) == struct.pack(
+                        "<d", decoded[vid][key][k]
+                    ), (vid, key, k)
+
+    def test_encoding_is_canonical(self, graph):
+        dictionary = graph.dictionary
+        dictionary.intern(EX.p)
+        artefacts = self._artefacts()
+        shuffled = {
+            vid: {key: dict(reversed(list(cache.items()))) for key, cache in entry.items()}
+            for vid, entry in reversed(list(artefacts.items()))
+        }
+        assert wire.encode_artefacts(artefacts, dictionary) == wire.encode_artefacts(
+            shuffled, dictionary
+        )
+
+    def test_partial_caches_encode_only_their_flags(self, graph):
+        dictionary = graph.dictionary
+        artefacts = {"v9": {"centrality": {EX.C0: 1.5}}}
+        decoded = wire.decode_artefacts(
+            wire.encode_artefacts(artefacts, dictionary), dictionary
+        )
+        assert decoded == artefacts
+        assert set(decoded["v9"]) == {"centrality"}
+
+    def test_unknown_term_is_a_wire_error(self, graph):
+        with pytest.raises(WireFormatError):
+            wire.encode_artefacts(
+                {"v1": {"betweenness": {EX.never_interned: 1.0}}}, graph.dictionary
+            )
+
+    def test_out_of_range_id_is_a_wire_error(self, graph):
+        dictionary = graph.dictionary
+        data = wire.encode_artefacts({"v1": {"centrality": {EX.C0: 1.0}}}, dictionary)
+        small = TermDictionary()
+        with pytest.raises(WireFormatError):
+            wire.decode_artefacts(data, small)
+
+    def test_trailing_bytes_are_a_wire_error(self, graph):
+        data = wire.encode_artefacts(
+            {"v1": {"centrality": {EX.C0: 1.0}}}, graph.dictionary
+        )
+        with pytest.raises(WireFormatError):
+            wire.decode_artefacts(data + b"\x00", graph.dictionary)
+
+
+class TestStorePayloadArtefactFrame:
+    """The optional third store frame stays invisible to legacy decoders."""
+
+    def test_full_unpack_round_trips_all_three_frames(self):
+        data = wire.pack_store_payload(b"base", b"log", artefacts=b"warm")
+        assert wire.unpack_store_payload(data) == (b"base", b"log")
+        assert wire.unpack_store_payload_full(data) == (b"base", b"log", b"warm")
+
+    def test_absent_artefacts_decode_to_none(self):
+        data = wire.pack_store_payload(b"base", b"log")
+        assert wire.unpack_store_payload_full(data) == (b"base", b"log", None)
+
+    def test_zero_filled_slack_decodes_to_none(self):
+        # A shared-memory segment rounds up to page size: the bytes past
+        # the payload are zero, and must not be mistaken for a frame.
+        data = wire.pack_store_payload(b"base", b"log") + b"\x00" * 64
+        assert wire.unpack_store_payload_full(data) == (b"base", b"log", None)
+        data = wire.pack_store_payload(b"base", b"log", artefacts=b"warm") + b"\x00" * 64
+        assert wire.unpack_store_payload_full(data) == (b"base", b"log", b"warm")
+
+    def test_sizes_account_for_the_optional_frame(self):
+        with_frame = wire.store_payload_size(4, 3, artefacts_len=4)
+        without = wire.store_payload_size(4, 3)
+        assert with_frame == without + 8 + 4
+        buffer = bytearray(with_frame)
+        written = wire.pack_store_payload_into(buffer, b"base", b"log", artefacts=b"warm")
+        assert written == with_frame
+        assert bytes(buffer) == wire.pack_store_payload(b"base", b"log", artefacts=b"warm")

@@ -1,0 +1,172 @@
+"""Autoscale controller unit tests: deterministic ticks over a fake supervisor.
+
+The controller's contract is pure control logic -- read share in, at most
+one scaling step per tenant out, heal-before-scale -- so a fake
+supervisor that records calls covers it exactly; the process-level
+behaviour (warm joins, cutover, hygiene) is the replica suite's and the
+autoscale benchmark's job.
+"""
+
+import pytest
+
+from repro.service.autoscale import AutoscaleController
+
+
+class FakeSupervisor:
+    """Counts-only stand-in for ShardSupervisor's elastic surface."""
+
+    def __init__(self, tenants, replicas=None, dead=None):
+        self._tenants = list(tenants)
+        self.replicas = dict(replicas or {})
+        self.dead = dict(dead or {})
+        self.admitted = {name: 0 for name in self._tenants}
+        self.calls = []
+
+    def tenant_names(self):
+        return list(self._tenants)
+
+    def replica_count(self, name):
+        return self.replicas.get(name, 0)
+
+    def add_replica(self, name):
+        self.calls.append(("add", name))
+        self.replicas[name] = self.replicas.get(name, 0) + 1
+        return self.replicas[name]
+
+    def retire_replica(self, name):
+        self.calls.append(("retire", name))
+        self.replicas[name] = max(0, self.replicas.get(name, 0) - 1)
+        return self.replicas[name]
+
+    def respawn_dead_replicas(self, name):
+        lost = self.dead.pop(name, 0)
+        if lost:
+            self.calls.append(("respawn", name, lost))
+        return lost
+
+    def stats(self):
+        return {
+            "shards": {
+                "shard_0": {
+                    "per_tenant": {
+                        name: {"admitted": count}
+                        for name, count in self.admitted.items()
+                    }
+                }
+            }
+        }
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        sup = FakeSupervisor(["t"])
+        with pytest.raises(ValueError, match="min_replicas"):
+            AutoscaleController(sup, min_replicas=-1)
+        with pytest.raises(ValueError, match="max_replicas"):
+            AutoscaleController(sup, min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError, match="interval_s"):
+            AutoscaleController(sup, interval_s=0)
+        with pytest.raises(ValueError, match="hot_share"):
+            AutoscaleController(sup, hot_share=1.5)
+        with pytest.raises(ValueError, match="cool_share"):
+            AutoscaleController(sup, hot_share=0.5, cool_share=0.5)
+
+
+class TestTick:
+    def test_hot_tenant_gains_one_replica_per_tick(self):
+        sup = FakeSupervisor(["cold", "hot"])
+        controller = AutoscaleController(sup, min_replicas=0, max_replicas=2)
+        controller.tick()  # baseline window: no traffic yet, no action
+        assert sup.calls == []
+        sup.admitted["hot"] = 90
+        sup.admitted["cold"] = 10
+        actions = controller.tick()
+        assert actions["added"] == ["hot"]
+        assert sup.replicas == {"hot": 1}
+        sup.admitted["hot"] += 90
+        sup.admitted["cold"] += 10
+        controller.tick()
+        assert sup.replicas == {"hot": 2}
+        # At the ceiling: the next hot window adds nothing.
+        sup.admitted["hot"] += 90
+        assert controller.tick()["added"] == []
+        assert sup.replicas == {"hot": 2}
+
+    def test_share_is_windowed_not_cumulative(self):
+        # A tenant hot long ago must not stay hot on stale totals: only
+        # the delta since the last tick counts.
+        sup = FakeSupervisor(["a", "b"], replicas={"a": 1})
+        controller = AutoscaleController(sup, min_replicas=0, max_replicas=4)
+        sup.admitted["a"] = 1000
+        controller.tick()  # window: a=1000 b=0 -> a hot
+        assert sup.replicas["a"] == 2
+        sup.admitted["b"] += 100  # new window: a=0 b=100
+        actions = controller.tick()
+        assert actions["added"] == ["b"]
+        assert actions["retired"] == ["a"]
+
+    def test_cool_tenant_retires_down_to_the_floor(self):
+        sup = FakeSupervisor(["t"], replicas={"t": 3})
+        controller = AutoscaleController(sup, min_replicas=1, max_replicas=4)
+        controller.tick()  # idle window -> share 0 -> retire one
+        assert sup.replicas["t"] == 2
+        controller.tick()
+        assert sup.replicas["t"] == 1
+        # The floor holds even with zero traffic.
+        assert controller.tick()["retired"] == []
+        assert sup.replicas["t"] == 1
+
+    def test_floor_is_climbed_before_share_logic(self):
+        sup = FakeSupervisor(["t"])
+        controller = AutoscaleController(sup, min_replicas=2, max_replicas=4)
+        assert controller.tick()["added"] == ["t"]
+        assert controller.tick()["added"] == ["t"]
+        assert controller.tick()["added"] == []
+        assert sup.replicas["t"] == 2
+
+    def test_dead_replicas_heal_before_scaling(self):
+        sup = FakeSupervisor(["t"], replicas={"t": 2}, dead={"t": 1})
+        controller = AutoscaleController(sup, min_replicas=2, max_replicas=4)
+        actions = controller.tick()
+        assert actions["respawned"] == {"t": 1}
+        # Configured stayed 2 == min: respawn healed, scaling left it alone.
+        assert sup.replicas["t"] == 2
+        assert ("respawn", "t", 1) in sup.calls
+
+    def test_middling_share_holds_steady(self):
+        sup = FakeSupervisor(["a", "b"], replicas={"a": 1, "b": 1})
+        controller = AutoscaleController(
+            sup, min_replicas=0, max_replicas=4, hot_share=0.6, cool_share=0.2
+        )
+        sup.admitted["a"] = 50
+        sup.admitted["b"] = 50
+        for _ in range(2):  # 0.5 each: neither hot nor cool, twice over
+            actions = controller.tick()
+            assert actions["added"] == [] and actions["retired"] == []
+            assert sup.replicas == {"a": 1, "b": 1}
+            sup.admitted["a"] += 50
+            sup.admitted["b"] += 50
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        sup = FakeSupervisor(["t"])
+        controller = AutoscaleController(sup, interval_s=30.0)
+        with controller as running:
+            assert running is controller
+            controller.start()  # second start is a no-op
+        controller.stop()  # second stop is a no-op
+
+    def test_thread_survives_a_failing_tick(self):
+        class Exploding(FakeSupervisor):
+            def stats(self):
+                raise RuntimeError("boom")
+
+        controller = AutoscaleController(Exploding(["t"]), interval_s=0.01)
+        import time
+
+        with controller:
+            deadline = time.monotonic() + 5.0
+            while controller.errors == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert controller.errors > 0

@@ -359,3 +359,260 @@ class TestResourceHygiene:
         supervisor.close()
         assert _shm_segments() == before_segments
         assert _open_fds() == before_fds
+
+
+class TestWarmArtefactHandoff:
+    """Warm-seeded replicas reproduce the owner's artefacts bit-for-bit."""
+
+    def _warm_service(self, world, kb_bytes):
+        service = RecommendationService(SERVICE_CONFIG)
+        service.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        for user in world.users:
+            service.recommend(TENANT, user.user_id)
+        return service
+
+    def test_collected_artefacts_round_trip_bit_identically(self, world):
+        import struct
+
+        from repro.service.replica import collect_artefacts, encode_tenant_artefacts
+
+        kb_bytes = wire.encode_kb(world.kb)
+        service = self._warm_service(world, kb_bytes)
+        try:
+            kb = service.tenant(TENANT).kb
+            artefacts = collect_artefacts(kb)
+            # Scoring the head pair warmed betweenness + semantic caches.
+            assert artefacts
+            head = kb.latest().version_id
+            assert {"betweenness", "rc", "centrality"} <= set(artefacts[head])
+            decoded = wire.decode_artefacts(
+                encode_tenant_artefacts(kb), kb.first().graph.dictionary
+            )
+            assert decoded == artefacts
+            for vid, entry in artefacts.items():
+                for key, cache in entry.items():
+                    for k, v in cache.items():
+                        assert struct.pack("<d", v) == struct.pack(
+                            "<d", decoded[vid][key][k]
+                        ), (vid, key, k)
+        finally:
+            service.close()
+
+    def test_warm_seeded_replica_matches_cold_bit_for_bit(self, world):
+        from repro.measures.semantic import CENTRALITY_KEY, RC_KEY
+        from repro.measures.structural import BETWEENNESS_KEY
+        from repro.service.replica import encode_tenant_artefacts
+
+        kb_bytes = wire.encode_kb(world.kb)
+        owner = self._warm_service(world, kb_bytes)
+        try:
+            artefact_bytes = encode_tenant_artefacts(owner.tenant(TENANT).kb)
+            assert artefact_bytes
+            segment = create_shared_payload(kb_bytes, artefacts=artefact_bytes)
+            try:
+                kb_warm = decode_shared_payload(segment.name)
+            finally:
+                destroy_segment(segment)
+            # The decoded artefacts landed in the head pair's memo before
+            # the first request.
+            head_memo = kb_warm.latest().schema.memo
+            assert BETWEENNESS_KEY in head_memo
+            assert RC_KEY in head_memo and CENTRALITY_KEY in head_memo
+            warm = RecommendationService(SERVICE_CONFIG)
+            warm.add_tenant(TENANT, kb_warm, world.users)
+            cold = RecommendationService(SERVICE_CONFIG)
+            cold.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+            try:
+                for user in world.users:
+                    warm_response = package_to_dict(warm.recommend(TENANT, user.user_id))
+                    cold_response = package_to_dict(cold.recommend(TENANT, user.user_id))
+                    assert json.dumps(warm_response, sort_keys=True) == json.dumps(
+                        cold_response, sort_keys=True
+                    ), user.user_id
+            finally:
+                warm.close()
+                cold.close()
+        finally:
+            owner.close()
+
+    def test_warm_handoff_after_compaction_and_midstream_commits(self, world):
+        from repro.kb.namespaces import RDF_TYPE as _RDF_TYPE
+        from repro.service.replica import collect_artefacts, encode_tenant_artefacts
+        from repro.synthetic.schema_gen import SYN as _SYN
+
+        kb_bytes = wire.encode_kb(world.kb)
+        owner = self._warm_service(world, kb_bytes)
+        mirror = RecommendationService(SERVICE_CONFIG)
+        mirror.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        try:
+            classes = sorted(
+                world.kb.latest().schema.classes(), key=lambda c: c.value
+            )
+            for i in range(3):
+                added = [Triple(_SYN[f"warm_{i}"], _RDF_TYPE, classes[i % len(classes)])]
+                owner.tenant(TENANT).commit_changes(added=added, version_id=f"v_warm_{i}")
+                mirror.tenant(TENANT).commit_changes(added=added, version_id=f"v_warm_{i}")
+            owner.tenant(TENANT).kb.compact()
+            for user in world.users:
+                owner.recommend(TENANT, user.user_id)
+            kb_owner = owner.tenant(TENANT).kb
+            artefact_bytes = encode_tenant_artefacts(kb_owner)
+            assert artefact_bytes
+            segment = create_shared_payload(wire.encode_kb(kb_owner), artefacts=artefact_bytes)
+            try:
+                kb_warm = decode_shared_payload(segment.name)
+            finally:
+                destroy_segment(segment)
+            # Decoded artefacts == a cold recompute on the mirror chain.
+            for user in world.users:
+                mirror.recommend(TENANT, user.user_id)
+            head = kb_owner.latest().version_id
+            decoded = wire.decode_artefacts(
+                artefact_bytes, kb_owner.first().graph.dictionary
+            )
+            cold_artefacts = collect_artefacts(mirror.tenant(TENANT).kb)
+            assert decoded[head] == cold_artefacts[head]
+            warm = RecommendationService(SERVICE_CONFIG)
+            warm.add_tenant(TENANT, kb_warm, world.users)
+            try:
+                for user in world.users:
+                    assert package_to_dict(
+                        warm.recommend(TENANT, user.user_id)
+                    ) == package_to_dict(mirror.recommend(TENANT, user.user_id))
+            finally:
+                warm.close()
+        finally:
+            owner.close()
+            mirror.close()
+
+
+class TestElasticReplicas:
+    """Runtime join/leave/respawn: same bit-identity bar, moving topology."""
+
+    @pytest.fixture()
+    def elastic(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        single = RecommendationService(SERVICE_CONFIG)
+        single.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=0)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        try:
+            yield world, single, supervisor
+        finally:
+            supervisor.close()
+            single.close()
+
+    def test_add_then_retire_replicas_at_runtime(self, elastic):
+        world, single, supervisor = elastic
+        assert supervisor.replica_count(TENANT) == 0
+        assert "tenant_replicas" not in supervisor.stats()
+        # Warm the owner so the late joiner boots from a warmed payload.
+        for user in world.users:
+            supervisor.recommend(TENANT, user.user_id)
+        assert supervisor.add_replica(TENANT) == 1
+        assert supervisor.add_replica(TENANT) == 2
+        stats = supervisor.stats()["tenant_replicas"][TENANT]
+        assert stats["configured"] == 2 and stats["live"] == 2
+        for _ in range(3):  # round-robin covers owner + both joiners
+            for user in world.users:
+                assert supervisor.recommend(TENANT, user.user_id) == package_to_dict(
+                    single.recommend(TENANT, user.user_id)
+                )
+        assert supervisor.retire_replica(TENANT) == 1
+        assert supervisor.retire_replica(TENANT) == 0
+        assert "tenant_replicas" not in supervisor.stats()
+        with pytest.raises(ServiceError, match="no replicas"):
+            supervisor.retire_replica(TENANT)
+        for user in world.users:
+            assert supervisor.recommend(TENANT, user.user_id) == package_to_dict(
+                single.recommend(TENANT, user.user_id)
+            )
+
+    def test_commits_reach_late_joiners_and_respawns(self, elastic):
+        from repro.synthetic.schema_gen import SYN as _SYN
+
+        world, single, supervisor = elastic
+        classes = sorted(world.kb.latest().schema.classes(), key=lambda c: c.value)
+
+        def commit_both(tag):
+            added = [Triple(_SYN[tag], RDF_TYPE, classes[0])]
+            supervisor.commit_changes(TENANT, added=added, version_id=f"v_{tag}")
+            single.commit_changes(TENANT, added=added, version_id=f"v_{tag}")
+
+        with warnings.catch_warnings():
+            # A poisoned or dead joiner would degrade reads to the owner
+            # and still pass the bit-identity checks below -- promote the
+            # degradation warning to an error so stale joiners fail loud.
+            warnings.simplefilter("error", RuntimeWarning)
+            commit_both("before_join")  # in the late joiner's bootstrap payload
+            supervisor.add_replica(TENANT)
+            commit_both("after_join")  # reaches it as an O(delta) record
+            for _ in range(2):
+                for user in world.users:
+                    assert supervisor.recommend(
+                        TENANT, user.user_id
+                    ) == package_to_dict(single.recommend(TENANT, user.user_id))
+            stats = supervisor.stats()["tenant_replicas"][TENANT]
+        assert stats["live"] == 1
+        assert stats["generation"] == len(world.kb) + 2
+
+    def test_respawn_after_death_and_second_death_warns_again(self, elastic):
+        world, single, supervisor = elastic
+        supervisor.add_replica(TENANT)
+
+        def kill_current_replica():
+            victim = supervisor._replica_clients[TENANT][0]
+            victim.process.kill()
+            victim.process.join(timeout=30)
+
+        def degradation_warnings(caught):
+            return [
+                w
+                for w in caught
+                if issubclass(w.category, RuntimeWarning)
+                and "degrade" in str(w.message)
+            ]
+
+        kill_current_replica()
+        with warnings.catch_warnings(record=True) as first:
+            warnings.simplefilter("always")
+            for user in world.users:
+                supervisor.recommend(TENANT, user.user_id)
+            stats = supervisor.stats()["tenant_replicas"][TENANT]
+            assert stats["live"] == 0 and stats["configured"] == 1
+            assert supervisor.respawn_dead_replicas(TENANT) == 1
+        assert len(degradation_warnings(first)) == 1
+        stats = supervisor.stats()["tenant_replicas"][TENANT]
+        assert stats["live"] == 1 and stats["configured"] == 1
+        for user in world.users:
+            assert supervisor.recommend(TENANT, user.user_id) == package_to_dict(
+                single.recommend(TENANT, user.user_id)
+            )
+        # The respawned process is a fresh client: a second death must warn
+        # again instead of staying silent forever.
+        kill_current_replica()
+        with warnings.catch_warnings(record=True) as second:
+            warnings.simplefilter("always")
+            for user in world.users:
+                supervisor.recommend(TENANT, user.user_id)
+        assert len(degradation_warnings(second)) == 1
+        assert supervisor.respawn_dead_replicas(TENANT) == 1
+
+    def test_late_joins_leak_no_segments_or_fds(self, world):
+        kb_bytes = wire.encode_kb(world.kb)
+        before_segments = _shm_segments()
+        before_fds = _open_fds()
+        supervisor = ShardSupervisor(shards=1, config=SERVICE_CONFIG, replicas=0)
+        supervisor.add_tenant(TENANT, wire.decode_kb(kb_bytes), world.users)
+        supervisor.start()
+        supervisor.add_replica(TENANT)
+        # Attach-then-unlink: the re-published segment is already gone.
+        assert _shm_segments() == before_segments
+        supervisor.add_replica(TENANT)
+        supervisor.retire_replica(TENANT)
+        assert _shm_segments() == before_segments
+        assert supervisor.recommend(TENANT, world.users[0].user_id)["items"]
+        supervisor.close()
+        assert _shm_segments() == before_segments
+        assert _open_fds() == before_fds

@@ -265,3 +265,72 @@ class TestEvaluateAlerts:
             assert result["status"] == "alerting"
             assert result["alerts"][0]["kind"] == "p99_budget"
             assert result["alerts"][0]["tenant"] == "uni"
+
+
+class TestReplicaDegradedAlert:
+    """replica_degraded needs no threshold flag: live < configured is it."""
+
+    def _router_stats(self, tenant_replicas, per_tenant=None):
+        return {
+            "shards": {
+                "shard_0": _stats(per_tenant=per_tenant),
+            },
+            "tenant_shards": {name: 0 for name in tenant_replicas},
+            "tenant_replicas": tenant_replicas,
+            "workers_per_shard": 1,
+        }
+
+    def test_fires_without_any_thresholds(self):
+        payload = self._router_stats(
+            {"hot": {"configured": 2, "live": 1, "generation": 3}}
+        )
+        result = evaluate_alerts(payload, AlertThresholds())
+        assert result["status"] == "alerting"
+        (alert,) = result["alerts"]
+        assert alert["kind"] == "replica_degraded"
+        assert alert["tenant"] == "hot"
+        assert alert["value"] == 1 and alert["threshold"] == 2
+        assert "1 of 2" in alert["message"]
+
+    def test_silent_at_full_strength(self):
+        payload = self._router_stats(
+            {"hot": {"configured": 2, "live": 2, "generation": 3}}
+        )
+        assert evaluate_alerts(payload, AlertThresholds())["status"] == "ok"
+
+    def test_deterministic_order_and_placement_after_tenant_alerts(self):
+        thresholds = AlertThresholds(p99_ms=1.0)
+        payload = self._router_stats(
+            {
+                "zeta": {"configured": 1, "live": 0, "generation": 2},
+                "alpha": {"configured": 3, "live": 1, "generation": 2},
+            },
+            per_tenant={"zeta": {"p99_ms": 5.0, "persistence": None}},
+        )
+        alerts = evaluate_alerts(payload, thresholds)["alerts"]
+        assert [(a["kind"], a["tenant"]) for a in alerts] == [
+            ("p99_budget", "zeta"),
+            ("replica_degraded", "alpha"),
+            ("replica_degraded", "zeta"),
+        ]
+
+    def test_router_shape_sums_depth_and_merges_tenants(self):
+        thresholds = AlertThresholds(queue_depth=5)
+        payload = {
+            "shards": {
+                "shard_0": _stats(depth=3),
+                "shard_1": _stats(depth=2),
+            },
+            "tenant_shards": {},
+            "workers_per_shard": 1,
+        }
+        result = evaluate_alerts(payload, thresholds)
+        assert result["status"] == "alerting"
+        assert result["alerts"][0]["kind"] == "queue_depth"
+        assert result["alerts"][0]["value"] == 5
+
+    def test_single_process_payload_never_reports_replicas(self):
+        # The single-process /stats has no tenant_replicas block at all:
+        # evaluate_alerts must not invent one.
+        result = evaluate_alerts(_stats(), AlertThresholds())
+        assert result["status"] == "ok"
