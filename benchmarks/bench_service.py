@@ -36,6 +36,21 @@ results merge as a ``"service_async"`` section::
     PYTHONPATH=src python benchmarks/bench_service.py --async
     PYTHONPATH=src python benchmarks/bench_service.py --async --quick
 
+With ``--cache`` the harness benchmarks the **versioned response cache**
+(:mod:`repro.service.respcache`) against the uncached service, in two
+phases: a deterministic read schedule replayed against a cache-off and a
+cache-on service over identically-generated worlds (every response body
+must match byte for byte -- the cache may change cost, never bytes), and
+a **warm repeated-read hammer** where every key is filled once untimed
+and the tenant's miss counter is recorded before and after the timed run
+(zero new misses proves hits never invoke the engine -- the
+hardware-independent signal the regression gate reads).  The same hammer
+runs uncached at every level; the cached/uncached throughput ratio is the
+hit-path speedup.  The results merge as a ``"service_cached"`` section::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --cache
+    PYTHONPATH=src python benchmarks/bench_service.py --cache --quick
+
 With ``--shards N`` the harness instead benchmarks the **sharded
 topology**: a multi-tenant world (every tenant a wire-format replica of
 the same synthetic KB, so shards have real independent state) is served
@@ -374,6 +389,191 @@ def run(
         "levels": results,
     }
     _merge_section(output, "service_http" if http else "service", section)
+    return section
+
+
+# -- response cache vs uncached service --------------------------------------------
+
+#: Entry budget for the cached side of the --cache bench: far above the
+#: (users x 1 pair) key population of the canonical workload, so the
+#: phase measures the hit path, not eviction churn.
+CACHE_BENCH_ENTRIES = 4096
+
+
+def _cached_level(
+    world,
+    clients: int,
+    requests_per_client: int,
+    workers: int,
+    k: int,
+    cached: bool,
+) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """One warm closed-loop level; returns ``(metrics, hit_info)``.
+
+    Every key the schedule can issue is filled by one untimed warmup pass
+    over the user population, so on the cached side the timed hammer is
+    pure hit path.  ``hit_info`` records the tenant's miss counter before
+    and after the timed run -- equal counters prove no timed request ever
+    invoked the engine (misses count exactly the engine-filling
+    computations, by construction of the singleflight).
+    """
+    config = ServiceConfig(
+        k=k,
+        workers=workers,
+        cache_entries=CACHE_BENCH_ENTRIES if cached else 0,
+        engine=EngineConfig(k=k),
+    )
+    service = RecommendationService(config)
+    service.add_tenant(TENANT, world.kb, world.users)
+    user_ids = [user.user_id for user in world.users]
+
+    def schedule(client_index: int, i: int) -> Tuple[str, str]:
+        return TENANT, user_ids[(client_index + i) % len(user_ids)]
+
+    try:
+        for user_id in user_ids:  # fill (or warm) every schedule key once
+            service.recommend(TENANT, user_id)
+        misses_before = hits_before = 0
+        if cached:
+            before = service.stats()["per_tenant"][TENANT]["cache"]
+            misses_before, hits_before = before["misses"], before["hits"]
+        samples, wall = _hammer(
+            service.recommend, schedule, clients, requests_per_client
+        )
+        hit_info: Dict[str, int] = {}
+        if cached:
+            after = service.stats()["per_tenant"][TENANT]["cache"]
+            hit_info = {
+                "misses_before": misses_before,
+                "misses_after": after["misses"],
+                "hits": after["hits"] - hits_before,
+                "requests": len(samples),
+            }
+    finally:
+        service.close()
+    return _level_metrics(samples, wall, clients), hit_info
+
+
+def run_cached(
+    output: Path,
+    clients: List[int] | None = None,
+    requests_per_client: int = 60,
+    workers: int = 4,
+    k: int = 5,
+    quick: bool = False,
+) -> Dict:
+    """Benchmark the versioned response cache against the uncached service.
+
+    Two phases, merged as one ``"service_cached"`` section:
+
+    1. **Bit-identity** -- the same deterministic read schedule runs once
+       against a cache-off and once against a cache-on service over
+       identically-generated worlds; every response body (including
+       repeats served from memory on the cached side) must match byte
+       for byte.  The cache may only ever change the *cost* of a
+       response, never its bytes.
+    2. **Hit path** -- a warm repeated-read closed-loop hammer at every
+       concurrency level, cached and uncached, with the cached tenant's
+       miss counter snapshotted around the timed run: zero new misses
+       proves hits never invoke the engine.  The recorded speedup is the
+       *minimum* cached/uncached throughput ratio across levels -- the
+       gate's floor must hold at any concurrency.
+    """
+    levels = list(clients or DEFAULT_CLIENT_LEVELS)
+    config = QUICK_CONFIG if quick else WORLD_CONFIG
+    if quick:
+        requests_per_client = min(requests_per_client, 5)
+    world = generate_world(seed=WORLD_SEED, config=config)
+    user_ids = [user.user_id for user in world.users]
+
+    # -- phase 1: cached bodies byte-identical to uncached -------------------------
+    plain_world = generate_world(seed=WORLD_SEED, config=config)
+    cached_service = RecommendationService(
+        ServiceConfig(
+            k=k, workers=workers,
+            cache_entries=CACHE_BENCH_ENTRIES, engine=EngineConfig(k=k),
+        )
+    )
+    plain_service = RecommendationService(
+        ServiceConfig(k=k, workers=workers, engine=EngineConfig(k=k))
+    )
+    compared = 0
+    try:
+        cached_service.add_tenant(TENANT, world.kb, world.users)
+        plain_service.add_tenant(TENANT, plain_world.kb, plain_world.users)
+        for user_id in user_ids:
+            expected = plain_service.recommend_cached(TENANT, user_id)
+            for _ in range(2):  # fill, then the memoised repeat
+                got = cached_service.recommend_cached(TENANT, user_id)
+                if got.body != expected.body:
+                    raise AssertionError(
+                        f"cached response diverged from uncached for {user_id!r}"
+                    )
+                compared += 1
+    finally:
+        plain_service.close()
+        cached_service.close()
+    print(
+        f"verified: cached responses bit-identical to uncached "
+        f"({compared} responses over {len(user_ids)} users)"
+    )
+
+    # -- phase 2: warm hit-path hammer, cached vs uncached -------------------------
+    results: Dict[str, Dict] = {}
+    hit_totals = {"misses_before": 0, "misses_after": 0, "hits": 0, "requests": 0}
+    speedups: List[float] = []
+    for level in levels:
+        uncached_metrics, _ = _cached_level(
+            world, level, requests_per_client, workers, k, cached=False
+        )
+        cached_metrics, hit_info = _cached_level(
+            world, level, requests_per_client, workers, k, cached=True
+        )
+        for key in hit_totals:
+            hit_totals[key] += hit_info[key]
+        ratio = (
+            cached_metrics["throughput_rps"] / uncached_metrics["throughput_rps"]
+            if uncached_metrics["throughput_rps"]
+            else 0.0
+        )
+        speedups.append(ratio)
+        results[f"clients_{level}"] = {
+            "uncached": uncached_metrics,
+            "cached": cached_metrics,
+            "speedup": ratio,
+        }
+        print(
+            f"clients {level:3d}: uncached {uncached_metrics['throughput_rps']:8.1f} "
+            f"req/s, cached {cached_metrics['throughput_rps']:8.1f} req/s "
+            f"-> {ratio:.1f}x  (misses {hit_info['misses_before']} -> "
+            f"{hit_info['misses_after']} over {hit_info['requests']} requests)"
+        )
+
+    hit_path = dict(hit_totals)
+    hit_path["engine_free"] = hit_path["misses_after"] == hit_path["misses_before"]
+    section = {
+        "meta": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "world_seed": WORLD_SEED,
+            "n_classes": config.schema.n_classes,
+            "n_properties": config.schema.n_properties,
+            "n_versions": config.evolution.n_versions,
+            "changes_per_version": config.evolution.changes_per_version,
+            "n_users": len(world.users),
+            "requests_per_client": requests_per_client,
+            "workers": workers,
+            "k": k,
+            "cache_entries": CACHE_BENCH_ENTRIES,
+            "quick": quick,
+            "transport": "python-api",
+        },
+        "levels": results,
+        "hit_path": hit_path,
+        "speedup": min(speedups) if speedups else 0.0,
+        "responses_bit_identical": True,
+    }
+    _merge_section(output, "service_cached", section)
     return section
 
 
@@ -1156,6 +1356,14 @@ def main(argv: List[str] | None = None) -> int:
              "connection per client); merges a 'service_http' section",
     )
     parser.add_argument(
+        "--cache", dest="use_cache", action="store_true",
+        help="bench the versioned response cache against the uncached "
+             "service: byte-identity over a deterministic read schedule, "
+             "then a warm repeated-read hammer whose miss counter proves "
+             "hits never invoke the engine; merges a 'service_cached' "
+             "section",
+    )
+    parser.add_argument(
         "--async", dest="use_async", action="store_true",
         help="bench the asyncio front-end against the threaded one: "
              "bit-identity over a mixed read/commit stream, closed-loop "
@@ -1176,7 +1384,21 @@ def main(argv: List[str] | None = None) -> int:
         )
     if args.replicas and not args.shards:
         raise SystemExit("--replicas runs on the sharded topology; add --shards N")
-    if args.use_async:
+    if args.use_cache and (args.shards or args.http or args.use_async):
+        raise SystemExit(
+            "--cache benches the single-process Python API; "
+            "drop --shards/--http/--async"
+        )
+    if args.use_cache:
+        run_cached(
+            args.output,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workers=args.workers,
+            k=args.k,
+            quick=args.quick,
+        )
+    elif args.use_async:
         run_async(
             args.output,
             clients=args.clients,

@@ -51,6 +51,15 @@ Design notes, so the gate stays honest:
   the threaded server does under the same thread budget.  Both servers
   run in the same process under the same budget, so the ratio is an
   implementation property that holds on any hardware.
+* The cache gate (``service_cached`` sections, committed baseline and
+  ``--fresh-cache`` alike) is all invariants: cached responses must have
+  been recorded byte-identical to uncached ones over the bench's
+  deterministic read schedule, the warm hammer's miss counter must not
+  have grown (misses count exactly the engine-filling computations, so
+  equal before/after counters prove hits never invoke the engine), and
+  the minimum cached/uncached speedup across levels must clear a
+  deliberately low floor (default 2x; the real ratio is two orders of
+  magnitude).  None of it is a hardware number.
 * The durability gate (``durability`` sections, committed baseline and
   ``--fresh-durability`` alike) is all invariants, no ratios: the
   kill-and-reboot soak must have recorded zero loss of acknowledged
@@ -406,6 +415,100 @@ def check_async(
     return verdicts
 
 
+#: Minimum cached/uncached warm-read throughput speedup (the *minimum*
+#: across recorded concurrency levels).  Deliberately far under the real
+#: number (a hit is a lock + dict lookup; a miss is a full engine
+#: evaluation, hundreds of times slower): the floor exists to catch the
+#: cache silently not caching, not to re-prove the headline ratio.
+DEFAULT_CACHE_MIN_SPEEDUP = 2.0
+
+
+def check_cache(
+    report: Dict,
+    min_speedup: float = DEFAULT_CACHE_MIN_SPEEDUP,
+    label: str = "service_cached",
+) -> List[Verdict]:
+    """Gate a report's ``service_cached`` section (absent -> no verdicts).
+
+    Three checks, mirroring what the response cache promises:
+
+    * ``responses_bit_identical`` must be ``True`` -- the bench replays
+      the same deterministic read schedule cached and uncached and
+      compares raw bodies; memoisation may only ever change the *cost*
+      of a response, never its bytes, on any hardware;
+    * the hit path must be **engine-free**: the bench fills every key
+      untimed, then hammers warm reads with the tenant's miss counter
+      snapshotted around the timed run.  Misses count exactly the
+      engine-filling computations (singleflight construction), so equal
+      before/after counters prove no timed request invoked the engine --
+      a hardware-independent invariant;
+    * the recorded warm-read ``speedup`` (minimum across concurrency
+      levels) must be at least ``min_speedup``.
+    """
+    if min_speedup <= 0:
+        raise ValueError(f"min_speedup must be > 0, got {min_speedup}")
+    section = report.get("service_cached")
+    if section is None:
+        return []
+    verdicts: List[Verdict] = []
+    identical = section.get("responses_bit_identical") is True
+    verdicts.append(
+        Verdict(
+            f"{label}.bit_identical", None, None, None, ok=identical,
+            note=(
+                "cached == uncached over the deterministic read schedule"
+                if identical
+                else "cached responses not recorded as bit-identical"
+            ),
+        )
+    )
+    hit_path = section.get("hit_path", {})
+    before, after = hit_path.get("misses_before"), hit_path.get("misses_after")
+    if before is None or after is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.engine_free", None, None, None, ok=False,
+                note="section carries no hit_path miss counters",
+            )
+        )
+    else:
+        engine_free = after == before and hit_path.get("engine_free") is True
+        verdicts.append(
+            Verdict(
+                f"{label}.engine_free", None, None, None, ok=engine_free,
+                note=(
+                    f"{hit_path.get('requests')} warm reads, 0 engine "
+                    "invocations"
+                    if engine_free
+                    else f"warm hammer grew the miss counter {before} -> "
+                         f"{after} (hits invoked the engine)"
+                ),
+            )
+        )
+    ratio = section.get("speedup")
+    if ratio is None:
+        verdicts.append(
+            Verdict(
+                f"{label}.speedup", None, None, None, ok=False,
+                note="section carries no speedup",
+            )
+        )
+    else:
+        verdicts.append(
+            Verdict(
+                f"{label}.speedup", None, None, ratio,
+                ok=ratio >= min_speedup,
+                note=(
+                    f"warm reads {ratio:.1f}x uncached (min across levels)"
+                    if ratio >= min_speedup
+                    else f"warm reads only {ratio:.2f}x uncached "
+                         f"(floor {min_speedup:.2f}x)"
+                ),
+            )
+        )
+    return verdicts
+
+
 def check_durability(report: Dict, label: str = "durability") -> List[Verdict]:
     """Gate a report's ``durability`` section (absent -> no verdicts).
 
@@ -691,6 +794,17 @@ def main(argv: List[str] | None = None) -> int:
              f"ratio (default: {DEFAULT_ASYNC_MIN_IDLE_RATIO})",
     )
     parser.add_argument(
+        "--fresh-cache", type=Path, default=None,
+        help="fresh cache serving report (bench_service.py --cache output); "
+             "its service_cached section is gated like the baseline's "
+             "(bit-identical bodies, engine-free hit path, speedup floor)",
+    )
+    parser.add_argument(
+        "--cache-min-speedup", type=float, default=DEFAULT_CACHE_MIN_SPEEDUP,
+        help="minimum cached/uncached warm-read speedup, minimum across "
+             f"levels (default: {DEFAULT_CACHE_MIN_SPEEDUP})",
+    )
+    parser.add_argument(
         "--fresh-durability", type=Path, default=None,
         help="fresh durability soak report (bench_durability.py output); its "
              "durability section is gated like the baseline's (zero-loss, "
@@ -745,6 +859,15 @@ def main(argv: List[str] | None = None) -> int:
                 json.loads(args.fresh_async.read_text()),
                 min_idle_ratio=args.async_min_idle_ratio,
                 label="fresh.service_async",
+            )
+        )
+    verdicts.extend(check_cache(baseline, min_speedup=args.cache_min_speedup))
+    if args.fresh_cache is not None:
+        verdicts.extend(
+            check_cache(
+                json.loads(args.fresh_cache.read_text()),
+                min_speedup=args.cache_min_speedup,
+                label="fresh.service_cached",
             )
         )
     verdicts.extend(check_durability(baseline))

@@ -276,6 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
              "it reaches N records",
     )
     serve.add_argument(
+        "--cache-entries", type=int, default=0, metavar="N",
+        help="response cache: keep up to N memoised recommendation "
+             "responses (served as pre-encoded bytes with strong ETags; "
+             "0 with --cache-bytes 0 disables the cache, which is the "
+             "default).  Entries never expire: version pairs are "
+             "immutable and population changes invalidate by epoch",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=0, metavar="B",
+        help="response cache: byte budget for memoised response bodies "
+             "(LRU eviction past the budget; 0 with --cache-entries 0 "
+             "disables the cache).  Applies per process: each shard or "
+             "replica process runs its own cache",
+    )
+    serve.add_argument(
         "--async", dest="use_async", action="store_true",
         help="serve from one asyncio event loop instead of a thread per "
              "connection: same endpoints and byte-identical JSON, idle "
@@ -577,6 +592,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             rollup_bytes=args.rollup_bytes,
             rollup_records=args.rollup_records,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
             engine=EngineConfig(k=args.k, spread_depth=1),
         )
     except ValueError as exc:

@@ -39,7 +39,15 @@ thread-safe subsystem that actually serves that workload:
   ``/events`` stream only an event loop can afford,
 * :mod:`repro.service.metrics` -- the ops plane: the lock-light
   per-tenant counter/latency aggregator behind the frozen, versioned
-  ``GET /stats`` payload, and the threshold rules behind ``GET /alerts``.
+  ``GET /stats`` payload, and the threshold rules behind ``GET /alerts``,
+* :mod:`repro.service.respcache` -- the response-cache plane
+  (``serve --cache-entries/--cache-bytes``): a byte-budgeted LRU of
+  fully serialised response bytes keyed by (tenant, version pair,
+  user + population epoch, k), with singleflight fills and the strong
+  ETags behind the HTTP ``If-None-Match``/304 contract.  Version-pair
+  immutability means committed entries never go stale (no TTL); the
+  cache is process-local, so every topology above gets it with zero
+  coherence traffic.
 
 Results are bit-identical to serial, single-threaded execution: batching,
 concurrency, sharding, replication and the choice of front-end change
@@ -66,6 +74,7 @@ from repro.service.metrics import (
     evaluate_alerts,
 )
 from repro.service.registry import Tenant, TenantRegistry
+from repro.service.respcache import CachedResponse, ResponseCache, make_etag
 from repro.service.service import RecommendationService, ServiceConfig
 from repro.service.sharding import ShardSupervisor
 
@@ -77,8 +86,10 @@ __all__ = [
     "AsyncServerThread",
     "AsyncServiceServer",
     "AutoscaleController",
+    "CachedResponse",
     "RecommendationService",
     "RemoteInternalError",
+    "ResponseCache",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
@@ -91,4 +102,5 @@ __all__ = [
     "UnknownTenantError",
     "UnknownUserError",
     "evaluate_alerts",
+    "make_etag",
 ]

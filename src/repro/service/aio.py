@@ -56,8 +56,8 @@ import threading
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.io.storage import package_to_dict
 from repro.service.http import (
+    etag_matches,
     handle_commit,
     map_error,
     parse_recommend_payload,
@@ -68,6 +68,7 @@ from repro.service.service import RecommendationService
 #: Reason phrases for the handful of statuses this front-end emits.
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     500: "Internal Server Error",
@@ -253,6 +254,15 @@ class AsyncServiceServer:
         if method == "GET" and path == "/events":
             await self._stream_events(writer, query)
             return False  # the stream owns the connection until it ends
+        if method == "POST" and path == "/recommend":
+            # Handled outside _dispatch: the read path needs the request
+            # headers (If-None-Match) and writes pre-encoded cached bytes
+            # instead of re-serialising a dict.
+            writer.write(
+                await self._recommend_raw(body, headers, close=not keep_alive)
+            )
+            await writer.drain()
+            return keep_alive
         status, payload = await self._dispatch(method, path, body)
         writer.write(self._response(status, payload, close=not keep_alive))
         await writer.drain()
@@ -275,8 +285,6 @@ class AsyncServiceServer:
                     return 200, evaluate_alerts(service.stats(), self.thresholds)
                 return 404, {"error": f"unknown path: {path}"}
             if method == "POST":
-                if path == "/recommend":
-                    return 200, await self._recommend(self._decode_body(body))
                 if path == "/commit":
                     return 200, await self._commit(self._decode_body(body))
                 return 404, {"error": f"unknown path: {path}"}
@@ -294,24 +302,38 @@ class AsyncServiceServer:
             raise ValueError("request body must be a JSON object")
         return payload
 
-    async def _recommend(self, payload: Dict) -> Dict:
-        """Admit on the queue, await the future on the loop.
+    async def _recommend_raw(
+        self, body: bytes, headers: Dict[str, str], close: bool
+    ) -> bytes:
+        """One ``/recommend`` -> complete wire bytes (200, 304 or error).
 
         :func:`asyncio.wrap_future` is the whole bridge: the admission
-        workers resolve the ``concurrent.futures.Future`` from their
-        threads and the loop wakes this coroutine.  ``wait_for`` applies
-        the same ``request_timeout_s`` deadline as the blocking path;
-        on timeout it cancels the wrapped future (which the queue
-        tolerates -- see ``AdmissionQueue._resolve``) and the shared
-        error mapping turns it into the same 504.
+        workers (or a cache hit, immediately) resolve the
+        ``concurrent.futures.Future`` from their threads and the loop
+        wakes this coroutine.  ``wait_for`` applies the same
+        ``request_timeout_s`` deadline as the blocking path; on timeout
+        it cancels the wrapped future (which both the queue and the
+        cache's fill path tolerate) and the shared error mapping turns it
+        into the same 504.  The 200 body is the cached pre-encoded bytes
+        with their strong ``ETag``; an ``If-None-Match`` match answers
+        304 with no body -- byte-identical semantics to the threaded
+        front-end.
         """
-        tenant, user, k, old, new = parse_recommend_payload(payload)
-        future = self.service.recommend_async(tenant, user, k=k, old_id=old, new_id=new)
-        package = await asyncio.wait_for(
-            asyncio.wrap_future(future),
-            timeout=self.service.config.request_timeout_s,
-        )
-        return package_to_dict(package)
+        try:
+            tenant, user, k, old, new = parse_recommend_payload(self._decode_body(body))
+            future = self.service.recommend_cached_async(
+                tenant, user, k=k, old_id=old, new_id=new
+            )
+            response = await asyncio.wait_for(
+                asyncio.wrap_future(future),
+                timeout=self.service.config.request_timeout_s,
+            )
+        except Exception as exc:
+            status, message = map_error(exc)
+            return self._response(status, {"error": message}, close=close)
+        if etag_matches(headers.get("if-none-match"), response.etag):
+            return self._raw_response(304, b"", response.etag, close)
+        return self._raw_response(200, response.body, response.etag, close)
 
     async def _commit(self, payload: Dict) -> Dict:
         """Parse + commit off-loop: N-Triples parsing is CPU-bound and the
@@ -370,6 +392,19 @@ class AsyncServiceServer:
             await asyncio.sleep(interval)
 
     # -- response plumbing ---------------------------------------------------------
+
+    @staticmethod
+    def _raw_response(status: int, body: bytes, etag: str, close: bool = False) -> bytes:
+        """Pre-encoded response bytes + strong ETag (200 hit / 304 revalidation)."""
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"ETag: {etag}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{'Connection: close' + chr(13) + chr(10) if close else ''}"
+            "\r\n"
+        ).encode("latin-1")
+        return head + body
 
     @staticmethod
     def _response(status: int, payload: Dict, close: bool = False) -> bytes:

@@ -44,7 +44,14 @@ Endpoints (identical in both topologies):
 ``POST /recommend``
     ``{"tenant": ..., "user": ..., "k"?: ..., "old"?: ..., "new"?: ...}`` ->
     the recommendation package as JSON (same layout as
-    :func:`repro.io.storage.package_to_dict`).
+    :func:`repro.io.storage.package_to_dict`).  The response carries a
+    strong ``ETag`` (SHA-256 of the exact body bytes); a request whose
+    ``If-None-Match`` header matches it is answered ``304 Not Modified``
+    with no body -- cheap revalidation for pollers, valid precisely
+    because responses over committed version pairs are bit-identical.
+    With the response cache enabled (``serve --cache-entries`` /
+    ``--cache-bytes``) hits are served as the pre-encoded cached bytes;
+    enabled or not, the bytes on the wire are identical.
 ``POST /commit``
     ``{"tenant": ..., "added"?: "<N-Triples>", "deleted"?: "<N-Triples>",
     "version_id"?: ..., "metadata"?: {...}}`` -> the committed version.
@@ -143,6 +150,34 @@ def handle_recommend(service: RecommendationService, payload: Dict) -> Dict:
     return package_to_dict(package)
 
 
+def handle_recommend_cached(service: RecommendationService, payload: Dict):
+    """Serve one ``/recommend`` body -> a wire-ready ``CachedResponse``.
+
+    The front-ends' shared read path: body bytes + strong ETag, straight
+    from the response cache on a hit (singleflight fill on a miss), or
+    computed-and-serialised when the cache is disabled -- byte-identical
+    either way.
+    """
+    tenant_name, user_id, k, old, new = parse_recommend_payload(payload)
+    return service.recommend_cached(tenant_name, user_id, k=k, old_id=old, new_id=new)
+
+
+def etag_matches(header: Optional[str], etag: str) -> bool:
+    """Does an ``If-None-Match`` header value match a strong ``etag``?
+
+    Implements the comparison the contract needs: ``*`` matches anything,
+    otherwise the header is a comma-separated tag list compared tag by
+    tag.  Weak validators (``W/"..."``) never match -- every tag this
+    server hands out is strong, so a weak match could only come from a
+    foreign cache and must revalidate.
+    """
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    return any(candidate.strip() == etag for candidate in header.split(","))
+
+
 def apply_commit(
     service: RecommendationService,
     tenant_name: str,
@@ -239,6 +274,21 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_raw_json(self, body: bytes, etag: str) -> None:
+        """Write pre-encoded JSON bytes (the cached-response hit path)."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
 
@@ -318,7 +368,18 @@ class ServiceRequestHandler(_JsonRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         service = self.server.service
         if self.path == "/recommend":
-            self._dispatch_post(lambda payload: handle_recommend(service, payload))
+            # /recommend speaks conditional GET semantics: serve the
+            # cached (or freshly serialised) bytes with their strong
+            # ETag, or 304 when the client already holds them.
+            try:
+                response = handle_recommend_cached(service, self._read_json_body())
+            except Exception as exc:
+                self._send_error_json(*map_error(exc))
+                return
+            if etag_matches(self.headers.get("If-None-Match"), response.etag):
+                self._send_not_modified(response.etag)
+            else:
+                self._send_raw_json(response.body, response.etag)
         elif self.path == "/commit":
             self._dispatch_post(lambda payload: handle_commit(service, payload))
         else:

@@ -42,9 +42,13 @@ from typing import Deque, Dict, List, Optional
 #: Version tag of the ``GET /stats`` payload (and the SSE ``/events``
 #: ``data`` payload, which is the same object).  Bump ONLY when a field is
 #: renamed/removed or its meaning changes; adding fields is backward
-#: compatible and does not bump it.  ``docs/http-api.md`` documents v1
-#: field by field and ``tests/service/test_service_metrics.py`` pins it.
-STATS_VERSION = 1
+#: compatible and does not bump it.  v2 added the per-tenant ``cache``
+#: block (the response-cache counters, or ``None`` when disabled) -- a
+#: version bump rather than a silent addition because the pinned key-set
+#: contract treats the per-tenant field set as closed.
+#: ``docs/http-api.md`` documents v2 field by field and
+#: ``tests/service/test_service_metrics.py`` pins it.
+STATS_VERSION = 2
 
 #: Default number of latency samples the per-tenant rolling window keeps.
 #: Big enough for a stable p99 under load, small enough that a snapshot's
@@ -241,7 +245,7 @@ def evaluate_alerts(stats: Dict, thresholds: AlertThresholds) -> Dict[str, objec
     too), so anything an alert fires on is visible in the same tick's
     stats event.  Returns the ``GET /alerts`` response body::
 
-        {"stats_version": 1, "status": "ok" | "alerting",
+        {"stats_version": 2, "status": "ok" | "alerting",
          "thresholds": {...}, "alerts": [
             {"kind": "p99_budget" | "queue_depth" | "log_bytes"
                      | "log_rollup_near" | "replica_degraded",

@@ -28,11 +28,12 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tupl
 
 if TYPE_CHECKING:  # ops-plane feeding seam; annotation only
     from repro.service.metrics import ServiceMetrics
+    from repro.service.respcache import ResponseCache
 
 from repro.kb.graph import Graph
 from repro.kb.triples import Triple
 from repro.kb.version import Version, VersionedKnowledgeBase
-from repro.profiles.feedback import FeedbackStore
+from repro.profiles.feedback import FeedbackEvent, FeedbackStore
 from repro.profiles.user import User
 from repro.recommender.engine import EngineConfig, RecommenderEngine
 from repro.service.errors import ServiceError, UnknownTenantError, UnknownUserError
@@ -50,6 +51,7 @@ class Tenant:
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
         on_close: Callable[[], None] | None = None,
+        on_population_change: Callable[[], None] | None = None,
         store=None,
     ) -> None:
         if not name:
@@ -61,6 +63,10 @@ class Tenant:
         # size) -- the durability work itself runs through on_commit.
         self.store = store
         self._users: Dict[str, User] = {user.user_id: user for user in users}
+        #: The tenant's feedback store (None when served without one).
+        #: Mutations must go through record_feedback so the population
+        #: seam below sees them.
+        self.feedback = feedback
         self.engine = RecommenderEngine(
             kb, config=engine_config or EngineConfig(), feedback=feedback
         )
@@ -78,10 +84,20 @@ class Tenant:
         # shutdown): the seam that lets a binary store's lazy memory map
         # close with the tenant instead of lingering until GC.
         self.on_close = on_close
+        # Population-change hook, run after any user/feedback mutation --
+        # the invalidation seam: all such mutations change what the engine
+        # may produce (profiles feed the relatedness scorer, feedback the
+        # novelty history), so anything memoising responses must hear
+        # about them.  Mirrors on_commit/on_close: failures are warnings,
+        # never mutation failures.
+        self.on_population_change = on_population_change
         # Ops-plane aggregator (attached by the registry): commits are
         # recorded here, under the tenant write lock, so the /events
         # stream sees every committed version.
         self._metrics: "Optional[ServiceMetrics]" = None
+        # Response cache (attached by the registry): population mutations
+        # bump this tenant's epoch here, before the user hook runs.
+        self._respcache: "Optional[ResponseCache]" = None
         self._closed = False
 
     def close(self) -> None:
@@ -119,6 +135,27 @@ class Tenant:
                 stacklevel=3,
             )
 
+    def _run_population_hook(self) -> None:
+        """Tell the cache + hook the population changed (warning-on-failure).
+
+        The epoch bump is unconditional and first: even if a user hook
+        fails, no memoised response for the pre-mutation population may be
+        served again.
+        """
+        if self._respcache is not None:
+            self._respcache.bump_epoch(self.name)
+        if self.on_population_change is None:
+            return
+        try:
+            self.on_population_change()
+        except Exception as exc:
+            warnings.warn(
+                f"tenant {self.name!r}: population-change hook failed ({exc}); "
+                "the mutation itself is live",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     # -- users ----------------------------------------------------------------
 
     def user(self, user_id: str) -> User:
@@ -132,9 +169,30 @@ class Tenant:
             ) from None
 
     def add_user(self, user: User) -> User:
-        """Register (or replace) a user."""
+        """Register (or replace) a user.
+
+        ``User`` is frozen, so replacement through here *is* the profile
+        mutation path -- which is why this routes through the population
+        seam (epoch bump + ``on_population_change``).
+        """
         self._users[user.user_id] = user
+        self._run_population_hook()
         return user
+
+    def record_feedback(self, event: FeedbackEvent) -> FeedbackEvent:
+        """Record one feedback event through the population seam.
+
+        Feedback feeds the relatedness scorer and the novelty history, so
+        it changes responses exactly like a profile edit does; mutating
+        the store directly would bypass the invalidation seam.
+        """
+        if self.feedback is None:
+            raise ServiceError(
+                f"tenant {self.name!r} has no feedback store to record into"
+            )
+        self.feedback.add(event)
+        self._run_population_hook()
+        return event
 
     def user_ids(self) -> List[str]:
         """Registered user ids, sorted."""
@@ -241,6 +299,21 @@ class TenantRegistry:
         self._tenants: Dict[str, Tenant] = {}
         self._lock = threading.Lock()
         self._metrics: "Optional[ServiceMetrics]" = None
+        self._respcache: "Optional[ResponseCache]" = None
+
+    def attach_response_cache(self, cache: "ResponseCache") -> None:
+        """Wire the response cache into this registry.
+
+        Mirrors :meth:`attach_metrics`: every tenant (current and future)
+        bumps its cache epoch on population mutations, and eviction purges
+        the tenant's entries.  Called by ``RecommendationService`` when
+        its config enables the cache.
+        """
+        with self._lock:
+            self._respcache = cache
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            tenant._respcache = cache
 
     def attach_metrics(self, metrics: "ServiceMetrics") -> None:
         """Wire the ops-plane aggregator into this registry.
@@ -286,16 +359,26 @@ class TenantRegistry:
         engine_config: EngineConfig | None = None,
         on_commit: Callable[[Version], None] | None = None,
         on_close: Callable[[], None] | None = None,
+        on_population_change: Callable[[], None] | None = None,
         store=None,
     ) -> Tenant:
         """Register a tenant; duplicate names are rejected."""
         tenant = Tenant(
-            name, kb, users, feedback, engine_config, on_commit, on_close, store=store
+            name,
+            kb,
+            users,
+            feedback,
+            engine_config,
+            on_commit,
+            on_close,
+            on_population_change=on_population_change,
+            store=store,
         )
         with self._lock:
             if name in self._tenants:
                 raise ServiceError(f"duplicate tenant name: {name!r}")
             tenant._metrics = self._metrics
+            tenant._respcache = self._respcache
             self._tenants[name] = tenant
         return tenant
 
@@ -313,12 +396,17 @@ class TenantRegistry:
         with self._lock:
             tenant = self._tenants.pop(name, None)
             metrics = self._metrics
+            respcache = self._respcache
         if tenant is not None:
             tenant.close()
             if metrics is not None:
                 # A re-registered name is a *new* tenant (the admission
                 # key already says so); its counters must start at zero.
                 metrics.forget(name)
+            if respcache is not None:
+                # Same rule for cached bodies: a new KB under the old name
+                # may even reuse version ids, so nothing may survive.
+                respcache.forget_tenant(name)
         return tenant
 
     def close_all(self) -> None:

@@ -328,6 +328,24 @@ def _replica_main(
     def handle(op: str, request_id: int, payload) -> None:
         if op == "recommend":
             name, user, k, old, new = parse_recommend_payload(payload)
+            if service.respcache is not None:
+                # Process-local response cache, exactly as on the owning
+                # shard: the replica's version ids advance only through
+                # apply_record on this very recv loop and its population
+                # is fixed at spawn, so nothing can invalidate a key from
+                # outside the process -- no coherence traffic needed.
+                cached_future = service.recommend_cached_async(name, user, k, old, new)
+
+                def _done_cached(f, request_id=request_id):
+                    try:
+                        send((request_id, "ok", package_to_dict(f.result().package)))
+                    except BaseException as exc:
+                        send(
+                            (request_id, "error", _error_kind(exc), _error_message(exc))
+                        )
+
+                cached_future.add_done_callback(_done_cached)
+                return
             future = service.recommend_async(name, user, k, old, new)
 
             def _done(f, request_id=request_id):

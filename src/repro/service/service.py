@@ -13,10 +13,12 @@ cost optimisations.
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.io.storage import package_to_dict
 from repro.kb.graph import Graph
 from repro.kb.triples import Triple
 from repro.kb.version import Version, VersionedKnowledgeBase
@@ -28,6 +30,7 @@ from repro.service.admission import AdmissionQueue
 from repro.service.errors import ServiceClosedError
 from repro.service.metrics import STATS_VERSION, ServiceMetrics
 from repro.service.registry import Tenant, TenantRegistry
+from repro.service.respcache import CachedResponse, ResponseCache, make_etag
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,13 @@ class ServiceConfig:
     #: bounding recovery time.  ``None`` disables a threshold.
     rollup_bytes: Optional[int] = None
     rollup_records: Optional[int] = None
+    #: Response-cache budgets (see :mod:`repro.service.respcache`): the
+    #: maximum cached responses and the byte budget for their serialised
+    #: bodies.  Zero on a knob means no bound on that axis; zero on
+    #: *both* (the default) disables the cache entirely -- every read
+    #: then computes exactly as it did before the cache existed.
+    cache_entries: int = 0
+    cache_bytes: int = 0
     engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
@@ -72,6 +82,26 @@ class ServiceConfig:
             value = getattr(self, knob)
             if value is not None and value < 1:
                 raise ValueError(f"{knob} must be a positive integer, got {value!r}")
+        for knob in ("cache_entries", "cache_bytes"):
+            value = getattr(self, knob)
+            if value < 0:
+                raise ValueError(f"{knob} must be >= 0, got {value!r}")
+
+
+def _resolve_future(future: "Future", value=None, error: BaseException | None = None) -> None:
+    """Resolve a hand-made future, tolerating an already-cancelled one.
+
+    The async front-end's ``asyncio.wait_for`` cancels on timeout (the
+    admission queue tolerates the same race in ``_resolve``); the fill
+    itself still completes and lands in the cache.
+    """
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+    except Exception:  # cancelled between check and set: the client left
+        pass
 
 
 class RecommendationService:
@@ -89,6 +119,19 @@ class RecommendationService:
         # and the front-ends read it through stats() / SSE /events.
         self.metrics = ServiceMetrics()
         self.registry.attach_metrics(self.metrics)
+        # The response-cache plane (repro.service.respcache): memoised
+        # wire bytes keyed by (tenant, version pair, user+epoch, k).
+        # Process-local on purpose -- committed version ids and the
+        # population epoch are facts this process owns, so shard/replica
+        # processes each cache independently with zero coherence traffic.
+        if self.config.cache_entries or self.config.cache_bytes:
+            self.respcache: Optional[ResponseCache] = ResponseCache(
+                max_entries=self.config.cache_entries,
+                max_bytes=self.config.cache_bytes,
+            )
+            self.registry.attach_response_cache(self.respcache)
+        else:
+            self.respcache = None
         self._queue = AdmissionQueue(
             workers=self.config.workers,
             max_batch=self.config.max_batch,
@@ -106,6 +149,7 @@ class RecommendationService:
         feedback: FeedbackStore | None = None,
         on_commit=None,
         on_close=None,
+        on_population_change=None,
         store=None,
     ) -> Tenant:
         """Register a knowledge base (and its users) for serving.
@@ -116,6 +160,12 @@ class RecommendationService:
         (optional, no arguments) runs once when the tenant leaves serving
         (eviction or service shutdown) -- the release seam for resources
         backing the tenant, e.g. a binary store's lazy memory map.
+        ``on_population_change`` (optional, no arguments) runs after any
+        user/feedback mutation routed through the tenant
+        (:meth:`~repro.service.registry.Tenant.add_user`,
+        :meth:`~repro.service.registry.Tenant.record_feedback`); the
+        response cache's epoch bump is wired in independently and always
+        runs first, so this hook is purely for caller-side bookkeeping.
 
         ``store`` (optional, a :class:`~repro.io.store.BinaryKBStore`
         whose ``load()`` produced ``kb``) wires all of the above in one
@@ -140,6 +190,7 @@ class RecommendationService:
             engine_config=self.config.engine,
             on_commit=on_commit,
             on_close=on_close,
+            on_population_change=on_population_change,
             store=store,
         )
 
@@ -153,19 +204,21 @@ class RecommendationService:
 
     # -- reads --------------------------------------------------------------------
 
-    def recommend_async(
+    def _resolve_read(
         self,
         tenant_name: str,
         user_id: str,
-        k: int | None = None,
-        old_id: str | None = None,
-        new_id: str | None = None,
-    ) -> "Future[RecommendationPackage]":
-        """Admit one request; returns the future of its package.
+        k: int | None,
+        old_id: str | None,
+        new_id: str | None,
+    ) -> Tuple[Tenant, User, int, Tuple[str, str]]:
+        """Validate one read and resolve its admission snapshot.
 
         The version pair is resolved *now* (explicit ids, or the tenant's
         current head pair) -- that is the snapshot the request scores, even
         if a writer commits more versions before a worker picks it up.
+        The cache keys on the same resolved pair, so a cached body can
+        never answer for a pair the request was not admitted on.
         """
         if self._queue.closed:
             raise ServiceClosedError("service is closed")
@@ -180,8 +233,112 @@ class RecommendationService:
             )
         else:
             pair = tenant.head_pair()
-        k = self.config.k if k is None else k
+        return tenant, user, self.config.k if k is None else k, pair
+
+    def recommend_async(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+    ) -> "Future[RecommendationPackage]":
+        """Admit one request; returns the future of its package.
+
+        This is the raw (uncached) admission path; see
+        :meth:`recommend_cached` for the memoised one.
+        """
+        tenant, user, k, pair = self._resolve_read(
+            tenant_name, user_id, k, old_id, new_id
+        )
         return self._queue.submit(tenant, user, k, pair)
+
+    def recommend_cached_async(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+    ) -> "Future[CachedResponse]":
+        """One read through the response cache, as a future.
+
+        The uniform serving path for the HTTP front-ends: the resolved
+        future always carries the serialised body (exactly what both
+        front-ends write) and its strong ETag, whether the cache is
+        enabled or not -- the cache only changes the *cost*.  Hits resolve
+        immediately without touching the admission queue; a miss admits
+        once and *leads* a singleflight fill, and concurrent or repeated
+        misses on the same key attach to that fill instead of
+        re-admitting.  Nothing blocks the caller: completion rides the
+        admission workers' done-callbacks, so event-loop callers (the
+        async front-end, the shard recv loop) use it directly.
+        """
+        tenant, user, k, pair = self._resolve_read(
+            tenant_name, user_id, k, old_id, new_id
+        )
+        result: "Future[CachedResponse]" = Future()
+
+        def lead() -> None:
+            inner = self._queue.submit(tenant, user, k, pair)
+
+            def finish(f: "Future[RecommendationPackage]") -> None:
+                try:
+                    package = f.result()
+                    body = json.dumps(package_to_dict(package)).encode("utf-8")
+                except BaseException as exc:
+                    _resolve_future(result, error=exc)
+                else:
+                    _resolve_future(
+                        result, CachedResponse(body, make_etag(body), package, False)
+                    )
+
+            inner.add_done_callback(finish)
+
+        if self.respcache is None:
+            lead()
+            return result
+
+        got = self.respcache.begin(tenant.name, pair[0], pair[1], user.user_id, k)
+        if isinstance(got, CachedResponse):
+            result.set_result(got)
+            return result
+        ticket = got
+        if ticket.leader:
+            inner = self._queue.submit(tenant, user, k, pair)
+
+            def finish_fill(f: "Future[RecommendationPackage]") -> None:
+                try:
+                    package = f.result()
+                    body = json.dumps(package_to_dict(package)).encode("utf-8")
+                except BaseException as exc:
+                    ticket.abort(exc)
+                    _resolve_future(result, error=exc)
+                else:
+                    _resolve_future(result, ticket.commit(body, package))
+
+            inner.add_done_callback(finish_fill)
+        else:
+            def attach(response, error) -> None:
+                _resolve_future(result, response, error)
+
+            ticket.on_done(attach)
+        return result
+
+    def recommend_cached(
+        self,
+        tenant_name: str,
+        user_id: str,
+        k: int | None = None,
+        old_id: str | None = None,
+        new_id: str | None = None,
+        timeout: float | None = None,
+    ) -> CachedResponse:
+        """Blocking :meth:`recommend_cached_async` (the threaded front-end)."""
+        future = self.recommend_cached_async(tenant_name, user_id, k, old_id, new_id)
+        return future.result(
+            timeout=self.config.request_timeout_s if timeout is None else timeout
+        )
 
     def recommend(
         self,
@@ -192,7 +349,16 @@ class RecommendationService:
         new_id: str | None = None,
         timeout: float | None = None,
     ) -> RecommendationPackage:
-        """Recommend a package for one user (blocking; admission-batched)."""
+        """Recommend a package for one user (blocking; admission-batched).
+
+        With the cache enabled this goes through :meth:`recommend_cached`
+        (so Python-API repeats hit too); disabled, it is the plain
+        admit-and-wait path with zero serialisation overhead.
+        """
+        if self.respcache is not None:
+            return self.recommend_cached(
+                tenant_name, user_id, k, old_id, new_id, timeout=timeout
+            ).package
         future = self.recommend_async(tenant_name, user_id, k, old_id, new_id)
         return future.result(
             timeout=self.config.request_timeout_s if timeout is None else timeout
@@ -228,16 +394,16 @@ class RecommendationService:
     # -- introspection / lifecycle ---------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """The frozen ``GET /stats`` payload (contract version 1).
+        """The frozen ``GET /stats`` payload (contract version 2).
 
         This exact payload is also what the async front-end's SSE
         ``/events`` stream publishes each tick and what
         :func:`repro.service.metrics.evaluate_alerts` reads, so the
-        three surfaces can never disagree on field names.  The v1
+        three surfaces can never disagree on field names.  The v2
         contract (documented field by field in ``docs/http-api.md``,
         pinned by ``tests/service/test_service_metrics.py``):
 
-        * ``stats_version`` -- this layout's version (currently 1).
+        * ``stats_version`` -- this layout's version (currently 2).
         * ``workers`` -- scoring worker threads.
         * ``tenants`` -- sorted tenant names.
         * ``admission`` -- global queue counters
@@ -248,7 +414,11 @@ class RecommendationService:
           commits, admitted/completed/failed/shed, batch counters,
           rolling-window ``mean_ms``/``p50_ms``/``p99_ms``) plus
           ``persistence`` (``log_records``/``log_bytes`` and the
-          roll-up thresholds for persisted tenants, else ``None``).
+          roll-up thresholds for persisted tenants, else ``None``) and
+          -- new in v2 -- ``cache`` (the response-cache block:
+          ``hits``/``misses``/``evictions``/``entries``/``bytes``/
+          ``singleflight_waits``, or ``None`` when the cache is
+          disabled).
 
         Adding fields is allowed without a version bump; renaming,
         removing or changing the meaning of one bumps ``stats_version``.
@@ -257,6 +427,9 @@ class RecommendationService:
         for tenant in self.registry:
             entry = self.metrics.tenant_snapshot(tenant.name)
             entry["persistence"] = tenant.persistence_summary()
+            entry["cache"] = (
+                None if self.respcache is None else self.respcache.stats(tenant.name)
+            )
             per_tenant[tenant.name] = entry
         admission = dict(self._queue.stats.snapshot())
         admission["depth"] = self._queue.depth

@@ -221,6 +221,27 @@ def _shard_main(
     def handle(op: str, request_id: int, payload) -> None:
         if op == "recommend":
             tenant, user, k, old, new = parse_recommend_payload(payload)
+            if service.respcache is not None:
+                # The response cache is process-local: this shard owns its
+                # tenants' version ids and population epoch, so no other
+                # process can invalidate behind its back and no coherence
+                # traffic exists.  recommend_cached_async never blocks the
+                # recv loop -- hits resolve immediately, misses ride the
+                # admission workers' callbacks like the uncached path.
+                cached_future = service.recommend_cached_async(
+                    tenant, user, k, old, new
+                )
+
+                def _done_cached(f, request_id=request_id):
+                    try:
+                        send((request_id, "ok", package_to_dict(f.result().package)))
+                    except BaseException as exc:
+                        send(
+                            (request_id, "error", _error_kind(exc), _error_message(exc))
+                        )
+
+                cached_future.add_done_callback(_done_cached)
+                return
             future = service.recommend_async(tenant, user, k, old, new)
 
             def _done(f, request_id=request_id):

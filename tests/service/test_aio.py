@@ -168,7 +168,7 @@ class TestSSE:
             payload = json.loads(lines[2][len(b"data: "):])
             # The SSE data payload IS the frozen /stats payload.
             assert set(payload) == set(service.stats())
-            assert payload["stats_version"] == 1
+            assert payload["stats_version"] == 2
 
     def test_alerts_frame_when_thresholds_fire(self, both_servers):
         world, service, _, _ = both_servers

@@ -88,8 +88,10 @@ class TestServiceMetrics:
 
 
 class TestFrozenStatsContract:
-    """Pin the v1 /stats payload: renaming or dropping a field must fail
-    here first, forcing the STATS_VERSION bump the contract requires."""
+    """Pin the v2 /stats payload: renaming or dropping a field must fail
+    here first, forcing the STATS_VERSION bump the contract requires.
+    (v2 = v1 + the per-tenant ``cache`` block, the response-cache
+    counters or None when the cache is disabled.)"""
 
     TOP_LEVEL_KEYS = {"stats_version", "admission", "tenants", "per_tenant", "workers"}
     ADMISSION_KEYS = {
@@ -99,14 +101,17 @@ class TestFrozenStatsContract:
     PER_TENANT_KEYS = {
         "commits", "admitted", "completed", "failed", "shed", "batches",
         "batched_requests", "largest_batch", "window", "mean_ms", "p50_ms",
-        "p99_ms", "persistence",
+        "p99_ms", "persistence", "cache",
     }
     PERSISTENCE_KEYS = {"log_records", "log_bytes", "rollup_bytes", "rollup_records"}
+    CACHE_KEYS = {
+        "hits", "misses", "evictions", "entries", "bytes", "singleflight_waits",
+    }
 
-    def test_version_is_one(self, service):
+    def test_version_is_two(self, service):
         _, svc = service
-        assert STATS_VERSION == 1
-        assert svc.stats()["stats_version"] == 1
+        assert STATS_VERSION == 2
+        assert svc.stats()["stats_version"] == 2
 
     def test_field_sets_are_frozen(self, service):
         world, svc = service
@@ -128,6 +133,8 @@ class TestFrozenStatsContract:
         assert entry["p50_ms"] <= entry["p99_ms"]
         # Unpersisted tenant: the gauge block is explicitly None, not absent.
         assert entry["persistence"] is None
+        # Cache disabled (the default config): explicitly None, not absent.
+        assert entry["cache"] is None
 
     def test_commits_recorded_under_write_lock(self, service):
         from repro.kb.ntriples import parse_graph
@@ -147,6 +154,21 @@ class TestFrozenStatsContract:
             svc.add_tenant("uni", store.load(), world.users, store=store)
             persistence = svc.stats()["per_tenant"]["uni"]["persistence"]
             assert set(persistence) == self.PERSISTENCE_KEYS
+
+    def test_cache_block_for_caching_service(self):
+        world = generate_world(seed=22, config=WORLD_CONFIG)
+        config = ServiceConfig(k=3, workers=1, cache_entries=64)
+        with RecommendationService(config) as svc:
+            svc.add_tenant("uni", world.kb, world.users)
+            user = world.users[0].user_id
+            svc.recommend("uni", user)
+            svc.recommend("uni", user)
+            cache = svc.stats()["per_tenant"]["uni"]["cache"]
+            assert set(cache) == self.CACHE_KEYS
+            assert cache["misses"] == 1
+            assert cache["hits"] == 1
+            assert cache["entries"] == 1
+            assert cache["bytes"] > 0
 
 
 class TestAlertThresholds:

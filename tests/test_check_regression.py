@@ -474,3 +474,118 @@ class TestAsyncGate:
             pytest.skip("baseline has no service_async section yet")
         verdicts = gate.check_async(baseline)
         assert verdicts and all(v.ok for v in verdicts)
+
+
+def _cache_report(bit_identical=True, speedup=50.0, misses_after=None, **overrides):
+    hit_path = {
+        "misses_before": 12,
+        "misses_after": 12 if misses_after is None else misses_after,
+        "hits": 200,
+        "requests": 200,
+        "engine_free": misses_after is None,
+    }
+    hit_path.update(overrides.pop("hit_path", {}))
+    section = {
+        "meta": {"transport": "python-api", "cache_entries": 4096},
+        "levels": {},
+        "hit_path": hit_path,
+        "speedup": speedup,
+        "responses_bit_identical": bit_identical,
+    }
+    section.update(overrides)
+    return {"service_cached": section}
+
+
+class TestCacheGate:
+    def test_absent_section_yields_no_verdicts(self, gate):
+        assert gate.check_cache(_report(a=10.0)) == []
+
+    def test_healthy_section_passes(self, gate):
+        verdicts = gate.check_cache(_cache_report())
+        assert [v.name for v in verdicts] == [
+            "service_cached.bit_identical",
+            "service_cached.engine_free",
+            "service_cached.speedup",
+        ]
+        assert all(v.ok for v in verdicts)
+
+    def test_bit_identity_false_fails(self, gate):
+        by_name = {
+            v.name: v for v in gate.check_cache(_cache_report(bit_identical=False))
+        }
+        assert not by_name["service_cached.bit_identical"].ok
+
+    def test_missing_bit_identity_fails_like_false(self, gate):
+        report = _cache_report()
+        del report["service_cached"]["responses_bit_identical"]
+        by_name = {v.name: v for v in gate.check_cache(report)}
+        assert not by_name["service_cached.bit_identical"].ok
+
+    def test_grown_miss_counter_fails(self, gate):
+        # The warm hammer invoked the engine: the cache stopped caching.
+        by_name = {
+            v.name: v for v in gate.check_cache(_cache_report(misses_after=13))
+        }
+        assert not by_name["service_cached.engine_free"].ok
+
+    def test_missing_hit_path_counters_fail(self, gate):
+        report = _cache_report()
+        del report["service_cached"]["hit_path"]["misses_after"]
+        by_name = {v.name: v for v in gate.check_cache(report)}
+        assert not by_name["service_cached.engine_free"].ok
+
+    def test_speedup_below_floor_fails(self, gate):
+        by_name = {v.name: v for v in gate.check_cache(_cache_report(speedup=1.9))}
+        assert not by_name["service_cached.speedup"].ok
+
+    def test_speedup_exactly_at_floor_passes(self, gate):
+        by_name = {v.name: v for v in gate.check_cache(_cache_report(speedup=2.0))}
+        assert by_name["service_cached.speedup"].ok
+
+    def test_missing_speedup_fails(self, gate):
+        report = _cache_report()
+        del report["service_cached"]["speedup"]
+        by_name = {v.name: v for v in gate.check_cache(report)}
+        assert not by_name["service_cached.speedup"].ok
+
+    def test_invalid_floor_rejected(self, gate):
+        with pytest.raises(ValueError):
+            gate.check_cache(_cache_report(), min_speedup=0)
+
+    def test_main_always_gates_the_baseline_cache_section(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = {**_report(a=10.0), **_cache_report(bit_identical=False)}
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        code = gate.main(
+            ["--baseline", str(baseline_path), "--fresh", str(fresh_path)]
+        )
+        assert code == 1
+        assert "service_cached.bit_identical" in capsys.readouterr().out
+
+    def test_fresh_cache_flag(self, gate, tmp_path, capsys):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(_report(a=10.0)))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(_report(a=10.0)))
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text(json.dumps(_cache_report(speedup=1.1)))
+        code = gate.main(
+            [
+                "--baseline", str(baseline_path),
+                "--fresh", str(fresh_path),
+                "--fresh-cache", str(cache_path),
+            ]
+        )
+        assert code == 1
+        assert "fresh.service_cached.speedup" in capsys.readouterr().out
+
+    def test_committed_baseline_cache_section_gates_itself(self, gate):
+        baseline = json.loads((ROOT / "BENCH_substrate.json").read_text())
+        if "service_cached" not in baseline:
+            pytest.skip("baseline has no service_cached section yet")
+        verdicts = gate.check_cache(baseline)
+        assert verdicts and all(v.ok for v in verdicts)

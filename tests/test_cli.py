@@ -287,6 +287,45 @@ class TestServeRollupKnobs:
             )
 
 
+class TestServeCacheFlags:
+    """serve --cache-entries/--cache-bytes: ServiceConfig validation rides
+    the existing error: SystemExit path; negatives never reach serving."""
+
+    def test_negative_entries_rejected(self, world_dir):
+        with pytest.raises(SystemExit, match="cache_entries"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--cache-entries", "-1",
+                ]
+            )
+
+    def test_negative_bytes_rejected(self, world_dir):
+        with pytest.raises(SystemExit, match="cache_bytes"):
+            main(
+                [
+                    "serve",
+                    "--kb", str(world_dir / "kb"),
+                    "--users", str(world_dir / "users.json"),
+                    "--cache-bytes", "-1",
+                ]
+            )
+
+    def test_knobs_reach_service_config(self):
+        # The knobs land in the shared ServiceConfig, which is exactly the
+        # object the single-process service, the async front-end and the
+        # sharded supervisor's worker processes are all built from.
+        from repro.service import ServiceConfig
+
+        config = ServiceConfig(cache_entries=128, cache_bytes=1 << 20)
+        assert config.cache_entries == 128
+        assert config.cache_bytes == 1 << 20
+        with pytest.raises(ValueError, match="cache_entries"):
+            ServiceConfig(cache_entries=-1)
+
+
 class TestServeAsyncFlags:
     def test_async_rejects_sharded_topology(self, world_dir):
         for extra in (["--shards", "2"], ["--replicas", "2"]):
